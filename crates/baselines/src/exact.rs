@@ -1,0 +1,153 @@
+//! The zero-error detector: ground truth for every accuracy experiment.
+//!
+//! Definition 4 only needs, per key, the pair `(n, n_above)` since the
+//! `(ε, δ)`-quantile-vs-T test reduces to a rank comparison
+//! (see [`quantile_filter::qweight::QweightTracker`]). That makes exact
+//! detection O(1) per item — at the cost of a hash map entry per live key,
+//! which is precisely the per-key state explosion sketches exist to avoid.
+
+use crate::OutstandingDetector;
+use quantile_filter::qweight::QweightTracker;
+use quantile_filter::Criteria;
+use std::collections::HashMap;
+
+/// Exact detector over `(n, n_above)` per key.
+#[derive(Debug, Clone)]
+pub struct ExactDetector {
+    criteria: Criteria,
+    keys: HashMap<u64, QweightTracker>,
+}
+
+impl ExactDetector {
+    /// Build with the detection criteria.
+    pub fn new(criteria: Criteria) -> Self {
+        Self {
+            criteria,
+            keys: HashMap::new(),
+        }
+    }
+
+    /// The criteria in force.
+    pub fn criteria(&self) -> Criteria {
+        self.criteria
+    }
+
+    /// Number of live keys.
+    pub fn key_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Exact current Qweight of a key.
+    pub fn qweight(&self, key: u64) -> f64 {
+        self.keys
+            .get(&key)
+            .map(|t| t.qweight(&self.criteria))
+            .unwrap_or(0.0)
+    }
+}
+
+impl OutstandingDetector for ExactDetector {
+    fn insert(&mut self, key: u64, value: f64) -> bool {
+        let tracker = self.keys.entry(key).or_default();
+        tracker.observe(value, &self.criteria);
+        if tracker.quantile_exceeds(&self.criteria) {
+            tracker.reset();
+            return true;
+        }
+        false
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // Entry payload (8B key + 16B tracker) plus nominal map overhead.
+        self.keys.len() * (8 + 16 + 8)
+    }
+
+    fn name(&self) -> String {
+        "Exact".into()
+    }
+
+    fn reset(&mut self) {
+        self.keys.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crit() -> Criteria {
+        Criteria::new(5.0, 0.9, 100.0).unwrap()
+    }
+
+    #[test]
+    fn detects_figure1_style_key() {
+        // δ = 0.5, T = 3, ε = 0 (Figure 1): user A {1, 5, 9} reported at
+        // the third item.
+        let c = Criteria::new(0.0, 0.5, 3.0).unwrap();
+        let mut d = ExactDetector::new(c);
+        assert!(!d.insert(1, 1.0));
+        assert!(d.insert(1, 5.0) || d.insert(1, 9.0));
+    }
+
+    #[test]
+    fn reset_after_report() {
+        let mut d = ExactDetector::new(crit());
+        let mut reports = 0;
+        for _ in 0..12 {
+            if d.insert(7, 500.0) {
+                reports += 1;
+            }
+        }
+        // +9/item with reset at ≥50 crossing: reports at items 6 and 12.
+        assert_eq!(reports, 2);
+        assert_eq!(d.qweight(7), 0.0);
+    }
+
+    #[test]
+    fn independent_keys() {
+        let mut d = ExactDetector::new(crit());
+        for _ in 0..6 {
+            d.insert(1, 500.0);
+            d.insert(2, 5.0);
+        }
+        assert_eq!(d.key_count(), 2);
+        assert!(d.qweight(2) < 0.0);
+    }
+
+    #[test]
+    fn memory_grows_per_key() {
+        let mut d = ExactDetector::new(crit());
+        for k in 0..1000 {
+            d.insert(k, 1.0);
+        }
+        assert!(d.memory_bytes() >= 1000 * 24);
+        d.reset();
+        assert_eq!(d.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn matches_batch_definition_on_random_stream() {
+        use rand::prelude::*;
+        let c = Criteria::new(2.0, 0.8, 50.0).unwrap();
+        let mut d = ExactDetector::new(c);
+        let mut rng = StdRng::seed_from_u64(3);
+        // Replay against a literal Vec<values> implementation.
+        let mut values: HashMap<u64, Vec<f64>> = HashMap::new();
+        for _ in 0..20_000 {
+            let key = rng.gen_range(0..50u64);
+            let v = if rng.gen_bool(0.2) {
+                rng.gen_range(60.0..200.0)
+            } else {
+                rng.gen_range(0.0..40.0)
+            };
+            let got = d.insert(key, v);
+            let vs = values.entry(key).or_default();
+            vs.push(v);
+            let want = quantile_filter::qweight::quantile_exceeds(vs, &c);
+            assert_eq!(got, want, "divergence for key {key} at n={}", vs.len());
+            if want {
+                vs.clear();
+            }
+        }
+    }
+}

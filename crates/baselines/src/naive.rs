@@ -1,0 +1,65 @@
+//! Adapter exposing the §II-D naive dual-Csketch solution as an
+//! [`OutstandingDetector`].
+
+use crate::OutstandingDetector;
+use quantile_filter::{Criteria, NaiveDualCsketch};
+
+/// The naive two-sketch detector.
+pub struct NaiveDetector {
+    inner: NaiveDualCsketch<i32>,
+}
+
+impl NaiveDetector {
+    /// Build inside a byte budget, splitting 3:1 in favour of the below-`T`
+    /// sketch (below-threshold traffic dominates at the paper's ~5%
+    /// abnormal-item rate).
+    pub fn new(criteria: Criteria, memory_bytes: usize, seed: u64) -> Self {
+        Self {
+            inner: NaiveDualCsketch::with_memory_budget(criteria, 3, memory_bytes, 0.75, seed),
+        }
+    }
+}
+
+impl OutstandingDetector for NaiveDetector {
+    #[inline]
+    fn insert(&mut self, key: u64, value: f64) -> bool {
+        self.inner.insert(&key, value)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+    }
+
+    fn name(&self) -> String {
+        "NaiveDualCS".into()
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_detects_hot_outstanding_key() {
+        let c = Criteria::new(5.0, 0.9, 100.0).unwrap();
+        let mut d = NaiveDetector::new(c, 64 * 1024, 1);
+        let mut reported = false;
+        for _ in 0..50 {
+            reported |= d.insert(3, 500.0);
+        }
+        assert!(reported);
+        d.reset();
+        assert!(!d.insert(3, 5.0));
+    }
+
+    #[test]
+    fn budget_respected() {
+        let c = Criteria::new(5.0, 0.9, 100.0).unwrap();
+        let d = NaiveDetector::new(c, 48 * 1024, 2);
+        assert!(d.memory_bytes() <= 48 * 1024);
+    }
+}

@@ -1,0 +1,248 @@
+//! SketchPolymer-style detector (after Guo et al., "SketchPolymer:
+//! Estimate Per-Item Tail Quantile Using One Sketch", KDD 2023).
+//!
+//! Mechanism reproduced:
+//!
+//! * Values are discretized into logarithmic buckets
+//!   ([`crate::value_buckets`]); per-(key, bucket) counts live in a shared
+//!   Count-Min-style counter matrix, so a quantile query walks
+//!   `log(value range)` counters — the paper's stated query cost.
+//! * **Early-value discard**: SketchPolymer only records an item's value
+//!   once the key has been seen enough times (its design filters the first
+//!   arrivals of each key to save space on cold items). We reproduce this
+//!   with a per-key admission count; it causes the *systematic recall
+//!   ceiling* the QuantileFilter paper observes — bursts confined to a
+//!   key's earliest items are never recorded.
+//! * Under tight memory, colliding counters inflate every bucket, the
+//!   estimated quantile rises and the detector reports nearly everything:
+//!   "very low precision but high recall" (§V-B).
+
+use crate::value_buckets::{bucket_of, bucket_value, rank_to_bucket, BUCKETS};
+use crate::OutstandingDetector;
+use qf_hash::{HashFamily, StreamKey};
+use quantile_filter::Criteria;
+
+/// Items of a key skipped before values are recorded (the early-discard).
+const ADMISSION_THRESHOLD: u32 = 4;
+
+/// Depth of the shared counter matrix.
+const DEPTH: usize = 3;
+
+/// SketchPolymer-style detector.
+pub struct SketchPolymerDetector {
+    criteria: Criteria,
+    /// `DEPTH × width` counters of (key, bucket) counts.
+    cells: Vec<u32>,
+    width: usize,
+    family: HashFamily,
+    /// Small admission filter: per-key early counts (CM-min over rows).
+    admission: Vec<u8>,
+    admission_family: HashFamily,
+}
+
+/// Composite (key, bucket) coordinate hashed into the shared matrix.
+#[derive(Clone, Copy)]
+struct Coord(u64);
+
+impl StreamKey for Coord {
+    #[inline(always)]
+    fn hash_with_seed(&self, seed: u64) -> u64 {
+        self.0.hash_with_seed(seed)
+    }
+}
+
+impl SketchPolymerDetector {
+    /// Build inside a byte budget: 7/8 to the value matrix, 1/8 to the
+    /// admission filter.
+    pub fn new(criteria: Criteria, memory_bytes: usize, seed: u64) -> Self {
+        let matrix_bytes = memory_bytes * 7 / 8;
+        let width = (matrix_bytes / (DEPTH * 4)).max(1);
+        let adm = (memory_bytes / 8).max(16);
+        Self {
+            criteria,
+            cells: vec![0u32; DEPTH * width],
+            width,
+            family: HashFamily::new(DEPTH, width, seed ^ 0x5B01),
+            admission: vec![0u8; adm],
+            admission_family: HashFamily::new(2, adm, seed ^ 0x5B02),
+        }
+    }
+
+    #[inline]
+    fn coord(key: u64, bucket: usize) -> Coord {
+        Coord((key << 8) ^ bucket as u64 ^ 0xA5A5_0000_0000_0000)
+    }
+
+    #[inline]
+    fn add(&mut self, key: u64, bucket: usize, delta: i64) {
+        let c = Self::coord(key, bucket);
+        for row in 0..DEPTH {
+            let col = self.family.column(row, &c);
+            let cell = &mut self.cells[row * self.width + col];
+            let v = i64::from(*cell) + delta;
+            *cell = v.clamp(0, i64::from(u32::MAX)) as u32;
+        }
+    }
+
+    #[inline]
+    fn estimate(&self, key: u64, bucket: usize) -> u64 {
+        let c = Self::coord(key, bucket);
+        let mut min = u64::MAX;
+        for row in 0..DEPTH {
+            let col = self.family.column(row, &c);
+            min = min.min(u64::from(self.cells[row * self.width + col]));
+        }
+        min
+    }
+
+    /// Admission count for the early-discard filter (min over 2 rows,
+    /// saturating at `u8::MAX`).
+    fn admit(&mut self, key: u64) -> u32 {
+        let mut min = u8::MAX;
+        for row in 0..2 {
+            let col = self.admission_family.column(row, &key);
+            let cell = &mut self.admission[col];
+            *cell = cell.saturating_add(1);
+            min = min.min(*cell);
+        }
+        u32::from(min)
+    }
+
+    /// Reconstruct the key's estimated bucket histogram.
+    fn histogram(&self, key: u64) -> [u64; BUCKETS] {
+        let mut h = [0u64; BUCKETS];
+        for (b, slot) in h.iter_mut().enumerate() {
+            *slot = self.estimate(key, b);
+        }
+        h
+    }
+}
+
+impl OutstandingDetector for SketchPolymerDetector {
+    fn insert(&mut self, key: u64, value: f64) -> bool {
+        // Early-value discard: the first ADMISSION_THRESHOLD items of a key
+        // bump the admission filter but are never recorded in the matrix.
+        if self.admit(key) <= ADMISSION_THRESHOLD {
+            return false;
+        }
+        let bucket = bucket_of(value);
+        self.add(key, bucket, 1);
+
+        // Quantile query: walk the log-bucket histogram.
+        let hist = self.histogram(key);
+        let n: u64 = hist.iter().sum();
+        if n == 0 {
+            return false;
+        }
+        let idx = (self.criteria.delta() * n as f64 - self.criteria.epsilon()).floor();
+        if idx < 0.0 {
+            return false;
+        }
+        let Some(qb) = rank_to_bucket(&hist, idx as u64) else {
+            return false;
+        };
+        if bucket_value(qb) > self.criteria.threshold() {
+            // Report; reset the key's histogram by subtracting estimates.
+            for (b, &c) in hist.iter().enumerate() {
+                if c > 0 {
+                    self.add(key, b, -(c as i64));
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.cells.len() * 4 + self.admission.len()
+    }
+
+    fn name(&self) -> String {
+        "SketchPolymer".into()
+    }
+
+    fn reset(&mut self) {
+        self.cells.fill(0);
+        self.admission.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crit() -> Criteria {
+        Criteria::new(5.0, 0.9, 100.0).unwrap()
+    }
+
+    #[test]
+    fn hot_outstanding_key_detected_with_ample_memory() {
+        let mut d = SketchPolymerDetector::new(crit(), 1024 * 1024, 1);
+        let mut reported = false;
+        for _ in 0..100 {
+            reported |= d.insert(1, 500.0);
+        }
+        assert!(reported);
+    }
+
+    #[test]
+    fn early_values_are_discarded() {
+        // A key whose anomaly is confined to its first items is missed —
+        // the systematic recall error.
+        let mut d = SketchPolymerDetector::new(crit(), 1024 * 1024, 2);
+        let mut reported = false;
+        for _ in 0..ADMISSION_THRESHOLD {
+            reported |= d.insert(7, 500.0);
+        }
+        assert!(!reported, "early burst must be invisible");
+        // Later items below T keep it unreported forever.
+        for _ in 0..50 {
+            reported |= d.insert(7, 5.0);
+        }
+        assert!(!reported);
+    }
+
+    #[test]
+    fn quiet_key_not_reported_with_memory() {
+        let mut d = SketchPolymerDetector::new(crit(), 1024 * 1024, 3);
+        for _ in 0..500 {
+            assert!(!d.insert(2, 5.0));
+        }
+    }
+
+    #[test]
+    fn tiny_memory_over_reports() {
+        // Severe collisions inflate histograms: precision collapses (the
+        // paper's low-memory SketchPolymer regime). Feed many quiet keys
+        // and count false reports.
+        let mut d = SketchPolymerDetector::new(crit(), 512, 4);
+        let mut hot = 0;
+        for i in 0..20_000u64 {
+            let key = i % 200;
+            // 10% of items above T spread over all keys — no key is truly
+            // outstanding (δ = 0.9 needs ~>10%+slack above T).
+            let v = if i % 43 == 0 { 500.0 } else { 5.0 };
+            if d.insert(key, v) {
+                hot += 1;
+            }
+        }
+        assert!(hot > 20, "expected rampant false reports, got {hot}");
+    }
+
+    #[test]
+    fn memory_accounting_fixed() {
+        let d = SketchPolymerDetector::new(crit(), 64 * 1024, 5);
+        assert!(d.memory_bytes() <= 64 * 1024);
+        assert!(d.memory_bytes() > 32 * 1024);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut d = SketchPolymerDetector::new(crit(), 64 * 1024, 6);
+        for _ in 0..20 {
+            d.insert(1, 500.0);
+        }
+        d.reset();
+        assert_eq!(d.histogram(1).iter().sum::<u64>(), 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Shared logarithmic value-bucket layout used by the SketchPolymer- and
+//! HistSketch-style detectors.
+//!
+//! Both systems discretize values into `log(value range)` buckets; queries
+//! then walk the per-key bucket counts to locate a rank. Base-2 buckets
+//! over `[2^MIN_EXP, 2^MAX_EXP)` match SketchPolymer's "log(value range)
+//! number of counters" query cost.
+
+/// Lowest bucket exponent: values below `2^MIN_EXP` land in bucket 0.
+pub const MIN_EXP: i32 = -10;
+/// Highest bucket exponent: values at or above `2^MAX_EXP` land in the top
+/// bucket.
+pub const MAX_EXP: i32 = 40;
+/// Number of buckets.
+pub const BUCKETS: usize = (MAX_EXP - MIN_EXP) as usize + 1;
+
+/// Map a value to its bucket index in `[0, BUCKETS)`.
+#[inline]
+pub fn bucket_of(value: f64) -> usize {
+    if value <= 0.0 {
+        return 0;
+    }
+    let e = value.log2().ceil() as i32;
+    (e.clamp(MIN_EXP, MAX_EXP) - MIN_EXP) as usize
+}
+
+/// Representative value of a bucket: the geometric midpoint of its range.
+#[inline]
+pub fn bucket_value(bucket: usize) -> f64 {
+    let e = bucket as i32 + MIN_EXP;
+    // Bucket holds (2^(e-1), 2^e]; midpoint ≈ 2^e / √2.
+    2f64.powi(e) / std::f64::consts::SQRT_2
+}
+
+/// Given per-bucket counts and a 0-based target rank, return the bucket
+/// holding that rank (or the top non-empty bucket if the rank exceeds the
+/// total).
+pub fn rank_to_bucket(counts: &[u64; BUCKETS], rank: u64) -> Option<usize> {
+    let mut acc = 0u64;
+    let mut last_nonempty = None;
+    for (b, &c) in counts.iter().enumerate() {
+        if c > 0 {
+            last_nonempty = Some(b);
+        }
+        acc += c;
+        if acc > rank {
+            return Some(b);
+        }
+    }
+    last_nonempty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_monotone_in_value() {
+        let mut prev = 0;
+        for v in [0.001, 0.5, 1.0, 2.0, 100.0, 1e6, 1e12] {
+            let b = bucket_of(v);
+            assert!(b >= prev, "bucket not monotone at {v}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn zero_and_negative_in_bottom() {
+        assert_eq!(bucket_of(0.0), 0);
+        assert_eq!(bucket_of(-5.0), 0);
+    }
+
+    #[test]
+    fn huge_values_clamped() {
+        assert_eq!(bucket_of(1e300), BUCKETS - 1);
+    }
+
+    #[test]
+    fn representative_within_bucket_range() {
+        for v in [0.5, 3.0, 100.0, 5e4] {
+            let b = bucket_of(v);
+            let rep = bucket_value(b);
+            // Representative within a factor 2 of any member value.
+            assert!(rep / v < 2.0 && v / rep < 2.0, "v={v} rep={rep}");
+        }
+    }
+
+    #[test]
+    fn rank_walk_finds_bucket() {
+        let mut counts = [0u64; BUCKETS];
+        counts[3] = 5;
+        counts[10] = 5;
+        assert_eq!(rank_to_bucket(&counts, 0), Some(3));
+        assert_eq!(rank_to_bucket(&counts, 4), Some(3));
+        assert_eq!(rank_to_bucket(&counts, 5), Some(10));
+        assert_eq!(rank_to_bucket(&counts, 9), Some(10));
+        // Rank past the total: top non-empty bucket.
+        assert_eq!(rank_to_bucket(&counts, 100), Some(10));
+    }
+
+    #[test]
+    fn empty_counts_give_none() {
+        let counts = [0u64; BUCKETS];
+        assert_eq!(rank_to_bucket(&counts, 0), None);
+    }
+}

@@ -1,0 +1,143 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out:
+//! stochastic integer rounding vs f64 counters (simulated), election
+//! strategies, CS vs CMS vague parts, and candidate fraction — the hot
+//! loops behind Figs. 10–12.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qf_baselines::{OutstandingDetector, QfDetector};
+use qf_datasets::{internet_like, InternetConfig};
+use quantile_filter::{Criteria, ElectionStrategy};
+
+const MEMORY: usize = 128 * 1024;
+
+fn workload() -> Vec<qf_datasets::Item> {
+    let cfg = InternetConfig {
+        items: 100_000,
+        keys: 5_000,
+        ..InternetConfig::default()
+    };
+    internet_like(&cfg).items
+}
+
+fn crit() -> Criteria {
+    Criteria::new(30.0, 0.95, 300.0).unwrap()
+}
+
+fn run(det: &mut dyn OutstandingDetector, items: &[qf_datasets::Item]) -> u64 {
+    let mut reports = 0;
+    for it in items {
+        if det.insert(black_box(it.key), black_box(it.value)) {
+            reports += 1;
+        }
+    }
+    reports
+}
+
+fn bench_election_strategies(c: &mut Criterion) {
+    let items = workload();
+    let mut group = c.benchmark_group("election_strategy");
+    group.throughput(Throughput::Elements(items.len() as u64));
+    group.sample_size(10);
+    for strategy in ElectionStrategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                b.iter_batched(
+                    || QfDetector::with_params(crit(), MEMORY, 6, 3, 0.8, strategy, 1),
+                    |mut det| black_box(run(&mut det, &items)),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cs_vs_cms(c: &mut Criterion) {
+    let items = workload();
+    let mut group = c.benchmark_group("vague_sketch_type");
+    group.throughput(Throughput::Elements(items.len() as u64));
+    group.sample_size(10);
+    group.bench_function("CS", |b| {
+        b.iter_batched(
+            || {
+                QfDetector::with_params(
+                    crit(),
+                    MEMORY,
+                    6,
+                    3,
+                    0.8,
+                    ElectionStrategy::Comparative,
+                    2,
+                )
+            },
+            |mut det| black_box(run(&mut det, &items)),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("CMS", |b| {
+        b.iter_batched(
+            || QfDetector::with_cms(crit(), MEMORY, 3, 0.8, ElectionStrategy::Comparative, 2),
+            |mut det| black_box(run(&mut det, &items)),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_fractional_vs_integral_delta(c: &mut Criterion) {
+    // δ = 0.95 gives an integral weight (19, no RNG on the hot path);
+    // δ = 0.85 gives 17/3 and exercises stochastic rounding per item.
+    let items = workload();
+    let mut group = c.benchmark_group("delta_weight_rounding");
+    group.throughput(Throughput::Elements(items.len() as u64));
+    group.sample_size(10);
+    for (label, delta) in [("integral_d0.95", 0.95), ("fractional_d0.85", 0.85)] {
+        group.bench_function(label, |b| {
+            let criteria = Criteria::new(30.0, delta, 300.0).unwrap();
+            b.iter_batched(
+                || QfDetector::paper_default(criteria, MEMORY, 3),
+                |mut det| black_box(run(&mut det, &items)),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_candidate_fraction(c: &mut Criterion) {
+    let items = workload();
+    let mut group = c.benchmark_group("candidate_fraction");
+    group.throughput(Throughput::Elements(items.len() as u64));
+    group.sample_size(10);
+    for frac in [0.2, 0.5, 0.8] {
+        group.bench_with_input(BenchmarkId::from_parameter(frac), &frac, |b, &frac| {
+            b.iter_batched(
+                || {
+                    QfDetector::with_params(
+                        crit(),
+                        MEMORY,
+                        6,
+                        3,
+                        frac,
+                        ElectionStrategy::Comparative,
+                        4,
+                    )
+                },
+                |mut det| black_box(run(&mut det, &items)),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_election_strategies,
+    bench_cs_vs_cms,
+    bench_fractional_vs_integral_delta,
+    bench_candidate_fraction
+);
+criterion_main!(benches);

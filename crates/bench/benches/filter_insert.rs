@@ -1,0 +1,103 @@
+//! Per-item cost of every detector on a realistic mixed stream — the
+//! microbenchmark behind the paper's §V-C speed claims (QuantileFilter's
+//! integrated insert+detect vs the SOTA insert-then-query loop).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use qf_baselines::{
+    HistSketchDetector, NaiveDetector, OutstandingDetector, QfDetector, SketchPolymerDetector,
+    SquadDetector,
+};
+use qf_datasets::{internet_like, InternetConfig};
+use quantile_filter::Criteria;
+
+const MEMORY: usize = 256 * 1024;
+
+fn workload() -> Vec<qf_datasets::Item> {
+    let cfg = InternetConfig {
+        items: 100_000,
+        keys: 5_000,
+        ..InternetConfig::default()
+    };
+    internet_like(&cfg).items
+}
+
+fn crit() -> Criteria {
+    Criteria::new(30.0, 0.95, 300.0).unwrap()
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let items = workload();
+    let mut group = c.benchmark_group("detector_insert_detect");
+    group.throughput(Throughput::Elements(items.len() as u64));
+    group.sample_size(10);
+
+    type DetectorFactory = Box<dyn Fn() -> Box<dyn OutstandingDetector>>;
+    let mk: Vec<(&str, DetectorFactory)> = vec![
+        (
+            "QuantileFilter",
+            Box::new(|| Box::new(QfDetector::paper_default(crit(), MEMORY, 1))),
+        ),
+        (
+            "NaiveDualCS",
+            Box::new(|| Box::new(NaiveDetector::new(crit(), MEMORY, 1))),
+        ),
+        (
+            "SQUAD",
+            Box::new(|| Box::new(SquadDetector::new(crit(), MEMORY, 1))),
+        ),
+        (
+            "SketchPolymer",
+            Box::new(|| Box::new(SketchPolymerDetector::new(crit(), MEMORY, 1))),
+        ),
+        (
+            "HistSketch",
+            Box::new(|| Box::new(HistSketchDetector::new(crit(), MEMORY, 1))),
+        ),
+    ];
+
+    for (name, make) in mk {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                &make,
+                |mut det| {
+                    let mut reports = 0u64;
+                    for it in &items {
+                        if det.insert(black_box(it.key), black_box(it.value)) {
+                            reports += 1;
+                        }
+                    }
+                    black_box(reports)
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_qf_paths(c: &mut Criterion) {
+    // Candidate-hit fast path vs vague-part slow path.
+    let mut group = c.benchmark_group("qf_paths");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("candidate_hits_single_key", |b| {
+        let mut det = QfDetector::paper_default(crit(), MEMORY, 2);
+        b.iter(|| {
+            for i in 0..100_000u64 {
+                black_box(det.insert(black_box(7), black_box((i % 100) as f64)));
+            }
+        });
+    });
+    group.bench_function("vague_spill_many_keys", |b| {
+        // Far more keys than candidate slots forces the vague path.
+        let mut det = QfDetector::paper_default(crit(), 4 * 1024, 3);
+        b.iter(|| {
+            for i in 0..100_000u64 {
+                black_box(det.insert(black_box(i % 50_000), black_box(5.0)));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors, bench_qf_paths);
+criterion_main!(benches);

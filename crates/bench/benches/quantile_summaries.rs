@@ -1,0 +1,91 @@
+//! Microbenchmarks for the single-key quantile summaries (GK, KLL,
+//! t-digest, DDSketch): insert throughput and query latency. The query
+//! costs here are the per-item "offline query" penalty the SOTA detectors
+//! pay on every stream item.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use qf_quantiles::{DdSketch, GkSummary, KllSketch, QuantileSummary, TDigest};
+use rand::prelude::*;
+
+const N: usize = 50_000;
+
+fn values() -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..N).map(|_| rng.gen_range(0.0..1000.0)).collect()
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let vals = values();
+    let mut group = c.benchmark_group("summary_insert");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("gk_eps0.01", |b| {
+        b.iter(|| {
+            let mut s = GkSummary::new(0.01);
+            for &v in &vals {
+                s.insert(black_box(v));
+            }
+            black_box(s.count())
+        });
+    });
+    group.bench_function("kll_k200", |b| {
+        b.iter(|| {
+            let mut s = KllSketch::new(200, 7);
+            for &v in &vals {
+                s.insert(black_box(v));
+            }
+            black_box(s.count())
+        });
+    });
+    group.bench_function("tdigest_c100", |b| {
+        b.iter(|| {
+            let mut s = TDigest::new(100.0);
+            for &v in &vals {
+                s.insert(black_box(v));
+            }
+            black_box(s.count())
+        });
+    });
+    group.bench_function("ddsketch_a0.01", |b| {
+        b.iter(|| {
+            let mut s = DdSketch::new(0.01, 2048);
+            for &v in &vals {
+                s.insert(black_box(v));
+            }
+            black_box(s.count())
+        });
+    });
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let vals = values();
+    let mut group = c.benchmark_group("summary_query_p95");
+    // Pre-fill each summary once, then measure repeated queries — the
+    // operation SOTA baselines run per stream item.
+    let mut gk = GkSummary::new(0.01);
+    let mut kll = KllSketch::new(200, 7);
+    let mut td = TDigest::new(100.0);
+    let mut dd = DdSketch::new(0.01, 2048);
+    for &v in &vals {
+        gk.insert(v);
+        kll.insert(v);
+        td.insert(v);
+        dd.insert(v);
+    }
+    group.bench_function("gk", |b| {
+        b.iter(|| black_box(gk.query(black_box(0.95))));
+    });
+    group.bench_function("kll", |b| {
+        b.iter(|| black_box(kll.query(black_box(0.95))));
+    });
+    group.bench_function("tdigest", |b| {
+        b.iter(|| black_box(td.query(black_box(0.95))));
+    });
+    group.bench_function("ddsketch", |b| {
+        b.iter(|| black_box(dd.query(black_box(0.95))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inserts, bench_queries);
+criterion_main!(benches);

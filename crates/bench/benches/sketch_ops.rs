@@ -1,0 +1,139 @@
+//! Microbenchmarks for the sketch substrate: CountSketch vs Count-Min
+//! insert, estimate and delete across counter widths — the per-item cost
+//! model behind the paper's constant-time claim.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qf_sketch::{CountMinSketch, CountSketch, StochasticRounder, WeightSketch};
+
+const N_KEYS: u64 = 10_000;
+
+fn bench_count_sketch_add(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count_sketch_add");
+    group.throughput(Throughput::Elements(N_KEYS));
+    for d in [1usize, 3, 8] {
+        group.bench_with_input(BenchmarkId::new("d", d), &d, |b, &d| {
+            let mut cs = CountSketch::<i32>::new(d, 1 << 14, 1);
+            b.iter(|| {
+                for k in 0..N_KEYS {
+                    cs.add(black_box(&k), black_box((k % 7) as i64 - 3));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_count_sketch_estimate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count_sketch_estimate");
+    group.throughput(Throughput::Elements(N_KEYS));
+    for d in [1usize, 3, 8] {
+        group.bench_with_input(BenchmarkId::new("d", d), &d, |b, &d| {
+            let mut cs = CountSketch::<i32>::new(d, 1 << 14, 2);
+            for k in 0..N_KEYS {
+                cs.add(&k, 5);
+            }
+            b.iter(|| {
+                let mut acc = 0i64;
+                for k in 0..N_KEYS {
+                    acc = acc.wrapping_add(cs.estimate(black_box(&k)));
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_counter_widths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counter_width_add");
+    group.throughput(Throughput::Elements(N_KEYS));
+    group.bench_function("i8", |b| {
+        let mut cs = CountSketch::<i8>::new(3, 1 << 16, 3);
+        b.iter(|| {
+            for k in 0..N_KEYS {
+                cs.add(black_box(&k), 1);
+            }
+        });
+    });
+    group.bench_function("i16", |b| {
+        let mut cs = CountSketch::<i16>::new(3, 1 << 15, 3);
+        b.iter(|| {
+            for k in 0..N_KEYS {
+                cs.add(black_box(&k), 1);
+            }
+        });
+    });
+    group.bench_function("i32", |b| {
+        let mut cs = CountSketch::<i32>::new(3, 1 << 14, 3);
+        b.iter(|| {
+            for k in 0..N_KEYS {
+                cs.add(black_box(&k), 1);
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_cms_vs_cs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cms_vs_cs_roundtrip");
+    group.throughput(Throughput::Elements(N_KEYS));
+    group.bench_function("cs_add_estimate", |b| {
+        let mut cs = CountSketch::<i32>::new(3, 1 << 14, 4);
+        b.iter(|| {
+            let mut acc = 0i64;
+            for k in 0..N_KEYS {
+                cs.add(black_box(&k), 1);
+                acc = acc.wrapping_add(cs.estimate(&k));
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("cms_add_estimate", |b| {
+        let mut cms = CountMinSketch::<i32>::new(3, 1 << 14, 4);
+        b.iter(|| {
+            let mut acc = 0i64;
+            for k in 0..N_KEYS {
+                cms.add(black_box(&k), 1);
+                acc = acc.wrapping_add(cms.estimate(&k));
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+fn bench_stochastic_rounding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stochastic_rounding");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("fractional", |b| {
+        let mut r = StochasticRounder::new(5);
+        b.iter(|| {
+            let mut acc = 0i64;
+            for _ in 0..100_000 {
+                acc += r.round(black_box(5.6667));
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("integral_fast_path", |b| {
+        let mut r = StochasticRounder::new(5);
+        b.iter(|| {
+            let mut acc = 0i64;
+            for _ in 0..100_000 {
+                acc += r.round(black_box(19.0));
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_count_sketch_add,
+    bench_count_sketch_estimate,
+    bench_counter_widths,
+    bench_cms_vs_cs,
+    bench_stochastic_rounding
+);
+criterion_main!(benches);

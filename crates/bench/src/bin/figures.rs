@@ -1,0 +1,95 @@
+//! Regenerate the paper's figures.
+//!
+//! ```text
+//! cargo run -p qf-bench --release --bin figures -- [--scale tiny|small|full] [--out DIR] <figure>...
+//! cargo run -p qf-bench --release --bin figures -- all
+//! ```
+//!
+//! Figures: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
+//! fig15 spot1mb. Each prints a tab-separated table and, with `--out`,
+//! writes `<id>.csv`.
+
+use qf_eval::figures::{self, FigureOutput, Scale};
+use std::io::Write;
+
+const ALL: &[&str] = &[
+    "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "spot1mb",
+];
+
+fn run_figure(id: &str, scale: Scale) -> Option<FigureOutput> {
+    Some(match id {
+        "fig4" => figures::fig4(scale),
+        "fig5" => figures::fig5(scale),
+        "fig6" => figures::fig6(scale),
+        "fig7" => figures::fig7(scale),
+        "fig8" => figures::fig8(scale),
+        "fig9" => figures::fig9(scale),
+        "fig10" => figures::fig10(scale),
+        "fig11" => figures::fig11(scale),
+        "fig12" => figures::fig12(scale),
+        "fig13" => figures::fig13(scale),
+        "fig14" => figures::fig14(scale),
+        "fig15" => figures::fig15(scale),
+        "spot1mb" => figures::spot1mb(scale),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Small;
+    let mut out_dir: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    Some("full") => Scale::Full,
+                    other => {
+                        eprintln!("unknown scale {other:?}; use tiny|small|full");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--out" => {
+                i += 1;
+                out_dir = Some(args.get(i).expect("--out needs a directory").clone());
+            }
+            "all" => wanted.extend(ALL.iter().map(|s| s.to_string())),
+            other => wanted.push(other.to_string()),
+        }
+        i += 1;
+    }
+
+    if wanted.is_empty() {
+        eprintln!("usage: figures [--scale tiny|small|full] [--out DIR] <figure>...|all");
+        eprintln!("figures: {}", ALL.join(" "));
+        std::process::exit(2);
+    }
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+
+    for id in wanted {
+        let start = std::time::Instant::now();
+        let Some(fig) = run_figure(&id, scale) else {
+            eprintln!("unknown figure {id}; known: {}", ALL.join(" "));
+            std::process::exit(2);
+        };
+        println!("{fig}");
+        println!("[{} done in {:.1}s]\n", id, start.elapsed().as_secs_f64());
+        if let Some(dir) = &out_dir {
+            let path = format!("{dir}/{id}.csv");
+            let mut f = std::fs::File::create(&path).expect("create csv");
+            f.write_all(fig.to_csv().as_bytes()).expect("write csv");
+            eprintln!("wrote {path}");
+        }
+    }
+}

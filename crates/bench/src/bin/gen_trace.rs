@@ -1,0 +1,159 @@
+//! Generate and save a synthetic workload trace.
+//!
+//! ```text
+//! cargo run -p qf-bench --release --bin gen_trace -- \
+//!     --kind internet|cloud|zipf [--items N] [--keys N] [--alpha A] \
+//!     [--seed S] [--csv] --out PATH
+//! ```
+//!
+//! Writes the binary `.qftr` format readable by
+//! `qf_datasets::trace::read_file` (or CSV with `--csv`) and prints the
+//! dataset's provenance line (key count, abnormal fraction).
+
+use qf_datasets::{
+    cloud_like, internet_like, trace, zipf_dataset, CloudConfig, Dataset, InternetConfig,
+    ZipfConfig,
+};
+
+struct Args {
+    kind: String,
+    items: Option<usize>,
+    keys: Option<u64>,
+    alpha: Option<f64>,
+    seed: Option<u64>,
+    csv: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        kind: "internet".into(),
+        items: None,
+        keys: None,
+        alpha: None,
+        seed: None,
+        csv: false,
+        out: String::new(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let need = |i: usize| -> &str {
+            argv.get(i + 1).unwrap_or_else(|| {
+                eprintln!("missing value after {}", argv[i]);
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--kind" => {
+                args.kind = need(i).to_string();
+                i += 1;
+            }
+            "--items" => {
+                args.items = Some(need(i).parse().expect("--items wants a number"));
+                i += 1;
+            }
+            "--keys" => {
+                args.keys = Some(need(i).parse().expect("--keys wants a number"));
+                i += 1;
+            }
+            "--alpha" => {
+                args.alpha = Some(need(i).parse().expect("--alpha wants a float"));
+                i += 1;
+            }
+            "--seed" => {
+                args.seed = Some(need(i).parse().expect("--seed wants a number"));
+                i += 1;
+            }
+            "--csv" => args.csv = true,
+            "--out" => {
+                args.out = need(i).to_string();
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if args.out.is_empty() {
+        eprintln!("--out PATH is required");
+        std::process::exit(2);
+    }
+    args
+}
+
+fn generate(args: &Args) -> Dataset {
+    match args.kind.as_str() {
+        "internet" => {
+            let mut cfg = InternetConfig::default();
+            if let Some(v) = args.items {
+                cfg.items = v;
+            }
+            if let Some(v) = args.keys {
+                cfg.keys = v;
+            }
+            if let Some(v) = args.alpha {
+                cfg.alpha = v;
+            }
+            if let Some(v) = args.seed {
+                cfg.seed = v;
+            }
+            internet_like(&cfg)
+        }
+        "cloud" => {
+            let mut cfg = CloudConfig::default();
+            if let Some(v) = args.items {
+                cfg.items = v;
+            }
+            if let Some(v) = args.keys {
+                cfg.core_keys = v;
+            }
+            if let Some(v) = args.seed {
+                cfg.seed = v;
+            }
+            cloud_like(&cfg)
+        }
+        "zipf" => {
+            let mut cfg = ZipfConfig::default();
+            if let Some(v) = args.items {
+                cfg.items = v;
+            }
+            if let Some(v) = args.keys {
+                cfg.keys = v;
+            }
+            if let Some(v) = args.alpha {
+                cfg.alpha = v;
+            }
+            if let Some(v) = args.seed {
+                cfg.seed = v;
+            }
+            zipf_dataset(&cfg)
+        }
+        other => {
+            eprintln!("unknown kind {other}; use internet|cloud|zipf");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let dataset = generate(&args);
+    println!(
+        "{}: {} items, {} keys, {:.2}% abnormal at T={}",
+        dataset.name,
+        dataset.items.len(),
+        dataset.key_count,
+        dataset.abnormal_fraction * 100.0,
+        dataset.threshold
+    );
+    if args.csv {
+        let f = std::fs::File::create(&args.out).expect("create csv file");
+        trace::write_csv(std::io::BufWriter::new(f), &dataset.items).expect("write csv");
+    } else {
+        trace::write_file(&args.out, &dataset.items, dataset.threshold).expect("write trace");
+    }
+    println!("wrote {}", args.out);
+}

@@ -1,0 +1,136 @@
+//! Algorithm 1: Qweight estimation with one Count sketch — the
+//! vague-part-only QuantileFilter, without candidate election.
+//!
+//! This intermediate design already collapses the naive solution's three
+//! sketch operations per item into one structure, but every key's Qweight
+//! is exposed to collision noise. Theorem 1 bounds its error by
+//! `ε·L₂` where `L₂ = √(Σ Qᵢ²)`; the candidate part exists to shrink that
+//! `L₂` by removing the top keys (Theorems 2–3). Keeping this variant
+//! around lets tests and benches measure exactly what the election buys.
+
+use crate::criteria::Criteria;
+use qf_hash::StreamKey;
+use qf_sketch::{CountSketch, SketchCounter, StochasticRounder, WeightSketch};
+
+/// The single-sketch Qweight estimator of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct QweightSketch<C: SketchCounter = i32> {
+    sketch: CountSketch<C>,
+    criteria: Criteria,
+    rounder: StochasticRounder,
+}
+
+impl<C: SketchCounter> QweightSketch<C> {
+    /// Build with explicit dimensions.
+    pub fn new(criteria: Criteria, rows: usize, width: usize, seed: u64) -> Self {
+        Self {
+            sketch: CountSketch::new(rows, width, seed),
+            criteria,
+            rounder: StochasticRounder::new(seed ^ 0x0A16_0001),
+        }
+    }
+
+    /// Build within a byte budget.
+    pub fn with_memory_budget(criteria: Criteria, rows: usize, bytes: usize, seed: u64) -> Self {
+        Self {
+            sketch: CountSketch::with_memory_budget(rows, bytes, seed),
+            criteria,
+            rounder: StochasticRounder::new(seed ^ 0x0A16_0001),
+        }
+    }
+
+    /// The criteria in force.
+    pub fn criteria(&self) -> Criteria {
+        self.criteria
+    }
+
+    /// Insert one item (Algorithm 1 lines 3–7); returns the estimated
+    /// Qweight when the key is reported.
+    pub fn insert<K: StreamKey + ?Sized>(&mut self, key: &K, value: f64) -> Option<i64> {
+        let qw = self.rounder.round(self.criteria.item_weight(value));
+        self.sketch.add(key, qw);
+        let est = self.sketch.estimate(key);
+        if est as f64 + 1e-9 >= self.criteria.report_threshold() {
+            self.sketch.remove_estimate(key);
+            return Some(est);
+        }
+        None
+    }
+
+    /// Point-query the estimated Qweight.
+    pub fn estimate<K: StreamKey + ?Sized>(&self, key: &K) -> i64 {
+        self.sketch.estimate(key)
+    }
+
+    /// Clear the sketch.
+    pub fn reset(&mut self) {
+        self.sketch.clear();
+    }
+
+    /// Counter bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.sketch.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crit() -> Criteria {
+        Criteria::new(5.0, 0.9, 100.0).unwrap()
+    }
+
+    #[test]
+    fn reports_hot_key_at_threshold_crossing() {
+        let mut a = QweightSketch::<i64>::new(crit(), 3, 1024, 1);
+        let mut first = None;
+        for i in 1..=10 {
+            if a.insert(&1u64, 500.0).is_some() && first.is_none() {
+                first = Some(i);
+            }
+        }
+        // +9 per item crosses 50 at item 6.
+        assert_eq!(first, Some(6));
+    }
+
+    #[test]
+    fn deletion_resets_qweight() {
+        let mut a = QweightSketch::<i64>::new(crit(), 3, 1024, 2);
+        for _ in 0..6 {
+            a.insert(&2u64, 500.0);
+        }
+        assert_eq!(a.estimate(&2u64), 0, "post-report Qweight must be 0");
+    }
+
+    #[test]
+    fn cold_keys_never_report() {
+        let mut a = QweightSketch::<i64>::new(crit(), 3, 2048, 3);
+        for k in 0u64..500 {
+            assert!(a.insert(&k, 5.0).is_none());
+        }
+    }
+
+    #[test]
+    fn fractional_delta_unbiased_reporting() {
+        // δ = 0.85 ⇒ weight 17/3 ≈ 5.667 (stochastic rounding path);
+        // threshold = 3/0.15 = 20. Expected crossing after ~4 items.
+        let c = Criteria::new(3.0, 0.85, 100.0).unwrap();
+        let mut a = QweightSketch::<i64>::new(c, 3, 1024, 4);
+        let mut first = None;
+        for i in 1..=20 {
+            if a.insert(&7u64, 500.0).is_some() {
+                first = Some(i);
+                break;
+            }
+        }
+        let first = first.expect("must eventually report");
+        assert!((4..=6).contains(&first), "crossed at item {first}");
+    }
+
+    #[test]
+    fn memory_budget_respected() {
+        let a = QweightSketch::<i16>::with_memory_budget(crit(), 3, 6000, 5);
+        assert!(a.memory_bytes() <= 6000);
+    }
+}

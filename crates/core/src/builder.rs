@@ -1,0 +1,243 @@
+//! Builder for [`QuantileFilter`] with the paper's default parameters and
+//! memory budgeting.
+//!
+//! Defaults follow §V-A: `b = 6` entries per candidate bucket, `d = 3`
+//! vague-part rows, candidate:vague space split 4:1, Count-sketch vague
+//! part with 32-bit counters.
+
+use crate::candidate::{CandidatePart, ENTRY_BYTES};
+use crate::criteria::Criteria;
+use crate::filter::QuantileFilter;
+use crate::strategy::ElectionStrategy;
+use qf_sketch::{CountSketch, SketchCounter, WeightSketch};
+
+/// Fraction of a memory budget given to the candidate part by default
+/// (the paper's 4:1 candidate:vague split — "the vague approximately
+/// occupies 20% of the total space, and the candidate about 80%").
+pub const DEFAULT_CANDIDATE_FRACTION: f64 = 0.8;
+
+/// Default entries per bucket (Fig. 9(b)/10(b) pick 6).
+pub const DEFAULT_BUCKET_LEN: usize = 6;
+
+/// Default vague-part depth (Fig. 9(a)/10(a) pick 3).
+pub const DEFAULT_VAGUE_DEPTH: usize = 3;
+
+// The default vague counter width is 8 bits (§III-B Technical Details:
+// sign cancellation keeps collision mass small, "consequently, we can
+// adopt 16-bit or even 8-bit counters"). Narrow saturating counters are
+// also what keeps precision high: a clamped estimate cannot spuriously
+// cross a large report threshold, so reports above ±127 Qweight can only
+// come from the exactly-tracked candidate part.
+
+/// Configuration-by-steps constructor for [`QuantileFilter`].
+#[derive(Debug, Clone)]
+pub struct QuantileFilterBuilder {
+    criteria: Criteria,
+    strategy: ElectionStrategy,
+    seed: u64,
+    bucket_len: usize,
+    vague_depth: usize,
+    candidate_fraction: f64,
+    memory_budget: Option<usize>,
+    explicit_buckets: Option<usize>,
+    explicit_vague: Option<(usize, usize)>,
+}
+
+impl QuantileFilterBuilder {
+    /// Start a builder with the filter-wide default criteria.
+    pub fn new(criteria: Criteria) -> Self {
+        Self {
+            criteria,
+            strategy: ElectionStrategy::default(),
+            seed: 0x51F1_7E2D,
+            bucket_len: DEFAULT_BUCKET_LEN,
+            vague_depth: DEFAULT_VAGUE_DEPTH,
+            candidate_fraction: DEFAULT_CANDIDATE_FRACTION,
+            memory_budget: None,
+            explicit_buckets: None,
+            explicit_vague: None,
+        }
+    }
+
+    /// Set the election strategy (default: comparative).
+    pub fn strategy(mut self, strategy: ElectionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Set the deterministic seed for all hashing and stochastic rounding.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Entries per candidate bucket (`b`, the block length).
+    ///
+    /// # Panics
+    /// Panics at [`Self::build`] if zero.
+    pub fn bucket_len(mut self, b: usize) -> Self {
+        self.bucket_len = b;
+        self
+    }
+
+    /// Vague-part depth (`d`, the array number).
+    pub fn vague_depth(mut self, d: usize) -> Self {
+        self.vague_depth = d;
+        self
+    }
+
+    /// Total memory budget in bytes, split `candidate_fraction` /
+    /// `1 − candidate_fraction` between the parts.
+    pub fn memory_budget_bytes(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Fraction of the budget for the candidate part (default 0.8;
+    /// Fig. 11's memory-proportion sweep varies this).
+    ///
+    /// # Panics
+    /// Panics at [`Self::build`] unless in `(0, 1)`.
+    pub fn candidate_fraction(mut self, f: f64) -> Self {
+        self.candidate_fraction = f;
+        self
+    }
+
+    /// Explicit candidate bucket count (overrides the budget split).
+    pub fn candidate_buckets(mut self, m: usize) -> Self {
+        self.explicit_buckets = Some(m);
+        self
+    }
+
+    /// Explicit vague dimensions `(d, w)` (overrides the budget split).
+    pub fn vague_dims(mut self, d: usize, w: usize) -> Self {
+        self.explicit_vague = Some((d, w));
+        self
+    }
+
+    fn build_candidate(&self) -> CandidatePart {
+        if let Some(m) = self.explicit_buckets {
+            return CandidatePart::new(m, self.bucket_len, self.seed);
+        }
+        let budget = self
+            .memory_budget
+            .expect("set memory_budget_bytes() or candidate_buckets()");
+        let bytes = (budget as f64 * self.candidate_fraction) as usize;
+        CandidatePart::with_memory_budget(self.bucket_len, bytes.max(ENTRY_BYTES), self.seed)
+    }
+
+    fn vague_budget(&self) -> usize {
+        let budget = self
+            .memory_budget
+            .expect("set memory_budget_bytes() or vague_dims()");
+        ((budget as f64 * (1.0 - self.candidate_fraction)) as usize).max(4)
+    }
+
+    /// Build with a Count-sketch vague part of counter type `C`.
+    pub fn build_with_counter<C: SketchCounter>(self) -> QuantileFilter<CountSketch<C>> {
+        self.validate();
+        let candidate = self.build_candidate();
+        let sketch = if let Some((d, w)) = self.explicit_vague {
+            CountSketch::<C>::new(d, w, self.seed ^ 0x7A63_5E11)
+        } else {
+            CountSketch::<C>::with_memory_budget(
+                self.vague_depth,
+                self.vague_budget(),
+                self.seed ^ 0x7A63_5E11,
+            )
+        };
+        QuantileFilter::from_parts(self.criteria, candidate, sketch, self.strategy, self.seed)
+    }
+
+    /// Build with the default `CountSketch<i8>` vague part.
+    pub fn build(self) -> QuantileFilter<CountSketch<i8>> {
+        self.build_with_counter::<i8>()
+    }
+
+    /// Build with a caller-supplied vague sketch (e.g. a
+    /// [`qf_sketch::CountMinSketch`] for the Fig. 12 ablation). The
+    /// candidate part still follows the builder's settings.
+    pub fn build_with_sketch<S: WeightSketch>(self, sketch: S) -> QuantileFilter<S> {
+        self.validate();
+        let candidate = self.build_candidate();
+        QuantileFilter::from_parts(self.criteria, candidate, sketch, self.strategy, self.seed)
+    }
+
+    fn validate(&self) {
+        assert!(self.bucket_len > 0, "bucket_len must be positive");
+        assert!(self.vague_depth > 0, "vague_depth must be positive");
+        assert!(
+            self.candidate_fraction > 0.0 && self.candidate_fraction < 1.0,
+            "candidate_fraction must be in (0, 1)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crit() -> Criteria {
+        Criteria::new(5.0, 0.9, 100.0).unwrap()
+    }
+
+    #[test]
+    fn budget_split_matches_fraction() {
+        let qf = QuantileFilterBuilder::new(crit())
+            .memory_budget_bytes(100_000)
+            .seed(1)
+            .build();
+        let cand = qf.candidate_part().memory_bytes();
+        let vague = qf.vague_part().memory_bytes();
+        let total = (cand + vague) as f64;
+        assert!(total <= 100_000.0);
+        let frac = cand as f64 / total;
+        assert!((frac - 0.8).abs() < 0.05, "candidate fraction {frac}");
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let qf = QuantileFilterBuilder::new(crit())
+            .memory_budget_bytes(10_000)
+            .build();
+        assert_eq!(qf.candidate_part().bucket_len(), 6);
+        // d = 3 rows of i8 counters → vague bytes = 3 * w.
+        assert_eq!(qf.vague_part().memory_bytes() % 3, 0);
+    }
+
+    #[test]
+    fn explicit_dims_override_budget() {
+        let qf = QuantileFilterBuilder::new(crit())
+            .candidate_buckets(10)
+            .bucket_len(4)
+            .vague_dims(2, 64)
+            .build();
+        assert_eq!(qf.candidate_part().buckets(), 10);
+        assert_eq!(qf.candidate_part().bucket_len(), 4);
+        assert_eq!(qf.vague_part().memory_bytes(), 2 * 64);
+    }
+
+    #[test]
+    fn counter_width_choice() {
+        let qf = QuantileFilterBuilder::new(crit())
+            .candidate_buckets(4)
+            .vague_dims(3, 100)
+            .build_with_counter::<i8>();
+        assert_eq!(qf.vague_part().memory_bytes(), 3 * 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory_budget_bytes")]
+    fn missing_budget_panics() {
+        let _ = QuantileFilterBuilder::new(crit()).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate_fraction")]
+    fn bad_fraction_panics() {
+        let _ = QuantileFilterBuilder::new(crit())
+            .memory_budget_bytes(1000)
+            .candidate_fraction(1.5)
+            .build();
+    }
+}

@@ -1,0 +1,350 @@
+//! The candidate part (§III-B): `m` buckets of `b` entries, each entry a
+//! `⟨fingerprint, Qweight⟩` pair tracking a likely-outstanding key exactly.
+//!
+//! Entries store a 16-bit fingerprint plus a 32-bit signed Qweight counter.
+//! Space accounting per entry is therefore 6 bytes, which is what the
+//! paper's memory axis (candidate ≈ 80% of the budget at the default 4:1
+//! split) charges.
+
+use qf_hash::{fingerprint16, RowHasher, StreamKey};
+
+/// One candidate slot. `occupied == false` slots have undefined fp/qw.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    fp: u16,
+    qw: i32,
+    occupied: bool,
+}
+
+/// Bytes charged per entry: 2 (fingerprint) + 4 (Qweight counter).
+pub const ENTRY_BYTES: usize = 6;
+
+/// Outcome of offering an item to the candidate part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateOutcome {
+    /// The key's fingerprint matched; its Qweight is now the payload.
+    Updated {
+        /// Qweight after the update.
+        qweight: i64,
+    },
+    /// The bucket had room; a fresh entry was created with the item weight.
+    Inserted,
+    /// Bucket full and no match: the caller must go to the vague part.
+    BucketFull,
+}
+
+/// The candidate array.
+#[derive(Debug, Clone)]
+pub struct CandidatePart {
+    slots: Vec<Slot>,
+    buckets: usize,
+    bucket_len: usize,
+    bucket_hash: RowHasher,
+    fp_seed: u64,
+}
+
+impl CandidatePart {
+    /// Create a part with `buckets` buckets of `bucket_len` entries.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(buckets: usize, bucket_len: usize, seed: u64) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        assert!(bucket_len > 0, "need at least one entry per bucket");
+        Self {
+            slots: vec![Slot::default(); buckets * bucket_len],
+            buckets,
+            bucket_len,
+            bucket_hash: RowHasher::new(buckets, seed ^ 0xB0C4_15E5),
+            fp_seed: seed ^ 0xF19E_12F1,
+        }
+    }
+
+    /// Build the largest part with `bucket_len`-entry buckets that fits a
+    /// byte budget (≥ 1 bucket).
+    pub fn with_memory_budget(bucket_len: usize, bytes: usize, seed: u64) -> Self {
+        let buckets = (bytes / (bucket_len * ENTRY_BYTES)).max(1);
+        Self::new(buckets, bucket_len, seed)
+    }
+
+    /// Number of buckets `m`.
+    #[inline(always)]
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// Entries per bucket `b` (the "block length" of Figs. 9(b)/10(b)).
+    #[inline(always)]
+    pub fn bucket_len(&self) -> usize {
+        self.bucket_len
+    }
+
+    /// Charged memory in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.len() * ENTRY_BYTES
+    }
+
+    /// Number of occupied entries.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.occupied).count()
+    }
+
+    /// The bucket index a key hashes to (`h_b(x)`).
+    #[inline(always)]
+    pub fn bucket_of<K: StreamKey + ?Sized>(&self, key: &K) -> usize {
+        self.bucket_hash.index(key)
+    }
+
+    /// The key's candidate fingerprint (`h_fp(x)`).
+    #[inline(always)]
+    pub fn fingerprint_of<K: StreamKey + ?Sized>(&self, key: &K) -> u16 {
+        fingerprint16(key, self.fp_seed)
+    }
+
+    #[inline(always)]
+    fn bucket_slots(&self, bucket: usize) -> &[Slot] {
+        &self.slots[bucket * self.bucket_len..(bucket + 1) * self.bucket_len]
+    }
+
+    #[inline(always)]
+    fn bucket_slots_mut(&mut self, bucket: usize) -> &mut [Slot] {
+        &mut self.slots[bucket * self.bucket_len..(bucket + 1) * self.bucket_len]
+    }
+
+    /// Offer an item with integer weight `delta`. Implements steps 4–8 of
+    /// Algorithm 2: match-and-update, or fill-a-hole, or report bucket-full.
+    pub fn offer(&mut self, bucket: usize, fp: u16, delta: i64) -> CandidateOutcome {
+        let mut free: Option<usize> = None;
+        let slots = self.bucket_slots_mut(bucket);
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if slot.occupied {
+                if slot.fp == fp {
+                    let widened = i64::from(slot.qw).saturating_add(delta);
+                    slot.qw = widened.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32;
+                    return CandidateOutcome::Updated {
+                        qweight: i64::from(slot.qw),
+                    };
+                }
+            } else if free.is_none() {
+                free = Some(i);
+            }
+        }
+        if let Some(i) = free {
+            slots[i] = Slot {
+                fp,
+                qw: delta.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32,
+                occupied: true,
+            };
+            return CandidateOutcome::Inserted;
+        }
+        CandidateOutcome::BucketFull
+    }
+
+    /// Read a key's Qweight if its fingerprint is present in `bucket`.
+    pub fn get(&self, bucket: usize, fp: u16) -> Option<i64> {
+        self.bucket_slots(bucket)
+            .iter()
+            .find(|s| s.occupied && s.fp == fp)
+            .map(|s| i64::from(s.qw))
+    }
+
+    /// Zero a present entry's Qweight (the post-report reset). Returns the
+    /// previous Qweight.
+    pub fn reset_entry(&mut self, bucket: usize, fp: u16) -> Option<i64> {
+        self.bucket_slots_mut(bucket)
+            .iter_mut()
+            .find(|s| s.occupied && s.fp == fp)
+            .map(|s| {
+                let old = i64::from(s.qw);
+                s.qw = 0;
+                old
+            })
+    }
+
+    /// Remove a present entry entirely (the §III-C delete operation).
+    /// Returns the removed Qweight.
+    pub fn remove(&mut self, bucket: usize, fp: u16) -> Option<i64> {
+        self.bucket_slots_mut(bucket)
+            .iter_mut()
+            .find(|s| s.occupied && s.fp == fp)
+            .map(|s| {
+                let old = i64::from(s.qw);
+                *s = Slot::default();
+                old
+            })
+    }
+
+    /// The entry with the smallest Qweight in `bucket` (`⟨fp′, MinQw⟩` of
+    /// Algorithm 2 line 14). `None` only if the bucket is somehow empty.
+    pub fn min_entry(&self, bucket: usize) -> Option<(u16, i64)> {
+        self.bucket_slots(bucket)
+            .iter()
+            .filter(|s| s.occupied)
+            .min_by_key(|s| s.qw)
+            .map(|s| (s.fp, i64::from(s.qw)))
+    }
+
+    /// Replace the entry `old_fp` in `bucket` with `⟨new_fp, new_qw⟩`
+    /// (the candidate⇄vague exchange). Returns the evicted Qweight.
+    pub fn replace(&mut self, bucket: usize, old_fp: u16, new_fp: u16, new_qw: i64) -> Option<i64> {
+        self.bucket_slots_mut(bucket)
+            .iter_mut()
+            .find(|s| s.occupied && s.fp == old_fp)
+            .map(|s| {
+                let old = i64::from(s.qw);
+                s.fp = new_fp;
+                s.qw = new_qw.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32;
+                old
+            })
+    }
+
+    /// Clear every entry (the periodic reset of §III-B).
+    pub fn clear(&mut self) {
+        self.slots.fill(Slot::default());
+    }
+
+    /// Iterate over `(bucket, fp, qweight)` of all occupied entries —
+    /// used by diagnostics and the eval harness.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (usize, u16, i64)> + '_ {
+        self.slots.iter().enumerate().filter_map(move |(i, s)| {
+            s.occupied
+                .then_some((i / self.bucket_len, s.fp, i64::from(s.qw)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part() -> CandidatePart {
+        CandidatePart::new(4, 3, 42)
+    }
+
+    #[test]
+    fn insert_then_update() {
+        let mut p = part();
+        let b = p.bucket_of(&1u64);
+        let fp = p.fingerprint_of(&1u64);
+        assert_eq!(p.offer(b, fp, 5), CandidateOutcome::Inserted);
+        assert_eq!(
+            p.offer(b, fp, -2),
+            CandidateOutcome::Updated { qweight: 3 }
+        );
+        assert_eq!(p.get(b, fp), Some(3));
+    }
+
+    #[test]
+    fn bucket_fills_then_rejects() {
+        let mut p = CandidatePart::new(1, 2, 1);
+        assert_eq!(p.offer(0, 10, 1), CandidateOutcome::Inserted);
+        assert_eq!(p.offer(0, 20, 1), CandidateOutcome::Inserted);
+        assert_eq!(p.offer(0, 30, 1), CandidateOutcome::BucketFull);
+        // But a matching fp still updates.
+        assert_eq!(p.offer(0, 20, 4), CandidateOutcome::Updated { qweight: 5 });
+    }
+
+    #[test]
+    fn min_entry_finds_smallest() {
+        let mut p = CandidatePart::new(1, 3, 2);
+        p.offer(0, 1, 10);
+        p.offer(0, 2, -5);
+        p.offer(0, 3, 7);
+        assert_eq!(p.min_entry(0), Some((2, -5)));
+    }
+
+    #[test]
+    fn replace_swaps_entry() {
+        let mut p = CandidatePart::new(1, 2, 3);
+        p.offer(0, 1, -2);
+        p.offer(0, 2, 8);
+        let evicted = p.replace(0, 1, 99, 11);
+        assert_eq!(evicted, Some(-2));
+        assert_eq!(p.get(0, 99), Some(11));
+        assert_eq!(p.get(0, 1), None);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_entry() {
+        let mut p = part();
+        let b = p.bucket_of(&5u64);
+        let fp = p.fingerprint_of(&5u64);
+        p.offer(b, fp, 50);
+        assert_eq!(p.reset_entry(b, fp), Some(50));
+        assert_eq!(p.get(b, fp), Some(0));
+    }
+
+    #[test]
+    fn remove_frees_slot() {
+        let mut p = CandidatePart::new(1, 1, 4);
+        p.offer(0, 7, 3);
+        assert_eq!(p.remove(0, 7), Some(3));
+        assert_eq!(p.get(0, 7), None);
+        // Slot is reusable.
+        assert_eq!(p.offer(0, 8, 1), CandidateOutcome::Inserted);
+    }
+
+    #[test]
+    fn memory_accounting_six_bytes_per_entry() {
+        let p = CandidatePart::new(10, 6, 5);
+        assert_eq!(p.memory_bytes(), 10 * 6 * ENTRY_BYTES);
+        let p = CandidatePart::with_memory_budget(6, 3600, 5);
+        assert!(p.memory_bytes() <= 3600);
+        assert_eq!(p.buckets(), 100);
+    }
+
+    #[test]
+    fn qweight_saturates_at_i32() {
+        let mut p = CandidatePart::new(1, 1, 6);
+        p.offer(0, 1, i64::from(i32::MAX) - 1);
+        let out = p.offer(0, 1, 100);
+        assert_eq!(
+            out,
+            CandidateOutcome::Updated {
+                qweight: i64::from(i32::MAX)
+            }
+        );
+    }
+
+    #[test]
+    fn occupancy_and_iter() {
+        let mut p = CandidatePart::new(2, 2, 7);
+        p.offer(0, 1, 1);
+        p.offer(1, 2, 2);
+        assert_eq!(p.occupancy(), 2);
+        let entries: Vec<_> = p.iter_entries().collect();
+        assert_eq!(entries.len(), 2);
+        p.clear();
+        assert_eq!(p.occupancy(), 0);
+    }
+
+    #[test]
+    fn buckets_distribute_keys() {
+        let p = CandidatePart::new(64, 4, 8);
+        let mut counts = vec![0u32; 64];
+        for k in 0u64..64_000 {
+            counts[p.bucket_of(&k)] += 1;
+        }
+        for &c in &counts {
+            assert!((f64::from(c) - 1000.0).abs() < 250.0);
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_get_after_offer_roundtrips(fps in proptest::collection::vec(0u16..100, 1..20)) {
+            // Within a single bucket of ample size, an offered fp is always
+            // retrievable with its cumulative weight.
+            let mut p = CandidatePart::new(1, 128, 9);
+            let mut truth = std::collections::HashMap::new();
+            for (i, &fp) in fps.iter().enumerate() {
+                let w = (i as i64 % 11) - 5;
+                p.offer(0, fp, w);
+                *truth.entry(fp).or_insert(0i64) += w;
+            }
+            for (&fp, &qw) in &truth {
+                proptest::prop_assert_eq!(p.get(0, fp), Some(qw));
+            }
+        }
+    }
+}

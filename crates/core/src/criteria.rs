@@ -1,0 +1,216 @@
+//! The `⟨ε, δ, T⟩` filtering criteria (Definition 4) and the Qweight
+//! conversion of §III-A.
+
+/// A filtering criterion: report a key when its `(ε, δ)`-quantile of values
+/// exceeds `threshold`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Criteria {
+    epsilon: f64,
+    delta: f64,
+    threshold: f64,
+}
+
+/// Error constructing a [`Criteria`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CriteriaError {
+    /// `δ` must lie in `[0, 1)` (Definition 2 bounds the quantile there)
+    /// and be large enough that `δ/(1−δ)` is finite.
+    DeltaOutOfRange,
+    /// `ε` must be non-negative and finite.
+    EpsilonInvalid,
+    /// `T` must be finite.
+    ThresholdInvalid,
+}
+
+impl std::fmt::Display for CriteriaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DeltaOutOfRange => write!(f, "delta must be in [0, 1)"),
+            Self::EpsilonInvalid => write!(f, "epsilon must be finite and >= 0"),
+            Self::ThresholdInvalid => write!(f, "threshold must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for CriteriaError {}
+
+impl Criteria {
+    /// Build a criterion `⟨ε, δ, T⟩`.
+    ///
+    /// `epsilon` is the rank deviation (Definition 3), `delta ∈ [0, 1)` the
+    /// quantile, `threshold` the value threshold `T`.
+    pub fn new(epsilon: f64, delta: f64, threshold: f64) -> Result<Self, CriteriaError> {
+        if !(0.0..1.0).contains(&delta) || !delta.is_finite() {
+            return Err(CriteriaError::DeltaOutOfRange);
+        }
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(CriteriaError::EpsilonInvalid);
+        }
+        if !threshold.is_finite() {
+            return Err(CriteriaError::ThresholdInvalid);
+        }
+        Ok(Self {
+            epsilon,
+            delta,
+            threshold,
+        })
+    }
+
+    /// The rank deviation `ε`.
+    #[inline(always)]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The quantile `δ`.
+    #[inline(always)]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The value threshold `T`.
+    #[inline(always)]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Item weight for a value *above* `T`: `+δ/(1−δ)`.
+    #[inline(always)]
+    pub fn weight_above(&self) -> f64 {
+        self.delta / (1.0 - self.delta)
+    }
+
+    /// Item weight for a value *at or below* `T`: `−1` (constant by the
+    /// Qweight definition).
+    #[inline(always)]
+    pub fn weight_below(&self) -> f64 {
+        -1.0
+    }
+
+    /// The per-item Qweight of a value under this criterion.
+    #[inline(always)]
+    pub fn item_weight(&self, value: f64) -> f64 {
+        if value > self.threshold {
+            self.weight_above()
+        } else {
+            -1.0
+        }
+    }
+
+    /// The report threshold: `Qw(x) ≥ ε/(1−δ)` ⇔ `q_{ε,δ}(x) > T`.
+    #[inline(always)]
+    pub fn report_threshold(&self) -> f64 {
+        self.epsilon / (1.0 - self.delta)
+    }
+
+    /// Whether an estimated Qweight triggers a report.
+    #[inline(always)]
+    pub fn should_report(&self, qweight: f64) -> bool {
+        qweight >= self.report_threshold()
+    }
+
+    /// Returns a copy with a different `ε` (dynamic modification, §III-C /
+    /// Fig. 13).
+    pub fn with_epsilon(mut self, epsilon: f64) -> Result<Self, CriteriaError> {
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(CriteriaError::EpsilonInvalid);
+        }
+        self.epsilon = epsilon;
+        Ok(self)
+    }
+
+    /// Returns a copy with a different `δ` (Fig. 14).
+    pub fn with_delta(mut self, delta: f64) -> Result<Self, CriteriaError> {
+        if !(0.0..1.0).contains(&delta) {
+            return Err(CriteriaError::DeltaOutOfRange);
+        }
+        self.delta = delta;
+        Ok(self)
+    }
+
+    /// Returns a copy with a different `T` (Fig. 15).
+    pub fn with_threshold(mut self, threshold: f64) -> Result<Self, CriteriaError> {
+        if !threshold.is_finite() {
+            return Err(CriteriaError::ThresholdInvalid);
+        }
+        self.threshold = threshold;
+        Ok(self)
+    }
+}
+
+impl Default for Criteria {
+    /// The paper's default experiment parameters: `ε = 30`, `δ = 0.95`,
+    /// `T = 300` (ms, Internet dataset).
+    fn default() -> Self {
+        Self::new(30.0, 0.95, 300.0).expect("default criteria are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = Criteria::default();
+        assert_eq!(c.epsilon(), 30.0);
+        assert_eq!(c.delta(), 0.95);
+        assert_eq!(c.threshold(), 300.0);
+        // δ/(1−δ) = 0.95/0.05 = 19; ε/(1−δ) = 30/0.05 = 600.
+        assert!((c.weight_above() - 19.0).abs() < 1e-9);
+        assert!((c.report_threshold() - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure3_example_threshold() {
+        // δ = 0.9, ε = 5 ⇒ report threshold ε/(1−δ) = 50 and +9 per
+        // above-T item, matching the paper's Figure 3 walk-through.
+        let c = Criteria::new(5.0, 0.9, 100.0).unwrap();
+        assert!((c.report_threshold() - 50.0).abs() < 1e-9);
+        assert!((c.weight_above() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn item_weight_sides() {
+        let c = Criteria::new(0.0, 0.5, 3.0).unwrap();
+        assert_eq!(c.item_weight(3.0), -1.0); // ties go below (v ≤ T)
+        assert_eq!(c.item_weight(3.1), 1.0); // δ = 0.5 ⇒ weight 1
+        assert_eq!(c.item_weight(-5.0), -1.0);
+    }
+
+    #[test]
+    fn epsilon_zero_reports_at_zero_qweight() {
+        let c = Criteria::new(0.0, 0.9, 10.0).unwrap();
+        assert!(c.should_report(0.0));
+        assert!(!c.should_report(-0.001));
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Criteria::new(1.0, 1.0, 5.0).is_err());
+        assert!(Criteria::new(1.0, -0.1, 5.0).is_err());
+        assert!(Criteria::new(-1.0, 0.5, 5.0).is_err());
+        assert!(Criteria::new(f64::NAN, 0.5, 5.0).is_err());
+        assert!(Criteria::new(1.0, 0.5, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn modification_helpers() {
+        let c = Criteria::new(2.0, 0.8, 70.0).unwrap();
+        assert_eq!(c.with_epsilon(4.0).unwrap().epsilon(), 4.0);
+        assert_eq!(c.with_delta(0.9).unwrap().delta(), 0.9);
+        assert_eq!(c.with_threshold(80.0).unwrap().threshold(), 80.0);
+        assert!(c.with_delta(1.5).is_err());
+        assert!(c.with_epsilon(-1.0).is_err());
+        assert!(c.with_threshold(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn delta_zero_is_legal() {
+        // δ = 0 watches the minimum; weight above = 0 — degenerate but
+        // well-defined (no positive drift, only resets matter).
+        let c = Criteria::new(0.0, 0.0, 1.0).unwrap();
+        assert_eq!(c.weight_above(), 0.0);
+        assert_eq!(c.report_threshold(), 0.0);
+    }
+}

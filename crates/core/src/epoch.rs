@@ -1,0 +1,272 @@
+//! Epoch management: the periodic reset of §III-B.
+//!
+//! "A fixed-size QuantileFilter needs to be periodically cleared. This is
+//! partly due to real-time considerations, as outdated data should not be
+//! included, and partly due to accuracy, as it cannot maintain precision
+//! with an unlimited number of insertions. … If it is necessary to adjust
+//! the size of the data structures, this can be done at this time."
+//!
+//! [`EpochFilter`] wraps a [`QuantileFilter`] with an item-count epoch:
+//! after `epoch_len` insertions the structure resets, and an optional
+//! resize policy can rebuild it at a different memory budget between
+//! epochs (e.g. grow when the previous epoch saturated).
+
+use crate::builder::QuantileFilterBuilder;
+use crate::criteria::Criteria;
+use crate::filter::{QuantileFilter, Report};
+use qf_hash::StreamKey;
+use qf_sketch::{CountSketch, SketchCounter};
+
+/// Decision made between epochs by a [`ResizePolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResizeDecision {
+    /// Keep the current memory budget.
+    Keep,
+    /// Rebuild at a new memory budget (bytes).
+    Resize(usize),
+}
+
+/// Chooses the next epoch's memory budget from the last epoch's stats.
+pub trait ResizePolicy {
+    /// Inspect the finished epoch and decide.
+    fn decide(&mut self, stats: EpochStats) -> ResizeDecision;
+}
+
+/// A policy that never resizes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FixedSize;
+
+impl ResizePolicy for FixedSize {
+    fn decide(&mut self, _stats: EpochStats) -> ResizeDecision {
+        ResizeDecision::Keep
+    }
+}
+
+/// Grow the budget by `factor` whenever the vague part handled more than
+/// `vague_visit_threshold` of the epoch's traffic (a cheap saturation
+/// proxy: heavy spill means the candidate part is undersized).
+#[derive(Debug, Clone, Copy)]
+pub struct GrowOnPressure {
+    /// Vague-traffic fraction that triggers growth.
+    pub vague_visit_threshold: f64,
+    /// Multiplier applied to the budget on growth.
+    pub factor: f64,
+    /// Never grow beyond this many bytes.
+    pub max_bytes: usize,
+}
+
+impl ResizePolicy for GrowOnPressure {
+    fn decide(&mut self, stats: EpochStats) -> ResizeDecision {
+        if stats.items == 0 {
+            return ResizeDecision::Keep;
+        }
+        let spill = stats.vague_visits as f64 / stats.items as f64;
+        if spill > self.vague_visit_threshold {
+            let next =
+                ((stats.memory_bytes as f64 * self.factor) as usize).min(self.max_bytes);
+            if next > stats.memory_bytes {
+                return ResizeDecision::Resize(next);
+            }
+        }
+        ResizeDecision::Keep
+    }
+}
+
+/// Summary of one finished epoch, passed to the resize policy.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochStats {
+    /// Items inserted this epoch.
+    pub items: u64,
+    /// Reports emitted this epoch.
+    pub reports: u64,
+    /// Items that had to touch the vague part.
+    pub vague_visits: u64,
+    /// Memory budget of the finished epoch.
+    pub memory_bytes: usize,
+}
+
+/// A QuantileFilter with automatic periodic resets (and optional resizing).
+///
+/// Only the default Count-sketch filter family is supported because a
+/// resize requires rebuilding the structure from its builder parameters.
+pub struct EpochFilter<C: SketchCounter = i8, P: ResizePolicy = FixedSize> {
+    filter: QuantileFilter<CountSketch<C>>,
+    criteria: Criteria,
+    seed: u64,
+    epoch_len: u64,
+    items_this_epoch: u64,
+    memory_bytes: usize,
+    epochs_completed: u64,
+    policy: P,
+}
+
+impl<C: SketchCounter, P: ResizePolicy> EpochFilter<C, P> {
+    /// Create an epoch-managed filter.
+    ///
+    /// # Panics
+    /// Panics if `epoch_len == 0`.
+    pub fn new(
+        criteria: Criteria,
+        memory_bytes: usize,
+        epoch_len: u64,
+        seed: u64,
+        policy: P,
+    ) -> Self {
+        assert!(epoch_len > 0, "epoch length must be positive");
+        Self {
+            filter: Self::build(criteria, memory_bytes, seed),
+            criteria,
+            seed,
+            epoch_len,
+            items_this_epoch: 0,
+            memory_bytes,
+            epochs_completed: 0,
+            policy,
+        }
+    }
+
+    fn build(criteria: Criteria, memory: usize, seed: u64) -> QuantileFilter<CountSketch<C>> {
+        QuantileFilterBuilder::new(criteria)
+            .memory_budget_bytes(memory)
+            .seed(seed)
+            .build_with_counter::<C>()
+    }
+
+    /// Items remaining until the next reset.
+    pub fn remaining_in_epoch(&self) -> u64 {
+        self.epoch_len - self.items_this_epoch
+    }
+
+    /// Completed epoch count.
+    pub fn epochs_completed(&self) -> u64 {
+        self.epochs_completed
+    }
+
+    /// Current memory budget.
+    pub fn memory_bytes(&self) -> usize {
+        self.memory_bytes
+    }
+
+    /// Borrow the live filter.
+    pub fn filter(&self) -> &QuantileFilter<CountSketch<C>> {
+        &self.filter
+    }
+
+    /// Insert an item; runs the epoch rollover when due.
+    pub fn insert<K: StreamKey + ?Sized>(&mut self, key: &K, value: f64) -> Option<Report> {
+        if self.items_this_epoch >= self.epoch_len {
+            self.rollover();
+        }
+        self.items_this_epoch += 1;
+        self.filter.insert(key, value)
+    }
+
+    /// Force an epoch rollover now (reset + optional resize).
+    pub fn rollover(&mut self) {
+        let stats = EpochStats {
+            items: self.items_this_epoch,
+            reports: self.filter.stats().reports,
+            vague_visits: self.filter.stats().vague_visits,
+            memory_bytes: self.memory_bytes,
+        };
+        match self.policy.decide(stats) {
+            ResizeDecision::Keep => self.filter.reset(),
+            ResizeDecision::Resize(bytes) => {
+                self.memory_bytes = bytes;
+                // Rotate the seed so consecutive epochs decorrelate.
+                self.seed = qf_hash::mix64(self.seed);
+                self.filter = Self::build(self.criteria, bytes, self.seed);
+            }
+        }
+        self.items_this_epoch = 0;
+        self.epochs_completed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crit() -> Criteria {
+        Criteria::new(5.0, 0.9, 100.0).unwrap()
+    }
+
+    #[test]
+    fn rollover_clears_state() {
+        let mut ef: EpochFilter = EpochFilter::new(crit(), 16 * 1024, 100, 1, FixedSize);
+        for _ in 0..5 {
+            ef.insert(&1u64, 500.0);
+        }
+        assert_eq!(ef.filter().query(&1u64), 45);
+        ef.rollover();
+        assert_eq!(ef.filter().query(&1u64), 0);
+        assert_eq!(ef.epochs_completed(), 1);
+    }
+
+    #[test]
+    fn automatic_rollover_at_epoch_len() {
+        let mut ef: EpochFilter = EpochFilter::new(crit(), 16 * 1024, 50, 2, FixedSize);
+        for i in 0..120u64 {
+            ef.insert(&(i % 5), 5.0);
+        }
+        assert_eq!(ef.epochs_completed(), 2);
+        assert_eq!(ef.remaining_in_epoch(), 30);
+    }
+
+    #[test]
+    fn detection_still_works_within_epochs() {
+        let mut ef: EpochFilter = EpochFilter::new(crit(), 16 * 1024, 1000, 3, FixedSize);
+        let mut reports = 0;
+        for _ in 0..100 {
+            if ef.insert(&9u64, 500.0).is_some() {
+                reports += 1;
+            }
+        }
+        assert!(reports >= 1);
+    }
+
+    #[test]
+    fn grow_on_pressure_resizes() {
+        let policy = GrowOnPressure {
+            vague_visit_threshold: 0.1,
+            factor: 2.0,
+            max_bytes: 1 << 20,
+        };
+        // 512B filter: ~68 candidate slots; 500 distinct keys per epoch
+        // spill heavily into the vague part.
+        let mut ef: EpochFilter<i8, GrowOnPressure> =
+            EpochFilter::new(crit(), 512, 500, 4, policy);
+        let before = ef.memory_bytes();
+        for i in 0..1_000u64 {
+            ef.insert(&(i % 500), 5.0);
+        }
+        assert!(ef.epochs_completed() >= 1);
+        assert!(
+            ef.memory_bytes() > before,
+            "pressure must trigger growth: {} -> {}",
+            before,
+            ef.memory_bytes()
+        );
+    }
+
+    #[test]
+    fn growth_capped_at_max() {
+        let policy = GrowOnPressure {
+            vague_visit_threshold: 0.0,
+            factor: 100.0,
+            max_bytes: 4096,
+        };
+        let mut ef: EpochFilter<i8, GrowOnPressure> =
+            EpochFilter::new(crit(), 1024, 10, 5, policy);
+        for i in 0..100u64 {
+            ef.insert(&i, 5.0);
+        }
+        assert!(ef.memory_bytes() <= 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch length")]
+    fn zero_epoch_rejected() {
+        let _: EpochFilter = EpochFilter::new(crit(), 1024, 0, 6, FixedSize);
+    }
+}

@@ -1,0 +1,497 @@
+//! The QuantileFilter (Algorithm 2): candidate part + vague part with
+//! candidate election.
+
+use crate::candidate::{CandidateOutcome, CandidatePart};
+use crate::criteria::Criteria;
+use crate::strategy::ElectionStrategy;
+use crate::vague::{VagueKey, VaguePart};
+use qf_hash::{SplitMix64, StreamKey};
+use qf_sketch::{CountSketch, StochasticRounder, WeightSketch};
+
+/// Which part of the structure produced a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportSource {
+    /// The key's fingerprint was tracked exactly in the candidate part.
+    Candidate,
+    /// The key was estimated by the vague part's sketch.
+    Vague,
+}
+
+/// A report that the just-inserted key is quantile-outstanding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Report {
+    /// Where the decisive Qweight lived.
+    pub source: ReportSource,
+    /// The (estimated) Qweight that crossed `ε/(1−δ)`. The structure's
+    /// Qweight for the key has been reset to zero (Definition 4).
+    pub estimated_qweight: i64,
+}
+
+/// Running operation statistics, used by the throughput/hit-rate analysis
+/// of §V-C ("initially querying the candidate part followed by the vague
+/// part, enhancing the hit rate of the candidate part").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FilterStats {
+    /// Items answered entirely inside the candidate part.
+    pub candidate_hits: u64,
+    /// Items that created a fresh candidate entry.
+    pub candidate_inserts: u64,
+    /// Items that had to touch the vague part.
+    pub vague_visits: u64,
+    /// Candidate⇄vague exchanges performed.
+    pub exchanges: u64,
+    /// Reports emitted.
+    pub reports: u64,
+}
+
+impl FilterStats {
+    /// Fraction of items that never left the candidate part.
+    pub fn candidate_hit_rate(&self) -> f64 {
+        let total = self.candidate_hits + self.candidate_inserts + self.vague_visits;
+        if total == 0 {
+            return 0.0;
+        }
+        self.candidate_hits as f64 / total as f64
+    }
+}
+
+/// The QuantileFilter of Algorithm 2, generic over the vague-part sketch
+/// (`CS` by default; `CMS` for the Fig. 12 ablation).
+#[derive(Debug, Clone)]
+pub struct QuantileFilter<S: WeightSketch = CountSketch<i8>> {
+    criteria: Criteria,
+    candidate: CandidatePart,
+    vague: VaguePart<S>,
+    strategy: ElectionStrategy,
+    rounder: StochasticRounder,
+    rng: SplitMix64,
+    stats: FilterStats,
+}
+
+impl<S: WeightSketch> QuantileFilter<S> {
+    /// Assemble a filter from its parts. Most callers should use
+    /// [`crate::QuantileFilterBuilder`] instead.
+    pub fn from_parts(
+        criteria: Criteria,
+        candidate: CandidatePart,
+        vague_sketch: S,
+        strategy: ElectionStrategy,
+        seed: u64,
+    ) -> Self {
+        Self {
+            criteria,
+            candidate,
+            vague: VaguePart::new(vague_sketch),
+            strategy,
+            rounder: StochasticRounder::new(seed ^ 0x5EED_0001),
+            rng: SplitMix64::new(seed ^ 0x5EED_0002),
+            stats: FilterStats::default(),
+        }
+    }
+
+    /// The filter-wide default criteria.
+    pub fn default_criteria(&self) -> Criteria {
+        self.criteria
+    }
+
+    /// Replace the filter-wide default criteria. Existing Qweights are kept
+    /// (§III-C recommends deleting affected keys first; see
+    /// [`Self::delete`]).
+    pub fn set_default_criteria(&mut self, criteria: Criteria) {
+        self.criteria = criteria;
+    }
+
+    /// Operation statistics since construction or the last [`Self::reset`].
+    pub fn stats(&self) -> FilterStats {
+        self.stats
+    }
+
+    /// The election strategy in use.
+    pub fn strategy(&self) -> ElectionStrategy {
+        self.strategy
+    }
+
+    /// Total charged memory (candidate entries + vague counters).
+    pub fn memory_bytes(&self) -> usize {
+        self.candidate.memory_bytes() + self.vague.memory_bytes()
+    }
+
+    /// Borrow the candidate part (diagnostics / tests).
+    pub fn candidate_part(&self) -> &CandidatePart {
+        &self.candidate
+    }
+
+    /// Borrow the vague part (diagnostics / tests).
+    pub fn vague_part(&self) -> &VaguePart<S> {
+        &self.vague
+    }
+
+    /// Does an integer Qweight meet the report threshold `ε/(1−δ)`?
+    #[inline(always)]
+    fn meets(criteria: &Criteria, qw: i64) -> bool {
+        qw as f64 + 1e-9 >= criteria.report_threshold()
+    }
+
+    /// Insert an item under the filter-wide default criteria.
+    #[inline]
+    pub fn insert<K: StreamKey + ?Sized>(&mut self, key: &K, value: f64) -> Option<Report> {
+        let criteria = self.criteria;
+        self.insert_with_criteria(key, value, &criteria)
+    }
+
+    /// Insert an item under per-item criteria (§III-C first flexibility:
+    /// "input the criteria ⟨ε_x, δ_x, T_x⟩ along with each item ⟨x, v⟩").
+    pub fn insert_with_criteria<K: StreamKey + ?Sized>(
+        &mut self,
+        key: &K,
+        value: f64,
+        criteria: &Criteria,
+    ) -> Option<Report> {
+        let delta = self.rounder.round(criteria.item_weight(value));
+        let bucket = self.candidate.bucket_of(key);
+        let fp = self.candidate.fingerprint_of(key);
+
+        match self.candidate.offer(bucket, fp, delta) {
+            CandidateOutcome::Updated { qweight } => {
+                self.stats.candidate_hits += 1;
+                if Self::meets(criteria, qweight) {
+                    self.candidate.reset_entry(bucket, fp);
+                    self.stats.reports += 1;
+                    return Some(Report {
+                        source: ReportSource::Candidate,
+                        estimated_qweight: qweight,
+                    });
+                }
+                None
+            }
+            CandidateOutcome::Inserted => {
+                self.stats.candidate_inserts += 1;
+                // A single item can already be outstanding when ε = 0 and
+                // its weight crosses the (then zero-or-negative) threshold.
+                if Self::meets(criteria, delta) {
+                    self.candidate.reset_entry(bucket, fp);
+                    self.stats.reports += 1;
+                    return Some(Report {
+                        source: ReportSource::Candidate,
+                        estimated_qweight: delta,
+                    });
+                }
+                None
+            }
+            CandidateOutcome::BucketFull => {
+                self.stats.vague_visits += 1;
+                let vk = VagueKey::new(bucket, fp);
+                self.vague.add(vk, delta);
+                let est = self.vague.estimate(vk);
+                if Self::meets(criteria, est) {
+                    // Report and reset the key's Qweight in the vague part.
+                    self.vague.remove_estimate(vk);
+                    self.stats.reports += 1;
+                    return Some(Report {
+                        source: ReportSource::Vague,
+                        estimated_qweight: est,
+                    });
+                }
+                // Candidate election (Algorithm 2 lines 14–17).
+                if let Some((min_fp, min_qw)) = self.candidate.min_entry(bucket) {
+                    if self.strategy.should_replace(est, min_qw, &mut self.rng) {
+                        // Evicted entry's Qweight moves into the vague part
+                        // under its own composite key...
+                        let pulled = self.vague.remove_estimate(vk);
+                        self.vague.add(VagueKey::new(bucket, min_fp), min_qw);
+                        // ...and the challenger enters the candidate part
+                        // with the mass just pulled out of the sketch.
+                        self.candidate.replace(bucket, min_fp, fp, pulled);
+                        self.stats.exchanges += 1;
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Query a key's current Qweight: candidate part first, then the vague
+    /// estimate (§III-B query operation).
+    pub fn query<K: StreamKey + ?Sized>(&self, key: &K) -> i64 {
+        let bucket = self.candidate.bucket_of(key);
+        let fp = self.candidate.fingerprint_of(key);
+        if let Some(qw) = self.candidate.get(bucket, fp) {
+            return qw;
+        }
+        self.vague.estimate(VagueKey::new(bucket, fp))
+    }
+
+    /// Delete a key's Qweight (§III-B delete operation; also the first step
+    /// of a per-key criteria change, §III-C). Returns the removed Qweight.
+    pub fn delete<K: StreamKey + ?Sized>(&mut self, key: &K) -> i64 {
+        let bucket = self.candidate.bucket_of(key);
+        let fp = self.candidate.fingerprint_of(key);
+        if let Some(old) = self.candidate.reset_entry(bucket, fp) {
+            return old;
+        }
+        self.vague.remove_estimate(VagueKey::new(bucket, fp))
+    }
+
+    /// Change the reporting criteria for a specific key (§III-C second
+    /// flexibility): deletes the key's accumulated Qweight so subsequent
+    /// inserts (passing the new criteria) start from an empty value set.
+    pub fn modify_key_criteria<K: StreamKey + ?Sized>(&mut self, key: &K) -> i64 {
+        self.delete(key)
+    }
+
+    /// Periodic full reset (§III-B): clear both parts and the statistics.
+    pub fn reset(&mut self) {
+        self.candidate.clear();
+        self.vague.clear();
+        self.stats = FilterStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QuantileFilterBuilder;
+    use crate::qweight::QweightTracker;
+    use qf_sketch::CountMinSketch;
+
+    fn small_filter(criteria: Criteria) -> QuantileFilter {
+        QuantileFilterBuilder::new(criteria)
+            .candidate_buckets(64)
+            .bucket_len(6)
+            .vague_dims(3, 512)
+            .seed(7)
+            .build()
+    }
+
+    fn default_criteria() -> Criteria {
+        // δ = 0.9, ε = 5, T = 100 ⇒ weight +9 / −1, report at Qw ≥ 50.
+        Criteria::new(5.0, 0.9, 100.0).unwrap()
+    }
+
+    #[test]
+    fn hot_outstanding_key_is_reported() {
+        let mut qf = small_filter(default_criteria());
+        let mut reported = false;
+        // All values above T: Qweight climbs +9 per item; report at item 6
+        // (6·9 = 54 ≥ 50).
+        for i in 0..20 {
+            if let Some(r) = qf.insert(&1u64, 500.0) {
+                reported = true;
+                assert!(r.estimated_qweight >= 50);
+                assert!(i >= 5, "report before enough evidence at item {i}");
+            }
+        }
+        assert!(reported);
+    }
+
+    #[test]
+    fn quiet_key_is_never_reported() {
+        let mut qf = small_filter(default_criteria());
+        for _ in 0..10_000 {
+            assert!(qf.insert(&2u64, 10.0).is_none());
+        }
+    }
+
+    #[test]
+    fn report_resets_qweight() {
+        let mut qf = small_filter(default_criteria());
+        let mut reports = 0;
+        for _ in 0..12 {
+            if qf.insert(&3u64, 500.0).is_some() {
+                reports += 1;
+                // Right after a report the tracked Qweight must be zero.
+                assert_eq!(qf.query(&3u64), 0);
+            }
+        }
+        // 12 items · (+9) with reset at ≥50 ⇒ exactly two reports
+        // (at items 6 and 12).
+        assert_eq!(reports, 2);
+    }
+
+    #[test]
+    fn matches_exact_tracker_on_single_key() {
+        // With one key and ample space the filter is exact: its report
+        // times equal the exact Qweight tracker's threshold crossings.
+        let c = default_criteria();
+        let mut qf = small_filter(c);
+        let mut tracker = QweightTracker::new();
+        let values: Vec<f64> = (0..500)
+            .map(|i| if i % 3 == 0 { 500.0 } else { 5.0 })
+            .collect();
+        for &v in &values {
+            let got = qf.insert(&9u64, v).is_some();
+            tracker.observe(v, &c);
+            let want = tracker.qweight(&c) >= c.report_threshold();
+            assert_eq!(got, want, "divergence at value {v}");
+            if want {
+                tracker.reset();
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_values_follow_qweight_math() {
+        // δ = 0.5 ⇒ +1/−1. Equal numbers above/below keep Qw at 0;
+        // ε = 2 ⇒ threshold 4 never crossed.
+        let c = Criteria::new(2.0, 0.5, 10.0).unwrap();
+        let mut qf = small_filter(c);
+        for i in 0..1000 {
+            let v = if i % 2 == 0 { 20.0 } else { 5.0 };
+            assert!(qf.insert(&4u64, v).is_none());
+        }
+    }
+
+    #[test]
+    fn query_sees_accumulation_and_delete_clears() {
+        let mut qf = small_filter(default_criteria());
+        for _ in 0..3 {
+            qf.insert(&5u64, 500.0);
+        }
+        assert_eq!(qf.query(&5u64), 27);
+        assert_eq!(qf.delete(&5u64), 27);
+        assert_eq!(qf.query(&5u64), 0);
+    }
+
+    #[test]
+    fn per_item_criteria_override() {
+        let default = default_criteria();
+        // Tight criteria for one key: δ = 0.9, ε = 1 ⇒ threshold 10.
+        let tight = Criteria::new(1.0, 0.9, 100.0).unwrap();
+        let mut qf = small_filter(default);
+        let mut first_report_item = None;
+        for i in 0..10 {
+            if qf
+                .insert_with_criteria(&6u64, 500.0, &tight)
+                .is_some()
+                && first_report_item.is_none()
+            {
+                first_report_item = Some(i);
+            }
+        }
+        // +9 per item crosses 10 at the second item.
+        assert_eq!(first_report_item, Some(1));
+    }
+
+    #[test]
+    fn many_keys_spill_to_vague_and_still_detect() {
+        let c = default_criteria();
+        let mut qf = small_filter(c);
+        let mut outstanding_reported = false;
+        // 5000 distinct cold keys overflow the 64×6 candidate part; one hot
+        // outstanding key must still be caught via the vague part or an
+        // exchange.
+        for round in 0..40 {
+            for k in 0u64..500 {
+                qf.insert(&(k + 100), 5.0);
+            }
+            if qf.insert(&7u64, 500.0).is_some() && round >= 5 {
+                outstanding_reported = true;
+            }
+        }
+        assert!(outstanding_reported, "hot key lost in the crowd");
+        assert!(qf.stats().vague_visits > 0, "vague part never exercised");
+    }
+
+    #[test]
+    fn cms_vague_part_works_too() {
+        let c = default_criteria();
+        let mut qf: QuantileFilter<CountMinSketch<i32>> = QuantileFilterBuilder::new(c)
+            .candidate_buckets(16)
+            .bucket_len(4)
+            .vague_dims(3, 256)
+            .seed(9)
+            .build_with_sketch(CountMinSketch::new(3, 256, 9));
+        let mut reported = false;
+        for _ in 0..100 {
+            reported |= qf.insert(&1u64, 500.0).is_some();
+        }
+        assert!(reported);
+        assert_eq!(qf.vague_part().kind_name(), "CMS");
+    }
+
+    #[test]
+    fn stats_track_paths() {
+        let mut qf = small_filter(default_criteria());
+        for k in 0u64..2000 {
+            qf.insert(&k, 5.0);
+        }
+        let s = qf.stats();
+        assert!(s.candidate_inserts > 0);
+        assert!(s.vague_visits > 0, "2000 keys must overflow 384 slots");
+
+        // On an uncontended filter, repeat inserts of one key are pure
+        // candidate hits after the first.
+        let mut fresh = small_filter(default_criteria());
+        for _ in 0..11 {
+            fresh.insert(&1u64, 5.0);
+        }
+        assert_eq!(fresh.stats().candidate_inserts, 1);
+        assert_eq!(fresh.stats().candidate_hits, 10);
+        assert!(fresh.stats().candidate_hit_rate() > 0.9);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut qf = small_filter(default_criteria());
+        for _ in 0..5 {
+            qf.insert(&8u64, 500.0);
+        }
+        qf.reset();
+        assert_eq!(qf.query(&8u64), 0);
+        assert_eq!(qf.stats().candidate_hits, 0);
+    }
+
+    #[test]
+    fn exchange_promotes_heavy_key() {
+        // Tiny candidate part (1 bucket × 1 slot) forces the election path.
+        let c = Criteria::new(5.0, 0.9, 100.0).unwrap();
+        let mut qf: QuantileFilter = QuantileFilterBuilder::new(c)
+            .candidate_buckets(1)
+            .bucket_len(1)
+            .vague_dims(3, 1024)
+            .seed(11)
+            .build();
+        // Fill the slot with a cold key, then hammer a hot key.
+        qf.insert(&100u64, 5.0);
+        for _ in 0..4 {
+            qf.insert(&200u64, 500.0);
+        }
+        // The hot key's vague estimate (+9 each) should have beaten the
+        // cold key's −1 and swapped in.
+        assert!(qf.stats().exchanges >= 1, "no exchange happened");
+        let b = qf.candidate_part().bucket_of(&200u64);
+        let fp = qf.candidate_part().fingerprint_of(&200u64);
+        assert!(qf.candidate_part().get(b, fp).is_some(), "hot key not promoted");
+    }
+
+    #[test]
+    fn set_default_criteria_applies_to_future_inserts() {
+        let mut qf = small_filter(default_criteria());
+        let lax = Criteria::new(50.0, 0.9, 100.0).unwrap(); // threshold 500
+        qf.set_default_criteria(lax);
+        for _ in 0..20 {
+            assert!(qf.insert(&12u64, 500.0).is_none());
+        }
+        assert_eq!(qf.default_criteria().epsilon(), 50.0);
+    }
+
+    #[test]
+    fn epsilon_zero_single_item_report() {
+        // ε = 0, δ = 0.5, T = 10: one value above T gives Qw = +1 ≥ 0 ⇒
+        // immediate report (the "premature reporting" the paper's ε > 0
+        // avoids — but legal when the user asks for it).
+        let c = Criteria::new(0.0, 0.5, 10.0).unwrap();
+        let mut qf = small_filter(c);
+        let r = qf.insert(&13u64, 100.0);
+        assert!(r.is_some());
+    }
+
+    #[test]
+    fn memory_accounting_sums_parts() {
+        let qf = small_filter(default_criteria());
+        assert_eq!(
+            qf.memory_bytes(),
+            qf.candidate_part().memory_bytes() + qf.vague_part().memory_bytes()
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Multi-criteria monitoring (§III-C third flexibility): watch one key
+//! under several `⟨ε, δ, T⟩` criteria at once.
+//!
+//! One Qweight cannot serve two criteria (unless only ε differs), so the
+//! paper forms composite keys: data key × criterion number. A key with `r`
+//! criteria becomes `r` logical keys and `r` inserts; "the overhead of this
+//! scheme increases with r, but it performs well when r is small."
+
+use crate::criteria::Criteria;
+use crate::filter::{QuantileFilter, Report};
+use qf_hash::StreamKey;
+use qf_sketch::WeightSketch;
+
+/// A QuantileFilter wrapper that monitors every key under a fixed list of
+/// criteria simultaneously.
+#[derive(Debug, Clone)]
+pub struct MultiCriteriaFilter<S: WeightSketch> {
+    filter: QuantileFilter<S>,
+    criteria: Vec<Criteria>,
+}
+
+impl<S: WeightSketch> MultiCriteriaFilter<S> {
+    /// Wrap a filter with the criteria set to monitor.
+    ///
+    /// # Panics
+    /// Panics if `criteria` is empty.
+    pub fn new(filter: QuantileFilter<S>, criteria: Vec<Criteria>) -> Self {
+        assert!(!criteria.is_empty(), "need at least one criterion");
+        Self { filter, criteria }
+    }
+
+    /// The number of criteria `r`.
+    pub fn criteria_count(&self) -> usize {
+        self.criteria.len()
+    }
+
+    /// The monitored criteria.
+    pub fn criteria(&self) -> &[Criteria] {
+        &self.criteria
+    }
+
+    /// Insert an item; performs `r` composite-key inserts and returns every
+    /// `(criterion index, report)` pair that fired.
+    pub fn insert<K: StreamKey>(&mut self, key: &K, value: f64) -> Vec<(usize, Report)> {
+        let mut out = Vec::new();
+        for (idx, c) in self.criteria.clone().iter().enumerate() {
+            let composite = (key, idx as u32);
+            if let Some(report) = self.filter.insert_with_criteria(&composite, value, c) {
+                out.push((idx, report));
+            }
+        }
+        out
+    }
+
+    /// Query the Qweight of a key under one criterion.
+    pub fn query<K: StreamKey>(&self, key: &K, criterion: usize) -> i64 {
+        self.filter.query(&(key, criterion as u32))
+    }
+
+    /// Delete a key's state under every criterion.
+    pub fn delete<K: StreamKey>(&mut self, key: &K) {
+        for idx in 0..self.criteria.len() {
+            self.filter.delete(&(key, idx as u32));
+        }
+    }
+
+    /// Total charged memory.
+    pub fn memory_bytes(&self) -> usize {
+        self.filter.memory_bytes()
+    }
+
+    /// Borrow the wrapped filter.
+    pub fn inner(&self) -> &QuantileFilter<S> {
+        &self.filter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QuantileFilterBuilder;
+    use qf_sketch::CountSketch;
+
+    fn multi() -> MultiCriteriaFilter<CountSketch<i8>> {
+        let filter = QuantileFilterBuilder::new(Criteria::default())
+            .candidate_buckets(128)
+            .vague_dims(3, 1024)
+            .seed(3)
+            .build();
+        // Criterion 0: p90 > 100 with ε = 5 (threshold 50, +9/−1).
+        // Criterion 1: p50 > 400 with ε = 3 (threshold 6, +1/−1).
+        MultiCriteriaFilter::new(
+            filter,
+            vec![
+                Criteria::new(5.0, 0.9, 100.0).unwrap(),
+                Criteria::new(3.0, 0.5, 400.0).unwrap(),
+            ],
+        )
+    }
+
+    #[test]
+    fn criteria_fire_independently() {
+        let mut m = multi();
+        // Values of 200: above criterion 0's T (100) but below criterion
+        // 1's T (400) — only criterion 0 should ever fire.
+        let mut fired = [0usize; 2];
+        for _ in 0..50 {
+            for (idx, _) in m.insert(&1u64, 200.0) {
+                fired[idx] += 1;
+            }
+        }
+        assert!(fired[0] > 0, "criterion 0 must fire");
+        assert_eq!(fired[1], 0, "criterion 1 must not fire");
+    }
+
+    #[test]
+    fn both_fire_on_extreme_values() {
+        let mut m = multi();
+        let mut fired = [0usize; 2];
+        for _ in 0..50 {
+            for (idx, _) in m.insert(&2u64, 500.0) {
+                fired[idx] += 1;
+            }
+        }
+        assert!(fired[0] > 0);
+        assert!(fired[1] > 0);
+    }
+
+    #[test]
+    fn per_criterion_state_is_separate() {
+        let mut m = multi();
+        for _ in 0..3 {
+            m.insert(&3u64, 200.0);
+        }
+        // Criterion 0 accumulated +9·3 = 27; criterion 1 accumulated −3.
+        assert_eq!(m.query(&3u64, 0), 27);
+        assert_eq!(m.query(&3u64, 1), -3);
+    }
+
+    #[test]
+    fn delete_clears_all_criteria() {
+        let mut m = multi();
+        for _ in 0..3 {
+            m.insert(&4u64, 500.0);
+        }
+        m.delete(&4u64);
+        assert_eq!(m.query(&4u64, 0), 0);
+        assert_eq!(m.query(&4u64, 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one criterion")]
+    fn empty_criteria_rejected() {
+        let filter = QuantileFilterBuilder::new(Criteria::default())
+            .candidate_buckets(4)
+            .vague_dims(2, 64)
+            .build();
+        let _ = MultiCriteriaFilter::new(filter, vec![]);
+    }
+}

@@ -1,0 +1,190 @@
+//! The naive dual-Csketch solution of §II-D — the strawman QuantileFilter
+//! improves on, kept as a baseline.
+//!
+//! Two Count sketches count, per key, the items above and at-or-below `T`.
+//! After every insert both are queried and the key is reported when
+//! `F_b ≤ ⌊(F_a + F_b)·δ − ε⌋`; a report subtracts the current estimates
+//! from both sketches — a reset that is itself error-prone under
+//! collisions, one of the two weaknesses the paper calls out (the other
+//! being the 3-sketch-operations-per-item cost that Qweight collapses
+//! into 1).
+
+use crate::criteria::Criteria;
+use qf_hash::StreamKey;
+use qf_sketch::{CountSketch, SketchCounter, WeightSketch};
+
+/// The §II-D naive detector.
+#[derive(Debug, Clone)]
+pub struct NaiveDualCsketch<C: SketchCounter = i32> {
+    above: CountSketch<C>,
+    below: CountSketch<C>,
+    criteria: Criteria,
+}
+
+impl<C: SketchCounter> NaiveDualCsketch<C> {
+    /// Build with explicit dimensions for each sketch ("a pair of
+    /// Csketches, which may differ in size").
+    pub fn new(
+        criteria: Criteria,
+        rows: usize,
+        width_above: usize,
+        width_below: usize,
+        seed: u64,
+    ) -> Self {
+        Self {
+            above: CountSketch::new(rows, width_above, seed ^ 0xA10B_E001),
+            below: CountSketch::new(rows, width_below, seed ^ 0xB310_0002),
+            criteria,
+        }
+    }
+
+    /// Build splitting a byte budget between the two sketches in proportion
+    /// to the expected traffic: values below `T` dominate (≈95% at the
+    /// paper's 5% abnormal rate), so `below` gets `below_fraction` of the
+    /// budget.
+    pub fn with_memory_budget(
+        criteria: Criteria,
+        rows: usize,
+        bytes: usize,
+        below_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..1.0).contains(&below_fraction) && below_fraction > 0.0);
+        let below_bytes = ((bytes as f64 * below_fraction) as usize).max(rows * C::BYTES);
+        let above_bytes = (bytes - below_bytes.min(bytes)).max(rows * C::BYTES);
+        Self {
+            above: CountSketch::with_memory_budget(rows, above_bytes, seed ^ 0xA10B_E001),
+            below: CountSketch::with_memory_budget(rows, below_bytes, seed ^ 0xB310_0002),
+            criteria,
+        }
+    }
+
+    /// The criteria in force.
+    pub fn criteria(&self) -> Criteria {
+        self.criteria
+    }
+
+    /// Insert one item; returns `true` when the key is reported (and its
+    /// counts reset).
+    pub fn insert<K: StreamKey + ?Sized>(&mut self, key: &K, value: f64) -> bool {
+        if value > self.criteria.threshold() {
+            self.above.add(key, 1);
+        } else {
+            self.below.add(key, 1);
+        }
+        // Query both sketches — the extra work the Qweight technique
+        // eliminates.
+        let fa = self.above.estimate(key).max(0);
+        let fb = self.below.estimate(key).max(0);
+        let n = fa + fb;
+        if n == 0 {
+            return false;
+        }
+        let rank = (n as f64 * self.criteria.delta() - self.criteria.epsilon()).floor();
+        if rank < 0.0 {
+            return false;
+        }
+        if fb as f64 <= rank {
+            // Report: reset both counts by subtracting the estimates.
+            self.above.remove_estimate(key);
+            self.below.remove_estimate(key);
+            return true;
+        }
+        false
+    }
+
+    /// Current estimated (above, below) counts for a key.
+    pub fn estimate<K: StreamKey + ?Sized>(&self, key: &K) -> (i64, i64) {
+        (self.above.estimate(key), self.below.estimate(key))
+    }
+
+    /// Clear both sketches.
+    pub fn reset(&mut self) {
+        self.above.clear();
+        self.below.clear();
+    }
+
+    /// Counter bytes across both sketches.
+    pub fn memory_bytes(&self) -> usize {
+        self.above.memory_bytes() + self.below.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crit() -> Criteria {
+        Criteria::new(5.0, 0.9, 100.0).unwrap()
+    }
+
+    #[test]
+    fn outstanding_key_reported() {
+        let mut n = NaiveDualCsketch::<i64>::new(crit(), 3, 512, 512, 1);
+        let mut reported = false;
+        for _ in 0..100 {
+            reported |= n.insert(&1u64, 500.0);
+        }
+        assert!(reported);
+    }
+
+    #[test]
+    fn quiet_key_not_reported() {
+        let mut n = NaiveDualCsketch::<i64>::new(crit(), 3, 512, 512, 2);
+        for _ in 0..1000 {
+            assert!(!n.insert(&2u64, 5.0));
+        }
+    }
+
+    #[test]
+    fn report_condition_matches_definition() {
+        // δ = 0.9, ε = 5: report when F_b ≤ ⌊0.9·n − 5⌋. With only
+        // above-T values, F_b = 0 and n = F_a: first report at
+        // ⌊0.9·n − 5⌋ ≥ 0 ⇒ n = 6.
+        let mut n = NaiveDualCsketch::<i64>::new(crit(), 3, 4096, 4096, 3);
+        let mut first = None;
+        for i in 1..=10 {
+            if n.insert(&3u64, 500.0) && first.is_none() {
+                first = Some(i);
+            }
+        }
+        assert_eq!(first, Some(6));
+    }
+
+    #[test]
+    fn reset_after_report_restarts_counting() {
+        let mut n = NaiveDualCsketch::<i64>::new(crit(), 3, 4096, 4096, 4);
+        let mut reports = 0;
+        for _ in 0..12 {
+            if n.insert(&4u64, 500.0) {
+                reports += 1;
+            }
+        }
+        // Reports at items 6 and 12.
+        assert_eq!(reports, 2);
+    }
+
+    #[test]
+    fn asymmetric_budget_sizes() {
+        let n = NaiveDualCsketch::<i32>::with_memory_budget(crit(), 3, 120_000, 0.75, 5);
+        assert!(n.memory_bytes() <= 120_000);
+        // below gets about 3x the above space.
+        let (_fa, _fb) = n.estimate(&1u64);
+    }
+
+    #[test]
+    fn estimates_reflect_sides() {
+        let mut n = NaiveDualCsketch::<i64>::new(crit(), 3, 1024, 1024, 6);
+        for _ in 0..4 {
+            n.insert(&5u64, 500.0);
+        }
+        for _ in 0..7 {
+            n.insert(&5u64, 5.0);
+        }
+        let (fa, fb) = n.estimate(&5u64);
+        assert_eq!(fa, 4);
+        assert_eq!(fb, 7);
+        n.reset();
+        assert_eq!(n.estimate(&5u64), (0, 0));
+    }
+}

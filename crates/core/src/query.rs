@@ -1,0 +1,230 @@
+//! Parser for the paper's SQL-style detection statement (§I):
+//!
+//! ```sql
+//! SELECT key FROM key_value_stream
+//! GROUP BY key
+//! HAVING QUANTILE(value_set, 0.95) >= 300 [WITH eps = 30]
+//! ```
+//!
+//! [`parse_query`] turns that text into a [`Criteria`], so monitoring
+//! configs can be written in the notation the paper introduces the problem
+//! with. The grammar is deliberately tiny: the `SELECT … GROUP BY key`
+//! skeleton is validated, the `HAVING QUANTILE(value_set, δ) >= T` clause
+//! supplies `δ` and `T`, and an optional `WITH eps = ε` suffix supplies
+//! the rank deviation (default 0).
+
+use crate::criteria::{Criteria, CriteriaError};
+
+/// Error from [`parse_query`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The statement skeleton did not match the expected form.
+    Malformed(String),
+    /// A numeric literal failed to parse.
+    BadNumber(String),
+    /// The numbers were out of range for [`Criteria`].
+    BadCriteria(CriteriaError),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Malformed(part) => write!(f, "malformed query near {part:?}"),
+            Self::BadNumber(tok) => write!(f, "invalid number {tok:?}"),
+            Self::BadCriteria(e) => write!(f, "invalid criteria: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<CriteriaError> for QueryError {
+    fn from(e: CriteriaError) -> Self {
+        Self::BadCriteria(e)
+    }
+}
+
+fn parse_number(tok: &str) -> Result<f64, QueryError> {
+    tok.trim()
+        .parse::<f64>()
+        .map_err(|_| QueryError::BadNumber(tok.trim().to_string()))
+}
+
+/// Parse the paper's SQL form into a [`Criteria`].
+///
+/// Case-insensitive; whitespace-flexible; accepts `>=` or `>` (both mean
+/// Definition 4's strict quantile test — the ε slack is where laxity
+/// belongs).
+///
+/// ```
+/// use quantile_filter::query::parse_query;
+/// let c = parse_query(
+///     "SELECT key FROM s GROUP BY key \
+///      HAVING QUANTILE(value_set, 0.95) >= 300 WITH eps = 30",
+/// ).unwrap();
+/// assert_eq!(c.delta(), 0.95);
+/// assert_eq!(c.threshold(), 300.0);
+/// assert_eq!(c.epsilon(), 30.0);
+/// ```
+pub fn parse_query(sql: &str) -> Result<Criteria, QueryError> {
+    let upper = sql.to_ascii_uppercase();
+    let compact: String = upper.split_whitespace().collect::<Vec<_>>().join(" ");
+
+    // Skeleton: SELECT KEY FROM <ident> GROUP BY KEY HAVING …
+    if !compact.starts_with("SELECT KEY FROM ") {
+        return Err(QueryError::Malformed("SELECT key FROM".into()));
+    }
+    let Some(group_at) = compact.find(" GROUP BY KEY HAVING ") else {
+        return Err(QueryError::Malformed("GROUP BY key HAVING".into()));
+    };
+    let having = &compact[group_at + " GROUP BY KEY HAVING ".len()..];
+
+    // QUANTILE(VALUE_SET, δ) >= T [WITH EPS = ε]
+    let rest = having
+        .strip_prefix("QUANTILE(")
+        .ok_or_else(|| QueryError::Malformed("QUANTILE(".into()))?;
+    let Some(close) = rest.find(')') else {
+        return Err(QueryError::Malformed("closing parenthesis".into()));
+    };
+    let args = &rest[..close];
+    let mut parts = args.split(',');
+    let _value_set = parts
+        .next()
+        .ok_or_else(|| QueryError::Malformed("value_set argument".into()))?;
+    let delta_tok = parts
+        .next()
+        .ok_or_else(|| QueryError::Malformed("delta argument".into()))?;
+    if parts.next().is_some() {
+        return Err(QueryError::Malformed("too many QUANTILE arguments".into()));
+    }
+    let delta = parse_number(delta_tok)?;
+
+    let after = rest[close + 1..].trim_start();
+    let after = after
+        .strip_prefix(">=")
+        .or_else(|| after.strip_prefix('>'))
+        .ok_or_else(|| QueryError::Malformed(">= threshold".into()))?
+        .trim_start();
+
+    // Threshold runs until optional WITH clause.
+    let (threshold_tok, with_clause) = match after.find(" WITH ") {
+        Some(i) => (&after[..i], Some(&after[i + " WITH ".len()..])),
+        None => (after, None),
+    };
+    let threshold = parse_number(threshold_tok)?;
+
+    let epsilon = match with_clause {
+        None => 0.0,
+        Some(w) => {
+            let w = w.trim();
+            let eq = w
+                .strip_prefix("EPS")
+                .map(str::trim_start)
+                .and_then(|r| r.strip_prefix('='))
+                .ok_or_else(|| QueryError::Malformed("WITH eps = ...".into()))?;
+            parse_number(eq)?
+        }
+    };
+
+    Ok(Criteria::new(epsilon, delta, threshold)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_statement_parses() {
+        let c = parse_query(
+            "SELECT key FROM Key_Value_Stream GROUP BY key \
+             HAVING QUANTILE(value_set, 0.95) >= 300",
+        )
+        .unwrap();
+        assert_eq!(c.delta(), 0.95);
+        assert_eq!(c.threshold(), 300.0);
+        assert_eq!(c.epsilon(), 0.0);
+    }
+
+    #[test]
+    fn with_eps_clause() {
+        let c = parse_query(
+            "select key from s group by key having quantile(value_set, 0.9) > 200 with eps = 5",
+        )
+        .unwrap();
+        assert_eq!(c.epsilon(), 5.0);
+        assert_eq!(c.delta(), 0.9);
+        assert_eq!(c.threshold(), 200.0);
+    }
+
+    #[test]
+    fn whitespace_and_case_insensitive() {
+        let c = parse_query(
+            "  SeLeCt   key   FROM  x \n GROUP BY key \n HAVING  QUANTILE( value_set ,  0.5 )>=3 ",
+        )
+        .unwrap();
+        assert_eq!(c.delta(), 0.5);
+        assert_eq!(c.threshold(), 3.0);
+    }
+
+    #[test]
+    fn negative_threshold_allowed() {
+        let c = parse_query(
+            "SELECT key FROM s GROUP BY key HAVING QUANTILE(value_set, 0.8) >= -2.5",
+        )
+        .unwrap();
+        assert_eq!(c.threshold(), -2.5);
+    }
+
+    #[test]
+    fn malformed_skeleton_rejected() {
+        assert!(matches!(
+            parse_query("SELECT * FROM s"),
+            Err(QueryError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_query("SELECT key FROM s GROUP BY key"),
+            Err(QueryError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_query("SELECT key FROM s GROUP BY key HAVING COUNT(*) > 3"),
+            Err(QueryError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn bad_numbers_rejected() {
+        assert!(matches!(
+            parse_query("SELECT key FROM s GROUP BY key HAVING QUANTILE(value_set, abc) >= 3"),
+            Err(QueryError::BadNumber(_))
+        ));
+        assert!(matches!(
+            parse_query("SELECT key FROM s GROUP BY key HAVING QUANTILE(value_set, 0.5) >= xyz"),
+            Err(QueryError::BadNumber(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_delta_rejected() {
+        assert!(matches!(
+            parse_query("SELECT key FROM s GROUP BY key HAVING QUANTILE(value_set, 1.5) >= 3"),
+            Err(QueryError::BadCriteria(_))
+        ));
+    }
+
+    #[test]
+    fn parsed_criteria_drive_a_filter() {
+        use crate::builder::QuantileFilterBuilder;
+        let c = parse_query(
+            "SELECT key FROM s GROUP BY key HAVING QUANTILE(value_set, 0.9) >= 100 WITH eps = 5",
+        )
+        .unwrap();
+        let mut qf = QuantileFilterBuilder::new(c)
+            .memory_budget_bytes(8 * 1024)
+            .build();
+        let mut reported = false;
+        for _ in 0..10 {
+            reported |= qf.insert(&1u64, 500.0).is_some();
+        }
+        assert!(reported);
+    }
+}

@@ -1,0 +1,238 @@
+//! Exact Qweight arithmetic and the quantile⇔Qweight equivalence theorem.
+//!
+//! These functions are the *specification* against which the sketch-based
+//! structures are tested: [`exact_qweight`] computes the true running
+//! Qweight of a value multiset and [`quantile_exceeds`] evaluates
+//! Definition 3/4 directly on the sorted values. §III-A proves
+//!
+//! ```text
+//! q_{ε,δ}(x) > T   ⇔   Qw(x) ≥ ε/(1−δ)
+//! ```
+//!
+//! and `tests::prop_equivalence_theorem` verifies that equivalence on
+//! arbitrary inputs.
+
+use crate::criteria::Criteria;
+
+/// The exact Qweight of a value multiset under a criterion:
+/// `Σ_{v≤T} −1 + Σ_{v>T} δ/(1−δ)`.
+pub fn exact_qweight(values: &[f64], criteria: &Criteria) -> f64 {
+    let above = values.iter().filter(|&&v| v > criteria.threshold()).count() as f64;
+    let below = values.len() as f64 - above;
+    above * criteria.weight_above() - below
+}
+
+/// Evaluate `q_{ε,δ} > T` exactly (Definition 3): sort the values, take the
+/// item at index `⌊δ·n − ε⌋` (or `−∞` if negative) and compare with `T`.
+pub fn quantile_exceeds(values: &[f64], criteria: &Criteria) -> bool {
+    let n = values.len();
+    if n == 0 {
+        return false;
+    }
+    let idx = (criteria.delta() * n as f64 - criteria.epsilon()).floor();
+    if idx < 0.0 {
+        return false; // q = −∞ never exceeds a finite T
+    }
+    let idx = (idx as usize).min(n - 1);
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    sorted[idx] > criteria.threshold()
+}
+
+/// Incremental exact Qweight tracker for one key — the reference the
+/// sketches approximate, and the engine inside the exact detector.
+///
+/// Only two counters are needed, because the Qweight and the
+/// `(ε,δ)`-quantile test both depend solely on `(n, n_above)`:
+/// `q_{ε,δ} > T ⇔ n_above ≥ n − ⌊δ·n − ε⌋` (at least that many items must
+/// exceed `T` for the index-`⌊δn−ε⌋` item to exceed it).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QweightTracker {
+    /// Total items since the last reset.
+    pub n: u64,
+    /// Items with value strictly above `T` since the last reset.
+    pub n_above: u64,
+}
+
+impl QweightTracker {
+    /// Fresh tracker (empty value set).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Account one value; returns the updated exact Qweight.
+    #[inline]
+    pub fn observe(&mut self, value: f64, criteria: &Criteria) -> f64 {
+        self.n += 1;
+        if value > criteria.threshold() {
+            self.n_above += 1;
+        }
+        self.qweight(criteria)
+    }
+
+    /// Current exact Qweight.
+    #[inline]
+    pub fn qweight(&self, criteria: &Criteria) -> f64 {
+        let above = self.n_above as f64;
+        let below = (self.n - self.n_above) as f64;
+        above * criteria.weight_above() - below
+    }
+
+    /// Exact Definition-3 test using only the two counters.
+    #[inline]
+    pub fn quantile_exceeds(&self, criteria: &Criteria) -> bool {
+        if self.n == 0 {
+            return false;
+        }
+        let idx = (criteria.delta() * self.n as f64 - criteria.epsilon()).floor();
+        if idx < 0.0 {
+            return false;
+        }
+        let idx = (idx as u64).min(self.n - 1);
+        // The sorted multiset has (n − n_above) items ≤ T first; index idx
+        // exceeds T iff idx ≥ n − n_above.
+        idx >= self.n - self.n_above
+    }
+
+    /// Reset after a report (Definition 4: "Reset V_x").
+    #[inline]
+    pub fn reset(&mut self) {
+        self.n = 0;
+        self.n_above = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crit(e: f64, d: f64, t: f64) -> Criteria {
+        Criteria::new(e, d, t).unwrap()
+    }
+
+    #[test]
+    fn figure1_example() {
+        // δ = 0.5, T = 3, values {1, 5, 9}: quantile is 5 > 3 ⇒ report.
+        let c = crit(0.0, 0.5, 3.0);
+        let vals = [1.0, 5.0, 9.0];
+        assert!(quantile_exceeds(&vals, &c));
+        // Qweight = 2·(+1) + 1·(−1) = 1 ≥ 0 = ε/(1−δ).
+        assert_eq!(exact_qweight(&vals, &c), 1.0);
+        // User B {1, 1} is not reported.
+        assert!(!quantile_exceeds(&[1.0, 1.0], &c));
+    }
+
+    #[test]
+    fn noise_example_all_three_neighborhoods() {
+        let c = crit(1.0, 0.8, 70.0);
+        let a = [65.0, 67.0, 72.0, 69.0, 74.0, 66.0, 68.0, 75.0];
+        let b = [60.0, 62.0, 64.0, 61.0, 63.0, 75.0, 80.0, 62.0];
+        let cc = [55.0, 57.0, 59.0, 58.0, 76.0, 57.0, 56.0, 55.0];
+        assert!(quantile_exceeds(&a, &c), "neighborhood A reported");
+        assert!(!quantile_exceeds(&b, &c), "neighborhood B not reported");
+        assert!(!quantile_exceeds(&cc, &c), "neighborhood C not reported");
+    }
+
+    #[test]
+    fn equivalence_on_figure1() {
+        let c = crit(0.0, 0.5, 3.0);
+        let vals = [1.0, 5.0, 9.0];
+        assert_eq!(
+            quantile_exceeds(&vals, &c),
+            exact_qweight(&vals, &c) >= c.report_threshold()
+        );
+    }
+
+    #[test]
+    fn tracker_matches_batch_functions() {
+        let c = crit(2.0, 0.9, 10.0);
+        let mut t = QweightTracker::new();
+        let mut vals = vec![];
+        for i in 0..200 {
+            let v = if i % 7 == 0 { 20.0 } else { 5.0 };
+            t.observe(v, &c);
+            vals.push(v);
+            assert!(
+                (t.qweight(&c) - exact_qweight(&vals, &c)).abs() < 1e-9,
+                "qweight divergence at {i}"
+            );
+            assert_eq!(
+                t.quantile_exceeds(&c),
+                quantile_exceeds(&vals, &c),
+                "test divergence at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn premature_report_avoided_by_epsilon() {
+        // One huge first value: ε = 0 reports instantly, ε = 1 waits.
+        let strict = crit(0.0, 0.95, 100.0);
+        let lax = crit(1.0, 0.95, 100.0);
+        let vals = [500.0];
+        assert!(quantile_exceeds(&vals, &strict));
+        assert!(!quantile_exceeds(&vals, &lax));
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let c = crit(0.0, 0.5, 10.0);
+        let mut t = QweightTracker::new();
+        for _ in 0..10 {
+            t.observe(50.0, &c);
+        }
+        assert!(t.quantile_exceeds(&c));
+        t.reset();
+        assert!(!t.quantile_exceeds(&c));
+        assert_eq!(t.n, 0);
+    }
+
+    #[test]
+    fn empty_never_exceeds() {
+        let c = crit(0.0, 0.5, 0.0);
+        assert!(!quantile_exceeds(&[], &c));
+        assert_eq!(exact_qweight(&[], &c), 0.0);
+    }
+
+    proptest::proptest! {
+        /// The central §III-A theorem: for every value multiset and every
+        /// (ε, δ, T), `q_{ε,δ} > T ⇔ Qw ≥ ε/(1−δ)`.
+        #[test]
+        fn prop_equivalence_theorem(
+            values in proptest::collection::vec(-100.0f64..100.0, 0..200),
+            delta in 0.05f64..0.99,
+            epsilon in 0.0f64..20.0,
+            threshold in -50.0f64..50.0,
+        ) {
+            let c = crit(epsilon, delta, threshold);
+            let qw = exact_qweight(&values, &c);
+            let thr = c.report_threshold();
+            // Skip knife-edge cases where float rounding of δ/(1−δ) could
+            // legitimately land Qw on either side of the threshold; the
+            // theorem holds in exact arithmetic.
+            if (qw - thr).abs() > 1e-6 * (1.0 + thr.abs()) {
+                let lhs = quantile_exceeds(&values, &c);
+                let rhs = qw >= thr;
+                proptest::prop_assert_eq!(lhs, rhs,
+                    "values.len()={} delta={} eps={} T={} qw={} thr={}",
+                    values.len(), delta, epsilon, threshold, qw, thr);
+            }
+        }
+
+        /// The tracker's two-counter shortcut agrees with the sort-based
+        /// definition on arbitrary inputs.
+        #[test]
+        fn prop_tracker_counters_equal_definition(
+            values in proptest::collection::vec(-100.0f64..100.0, 1..150),
+            delta in 0.05f64..0.99,
+            epsilon in 0.0f64..10.0,
+        ) {
+            let c = crit(epsilon, delta, 0.0);
+            let mut t = QweightTracker::new();
+            for &v in &values {
+                t.observe(v, &c);
+            }
+            proptest::prop_assert_eq!(t.quantile_exceeds(&c), quantile_exceeds(&values, &c));
+        }
+    }
+}

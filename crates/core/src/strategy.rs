@@ -1,0 +1,135 @@
+//! Candidate election strategies (Choice 1, §III-D; ablated in Fig. 12).
+//!
+//! When a key's vague-part estimate `Q̂w(x)` confronts the smallest Qweight
+//! `MinQw` in its candidate bucket, three replacement policies exist:
+//!
+//! * **Comparative** (default): swap iff `Q̂w(x) > MinQw`.
+//! * **Probabilistic**: swap with probability
+//!   `max(Q̂w(x) / (Q̂w(x) + MinQw), 0)`.
+//! * **Forceful**: always swap.
+//!
+//! The paper reports the choice barely moves accuracy with a Count-sketch
+//! vague part, but matters with CMS — which is exactly what the Fig. 12
+//! driver measures.
+
+use qf_hash::SplitMix64;
+
+/// Candidate-part replacement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ElectionStrategy {
+    /// Replace iff the challenger's estimate exceeds the incumbent minimum.
+    #[default]
+    Comparative,
+    /// Replace with probability `max(q̂/(q̂ + min), 0)`.
+    Probabilistic,
+    /// Always replace.
+    Forceful,
+}
+
+impl ElectionStrategy {
+    /// Decide whether the challenger (estimate `challenger_qw`) evicts the
+    /// incumbent with the bucket-minimum Qweight `min_qw`.
+    #[inline]
+    pub fn should_replace(self, challenger_qw: i64, min_qw: i64, rng: &mut SplitMix64) -> bool {
+        match self {
+            Self::Comparative => challenger_qw > min_qw,
+            Self::Probabilistic => {
+                let c = challenger_qw as f64;
+                let m = min_qw as f64;
+                let denom = c + m;
+                let p = if denom.abs() < f64::EPSILON {
+                    // Degenerate c == −m: fall back to comparing directly.
+                    if c > m {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    (c / denom).clamp(0.0, 1.0)
+                };
+                let u = (rng.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0);
+                u < p
+            }
+            Self::Forceful => true,
+        }
+    }
+
+    /// All strategies, for sweep drivers.
+    pub const ALL: [Self; 3] = [Self::Comparative, Self::Probabilistic, Self::Forceful];
+
+    /// Short label for experiment logs ("Comp.", "Prob.", "Force").
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Comparative => "Comp.",
+            Self::Probabilistic => "Prob.",
+            Self::Forceful => "Force",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparative_is_strict_greater() {
+        let mut rng = SplitMix64::new(1);
+        let s = ElectionStrategy::Comparative;
+        assert!(s.should_replace(5, 4, &mut rng));
+        assert!(!s.should_replace(4, 4, &mut rng));
+        assert!(!s.should_replace(3, 4, &mut rng));
+        assert!(s.should_replace(0, -2, &mut rng));
+    }
+
+    #[test]
+    fn forceful_always_true() {
+        let mut rng = SplitMix64::new(2);
+        let s = ElectionStrategy::Forceful;
+        assert!(s.should_replace(-100, 100, &mut rng));
+        assert!(s.should_replace(0, 0, &mut rng));
+    }
+
+    #[test]
+    fn probabilistic_rate_matches_formula() {
+        let mut rng = SplitMix64::new(3);
+        let s = ElectionStrategy::Probabilistic;
+        // q̂ = 3, min = 1 ⇒ p = 3/4.
+        let trials = 100_000;
+        let hits = (0..trials)
+            .filter(|_| s.should_replace(3, 1, &mut rng))
+            .count();
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 0.75).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn probabilistic_negative_challenger_never_swaps_against_positive() {
+        let mut rng = SplitMix64::new(4);
+        let s = ElectionStrategy::Probabilistic;
+        // p = max(−2/(−2+5), 0) = 0.
+        for _ in 0..1000 {
+            assert!(!s.should_replace(-2, 5, &mut rng));
+        }
+    }
+
+    #[test]
+    fn probabilistic_degenerate_denominator() {
+        let mut rng = SplitMix64::new(5);
+        let s = ElectionStrategy::Probabilistic;
+        // c = 3, m = −3 ⇒ denominator 0; falls back to comparative (true).
+        assert!(s.should_replace(3, -3, &mut rng));
+        assert!(!s.should_replace(-3, 3, &mut rng));
+    }
+
+    #[test]
+    fn labels_match_figure12() {
+        assert_eq!(ElectionStrategy::Comparative.label(), "Comp.");
+        assert_eq!(ElectionStrategy::Probabilistic.label(), "Prob.");
+        assert_eq!(ElectionStrategy::Forceful.label(), "Force");
+    }
+
+    #[test]
+    fn default_is_comparative() {
+        assert_eq!(ElectionStrategy::default(), ElectionStrategy::Comparative);
+    }
+}

@@ -1,0 +1,107 @@
+//! Iterator-style streaming API: pipe any `(key, value)` iterator through a
+//! QuantileFilter and consume the reports as they fire.
+//!
+//! This is sugar over [`QuantileFilter::insert`] for batch/replay use
+//! cases (trace files, channel drains); the hot online path should call
+//! `insert` directly.
+
+use crate::filter::{QuantileFilter, Report};
+use qf_hash::StreamKey;
+use qf_sketch::WeightSketch;
+
+/// An iterator adapter yielding `(key, report)` for every item that
+/// triggers a report.
+pub struct Reports<'f, I, K, S: WeightSketch> {
+    filter: &'f mut QuantileFilter<S>,
+    items: I,
+    _key: core::marker::PhantomData<K>,
+}
+
+impl<'f, I, K, S> Iterator for Reports<'f, I, K, S>
+where
+    I: Iterator<Item = (K, f64)>,
+    K: StreamKey,
+    S: WeightSketch,
+{
+    type Item = (K, Report);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        for (key, value) in self.items.by_ref() {
+            if let Some(report) = self.filter.insert(&key, value) {
+                return Some((key, report));
+            }
+        }
+        None
+    }
+}
+
+/// Extension trait adding [`detect`](DetectExt::detect) to `(key, value)`
+/// iterators.
+pub trait DetectExt<K: StreamKey>: Iterator<Item = (K, f64)> + Sized {
+    /// Stream through `filter`, yielding only the reported items.
+    ///
+    /// ```
+    /// use quantile_filter::{Criteria, QuantileFilterBuilder};
+    /// use quantile_filter::stream::DetectExt;
+    ///
+    /// let criteria = Criteria::new(2.0, 0.5, 10.0).unwrap();
+    /// let mut qf = QuantileFilterBuilder::new(criteria)
+    ///     .memory_budget_bytes(4096)
+    ///     .build();
+    /// let stream = (0..100u64).map(|i| (i % 4, if i % 4 == 0 { 50.0 } else { 1.0 }));
+    /// let reports: Vec<_> = stream.detect(&mut qf).collect();
+    /// assert!(reports.iter().all(|(k, _)| *k == 0));
+    /// assert!(!reports.is_empty());
+    /// ```
+    fn detect<S: WeightSketch>(self, filter: &mut QuantileFilter<S>) -> Reports<'_, Self, K, S> {
+        Reports {
+            filter,
+            items: self,
+            _key: core::marker::PhantomData,
+        }
+    }
+}
+
+impl<K: StreamKey, I: Iterator<Item = (K, f64)>> DetectExt<K> for I {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QuantileFilterBuilder;
+    use crate::criteria::Criteria;
+
+    fn filter() -> QuantileFilter {
+        QuantileFilterBuilder::new(Criteria::new(5.0, 0.9, 100.0).unwrap())
+            .candidate_buckets(32)
+            .vague_dims(3, 256)
+            .seed(1)
+            .build()
+    }
+
+    #[test]
+    fn adapter_yields_only_reports() {
+        let mut qf = filter();
+        let stream = (0..100u64).map(|i| (7u64, if i < 50 { 500.0 } else { 5.0 }));
+        let reports: Vec<(u64, Report)> = stream.detect(&mut qf).collect();
+        // 50 above-T items at +9: crossings at 6, 12, ..., 48 ⇒ 8 reports.
+        assert_eq!(reports.len(), 8);
+        assert!(reports.iter().all(|(k, _)| *k == 7));
+    }
+
+    #[test]
+    fn adapter_exhausts_quiet_stream() {
+        let mut qf = filter();
+        let stream = (0..1000u64).map(|i| (i % 10, 5.0));
+        assert_eq!(stream.detect(&mut qf).count(), 0);
+    }
+
+    #[test]
+    fn adapter_interoperates_with_take() {
+        let mut qf = filter();
+        let stream = std::iter::repeat_n((3u64, 500.0), 100);
+        let first = stream.detect(&mut qf).next();
+        assert!(first.is_some());
+        // State persists on the borrowed filter after the adapter ends.
+        assert_eq!(qf.query(&3u64), 0, "reported key was reset");
+    }
+}

@@ -1,0 +1,212 @@
+//! Dataset configurations (serde-serializable so experiment runs can be
+//! recorded alongside their exact workload parameters).
+
+use crate::values::{LatencyModel, ZipfValueModel};
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's three datasets a config mimics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// CAIDA-like internet trace (§V-A dataset 1).
+    Internet,
+    /// Yahoo-like cloud trace (§V-A dataset 2).
+    Cloud,
+    /// Synthetic Zipf dataset (§V-A dataset 3).
+    Zipf,
+}
+
+/// Configuration of the internet-like workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InternetConfig {
+    /// Number of items to generate (paper: 26.1M; default scaled down).
+    pub items: usize,
+    /// Number of distinct keys (paper: 0.64M).
+    pub keys: u64,
+    /// Zipf exponent of key popularity.
+    pub alpha: f64,
+    /// Value threshold `T` in ms (paper: 300 ⇒ ≈7.6% abnormal).
+    pub threshold: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Latency model parameters.
+    #[serde(skip, default = "LatencyModel::internet_default")]
+    pub model: LatencyModel,
+}
+
+impl Default for InternetConfig {
+    fn default() -> Self {
+        Self {
+            items: 2_000_000,
+            keys: 50_000,
+            alpha: 1.1,
+            threshold: 300.0,
+            seed: 0x1A7E_0001,
+            model: LatencyModel::internet_default(),
+        }
+    }
+}
+
+impl InternetConfig {
+    /// A small config for unit/integration tests.
+    pub fn tiny() -> Self {
+        Self {
+            items: 50_000,
+            keys: 2_000,
+            ..Self::default()
+        }
+    }
+
+    /// The paper-scale config (26.1M items, 0.64M keys).
+    pub fn paper_scale() -> Self {
+        Self {
+            items: 26_100_000,
+            keys: 640_000,
+            ..Self::default()
+        }
+    }
+}
+
+/// Configuration of the cloud-like workload: a small heavy core plus a huge
+/// population of keys seen only once or twice.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CloudConfig {
+    /// Number of items (paper: 20.5M).
+    pub items: usize,
+    /// Heavy-core key count.
+    pub core_keys: u64,
+    /// Fraction of items drawn from the heavy core.
+    pub core_fraction: f64,
+    /// Zipf exponent within the heavy core.
+    pub core_alpha: f64,
+    /// Tail key-space size as a fraction of `items` (pushes distinct-key
+    /// count toward the paper's 16.9M/20.5M ratio).
+    pub tail_key_fraction: f64,
+    /// Value threshold `T` in seconds (paper: 20 ⇒ ≈4.6% abnormal).
+    pub threshold: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Duration model parameters.
+    #[serde(skip, default = "LatencyModel::cloud_default")]
+    pub model: LatencyModel,
+}
+
+impl Default for CloudConfig {
+    fn default() -> Self {
+        Self {
+            items: 2_000_000,
+            core_keys: 2_000,
+            core_fraction: 0.30,
+            core_alpha: 1.2,
+            tail_key_fraction: 0.82,
+            threshold: 20.0,
+            seed: 0xC10D_0002,
+            model: LatencyModel::cloud_default(),
+        }
+    }
+}
+
+impl CloudConfig {
+    /// A small config for tests.
+    pub fn tiny() -> Self {
+        Self {
+            items: 50_000,
+            core_keys: 200,
+            ..Self::default()
+        }
+    }
+
+    /// The paper-scale config (20.5M items).
+    pub fn paper_scale() -> Self {
+        Self {
+            items: 20_500_000,
+            core_keys: 20_000,
+            ..Self::default()
+        }
+    }
+}
+
+/// Configuration of the paper's synthetic Zipf dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ZipfConfig {
+    /// Number of items (paper: 25M per variant).
+    pub items: usize,
+    /// Number of distinct keys (paper variants: 4.2M and 120K).
+    pub keys: u64,
+    /// Zipf exponent of key popularity.
+    pub alpha: f64,
+    /// Value threshold `T` (paper: 300).
+    pub threshold: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Value model.
+    #[serde(skip, default = "ZipfValueModel::paper_default")]
+    pub value_model: ZipfValueModel,
+}
+
+impl Default for ZipfConfig {
+    fn default() -> Self {
+        Self {
+            items: 2_000_000,
+            keys: 120_000,
+            alpha: 1.1,
+            threshold: 300.0,
+            seed: 0x21FF_0003,
+            value_model: ZipfValueModel::paper_default(),
+        }
+    }
+}
+
+impl ZipfConfig {
+    /// A small config for tests.
+    pub fn tiny() -> Self {
+        Self {
+            items: 50_000,
+            keys: 5_000,
+            ..Self::default()
+        }
+    }
+
+    /// The many-keys paper variant (4.2M keys).
+    pub fn many_keys() -> Self {
+        Self {
+            keys: 4_200_000,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sane() {
+        let i = InternetConfig::default();
+        assert!(i.items > 0 && i.keys > 0 && i.alpha > 0.0);
+        let c = CloudConfig::default();
+        assert!(c.core_fraction > 0.0 && c.core_fraction < 1.0);
+        let z = ZipfConfig::default();
+        assert!(z.threshold > 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip_via_json_like() {
+        // serde_json isn't a dependency; use the serde test through the
+        // bincode-free path: Debug equality after clone suffices here, and
+        // the derive compiles the Serialize/Deserialize impls.
+        let i = InternetConfig::tiny();
+        let i2 = i.clone();
+        assert_eq!(format!("{i:?}"), format!("{i2:?}"));
+    }
+
+    #[test]
+    fn paper_scales_match_claims() {
+        let i = InternetConfig::paper_scale();
+        assert_eq!(i.items, 26_100_000);
+        assert_eq!(i.keys, 640_000);
+        let c = CloudConfig::paper_scale();
+        assert_eq!(c.items, 20_500_000);
+        let z = ZipfConfig::many_keys();
+        assert_eq!(z.keys, 4_200_000);
+    }
+}

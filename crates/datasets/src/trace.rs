@@ -1,0 +1,182 @@
+//! Compact binary trace serialization and CSV export.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic   4 bytes  "QFTR"
+//! version u32      1
+//! count   u64      number of items
+//! thresh  f64      the dataset's value threshold T
+//! items   count × (key u64, value f64)
+//! ```
+
+use crate::Item;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"QFTR";
+const VERSION: u32 = 1;
+
+/// Serialize items and threshold into the binary trace format.
+pub fn encode(items: &[Item], threshold: f64) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + 4 + 8 + 8 + items.len() * 16);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(items.len() as u64);
+    buf.put_f64_le(threshold);
+    for it in items {
+        buf.put_u64_le(it.key);
+        buf.put_f64_le(it.value);
+    }
+    buf.freeze()
+}
+
+/// Errors when decoding a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The magic bytes or version did not match.
+    BadHeader,
+    /// The byte stream ended before the declared item count.
+    Truncated,
+    /// Underlying IO failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadHeader => write!(f, "bad trace header"),
+            Self::Truncated => write!(f, "trace truncated"),
+            Self::Io(e) => write!(f, "trace io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Decode a binary trace; returns `(items, threshold)`.
+pub fn decode(mut data: Bytes) -> Result<(Vec<Item>, f64), TraceError> {
+    if data.remaining() < 4 + 4 + 8 + 8 {
+        return Err(TraceError::BadHeader);
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC || data.get_u32_le() != VERSION {
+        return Err(TraceError::BadHeader);
+    }
+    let count = data.get_u64_le() as usize;
+    let threshold = data.get_f64_le();
+    if data.remaining() < count * 16 {
+        return Err(TraceError::Truncated);
+    }
+    let mut items = Vec::with_capacity(count);
+    for _ in 0..count {
+        let key = data.get_u64_le();
+        let value = data.get_f64_le();
+        items.push(Item { key, value });
+    }
+    Ok((items, threshold))
+}
+
+/// Write a trace file.
+pub fn write_file<P: AsRef<Path>>(path: P, items: &[Item], threshold: f64) -> Result<(), TraceError> {
+    let bytes = encode(items, threshold);
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(&bytes)?;
+    f.flush()?;
+    Ok(())
+}
+
+/// Read a trace file; returns `(items, threshold)`.
+pub fn read_file<P: AsRef<Path>>(path: P) -> Result<(Vec<Item>, f64), TraceError> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    let mut data = Vec::new();
+    f.read_to_end(&mut data)?;
+    decode(Bytes::from(data))
+}
+
+/// Export items as `key,value` CSV (with header) for external plotting tools.
+pub fn write_csv<W: Write>(mut w: W, items: &[Item]) -> io::Result<()> {
+    writeln!(w, "key,value")?;
+    for it in items {
+        writeln!(w, "{},{}", it.key, it.value)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_items() -> Vec<Item> {
+        (0..100)
+            .map(|i| Item {
+                key: i * 7,
+                value: i as f64 * 0.5 - 10.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let items = sample_items();
+        let bytes = encode(&items, 42.5);
+        let (decoded, t) = decode(bytes).unwrap();
+        assert_eq!(decoded, items);
+        assert_eq!(t, 42.5);
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let items = sample_items();
+        let dir = std::env::temp_dir().join("qf_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.qftr");
+        write_file(&path, &items, 7.0).unwrap();
+        let (decoded, t) = read_file(&path).unwrap();
+        assert_eq!(decoded, items);
+        assert_eq!(t, 7.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut raw = encode(&sample_items(), 1.0).to_vec();
+        raw[0] = b'X';
+        assert!(matches!(
+            decode(Bytes::from(raw)),
+            Err(TraceError::BadHeader)
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let raw = encode(&sample_items(), 1.0);
+        let cut = raw.slice(0..raw.len() - 8);
+        assert!(matches!(decode(cut), Err(TraceError::Truncated)));
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let bytes = encode(&[], 0.0);
+        let (items, _) = decode(bytes).unwrap();
+        assert!(items.is_empty());
+    }
+
+    #[test]
+    fn csv_export_format() {
+        let mut out = Vec::new();
+        write_csv(&mut out, &sample_items()[..2]).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "key,value");
+        assert_eq!(lines[1], "0,-10");
+    }
+}

@@ -1,0 +1,218 @@
+//! Per-key value models: heavy-tailed latencies/durations whose per-key
+//! location decides whether a key is quantile-outstanding.
+//!
+//! Every generated key gets a *profile* — a median scale — and each of its
+//! items draws `value = median · lognormal(0, σ)`. A configurable fraction
+//! of keys are *laggy*: their median is multiplied by a boost factor that
+//! pushes most of their values past the threshold `T`, making the frequent
+//! ones quantile-outstanding. The paper's Zipf dataset instead adds a
+//! per-key normal constant to a Zipf-distributed component
+//! ([`ZipfValueModel`]).
+
+use rand::Rng;
+
+/// Draw a standard normal via Box–Muller.
+#[inline]
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A key's latency profile: the median of its lognormal value distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyProfile {
+    /// Median of the key's value distribution.
+    pub median: f64,
+    /// Whether the key was boosted into the laggy population.
+    pub laggy: bool,
+}
+
+/// Configuration for the lognormal latency model.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// Median of the (lognormal) distribution of per-key medians.
+    pub base_median: f64,
+    /// σ of the per-key median spread (log scale).
+    pub median_sigma: f64,
+    /// σ of the per-item value noise (log scale).
+    pub value_sigma: f64,
+    /// Fraction of keys whose median is boosted.
+    pub laggy_fraction: f64,
+    /// Multiplier applied to laggy keys' medians.
+    pub laggy_boost: f64,
+}
+
+impl LatencyModel {
+    /// The internet-like default: ~50 ms typical latency, a 2% laggy
+    /// population landing around 8× higher, moderate per-item jitter.
+    pub fn internet_default() -> Self {
+        Self {
+            base_median: 50.0,
+            median_sigma: 0.5,
+            value_sigma: 0.6,
+            laggy_fraction: 0.02,
+            laggy_boost: 10.0,
+        }
+    }
+
+    /// The cloud-like default: ~5 s flow durations, 3% laggy keys around
+    /// 10× higher (T = 20 s).
+    pub fn cloud_default() -> Self {
+        Self {
+            base_median: 5.0,
+            median_sigma: 0.5,
+            value_sigma: 0.5,
+            laggy_fraction: 0.03,
+            laggy_boost: 10.0,
+        }
+    }
+
+    /// Deterministically derive key `k`'s profile from the model seed.
+    pub fn profile(&self, key: u64, seed: u64) -> KeyProfile {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(qf_hash::mix64(seed ^ key));
+        let mut median = self.base_median * (self.median_sigma * standard_normal(&mut rng)).exp();
+        let laggy = rng.gen::<f64>() < self.laggy_fraction;
+        if laggy {
+            median *= self.laggy_boost;
+        }
+        KeyProfile { median, laggy }
+    }
+
+    /// Draw one value for a key with the given profile.
+    #[inline]
+    pub fn draw<R: Rng + ?Sized>(&self, profile: KeyProfile, rng: &mut R) -> f64 {
+        profile.median * (self.value_sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// The paper's Zipf-dataset value model: "each value is derived by summing
+/// two components: one that adheres to a fixed-parameter Zipf distribution,
+/// and another that is constant given a key and varies with the key
+/// according to a normal distribution with fixed mean and standard
+/// deviation."
+#[derive(Debug, Clone, Copy)]
+pub struct ZipfValueModel {
+    /// Exponent of the Zipf-distributed component.
+    pub component_alpha: f64,
+    /// Scale of the Zipf component (value of rank 1).
+    pub component_scale: f64,
+    /// Number of ranks in the Zipf component.
+    pub component_ranks: u64,
+    /// Mean of the per-key constant.
+    pub key_mean: f64,
+    /// Standard deviation of the per-key constant.
+    pub key_std: f64,
+}
+
+impl ZipfValueModel {
+    /// Defaults tuned so T = 300 puts a few percent of items above.
+    pub fn paper_default() -> Self {
+        Self {
+            component_alpha: 1.2,
+            component_scale: 400.0,
+            component_ranks: 1000,
+            key_mean: 100.0,
+            key_std: 60.0,
+        }
+    }
+
+    /// The per-key constant component.
+    pub fn key_constant(&self, key: u64, seed: u64) -> f64 {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(qf_hash::mix64(seed ^ key ^ 0xC0)) ;
+        (self.key_mean + self.key_std * standard_normal(&mut rng)).max(0.0)
+    }
+
+    /// Draw the Zipf component: rank r drawn Zipf(α), value = scale / r.
+    pub fn draw_component<R: Rng + ?Sized>(
+        &self,
+        sampler: &crate::zipf::ZipfSampler,
+        rng: &mut R,
+    ) -> f64 {
+        let rank = sampler.sample(rng);
+        self.component_scale / rank as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let draws: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "variance {var}");
+    }
+
+    #[test]
+    fn profiles_deterministic() {
+        let m = LatencyModel::internet_default();
+        assert_eq!(m.profile(42, 7), m.profile(42, 7));
+        assert_ne!(m.profile(42, 7), m.profile(43, 7));
+    }
+
+    #[test]
+    fn laggy_fraction_approximated() {
+        let m = LatencyModel::internet_default();
+        let laggy = (0u64..50_000).filter(|&k| m.profile(k, 3).laggy).count();
+        let frac = laggy as f64 / 50_000.0;
+        assert!((frac - 0.02).abs() < 0.005, "laggy fraction {frac}");
+    }
+
+    #[test]
+    fn laggy_keys_exceed_threshold_mostly() {
+        let m = LatencyModel::internet_default();
+        let mut rng = StdRng::seed_from_u64(9);
+        // Find a laggy key and check most of its values clear T = 300.
+        let key = (0u64..10_000).find(|&k| m.profile(k, 3).laggy).unwrap();
+        let p = m.profile(key, 3);
+        if p.median > 400.0 {
+            let above = (0..1000)
+                .filter(|_| m.draw(p, &mut rng) > 300.0)
+                .count();
+            assert!(above > 500, "laggy key only {above}/1000 above T");
+        }
+    }
+
+    #[test]
+    fn normal_keys_rarely_exceed_threshold() {
+        let m = LatencyModel::internet_default();
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut above = 0;
+        let mut total = 0;
+        for k in 0u64..200 {
+            let p = m.profile(k, 5);
+            if p.laggy {
+                continue;
+            }
+            for _ in 0..100 {
+                total += 1;
+                if m.draw(p, &mut rng) > 300.0 {
+                    above += 1;
+                }
+            }
+        }
+        let frac = f64::from(above) / f64::from(total);
+        assert!(frac < 0.05, "normal keys abnormal fraction {frac}");
+    }
+
+    #[test]
+    fn zipf_value_model_components() {
+        let zm = ZipfValueModel::paper_default();
+        assert_eq!(zm.key_constant(1, 2), zm.key_constant(1, 2));
+        let sampler = crate::zipf::ZipfSampler::new(zm.component_ranks, zm.component_alpha);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let c = zm.draw_component(&sampler, &mut rng);
+            assert!(c > 0.0 && c <= zm.component_scale);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Zipf-distributed sampling by rejection inversion (Hörmann & Derflinger),
+//! O(1) per sample with no O(K) tables — essential for the cloud-like
+//! workload's tens of millions of keys.
+
+use rand::Rng;
+
+/// Samples ranks `1..=n` with `P(k) ∝ k^{−α}`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    n: u64,
+    alpha: f64,
+    h_x1: f64,
+    h_n: f64,
+    s: f64,
+}
+
+impl ZipfSampler {
+    /// Build a sampler over `1..=n` with exponent `alpha > 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha <= 0`.
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(alpha > 0.0, "alpha must be positive");
+        let h_x1 = Self::h_integral_static(1.5, alpha) - 1.0;
+        let h_n = Self::h_integral_static(n as f64 + 0.5, alpha);
+        let s = 2.0 - Self::h_integral_inverse_static(
+            Self::h_integral_static(2.5, alpha) - Self::h_static(2.0, alpha),
+            alpha,
+        );
+        Self {
+            n,
+            alpha,
+            h_x1,
+            h_n,
+            s,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The exponent α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    #[inline]
+    fn h_static(x: f64, alpha: f64) -> f64 {
+        (-alpha * x.ln()).exp()
+    }
+
+    /// `H(x) = ∫ x^{−α} dx`: `(x^{1−α} − 1)/(1−α)`, or `ln x` at α = 1.
+    #[inline]
+    fn h_integral_static(x: f64, alpha: f64) -> f64 {
+        let log_x = x.ln();
+        helper2((1.0 - alpha) * log_x) * log_x
+    }
+
+    #[inline]
+    fn h_integral_inverse_static(x: f64, alpha: f64) -> f64 {
+        let mut t = x * (1.0 - alpha);
+        if t < -1.0 {
+            t = -1.0;
+        }
+        (helper1(t) * x).exp()
+    }
+
+    /// Draw one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
+            let x = Self::h_integral_inverse_static(u, self.alpha);
+            let mut k = (x + 0.5).floor() as i64;
+            k = k.clamp(1, self.n as i64);
+            let kf = k as f64;
+            if kf - x <= self.s
+                || u >= Self::h_integral_static(kf + 0.5, self.alpha)
+                    - Self::h_static(kf, self.alpha)
+            {
+                return k as u64;
+            }
+        }
+    }
+}
+
+/// `helper1(x) = ln(1+x)/x`, stable near 0.
+#[inline]
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `helper2(x) = (e^x − 1)/x`, stable near 0.
+#[inline]
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn empirical_frequencies(n: u64, alpha: f64, samples: usize, seed: u64) -> Vec<f64> {
+        let z = ZipfSampler::new(n, alpha);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..samples {
+            counts[(z.sample(&mut rng) - 1) as usize] += 1;
+        }
+        counts
+            .into_iter()
+            .map(|c| c as f64 / samples as f64)
+            .collect()
+    }
+
+    #[test]
+    fn ranks_in_range() {
+        let z = ZipfSampler::new(100, 1.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=100).contains(&k));
+        }
+    }
+
+    #[test]
+    fn frequencies_match_power_law() {
+        let alpha = 1.0;
+        let freqs = empirical_frequencies(1000, alpha, 500_000, 2);
+        // P(k)/P(1) should be ≈ k^{−α}.
+        for &k in &[2usize, 5, 10, 50] {
+            let expected = (k as f64).powf(-alpha);
+            let observed = freqs[k - 1] / freqs[0];
+            assert!(
+                (observed - expected).abs() / expected < 0.15,
+                "k={k}: observed ratio {observed} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_steeper_means_more_skew() {
+        let mild = empirical_frequencies(1000, 0.8, 200_000, 3);
+        let steep = empirical_frequencies(1000, 1.5, 200_000, 3);
+        assert!(steep[0] > mild[0], "steeper alpha must concentrate rank 1");
+    }
+
+    #[test]
+    fn large_n_works_without_tables() {
+        // 50M ranks would need a 400MB CDF table; rejection inversion is O(1).
+        let z = ZipfSampler::new(50_000_000, 1.05);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut max_seen = 0;
+        for _ in 0..100_000 {
+            max_seen = max_seen.max(z.sample(&mut rng));
+        }
+        assert!(max_seen > 1_000_000, "tail never sampled: max {max_seen}");
+    }
+
+    #[test]
+    fn alpha_one_exact_special_case() {
+        // α = 1 exercises the ln-based branch of H.
+        let freqs = empirical_frequencies(100, 1.0, 300_000, 5);
+        let expected = 2.0f64.powf(-1.0);
+        let observed = freqs[1] / freqs[0];
+        assert!((observed - expected).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn zero_alpha_rejected() {
+        let _ = ZipfSampler::new(10, 0.0);
+    }
+}

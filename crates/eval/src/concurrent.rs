@@ -1,0 +1,165 @@
+//! Multi-threaded ingestion wrapper.
+//!
+//! QuantileFilter itself is single-writer (like the paper's switch/FPGA
+//! deployments, which dedicate the structure to one pipeline). For
+//! multi-core software collectors the standard pattern — also used by
+//! OctoSketch and friends — is sharding: each worker owns a private
+//! filter, and keys are partitioned across workers by hash so per-key
+//! state never crosses threads. [`ShardedDetector`] implements that
+//! pattern over any `OutstandingDetector + Send`, with a
+//! [`parking_lot::Mutex`] per shard (uncontended in the recommended
+//! one-thread-per-shard setup, but safe under any scheduling).
+
+use parking_lot::Mutex;
+use qf_baselines::OutstandingDetector;
+use qf_datasets::Item;
+use std::collections::HashSet;
+
+/// Hash-sharded detector bank for parallel ingestion.
+pub struct ShardedDetector<D: OutstandingDetector> {
+    shards: Vec<Mutex<D>>,
+}
+
+impl<D: OutstandingDetector + Send> ShardedDetector<D> {
+    /// Build from per-shard detectors (usually identical configs with
+    /// distinct seeds).
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty.
+    pub fn new(shards: Vec<D>) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard");
+        Self {
+            shards: shards.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a key belongs to.
+    #[inline]
+    pub fn shard_of(&self, key: u64) -> usize {
+        (qf_hash::mix64(key ^ 0x5AAD) % self.shards.len() as u64) as usize
+    }
+
+    /// Insert one item; routed to the owning shard.
+    pub fn insert(&self, key: u64, value: f64) -> bool {
+        let shard = self.shard_of(key);
+        self.shards[shard].lock().insert(key, value)
+    }
+
+    /// Total memory across shards.
+    pub fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().memory_bytes()).sum()
+    }
+
+    /// Ingest a stream with `threads` workers (each walks the whole slice
+    /// but only processes its own shard's keys — zero cross-thread key
+    /// state). Returns the deduplicated reported-key set.
+    pub fn run_parallel(&self, items: &[Item], threads: usize) -> HashSet<u64>
+    where
+        D: 'static,
+    {
+        let threads = threads.max(1).min(self.shards.len());
+        let mut all = HashSet::new();
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let this = &*self;
+                handles.push(scope.spawn(move |_| {
+                    let mut reported = HashSet::new();
+                    for it in items {
+                        let shard = this.shard_of(it.key);
+                        if shard % threads == t && this.shards[shard].lock().insert(it.key, it.value)
+                        {
+                            reported.insert(it.key);
+                        }
+                    }
+                    reported
+                }));
+            }
+            for h in handles {
+                all.extend(h.join().expect("shard worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qf_baselines::QfDetector;
+    use quantile_filter::Criteria;
+
+    fn crit() -> Criteria {
+        Criteria::new(5.0, 0.9, 100.0).unwrap()
+    }
+
+    fn sharded(n: usize) -> ShardedDetector<QfDetector> {
+        ShardedDetector::new(
+            (0..n)
+                .map(|i| QfDetector::paper_default(crit(), 32 * 1024, i as u64))
+                .collect(),
+        )
+    }
+
+    fn workload() -> Vec<Item> {
+        let mut items = Vec::new();
+        for i in 0..20_000u64 {
+            items.push(Item {
+                key: i % 64,
+                value: 5.0,
+            });
+            if i % 8 == 0 {
+                items.push(Item {
+                    key: 1000 + (i % 3),
+                    value: 500.0,
+                });
+            }
+        }
+        items
+    }
+
+    #[test]
+    fn sharding_is_stable() {
+        let s = sharded(4);
+        for k in 0u64..100 {
+            assert_eq!(s.shard_of(k), s.shard_of(k));
+            assert!(s.shard_of(k) < 4);
+        }
+    }
+
+    #[test]
+    fn parallel_run_detects_hot_keys() {
+        let s = sharded(4);
+        let reported = s.run_parallel(&workload(), 4);
+        for hot in [1000u64, 1001, 1002] {
+            assert!(reported.contains(&hot), "missing hot key {hot}");
+        }
+        // No quiet key reported.
+        assert!(reported.iter().all(|&k| k >= 1000), "{reported:?}");
+    }
+
+    #[test]
+    fn parallel_equals_serial_per_shard_routing() {
+        // Same shard partitioning run with 1 thread and 4 threads must
+        // report identical key sets (per-key state never crosses shards).
+        let items = workload();
+        let s1 = sharded(4);
+        let s4 = sharded(4);
+        let serial = s1.run_parallel(&items, 1);
+        let parallel = s4.run_parallel(&items, 4);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn memory_sums_shards() {
+        let s = sharded(3);
+        assert!(s.memory_bytes() > 3 * 24 * 1024);
+        assert_eq!(s.shard_count(), 3);
+    }
+}

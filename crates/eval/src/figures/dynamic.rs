@@ -1,0 +1,243 @@
+//! Dynamic criteria modification (§III-C / §V-D, Figs. 13–15): change
+//! ε, δ or T for half the keys mid-stream and compare the accuracy of
+//! modified and unmodified keys against the unmodified baseline.
+//!
+//! Protocol (following §V-D): keys with even ids are the *modified* half.
+//! At the stream midpoint each modified key's Qweight is deleted (the
+//! §III-C modification procedure — "remove its Qweight via the deletion
+//! operation, then insert under new criteria; following criteria change,
+//! V_x resets to empty") and subsequent inserts carry the new criteria.
+//! Ground truth applies the same reset-and-switch semantics exactly.
+
+use super::{fmt_f, paper_criteria, FigureOutput, Scale};
+use crate::metrics::Accuracy;
+use crate::runner::{ground_truth, run_detector};
+use qf_baselines::QfDetector;
+use qf_datasets::{internet_like, Item};
+use quantile_filter::qweight::QweightTracker;
+use quantile_filter::Criteria;
+use std::collections::{HashMap, HashSet};
+
+const SEED: u64 = 0xF16_000D;
+
+#[inline]
+fn is_modified(key: u64) -> bool {
+    key.is_multiple_of(2)
+}
+
+/// Exact outstanding set under the switch protocol.
+fn truth_with_switch(
+    items: &[Item],
+    before: &Criteria,
+    after: &Criteria,
+    switch_at: usize,
+) -> HashSet<u64> {
+    let mut trackers: HashMap<u64, QweightTracker> = HashMap::new();
+    let mut out = HashSet::new();
+    for (i, it) in items.iter().enumerate() {
+        if i == switch_at {
+            // V_x resets to empty for modified keys at the switch.
+            for (&k, t) in trackers.iter_mut() {
+                if is_modified(k) {
+                    t.reset();
+                }
+            }
+        }
+        let c = if i >= switch_at && is_modified(it.key) {
+            after
+        } else {
+            before
+        };
+        let t = trackers.entry(it.key).or_default();
+        t.observe(it.value, c);
+        if t.quantile_exceeds(c) {
+            out.insert(it.key);
+            t.reset();
+        }
+    }
+    out
+}
+
+/// QuantileFilter run under the switch protocol.
+fn qf_with_switch(
+    items: &[Item],
+    before: &Criteria,
+    after: &Criteria,
+    switch_at: usize,
+    memory: usize,
+) -> HashSet<u64> {
+    let mut det = QfDetector::paper_default(*before, memory, SEED);
+    let modified_keys: HashSet<u64> = items
+        .iter()
+        .map(|it| it.key)
+        .filter(|&k| is_modified(k))
+        .collect();
+    let mut reported = HashSet::new();
+    for (i, it) in items.iter().enumerate() {
+        if i == switch_at {
+            // §III-C: deletion operation for every key whose criteria
+            // change.
+            for &k in &modified_keys {
+                det.filter_mut().modify_key_criteria(&k);
+            }
+        }
+        let c = if i >= switch_at && is_modified(it.key) {
+            after
+        } else {
+            before
+        };
+        if det.filter_mut().insert_with_criteria(&it.key, it.value, c).is_some() {
+            reported.insert(it.key);
+        }
+    }
+    reported
+}
+
+/// Shared engine: sweep `after`-criteria variants, report modified /
+/// unmodified subset F1 plus the no-modification baseline.
+fn dynamic_figure(
+    id: &str,
+    title: &str,
+    scale: Scale,
+    variants: Vec<(String, Criteria)>,
+) -> FigureOutput {
+    let dataset = internet_like(&scale.internet_config());
+    let base = paper_criteria(&dataset);
+    // Space pressure makes the modification error effects visible.
+    let memory = scale.tight_memory() * 2;
+    let switch_at = dataset.items.len() / 2;
+
+    // Baseline: no modification at all.
+    let baseline_truth = ground_truth(&dataset.items, &base);
+    let mut baseline_det = QfDetector::paper_default(base, memory, SEED);
+    let baseline_run = run_detector(&mut baseline_det, &dataset.items);
+    let base_mod = Accuracy::of_subset(&baseline_run.reported, &baseline_truth, is_modified);
+    let base_unmod = Accuracy::of_subset(&baseline_run.reported, &baseline_truth, |k| {
+        !is_modified(k)
+    });
+
+    let mut out = FigureOutput::new(
+        id,
+        title,
+        &[
+            "modified_param",
+            "subset",
+            "f1",
+            "baseline_f1",
+        ],
+    );
+    for (label, after) in variants {
+        let truth = truth_with_switch(&dataset.items, &base, &after, switch_at);
+        let reported = qf_with_switch(&dataset.items, &base, &after, switch_at, memory);
+        let acc_mod = Accuracy::of_subset(&reported, &truth, is_modified);
+        let acc_unmod = Accuracy::of_subset(&reported, &truth, |k| !is_modified(k));
+        out.push_row(vec![
+            label.clone(),
+            "modified".into(),
+            fmt_f(acc_mod.f1()),
+            fmt_f(base_mod.f1()),
+        ]);
+        out.push_row(vec![
+            label,
+            "unmodified".into(),
+            fmt_f(acc_unmod.f1()),
+            fmt_f(base_unmod.f1()),
+        ]);
+    }
+    out
+}
+
+/// Fig. 13: modifying ε ("making ε larger increases accuracy … unmodified
+/// keys largely unaffected").
+pub fn fig13(scale: Scale) -> FigureOutput {
+    let base = Criteria::new(30.0, 0.95, 300.0).expect("valid");
+    let eps: &[f64] = match scale {
+        Scale::Tiny => &[10.0, 60.0],
+        _ => &[5.0, 10.0, 30.0, 60.0, 120.0],
+    };
+    let variants = eps
+        .iter()
+        .map(|&e| (format!("eps={e}"), base.with_epsilon(e).expect("valid")))
+        .collect();
+    dynamic_figure(
+        "fig13",
+        "Dynamic modification of epsilon for half the keys",
+        scale,
+        variants,
+    )
+}
+
+/// Fig. 14: modifying δ ("the smaller the δ, the greater the error").
+pub fn fig14(scale: Scale) -> FigureOutput {
+    let base = Criteria::new(30.0, 0.95, 300.0).expect("valid");
+    let deltas: &[f64] = match scale {
+        Scale::Tiny => &[0.9, 0.99],
+        _ => &[0.5, 0.75, 0.9, 0.95, 0.99],
+    };
+    let variants = deltas
+        .iter()
+        .map(|&d| (format!("delta={d}"), base.with_delta(d).expect("valid")))
+        .collect();
+    dynamic_figure(
+        "fig14",
+        "Dynamic modification of delta for half the keys",
+        scale,
+        variants,
+    )
+}
+
+/// Fig. 15: modifying T ("the smaller T is … increasing the error for
+/// unmodified keys").
+pub fn fig15(scale: Scale) -> FigureOutput {
+    let base = Criteria::new(30.0, 0.95, 300.0).expect("valid");
+    let thresholds: &[f64] = match scale {
+        Scale::Tiny => &[100.0, 500.0],
+        _ => &[50.0, 100.0, 300.0, 500.0, 1000.0],
+    };
+    let variants = thresholds
+        .iter()
+        .map(|&t| (format!("T={t}"), base.with_threshold(t).expect("valid")))
+        .collect();
+    dynamic_figure(
+        "fig15",
+        "Dynamic modification of T for half the keys",
+        scale,
+        variants,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_switch_resets_modified_keys() {
+        // Key 0 (modified) accumulates above-T items before the switch;
+        // after the reset it must re-accumulate from zero.
+        let c0 = Criteria::new(5.0, 0.9, 100.0).unwrap();
+        let c1 = Criteria::new(20.0, 0.9, 100.0).unwrap(); // stricter ε
+        let items: Vec<Item> = (0..10)
+            .map(|_| Item {
+                key: 0,
+                value: 500.0,
+            })
+            .collect();
+        // Switch right after item 5: the first 6 items would have fired
+        // under c0 at item 6 — but the reset at index 5 wipes progress and
+        // c1's threshold (20/0.1 = 200 Qweight ⇒ 23 items) is unreachable.
+        let truth = truth_with_switch(&items, &c0, &c1, 5);
+        assert!(!truth.contains(&0));
+        // Without the switch it is outstanding.
+        let truth_nomod = truth_with_switch(&items, &c0, &c0, usize::MAX);
+        assert!(truth_nomod.contains(&0));
+    }
+
+    #[test]
+    fn fig13_tiny_produces_both_subsets() {
+        let f = fig13(Scale::Tiny);
+        assert_eq!(f.rows.len(), 4); // 2 variants × 2 subsets
+        let subsets: std::collections::HashSet<&String> =
+            f.rows.iter().map(|r| &r[1]).collect();
+        assert_eq!(subsets.len(), 2);
+    }
+}

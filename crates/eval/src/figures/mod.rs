@@ -1,0 +1,169 @@
+//! One driver per figure of the paper's evaluation (§V, Figs. 4–15).
+//!
+//! Each driver returns a [`FigureOutput`] — a small table whose rows are
+//! the series of the corresponding plot. Drivers accept a [`Scale`] so the
+//! same code runs as a seconds-long smoke test (`Scale::Tiny`), a default
+//! laptop run (`Scale::Small`) or a paper-sized run (`Scale::Full`).
+
+mod accuracy;
+mod dynamic;
+mod params;
+mod speed;
+
+pub use accuracy::{fig4, fig5, fig6, fig7, spot1mb};
+pub use dynamic::{fig13, fig14, fig15};
+pub use params::{fig11, fig12, fig9};
+pub use speed::{fig10, fig8};
+
+use qf_baselines::{
+    HistSketchDetector, NaiveDetector, OutstandingDetector, QfDetector, SketchPolymerDetector,
+    SquadDetector,
+};
+use qf_datasets::{CloudConfig, Dataset, InternetConfig};
+use quantile_filter::Criteria;
+
+/// How large a run to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long smoke run (integration tests).
+    Tiny,
+    /// Default laptop run (a few minutes for the full figure set).
+    Small,
+    /// Paper-sized datasets (tens of minutes).
+    Full,
+}
+
+impl Scale {
+    /// Items in the internet-like dataset.
+    pub fn internet_config(self) -> InternetConfig {
+        match self {
+            Self::Tiny => InternetConfig::tiny(),
+            Self::Small => InternetConfig {
+                items: 1_000_000,
+                keys: 30_000,
+                ..InternetConfig::default()
+            },
+            Self::Full => InternetConfig::paper_scale(),
+        }
+    }
+
+    /// Items in the cloud-like dataset.
+    pub fn cloud_config(self) -> CloudConfig {
+        match self {
+            Self::Tiny => CloudConfig::tiny(),
+            Self::Small => CloudConfig {
+                items: 1_000_000,
+                core_keys: 1_500,
+                ..CloudConfig::default()
+            },
+            Self::Full => CloudConfig::paper_scale(),
+        }
+    }
+
+    /// The memory sweep (bytes) for accuracy-vs-space figures.
+    pub fn memory_sweep(self) -> Vec<usize> {
+        match self {
+            Self::Tiny => vec![1 << 12, 1 << 14, 1 << 16],
+            Self::Small => (13..=22).step_by(2).map(|e| 1usize << e).collect(),
+            Self::Full => (15..=26).map(|e| 1usize << e).collect(),
+        }
+    }
+
+    /// A single representative memory for parameter sweeps.
+    pub fn reference_memory(self) -> usize {
+        match self {
+            Self::Tiny => 1 << 14,
+            Self::Small => 1 << 18,
+            Self::Full => 1 << 20,
+        }
+    }
+
+    /// A *binding* memory for sensitivity sweeps: small enough that the
+    /// filter is under genuine space pressure, so parameter effects are
+    /// visible instead of saturating at F1 = 1.
+    pub fn tight_memory(self) -> usize {
+        match self {
+            Self::Tiny => 1 << 11,
+            Self::Small => 1 << 13,
+            Self::Full => 1 << 16,
+        }
+    }
+}
+
+/// A figure's regenerated data: headers plus one row per plotted point.
+#[derive(Debug, Clone)]
+pub struct FigureOutput {
+    /// Figure id ("fig4", ...).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column names.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl FigureOutput {
+    pub(crate) fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push_row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Render as CSV (header line + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for FigureOutput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        writeln!(f, "{}", self.headers.join("\t"))?;
+        for r in &self.rows {
+            writeln!(f, "{}", r.join("\t"))?;
+        }
+        Ok(())
+    }
+}
+
+/// The default experiment criteria of §V-A: ε = 30, δ = 95%, with `T`
+/// taken from the dataset ("adjusted to ensure the proportion of abnormal
+/// items is around 5%").
+pub fn paper_criteria(dataset: &Dataset) -> Criteria {
+    Criteria::new(30.0, 0.95, dataset.threshold).expect("paper criteria valid")
+}
+
+/// Construct the full comparator set at a memory budget.
+pub fn all_detectors(
+    criteria: Criteria,
+    memory: usize,
+    seed: u64,
+) -> Vec<Box<dyn OutstandingDetector>> {
+    vec![
+        Box::new(QfDetector::paper_default(criteria, memory, seed)),
+        Box::new(SquadDetector::new(criteria, memory, seed)),
+        Box::new(SketchPolymerDetector::new(criteria, memory, seed)),
+        Box::new(HistSketchDetector::new(criteria, memory, seed)),
+        Box::new(NaiveDetector::new(criteria, memory, seed)),
+    ]
+}
+
+fn fmt_f(x: f64) -> String {
+    format!("{x:.4}")
+}

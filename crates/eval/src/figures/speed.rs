@@ -1,0 +1,123 @@
+//! Throughput figures: Fig. 8 (scheme comparison) and Fig. 10 (parameter
+//! effects on QuantileFilter speed).
+
+use super::{all_detectors, fmt_f, paper_criteria, FigureOutput, Scale};
+use crate::metrics::Accuracy;
+use crate::runner::{ground_truth, run_detector};
+use qf_baselines::QfDetector;
+use qf_datasets::{cloud_like, internet_like};
+use quantile_filter::ElectionStrategy;
+
+const SEED: u64 = 0xF16_0008;
+
+/// Fig. 8: throughput (MOPS) vs memory for every scheme on both datasets,
+/// annotated with the F1 reached so the paper's "10–100× faster above 50%
+/// F1" claim can be checked directly.
+pub fn fig8(scale: Scale) -> FigureOutput {
+    let datasets = [
+        internet_like(&scale.internet_config()),
+        cloud_like(&scale.cloud_config()),
+    ];
+    let mut out = FigureOutput::new(
+        "fig8",
+        "Throughput vs. memory (insert+detect), both datasets",
+        &["dataset", "memory_bytes", "scheme", "mops", "f1"],
+    );
+    for dataset in &datasets {
+        let criteria = paper_criteria(dataset);
+        let truth = ground_truth(&dataset.items, &criteria);
+        for memory in scale.memory_sweep() {
+            for mut det in all_detectors(criteria, memory, SEED) {
+                let name = det.name();
+                let result = run_detector(det.as_mut(), &dataset.items);
+                let acc = Accuracy::of(&result.reported, &truth);
+                out.push_row(vec![
+                    dataset.name.clone(),
+                    memory.to_string(),
+                    name,
+                    fmt_f(result.mops()),
+                    fmt_f(acc.f1()),
+                ]);
+            }
+        }
+    }
+    out
+}
+
+/// Fig. 10: QuantileFilter throughput vs (a) vague-part array number `d`
+/// and (b) candidate block length `b`, Internet dataset.
+pub fn fig10(scale: Scale) -> FigureOutput {
+    let dataset = internet_like(&scale.internet_config());
+    let criteria = paper_criteria(&dataset);
+    let memory = scale.reference_memory();
+    let d_values: &[usize] = match scale {
+        Scale::Tiny => &[1, 3, 8],
+        _ => &[1, 2, 3, 4, 6, 8, 12, 16, 20],
+    };
+    let b_values: &[usize] = match scale {
+        Scale::Tiny => &[2, 6],
+        _ => &[1, 2, 4, 6, 8, 12, 16],
+    };
+    let mut out = FigureOutput::new(
+        "fig10",
+        "QuantileFilter throughput vs. parameters, Internet dataset",
+        &["parameter", "value", "mops"],
+    );
+    for &d in d_values {
+        let mut det = QfDetector::with_params(
+            criteria,
+            memory,
+            6,
+            d,
+            0.8,
+            ElectionStrategy::Comparative,
+            SEED,
+        );
+        let result = run_detector(&mut det, &dataset.items);
+        out.push_row(vec!["d".into(), d.to_string(), fmt_f(result.mops())]);
+    }
+    for &b in b_values {
+        let mut det = QfDetector::with_params(
+            criteria,
+            memory,
+            b,
+            3,
+            0.8,
+            ElectionStrategy::Comparative,
+            SEED,
+        );
+        let result = run_detector(&mut det, &dataset.items);
+        out.push_row(vec![
+            "block_len".into(),
+            b.to_string(),
+            fmt_f(result.mops()),
+        ]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_tiny_covers_both_datasets() {
+        let f = fig8(Scale::Tiny);
+        let datasets: std::collections::HashSet<&String> =
+            f.rows.iter().map(|r| &r[0]).collect();
+        assert_eq!(datasets.len(), 2);
+        // All throughputs positive.
+        for r in &f.rows {
+            assert!(r[3].parse::<f64>().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn fig10_tiny_sweeps_both_parameters() {
+        let f = fig10(Scale::Tiny);
+        let params: std::collections::HashSet<&String> =
+            f.rows.iter().map(|r| &r[0]).collect();
+        assert!(params.contains(&"d".to_string()));
+        assert!(params.contains(&"block_len".to_string()));
+    }
+}

@@ -1,0 +1,150 @@
+//! Accuracy metrics of §V-B: precision / recall / F1 over deduplicated
+//! reported-key sets.
+
+use std::collections::HashSet;
+
+/// Precision/recall/F1 of a detector's deduplicated report set against the
+/// exact outstanding-key set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accuracy {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Accuracy {
+    /// Compare a reported set against the truth set.
+    pub fn of(reported: &HashSet<u64>, truth: &HashSet<u64>) -> Self {
+        let tp = reported.intersection(truth).count();
+        Self {
+            tp,
+            fp: reported.len() - tp,
+            fn_: truth.len() - tp,
+        }
+    }
+
+    /// Compare only the keys satisfying `pred` (used by the Fig. 13–15
+    /// modified/unmodified split).
+    pub fn of_subset<F: Fn(u64) -> bool>(
+        reported: &HashSet<u64>,
+        truth: &HashSet<u64>,
+        pred: F,
+    ) -> Self {
+        let r: HashSet<u64> = reported.iter().copied().filter(|&k| pred(k)).collect();
+        let t: HashSet<u64> = truth.iter().copied().filter(|&k| pred(k)).collect();
+        Self::of(&r, &t)
+    }
+
+    /// Precision = TP / (TP + FP); defined as 1 when nothing was reported.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            return 1.0;
+        }
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+
+    /// Recall = TP / (TP + FN); defined as 1 when nothing was outstanding.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 1.0;
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    /// F1 = harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+impl std::fmt::Display for Accuracy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "P={:.4} R={:.4} F1={:.4}",
+            self.precision(),
+            self.recall(),
+            self.f1()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[u64]) -> HashSet<u64> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_detection() {
+        let a = Accuracy::of(&set(&[1, 2, 3]), &set(&[1, 2, 3]));
+        assert_eq!(a.precision(), 1.0);
+        assert_eq!(a.recall(), 1.0);
+        assert_eq!(a.f1(), 1.0);
+    }
+
+    #[test]
+    fn false_positives_cost_precision() {
+        let a = Accuracy::of(&set(&[1, 2, 3, 4]), &set(&[1, 2]));
+        assert_eq!(a.tp, 2);
+        assert_eq!(a.fp, 2);
+        assert_eq!(a.precision(), 0.5);
+        assert_eq!(a.recall(), 1.0);
+    }
+
+    #[test]
+    fn false_negatives_cost_recall() {
+        let a = Accuracy::of(&set(&[1]), &set(&[1, 2, 3, 4]));
+        assert_eq!(a.recall(), 0.25);
+        assert_eq!(a.precision(), 1.0);
+    }
+
+    #[test]
+    fn empty_report_empty_truth_is_perfect() {
+        let a = Accuracy::of(&set(&[]), &set(&[]));
+        assert_eq!(a.f1(), 1.0);
+    }
+
+    #[test]
+    fn empty_report_with_truth_zero_f1() {
+        let a = Accuracy::of(&set(&[]), &set(&[1]));
+        assert_eq!(a.recall(), 0.0);
+        assert_eq!(a.f1(), 0.0);
+    }
+
+    #[test]
+    fn f1_harmonic_mean() {
+        let a = Accuracy::of(&set(&[1, 2]), &set(&[1, 3]));
+        // P = 0.5, R = 0.5 → F1 = 0.5.
+        assert!((a.f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_split() {
+        let reported = set(&[1, 2, 3, 4]);
+        let truth = set(&[2, 4, 6]);
+        let even = Accuracy::of_subset(&reported, &truth, |k| k % 2 == 0);
+        assert_eq!(even.tp, 2); // 2 and 4
+        assert_eq!(even.fp, 0);
+        assert_eq!(even.fn_, 1); // 6
+        let odd = Accuracy::of_subset(&reported, &truth, |k| k % 2 == 1);
+        assert_eq!(odd.tp, 0);
+        assert_eq!(odd.fp, 2); // 1 and 3
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = Accuracy::of(&set(&[1]), &set(&[1]));
+        assert!(format!("{a}").contains("F1=1.0000"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Stream a workload through a detector: reports, dedup, wall-clock MOPS.
+
+use qf_baselines::{ExactDetector, OutstandingDetector};
+use qf_datasets::Item;
+use quantile_filter::Criteria;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Outcome of one detector run over one stream.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Deduplicated keys the detector reported.
+    pub reported: HashSet<u64>,
+    /// Total (non-deduplicated) report events.
+    pub report_events: u64,
+    /// Items processed.
+    pub items: usize,
+    /// Wall-clock seconds for the full stream.
+    pub seconds: f64,
+    /// Detector memory after the run (live bytes for growing structures).
+    pub memory_bytes: usize,
+}
+
+impl RunResult {
+    /// Throughput in million operations per second (§V-C metric).
+    pub fn mops(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.items as f64 / self.seconds / 1e6
+    }
+}
+
+/// Stream `items` through `detector`, collecting reports and timing the
+/// whole loop (insert + online detection — the integrated operation the
+/// paper measures).
+pub fn run_detector(detector: &mut dyn OutstandingDetector, items: &[Item]) -> RunResult {
+    let mut reported = HashSet::new();
+    let mut report_events = 0u64;
+    let start = Instant::now();
+    for it in items {
+        if detector.insert(it.key, it.value) {
+            report_events += 1;
+            reported.insert(it.key);
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    RunResult {
+        reported,
+        report_events,
+        items: items.len(),
+        seconds,
+        memory_bytes: detector.memory_bytes(),
+    }
+}
+
+/// The exact outstanding-key set of a stream under `criteria` — every key
+/// the zero-error detector would report at least once (Definition 4 with
+/// resets).
+pub fn ground_truth(items: &[Item], criteria: &Criteria) -> HashSet<u64> {
+    let mut exact = ExactDetector::new(*criteria);
+    run_detector(&mut exact, items).reported
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qf_baselines::QfDetector;
+
+    fn items_with_one_hot_key() -> Vec<Item> {
+        let mut items = Vec::new();
+        for i in 0..2000u64 {
+            items.push(Item {
+                key: i % 50,
+                value: 5.0,
+            });
+            if i % 10 == 0 {
+                items.push(Item {
+                    key: 999,
+                    value: 500.0,
+                });
+            }
+        }
+        items
+    }
+
+    fn crit() -> Criteria {
+        Criteria::new(5.0, 0.9, 100.0).unwrap()
+    }
+
+    #[test]
+    fn ground_truth_finds_hot_key() {
+        let truth = ground_truth(&items_with_one_hot_key(), &crit());
+        assert!(truth.contains(&999));
+        assert_eq!(truth.len(), 1);
+    }
+
+    #[test]
+    fn qf_run_matches_truth_with_ample_memory() {
+        let items = items_with_one_hot_key();
+        let truth = ground_truth(&items, &crit());
+        let mut det = QfDetector::paper_default(crit(), 256 * 1024, 1);
+        let result = run_detector(&mut det, &items);
+        let acc = crate::metrics::Accuracy::of(&result.reported, &truth);
+        assert_eq!(acc.f1(), 1.0, "{acc}");
+    }
+
+    #[test]
+    fn run_result_counts_and_timing() {
+        let items = items_with_one_hot_key();
+        let mut det = QfDetector::paper_default(crit(), 64 * 1024, 2);
+        let r = run_detector(&mut det, &items);
+        assert_eq!(r.items, items.len());
+        assert!(r.seconds >= 0.0);
+        assert!(r.mops() > 0.0);
+        assert!(r.report_events >= r.reported.len() as u64);
+    }
+}

@@ -1,0 +1,276 @@
+//! DDSketch (Masson, Rim & Lee — VLDB 2019): quantiles with *relative*
+//! error guarantees via logarithmic buckets.
+//!
+//! Values are binned by `i = ⌈log_γ(v)⌉` with `γ = (1+α)/(1−α)`; any value
+//! returned for a quantile is within a factor `(1±α)` of the true one.
+//! Besides serving as a baseline summary, the log-bucket layout is reused
+//! by the SketchPolymer- and HistSketch-style detectors, which both
+//! discretize values into logarithmic histograms.
+
+use crate::{clamp_q, QuantileSummary};
+use std::collections::BTreeMap;
+
+/// A DDSketch with relative accuracy `alpha` and a bucket-count cap.
+#[derive(Debug, Clone)]
+pub struct DdSketch {
+    /// Bucket index → count, for positive values.
+    buckets: BTreeMap<i32, u64>,
+    /// Count of values ≤ `min_positive` (zeros and tiny values).
+    zero_count: u64,
+    gamma: f64,
+    ln_gamma: f64,
+    /// Values below this are lumped into the zero bucket.
+    min_positive: f64,
+    /// Maximum number of buckets before the lowest collapse together.
+    max_buckets: usize,
+    count: u64,
+}
+
+impl DdSketch {
+    /// Create a sketch with relative accuracy `alpha` (e.g. 0.01 = 1%) and
+    /// at most `max_buckets` live buckets.
+    ///
+    /// # Panics
+    /// Panics unless `0 < alpha < 1` and `max_buckets ≥ 16`.
+    pub fn new(alpha: f64, max_buckets: usize) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+        assert!(max_buckets >= 16, "need at least 16 buckets");
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        Self {
+            buckets: BTreeMap::new(),
+            zero_count: 0,
+            gamma,
+            ln_gamma: gamma.ln(),
+            min_positive: 1e-9,
+            max_buckets,
+            count: 0,
+        }
+    }
+
+    /// The relative-accuracy parameter implied by γ.
+    pub fn alpha(&self) -> f64 {
+        (self.gamma - 1.0) / (self.gamma + 1.0)
+    }
+
+    /// Bucket index for a positive value.
+    #[inline]
+    fn index_of(&self, v: f64) -> i32 {
+        (v.ln() / self.ln_gamma).ceil() as i32
+    }
+
+    /// Representative value of a bucket: the γ-geometric midpoint, within
+    /// `(1±α)` of every value the bucket can hold.
+    #[inline]
+    fn value_of(&self, index: i32) -> f64 {
+        2.0 * self.gamma.powi(index) / (self.gamma + 1.0)
+    }
+
+    /// Number of live buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Merge another DDSketch with the same γ into this one — bucket
+    /// counts add directly (the "fully mergeable" property of the title).
+    ///
+    /// # Panics
+    /// Panics if the relative-accuracy parameters differ.
+    pub fn merge(&mut self, other: &DdSketch) {
+        assert!(
+            (self.gamma - other.gamma).abs() < 1e-12,
+            "cannot merge DDSketches with different gamma"
+        );
+        for (&idx, &c) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += c;
+        }
+        self.zero_count += other.zero_count;
+        self.count += other.count;
+        self.collapse_if_needed();
+    }
+
+    /// Collapse the lowest buckets into one when over budget, as in the
+    /// original paper (accuracy is sacrificed at the *bottom*, preserving
+    /// the tail quantiles that matter for latency monitoring).
+    fn collapse_if_needed(&mut self) {
+        while self.buckets.len() > self.max_buckets {
+            let (&lowest, &c0) = self.buckets.iter().next().expect("nonempty");
+            let (&second, _) = self.buckets.iter().nth(1).expect("len > max ≥ 2");
+            self.buckets.remove(&lowest);
+            *self.buckets.entry(second).or_insert(0) += c0;
+        }
+    }
+}
+
+impl QuantileSummary for DdSketch {
+    fn insert(&mut self, value: f64) {
+        debug_assert!(!value.is_nan());
+        self.count += 1;
+        if value <= self.min_positive {
+            self.zero_count += 1;
+            return;
+        }
+        let idx = self.index_of(value);
+        *self.buckets.entry(idx).or_insert(0) += 1;
+        self.collapse_if_needed();
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+
+    fn query(&mut self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (clamp_q(q) * self.count as f64).floor() as u64;
+        if target < self.zero_count {
+            return Some(0.0);
+        }
+        let mut acc = self.zero_count;
+        for (&idx, &c) in &self.buckets {
+            acc += c;
+            if acc > target {
+                return Some(self.value_of(idx));
+            }
+        }
+        // Numerical edge: return the top bucket.
+        self.buckets.keys().next_back().map(|&i| self.value_of(i))
+    }
+
+    fn clear(&mut self) {
+        self.buckets.clear();
+        self.zero_count = 0;
+        self.count = 0;
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // BTreeMap node overhead approximated at 1.5x payload.
+        self.buckets.len() * (core::mem::size_of::<(i32, u64)>() * 3 / 2)
+    }
+
+    fn kind_name(&self) -> &'static str {
+        "DDSketch"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_guarantee_uniform() {
+        use rand::prelude::*;
+        let alpha = 0.02;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut dd = DdSketch::new(alpha, 2048);
+        let mut values = vec![];
+        for _ in 0..50_000 {
+            let v = rng.gen_range(1.0..1e6);
+            dd.insert(v);
+            values.push(v);
+        }
+        values.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        for &q in &[0.1, 0.5, 0.9, 0.95, 0.99] {
+            let est = dd.query(q).unwrap();
+            let truth = values[(q * values.len() as f64) as usize];
+            let rel = (est - truth).abs() / truth;
+            assert!(rel <= alpha * 1.5 + 1e-9, "q={q} rel err {rel}");
+        }
+    }
+
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = DdSketch::new(0.02, 512);
+        let mut b = DdSketch::new(0.02, 512);
+        for v in 1..=1000 { a.insert(f64::from(v)); }
+        for v in 1001..=2000 { b.insert(f64::from(v)); }
+        a.merge(&b);
+        assert_eq!(a.count(), 2000);
+        let median = a.query(0.5).unwrap();
+        assert!((median - 1000.0).abs() / 1000.0 < 0.05, "median {median}");
+    }
+
+    #[test]
+    #[should_panic(expected = "different gamma")]
+    fn merge_mismatched_gamma_rejected() {
+        let mut a = DdSketch::new(0.02, 64);
+        let b = DdSketch::new(0.05, 64);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn zero_values_counted() {
+        let mut dd = DdSketch::new(0.01, 128);
+        for _ in 0..10 {
+            dd.insert(0.0);
+        }
+        dd.insert(100.0);
+        assert_eq!(dd.query(0.5), Some(0.0));
+        assert!(dd.query(0.95).unwrap() > 90.0);
+    }
+
+    #[test]
+    fn bucket_budget_respected() {
+        let mut dd = DdSketch::new(0.005, 64);
+        for v in 1..100_000 {
+            dd.insert(f64::from(v));
+        }
+        assert!(dd.bucket_count() <= 64);
+        // Tail must survive the collapse.
+        let p99 = dd.query(0.99).unwrap();
+        assert!((p99 - 99_000.0).abs() / 99_000.0 < 0.02, "p99 {p99}");
+    }
+
+    #[test]
+    fn alpha_round_trip() {
+        let dd = DdSketch::new(0.03, 128);
+        assert!((dd.alpha() - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn representative_value_within_band() {
+        let dd = DdSketch::new(0.01, 128);
+        for v in [1.5, 20.0, 333.3, 1e6] {
+            let idx = dd.index_of(v);
+            let rep = dd.value_of(idx);
+            assert!((rep - v).abs() / v <= 0.011, "v={v} rep={rep}");
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut dd = DdSketch::new(0.05, 64);
+        dd.insert(3.0);
+        dd.clear();
+        assert_eq!(dd.count(), 0);
+        assert_eq!(dd.query(0.5), None);
+    }
+
+    #[test]
+    fn counts_track_inserts() {
+        let mut dd = DdSketch::new(0.02, 128);
+        for i in 0..500 {
+            dd.insert(f64::from(i));
+        }
+        assert_eq!(dd.count(), 500);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_relative_error_bound(values in proptest::collection::vec(0.1f64..1e5, 50..500), q in 0.0f64..0.99) {
+            let alpha = 0.05;
+            let mut dd = DdSketch::new(alpha, 4096);
+            for &v in &values {
+                dd.insert(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+            let truth = sorted[((q * sorted.len() as f64).floor() as usize).min(sorted.len()-1)];
+            let est = dd.query(q).unwrap();
+            let rel = (est - truth).abs() / truth;
+            proptest::prop_assert!(rel <= alpha * 1.2 + 1e-9, "rel err {}", rel);
+        }
+    }
+}

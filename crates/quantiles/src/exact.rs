@@ -1,0 +1,202 @@
+//! Zero-error quantile oracle over a buffered value stream.
+//!
+//! This is the "exact quantile calculation" reference of §II-B: it stores
+//! every value and sorts lazily on query. It is the accuracy ground truth
+//! for every approximate summary in this crate and the value-set model used
+//! by the exact outstanding-key detector.
+
+use crate::{target_rank, QuantileSummary};
+
+/// Exact quantiles via a lazily-sorted buffer.
+#[derive(Debug, Clone, Default)]
+pub struct ExactQuantiles {
+    values: Vec<f64>,
+    sorted_prefix: usize,
+}
+
+impl ExactQuantiles {
+    /// Create an empty oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            values: Vec::with_capacity(cap),
+            sorted_prefix: 0,
+        }
+    }
+
+    fn ensure_sorted(&mut self) {
+        if self.sorted_prefix < self.values.len() {
+            // Values arrive mostly unsorted; a full unstable sort is the
+            // cheapest robust option and is amortized across queries.
+            self.values
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN values"));
+            self.sorted_prefix = self.values.len();
+        }
+    }
+
+    /// The exact `(ε, δ)`-quantile of Definition 3: the value at index
+    /// `⌊δ·n − ε⌋`, or `None` ( = −∞ in the paper) if that index is
+    /// negative. This is the primitive the ground-truth detector uses.
+    pub fn biased_quantile(&mut self, epsilon: f64, delta: f64, n_override: Option<u64>) -> Option<f64> {
+        let n = n_override.unwrap_or(self.values.len() as u64);
+        if n == 0 {
+            return None;
+        }
+        let idx = (delta * n as f64 - epsilon).floor();
+        if idx < 0.0 {
+            return None;
+        }
+        self.ensure_sorted();
+        let idx = (idx as usize).min(self.values.len().saturating_sub(1));
+        self.values.get(idx).copied()
+    }
+
+    /// Exact rank (count of values strictly less than `v`).
+    pub fn rank(&mut self, v: f64) -> u64 {
+        self.ensure_sorted();
+        self.values.partition_point(|&x| x < v) as u64
+    }
+
+    /// Borrow the sorted values.
+    pub fn sorted_values(&mut self) -> &[f64] {
+        self.ensure_sorted();
+        &self.values
+    }
+}
+
+impl QuantileSummary for ExactQuantiles {
+    fn insert(&mut self, value: f64) {
+        debug_assert!(!value.is_nan(), "NaN values are not orderable");
+        self.values.push(value);
+    }
+
+    fn count(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    fn query(&mut self, q: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let idx = target_rank(q, self.values.len() as u64) as usize;
+        self.values.get(idx).copied()
+    }
+
+    fn clear(&mut self) {
+        self.values.clear();
+        self.sorted_prefix = 0;
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.values.capacity() * core::mem::size_of::<f64>()
+    }
+
+    fn kind_name(&self) -> &'static str {
+        "exact"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure1_example() {
+        // User A's values {1, 5, 9}: the 0.5-quantile is 5 and exceeds
+        // T = 3, so A is outstanding.
+        let mut e = ExactQuantiles::new();
+        for v in [1.0, 5.0, 9.0] {
+            e.insert(v);
+        }
+        assert_eq!(e.query(0.5), Some(5.0));
+        assert!(e.query(0.5).unwrap() > 3.0);
+    }
+
+    #[test]
+    fn paper_noise_example_neighborhood_a() {
+        // §II-A example: readings [65,67,72,69,74,66,68,75], δ=0.8, ε=1.
+        // δ-quantile = 7th lowest (74); with ε=1, 6th lowest = 72 > 70 dB.
+        let mut e = ExactQuantiles::new();
+        for v in [65.0, 67.0, 72.0, 69.0, 74.0, 66.0, 68.0, 75.0] {
+            e.insert(v);
+        }
+        assert_eq!(e.query(0.8), Some(74.0));
+        assert_eq!(e.biased_quantile(1.0, 0.8, None), Some(72.0));
+    }
+
+    #[test]
+    fn paper_noise_example_neighborhood_b() {
+        // [60,62,64,61,63,75,80,62]: the (1, 0.8)-quantile is 64 ≤ 70.
+        let mut e = ExactQuantiles::new();
+        for v in [60.0, 62.0, 64.0, 61.0, 63.0, 75.0, 80.0, 62.0] {
+            e.insert(v);
+        }
+        assert_eq!(e.biased_quantile(1.0, 0.8, None), Some(64.0));
+    }
+
+    #[test]
+    fn biased_quantile_negative_index_is_none() {
+        // ⌊δ·n − ε⌋ < 0 ⇒ −∞ (Definition 3).
+        let mut e = ExactQuantiles::new();
+        e.insert(100.0);
+        assert_eq!(e.biased_quantile(5.0, 0.95, None), None);
+    }
+
+    #[test]
+    fn rank_counts_strictly_less() {
+        let mut e = ExactQuantiles::new();
+        for v in [1.0, 2.0, 2.0, 3.0] {
+            e.insert(v);
+        }
+        assert_eq!(e.rank(2.0), 1);
+        assert_eq!(e.rank(2.5), 3);
+        assert_eq!(e.rank(0.0), 0);
+    }
+
+    #[test]
+    fn empty_queries() {
+        let mut e = ExactQuantiles::new();
+        assert_eq!(e.query(0.5), None);
+        assert_eq!(e.biased_quantile(0.0, 0.5, None), None);
+        assert_eq!(e.count(), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut e = ExactQuantiles::new();
+        e.insert(5.0);
+        e.clear();
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.query(0.9), None);
+    }
+
+    #[test]
+    fn interleaved_insert_query_keeps_correctness() {
+        let mut e = ExactQuantiles::new();
+        e.insert(10.0);
+        assert_eq!(e.query(0.0), Some(10.0));
+        e.insert(5.0);
+        assert_eq!(e.query(0.0), Some(5.0));
+        e.insert(20.0);
+        assert_eq!(e.query(0.5), Some(10.0));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_matches_direct_sort(values in proptest::collection::vec(-1e6f64..1e6, 1..300), q in 0.0f64..0.999) {
+            let mut e = ExactQuantiles::new();
+            for &v in &values {
+                e.insert(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+            let idx = ((q * sorted.len() as f64).floor() as usize).min(sorted.len() - 1);
+            proptest::prop_assert_eq!(e.query(q), Some(sorted[idx]));
+        }
+    }
+}

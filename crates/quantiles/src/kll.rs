@@ -1,0 +1,319 @@
+//! The KLL sketch (Karnin, Lang & Liberty, FOCS 2016).
+//!
+//! KLL stacks *compactors*: level `h` holds items of weight `2^h`. When a
+//! level overflows its capacity it sorts itself and promotes every other
+//! item (random parity) to the level above, halving the item count while
+//! preserving ranks in expectation. Capacities shrink geometrically with
+//! distance from the top level (`c = 2/3`), giving the asymptotically
+//! optimal `O((1/ε)·√log(1/ε))`-style space.
+//!
+//! It is one of the two classic single-key estimators (§II-B) that the
+//! holistic, per-key-structure approach would have to replicate per key —
+//! the storage blow-up that motivates the paper.
+
+use crate::{target_rank, QuantileSummary};
+use qf_hash::SplitMix64;
+
+const CAPACITY_RATIO: f64 = 2.0 / 3.0;
+const MIN_CAPACITY: usize = 2;
+
+/// A KLL quantile sketch with parameter `k` (top-compactor capacity).
+#[derive(Debug, Clone)]
+pub struct KllSketch {
+    /// `compactors[h]` holds items of weight `2^h`; kept unsorted between
+    /// compactions.
+    compactors: Vec<Vec<f64>>,
+    k: usize,
+    count: u64,
+    rng: SplitMix64,
+}
+
+impl KllSketch {
+    /// Create a sketch; `k` trades space for accuracy (rank error is
+    /// `O(1/k)` with high probability). `k = 200` is the usual default.
+    ///
+    /// # Panics
+    /// Panics if `k < 8`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 8, "k must be at least 8");
+        Self {
+            compactors: vec![Vec::new()],
+            k,
+            count: 0,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Capacity of level `h` given the current height.
+    fn capacity(&self, level: usize) -> usize {
+        let height = self.compactors.len();
+        let depth = (height - 1 - level) as i32;
+        ((self.k as f64) * CAPACITY_RATIO.powi(depth)).ceil() as usize
+    }
+
+    fn capacity_max(&self, level: usize) -> usize {
+        self.capacity(level).max(MIN_CAPACITY)
+    }
+
+    /// Total items across all compactors.
+    fn size(&self) -> usize {
+        self.compactors.iter().map(Vec::len).sum()
+    }
+
+    fn total_capacity(&self) -> usize {
+        (0..self.compactors.len())
+            .map(|h| self.capacity_max(h))
+            .sum()
+    }
+
+    /// Compact the lowest over-full level.
+    fn compress(&mut self) {
+        for level in 0..self.compactors.len() {
+            if self.compactors[level].len() >= self.capacity_max(level) {
+                if level + 1 == self.compactors.len() {
+                    self.compactors.push(Vec::new());
+                }
+                let mut items = core::mem::take(&mut self.compactors[level]);
+                items.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                let offset = (self.rng.next_u64() & 1) as usize;
+                let promoted: Vec<f64> =
+                    items.iter().skip(offset).step_by(2).copied().collect();
+                self.compactors[level + 1].extend_from_slice(&promoted);
+                // Items at odd/even positions not promoted are discarded —
+                // that is the lossy step whose error KLL bounds.
+                return;
+            }
+        }
+    }
+
+    /// Number of compactor levels currently allocated.
+    pub fn height(&self) -> usize {
+        self.compactors.len()
+    }
+
+    /// Merge another KLL sketch into this one: concatenate compactors
+    /// level-wise, then compress until within capacity. Merging preserves
+    /// the rank-error guarantee (the KLL paper's central property).
+    pub fn merge(&mut self, other: &KllSketch) {
+        while self.compactors.len() < other.compactors.len() {
+            self.compactors.push(Vec::new());
+        }
+        for (level, c) in other.compactors.iter().enumerate() {
+            self.compactors[level].extend_from_slice(c);
+        }
+        self.count += other.count;
+        while self.size() >= self.total_capacity() {
+            self.compress();
+        }
+    }
+
+    /// Collect the weighted items (value, weight) of the whole sketch.
+    fn weighted_items(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::with_capacity(self.size());
+        for (h, c) in self.compactors.iter().enumerate() {
+            let w = 1u64 << h;
+            out.extend(c.iter().map(|&v| (v, w)));
+        }
+        out
+    }
+}
+
+impl QuantileSummary for KllSketch {
+    fn insert(&mut self, value: f64) {
+        debug_assert!(!value.is_nan());
+        self.compactors[0].push(value);
+        self.count += 1;
+        if self.size() >= self.total_capacity() {
+            self.compress();
+        }
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+
+    fn query(&mut self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let mut items = self.weighted_items();
+        items.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+        let total: u64 = items.iter().map(|&(_, w)| w).sum();
+        let target = target_rank(q, total);
+        let mut acc = 0u64;
+        for (v, w) in items {
+            acc += w;
+            if acc > target {
+                return Some(v);
+            }
+        }
+        unreachable!("target rank below total weight")
+    }
+
+    fn clear(&mut self) {
+        self.compactors = vec![Vec::new()];
+        self.count = 0;
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.compactors
+            .iter()
+            .map(|c| c.capacity() * core::mem::size_of::<f64>())
+            .sum()
+    }
+
+    fn kind_name(&self) -> &'static str {
+        "KLL"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn true_rank(sorted: &[f64], v: f64) -> f64 {
+        sorted.partition_point(|&x| x <= v) as f64
+    }
+
+
+    #[test]
+    fn merge_matches_union_stream() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let mut a = KllSketch::new(200, 7);
+        let mut b = KllSketch::new(200, 8);
+        let mut all: Vec<f64> = Vec::new();
+        for i in 0..40_000 {
+            let v: f64 = rng.gen_range(0.0..1000.0);
+            if i % 2 == 0 { a.insert(v); } else { b.insert(v); }
+            all.push(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 40_000);
+        all.sort_unstable_by(|x, y| x.partial_cmp(y).unwrap());
+        for &q in &[0.1, 0.5, 0.9] {
+            let est = a.query(q).unwrap();
+            let err = (true_rank(&all, est) - q * all.len() as f64).abs() / all.len() as f64;
+            assert!(err < 0.03, "merged q={q} rank error {err}");
+        }
+    }
+
+    #[test]
+    fn merge_empty_is_identity() {
+        let mut a = KllSketch::new(64, 1);
+        for v in 0..100 { a.insert(f64::from(v)); }
+        let before = a.query(0.5);
+        let b = KllSketch::new(64, 2);
+        a.merge(&b);
+        assert_eq!(a.query(0.5), before);
+        assert_eq!(a.count(), 100);
+    }
+
+    #[test]
+    fn small_stream_near_exact() {
+        let mut kll = KllSketch::new(200, 1);
+        for v in [3.0, 1.0, 2.0] {
+            kll.insert(v);
+        }
+        assert_eq!(kll.query(0.0), Some(1.0));
+        assert_eq!(kll.query(0.5), Some(2.0));
+    }
+
+    #[test]
+    fn rank_error_bounded_uniform() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let n = 100_000usize;
+        let mut values: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let mut kll = KllSketch::new(200, 2);
+        for &v in &values {
+            kll.insert(v);
+        }
+        values.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        for &q in &[0.1, 0.5, 0.9, 0.95, 0.99] {
+            let est = kll.query(q).unwrap();
+            let err = (true_rank(&values, est) - q * n as f64).abs() / n as f64;
+            assert!(err < 0.02, "q={q} rank error {err}");
+        }
+    }
+
+    #[test]
+    fn space_stays_bounded() {
+        let mut kll = KllSketch::new(128, 3);
+        for v in 0..1_000_000 {
+            kll.insert(f64::from(v));
+        }
+        // Size must be O(k · levels), far below n.
+        assert!(kll.size() < 4_000, "size {}", kll.size());
+        assert!(kll.height() >= 10);
+    }
+
+    #[test]
+    fn adversarial_sorted_input() {
+        let n = 50_000;
+        let mut kll = KllSketch::new(256, 4);
+        for v in 0..n {
+            kll.insert(f64::from(v));
+        }
+        let est = kll.query(0.5).unwrap();
+        let rel = (est - f64::from(n) * 0.5).abs() / f64::from(n);
+        assert!(rel < 0.02, "median off by {rel}");
+    }
+
+    #[test]
+    fn weights_account_for_count() {
+        let mut kll = KllSketch::new(64, 5);
+        for v in 0..10_000 {
+            kll.insert(f64::from(v % 100));
+        }
+        assert_eq!(kll.count(), 10_000);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut kll = KllSketch::new(64, 6);
+        kll.insert(1.0);
+        kll.clear();
+        assert_eq!(kll.count(), 0);
+        assert_eq!(kll.query(0.5), None);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = KllSketch::new(64, 42);
+        let mut b = KllSketch::new(64, 42);
+        for v in 0..50_000 {
+            let x = f64::from((v * 2_654_435_761u64 % 100_000) as u32);
+            a.insert(x);
+            b.insert(x);
+        }
+        for &q in &[0.25, 0.5, 0.75] {
+            assert_eq!(a.query(q), b.query(q));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn tiny_k_rejected() {
+        let _ = KllSketch::new(4, 0);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+        #[test]
+        fn prop_rank_error_small_on_random_streams(seed in 0u64..1000) {
+            use rand::prelude::*;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let n = 20_000usize;
+            let mut values: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e3..1e3)).collect();
+            let mut kll = KllSketch::new(200, seed);
+            for &v in &values {
+                kll.insert(v);
+            }
+            values.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+            let est = kll.query(0.9).unwrap();
+            let err = (true_rank(&values, est) - 0.9 * n as f64).abs() / n as f64;
+            proptest::prop_assert!(err < 0.03, "rank error {}", err);
+        }
+    }
+}

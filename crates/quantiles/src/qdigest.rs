@@ -1,0 +1,284 @@
+//! The Q-digest (Shrivastava, Buragohain, Agrawal & Suri, SenSys 2004) —
+//! the sensor-network quantile summary the paper cites among the classic
+//! single-key algorithms (§II-B).
+//!
+//! A Q-digest summarizes integer values from a fixed universe `[0, 2^L)`
+//! as a set of binary-tree nodes with counts, compressed so that every
+//! non-root node satisfies `count(v) + count(parent) + count(sibling) >
+//! n/k` — small scattered counts get pushed up the tree, bounding the
+//! digest at `O(k·L)` nodes while keeping rank error at `O(n·L/k)`.
+
+use crate::{clamp_q, QuantileSummary};
+use std::collections::HashMap;
+
+/// Number of levels in the value tree (values are clamped to `[0, 2^L)`).
+const LEVELS: u32 = 32;
+
+/// A Q-digest over the integer universe `[0, 2^32)` with compression
+/// factor `k`.
+#[derive(Debug, Clone)]
+pub struct QDigest {
+    /// Node id (heap numbering: root = 1) → count.
+    nodes: HashMap<u64, u64>,
+    k: u64,
+    count: u64,
+    inserts_since_compress: u64,
+}
+
+impl QDigest {
+    /// Create a digest; larger `k` means more nodes and less rank error
+    /// (error is O(log(U)/k) relative).
+    ///
+    /// # Panics
+    /// Panics if `k < 8`.
+    pub fn new(k: u64) -> Self {
+        assert!(k >= 8, "compression factor k must be at least 8");
+        Self {
+            nodes: HashMap::new(),
+            k,
+            count: 0,
+            inserts_since_compress: 0,
+        }
+    }
+
+    /// Leaf node id for a value.
+    #[inline]
+    fn leaf_of(value: u64) -> u64 {
+        (1u64 << LEVELS) + value
+    }
+
+    /// Value range `[lo, hi]` covered by a node.
+    fn range_of(node: u64) -> (u64, u64) {
+        let level = 63 - node.leading_zeros(); // depth from root (root=1 at level 0)
+        let span_bits = LEVELS - level;
+        let offset = node - (1u64 << level);
+        let lo = offset << span_bits;
+        let hi = lo + (1u64 << span_bits) - 1;
+        (lo, hi)
+    }
+
+    /// Number of stored nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The compression threshold `⌊n/k⌋`.
+    #[inline]
+    fn threshold(&self) -> u64 {
+        self.count / self.k
+    }
+
+    /// Bottom-up compression: merge under-full sibling pairs into parents.
+    fn compress(&mut self) {
+        let threshold = self.threshold();
+        if threshold == 0 {
+            return;
+        }
+        // Process nodes level by level from the leaves upward.
+        let mut ids: Vec<u64> = self.nodes.keys().copied().collect();
+        ids.sort_unstable_by_key(|&id| std::cmp::Reverse(id));
+        for id in ids {
+            if id <= 1 {
+                continue;
+            }
+            let Some(&c) = self.nodes.get(&id) else {
+                continue;
+            };
+            let parent = id >> 1;
+            let sibling = id ^ 1;
+            let pc = self.nodes.get(&parent).copied().unwrap_or(0);
+            let sc = self.nodes.get(&sibling).copied().unwrap_or(0);
+            if c + pc + sc <= threshold {
+                // Merge this node (and its sibling) into the parent.
+                self.nodes.remove(&id);
+                self.nodes.remove(&sibling);
+                *self.nodes.entry(parent).or_insert(0) += c + sc;
+            }
+        }
+    }
+
+    /// Merge another digest into this one (Q-digests are mergeable — their
+    /// original use case is in-network sensor aggregation).
+    pub fn merge(&mut self, other: &QDigest) {
+        for (&node, &c) in &other.nodes {
+            *self.nodes.entry(node).or_insert(0) += c;
+        }
+        self.count += other.count;
+        self.compress();
+    }
+
+    /// Insert an integer value directly.
+    pub fn insert_u64(&mut self, value: u64) {
+        let value = value.min((1u64 << LEVELS) - 1);
+        *self.nodes.entry(Self::leaf_of(value)).or_insert(0) += 1;
+        self.count += 1;
+        self.inserts_since_compress += 1;
+        if self.inserts_since_compress >= self.k {
+            self.compress();
+            self.inserts_since_compress = 0;
+        }
+    }
+
+    /// Quantile query over the integer universe.
+    pub fn query_u64(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (clamp_q(q) * self.count as f64).floor() as u64;
+        // Walk nodes in order of their range upper bound (post-order-ish):
+        // the standard Q-digest query sorts by (hi, lo descending).
+        let mut ordered: Vec<(u64, u64, u64)> = self
+            .nodes
+            .iter()
+            .map(|(&node, &c)| {
+                let (lo, hi) = Self::range_of(node);
+                (hi, lo, c)
+            })
+            .collect();
+        ordered.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        let mut acc = 0u64;
+        for (hi, _lo, c) in ordered {
+            acc += c;
+            if acc > target {
+                return Some(hi);
+            }
+        }
+        // All mass exhausted: maximum representable.
+        Some((1u64 << LEVELS) - 1)
+    }
+}
+
+impl QuantileSummary for QDigest {
+    fn insert(&mut self, value: f64) {
+        debug_assert!(!value.is_nan());
+        self.insert_u64(value.max(0.0) as u64);
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+
+    fn query(&mut self, q: f64) -> Option<f64> {
+        self.query_u64(q).map(|v| v as f64)
+    }
+
+    fn clear(&mut self) {
+        self.nodes.clear();
+        self.count = 0;
+        self.inserts_since_compress = 0;
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.nodes.len() * (8 + 8 + 8) // id + count + map overhead
+    }
+
+    fn kind_name(&self) -> &'static str {
+        "Q-digest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_of_root_and_leaves() {
+        assert_eq!(QDigest::range_of(1), (0, u64::from(u32::MAX)));
+        assert_eq!(QDigest::range_of(QDigest::leaf_of(0)), (0, 0));
+        assert_eq!(QDigest::range_of(QDigest::leaf_of(77)), (77, 77));
+        // Level-1 nodes split the universe in half.
+        assert_eq!(QDigest::range_of(2), (0, (1u64 << 31) - 1));
+        assert_eq!(QDigest::range_of(3), (1u64 << 31, u64::from(u32::MAX)));
+    }
+
+    #[test]
+    fn small_stream_exactish() {
+        let mut qd = QDigest::new(64);
+        for v in [10u64, 20, 30] {
+            qd.insert_u64(v);
+        }
+        let median = qd.query_u64(0.5).unwrap();
+        assert!((10..=30).contains(&median));
+    }
+
+    #[test]
+    fn rank_error_bounded_uniform() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(1);
+        let k = 256;
+        let mut qd = QDigest::new(k);
+        let n = 50_000;
+        let mut values: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000_000u64)).collect();
+        for &v in &values {
+            qd.insert_u64(v);
+        }
+        values.sort_unstable();
+        for &q in &[0.1, 0.5, 0.9, 0.99] {
+            let est = qd.query_u64(q).unwrap();
+            let rank = values.partition_point(|&x| x <= est) as f64;
+            let err = (rank - q * n as f64).abs() / n as f64;
+            // Q-digest error bound is O(L/k) ≈ 32/256 = 0.125; allow some
+            // slack over the constant.
+            assert!(err < 0.15, "q={q} rank error {err}");
+        }
+    }
+
+    #[test]
+    fn node_count_compressed() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut qd = QDigest::new(128);
+        for _ in 0..200_000 {
+            qd.insert_u64(rng.gen_range(0..u64::from(u32::MAX)));
+        }
+        // O(k·L) bound: 128·32 = 4096 nodes, far below 200K leaves.
+        assert!(qd.node_count() < 8_192, "nodes {}", qd.node_count());
+    }
+
+    #[test]
+    fn merge_equals_union_stream() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut a = QDigest::new(128);
+        let mut b = QDigest::new(128);
+        let mut all = QDigest::new(128);
+        for i in 0..20_000 {
+            let v = rng.gen_range(0..100_000u64);
+            if i % 2 == 0 {
+                a.insert_u64(v);
+            } else {
+                b.insert_u64(v);
+            }
+            all.insert_u64(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        for &q in &[0.25, 0.5, 0.75] {
+            let ma = a.query_u64(q).unwrap() as f64;
+            let mu = all.query_u64(q).unwrap() as f64;
+            // Merged and union-stream answers agree within the error bound.
+            assert!(
+                (ma - mu).abs() / mu.max(1.0) < 0.25,
+                "q={q}: merged {ma} vs union {mu}"
+            );
+        }
+    }
+
+    #[test]
+    fn f64_interface_clamps() {
+        let mut qd = QDigest::new(16);
+        qd.insert(-5.0); // clamps to 0
+        qd.insert(1e12); // clamps to 2^32 − 1
+        assert_eq!(qd.count(), 2);
+        assert!(qd.query(0.0).is_some());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut qd = QDigest::new(16);
+        qd.insert_u64(5);
+        qd.clear();
+        assert_eq!(qd.count(), 0);
+        assert_eq!(qd.query_u64(0.5), None);
+    }
+}

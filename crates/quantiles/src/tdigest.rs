@@ -1,0 +1,345 @@
+//! The merging t-digest (Dunning & Ertl, 2019).
+//!
+//! A t-digest summarizes a distribution as a sorted list of centroids
+//! `(mean, weight)` whose sizes follow a scale function that keeps
+//! centroids tiny near the tails (`q → 0` or `1`) and fat in the middle, so
+//! extreme quantiles — exactly the ones tail-latency monitoring cares
+//! about — stay accurate. This implementation uses the merging variant with
+//! the `k₁` (arcsine) scale function and an insertion buffer.
+
+use crate::{clamp_q, QuantileSummary};
+use std::f64::consts::PI;
+
+#[derive(Debug, Clone, Copy)]
+struct Centroid {
+    mean: f64,
+    weight: f64,
+}
+
+/// A merging t-digest with the given compression parameter (usually 100).
+#[derive(Debug, Clone)]
+pub struct TDigest {
+    centroids: Vec<Centroid>,
+    buffer: Vec<f64>,
+    compression: f64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl TDigest {
+    /// Create a digest; higher `compression` means more centroids and more
+    /// accuracy.
+    ///
+    /// # Panics
+    /// Panics if `compression < 10.0`.
+    pub fn new(compression: f64) -> Self {
+        assert!(compression >= 10.0, "compression must be at least 10");
+        Self {
+            centroids: Vec::new(),
+            buffer: Vec::with_capacity(Self::buffer_capacity(compression)),
+            compression,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn buffer_capacity(compression: f64) -> usize {
+        (5.0 * compression) as usize
+    }
+
+    /// Scale function k₁: concentrates resolution at the tails.
+    #[inline]
+    fn k_scale(&self, q: f64) -> f64 {
+        self.compression / (2.0 * PI) * (2.0 * q - 1.0).clamp(-1.0, 1.0).asin()
+    }
+
+    /// Number of live centroids.
+    pub fn centroid_count(&mut self) -> usize {
+        self.flush();
+        self.centroids.len()
+    }
+
+    /// Merge another t-digest into this one by streaming its centroids
+    /// through the normal merge pass (weighted by their counts).
+    pub fn merge(&mut self, other: &mut TDigest) {
+        other.flush();
+        self.flush();
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.centroids.extend_from_slice(&other.centroids);
+        // Re-run the merge pass over the combined centroid list.
+        self.centroids
+            .sort_unstable_by(|a, b| a.mean.partial_cmp(&b.mean).expect("no NaN"));
+        let all = core::mem::take(&mut self.centroids);
+        if all.is_empty() {
+            return;
+        }
+        let total: f64 = all.iter().map(|c| c.weight).sum();
+        let mut merged: Vec<Centroid> = Vec::new();
+        let mut current = all[0];
+        let mut w_before = 0.0f64;
+        let mut k_lower = self.k_scale(0.0);
+        for c in all.into_iter().skip(1) {
+            let q_upper = (w_before + current.weight + c.weight) / total;
+            if self.k_scale(q_upper) - k_lower <= 1.0 {
+                let w = current.weight + c.weight;
+                current.mean += (c.mean - current.mean) * c.weight / w;
+                current.weight = w;
+            } else {
+                w_before += current.weight;
+                k_lower = self.k_scale(w_before / total);
+                merged.push(current);
+                current = c;
+            }
+        }
+        merged.push(current);
+        self.centroids = merged;
+    }
+
+    /// Merge the insertion buffer into the centroid list.
+    fn flush(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let mut all: Vec<Centroid> = Vec::with_capacity(self.centroids.len() + self.buffer.len());
+        all.append(&mut self.centroids);
+        all.extend(self.buffer.drain(..).map(|v| Centroid { mean: v, weight: 1.0 }));
+        all.sort_unstable_by(|a, b| a.mean.partial_cmp(&b.mean).expect("no NaN"));
+
+        let total: f64 = all.iter().map(|c| c.weight).sum();
+        let mut merged: Vec<Centroid> = Vec::new();
+        let mut current = all[0];
+        let mut w_before = 0.0f64; // weight strictly before `current`
+        let mut k_lower = self.k_scale(0.0);
+        for c in all.into_iter().skip(1) {
+            let q_upper = (w_before + current.weight + c.weight) / total;
+            if self.k_scale(q_upper) - k_lower <= 1.0 {
+                // Merge c into current.
+                let w = current.weight + c.weight;
+                current.mean += (c.mean - current.mean) * c.weight / w;
+                current.weight = w;
+            } else {
+                w_before += current.weight;
+                k_lower = self.k_scale(w_before / total);
+                merged.push(current);
+                current = c;
+            }
+        }
+        merged.push(current);
+        self.centroids = merged;
+    }
+}
+
+impl QuantileSummary for TDigest {
+    fn insert(&mut self, value: f64) {
+        debug_assert!(!value.is_nan());
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buffer.push(value);
+        self.count += 1;
+        if self.buffer.len() >= Self::buffer_capacity(self.compression) {
+            self.flush();
+        }
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+
+    fn query(&mut self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        self.flush();
+        let q = clamp_q(q);
+        let total: f64 = self.centroids.iter().map(|c| c.weight).sum();
+        let target = q * total;
+
+        // Walk centroids, interpolating linearly inside each.
+        let mut cum = 0.0f64;
+        for (i, c) in self.centroids.iter().enumerate() {
+            let lo = cum;
+            let hi = cum + c.weight;
+            if target < hi || i == self.centroids.len() - 1 {
+                // Interpolate between neighbour means.
+                let left = if i == 0 {
+                    self.min
+                } else {
+                    (self.centroids[i - 1].mean + c.mean) / 2.0
+                };
+                let right = if i == self.centroids.len() - 1 {
+                    self.max
+                } else {
+                    (c.mean + self.centroids[i + 1].mean) / 2.0
+                };
+                let frac = if c.weight > 0.0 {
+                    ((target - lo) / (hi - lo)).clamp(0.0, 1.0)
+                } else {
+                    0.5
+                };
+                return Some((left + (right - left) * frac).clamp(self.min, self.max));
+            }
+            cum = hi;
+        }
+        self.centroids.last().map(|c| c.mean)
+    }
+
+    fn clear(&mut self) {
+        self.centroids.clear();
+        self.buffer.clear();
+        self.count = 0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.centroids.capacity() * core::mem::size_of::<Centroid>()
+            + self.buffer.capacity() * core::mem::size_of::<f64>()
+    }
+
+    fn kind_name(&self) -> &'static str {
+        "t-digest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_value() {
+        let mut td = TDigest::new(100.0);
+        td.insert(42.0);
+        assert_eq!(td.query(0.5), Some(42.0));
+    }
+
+
+    #[test]
+    fn merge_matches_union_stream() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let mut a = TDigest::new(100.0);
+        let mut b = TDigest::new(100.0);
+        let mut all = TDigest::new(100.0);
+        for i in 0..60_000 {
+            let v: f64 = rng.gen_range(0.0..1.0);
+            if i % 2 == 0 { a.insert(v); } else { b.insert(v); }
+            all.insert(v);
+        }
+        a.merge(&mut b);
+        assert_eq!(a.count(), 60_000);
+        for &q in &[0.1, 0.5, 0.9, 0.99] {
+            let ma = a.query(q).unwrap();
+            let mu = all.query(q).unwrap();
+            assert!((ma - mu).abs() < 0.02, "q={q}: merged {ma} vs union {mu}");
+        }
+    }
+
+    #[test]
+    fn uniform_quantiles_accurate() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut td = TDigest::new(100.0);
+        for _ in 0..100_000 {
+            td.insert(rng.gen_range(0.0..1.0));
+        }
+        for &q in &[0.01, 0.1, 0.5, 0.9, 0.99] {
+            let est = td.query(q).unwrap();
+            assert!((est - q).abs() < 0.02, "q={q} est={est}");
+        }
+    }
+
+    #[test]
+    fn tail_quantiles_tighter_than_middle() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut td = TDigest::new(100.0);
+        let n = 200_000;
+        for _ in 0..n {
+            td.insert(rng.gen_range(0.0..1.0));
+        }
+        let tail_err = (td.query(0.999).unwrap() - 0.999).abs();
+        assert!(tail_err < 0.005, "p99.9 error {tail_err}");
+    }
+
+    #[test]
+    fn centroid_count_bounded() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut td = TDigest::new(100.0);
+        for _ in 0..500_000 {
+            td.insert(rng.gen_range(-1e6..1e6));
+        }
+        let c = td.centroid_count();
+        assert!(c < 200, "centroids {c}");
+    }
+
+    #[test]
+    fn monotone_in_q() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut td = TDigest::new(64.0);
+        for _ in 0..50_000 {
+            td.insert(rng.gen_range(0.0..100.0));
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for i in 1..50 {
+            let q = f64::from(i) / 50.0;
+            let v = td.query(q).unwrap();
+            assert!(v >= prev - 1e-9, "quantiles not monotone at q={q}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn extremes_clamped_to_min_max() {
+        let mut td = TDigest::new(50.0);
+        for v in 0..10_000 {
+            td.insert(f64::from(v));
+        }
+        assert!(td.query(0.0).unwrap() >= 0.0);
+        assert!(td.query(0.9999999).unwrap() <= 9_999.0);
+    }
+
+    #[test]
+    fn skewed_lognormal_median() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut td = TDigest::new(100.0);
+        let mut values = vec![];
+        for _ in 0..100_000 {
+            // Box-Muller for a standard normal, exponentiate for lognormal.
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos();
+            let v = z.exp();
+            td.insert(v);
+            values.push(v);
+        }
+        values.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let true_median = values[values.len() / 2];
+        let est = td.query(0.5).unwrap();
+        assert!(
+            (est - true_median).abs() / true_median < 0.05,
+            "median est {est} vs {true_median}"
+        );
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut td = TDigest::new(20.0);
+        td.insert(1.0);
+        td.clear();
+        assert_eq!(td.count(), 0);
+        assert_eq!(td.query(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "compression must be")]
+    fn tiny_compression_rejected() {
+        let _ = TDigest::new(1.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! A Count-Min sketch with signed counters — the alternative vague part of
+//! the paper's Choice 2 (§III-D) and Fig. 12 ablation.
+//!
+//! CM sketches (Cormode & Muthukrishnan 2005) were designed for
+//! *non-negative* frequencies, where taking the minimum over rows gives a
+//! one-sided overestimate. Qweights are signed, so the one-sided guarantee
+//! is lost when this structure is "forced into service" — exactly the
+//! degradation the paper observes ("using CMS does not improve the
+//! accuracy"). We keep the classic min-over-rows estimator so the ablation
+//! measures the real design the paper compared against.
+
+use crate::counter::SketchCounter;
+use crate::traits::WeightSketch;
+use qf_hash::{HashFamily, StreamKey};
+
+/// A Count-Min sketch over cells of type `C` with signed updates.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch<C: SketchCounter = i32> {
+    cells: Vec<C>,
+    family: HashFamily,
+    rows: usize,
+    width: usize,
+}
+
+impl<C: SketchCounter> CountMinSketch<C> {
+    /// Create a sketch with `rows` arrays of `width` counters.
+    ///
+    /// # Panics
+    /// Panics if `rows == 0` or `width == 0`.
+    pub fn new(rows: usize, width: usize, seed: u64) -> Self {
+        assert!(rows > 0, "rows must be positive");
+        assert!(width > 0, "width must be positive");
+        Self {
+            cells: vec![C::zero(); rows * width],
+            family: HashFamily::new(rows, width, seed),
+            rows,
+            width,
+        }
+    }
+
+    /// Build the sketch that fits a byte budget at the given depth.
+    pub fn with_memory_budget(rows: usize, bytes: usize, seed: u64) -> Self {
+        let width = (bytes / (rows * C::BYTES)).max(1);
+        Self::new(rows, width, seed)
+    }
+
+    /// Number of rows `d`.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns `w`.
+    #[inline(always)]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+impl<C: SketchCounter> WeightSketch for CountMinSketch<C> {
+    #[inline]
+    fn add<K: StreamKey + ?Sized>(&mut self, key: &K, delta: i64) {
+        for row in 0..self.rows {
+            let col = self.family.column(row, key);
+            let cell = &mut self.cells[row * self.width + col];
+            *cell = cell.saturating_add_i64(delta);
+        }
+    }
+
+    #[inline]
+    fn estimate<K: StreamKey + ?Sized>(&self, key: &K) -> i64 {
+        let mut min = i64::MAX;
+        for row in 0..self.rows {
+            let col = self.family.column(row, key);
+            let v = self.cells[row * self.width + col].to_i64();
+            if v < min {
+                min = v;
+            }
+        }
+        min
+    }
+
+    #[inline]
+    fn remove_estimate<K: StreamKey + ?Sized>(&mut self, key: &K) -> i64 {
+        let est = self.estimate(key);
+        if est != 0 {
+            for row in 0..self.rows {
+                let col = self.family.column(row, key);
+                let cell = &mut self.cells[row * self.width + col];
+                *cell = cell.saturating_add_i64(-est);
+            }
+        }
+        est
+    }
+
+    fn clear(&mut self) {
+        self.cells.fill(C::zero());
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.cells.len() * C::BYTES
+    }
+
+    fn kind_name(&self) -> &'static str {
+        "CMS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lone_key_exact() {
+        let mut cms = CountMinSketch::<i64>::new(3, 64, 1);
+        cms.add(&9u64, 25);
+        cms.add(&9u64, -5);
+        assert_eq!(cms.estimate(&9u64), 20);
+    }
+
+    #[test]
+    fn positive_load_overestimates() {
+        // The classical CM property: with only positive weights, the min
+        // estimate is ≥ the true value.
+        let mut cms = CountMinSketch::<i64>::new(2, 16, 2);
+        cms.add(&0u64, 10);
+        for k in 1u64..100 {
+            cms.add(&k, 3);
+        }
+        assert!(cms.estimate(&0u64) >= 10);
+    }
+
+    #[test]
+    fn negative_load_breaks_one_sidedness() {
+        // With negative collision mass the min estimator can *under*estimate
+        // — the weakness the paper's Fig. 12 exposes.
+        let mut cms = CountMinSketch::<i64>::new(1, 2, 3);
+        cms.add(&0u64, 10);
+        // Find another key colliding with key 0 in the single row.
+        let target = {
+            let fam = qf_hash::HashFamily::new(1, 2, 3);
+            let c0 = fam.column(0, &0u64);
+            (1u64..100).find(|k| fam.column(0, k) == c0).unwrap()
+        };
+        cms.add(&target, -7);
+        assert_eq!(cms.estimate(&0u64), 3);
+    }
+
+    #[test]
+    fn remove_estimate_then_zero() {
+        let mut cms = CountMinSketch::<i32>::new(4, 128, 4);
+        cms.add(&77u64, 55);
+        assert_eq!(cms.remove_estimate(&77u64), 55);
+        assert_eq!(cms.estimate(&77u64), 0);
+    }
+
+    #[test]
+    fn clear_and_memory() {
+        let mut cms = CountMinSketch::<i8>::new(2, 256, 5);
+        cms.add(&1u64, 3);
+        cms.clear();
+        assert_eq!(cms.estimate(&1u64), 0);
+        assert_eq!(cms.memory_bytes(), 2 * 256);
+        assert_eq!(cms.kind_name(), "CMS");
+    }
+
+    #[test]
+    fn budget_constructor_fits() {
+        let cms = CountMinSketch::<i32>::with_memory_budget(3, 12_000, 6);
+        assert!(cms.memory_bytes() <= 12_000);
+        assert_eq!(cms.rows(), 3);
+        assert_eq!(cms.width(), 1000);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_min_never_exceeds_any_row(adds in proptest::collection::vec((0u64..50, -20i64..20), 1..60)) {
+            let mut cms = CountMinSketch::<i64>::new(3, 64, 7);
+            for &(k, w) in &adds {
+                cms.add(&k, w);
+            }
+            // The estimate is the min over rows: for a key that received
+            // only non-negative total weight it can never exceed the
+            // total weight inserted overall.
+            let total_pos: i64 = adds.iter().map(|&(_, w)| w.max(0)).sum();
+            for k in 0u64..50 {
+                let est = cms.estimate(&k);
+                proptest::prop_assert!(est <= total_pos, "est {} > total {}", est, total_pos);
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Frequency/weight sketch substrate for the QuantileFilter reproduction.
+//!
+//! The paper's vague part is a Count sketch extended to *signed, weighted*
+//! updates — a significant departure from textbook frequency sketches, since
+//! Qweights are routinely negative (§I Technique 2). This crate provides:
+//!
+//! * [`counter`] — the [`SketchCounter`](counter::SketchCounter) trait over
+//!   `i8 / i16 / i32 / i64` with **overflow-reversal protection**: the paper
+//!   requires that "operations must prevent overflow reversals, ignoring any
+//!   addition or subtraction that would cause it" (§III-B Technical Details),
+//!   which lets 8/16-bit counters be used safely.
+//! * [`rounding`] — unbiased stochastic rounding of fractional weights such
+//!   as `δ/(1−δ)` into integer counter increments (§III-A Technical
+//!   Details; variance `< 0.25`).
+//! * [`count_sketch`] — the Count sketch (Charikar–Chen–Farach-Colton) with
+//!   weighted ± updates, median estimation, deletion and reset.
+//! * [`count_min`] — a Count-Min sketch variant with signed counters, kept
+//!   as the alternative vague part evaluated in Fig. 12 (Choice 2).
+//! * [`traits`] — the [`WeightSketch`](traits::WeightSketch) abstraction the
+//!   QuantileFilter core is generic over.
+
+pub mod count_min;
+pub mod count_sketch;
+pub mod counter;
+pub mod rounding;
+pub mod space_saving;
+pub mod traits;
+
+pub use count_min::CountMinSketch;
+pub use count_sketch::CountSketch;
+pub use counter::SketchCounter;
+pub use rounding::StochasticRounder;
+pub use space_saving::{SpaceSaving, SsEntry};
+pub use traits::WeightSketch;

@@ -1,0 +1,229 @@
+//! SpaceSaving (Metwally, Agrawal & El Abbadi, ICDT 2005): the classic
+//! fixed-capacity heavy-hitter tracker.
+//!
+//! Keeps at most `capacity` keys with `(count, err)` pairs. When a new key
+//! arrives at a full table, the minimum-count entry is evicted and the
+//! newcomer inherits `min + 1` with error `min` — guaranteeing
+//! `true_count ≤ count ≤ true_count + err` and that any key with frequency
+//! above `n/capacity` is present. The SQUAD-style baseline composes this
+//! with per-key GK summaries.
+
+use std::collections::HashMap;
+
+/// A tracked entry: estimated count and over-estimation bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SsEntry {
+    /// Estimated frequency (upper bound).
+    pub count: u64,
+    /// Maximum over-estimation (the evicted minimum inherited on entry).
+    pub err: u64,
+}
+
+/// A SpaceSaving table over `u64` keys.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    entries: HashMap<u64, SsEntry>,
+    capacity: usize,
+    items: u64,
+}
+
+impl SpaceSaving {
+    /// Create a table tracking at most `capacity` keys.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            entries: HashMap::with_capacity(capacity),
+            capacity,
+            items: 0,
+        }
+    }
+
+    /// Total items observed.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no keys are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Observe one occurrence of `key`. Returns `Some(evicted_key)` when a
+    /// previously tracked key was displaced.
+    pub fn observe(&mut self, key: u64) -> Option<u64> {
+        self.items += 1;
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.count += 1;
+            return None;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.insert(key, SsEntry { count: 1, err: 0 });
+            return None;
+        }
+        // Evict the minimum-count entry.
+        let (&victim, &SsEntry { count: min, .. }) = self
+            .entries
+            .iter()
+            .min_by_key(|&(_, e)| e.count)
+            .expect("capacity > 0");
+        self.entries.remove(&victim);
+        self.entries.insert(
+            key,
+            SsEntry {
+                count: min + 1,
+                err: min,
+            },
+        );
+        Some(victim)
+    }
+
+    /// Estimated count of a key (`None` if not tracked).
+    pub fn estimate(&self, key: u64) -> Option<SsEntry> {
+        self.entries.get(&key).copied()
+    }
+
+    /// Whether a key is currently tracked.
+    pub fn contains(&self, key: u64) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Keys whose *guaranteed* count (`count − err`) is at least
+    /// `threshold`, sorted by estimated count descending.
+    pub fn heavy_hitters(&self, threshold: u64) -> Vec<(u64, SsEntry)> {
+        let mut out: Vec<(u64, SsEntry)> = self
+            .entries
+            .iter()
+            .filter(|&(_, e)| e.count - e.err >= threshold)
+            .map(|(&k, &e)| (k, e))
+            .collect();
+        out.sort_unstable_by_key(|e| std::cmp::Reverse(e.1.count));
+        out
+    }
+
+    /// Iterate over all tracked `(key, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, SsEntry)> + '_ {
+        self.entries.iter().map(|(&k, &e)| (k, e))
+    }
+
+    /// Clear the table.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.items = 0;
+    }
+
+    /// Approximate bytes (entry payload + map overhead).
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.len() * (8 + 16 + 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_within_capacity_exactly() {
+        let mut ss = SpaceSaving::new(4);
+        for _ in 0..10 {
+            ss.observe(1);
+        }
+        for _ in 0..5 {
+            ss.observe(2);
+        }
+        assert_eq!(ss.estimate(1), Some(SsEntry { count: 10, err: 0 }));
+        assert_eq!(ss.estimate(2), Some(SsEntry { count: 5, err: 0 }));
+    }
+
+    #[test]
+    fn eviction_inherits_min() {
+        let mut ss = SpaceSaving::new(2);
+        ss.observe(1);
+        ss.observe(1);
+        ss.observe(2);
+        let evicted = ss.observe(3); // table full: evicts key 2 (count 1)
+        assert_eq!(evicted, Some(2));
+        assert_eq!(ss.estimate(3), Some(SsEntry { count: 2, err: 1 }));
+        assert!(ss.contains(1));
+    }
+
+    #[test]
+    fn overestimate_invariant() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ss = SpaceSaving::new(16);
+        let mut truth = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            // Zipf-ish skew via powers.
+            let key = (rng.gen_range(0.0f64..1.0).powi(3) * 200.0) as u64;
+            ss.observe(key);
+            *truth.entry(key).or_insert(0u64) += 1;
+        }
+        for (k, e) in ss.iter() {
+            let t = truth[&k];
+            assert!(e.count >= t, "count {} < true {t}", e.count);
+            assert!(e.count - e.err <= t, "guaranteed bound broken for {k}");
+        }
+    }
+
+    #[test]
+    fn frequent_keys_always_present() {
+        // Any key with frequency > n/capacity must be tracked.
+        let mut ss = SpaceSaving::new(10);
+        let n = 10_000;
+        for i in 0..n {
+            let key = if i % 5 == 0 { 999 } else { i as u64 % 2000 };
+            ss.observe(key);
+        }
+        // Key 999 has n/5 = 2000 > n/10 = 1000 occurrences.
+        assert!(ss.contains(999));
+        let hh = ss.heavy_hitters(1000);
+        assert!(hh.iter().any(|&(k, _)| k == 999), "{hh:?}");
+    }
+
+    #[test]
+    fn heavy_hitters_sorted_desc() {
+        let mut ss = SpaceSaving::new(8);
+        for _ in 0..30 {
+            ss.observe(1);
+        }
+        for _ in 0..20 {
+            ss.observe(2);
+        }
+        for _ in 0..10 {
+            ss.observe(3);
+        }
+        let hh = ss.heavy_hitters(5);
+        let counts: Vec<u64> = hh.iter().map(|&(_, e)| e.count).collect();
+        assert_eq!(counts, vec![30, 20, 10]);
+    }
+
+    #[test]
+    fn clear_and_len() {
+        let mut ss = SpaceSaving::new(4);
+        ss.observe(1);
+        assert_eq!(ss.len(), 1);
+        assert!(!ss.is_empty());
+        ss.clear();
+        assert!(ss.is_empty());
+        assert_eq!(ss.items(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = SpaceSaving::new(0);
+    }
+}

@@ -1,0 +1,103 @@
+//! The [`WeightSketch`] abstraction that the QuantileFilter core builds on.
+//!
+//! Both vague-part candidates — the Count sketch and the signed Count-Min
+//! sketch — expose the same four operations: weighted add, point estimate,
+//! estimate-removal (the reset used after a report), and full clear. The
+//! core is generic over this trait so Fig. 12's CS-vs-CMS ablation is a
+//! type parameter swap rather than a code fork.
+
+use qf_hash::StreamKey;
+
+/// A sketch of signed, weighted per-key sums.
+pub trait WeightSketch {
+    /// Add `delta` to the key's tracked sum.
+    fn add<K: StreamKey + ?Sized>(&mut self, key: &K, delta: i64);
+
+    /// Estimate the key's tracked sum.
+    fn estimate<K: StreamKey + ?Sized>(&self, key: &K) -> i64;
+
+    /// Remove the key's current estimate from the structure and return what
+    /// was removed. This is the deletion operation of §III-A: "decrementing
+    /// the mapped counter `C_i[h_i(x)]` by `S_i(x)·Q̂w(x)` in each row".
+    fn remove_estimate<K: StreamKey + ?Sized>(&mut self, key: &K) -> i64;
+
+    /// Reset every counter to zero (the periodic reset of §III-B).
+    fn clear(&mut self);
+
+    /// Bytes of counter storage (excluding seeds and struct overhead); this
+    /// is the quantity the paper's memory axis measures.
+    fn memory_bytes(&self) -> usize;
+
+    /// Short implementation name for experiment logs ("CS", "CMS").
+    fn kind_name(&self) -> &'static str;
+}
+
+/// Compute the median of a small slice in place (the `Median_{i=1}^d` of
+/// Algorithm 1). For even lengths returns the lower-middle-rounded mean of
+/// the two central elements, matching common Count-sketch practice.
+#[inline]
+pub fn median_in_place(values: &mut [i64]) -> i64 {
+    assert!(!values.is_empty(), "median of empty slice");
+    let mid = values.len() / 2;
+    let (_, m, _) = values.select_nth_unstable(mid);
+    let hi = *m;
+    if values.len() % 2 == 1 {
+        hi
+    } else {
+        let lo = values[..mid].iter().copied().max().expect("nonempty half");
+        // Average without overflow; truncates toward the lower value for
+        // odd sums, keeping the estimator integral.
+        lo + (hi - lo) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd() {
+        let mut v = [5, 1, 9];
+        assert_eq!(median_in_place(&mut v), 5);
+    }
+
+    #[test]
+    fn median_even_averages_middles() {
+        let mut v = [1, 3, 5, 11];
+        assert_eq!(median_in_place(&mut v), 4);
+    }
+
+    #[test]
+    fn median_single() {
+        let mut v = [42];
+        assert_eq!(median_in_place(&mut v), 42);
+    }
+
+    #[test]
+    fn median_negative_values() {
+        let mut v = [-10, -2, -30, -4, -6];
+        assert_eq!(median_in_place(&mut v), -6);
+    }
+
+    #[test]
+    fn median_no_overflow_at_extremes() {
+        let mut v = [i64::MAX, i64::MAX - 2];
+        assert_eq!(median_in_place(&mut v), i64::MAX - 1);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_median_matches_sort(mut v in proptest::collection::vec(-1000i64..1000, 1..25)) {
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            let want = if sorted.len() % 2 == 1 {
+                sorted[sorted.len() / 2]
+            } else {
+                let lo = sorted[sorted.len() / 2 - 1];
+                let hi = sorted[sorted.len() / 2];
+                lo + (hi - lo) / 2
+            };
+            proptest::prop_assert_eq!(median_in_place(&mut v), want);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Multi-criteria monitoring (§III-C): watch the p99 *and* the p50 of the
+//! same keys simultaneously, and modify criteria at runtime.
+//!
+//! ```text
+//! cargo run --example multi_criteria
+//! ```
+
+use qf_repro::quantile_filter::{Criteria, MultiCriteriaFilter, QuantileFilterBuilder};
+use rand::prelude::*;
+
+fn main() {
+    // Two simultaneous criteria per key:
+    //   0: p99 > 500 (tail blowups; ε = 3)
+    //   1: p50 > 150 (sustained degradation; ε = 5)
+    let c_tail = Criteria::new(3.0, 0.99, 500.0).unwrap();
+    let c_median = Criteria::new(5.0, 0.5, 150.0).unwrap();
+    let filter = QuantileFilterBuilder::new(c_tail)
+        .memory_budget_bytes(128 * 1024)
+        .seed(9)
+        .build();
+    let mut multi = MultiCriteriaFilter::new(filter, vec![c_tail, c_median]);
+    println!(
+        "monitoring {} criteria per key ({} bytes total)",
+        multi.criteria_count(),
+        multi.memory_bytes()
+    );
+
+    let mut rng = StdRng::seed_from_u64(10);
+    let mut fired: std::collections::BTreeMap<(u64, usize), u32> = Default::default();
+    for _ in 0..300_000 {
+        let key: u64 = rng.gen_range(0..100);
+        let value = match key {
+            // Key 7: good median, horrible 2% tail — only the p99
+            // criterion should fire.
+            7 => {
+                if rng.gen_bool(0.02) {
+                    rng.gen_range(600.0..2000.0)
+                } else {
+                    rng.gen_range(20.0..100.0)
+                }
+            }
+            // Key 42: everything mediocre-slow — only the p50 criterion
+            // should fire (tail stays under 500).
+            42 => rng.gen_range(160.0..400.0),
+            _ => rng.gen_range(10.0..120.0),
+        };
+        for (criterion, _report) in multi.insert(&key, value) {
+            *fired.entry((key, criterion)).or_default() += 1;
+        }
+    }
+
+    println!("reports (key, criterion) -> count:");
+    for ((key, criterion), count) in &fired {
+        let label = if *criterion == 0 { "p99>500" } else { "p50>150" };
+        println!("  key {key:>3} under {label}: {count} reports");
+    }
+    assert!(fired.contains_key(&(7, 0)), "key 7 must trip the p99 rule");
+    assert!(
+        !fired.contains_key(&(7, 1)),
+        "key 7 must not trip the p50 rule"
+    );
+    assert!(fired.contains_key(&(42, 1)), "key 42 must trip the p50 rule");
+    assert!(
+        !fired.contains_key(&(42, 0)),
+        "key 42 must not trip the p99 rule"
+    );
+    assert!(fired.len() == 2, "no other key/criterion pair: {fired:?}");
+    println!("both criteria fire independently: ok");
+}

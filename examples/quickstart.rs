@@ -1,0 +1,70 @@
+//! Quickstart: detect quantile-outstanding keys in a synthetic stream.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds a QuantileFilter with the paper's default parameters, streams a
+//! small workload with two planted outstanding keys, and prints every
+//! real-time report plus a final comparison with the exact ground truth.
+
+use qf_repro::qf_baselines::{ExactDetector, OutstandingDetector};
+use qf_repro::quantile_filter::{Criteria, QuantileFilterBuilder};
+use rand::prelude::*;
+
+fn main() {
+    // Report any key whose 95th-percentile value exceeds 200, with rank
+    // slack ε = 10 (so a key needs real evidence before a report).
+    let criteria = Criteria::new(10.0, 0.95, 200.0).expect("valid criteria");
+    println!(
+        "criteria: eps={} delta={} T={}  (item weight +{:.0}/-1, report at Qweight >= {:.0})",
+        criteria.epsilon(),
+        criteria.delta(),
+        criteria.threshold(),
+        criteria.weight_above(),
+        criteria.report_threshold()
+    );
+
+    let mut filter = QuantileFilterBuilder::new(criteria)
+        .memory_budget_bytes(64 * 1024) // 64 KiB total
+        .seed(42)
+        .build();
+    let mut exact = ExactDetector::new(criteria);
+
+    // Synthetic stream: 200 keys with ~50ms values; keys 13 and 77 are
+    // slow (most of their values above T).
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut first_report: Option<(u64, usize)> = None;
+    let mut reported = std::collections::HashSet::new();
+    for i in 0..200_000usize {
+        let key = rng.gen_range(0..200u64);
+        let value = if key == 13 || key == 77 {
+            rng.gen_range(220.0..800.0)
+        } else {
+            rng.gen_range(1.0..120.0)
+        };
+        if let Some(report) = filter.insert(&key, value) {
+            if reported.insert(key) {
+                println!(
+                    "item {i:>7}: key {key} reported ({:?} part, Qweight {})",
+                    report.source, report.estimated_qweight
+                );
+            }
+            first_report.get_or_insert((key, i));
+        }
+        exact.insert(key, value);
+    }
+
+    println!("\nfilter memory: {} bytes", filter.memory_bytes());
+    println!(
+        "candidate hit rate: {:.1}%",
+        filter.stats().candidate_hit_rate() * 100.0
+    );
+    println!("reported keys: {reported:?}");
+    assert!(
+        reported.contains(&13) && reported.contains(&77),
+        "the two slow keys must be caught"
+    );
+    assert_eq!(reported.len(), 2, "no false positives expected here");
+    println!("matches exact ground truth: ok");
+}

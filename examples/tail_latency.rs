@@ -1,0 +1,66 @@
+//! Network tail-latency monitoring — the paper's lead application.
+//!
+//! ```text
+//! cargo run --release --example tail_latency
+//! ```
+//!
+//! Streams an internet-like trace (five-tuple flows, heavy-tailed
+//! latencies) through QuantileFilter configured per the SLA of §I:
+//! "identify the user whose 95% latency exceeds 200ms". Compares the
+//! real-time reports with exact ground truth and prints
+//! precision/recall/F1 and throughput, at two memory budgets.
+
+use qf_repro::qf_baselines::QfDetector;
+use qf_repro::qf_datasets::{internet_like, key_to_five_tuple, InternetConfig};
+use qf_repro::qf_eval::{ground_truth, run_detector, Accuracy};
+use qf_repro::quantile_filter::Criteria;
+
+fn main() {
+    let cfg = InternetConfig {
+        items: 500_000,
+        keys: 20_000,
+        threshold: 200.0,
+        ..InternetConfig::default()
+    };
+    println!("generating internet-like trace ({} items)...", cfg.items);
+    let dataset = internet_like(&cfg);
+    println!(
+        "  {} distinct flows, {:.2}% of packets above T={}ms",
+        dataset.key_count,
+        dataset.abnormal_fraction * 100.0,
+        dataset.threshold
+    );
+
+    // SLA criterion: p95 latency > 200 ms, with ε = 30 rank slack so only
+    // flows with sustained evidence are flagged.
+    let criteria = Criteria::new(30.0, 0.95, 200.0).expect("valid criteria");
+    let truth = ground_truth(&dataset.items, &criteria);
+    println!("  ground truth: {} outstanding flows\n", truth.len());
+
+    for memory in [32 * 1024, 512 * 1024] {
+        let mut det = QfDetector::paper_default(criteria, memory, 1);
+        let result = run_detector(&mut det, &dataset.items);
+        let acc = Accuracy::of(&result.reported, &truth);
+        println!(
+            "memory {:>7} B: {}  throughput {:.1} Mops",
+            memory,
+            acc,
+            result.mops()
+        );
+        // Show a couple of flagged flows in five-tuple form.
+        for key in result.reported.iter().take(3) {
+            let ft = key_to_five_tuple(*key);
+            println!(
+                "    flagged flow {:>8}: {}.{}.{}.{}:{} -> ...:{} proto {}",
+                key,
+                ft.src_ip >> 24,
+                (ft.src_ip >> 16) & 255,
+                (ft.src_ip >> 8) & 255,
+                ft.src_ip & 255,
+                ft.src_port,
+                ft.dst_port,
+                ft.protocol
+            );
+        }
+    }
+}

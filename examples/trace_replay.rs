@@ -1,0 +1,57 @@
+//! Trace round-trip: generate a workload, persist it to the binary trace
+//! format, reload it, and replay it through the streaming iterator API.
+//!
+//! ```text
+//! cargo run --release --example trace_replay
+//! ```
+//!
+//! This is the offline-replay workflow: capture once with `gen_trace`,
+//! re-run detection under different criteria without regenerating.
+
+use qf_repro::qf_datasets::{internet_like, trace, InternetConfig};
+use qf_repro::quantile_filter::stream::DetectExt;
+use qf_repro::quantile_filter::{Criteria, QuantileFilterBuilder};
+
+fn main() {
+    let cfg = InternetConfig {
+        items: 200_000,
+        keys: 10_000,
+        ..InternetConfig::default()
+    };
+    let dataset = internet_like(&cfg);
+    let path = std::env::temp_dir().join("qf_replay_demo.qftr");
+    trace::write_file(&path, &dataset.items, dataset.threshold).expect("write trace");
+    println!(
+        "wrote {} ({} items, {} keys, T={})",
+        path.display(),
+        dataset.items.len(),
+        dataset.key_count,
+        dataset.threshold
+    );
+
+    let (items, threshold) = trace::read_file(&path).expect("read trace");
+    assert_eq!(items.len(), dataset.items.len());
+
+    // Replay the same trace under two different SLAs.
+    for (label, eps, delta) in [("strict p99", 10.0, 0.99), ("lenient p90", 30.0, 0.90)] {
+        let criteria = Criteria::new(eps, delta, threshold).expect("valid");
+        let mut qf = QuantileFilterBuilder::new(criteria)
+            .memory_budget_bytes(128 * 1024)
+            .seed(5)
+            .build();
+        let reported: std::collections::HashSet<u64> = items
+            .iter()
+            .map(|it| (it.key, it.value))
+            .detect(&mut qf)
+            .map(|(key, _)| key)
+            .collect();
+        println!(
+            "{label:>12} (eps={eps}, delta={delta}): {} outstanding keys, \
+             candidate hit rate {:.1}%",
+            reported.len(),
+            qf.stats().candidate_hit_rate() * 100.0
+        );
+    }
+    std::fs::remove_file(&path).ok();
+    println!("replay complete");
+}

@@ -1,0 +1,194 @@
+//! Ablation tests for the design choices DESIGN.md §5 calls out: counter
+//! width, stochastic rounding, candidate election value, and saturation
+//! (failure-injection) behaviour.
+
+use qf_repro::qf_baselines::{OutstandingDetector, QfDetector};
+use qf_repro::qf_baselines::qf::Algorithm1Detector;
+use qf_repro::qf_datasets::{internet_like, InternetConfig};
+use qf_repro::qf_eval::{ground_truth, run_detector, Accuracy};
+use qf_repro::qf_sketch::{CountSketch, WeightSketch};
+use qf_repro::quantile_filter::{Criteria, QuantileFilterBuilder};
+
+fn workload() -> qf_repro::qf_datasets::Dataset {
+    internet_like(&InternetConfig::tiny())
+}
+
+fn criteria(t: f64) -> Criteria {
+    Criteria::new(30.0, 0.95, t).unwrap()
+}
+
+/// Candidate election must add accuracy over the vague-only Algorithm 1
+/// (Theorem 3's raison d'être). Individual points are noisy (the tiny
+/// workload has few truly outstanding keys), so compare the mean F1 over a
+/// memory sweep — the two-part design must win on average and must win
+/// decisively at the tightest budget, where vague-only collision noise is
+/// worst.
+#[test]
+fn candidate_part_improves_over_algorithm1() {
+    let dataset = workload();
+    let c = criteria(dataset.threshold);
+    let truth = ground_truth(&dataset.items, &c);
+
+    let memories = [1 << 11, 1 << 12, 1 << 13, 1 << 15];
+    let mut qf_f1s = Vec::new();
+    let mut a1_f1s = Vec::new();
+    for &memory in &memories {
+        let mut qf = QfDetector::paper_default(c, memory, 1);
+        let mut a1 = Algorithm1Detector::new(c, memory, 1);
+        qf_f1s.push(Accuracy::of(&run_detector(&mut qf, &dataset.items).reported, &truth).f1());
+        a1_f1s.push(Accuracy::of(&run_detector(&mut a1, &dataset.items).reported, &truth).f1());
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(&qf_f1s) >= mean(&a1_f1s),
+        "two-part QF {qf_f1s:?} must not lose on average to vague-only {a1_f1s:?}"
+    );
+    assert!(
+        qf_f1s[0] > a1_f1s[0],
+        "at 2KB the candidate part must clearly help: QF {} vs A1 {}",
+        qf_f1s[0],
+        a1_f1s[0]
+    );
+}
+
+/// Narrow counters (i16) at equal byte budget trade depth of range for
+/// width; with the paper's sign-cancellation argument they must stay
+/// competitive with i32 at the same memory.
+#[test]
+fn narrow_counters_competitive_at_equal_bytes() {
+    let dataset = workload();
+    let c = criteria(dataset.threshold);
+    let truth = ground_truth(&dataset.items, &c);
+    let memory = 16 * 1024;
+
+    let run_with_counter = |f1s: &mut Vec<f64>, is16: bool| {
+        let builder = QuantileFilterBuilder::new(c)
+            .memory_budget_bytes(memory)
+            .seed(7);
+        let reported = if is16 {
+            let mut filter = builder.build_with_counter::<i16>();
+            let mut reported = std::collections::HashSet::new();
+            for it in &dataset.items {
+                if filter.insert(&it.key, it.value).is_some() {
+                    reported.insert(it.key);
+                }
+            }
+            reported
+        } else {
+            let mut filter = builder.build_with_counter::<i32>();
+            let mut reported = std::collections::HashSet::new();
+            for it in &dataset.items {
+                if filter.insert(&it.key, it.value).is_some() {
+                    reported.insert(it.key);
+                }
+            }
+            reported
+        };
+        f1s.push(Accuracy::of(&reported, &truth).f1());
+    };
+    let mut f1s = Vec::new();
+    run_with_counter(&mut f1s, false);
+    run_with_counter(&mut f1s, true);
+    let (f1_i32, f1_i16) = (f1s[0], f1s[1]);
+    assert!(
+        f1_i16 >= f1_i32 - 0.1,
+        "i16 counters (F1={f1_i16:.3}) collapsed vs i32 (F1={f1_i32:.3})"
+    );
+}
+
+/// Failure injection: drive i8 vague counters deep into saturation and
+/// verify the filter still functions (no wrap-around false storm).
+#[test]
+fn saturated_vague_part_degrades_gracefully() {
+    let c = Criteria::new(5.0, 0.9, 100.0).unwrap();
+    // Tiny i8 vague part, tiny candidate part: saturation guaranteed.
+    let mut filter = QuantileFilterBuilder::new(c)
+        .candidate_buckets(2)
+        .bucket_len(2)
+        .vague_dims(1, 8)
+        .seed(3)
+        .build_with_counter::<i8>();
+    // Hammer thousands of quiet keys: Qweights all −1 per item.
+    let mut false_reports = 0;
+    for i in 0..50_000u64 {
+        if filter.insert(&(i % 1000), 5.0).is_some() {
+            false_reports += 1;
+        }
+    }
+    // Quiet keys must produce (almost) no reports even under saturation —
+    // the overflow-reversal guard keeps counters pinned instead of
+    // wrapping to huge positives.
+    assert!(
+        false_reports < 50,
+        "saturation produced a false-report storm: {false_reports}"
+    );
+}
+
+/// Stochastic rounding keeps fractional-δ detection timing close to the
+/// f64 ideal: over many single-key trials, the mean report time must match
+/// the exact Qweight crossing.
+#[test]
+fn stochastic_rounding_report_timing_unbiased() {
+    // δ = 0.85 ⇒ +17/3 per above-T item; threshold 3/(0.15) = 20 ⇒ exact
+    // crossing at item ⌈20/(17/3)⌉ = 4.
+    let c = Criteria::new(3.0, 0.85, 100.0).unwrap();
+    let mut total_first = 0usize;
+    let trials = 200;
+    for seed in 0..trials {
+        let mut filter = QuantileFilterBuilder::new(c)
+            .candidate_buckets(8)
+            .vague_dims(3, 64)
+            .seed(seed)
+            .build();
+        let mut first = 0usize;
+        for i in 1..=40 {
+            if filter.insert(&1u64, 500.0).is_some() {
+                first = i;
+                break;
+            }
+        }
+        assert!(first > 0, "never reported under seed {seed}");
+        total_first += first;
+    }
+    let mean = total_first as f64 / trials as f64;
+    assert!(
+        (3.6..=4.8).contains(&mean),
+        "mean first-report item {mean} should be ~4"
+    );
+}
+
+/// The overflow-reversal guard at the sketch level: an i8 cell pinned at
+/// +127 must never flip sign no matter the further load.
+#[test]
+fn sketch_saturation_never_reverses() {
+    let mut cs = CountSketch::<i8>::new(1, 1, 5);
+    let sign = {
+        cs.add(&1u64, 1);
+        let s = cs.estimate(&1u64).signum();
+        cs.clear();
+        s
+    };
+    for _ in 0..10_000 {
+        cs.add(&1u64, sign);
+    }
+    assert_eq!(cs.estimate(&1u64), sign * 127);
+    // Opposite-direction updates still take effect immediately.
+    cs.add(&1u64, -sign * 27);
+    assert_eq!(cs.estimate(&1u64), sign * 100);
+}
+
+/// Memory budgeting across three orders of magnitude stays within budget
+/// and actually uses most of it.
+#[test]
+fn memory_budgets_tight_across_sizes() {
+    let c = criteria(300.0);
+    for budget in [1 << 10, 1 << 14, 1 << 20] {
+        let det = QfDetector::paper_default(c, budget, 2);
+        let used = det.memory_bytes();
+        assert!(used <= budget, "budget {budget} exceeded: {used}");
+        assert!(
+            used as f64 > budget as f64 * 0.75,
+            "budget {budget} underused: {used}"
+        );
+    }
+}

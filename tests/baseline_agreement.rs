@@ -1,0 +1,169 @@
+//! Agreement tests: every approximate detector must converge to the exact
+//! detector's behaviour when given effectively unlimited resources, and
+//! their report *timing* must respect Definition 4's reset semantics.
+
+use qf_repro::qf_baselines::{
+    ExactDetector, HistSketchDetector, NaiveDetector, OutstandingDetector, QfDetector,
+    SquadDetector,
+};
+use qf_repro::quantile_filter::Criteria;
+use rand::prelude::*;
+
+fn crit() -> Criteria {
+    Criteria::new(5.0, 0.9, 100.0).unwrap()
+}
+
+/// A mixed single-key value pattern exercising crossings and resets.
+fn pattern(seed: u64, n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.4) {
+                rng.gen_range(150.0..900.0)
+            } else {
+                rng.gen_range(1.0..90.0)
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn qf_agrees_with_exact_on_isolated_keys() {
+    // With ample memory and few keys, QF is exact: identical report
+    // sequence, item by item.
+    let mut qf = QfDetector::paper_default(crit(), 1 << 20, 1);
+    let mut exact = ExactDetector::new(crit());
+    for seed in 0..20u64 {
+        for v in pattern(seed, 500) {
+            let key = seed;
+            assert_eq!(
+                qf.insert(key, v),
+                exact.insert(key, v),
+                "divergence on key {key}"
+            );
+        }
+    }
+}
+
+#[test]
+fn naive_agrees_with_exact_on_isolated_keys() {
+    // The naive dual-CS solution is also exact when collision-free: its
+    // report rule F_b ≤ ⌊(F_a+F_b)·δ − ε⌋ is Definition 4 restated.
+    let mut naive = NaiveDetector::new(crit(), 1 << 22, 2);
+    let mut exact = ExactDetector::new(crit());
+    for seed in 100..110u64 {
+        for v in pattern(seed, 500) {
+            assert_eq!(
+                naive.insert(seed, v),
+                exact.insert(seed, v),
+                "divergence on key {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn squad_matches_exact_report_count_within_gk_error() {
+    // SQUAD's GK summary introduces ε_GK = 1% rank error; over a long hot
+    // key its total report count must be within a few of exact.
+    let mut squad = SquadDetector::new(crit(), 1 << 20, 3);
+    let mut exact = ExactDetector::new(crit());
+    let mut squad_reports = 0u32;
+    let mut exact_reports = 0u32;
+    for v in pattern(7, 3_000) {
+        if squad.insert(5, v) {
+            squad_reports += 1;
+        }
+        if exact.insert(5, v) {
+            exact_reports += 1;
+        }
+    }
+    let diff = squad_reports.abs_diff(exact_reports);
+    assert!(
+        diff <= exact_reports / 5 + 2,
+        "squad {squad_reports} vs exact {exact_reports}"
+    );
+}
+
+#[test]
+fn histsketch_bucket_quantization_bounds_divergence() {
+    // HistSketch quantizes values into power-of-two buckets, so its
+    // report decisions match exact detection up to bucket-boundary
+    // effects. Use values far from the T=100 boundary to eliminate them —
+    // then behaviour must be identical.
+    let c = crit();
+    let mut hist = HistSketchDetector::new(c, 1 << 20, 4);
+    let mut exact = ExactDetector::new(c);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut hist_r = 0;
+    let mut exact_r = 0;
+    for _ in 0..2_000 {
+        // below: 1..64 (buckets ≤ 64-rep < 100); above: 256..900.
+        let v = if rng.gen_bool(0.4) {
+            rng.gen_range(256.0..900.0)
+        } else {
+            rng.gen_range(1.0..64.0)
+        };
+        if hist.insert(11, v) {
+            hist_r += 1;
+        }
+        if exact.insert(11, v) {
+            exact_r += 1;
+        }
+    }
+    assert_eq!(hist_r, exact_r, "bucket-safe values must agree exactly");
+}
+
+#[test]
+fn all_detectors_respect_reset_semantics() {
+    // After any report, an immediate quiet stretch must not re-report
+    // (the value set was reset — Definition 4's anti-spam property).
+    let c = crit();
+    let detectors: Vec<Box<dyn OutstandingDetector>> = vec![
+        Box::new(QfDetector::paper_default(c, 1 << 18, 5)),
+        Box::new(NaiveDetector::new(c, 1 << 18, 5)),
+        Box::new(SquadDetector::new(c, 1 << 18, 5)),
+        Box::new(HistSketchDetector::new(c, 1 << 18, 5)),
+    ];
+    for mut det in detectors {
+        let name = det.name();
+        // Drive to a report.
+        let mut reported = false;
+        for _ in 0..100 {
+            if det.insert(1, 500.0) {
+                reported = true;
+                break;
+            }
+        }
+        assert!(reported, "{name}: never reported");
+        // Quiet values immediately after: no report may fire.
+        for i in 0..50 {
+            assert!(
+                !det.insert(1, 5.0),
+                "{name}: re-reported during quiet stretch at {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn report_rate_bounded_by_epsilon() {
+    // Paper: "reports will occur less often than every ε values". Check
+    // the exact detector and QF over a hot key.
+    let eps = 10.0;
+    let c = Criteria::new(eps, 0.9, 100.0).unwrap();
+    let mut exact = ExactDetector::new(c);
+    let mut last_report: Option<usize> = None;
+    for i in 0..2_000 {
+        if exact.insert(3, 500.0) {
+            if let Some(prev) = last_report {
+                assert!(
+                    i - prev >= eps as usize,
+                    "reports {prev} and {i} closer than epsilon"
+                );
+            }
+            last_report = Some(i);
+        }
+    }
+    assert!(last_report.is_some());
+}

@@ -1,0 +1,137 @@
+//! Smoke-run every figure driver at Tiny scale: each must produce rows
+//! with the expected schema and sane values. This guarantees
+//! `figures all` works end to end before anyone pays for a full run.
+
+use qf_repro::qf_eval::figures::{self, FigureOutput, Scale};
+
+fn check(fig: &FigureOutput, min_rows: usize) {
+    assert!(
+        fig.rows.len() >= min_rows,
+        "{}: only {} rows",
+        fig.id,
+        fig.rows.len()
+    );
+    for row in &fig.rows {
+        assert_eq!(row.len(), fig.headers.len(), "{}: ragged row", fig.id);
+    }
+    let csv = fig.to_csv();
+    assert!(csv.lines().count() == fig.rows.len() + 1);
+}
+
+fn f1_column(fig: &FigureOutput) -> Vec<f64> {
+    let idx = fig
+        .headers
+        .iter()
+        .position(|h| h == "f1")
+        .expect("f1 column");
+    fig.rows.iter().map(|r| r[idx].parse().unwrap()).collect()
+}
+
+#[test]
+fn fig4_internet_accuracy() {
+    let fig = figures::fig4(Scale::Tiny);
+    check(&fig, 15);
+    for f1 in f1_column(&fig) {
+        assert!((0.0..=1.0).contains(&f1));
+    }
+}
+
+#[test]
+fn fig5_cloud_accuracy() {
+    let fig = figures::fig5(Scale::Tiny);
+    check(&fig, 15);
+}
+
+#[test]
+fn fig6_threshold_sweep() {
+    let fig = figures::fig6(Scale::Tiny);
+    check(&fig, 9);
+}
+
+#[test]
+fn fig7_delta_sweep() {
+    let fig = figures::fig7(Scale::Tiny);
+    check(&fig, 10);
+}
+
+#[test]
+fn fig8_throughput() {
+    let fig = figures::fig8(Scale::Tiny);
+    check(&fig, 30);
+    let mops_idx = fig.headers.iter().position(|h| h == "mops").unwrap();
+    for row in &fig.rows {
+        assert!(row[mops_idx].parse::<f64>().unwrap() > 0.0);
+    }
+}
+
+#[test]
+fn fig9_parameter_accuracy() {
+    let fig = figures::fig9(Scale::Tiny);
+    check(&fig, 5);
+}
+
+#[test]
+fn fig10_parameter_throughput() {
+    let fig = figures::fig10(Scale::Tiny);
+    check(&fig, 5);
+}
+
+#[test]
+fn fig11_memory_proportion() {
+    let fig = figures::fig11(Scale::Tiny);
+    check(&fig, 4);
+}
+
+#[test]
+fn fig12_variants() {
+    let fig = figures::fig12(Scale::Tiny);
+    check(&fig, 2 * 3 * 7);
+}
+
+#[test]
+fn fig13_dynamic_epsilon() {
+    let fig = figures::fig13(Scale::Tiny);
+    check(&fig, 4);
+}
+
+#[test]
+fn fig14_dynamic_delta() {
+    let fig = figures::fig14(Scale::Tiny);
+    check(&fig, 4);
+}
+
+#[test]
+fn fig15_dynamic_threshold() {
+    let fig = figures::fig15(Scale::Tiny);
+    check(&fig, 4);
+}
+
+#[test]
+fn fig12_cs_variants_beat_cms_on_average() {
+    // The paper's Fig. 12 finding: CS-vague variants are more accurate and
+    // less strategy-sensitive than CMS-vague variants.
+    let fig = figures::fig12(Scale::Tiny);
+    let f1_idx = fig.headers.iter().position(|h| h == "f1").unwrap();
+    let mean_of = |needle: &str| {
+        let vals: Vec<f64> = fig
+            .rows
+            .iter()
+            .filter(|r| r[2].contains(needle))
+            .map(|r| r[f1_idx].parse().unwrap())
+            .collect();
+        vals.iter().sum::<f64>() / vals.len() as f64
+    };
+    let cs = mean_of("+CS)");
+    let cms = mean_of("+CMS)");
+    assert!(
+        cs >= cms,
+        "CS variants (mean F1 {cs:.3}) must not lose to CMS ({cms:.3})"
+    );
+}
+
+#[test]
+fn spot1mb_has_qf_row() {
+    let fig = figures::spot1mb(Scale::Tiny);
+    check(&fig, 5);
+    assert!(fig.rows.iter().any(|r| r[0] == "QuantileFilter"));
+}

@@ -1,0 +1,126 @@
+//! Cross-crate tests of the §III-C flexibility features: per-key criteria,
+//! dynamic modification, and multi-criteria monitoring.
+
+use qf_repro::quantile_filter::{
+    Criteria, MultiCriteriaFilter, QuantileFilterBuilder,
+};
+
+#[test]
+fn per_key_criteria_distinct_report_rates() {
+    // UDP flows (audio/video) get a tighter SLA than TCP flows — the
+    // paper's own motivating example for per-key criteria.
+    let tcp = Criteria::new(20.0, 0.95, 300.0).unwrap();
+    let udp = Criteria::new(5.0, 0.95, 150.0).unwrap();
+    let mut filter = QuantileFilterBuilder::new(tcp)
+        .memory_budget_bytes(64 * 1024)
+        .seed(1)
+        .build();
+
+    let mut udp_reports = 0;
+    let mut tcp_reports = 0;
+    // Both flows see identical 200ms latencies: above the UDP threshold,
+    // below the TCP one.
+    for _ in 0..5_000 {
+        if filter
+            .insert_with_criteria(&1u64, 200.0, &udp)
+            .is_some()
+        {
+            udp_reports += 1;
+        }
+        if filter
+            .insert_with_criteria(&2u64, 200.0, &tcp)
+            .is_some()
+        {
+            tcp_reports += 1;
+        }
+    }
+    assert!(udp_reports > 0, "UDP flow must be reported under tight SLA");
+    assert_eq!(tcp_reports, 0, "TCP flow must stay quiet under lax SLA");
+}
+
+#[test]
+fn dynamic_modification_resets_state() {
+    let base = Criteria::new(5.0, 0.9, 100.0).unwrap();
+    let mut filter = QuantileFilterBuilder::new(base)
+        .memory_budget_bytes(32 * 1024)
+        .seed(2)
+        .build();
+
+    // Accumulate 5 above-T items (Qweight 45 < 50, no report yet).
+    for _ in 0..5 {
+        assert!(filter.insert(&9u64, 500.0).is_none());
+    }
+    assert_eq!(filter.query(&9u64), 45);
+
+    // Modify the key's criteria: state must reset (V_x empties).
+    let removed = filter.modify_key_criteria(&9u64);
+    assert_eq!(removed, 45);
+    assert_eq!(filter.query(&9u64), 0);
+
+    // Under the laxer criteria the same burst no longer reports.
+    let lax = base.with_epsilon(50.0).unwrap(); // threshold 500
+    for _ in 0..20 {
+        assert!(filter.insert_with_criteria(&9u64, 500.0, &lax).is_none());
+    }
+    // But it eventually does once evidence is overwhelming.
+    let mut reported = false;
+    for _ in 0..60 {
+        reported |= filter.insert_with_criteria(&9u64, 500.0, &lax).is_some();
+    }
+    assert!(reported);
+}
+
+#[test]
+fn multi_criteria_composite_keys_do_not_interfere() {
+    let c0 = Criteria::new(5.0, 0.9, 100.0).unwrap();
+    let c1 = Criteria::new(5.0, 0.9, 1000.0).unwrap();
+    let filter = QuantileFilterBuilder::new(c0)
+        .memory_budget_bytes(64 * 1024)
+        .seed(3)
+        .build();
+    let mut multi = MultiCriteriaFilter::new(filter, vec![c0, c1]);
+
+    // Values at 500: above c0's T, below c1's.
+    for _ in 0..100 {
+        multi.insert(&5u64, 500.0);
+    }
+    // Criterion 0 accumulated positives (and reported/reset); criterion 1
+    // must be deeply negative.
+    assert!(multi.query(&5u64, 1) < -50);
+}
+
+#[test]
+fn filter_wide_criteria_change() {
+    let strict = Criteria::new(5.0, 0.9, 100.0).unwrap();
+    let mut filter = QuantileFilterBuilder::new(strict)
+        .memory_budget_bytes(32 * 1024)
+        .seed(4)
+        .build();
+    // Change the global default to a laxer profile; future inserts follow.
+    let lax = Criteria::new(500.0, 0.9, 100.0).unwrap();
+    filter.set_default_criteria(lax);
+    for _ in 0..200 {
+        assert!(filter.insert(&1u64, 500.0).is_none());
+    }
+}
+
+#[test]
+fn reset_supports_resizing_epoch() {
+    // §III-B: periodic reset; after reset the structure behaves fresh.
+    let c = Criteria::new(5.0, 0.9, 100.0).unwrap();
+    let mut filter = QuantileFilterBuilder::new(c)
+        .memory_budget_bytes(16 * 1024)
+        .seed(5)
+        .build();
+    for k in 0u64..500 {
+        filter.insert(&k, 50.0);
+    }
+    filter.reset();
+    assert_eq!(filter.query(&250u64), 0);
+    // Fresh accumulation still detects.
+    let mut reported = false;
+    for _ in 0..10 {
+        reported |= filter.insert(&250u64, 500.0).is_some();
+    }
+    assert!(reported);
+}

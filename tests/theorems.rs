@@ -1,0 +1,152 @@
+//! Empirical checks of the paper's §IV mathematical analysis.
+
+use qf_repro::qf_hash::SplitMix64;
+use qf_repro::qf_sketch::{CountSketch, WeightSketch};
+use qf_repro::quantile_filter::qweight::{exact_qweight, quantile_exceeds};
+use qf_repro::quantile_filter::Criteria;
+
+/// Theorem 1 (unbiasedness): E[Q'_i] = Q_i for the vague part under
+/// signed, weighted, colliding load.
+#[test]
+fn theorem1_unbiasedness() {
+    let truth = 100i64;
+    let trials = 400;
+    let mut sum = 0i64;
+    for seed in 0..trials {
+        let mut cs = CountSketch::<i64>::new(1, 32, seed);
+        cs.add(&0u64, truth);
+        // Heavy background with mixed-sign weights (Qweights are signed).
+        let mut rng = SplitMix64::new(seed ^ 0xBAC);
+        for k in 1u64..300 {
+            let w = (rng.next_u64() % 41) as i64 - 20;
+            cs.add(&k, w);
+        }
+        sum += cs.estimate(&0u64);
+    }
+    let mean = sum as f64 / trials as f64;
+    assert!(
+        (mean - truth as f64).abs() < 8.0,
+        "estimator biased: mean {mean} vs {truth}"
+    );
+}
+
+/// Theorem 1 (error bound): with w = ⌈4/ε²⌉ and d = ⌈8·ln(1/γ)⌉ the error
+/// exceeds ε·L2 with probability at most γ.
+#[test]
+fn theorem1_error_bound() {
+    let eps = 0.25f64;
+    let gamma = 0.05f64;
+    let w = (4.0 / (eps * eps)).ceil() as usize; // 64
+    let d = (8.0 * (1.0 / gamma).ln()).ceil() as usize; // 24
+    let n_keys = 200u64;
+    let weight = 10i64;
+    let l2 = ((n_keys as f64) * (weight as f64).powi(2)).sqrt();
+
+    let mut violations = 0;
+    let trials = 200;
+    for seed in 0..trials {
+        let mut cs = CountSketch::<i64>::new(d, w, seed);
+        for k in 0..n_keys {
+            cs.add(&k, weight);
+        }
+        let err = (cs.estimate(&0u64) - weight).abs() as f64;
+        if err >= eps * l2 {
+            violations += 1;
+        }
+    }
+    let rate = violations as f64 / trials as f64;
+    assert!(
+        rate <= gamma,
+        "error-bound violation rate {rate} exceeds gamma {gamma}"
+    );
+}
+
+/// Theorem 2 (shape): removing the top-k keys from the sketch reduces the
+/// collision error of the remaining keys when Qweights are Zipf-skewed.
+#[test]
+fn theorem2_topk_removal_reduces_error() {
+    let n_keys = 500u64;
+    let alpha = 1.0;
+    // Zipf-magnitude Qweights: key k has weight ∝ 1/(k+1)^α.
+    let weights: Vec<i64> = (0..n_keys)
+        .map(|k| (1000.0 / (k as f64 + 1.0).powf(alpha)) as i64)
+        .collect();
+
+    let err_with_top_k_removed = |k_removed: usize| -> f64 {
+        let trials = 100;
+        let mut total = 0.0;
+        for seed in 0..trials {
+            let mut cs = CountSketch::<i64>::new(1, 64, seed);
+            for (k, &w) in weights.iter().enumerate().skip(k_removed) {
+                cs.add(&(k as u64), w);
+            }
+            // Mean absolute error over a sample of small keys.
+            let lo = k_removed as u64 + 50;
+            let hi = k_removed as u64 + 80;
+            let mut err = 0.0;
+            for k in lo..hi {
+                err += (cs.estimate(&k) - weights[k as usize]).abs() as f64;
+            }
+            total += err / (hi - lo) as f64;
+        }
+        total / trials as f64
+    };
+
+    let full = err_with_top_k_removed(0);
+    let removed = err_with_top_k_removed(16);
+    assert!(
+        removed < full,
+        "removing top-16 must shrink error: full {full} vs removed {removed}"
+    );
+}
+
+/// The §III-A equivalence on a long adversarial value pattern (exactly at
+/// the threshold boundary repeatedly).
+#[test]
+fn qweight_equivalence_boundary_pattern() {
+    let c = Criteria::new(2.0, 0.75, 10.0).unwrap();
+    let mut values = Vec::new();
+    // 3:1 ratio of below:above keeps the quantile hovering at the
+    // boundary.
+    for i in 0..400 {
+        values.push(if i % 4 == 0 { 20.0 } else { 5.0 });
+        let lhs = quantile_exceeds(&values, &c);
+        let qw = exact_qweight(&values, &c);
+        let rhs = qw >= c.report_threshold() - 1e-9;
+        assert_eq!(lhs, rhs, "divergence at n={} (qw={qw})", values.len());
+    }
+}
+
+/// Technique 1 of §III-D: hashing the vague part on (fingerprint, bucket)
+/// composites instead of raw keys loses no visible accuracy as long as
+/// m·2^16 ≫ counters.
+#[test]
+fn fingerprint_composite_hashing_no_accuracy_loss() {
+    use qf_repro::quantile_filter::vague::VagueKey;
+    let trials = 60;
+    let mut raw_err = 0.0;
+    let mut composite_err = 0.0;
+    for seed in 0..trials {
+        // Raw-key sketch.
+        let mut raw = CountSketch::<i64>::new(3, 256, seed);
+        // Composite-key sketch: same dims, keys folded through (bucket,
+        // fp) with 64 buckets — 64·65536 ≫ 768 counters.
+        let mut comp = CountSketch::<i64>::new(3, 256, seed);
+        for k in 0u64..500 {
+            let w = if k == 0 { 200 } else { 3 };
+            raw.add(&k, w);
+            let vk = VagueKey::new((k % 64) as usize, (k >> 6) as u16);
+            comp.add(&vk, w);
+        }
+        raw_err += (raw.estimate(&0u64) - 200).abs() as f64;
+        let vk0 = VagueKey::new(0, 0);
+        composite_err += (comp.estimate(&vk0) - 200).abs() as f64;
+    }
+    let raw_mean = raw_err / trials as f64;
+    let comp_mean = composite_err / trials as f64;
+    // Same order of magnitude — composite hashing must not visibly hurt.
+    assert!(
+        comp_mean <= raw_mean * 2.0 + 10.0,
+        "composite error {comp_mean} vs raw {raw_mean}"
+    );
+}

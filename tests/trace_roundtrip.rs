@@ -1,0 +1,43 @@
+//! Dataset → trace file → reload → identical detection results.
+
+use qf_repro::qf_baselines::QfDetector;
+use qf_repro::qf_datasets::{internet_like, trace, InternetConfig};
+use qf_repro::qf_eval::run_detector;
+use qf_repro::quantile_filter::Criteria;
+
+#[test]
+fn detection_identical_after_trace_roundtrip() {
+    let mut cfg = InternetConfig::tiny();
+    cfg.items = 20_000;
+    let dataset = internet_like(&cfg);
+    let criteria = Criteria::new(30.0, 0.95, dataset.threshold).unwrap();
+
+    let dir = std::env::temp_dir().join("qf_roundtrip_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("internet.qftr");
+    trace::write_file(&path, &dataset.items, dataset.threshold).unwrap();
+
+    let (loaded, threshold) = trace::read_file(&path).unwrap();
+    assert_eq!(threshold, dataset.threshold);
+    assert_eq!(loaded.len(), dataset.items.len());
+
+    let mut det_a = QfDetector::paper_default(criteria, 64 * 1024, 5);
+    let mut det_b = QfDetector::paper_default(criteria, 64 * 1024, 5);
+    let run_a = run_detector(&mut det_a, &dataset.items);
+    let run_b = run_detector(&mut det_b, &loaded);
+    assert_eq!(run_a.reported, run_b.reported);
+    assert_eq!(run_a.report_events, run_b.report_events);
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn csv_export_row_count() {
+    let mut cfg = InternetConfig::tiny();
+    cfg.items = 1_000;
+    let dataset = internet_like(&cfg);
+    let mut out = Vec::new();
+    trace::write_csv(&mut out, &dataset.items).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    assert_eq!(text.lines().count(), 1 + dataset.items.len());
+}
