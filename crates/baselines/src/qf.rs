@@ -2,10 +2,10 @@
 //! the eval harness can sweep all structures through one interface.
 
 use crate::OutstandingDetector;
+use qf_sketch::{CountMinSketch, CountSketch, WeightSketch};
 use quantile_filter::{
     Criteria, ElectionStrategy, QuantileFilter, QuantileFilterBuilder, QweightSketch,
 };
-use qf_sketch::{CountMinSketch, CountSketch, WeightSketch};
 
 /// QuantileFilter as an [`OutstandingDetector`], with a configurable vague
 /// sketch (CS default, CMS for the Fig. 12 ablation).

@@ -141,16 +141,13 @@ impl OutstandingDetector for SketchPolymerDetector {
         let Some(qb) = rank_to_bucket(&hist, idx as u64) else {
             return false;
         };
-        if bucket_value(qb) > self.criteria.threshold() {
-            // Report; reset the key's histogram by subtracting estimates.
-            for (b, &c) in hist.iter().enumerate() {
-                if c > 0 {
-                    self.add(key, b, -(c as i64));
-                }
-            }
-            return true;
-        }
-        false
+        // Report without mutating the matrix: SketchPolymer is a
+        // continuous estimator, and subtracting a key's min-estimate
+        // histogram from the shared counters would wipe colliding keys'
+        // counts under tight memory (collapsing recall, the opposite of
+        // the over-reporting regime §V-B describes). Duplicate reports of
+        // a key are deduplicated by the evaluation harness.
+        bucket_value(qb) > self.criteria.threshold()
     }
 
     fn memory_bytes(&self) -> usize {

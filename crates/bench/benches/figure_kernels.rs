@@ -61,17 +61,7 @@ fn bench_cs_vs_cms(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("CS", |b| {
         b.iter_batched(
-            || {
-                QfDetector::with_params(
-                    crit(),
-                    MEMORY,
-                    6,
-                    3,
-                    0.8,
-                    ElectionStrategy::Comparative,
-                    2,
-                )
-            },
+            || QfDetector::with_params(crit(), MEMORY, 6, 3, 0.8, ElectionStrategy::Comparative, 2),
             |mut det| black_box(run(&mut det, &items)),
             criterion::BatchSize::LargeInput,
         );

@@ -94,11 +94,12 @@ fn main() {
             eprintln!("bad --query: {e}");
             std::process::exit(1);
         }),
-        None => Criteria::new(eps, delta, threshold.unwrap_or(trace_threshold))
-            .unwrap_or_else(|e| {
+        None => {
+            Criteria::new(eps, delta, threshold.unwrap_or(trace_threshold)).unwrap_or_else(|e| {
                 eprintln!("bad criteria: {e}");
                 std::process::exit(1);
-            }),
+            })
+        }
     };
     println!(
         "trace: {} items; criteria: eps={} delta={} T={}; scheme={scheme} memory={memory}B",

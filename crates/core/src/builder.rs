@@ -7,8 +7,10 @@
 
 use crate::candidate::{CandidatePart, ENTRY_BYTES};
 use crate::criteria::Criteria;
+use crate::error::BuilderError;
 use crate::filter::QuantileFilter;
 use crate::strategy::ElectionStrategy;
+use qf_sketch::count_sketch::MAX_DEPTH;
 use qf_sketch::{CountSketch, SketchCounter, WeightSketch};
 
 /// Fraction of a memory budget given to the candidate part by default
@@ -115,61 +117,124 @@ impl QuantileFilterBuilder {
         self
     }
 
-    fn build_candidate(&self) -> CandidatePart {
+    fn build_candidate(&self) -> Result<CandidatePart, BuilderError> {
         if let Some(m) = self.explicit_buckets {
-            return CandidatePart::new(m, self.bucket_len, self.seed);
+            if m == 0 {
+                return Err(BuilderError::ZeroCandidateBuckets);
+            }
+            return CandidatePart::try_new(m, self.bucket_len, self.seed)
+                .ok_or(BuilderError::ZeroBucketLen);
         }
         let budget = self
             .memory_budget
-            .expect("set memory_budget_bytes() or candidate_buckets()");
+            .ok_or(BuilderError::MissingCandidateSizing)?;
         let bytes = (budget as f64 * self.candidate_fraction) as usize;
-        CandidatePart::with_memory_budget(self.bucket_len, bytes.max(ENTRY_BYTES), self.seed)
+        CandidatePart::try_with_memory_budget(self.bucket_len, bytes.max(ENTRY_BYTES), self.seed)
+            .ok_or(BuilderError::ZeroBucketLen)
     }
 
-    fn vague_budget(&self) -> usize {
-        let budget = self
-            .memory_budget
-            .expect("set memory_budget_bytes() or vague_dims()");
-        ((budget as f64 * (1.0 - self.candidate_fraction)) as usize).max(4)
+    fn vague_budget(&self) -> Result<usize, BuilderError> {
+        let budget = self.memory_budget.ok_or(BuilderError::MissingVagueSizing)?;
+        Ok(((budget as f64 * (1.0 - self.candidate_fraction)) as usize).max(4))
     }
 
-    /// Build with a Count-sketch vague part of counter type `C`.
-    pub fn build_with_counter<C: SketchCounter>(self) -> QuantileFilter<CountSketch<C>> {
-        self.validate();
-        let candidate = self.build_candidate();
+    /// Fallible build with a Count-sketch vague part of counter type `C`.
+    pub fn try_build_with_counter<C: SketchCounter>(
+        self,
+    ) -> Result<QuantileFilter<CountSketch<C>>, BuilderError> {
+        self.validate()?;
+        let candidate = self.build_candidate()?;
+        // The dimensions are validated above, so the (documented panicking)
+        // sketch constructors below cannot actually panic.
         let sketch = if let Some((d, w)) = self.explicit_vague {
             CountSketch::<C>::new(d, w, self.seed ^ 0x7A63_5E11)
         } else {
             CountSketch::<C>::with_memory_budget(
                 self.vague_depth,
-                self.vague_budget(),
+                self.vague_budget()?,
                 self.seed ^ 0x7A63_5E11,
             )
         };
-        QuantileFilter::from_parts(self.criteria, candidate, sketch, self.strategy, self.seed)
+        Ok(QuantileFilter::from_parts(
+            self.criteria,
+            candidate,
+            sketch,
+            self.strategy,
+            self.seed,
+        ))
+    }
+
+    /// Fallible build with the default `CountSketch<i8>` vague part.
+    pub fn try_build(self) -> Result<QuantileFilter<CountSketch<i8>>, BuilderError> {
+        self.try_build_with_counter::<i8>()
+    }
+
+    /// Fallible build with a caller-supplied vague sketch (e.g. a
+    /// [`qf_sketch::CountMinSketch`] for the Fig. 12 ablation). The
+    /// candidate part still follows the builder's settings.
+    pub fn try_build_with_sketch<S: WeightSketch>(
+        self,
+        sketch: S,
+    ) -> Result<QuantileFilter<S>, BuilderError> {
+        self.validate()?;
+        let candidate = self.build_candidate()?;
+        Ok(QuantileFilter::from_parts(
+            self.criteria,
+            candidate,
+            sketch,
+            self.strategy,
+            self.seed,
+        ))
+    }
+
+    /// Build with a Count-sketch vague part of counter type `C`.
+    ///
+    /// # Panics
+    /// Panics on any configuration error [`Self::try_build_with_counter`]
+    /// would report.
+    pub fn build_with_counter<C: SketchCounter>(self) -> QuantileFilter<CountSketch<C>> {
+        match self.try_build_with_counter::<C>() {
+            Ok(filter) => filter,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Build with the default `CountSketch<i8>` vague part.
+    ///
+    /// # Panics
+    /// Panics on any configuration error [`Self::try_build`] would report.
     pub fn build(self) -> QuantileFilter<CountSketch<i8>> {
         self.build_with_counter::<i8>()
     }
 
-    /// Build with a caller-supplied vague sketch (e.g. a
-    /// [`qf_sketch::CountMinSketch`] for the Fig. 12 ablation). The
-    /// candidate part still follows the builder's settings.
+    /// Build with a caller-supplied vague sketch.
+    ///
+    /// # Panics
+    /// Panics on any configuration error [`Self::try_build_with_sketch`]
+    /// would report.
     pub fn build_with_sketch<S: WeightSketch>(self, sketch: S) -> QuantileFilter<S> {
-        self.validate();
-        let candidate = self.build_candidate();
-        QuantileFilter::from_parts(self.criteria, candidate, sketch, self.strategy, self.seed)
+        match self.try_build_with_sketch(sketch) {
+            Ok(filter) => filter,
+            Err(e) => panic!("{e}"),
+        }
     }
 
-    fn validate(&self) {
-        assert!(self.bucket_len > 0, "bucket_len must be positive");
-        assert!(self.vague_depth > 0, "vague_depth must be positive");
-        assert!(
-            self.candidate_fraction > 0.0 && self.candidate_fraction < 1.0,
-            "candidate_fraction must be in (0, 1)"
-        );
+    fn validate(&self) -> Result<(), BuilderError> {
+        if self.bucket_len == 0 {
+            return Err(BuilderError::ZeroBucketLen);
+        }
+        if self.vague_depth == 0 || self.vague_depth > MAX_DEPTH {
+            return Err(BuilderError::BadVagueDepth);
+        }
+        if let Some((d, w)) = self.explicit_vague {
+            if d == 0 || d > MAX_DEPTH || w == 0 {
+                return Err(BuilderError::BadVagueDims);
+            }
+        }
+        if !(self.candidate_fraction > 0.0 && self.candidate_fraction < 1.0) {
+            return Err(BuilderError::BadCandidateFraction);
+        }
+        Ok(())
     }
 }
 

@@ -6,6 +6,7 @@
 //! paper's memory axis (candidate ≈ 80% of the budget at the default 4:1
 //! split) charges.
 
+use qf_hash::wire::{ByteReader, ByteWriter, WireError};
 use qf_hash::{fingerprint16, RowHasher, StreamKey};
 
 /// One candidate slot. `occupied == false` slots have undefined fp/qw.
@@ -44,27 +45,54 @@ pub struct CandidatePart {
 }
 
 impl CandidatePart {
+    /// Create a part with `buckets` buckets of `bucket_len` entries, or
+    /// `None` if either dimension is zero.
+    pub fn try_new(buckets: usize, bucket_len: usize, seed: u64) -> Option<Self> {
+        if bucket_len == 0 {
+            return None;
+        }
+        let bucket_hash = RowHasher::from_parts(buckets, seed ^ 0xB0C4_15E5)?;
+        Some(Self {
+            slots: vec![Slot::default(); buckets * bucket_len],
+            buckets,
+            bucket_len,
+            bucket_hash,
+            fp_seed: seed ^ 0xF19E_12F1,
+        })
+    }
+
     /// Create a part with `buckets` buckets of `bucket_len` entries.
     ///
     /// # Panics
     /// Panics if either dimension is zero.
     pub fn new(buckets: usize, bucket_len: usize, seed: u64) -> Self {
-        assert!(buckets > 0, "need at least one bucket");
-        assert!(bucket_len > 0, "need at least one entry per bucket");
-        Self {
-            slots: vec![Slot::default(); buckets * bucket_len],
-            buckets,
-            bucket_len,
-            bucket_hash: RowHasher::new(buckets, seed ^ 0xB0C4_15E5),
-            fp_seed: seed ^ 0xF19E_12F1,
+        match Self::try_new(buckets, bucket_len, seed) {
+            Some(part) => part,
+            None if buckets == 0 => panic!("need at least one bucket"),
+            None => panic!("need at least one entry per bucket"),
         }
     }
 
     /// Build the largest part with `bucket_len`-entry buckets that fits a
-    /// byte budget (≥ 1 bucket).
-    pub fn with_memory_budget(bucket_len: usize, bytes: usize, seed: u64) -> Self {
+    /// byte budget (≥ 1 bucket); `None` if `bucket_len == 0`.
+    pub fn try_with_memory_budget(bucket_len: usize, bytes: usize, seed: u64) -> Option<Self> {
+        if bucket_len == 0 {
+            return None;
+        }
         let buckets = (bytes / (bucket_len * ENTRY_BYTES)).max(1);
-        Self::new(buckets, bucket_len, seed)
+        Self::try_new(buckets, bucket_len, seed)
+    }
+
+    /// Build the largest part with `bucket_len`-entry buckets that fits a
+    /// byte budget (≥ 1 bucket).
+    ///
+    /// # Panics
+    /// Panics if `bucket_len == 0`.
+    pub fn with_memory_budget(bucket_len: usize, bytes: usize, seed: u64) -> Self {
+        match Self::try_with_memory_budget(bucket_len, bytes, seed) {
+            Some(part) => part,
+            None => panic!("need at least one entry per bucket"),
+        }
     }
 
     /// Number of buckets `m`.
@@ -211,6 +239,74 @@ impl CandidatePart {
                 .then_some((i / self.bucket_len, s.fp, i64::from(s.qw)))
         })
     }
+
+    /// The bucket hash's seed, for snapshotting.
+    pub fn bucket_seed(&self) -> u64 {
+        self.bucket_hash.seed()
+    }
+
+    /// The fingerprint hash seed, for snapshotting.
+    pub fn fp_seed(&self) -> u64 {
+        self.fp_seed
+    }
+
+    /// Upper bound on restored slot counts; a corrupted dimension field
+    /// must not trigger a huge allocation.
+    pub(crate) const MAX_SNAPSHOT_SLOTS: u64 = 1 << 28;
+
+    /// Serialize every slot (occupied flag, fingerprint, Qweight) into a
+    /// snapshot's state section.
+    pub(crate) fn write_state(&self, w: &mut ByteWriter) {
+        for slot in &self.slots {
+            w.put_u8(u8::from(slot.occupied));
+            w.put_u16(slot.fp);
+            w.put_i32(slot.qw);
+        }
+    }
+
+    /// Rebuild the part from snapshotted configuration and slot state.
+    /// Never panics: malformed input surfaces as a [`WireError`].
+    pub(crate) fn from_state(
+        buckets: u64,
+        bucket_len: u64,
+        bucket_seed: u64,
+        fp_seed: u64,
+        r: &mut ByteReader<'_>,
+    ) -> Result<Self, WireError> {
+        if buckets == 0 || bucket_len == 0 {
+            return Err(WireError::Invalid("candidate dimensions must be positive"));
+        }
+        let total = buckets
+            .checked_mul(bucket_len)
+            .ok_or(WireError::Invalid("candidate dimensions overflow"))?;
+        if total > Self::MAX_SNAPSHOT_SLOTS {
+            return Err(WireError::Invalid("candidate dimensions out of range"));
+        }
+        let (buckets, bucket_len) = (buckets as usize, bucket_len as usize);
+        let bucket_hash = RowHasher::from_parts(buckets, bucket_seed)
+            .ok_or(WireError::Invalid("degenerate bucket hash"))?;
+        let mut slots = Vec::with_capacity(buckets * bucket_len);
+        for _ in 0..buckets * bucket_len {
+            let occupied = match r.get_u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::Invalid("bad slot occupancy flag")),
+            };
+            let fp = r.get_u16()?;
+            let qw = r.get_i32()?;
+            if !occupied && (fp != 0 || qw != 0) {
+                return Err(WireError::Invalid("free slot with residual payload"));
+            }
+            slots.push(Slot { fp, qw, occupied });
+        }
+        Ok(Self {
+            slots,
+            buckets,
+            bucket_len,
+            bucket_hash,
+            fp_seed,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -227,10 +323,7 @@ mod tests {
         let b = p.bucket_of(&1u64);
         let fp = p.fingerprint_of(&1u64);
         assert_eq!(p.offer(b, fp, 5), CandidateOutcome::Inserted);
-        assert_eq!(
-            p.offer(b, fp, -2),
-            CandidateOutcome::Updated { qweight: 3 }
-        );
+        assert_eq!(p.offer(b, fp, -2), CandidateOutcome::Updated { qweight: 3 });
         assert_eq!(p.get(b, fp), Some(3));
     }
 

@@ -142,7 +142,14 @@ impl Default for Criteria {
     /// The paper's default experiment parameters: `ε = 30`, `δ = 0.95`,
     /// `T = 300` (ms, Internet dataset).
     fn default() -> Self {
-        Self::new(30.0, 0.95, 300.0).expect("default criteria are valid")
+        // Constructed directly (all three constants trivially satisfy the
+        // `new()` validation) so the non-test path stays free of
+        // unwrap/expect under the crate's panic-free lint gate.
+        Self {
+            epsilon: 30.0,
+            delta: 0.95,
+            threshold: 300.0,
+        }
     }
 }
 

@@ -13,6 +13,7 @@
 
 use crate::builder::QuantileFilterBuilder;
 use crate::criteria::Criteria;
+use crate::error::{BuilderError, QfError};
 use crate::filter::{QuantileFilter, Report};
 use qf_hash::StreamKey;
 use qf_sketch::{CountSketch, SketchCounter};
@@ -62,8 +63,7 @@ impl ResizePolicy for GrowOnPressure {
         }
         let spill = stats.vague_visits as f64 / stats.items as f64;
         if spill > self.vague_visit_threshold {
-            let next =
-                ((stats.memory_bytes as f64 * self.factor) as usize).min(self.max_bytes);
+            let next = ((stats.memory_bytes as f64 * self.factor) as usize).min(self.max_bytes);
             if next > stats.memory_bytes {
                 return ResizeDecision::Resize(next);
             }
@@ -101,20 +101,22 @@ pub struct EpochFilter<C: SketchCounter = i8, P: ResizePolicy = FixedSize> {
 }
 
 impl<C: SketchCounter, P: ResizePolicy> EpochFilter<C, P> {
-    /// Create an epoch-managed filter.
-    ///
-    /// # Panics
-    /// Panics if `epoch_len == 0`.
-    pub fn new(
+    /// Create an epoch-managed filter, or a typed error if `epoch_len` is
+    /// zero or the memory budget cannot produce a valid filter.
+    pub fn try_new(
         criteria: Criteria,
         memory_bytes: usize,
         epoch_len: u64,
         seed: u64,
         policy: P,
-    ) -> Self {
-        assert!(epoch_len > 0, "epoch length must be positive");
-        Self {
-            filter: Self::build(criteria, memory_bytes, seed),
+    ) -> Result<Self, QfError> {
+        if epoch_len == 0 {
+            return Err(QfError::InvalidConfig {
+                reason: "epoch length must be positive".into(),
+            });
+        }
+        Ok(Self {
+            filter: Self::try_build(criteria, memory_bytes, seed)?,
             criteria,
             seed,
             epoch_len,
@@ -122,14 +124,35 @@ impl<C: SketchCounter, P: ResizePolicy> EpochFilter<C, P> {
             memory_bytes,
             epochs_completed: 0,
             policy,
+        })
+    }
+
+    /// Create an epoch-managed filter.
+    ///
+    /// # Panics
+    /// Panics on any configuration error [`Self::try_new`] would report.
+    pub fn new(
+        criteria: Criteria,
+        memory_bytes: usize,
+        epoch_len: u64,
+        seed: u64,
+        policy: P,
+    ) -> Self {
+        match Self::try_new(criteria, memory_bytes, epoch_len, seed, policy) {
+            Ok(ef) => ef,
+            Err(e) => panic!("{e}"),
         }
     }
 
-    fn build(criteria: Criteria, memory: usize, seed: u64) -> QuantileFilter<CountSketch<C>> {
+    fn try_build(
+        criteria: Criteria,
+        memory: usize,
+        seed: u64,
+    ) -> Result<QuantileFilter<CountSketch<C>>, BuilderError> {
         QuantileFilterBuilder::new(criteria)
             .memory_budget_bytes(memory)
             .seed(seed)
-            .build_with_counter::<C>()
+            .try_build_with_counter::<C>()
     }
 
     /// Items remaining until the next reset.
@@ -152,8 +175,13 @@ impl<C: SketchCounter, P: ResizePolicy> EpochFilter<C, P> {
         &self.filter
     }
 
-    /// Insert an item; runs the epoch rollover when due.
+    /// Insert an item; runs the epoch rollover when due. Non-finite values
+    /// are dropped (as in [`QuantileFilter::insert`]) and do not consume
+    /// epoch capacity.
     pub fn insert<K: StreamKey + ?Sized>(&mut self, key: &K, value: f64) -> Option<Report> {
+        if !value.is_finite() {
+            return None;
+        }
         if self.items_this_epoch >= self.epoch_len {
             self.rollover();
         }
@@ -172,14 +200,71 @@ impl<C: SketchCounter, P: ResizePolicy> EpochFilter<C, P> {
         match self.policy.decide(stats) {
             ResizeDecision::Keep => self.filter.reset(),
             ResizeDecision::Resize(bytes) => {
-                self.memory_bytes = bytes;
                 // Rotate the seed so consecutive epochs decorrelate.
-                self.seed = qf_hash::mix64(self.seed);
-                self.filter = Self::build(self.criteria, bytes, self.seed);
+                let seed = qf_hash::mix64(self.seed);
+                match Self::try_build(self.criteria, bytes, seed) {
+                    Ok(filter) => {
+                        self.filter = filter;
+                        self.memory_bytes = bytes;
+                        self.seed = seed;
+                    }
+                    // A policy that proposes an unusable budget must not
+                    // crash the stream: keep the old structure, just reset.
+                    Err(_) => self.filter.reset(),
+                }
             }
         }
         self.items_this_epoch = 0;
         self.epochs_completed += 1;
+    }
+
+    /// Snapshot accessors (the epoch manager's own counters).
+    pub(crate) fn snapshot_parts(
+        &self,
+    ) -> (
+        &QuantileFilter<CountSketch<C>>,
+        Criteria,
+        u64,
+        u64,
+        u64,
+        u64,
+        u64,
+    ) {
+        (
+            &self.filter,
+            self.criteria,
+            self.seed,
+            self.epoch_len,
+            self.items_this_epoch,
+            self.memory_bytes as u64,
+            self.epochs_completed,
+        )
+    }
+
+    /// Reassemble an epoch filter from restored components. The resize
+    /// policy is not serialized (it may hold arbitrary closures/state), so
+    /// the caller supplies it.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_restored(
+        filter: QuantileFilter<CountSketch<C>>,
+        criteria: Criteria,
+        seed: u64,
+        epoch_len: u64,
+        items_this_epoch: u64,
+        memory_bytes: usize,
+        epochs_completed: u64,
+        policy: P,
+    ) -> Self {
+        Self {
+            filter,
+            criteria,
+            seed,
+            epoch_len,
+            items_this_epoch,
+            memory_bytes,
+            epochs_completed,
+            policy,
+        }
     }
 }
 
@@ -234,8 +319,7 @@ mod tests {
         };
         // 512B filter: ~68 candidate slots; 500 distinct keys per epoch
         // spill heavily into the vague part.
-        let mut ef: EpochFilter<i8, GrowOnPressure> =
-            EpochFilter::new(crit(), 512, 500, 4, policy);
+        let mut ef: EpochFilter<i8, GrowOnPressure> = EpochFilter::new(crit(), 512, 500, 4, policy);
         let before = ef.memory_bytes();
         for i in 0..1_000u64 {
             ef.insert(&(i % 500), 5.0);
@@ -256,8 +340,7 @@ mod tests {
             factor: 100.0,
             max_bytes: 4096,
         };
-        let mut ef: EpochFilter<i8, GrowOnPressure> =
-            EpochFilter::new(crit(), 1024, 10, 5, policy);
+        let mut ef: EpochFilter<i8, GrowOnPressure> = EpochFilter::new(crit(), 1024, 10, 5, policy);
         for i in 0..100u64 {
             ef.insert(&i, 5.0);
         }

@@ -1,0 +1,150 @@
+//! Typed errors for the panic-free fallible API.
+//!
+//! Every failure the filter can encounter on its configuration, ingest, or
+//! snapshot paths is represented here, so embedders can route problems
+//! (a corrupt checkpoint, a poisoned value stream, a bad config pushed at
+//! runtime) into their own recovery logic instead of crashing the stream
+//! processor. The panicking entry points (`build()`, `insert()`,
+//! constructor `new()`s) remain available as documented wrappers for code
+//! that prefers fail-fast semantics.
+
+use crate::criteria::CriteriaError;
+
+/// Any error the fallible QuantileFilter API can return.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QfError {
+    /// A structural parameter is invalid (zero dimension, bad fraction,
+    /// missing budget, bad criteria, ...).
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+    /// An inserted value was NaN or ±infinity. Non-finite values have no
+    /// place on either side of the threshold `T`: admitting them would
+    /// silently corrupt Qweight accounting (NaN compares below every `T`,
+    /// +∞ above), so they are rejected at the API boundary.
+    NonFiniteValue {
+        /// The offending value's bit pattern, kept as `f64` for display.
+        value: f64,
+    },
+    /// A snapshot failed integrity or structural validation.
+    CorruptSnapshot {
+        /// What the decoder tripped over.
+        reason: String,
+    },
+    /// The snapshot was written by an incompatible format version.
+    VersionMismatch {
+        /// Version recorded in the snapshot header.
+        found: u32,
+        /// Version this build reads and writes.
+        supported: u32,
+    },
+}
+
+impl std::fmt::Display for QfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            Self::NonFiniteValue { value } => {
+                write!(f, "non-finite value rejected: {value}")
+            }
+            Self::CorruptSnapshot { reason } => write!(f, "corrupt snapshot: {reason}"),
+            Self::VersionMismatch { found, supported } => write!(
+                f,
+                "snapshot format version {found} is not supported (this build reads version {supported})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QfError {}
+
+impl From<CriteriaError> for QfError {
+    fn from(e: CriteriaError) -> Self {
+        Self::InvalidConfig {
+            reason: e.to_string(),
+        }
+    }
+}
+
+impl From<BuilderError> for QfError {
+    fn from(e: BuilderError) -> Self {
+        Self::InvalidConfig {
+            reason: e.to_string(),
+        }
+    }
+}
+
+/// Error from [`crate::QuantileFilterBuilder::try_build`] and friends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuilderError {
+    /// Neither a memory budget nor explicit candidate dimensions were set.
+    MissingCandidateSizing,
+    /// Neither a memory budget nor explicit vague dimensions were set.
+    MissingVagueSizing,
+    /// `bucket_len` was zero.
+    ZeroBucketLen,
+    /// `vague_depth` was zero or above the sketch's maximum depth.
+    BadVagueDepth,
+    /// `candidate_fraction` was outside `(0, 1)`.
+    BadCandidateFraction,
+    /// Explicit candidate bucket count was zero.
+    ZeroCandidateBuckets,
+    /// Explicit vague dimensions contained a zero.
+    BadVagueDims,
+}
+
+impl std::fmt::Display for BuilderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingCandidateSizing => {
+                write!(f, "set memory_budget_bytes() or candidate_buckets()")
+            }
+            Self::MissingVagueSizing => write!(f, "set memory_budget_bytes() or vague_dims()"),
+            Self::ZeroBucketLen => write!(f, "bucket_len must be positive"),
+            Self::BadVagueDepth => write!(f, "vague_depth must be positive and within MAX_DEPTH"),
+            Self::BadCandidateFraction => write!(f, "candidate_fraction must be in (0, 1)"),
+            Self::ZeroCandidateBuckets => write!(f, "candidate_buckets must be positive"),
+            Self::BadVagueDims => write!(f, "vague_dims must both be positive"),
+        }
+    }
+}
+
+impl std::error::Error for BuilderError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = QfError::InvalidConfig { reason: "x".into() };
+        assert!(e.to_string().contains("invalid configuration"));
+        let e = QfError::NonFiniteValue { value: f64::NAN };
+        assert!(e.to_string().contains("non-finite"));
+        let e = QfError::CorruptSnapshot {
+            reason: "checksum mismatch".into(),
+        };
+        assert!(e.to_string().contains("checksum mismatch"));
+        let e = QfError::VersionMismatch {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn builder_error_converts() {
+        let q: QfError = BuilderError::MissingCandidateSizing.into();
+        assert!(
+            matches!(q, QfError::InvalidConfig { reason } if reason.contains("memory_budget_bytes"))
+        );
+    }
+
+    #[test]
+    fn criteria_error_converts() {
+        let ce = crate::criteria::CriteriaError::DeltaOutOfRange;
+        let q: QfError = ce.into();
+        assert!(matches!(q, QfError::InvalidConfig { .. }));
+    }
+}

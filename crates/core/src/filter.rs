@@ -3,6 +3,7 @@
 
 use crate::candidate::{CandidateOutcome, CandidatePart};
 use crate::criteria::Criteria;
+use crate::error::QfError;
 use crate::strategy::ElectionStrategy;
 use crate::vague::{VagueKey, VaguePart};
 use qf_hash::{SplitMix64, StreamKey};
@@ -133,6 +134,12 @@ impl<S: WeightSketch> QuantileFilter<S> {
     }
 
     /// Insert an item under the filter-wide default criteria.
+    ///
+    /// Non-finite values (NaN, ±∞) are silently dropped — they carry no
+    /// quantile information and would otherwise corrupt Qweight accounting
+    /// (NaN compares below every `T` and would count −1; +∞ above every `T`
+    /// and would count +δ/(1−δ)). Use [`Self::try_insert`] to surface the
+    /// rejection as a typed error instead.
     #[inline]
     pub fn insert<K: StreamKey + ?Sized>(&mut self, key: &K, value: f64) -> Option<Report> {
         let criteria = self.criteria;
@@ -141,7 +148,47 @@ impl<S: WeightSketch> QuantileFilter<S> {
 
     /// Insert an item under per-item criteria (§III-C first flexibility:
     /// "input the criteria ⟨ε_x, δ_x, T_x⟩ along with each item ⟨x, v⟩").
+    ///
+    /// Non-finite values are silently dropped, as in [`Self::insert`].
     pub fn insert_with_criteria<K: StreamKey + ?Sized>(
+        &mut self,
+        key: &K,
+        value: f64,
+        criteria: &Criteria,
+    ) -> Option<Report> {
+        if !value.is_finite() {
+            return None;
+        }
+        self.insert_finite(key, value, criteria)
+    }
+
+    /// Fallible insert under the filter-wide default criteria: rejects
+    /// NaN/±∞ with [`QfError::NonFiniteValue`] instead of dropping them.
+    #[inline]
+    pub fn try_insert<K: StreamKey + ?Sized>(
+        &mut self,
+        key: &K,
+        value: f64,
+    ) -> Result<Option<Report>, QfError> {
+        let criteria = self.criteria;
+        self.try_insert_with_criteria(key, value, &criteria)
+    }
+
+    /// Fallible insert under per-item criteria: rejects NaN/±∞ with
+    /// [`QfError::NonFiniteValue`] instead of dropping them.
+    pub fn try_insert_with_criteria<K: StreamKey + ?Sized>(
+        &mut self,
+        key: &K,
+        value: f64,
+        criteria: &Criteria,
+    ) -> Result<Option<Report>, QfError> {
+        if !value.is_finite() {
+            return Err(QfError::NonFiniteValue { value });
+        }
+        Ok(self.insert_finite(key, value, criteria))
+    }
+
+    fn insert_finite<K: StreamKey + ?Sized>(
         &mut self,
         key: &K,
         value: f64,
@@ -244,6 +291,39 @@ impl<S: WeightSketch> QuantileFilter<S> {
         self.candidate.clear();
         self.vague.clear();
         self.stats = FilterStats::default();
+    }
+
+    /// Stochastic-rounder RNG state, captured by snapshots so a restored
+    /// filter rounds the resumed stream identically.
+    pub(crate) fn rounder_state(&self) -> u64 {
+        self.rounder.state()
+    }
+
+    /// Election RNG state, captured by snapshots for the same reason.
+    pub(crate) fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// Reassemble a filter from fully-restored components, including the
+    /// two RNG states and the running statistics.
+    pub(crate) fn from_restored(
+        criteria: Criteria,
+        candidate: CandidatePart,
+        vague_sketch: S,
+        strategy: ElectionStrategy,
+        rounder_state: u64,
+        rng_state: u64,
+        stats: FilterStats,
+    ) -> Self {
+        Self {
+            criteria,
+            candidate,
+            vague: VaguePart::new(vague_sketch),
+            strategy,
+            rounder: StochasticRounder::from_state(rounder_state),
+            rng: SplitMix64::from_state(rng_state),
+            stats,
+        }
     }
 }
 
@@ -360,9 +440,7 @@ mod tests {
         let mut qf = small_filter(default);
         let mut first_report_item = None;
         for i in 0..10 {
-            if qf
-                .insert_with_criteria(&6u64, 500.0, &tight)
-                .is_some()
+            if qf.insert_with_criteria(&6u64, 500.0, &tight).is_some()
                 && first_report_item.is_none()
             {
                 first_report_item = Some(i);
@@ -461,7 +539,10 @@ mod tests {
         assert!(qf.stats().exchanges >= 1, "no exchange happened");
         let b = qf.candidate_part().bucket_of(&200u64);
         let fp = qf.candidate_part().fingerprint_of(&200u64);
-        assert!(qf.candidate_part().get(b, fp).is_some(), "hot key not promoted");
+        assert!(
+            qf.candidate_part().get(b, fp).is_some(),
+            "hot key not promoted"
+        );
     }
 
     #[test]
@@ -484,6 +565,51 @@ mod tests {
         let mut qf = small_filter(c);
         let r = qf.insert(&13u64, 100.0);
         assert!(r.is_some());
+    }
+
+    #[test]
+    fn non_finite_values_would_corrupt_qweight_accounting() {
+        // The raw item-weight function has no NaN/∞ defense: NaN fails
+        // `value > T` and lands on the −1 side, +∞ lands on the +δ/(1−δ)
+        // side. A poisoned stream therefore used to shift Qweights silently
+        // — which is exactly why the filter guards the API boundary.
+        let c = default_criteria();
+        assert_eq!(c.item_weight(f64::NAN), -1.0);
+        assert_eq!(c.item_weight(f64::NEG_INFINITY), -1.0);
+        assert_eq!(c.item_weight(f64::INFINITY), c.weight_above());
+    }
+
+    #[test]
+    fn infallible_insert_drops_non_finite() {
+        let mut qf = small_filter(default_criteria());
+        for _ in 0..3 {
+            qf.insert(&21u64, 500.0);
+        }
+        let before = qf.query(&21u64);
+        let stats_before = qf.stats();
+        assert!(qf.insert(&21u64, f64::NAN).is_none());
+        assert!(qf.insert(&21u64, f64::INFINITY).is_none());
+        assert!(qf.insert(&21u64, f64::NEG_INFINITY).is_none());
+        // Dropped items leave both the Qweight and the path stats untouched.
+        assert_eq!(qf.query(&21u64), before);
+        assert_eq!(qf.stats().candidate_hits, stats_before.candidate_hits);
+        assert_eq!(qf.stats().vague_visits, stats_before.vague_visits);
+    }
+
+    #[test]
+    fn try_insert_reports_non_finite() {
+        let mut qf = small_filter(default_criteria());
+        match qf.try_insert(&22u64, f64::NAN) {
+            Err(crate::error::QfError::NonFiniteValue { value }) => assert!(value.is_nan()),
+            other => panic!("expected NonFiniteValue, got {other:?}"),
+        }
+        assert!(matches!(
+            qf.try_insert(&22u64, f64::INFINITY),
+            Err(crate::error::QfError::NonFiniteValue { .. })
+        ));
+        // Finite values flow through identically to insert().
+        assert_eq!(qf.try_insert(&22u64, 500.0).unwrap(), None);
+        assert_eq!(qf.query(&22u64), 9);
     }
 
     #[test]

@@ -42,19 +42,30 @@
 //! ```
 //!
 //! Also included: the naive dual-Csketch strawman of §II-D ([`naive`]), the
-//! vague-only estimator of Algorithm 1 ([`algorithm1`]), and the per-key /
-//! multi-criteria support of §III-C ([`multi`]).
+//! vague-only estimator of Algorithm 1 ([`algorithm1`]), the per-key /
+//! multi-criteria support of §III-C ([`multi`]), and a crash-safe
+//! versioned snapshot/restore layer ([`snapshot`]) with a typed,
+//! panic-free error surface ([`error`]).
+
+// The configuration, ingest, and snapshot paths must never panic: every
+// failure is a typed `QfError`/`BuilderError`. The lint gate enforces the
+// absence of unwrap/expect outside tests; the panicking convenience
+// wrappers (`build()`, `new()`) use explicit `panic!` with the typed
+// error's message and are documented as such.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod algorithm1;
 pub mod builder;
 pub mod candidate;
 pub mod criteria;
 pub mod epoch;
+pub mod error;
 pub mod filter;
 pub mod multi;
 pub mod naive;
 pub mod query;
 pub mod qweight;
+pub mod snapshot;
 pub mod strategy;
 pub mod stream;
 pub mod vague;
@@ -63,8 +74,10 @@ pub use algorithm1::QweightSketch;
 pub use builder::QuantileFilterBuilder;
 pub use criteria::Criteria;
 pub use epoch::EpochFilter;
+pub use error::{BuilderError, QfError};
 pub use filter::{QuantileFilter, Report, ReportSource};
 pub use multi::MultiCriteriaFilter;
 pub use naive::NaiveDualCsketch;
 pub use query::parse_query;
+pub use snapshot::{SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use strategy::ElectionStrategy;

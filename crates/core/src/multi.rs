@@ -7,6 +7,7 @@
 //! scheme increases with r, but it performs well when r is small."
 
 use crate::criteria::Criteria;
+use crate::error::QfError;
 use crate::filter::{QuantileFilter, Report};
 use qf_hash::StreamKey;
 use qf_sketch::WeightSketch;
@@ -20,13 +21,26 @@ pub struct MultiCriteriaFilter<S: WeightSketch> {
 }
 
 impl<S: WeightSketch> MultiCriteriaFilter<S> {
+    /// Wrap a filter with the criteria set to monitor, or a typed error if
+    /// `criteria` is empty.
+    pub fn try_new(filter: QuantileFilter<S>, criteria: Vec<Criteria>) -> Result<Self, QfError> {
+        if criteria.is_empty() {
+            return Err(QfError::InvalidConfig {
+                reason: "need at least one criterion".into(),
+            });
+        }
+        Ok(Self { filter, criteria })
+    }
+
     /// Wrap a filter with the criteria set to monitor.
     ///
     /// # Panics
     /// Panics if `criteria` is empty.
     pub fn new(filter: QuantileFilter<S>, criteria: Vec<Criteria>) -> Self {
-        assert!(!criteria.is_empty(), "need at least one criterion");
-        Self { filter, criteria }
+        match Self::try_new(filter, criteria) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// The number of criteria `r`.
@@ -40,9 +54,13 @@ impl<S: WeightSketch> MultiCriteriaFilter<S> {
     }
 
     /// Insert an item; performs `r` composite-key inserts and returns every
-    /// `(criterion index, report)` pair that fired.
+    /// `(criterion index, report)` pair that fired. Non-finite values are
+    /// dropped (as in [`QuantileFilter::insert`]).
     pub fn insert<K: StreamKey>(&mut self, key: &K, value: f64) -> Vec<(usize, Report)> {
         let mut out = Vec::new();
+        if !value.is_finite() {
+            return out;
+        }
         for (idx, c) in self.criteria.clone().iter().enumerate() {
             let composite = (key, idx as u32);
             if let Some(report) = self.filter.insert_with_criteria(&composite, value, c) {

@@ -42,6 +42,9 @@ impl<C: SketchCounter> NaiveDualCsketch<C> {
     /// to the expected traffic: values below `T` dominate (≈95% at the
     /// paper's 5% abnormal rate), so `below` gets `below_fraction` of the
     /// budget.
+    ///
+    /// # Panics
+    /// Panics unless `below_fraction` is in `(0, 1)`.
     pub fn with_memory_budget(
         criteria: Criteria,
         rows: usize,
@@ -49,7 +52,9 @@ impl<C: SketchCounter> NaiveDualCsketch<C> {
         below_fraction: f64,
         seed: u64,
     ) -> Self {
-        assert!((0.0..1.0).contains(&below_fraction) && below_fraction > 0.0);
+        if !(below_fraction > 0.0 && below_fraction < 1.0) {
+            panic!("below_fraction must be in (0, 1)");
+        }
         let below_bytes = ((bytes as f64 * below_fraction) as usize).max(rows * C::BYTES);
         let above_bytes = (bytes - below_bytes.min(bytes)).max(rows * C::BYTES);
         Self {

@@ -168,10 +168,9 @@ mod tests {
 
     #[test]
     fn negative_threshold_allowed() {
-        let c = parse_query(
-            "SELECT key FROM s GROUP BY key HAVING QUANTILE(value_set, 0.8) >= -2.5",
-        )
-        .unwrap();
+        let c =
+            parse_query("SELECT key FROM s GROUP BY key HAVING QUANTILE(value_set, 0.8) >= -2.5")
+                .unwrap();
         assert_eq!(c.threshold(), -2.5);
     }
 

@@ -35,7 +35,7 @@ pub fn quantile_exceeds(values: &[f64], criteria: &Criteria) -> bool {
     }
     let idx = (idx as usize).min(n - 1);
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    sorted.sort_unstable_by(f64::total_cmp);
     sorted[idx] > criteria.threshold()
 }
 

@@ -69,7 +69,9 @@ mod tests {
     #[test]
     fn five_tuple_views_mostly_injective() {
         use std::collections::HashSet;
-        let set: HashSet<_> = (0u64..10_000).map(|k| key_to_five_tuple(k).as_u128()).collect();
+        let set: HashSet<_> = (0u64..10_000)
+            .map(|k| key_to_five_tuple(k).as_u128())
+            .collect();
         assert_eq!(set.len(), 10_000);
     }
 }

@@ -86,7 +86,11 @@ pub fn decode(mut data: Bytes) -> Result<(Vec<Item>, f64), TraceError> {
 }
 
 /// Write a trace file.
-pub fn write_file<P: AsRef<Path>>(path: P, items: &[Item], threshold: f64) -> Result<(), TraceError> {
+pub fn write_file<P: AsRef<Path>>(
+    path: P,
+    items: &[Item],
+    threshold: f64,
+) -> Result<(), TraceError> {
     let bytes = encode(items, threshold);
     let mut f = io::BufWriter::new(std::fs::File::create(path)?);
     f.write_all(&bytes)?;

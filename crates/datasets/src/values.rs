@@ -44,15 +44,18 @@ pub struct LatencyModel {
 }
 
 impl LatencyModel {
-    /// The internet-like default: ~50 ms typical latency, a 2% laggy
-    /// population landing around 8× higher, moderate per-item jitter.
+    /// The internet-like default: ~50 ms typical latency, a 6% laggy
+    /// population landing around 12× higher, moderate per-item jitter.
+    /// With T = 300 ms the laggy keys put ~90% of their items above the
+    /// threshold, so the item-level abnormal fraction lands in the
+    /// several-percent range the paper reports (≈7.6%).
     pub fn internet_default() -> Self {
         Self {
             base_median: 50.0,
             median_sigma: 0.5,
             value_sigma: 0.6,
-            laggy_fraction: 0.02,
-            laggy_boost: 10.0,
+            laggy_fraction: 0.06,
+            laggy_boost: 12.0,
         }
     }
 
@@ -121,7 +124,7 @@ impl ZipfValueModel {
     /// The per-key constant component.
     pub fn key_constant(&self, key: u64, seed: u64) -> f64 {
         use rand::SeedableRng;
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(qf_hash::mix64(seed ^ key ^ 0xC0)) ;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(qf_hash::mix64(seed ^ key ^ 0xC0));
         (self.key_mean + self.key_std * standard_normal(&mut rng)).max(0.0)
     }
 
@@ -164,7 +167,11 @@ mod tests {
         let m = LatencyModel::internet_default();
         let laggy = (0u64..50_000).filter(|&k| m.profile(k, 3).laggy).count();
         let frac = laggy as f64 / 50_000.0;
-        assert!((frac - 0.02).abs() < 0.005, "laggy fraction {frac}");
+        assert!(
+            (frac - m.laggy_fraction).abs() < 0.01,
+            "laggy fraction {frac} vs configured {}",
+            m.laggy_fraction
+        );
     }
 
     #[test]
@@ -175,9 +182,7 @@ mod tests {
         let key = (0u64..10_000).find(|&k| m.profile(k, 3).laggy).unwrap();
         let p = m.profile(key, 3);
         if p.median > 400.0 {
-            let above = (0..1000)
-                .filter(|_| m.draw(p, &mut rng) > 300.0)
-                .count();
+            let above = (0..1000).filter(|_| m.draw(p, &mut rng) > 300.0).count();
             assert!(above > 500, "laggy key only {above}/1000 above T");
         }
     }

@@ -24,10 +24,11 @@ impl ZipfSampler {
         assert!(alpha > 0.0, "alpha must be positive");
         let h_x1 = Self::h_integral_static(1.5, alpha) - 1.0;
         let h_n = Self::h_integral_static(n as f64 + 0.5, alpha);
-        let s = 2.0 - Self::h_integral_inverse_static(
-            Self::h_integral_static(2.5, alpha) - Self::h_static(2.0, alpha),
-            alpha,
-        );
+        let s = 2.0
+            - Self::h_integral_inverse_static(
+                Self::h_integral_static(2.5, alpha) - Self::h_static(2.0, alpha),
+                alpha,
+            );
         Self {
             n,
             alpha,

@@ -72,7 +72,8 @@ impl<D: OutstandingDetector + Send> ShardedDetector<D> {
                     let mut reported = HashSet::new();
                     for it in items {
                         let shard = this.shard_of(it.key);
-                        if shard % threads == t && this.shards[shard].lock().insert(it.key, it.value)
+                        if shard % threads == t
+                            && this.shards[shard].lock().insert(it.key, it.value)
                         {
                             reported.insert(it.key);
                         }

@@ -87,7 +87,14 @@ pub fn fig6(scale: Scale) -> FigureOutput {
     let mut out = FigureOutput::new(
         "fig6",
         "QuantileFilter accuracy vs. threshold T, both datasets",
-        &["dataset", "threshold", "memory_bytes", "precision", "recall", "f1"],
+        &[
+            "dataset",
+            "threshold",
+            "memory_bytes",
+            "precision",
+            "recall",
+            "f1",
+        ],
     );
     for (dataset, thresholds) in [(&internet, internet_ts), (&cloud, cloud_ts)] {
         for &t in thresholds {
@@ -182,8 +189,7 @@ mod tests {
     fn fig4_tiny_runs_and_has_all_schemes() {
         let f = fig4(Scale::Tiny);
         assert_eq!(f.headers.len(), 6);
-        let schemes: std::collections::HashSet<&String> =
-            f.rows.iter().map(|r| &r[1]).collect();
+        let schemes: std::collections::HashSet<&String> = f.rows.iter().map(|r| &r[1]).collect();
         assert!(schemes.len() >= 5, "schemes {schemes:?}");
         // 3 memories × 5 schemes.
         assert_eq!(f.rows.len(), 15);
@@ -209,8 +215,7 @@ mod tests {
     fn fig6_tiny_has_threshold_sweep_on_both_datasets() {
         let f = fig6(Scale::Tiny);
         assert_eq!(f.rows.len(), 2 * 3 * 3);
-        let datasets: std::collections::HashSet<&String> =
-            f.rows.iter().map(|r| &r[0]).collect();
+        let datasets: std::collections::HashSet<&String> = f.rows.iter().map(|r| &r[0]).collect();
         assert_eq!(datasets.len(), 2);
     }
 

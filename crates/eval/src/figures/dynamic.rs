@@ -86,7 +86,11 @@ fn qf_with_switch(
         } else {
             before
         };
-        if det.filter_mut().insert_with_criteria(&it.key, it.value, c).is_some() {
+        if det
+            .filter_mut()
+            .insert_with_criteria(&it.key, it.value, c)
+            .is_some()
+        {
             reported.insert(it.key);
         }
     }
@@ -112,19 +116,13 @@ fn dynamic_figure(
     let mut baseline_det = QfDetector::paper_default(base, memory, SEED);
     let baseline_run = run_detector(&mut baseline_det, &dataset.items);
     let base_mod = Accuracy::of_subset(&baseline_run.reported, &baseline_truth, is_modified);
-    let base_unmod = Accuracy::of_subset(&baseline_run.reported, &baseline_truth, |k| {
-        !is_modified(k)
-    });
+    let base_unmod =
+        Accuracy::of_subset(&baseline_run.reported, &baseline_truth, |k| !is_modified(k));
 
     let mut out = FigureOutput::new(
         id,
         title,
-        &[
-            "modified_param",
-            "subset",
-            "f1",
-            "baseline_f1",
-        ],
+        &["modified_param", "subset", "f1", "baseline_f1"],
     );
     for (label, after) in variants {
         let truth = truth_with_switch(&dataset.items, &base, &after, switch_at);
@@ -236,8 +234,7 @@ mod tests {
     fn fig13_tiny_produces_both_subsets() {
         let f = fig13(Scale::Tiny);
         assert_eq!(f.rows.len(), 4); // 2 variants × 2 subsets
-        let subsets: std::collections::HashSet<&String> =
-            f.rows.iter().map(|r| &r[1]).collect();
+        let subsets: std::collections::HashSet<&String> = f.rows.iter().map(|r| &r[1]).collect();
         assert_eq!(subsets.len(), 2);
     }
 }

@@ -184,8 +184,7 @@ mod tests {
     #[test]
     fn fig12_has_seven_series() {
         let f = fig12(Scale::Tiny);
-        let variants: std::collections::HashSet<&String> =
-            f.rows.iter().map(|r| &r[2]).collect();
+        let variants: std::collections::HashSet<&String> = f.rows.iter().map(|r| &r[2]).collect();
         assert_eq!(variants.len(), 7, "{variants:?}");
     }
 }

@@ -103,8 +103,7 @@ mod tests {
     #[test]
     fn fig8_tiny_covers_both_datasets() {
         let f = fig8(Scale::Tiny);
-        let datasets: std::collections::HashSet<&String> =
-            f.rows.iter().map(|r| &r[0]).collect();
+        let datasets: std::collections::HashSet<&String> = f.rows.iter().map(|r| &r[0]).collect();
         assert_eq!(datasets.len(), 2);
         // All throughputs positive.
         for r in &f.rows {
@@ -115,8 +114,7 @@ mod tests {
     #[test]
     fn fig10_tiny_sweeps_both_parameters() {
         let f = fig10(Scale::Tiny);
-        let params: std::collections::HashSet<&String> =
-            f.rows.iter().map(|r| &r[0]).collect();
+        let params: std::collections::HashSet<&String> = f.rows.iter().map(|r| &r[0]).collect();
         assert!(params.contains(&"d".to_string()));
         assert!(params.contains(&"block_len".to_string()));
     }

@@ -93,6 +93,21 @@ impl HashFamily {
     pub fn memory_bytes(&self) -> usize {
         self.seeds.len() * core::mem::size_of::<u64>()
     }
+
+    /// The per-row seed table, for snapshotting.
+    pub fn seeds(&self) -> &[u64] {
+        &self.seeds
+    }
+
+    /// Rebuild a family from a snapshotted seed table and width. Returns
+    /// `None` (instead of panicking) when the dimensions are degenerate, so
+    /// the restore path stays panic-free on corrupted input.
+    pub fn from_seeds(seeds: Vec<u64>, width: usize) -> Option<Self> {
+        if seeds.is_empty() || width == 0 {
+            return None;
+        }
+        Some(Self { seeds, width })
+    }
 }
 
 /// A single seeded hash over `[0, buckets)` — the bucket hash `h_b` of the
@@ -117,6 +132,20 @@ impl RowHasher {
     #[inline(always)]
     pub fn range(&self) -> usize {
         self.range
+    }
+
+    /// The seed, for snapshotting.
+    #[inline(always)]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Rebuild a hasher from snapshotted parts; `None` when `range == 0`.
+    pub fn from_parts(range: usize, seed: u64) -> Option<Self> {
+        if range == 0 {
+            return None;
+        }
+        Some(Self { seed, range })
     }
 
     /// Map a key to `[0, range)`.
@@ -235,7 +264,10 @@ mod tests {
             }
         }
         let mean = sum as f64 / n as f64;
-        assert!(mean.abs() < 0.05, "sign/column correlation {mean} over {n} collisions");
+        assert!(
+            mean.abs() < 0.05,
+            "sign/column correlation {mean} over {n} collisions"
+        );
     }
 
     #[test]

@@ -102,7 +102,10 @@ mod tests {
         let data: Vec<u8> = (1u8..=32).collect();
         let mut seen = std::collections::HashSet::new();
         for l in 0..=32usize {
-            assert!(seen.insert(murmur3_64(&data[..l], 1)), "collision at len {l}");
+            assert!(
+                seen.insert(murmur3_64(&data[..l], 1)),
+                "collision at len {l}"
+            );
         }
     }
 

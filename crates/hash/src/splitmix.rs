@@ -48,6 +48,19 @@ impl SplitMix64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         mix64(self.state)
     }
+
+    /// The current internal state, for snapshotting. A generator rebuilt
+    /// with [`Self::from_state`] continues the exact same sequence.
+    #[inline]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Resume a generator from a snapshotted [`Self::state`].
+    #[inline]
+    pub fn from_state(state: u64) -> Self {
+        Self { state }
+    }
 }
 
 #[cfg(test)]

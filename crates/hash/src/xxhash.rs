@@ -83,12 +83,18 @@ pub fn xxh64(data: &[u8], seed: u64) -> u64 {
 
     while i + 8 <= len {
         h ^= round(0, read_u64_le(data, i));
-        h = h.rotate_left(27).wrapping_mul(PRIME64_1).wrapping_add(PRIME64_4);
+        h = h
+            .rotate_left(27)
+            .wrapping_mul(PRIME64_1)
+            .wrapping_add(PRIME64_4);
         i += 8;
     }
     if i + 4 <= len {
         h ^= u64::from(read_u32_le(data, i)).wrapping_mul(PRIME64_1);
-        h = h.rotate_left(23).wrapping_mul(PRIME64_2).wrapping_add(PRIME64_3);
+        h = h
+            .rotate_left(23)
+            .wrapping_mul(PRIME64_2)
+            .wrapping_add(PRIME64_3);
         i += 4;
     }
     while i < len {

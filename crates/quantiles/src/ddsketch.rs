@@ -178,13 +178,16 @@ mod tests {
         }
     }
 
-
     #[test]
     fn merge_adds_counts() {
         let mut a = DdSketch::new(0.02, 512);
         let mut b = DdSketch::new(0.02, 512);
-        for v in 1..=1000 { a.insert(f64::from(v)); }
-        for v in 1001..=2000 { b.insert(f64::from(v)); }
+        for v in 1..=1000 {
+            a.insert(f64::from(v));
+        }
+        for v in 1001..=2000 {
+            b.insert(f64::from(v));
+        }
         a.merge(&b);
         assert_eq!(a.count(), 2000);
         let median = a.query(0.5).unwrap();

@@ -41,7 +41,12 @@ impl ExactQuantiles {
     /// The exact `(ε, δ)`-quantile of Definition 3: the value at index
     /// `⌊δ·n − ε⌋`, or `None` ( = −∞ in the paper) if that index is
     /// negative. This is the primitive the ground-truth detector uses.
-    pub fn biased_quantile(&mut self, epsilon: f64, delta: f64, n_override: Option<u64>) -> Option<f64> {
+    pub fn biased_quantile(
+        &mut self,
+        epsilon: f64,
+        delta: f64,
+        n_override: Option<u64>,
+    ) -> Option<f64> {
         let n = n_override.unwrap_or(self.values.len() as u64);
         if n == 0 {
             return None;

@@ -109,23 +109,14 @@ impl QuantileSummary for GkSummary {
         debug_assert!(!value.is_nan());
         self.count += 1;
         // Find the first entry with entry.value > value.
-        let pos = self
-            .entries
-            .partition_point(|e| e.value <= value);
+        let pos = self.entries.partition_point(|e| e.value <= value);
         let delta = if pos == 0 || pos == self.entries.len() {
             // New minimum or maximum: exact rank.
             0
         } else {
             self.threshold().saturating_sub(1)
         };
-        self.entries.insert(
-            pos,
-            Entry {
-                value,
-                g: 1,
-                delta,
-            },
-        );
+        self.entries.insert(pos, Entry { value, g: 1, delta });
         self.inserts_since_compress += 1;
         // Compress every ⌈1/(2ε)⌉ inserts as in the original algorithm.
         let period = (1.0 / (2.0 * self.epsilon)).ceil() as u64;

@@ -76,8 +76,7 @@ impl KllSketch {
                 let mut items = core::mem::take(&mut self.compactors[level]);
                 items.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
                 let offset = (self.rng.next_u64() & 1) as usize;
-                let promoted: Vec<f64> =
-                    items.iter().skip(offset).step_by(2).copied().collect();
+                let promoted: Vec<f64> = items.iter().skip(offset).step_by(2).copied().collect();
                 self.compactors[level + 1].extend_from_slice(&promoted);
                 // Items at odd/even positions not promoted are discarded —
                 // that is the lossy step whose error KLL bounds.
@@ -175,7 +174,6 @@ mod tests {
         sorted.partition_point(|&x| x <= v) as f64
     }
 
-
     #[test]
     fn merge_matches_union_stream() {
         use rand::prelude::*;
@@ -185,7 +183,11 @@ mod tests {
         let mut all: Vec<f64> = Vec::new();
         for i in 0..40_000 {
             let v: f64 = rng.gen_range(0.0..1000.0);
-            if i % 2 == 0 { a.insert(v); } else { b.insert(v); }
+            if i % 2 == 0 {
+                a.insert(v);
+            } else {
+                b.insert(v);
+            }
             all.push(v);
         }
         a.merge(&b);
@@ -201,7 +203,9 @@ mod tests {
     #[test]
     fn merge_empty_is_identity() {
         let mut a = KllSketch::new(64, 1);
-        for v in 0..100 { a.insert(f64::from(v)); }
+        for v in 0..100 {
+            a.insert(f64::from(v));
+        }
         let before = a.query(0.5);
         let b = KllSketch::new(64, 2);
         a.merge(&b);

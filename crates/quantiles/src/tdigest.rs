@@ -106,7 +106,10 @@ impl TDigest {
         }
         let mut all: Vec<Centroid> = Vec::with_capacity(self.centroids.len() + self.buffer.len());
         all.append(&mut self.centroids);
-        all.extend(self.buffer.drain(..).map(|v| Centroid { mean: v, weight: 1.0 }));
+        all.extend(self.buffer.drain(..).map(|v| Centroid {
+            mean: v,
+            weight: 1.0,
+        }));
         all.sort_unstable_by(|a, b| a.mean.partial_cmp(&b.mean).expect("no NaN"));
 
         let total: f64 = all.iter().map(|c| c.weight).sum();
@@ -216,7 +219,6 @@ mod tests {
         assert_eq!(td.query(0.5), Some(42.0));
     }
 
-
     #[test]
     fn merge_matches_union_stream() {
         use rand::prelude::*;
@@ -226,7 +228,11 @@ mod tests {
         let mut all = TDigest::new(100.0);
         for i in 0..60_000 {
             let v: f64 = rng.gen_range(0.0..1.0);
-            if i % 2 == 0 { a.insert(v); } else { b.insert(v); }
+            if i % 2 == 0 {
+                a.insert(v);
+            } else {
+                b.insert(v);
+            }
             all.insert(v);
         }
         a.merge(&mut b);

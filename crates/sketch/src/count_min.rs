@@ -10,7 +10,9 @@
 //! measures the real design the paper compared against.
 
 use crate::counter::SketchCounter;
+use crate::snapshot::{SketchShape, SketchState, SKETCH_KIND_CMS};
 use crate::traits::WeightSketch;
+use qf_hash::wire::{ByteReader, ByteWriter, WireError};
 use qf_hash::{HashFamily, StreamKey};
 
 /// A Count-Min sketch over cells of type `C` with signed updates.
@@ -54,6 +56,57 @@ impl<C: SketchCounter> CountMinSketch<C> {
     #[inline(always)]
     pub fn width(&self) -> usize {
         self.width
+    }
+
+    /// Direct read of the raw counter grid (tests and diagnostics).
+    pub fn raw_cells(&self) -> &[C] {
+        &self.cells
+    }
+}
+
+impl<C: SketchCounter> SketchState for CountMinSketch<C> {
+    fn shape(&self) -> SketchShape {
+        SketchShape {
+            kind: SKETCH_KIND_CMS,
+            counter_bytes: C::BYTES as u8,
+            rows: self.rows as u64,
+            width: self.width as u64,
+        }
+    }
+
+    fn write_state(&self, w: &mut ByteWriter) {
+        for &seed in self.family.seeds() {
+            w.put_u64(seed);
+        }
+        for cell in &self.cells {
+            w.put_int_narrow(cell.to_i64(), C::BYTES);
+        }
+    }
+
+    fn from_state(shape: SketchShape, r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        if shape.kind != SKETCH_KIND_CMS {
+            return Err(WireError::Invalid("sketch kind mismatch (want CMS)"));
+        }
+        if usize::from(shape.counter_bytes) != C::BYTES {
+            return Err(WireError::Invalid("sketch counter width mismatch"));
+        }
+        let (rows, width) = shape.checked_dims()?;
+        let mut seeds = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            seeds.push(r.get_u64()?);
+        }
+        let family = HashFamily::from_seeds(seeds, width)
+            .ok_or(WireError::Invalid("degenerate hash family"))?;
+        let mut cells = Vec::with_capacity(rows * width);
+        for _ in 0..rows * width {
+            cells.push(C::zero().saturating_add_i64(r.get_int_narrow(C::BYTES)?));
+        }
+        Ok(Self {
+            cells,
+            family,
+            rows,
+            width,
+        })
     }
 }
 

@@ -10,7 +10,9 @@
 //! makes the estimator unbiased (Theorem 1).
 
 use crate::counter::SketchCounter;
+use crate::snapshot::{SketchShape, SketchState, SKETCH_KIND_CS};
 use crate::traits::{median_in_place, WeightSketch};
+use qf_hash::wire::{ByteReader, ByteWriter, WireError};
 use qf_hash::{HashFamily, StreamKey};
 
 /// Maximum supported depth. Figure 9 sweeps `d` up to 20; 32 leaves room.
@@ -31,7 +33,10 @@ impl<C: SketchCounter> CountSketch<C> {
     /// # Panics
     /// Panics if `rows == 0`, `rows > MAX_DEPTH`, or `width == 0`.
     pub fn new(rows: usize, width: usize, seed: u64) -> Self {
-        assert!(rows > 0 && rows <= MAX_DEPTH, "rows must be in 1..={MAX_DEPTH}");
+        assert!(
+            rows > 0 && rows <= MAX_DEPTH,
+            "rows must be in 1..={MAX_DEPTH}"
+        );
         assert!(width > 0, "width must be positive");
         Self {
             cells: vec![C::zero(); rows * width],
@@ -78,10 +83,7 @@ impl<C: SketchCounter> CountSketch<C> {
     /// Sum of absolute counter values — a cheap saturation diagnostic used
     /// by the experiment harness.
     pub fn l1_mass(&self) -> u64 {
-        self.cells
-            .iter()
-            .map(|c| c.to_i64().unsigned_abs())
-            .sum()
+        self.cells.iter().map(|c| c.to_i64().unsigned_abs()).sum()
     }
 
     /// Fraction of cells pinned at the counter type's min/max bound.
@@ -97,6 +99,57 @@ impl<C: SketchCounter> CountSketch<C> {
             })
             .count();
         saturated as f64 / self.cells.len() as f64
+    }
+}
+
+impl<C: SketchCounter> SketchState for CountSketch<C> {
+    fn shape(&self) -> SketchShape {
+        SketchShape {
+            kind: SKETCH_KIND_CS,
+            counter_bytes: C::BYTES as u8,
+            rows: self.rows as u64,
+            width: self.width as u64,
+        }
+    }
+
+    fn write_state(&self, w: &mut ByteWriter) {
+        for &seed in self.family.seeds() {
+            w.put_u64(seed);
+        }
+        for cell in &self.cells {
+            w.put_int_narrow(cell.to_i64(), C::BYTES);
+        }
+    }
+
+    fn from_state(shape: SketchShape, r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        if shape.kind != SKETCH_KIND_CS {
+            return Err(WireError::Invalid("sketch kind mismatch (want CS)"));
+        }
+        if usize::from(shape.counter_bytes) != C::BYTES {
+            return Err(WireError::Invalid("sketch counter width mismatch"));
+        }
+        let (rows, width) = shape.checked_dims()?;
+        if rows > MAX_DEPTH {
+            return Err(WireError::Invalid("sketch depth out of range"));
+        }
+        let mut seeds = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            seeds.push(r.get_u64()?);
+        }
+        let family = HashFamily::from_seeds(seeds, width)
+            .ok_or(WireError::Invalid("degenerate hash family"))?;
+        let mut cells = Vec::with_capacity(rows * width);
+        for _ in 0..rows * width {
+            // The narrow read yields values already within C's range, so
+            // the saturating conversion is exact.
+            cells.push(C::zero().saturating_add_i64(r.get_int_narrow(C::BYTES)?));
+        }
+        Ok(Self {
+            cells,
+            family,
+            rows,
+            width,
+        })
     }
 }
 

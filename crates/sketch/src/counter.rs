@@ -15,7 +15,9 @@
 /// and from `i64` are provided because estimation math (medians, weighted
 /// sums) is always carried out at 64-bit precision regardless of the cell
 /// width.
-pub trait SketchCounter: Copy + Default + PartialEq + std::fmt::Debug + Send + Sync + 'static {
+pub trait SketchCounter:
+    Copy + Default + PartialEq + std::fmt::Debug + Send + Sync + 'static
+{
     /// Number of bytes one cell occupies.
     const BYTES: usize;
     /// Human-readable width name for experiment logs ("i8", "i16", ...).

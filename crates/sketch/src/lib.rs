@@ -18,11 +18,14 @@
 //!   as the alternative vague part evaluated in Fig. 12 (Choice 2).
 //! * [`traits`] — the [`WeightSketch`](traits::WeightSketch) abstraction the
 //!   QuantileFilter core is generic over.
+//! * [`snapshot`] — the [`SketchState`](snapshot::SketchState) trait used by
+//!   the crash-safety layer to persist and restore sketch state.
 
 pub mod count_min;
 pub mod count_sketch;
 pub mod counter;
 pub mod rounding;
+pub mod snapshot;
 pub mod space_saving;
 pub mod traits;
 
@@ -30,5 +33,6 @@ pub use count_min::CountMinSketch;
 pub use count_sketch::CountSketch;
 pub use counter::SketchCounter;
 pub use rounding::StochasticRounder;
+pub use snapshot::{SketchShape, SketchState, SKETCH_KIND_CMS, SKETCH_KIND_CS};
 pub use space_saving::{SpaceSaving, SsEntry};
 pub use traits::WeightSketch;

@@ -49,6 +49,21 @@ impl StochasticRounder {
         }
     }
 
+    /// The RNG state, for snapshotting: a rounder rebuilt with
+    /// [`Self::from_state`] makes the exact same rounding decisions.
+    #[inline]
+    pub fn state(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// Resume a rounder from a snapshotted [`Self::state`].
+    #[inline]
+    pub fn from_state(state: u64) -> Self {
+        Self {
+            rng: SplitMix64::from_state(state),
+        }
+    }
+
     /// Round a weight that is known to be integral (fast path, no RNG).
     #[inline(always)]
     pub fn round_exact(w: f64) -> Option<i64> {

@@ -1,0 +1,118 @@
+//! Crash-safe checkpointing: snapshot a live filter, "crash", restore,
+//! and resume with a byte-identical report stream.
+//!
+//! ```text
+//! cargo run --example checkpoint_restore
+//! ```
+//!
+//! Also demonstrates the typed-error surface: corrupted checkpoint files,
+//! version skew and non-finite (poisoned) values are all reported as
+//! `QfError` values — never a panic.
+
+use qf_repro::quantile_filter::{Criteria, QfError, QuantileFilter, QuantileFilterBuilder};
+use rand::prelude::*;
+
+fn workload(rng: &mut StdRng) -> (u64, f64) {
+    let key = rng.gen_range(0..200u64);
+    let value = if key == 13 || key == 77 {
+        rng.gen_range(220.0..800.0)
+    } else {
+        rng.gen_range(1.0..120.0)
+    };
+    (key, value)
+}
+
+fn try_restore(bytes: &[u8]) -> Result<QuantileFilter, QfError> {
+    QuantileFilter::restore(bytes)
+}
+
+fn main() {
+    let criteria = Criteria::new(10.0, 0.95, 200.0).expect("valid criteria");
+    let build = || {
+        QuantileFilterBuilder::new(criteria)
+            .memory_budget_bytes(64 * 1024)
+            .seed(42)
+            .build()
+    };
+
+    // ---- Phase 1: a long-running monitor checkpoints mid-stream. --------
+    let mut live: QuantileFilter = build();
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..100_000usize {
+        let (key, value) = workload(&mut rng);
+        live.insert(&key, value);
+    }
+    let checkpoint = live.snapshot();
+    let path = std::path::Path::new("target").join("checkpoint.qfsn");
+    std::fs::write(&path, &checkpoint).expect("write checkpoint");
+    println!(
+        "checkpointed after 100k items: {} bytes -> {}",
+        checkpoint.len(),
+        path.display()
+    );
+
+    // ---- Phase 2: crash & restore; both twins replay the same suffix. ---
+    // `live` plays the monitor that never went down; `recovered` is
+    // restarted from nothing but the checkpoint file.
+    let bytes = std::fs::read(&path).expect("read checkpoint");
+    let mut recovered = try_restore(&bytes).expect("valid checkpoint");
+
+    let suffix: Vec<(u64, f64)> = (0..100_000).map(|_| workload(&mut rng)).collect();
+    let mut divergences = 0usize;
+    let mut reports = 0usize;
+    for &(key, value) in &suffix {
+        let a = live.insert(&key, value);
+        let b = recovered.insert(&key, value);
+        if a != b {
+            divergences += 1;
+        }
+        reports += usize::from(a.is_some());
+    }
+    println!(
+        "replayed 100k post-crash items: {reports} reports, {divergences} divergences, \
+         end snapshots identical: {}",
+        live.snapshot() == recovered.snapshot()
+    );
+    assert_eq!(divergences, 0, "restored filter must resume identically");
+
+    // ---- Phase 3: damage is detected, typed, and panic-free. ------------
+    let mut flipped = bytes.clone();
+    flipped[bytes.len() / 2] ^= 0x10;
+    match try_restore(&flipped) {
+        Err(QfError::CorruptSnapshot { reason }) => {
+            println!("bit-flipped checkpoint rejected: {reason}");
+        }
+        other => panic!("corruption not detected: {other:?}"),
+    }
+
+    match try_restore(&bytes[..bytes.len() - 9]) {
+        Err(QfError::CorruptSnapshot { reason }) => {
+            println!("truncated checkpoint rejected:   {reason}");
+        }
+        other => panic!("truncation not detected: {other:?}"),
+    }
+
+    let mut skewed = bytes.clone();
+    skewed[4..8].copy_from_slice(&99u32.to_le_bytes());
+    match try_restore(&skewed) {
+        Err(QfError::VersionMismatch { found, supported }) => {
+            println!("version-skewed checkpoint rejected: found v{found}, supported v{supported}");
+        }
+        other => panic!("version skew not detected: {other:?}"),
+    }
+
+    // ---- Phase 4: poisoned values are typed errors, not corruption. -----
+    match recovered.try_insert(&13u64, f64::NAN) {
+        Err(QfError::NonFiniteValue { value }) => {
+            println!("poisoned value rejected: NonFiniteValue {{ value: {value} }}");
+        }
+        other => panic!("poison not detected: {other:?}"),
+    }
+    // The infallible API drops poison silently and stays usable.
+    assert!(recovered.insert(&13u64, f64::INFINITY).is_none());
+    recovered.insert(&13u64, 500.0);
+    println!(
+        "filter still live after poison: key 13 Qweight = {}",
+        recovered.query(&13u64)
+    );
+}

@@ -51,7 +51,11 @@ fn main() {
 
     println!("reports (key, criterion) -> count:");
     for ((key, criterion), count) in &fired {
-        let label = if *criterion == 0 { "p99>500" } else { "p50>150" };
+        let label = if *criterion == 0 {
+            "p99>500"
+        } else {
+            "p50>150"
+        };
         println!("  key {key:>3} under {label}: {count} reports");
     }
     assert!(fired.contains_key(&(7, 0)), "key 7 must trip the p99 rule");
@@ -59,7 +63,10 @@ fn main() {
         !fired.contains_key(&(7, 1)),
         "key 7 must not trip the p50 rule"
     );
-    assert!(fired.contains_key(&(42, 1)), "key 42 must trip the p50 rule");
+    assert!(
+        fired.contains_key(&(42, 1)),
+        "key 42 must trip the p50 rule"
+    );
     assert!(
         !fired.contains_key(&(42, 0)),
         "key 42 must not trip the p99 rule"

@@ -53,10 +53,10 @@ fn main() {
     for _ in 0..200_000 {
         let zone: u64 = rng.gen_range(0..500);
         let hospital = zone.is_multiple_of(50); // every 50th zone is a hospital
-        // Zone 120 is near a construction site (loud); zone 0 is a
-        // hospital beside a busy road (61–68 dB — fine for normal zones,
-        // over the hospital limit of 60 dB). Other zones stay below 61 dB
-        // so they clear both thresholds with margin.
+                                                // Zone 120 is near a construction site (loud); zone 0 is a
+                                                // hospital beside a busy road (61–68 dB — fine for normal zones,
+                                                // over the hospital limit of 60 dB). Other zones stay below 61 dB
+                                                // so they clear both thresholds with margin.
         let db = match zone {
             120 => rng.gen_range(68.0..85.0),
             0 => rng.gen_range(61.0..68.0),

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-ac35241f25e9788f.d: tests/ablations.rs
+
+/root/repo/target/debug/deps/ablations-ac35241f25e9788f: tests/ablations.rs
+
+tests/ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-ff78b6ee6675f701.d: tests/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-ff78b6ee6675f701.rmeta: tests/ablations.rs Cargo.toml
+
+tests/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

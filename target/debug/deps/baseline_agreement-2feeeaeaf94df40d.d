@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_agreement-2feeeaeaf94df40d.d: tests/baseline_agreement.rs
+
+/root/repo/target/debug/deps/baseline_agreement-2feeeaeaf94df40d: tests/baseline_agreement.rs
+
+tests/baseline_agreement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_agreement-98c7739b48145a35.d: tests/baseline_agreement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_agreement-98c7739b48145a35.rmeta: tests/baseline_agreement.rs Cargo.toml
+
+tests/baseline_agreement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

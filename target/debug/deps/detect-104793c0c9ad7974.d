@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detect-104793c0c9ad7974.d: crates/bench/src/bin/detect.rs
+
+/root/repo/target/debug/deps/detect-104793c0c9ad7974: crates/bench/src/bin/detect.rs
+
+crates/bench/src/bin/detect.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/detect-82ed998a9692d9df.d: crates/bench/src/bin/detect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdetect-82ed998a9692d9df.rmeta: crates/bench/src/bin/detect.rs Cargo.toml
+
+crates/bench/src/bin/detect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-1b4d3da1b82e5d1d.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-1b4d3da1b82e5d1d: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-53e4e965c57dd998.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-53e4e965c57dd998: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure_kernels-2e1fa96c912f3540.d: crates/bench/benches/figure_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure_kernels-2e1fa96c912f3540.rmeta: crates/bench/benches/figure_kernels.rs Cargo.toml
+
+crates/bench/benches/figure_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

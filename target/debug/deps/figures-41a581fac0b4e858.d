@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-41a581fac0b4e858.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-41a581fac0b4e858: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

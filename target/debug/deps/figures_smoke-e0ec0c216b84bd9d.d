@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_smoke-e0ec0c216b84bd9d.d: tests/figures_smoke.rs
+
+/root/repo/target/debug/deps/figures_smoke-e0ec0c216b84bd9d: tests/figures_smoke.rs
+
+tests/figures_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/filter_insert-28cd161e3dea3d1b.d: crates/bench/benches/filter_insert.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfilter_insert-28cd161e3dea3d1b.rmeta: crates/bench/benches/filter_insert.rs Cargo.toml
+
+crates/bench/benches/filter_insert.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

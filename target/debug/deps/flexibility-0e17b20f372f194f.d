@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexibility-0e17b20f372f194f.d: tests/flexibility.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexibility-0e17b20f372f194f.rmeta: tests/flexibility.rs Cargo.toml
+
+tests/flexibility.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

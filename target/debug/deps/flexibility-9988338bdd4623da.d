@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flexibility-9988338bdd4623da.d: tests/flexibility.rs
+
+/root/repo/target/debug/deps/flexibility-9988338bdd4623da: tests/flexibility.rs
+
+tests/flexibility.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gen_trace-23e56e915f7cc129.d: crates/bench/src/bin/gen_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgen_trace-23e56e915f7cc129.rmeta: crates/bench/src/bin/gen_trace.rs Cargo.toml
+
+crates/bench/src/bin/gen_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_trace-b02dc0059adca15f.d: crates/bench/src/bin/gen_trace.rs
+
+/root/repo/target/debug/deps/gen_trace-b02dc0059adca15f: crates/bench/src/bin/gen_trace.rs
+
+crates/bench/src/bin/gen_trace.rs:

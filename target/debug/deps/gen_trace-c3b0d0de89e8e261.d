@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gen_trace-c3b0d0de89e8e261.d: crates/bench/src/bin/gen_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgen_trace-c3b0d0de89e8e261.rmeta: crates/bench/src/bin/gen_trace.rs Cargo.toml
+
+crates/bench/src/bin/gen_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

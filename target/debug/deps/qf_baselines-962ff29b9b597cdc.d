@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qf_baselines-962ff29b9b597cdc.d: crates/baselines/src/lib.rs crates/baselines/src/exact.rs crates/baselines/src/hist_sketch.rs crates/baselines/src/naive.rs crates/baselines/src/qf.rs crates/baselines/src/sketch_polymer.rs crates/baselines/src/squad.rs crates/baselines/src/value_buckets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqf_baselines-962ff29b9b597cdc.rmeta: crates/baselines/src/lib.rs crates/baselines/src/exact.rs crates/baselines/src/hist_sketch.rs crates/baselines/src/naive.rs crates/baselines/src/qf.rs crates/baselines/src/sketch_polymer.rs crates/baselines/src/squad.rs crates/baselines/src/value_buckets.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/exact.rs:
+crates/baselines/src/hist_sketch.rs:
+crates/baselines/src/naive.rs:
+crates/baselines/src/qf.rs:
+crates/baselines/src/sketch_polymer.rs:
+crates/baselines/src/squad.rs:
+crates/baselines/src/value_buckets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qf_baselines-ef031e4a9f245475.d: crates/baselines/src/lib.rs crates/baselines/src/exact.rs crates/baselines/src/hist_sketch.rs crates/baselines/src/naive.rs crates/baselines/src/qf.rs crates/baselines/src/sketch_polymer.rs crates/baselines/src/squad.rs crates/baselines/src/value_buckets.rs
+
+/root/repo/target/debug/deps/libqf_baselines-ef031e4a9f245475.rlib: crates/baselines/src/lib.rs crates/baselines/src/exact.rs crates/baselines/src/hist_sketch.rs crates/baselines/src/naive.rs crates/baselines/src/qf.rs crates/baselines/src/sketch_polymer.rs crates/baselines/src/squad.rs crates/baselines/src/value_buckets.rs
+
+/root/repo/target/debug/deps/libqf_baselines-ef031e4a9f245475.rmeta: crates/baselines/src/lib.rs crates/baselines/src/exact.rs crates/baselines/src/hist_sketch.rs crates/baselines/src/naive.rs crates/baselines/src/qf.rs crates/baselines/src/sketch_polymer.rs crates/baselines/src/squad.rs crates/baselines/src/value_buckets.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/exact.rs:
+crates/baselines/src/hist_sketch.rs:
+crates/baselines/src/naive.rs:
+crates/baselines/src/qf.rs:
+crates/baselines/src/sketch_polymer.rs:
+crates/baselines/src/squad.rs:
+crates/baselines/src/value_buckets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qf_bench-354403a44f4d7d1c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/qf_bench-354403a44f4d7d1c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

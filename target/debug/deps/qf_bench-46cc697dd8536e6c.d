@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qf_bench-46cc697dd8536e6c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqf_bench-46cc697dd8536e6c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qf_bench-4d202c0e7f82979b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqf_bench-4d202c0e7f82979b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqf_bench-4d202c0e7f82979b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

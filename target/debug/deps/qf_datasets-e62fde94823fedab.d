@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qf_datasets-e62fde94823fedab.d: crates/datasets/src/lib.rs crates/datasets/src/config.rs crates/datasets/src/generators.rs crates/datasets/src/trace.rs crates/datasets/src/values.rs crates/datasets/src/zipf.rs
+
+/root/repo/target/debug/deps/libqf_datasets-e62fde94823fedab.rlib: crates/datasets/src/lib.rs crates/datasets/src/config.rs crates/datasets/src/generators.rs crates/datasets/src/trace.rs crates/datasets/src/values.rs crates/datasets/src/zipf.rs
+
+/root/repo/target/debug/deps/libqf_datasets-e62fde94823fedab.rmeta: crates/datasets/src/lib.rs crates/datasets/src/config.rs crates/datasets/src/generators.rs crates/datasets/src/trace.rs crates/datasets/src/values.rs crates/datasets/src/zipf.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/config.rs:
+crates/datasets/src/generators.rs:
+crates/datasets/src/trace.rs:
+crates/datasets/src/values.rs:
+crates/datasets/src/zipf.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qf_datasets-f308c0d8926c0b82.d: crates/datasets/src/lib.rs crates/datasets/src/config.rs crates/datasets/src/generators.rs crates/datasets/src/trace.rs crates/datasets/src/values.rs crates/datasets/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqf_datasets-f308c0d8926c0b82.rmeta: crates/datasets/src/lib.rs crates/datasets/src/config.rs crates/datasets/src/generators.rs crates/datasets/src/trace.rs crates/datasets/src/values.rs crates/datasets/src/zipf.rs Cargo.toml
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/config.rs:
+crates/datasets/src/generators.rs:
+crates/datasets/src/trace.rs:
+crates/datasets/src/values.rs:
+crates/datasets/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/qf_eval-7b27244e0746b949.d: crates/eval/src/lib.rs crates/eval/src/concurrent.rs crates/eval/src/figures/mod.rs crates/eval/src/figures/accuracy.rs crates/eval/src/figures/dynamic.rs crates/eval/src/figures/params.rs crates/eval/src/figures/speed.rs crates/eval/src/metrics.rs crates/eval/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqf_eval-7b27244e0746b949.rmeta: crates/eval/src/lib.rs crates/eval/src/concurrent.rs crates/eval/src/figures/mod.rs crates/eval/src/figures/accuracy.rs crates/eval/src/figures/dynamic.rs crates/eval/src/figures/params.rs crates/eval/src/figures/speed.rs crates/eval/src/metrics.rs crates/eval/src/runner.rs Cargo.toml
+
+crates/eval/src/lib.rs:
+crates/eval/src/concurrent.rs:
+crates/eval/src/figures/mod.rs:
+crates/eval/src/figures/accuracy.rs:
+crates/eval/src/figures/dynamic.rs:
+crates/eval/src/figures/params.rs:
+crates/eval/src/figures/speed.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

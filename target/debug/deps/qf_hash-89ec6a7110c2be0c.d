@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qf_hash-89ec6a7110c2be0c.d: crates/hash/src/lib.rs crates/hash/src/family.rs crates/hash/src/key.rs crates/hash/src/murmur3.rs crates/hash/src/splitmix.rs crates/hash/src/wire.rs crates/hash/src/xxhash.rs
+
+/root/repo/target/debug/deps/qf_hash-89ec6a7110c2be0c: crates/hash/src/lib.rs crates/hash/src/family.rs crates/hash/src/key.rs crates/hash/src/murmur3.rs crates/hash/src/splitmix.rs crates/hash/src/wire.rs crates/hash/src/xxhash.rs
+
+crates/hash/src/lib.rs:
+crates/hash/src/family.rs:
+crates/hash/src/key.rs:
+crates/hash/src/murmur3.rs:
+crates/hash/src/splitmix.rs:
+crates/hash/src/wire.rs:
+crates/hash/src/xxhash.rs:

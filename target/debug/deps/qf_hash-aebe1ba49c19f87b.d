@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qf_hash-aebe1ba49c19f87b.d: crates/hash/src/lib.rs crates/hash/src/family.rs crates/hash/src/key.rs crates/hash/src/murmur3.rs crates/hash/src/splitmix.rs crates/hash/src/wire.rs crates/hash/src/xxhash.rs
+
+/root/repo/target/debug/deps/libqf_hash-aebe1ba49c19f87b.rlib: crates/hash/src/lib.rs crates/hash/src/family.rs crates/hash/src/key.rs crates/hash/src/murmur3.rs crates/hash/src/splitmix.rs crates/hash/src/wire.rs crates/hash/src/xxhash.rs
+
+/root/repo/target/debug/deps/libqf_hash-aebe1ba49c19f87b.rmeta: crates/hash/src/lib.rs crates/hash/src/family.rs crates/hash/src/key.rs crates/hash/src/murmur3.rs crates/hash/src/splitmix.rs crates/hash/src/wire.rs crates/hash/src/xxhash.rs
+
+crates/hash/src/lib.rs:
+crates/hash/src/family.rs:
+crates/hash/src/key.rs:
+crates/hash/src/murmur3.rs:
+crates/hash/src/splitmix.rs:
+crates/hash/src/wire.rs:
+crates/hash/src/xxhash.rs:

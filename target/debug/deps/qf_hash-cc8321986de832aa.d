@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/qf_hash-cc8321986de832aa.d: crates/hash/src/lib.rs crates/hash/src/family.rs crates/hash/src/key.rs crates/hash/src/murmur3.rs crates/hash/src/splitmix.rs crates/hash/src/wire.rs crates/hash/src/xxhash.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqf_hash-cc8321986de832aa.rmeta: crates/hash/src/lib.rs crates/hash/src/family.rs crates/hash/src/key.rs crates/hash/src/murmur3.rs crates/hash/src/splitmix.rs crates/hash/src/wire.rs crates/hash/src/xxhash.rs Cargo.toml
+
+crates/hash/src/lib.rs:
+crates/hash/src/family.rs:
+crates/hash/src/key.rs:
+crates/hash/src/murmur3.rs:
+crates/hash/src/splitmix.rs:
+crates/hash/src/wire.rs:
+crates/hash/src/xxhash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/qf_quantiles-bcf20a07fc5e70b8.d: crates/quantiles/src/lib.rs crates/quantiles/src/ddsketch.rs crates/quantiles/src/exact.rs crates/quantiles/src/gk.rs crates/quantiles/src/kll.rs crates/quantiles/src/qdigest.rs crates/quantiles/src/tdigest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqf_quantiles-bcf20a07fc5e70b8.rmeta: crates/quantiles/src/lib.rs crates/quantiles/src/ddsketch.rs crates/quantiles/src/exact.rs crates/quantiles/src/gk.rs crates/quantiles/src/kll.rs crates/quantiles/src/qdigest.rs crates/quantiles/src/tdigest.rs Cargo.toml
+
+crates/quantiles/src/lib.rs:
+crates/quantiles/src/ddsketch.rs:
+crates/quantiles/src/exact.rs:
+crates/quantiles/src/gk.rs:
+crates/quantiles/src/kll.rs:
+crates/quantiles/src/qdigest.rs:
+crates/quantiles/src/tdigest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/qf_quantiles-c88de6b21caa62bb.d: crates/quantiles/src/lib.rs crates/quantiles/src/ddsketch.rs crates/quantiles/src/exact.rs crates/quantiles/src/gk.rs crates/quantiles/src/kll.rs crates/quantiles/src/qdigest.rs crates/quantiles/src/tdigest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqf_quantiles-c88de6b21caa62bb.rmeta: crates/quantiles/src/lib.rs crates/quantiles/src/ddsketch.rs crates/quantiles/src/exact.rs crates/quantiles/src/gk.rs crates/quantiles/src/kll.rs crates/quantiles/src/qdigest.rs crates/quantiles/src/tdigest.rs Cargo.toml
+
+crates/quantiles/src/lib.rs:
+crates/quantiles/src/ddsketch.rs:
+crates/quantiles/src/exact.rs:
+crates/quantiles/src/gk.rs:
+crates/quantiles/src/kll.rs:
+crates/quantiles/src/qdigest.rs:
+crates/quantiles/src/tdigest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qf_repro-133dfbc97c7243a8.d: src/lib.rs
+
+/root/repo/target/debug/deps/qf_repro-133dfbc97c7243a8: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qf_repro-8aec8d03d951dd38.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqf_repro-8aec8d03d951dd38.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libqf_repro-8aec8d03d951dd38.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

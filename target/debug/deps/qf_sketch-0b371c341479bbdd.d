@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qf_sketch-0b371c341479bbdd.d: crates/sketch/src/lib.rs crates/sketch/src/count_min.rs crates/sketch/src/count_sketch.rs crates/sketch/src/counter.rs crates/sketch/src/rounding.rs crates/sketch/src/snapshot.rs crates/sketch/src/space_saving.rs crates/sketch/src/traits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqf_sketch-0b371c341479bbdd.rmeta: crates/sketch/src/lib.rs crates/sketch/src/count_min.rs crates/sketch/src/count_sketch.rs crates/sketch/src/counter.rs crates/sketch/src/rounding.rs crates/sketch/src/snapshot.rs crates/sketch/src/space_saving.rs crates/sketch/src/traits.rs Cargo.toml
+
+crates/sketch/src/lib.rs:
+crates/sketch/src/count_min.rs:
+crates/sketch/src/count_sketch.rs:
+crates/sketch/src/counter.rs:
+crates/sketch/src/rounding.rs:
+crates/sketch/src/snapshot.rs:
+crates/sketch/src/space_saving.rs:
+crates/sketch/src/traits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

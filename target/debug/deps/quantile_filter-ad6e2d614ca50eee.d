@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/quantile_filter-ad6e2d614ca50eee.d: crates/core/src/lib.rs crates/core/src/algorithm1.rs crates/core/src/builder.rs crates/core/src/candidate.rs crates/core/src/criteria.rs crates/core/src/epoch.rs crates/core/src/error.rs crates/core/src/filter.rs crates/core/src/multi.rs crates/core/src/naive.rs crates/core/src/query.rs crates/core/src/qweight.rs crates/core/src/snapshot.rs crates/core/src/strategy.rs crates/core/src/stream.rs crates/core/src/vague.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquantile_filter-ad6e2d614ca50eee.rmeta: crates/core/src/lib.rs crates/core/src/algorithm1.rs crates/core/src/builder.rs crates/core/src/candidate.rs crates/core/src/criteria.rs crates/core/src/epoch.rs crates/core/src/error.rs crates/core/src/filter.rs crates/core/src/multi.rs crates/core/src/naive.rs crates/core/src/query.rs crates/core/src/qweight.rs crates/core/src/snapshot.rs crates/core/src/strategy.rs crates/core/src/stream.rs crates/core/src/vague.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/algorithm1.rs:
+crates/core/src/builder.rs:
+crates/core/src/candidate.rs:
+crates/core/src/criteria.rs:
+crates/core/src/epoch.rs:
+crates/core/src/error.rs:
+crates/core/src/filter.rs:
+crates/core/src/multi.rs:
+crates/core/src/naive.rs:
+crates/core/src/query.rs:
+crates/core/src/qweight.rs:
+crates/core/src/snapshot.rs:
+crates/core/src/strategy.rs:
+crates/core/src/stream.rs:
+crates/core/src/vague.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

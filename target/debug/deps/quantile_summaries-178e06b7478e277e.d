@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quantile_summaries-178e06b7478e277e.d: crates/bench/benches/quantile_summaries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquantile_summaries-178e06b7478e277e.rmeta: crates/bench/benches/quantile_summaries.rs Cargo.toml
+
+crates/bench/benches/quantile_summaries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

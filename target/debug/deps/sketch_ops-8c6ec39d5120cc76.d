@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sketch_ops-8c6ec39d5120cc76.d: crates/bench/benches/sketch_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsketch_ops-8c6ec39d5120cc76.rmeta: crates/bench/benches/sketch_ops.rs Cargo.toml
+
+crates/bench/benches/sketch_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

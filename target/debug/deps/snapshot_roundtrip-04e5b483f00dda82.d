@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snapshot_roundtrip-04e5b483f00dda82.d: tests/snapshot_roundtrip.rs
+
+/root/repo/target/debug/deps/snapshot_roundtrip-04e5b483f00dda82: tests/snapshot_roundtrip.rs
+
+tests/snapshot_roundtrip.rs:

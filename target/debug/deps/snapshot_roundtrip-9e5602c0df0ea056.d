@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snapshot_roundtrip-9e5602c0df0ea056.d: tests/snapshot_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnapshot_roundtrip-9e5602c0df0ea056.rmeta: tests/snapshot_roundtrip.rs Cargo.toml
+
+tests/snapshot_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

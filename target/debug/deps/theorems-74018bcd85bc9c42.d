@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorems-74018bcd85bc9c42.d: tests/theorems.rs
+
+/root/repo/target/debug/deps/theorems-74018bcd85bc9c42: tests/theorems.rs
+
+tests/theorems.rs:

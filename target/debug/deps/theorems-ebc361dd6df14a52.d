@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theorems-ebc361dd6df14a52.d: tests/theorems.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheorems-ebc361dd6df14a52.rmeta: tests/theorems.rs Cargo.toml
+
+tests/theorems.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

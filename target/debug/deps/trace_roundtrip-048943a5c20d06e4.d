@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_roundtrip-048943a5c20d06e4.d: tests/trace_roundtrip.rs
+
+/root/repo/target/debug/deps/trace_roundtrip-048943a5c20d06e4: tests/trace_roundtrip.rs
+
+tests/trace_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/checkpoint_restore-56dfbcd85cfeed99.d: examples/checkpoint_restore.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcheckpoint_restore-56dfbcd85cfeed99.rmeta: examples/checkpoint_restore.rs Cargo.toml
+
+examples/checkpoint_restore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/checkpoint_restore-8f86cf952ab611eb.d: examples/checkpoint_restore.rs
+
+/root/repo/target/debug/examples/checkpoint_restore-8f86cf952ab611eb: examples/checkpoint_restore.rs
+
+examples/checkpoint_restore.rs:

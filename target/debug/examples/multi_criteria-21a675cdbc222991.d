@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_criteria-21a675cdbc222991.d: examples/multi_criteria.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_criteria-21a675cdbc222991.rmeta: examples/multi_criteria.rs Cargo.toml
+
+examples/multi_criteria.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_criteria-6a1b6eaa30723d03.d: examples/multi_criteria.rs
+
+/root/repo/target/debug/examples/multi_criteria-6a1b6eaa30723d03: examples/multi_criteria.rs
+
+examples/multi_criteria.rs:

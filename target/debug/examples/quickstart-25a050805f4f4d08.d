@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-25a050805f4f4d08.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-25a050805f4f4d08: examples/quickstart.rs
+
+examples/quickstart.rs:

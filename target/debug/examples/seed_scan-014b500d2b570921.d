@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/seed_scan-014b500d2b570921.d: crates/datasets/examples/seed_scan.rs
+
+/root/repo/target/debug/examples/seed_scan-014b500d2b570921: crates/datasets/examples/seed_scan.rs
+
+crates/datasets/examples/seed_scan.rs:

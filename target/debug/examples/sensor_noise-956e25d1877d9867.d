@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sensor_noise-956e25d1877d9867.d: examples/sensor_noise.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsensor_noise-956e25d1877d9867.rmeta: examples/sensor_noise.rs Cargo.toml
+
+examples/sensor_noise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

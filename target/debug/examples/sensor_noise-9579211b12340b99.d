@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensor_noise-9579211b12340b99.d: examples/sensor_noise.rs
+
+/root/repo/target/debug/examples/sensor_noise-9579211b12340b99: examples/sensor_noise.rs
+
+examples/sensor_noise.rs:

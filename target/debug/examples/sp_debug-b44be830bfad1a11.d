@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sp_debug-b44be830bfad1a11.d: examples/sp_debug.rs
+
+/root/repo/target/debug/examples/sp_debug-b44be830bfad1a11: examples/sp_debug.rs
+
+examples/sp_debug.rs:

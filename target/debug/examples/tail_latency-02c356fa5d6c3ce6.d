@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tail_latency-02c356fa5d6c3ce6.d: examples/tail_latency.rs
+
+/root/repo/target/debug/examples/tail_latency-02c356fa5d6c3ce6: examples/tail_latency.rs
+
+examples/tail_latency.rs:

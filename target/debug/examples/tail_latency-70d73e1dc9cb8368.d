@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tail_latency-70d73e1dc9cb8368.d: examples/tail_latency.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtail_latency-70d73e1dc9cb8368.rmeta: examples/tail_latency.rs Cargo.toml
+
+examples/tail_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-bc70768c3e5ad095.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/trace_replay-bc70768c3e5ad095: examples/trace_replay.rs
+
+examples/trace_replay.rs:

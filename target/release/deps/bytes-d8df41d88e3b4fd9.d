@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-d8df41d88e3b4fd9.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-d8df41d88e3b4fd9.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-d8df41d88e3b4fd9.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-b7eb1606a85b25c5.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-b7eb1606a85b25c5.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-b7eb1606a85b25c5.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

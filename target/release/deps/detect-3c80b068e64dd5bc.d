@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/detect-3c80b068e64dd5bc.d: crates/bench/src/bin/detect.rs
+
+/root/repo/target/release/deps/detect-3c80b068e64dd5bc: crates/bench/src/bin/detect.rs
+
+crates/bench/src/bin/detect.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gen_trace-e6332dbddea61f5c.d: crates/bench/src/bin/gen_trace.rs
+
+/root/repo/target/release/deps/gen_trace-e6332dbddea61f5c: crates/bench/src/bin/gen_trace.rs
+
+crates/bench/src/bin/gen_trace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-a4f57c55c6a9f909.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-a4f57c55c6a9f909.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-a4f57c55c6a9f909.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/qf_baselines-5f2ad973b33cf700.d: crates/baselines/src/lib.rs crates/baselines/src/exact.rs crates/baselines/src/hist_sketch.rs crates/baselines/src/naive.rs crates/baselines/src/qf.rs crates/baselines/src/sketch_polymer.rs crates/baselines/src/squad.rs crates/baselines/src/value_buckets.rs
+
+/root/repo/target/release/deps/libqf_baselines-5f2ad973b33cf700.rlib: crates/baselines/src/lib.rs crates/baselines/src/exact.rs crates/baselines/src/hist_sketch.rs crates/baselines/src/naive.rs crates/baselines/src/qf.rs crates/baselines/src/sketch_polymer.rs crates/baselines/src/squad.rs crates/baselines/src/value_buckets.rs
+
+/root/repo/target/release/deps/libqf_baselines-5f2ad973b33cf700.rmeta: crates/baselines/src/lib.rs crates/baselines/src/exact.rs crates/baselines/src/hist_sketch.rs crates/baselines/src/naive.rs crates/baselines/src/qf.rs crates/baselines/src/sketch_polymer.rs crates/baselines/src/squad.rs crates/baselines/src/value_buckets.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/exact.rs:
+crates/baselines/src/hist_sketch.rs:
+crates/baselines/src/naive.rs:
+crates/baselines/src/qf.rs:
+crates/baselines/src/sketch_polymer.rs:
+crates/baselines/src/squad.rs:
+crates/baselines/src/value_buckets.rs:

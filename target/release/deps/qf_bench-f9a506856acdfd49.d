@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qf_bench-f9a506856acdfd49.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqf_bench-f9a506856acdfd49.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqf_bench-f9a506856acdfd49.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/qf_datasets-ccb0ca67ef1f9c9e.d: crates/datasets/src/lib.rs crates/datasets/src/config.rs crates/datasets/src/generators.rs crates/datasets/src/trace.rs crates/datasets/src/values.rs crates/datasets/src/zipf.rs
+
+/root/repo/target/release/deps/libqf_datasets-ccb0ca67ef1f9c9e.rlib: crates/datasets/src/lib.rs crates/datasets/src/config.rs crates/datasets/src/generators.rs crates/datasets/src/trace.rs crates/datasets/src/values.rs crates/datasets/src/zipf.rs
+
+/root/repo/target/release/deps/libqf_datasets-ccb0ca67ef1f9c9e.rmeta: crates/datasets/src/lib.rs crates/datasets/src/config.rs crates/datasets/src/generators.rs crates/datasets/src/trace.rs crates/datasets/src/values.rs crates/datasets/src/zipf.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/config.rs:
+crates/datasets/src/generators.rs:
+crates/datasets/src/trace.rs:
+crates/datasets/src/values.rs:
+crates/datasets/src/zipf.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/qf_hash-1cc961b2ff92c559.d: crates/hash/src/lib.rs crates/hash/src/family.rs crates/hash/src/key.rs crates/hash/src/murmur3.rs crates/hash/src/splitmix.rs crates/hash/src/wire.rs crates/hash/src/xxhash.rs
+
+/root/repo/target/release/deps/libqf_hash-1cc961b2ff92c559.rlib: crates/hash/src/lib.rs crates/hash/src/family.rs crates/hash/src/key.rs crates/hash/src/murmur3.rs crates/hash/src/splitmix.rs crates/hash/src/wire.rs crates/hash/src/xxhash.rs
+
+/root/repo/target/release/deps/libqf_hash-1cc961b2ff92c559.rmeta: crates/hash/src/lib.rs crates/hash/src/family.rs crates/hash/src/key.rs crates/hash/src/murmur3.rs crates/hash/src/splitmix.rs crates/hash/src/wire.rs crates/hash/src/xxhash.rs
+
+crates/hash/src/lib.rs:
+crates/hash/src/family.rs:
+crates/hash/src/key.rs:
+crates/hash/src/murmur3.rs:
+crates/hash/src/splitmix.rs:
+crates/hash/src/wire.rs:
+crates/hash/src/xxhash.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/qf_quantiles-6da06d51b3f3d1ff.d: crates/quantiles/src/lib.rs crates/quantiles/src/ddsketch.rs crates/quantiles/src/exact.rs crates/quantiles/src/gk.rs crates/quantiles/src/kll.rs crates/quantiles/src/qdigest.rs crates/quantiles/src/tdigest.rs
+
+/root/repo/target/release/deps/libqf_quantiles-6da06d51b3f3d1ff.rlib: crates/quantiles/src/lib.rs crates/quantiles/src/ddsketch.rs crates/quantiles/src/exact.rs crates/quantiles/src/gk.rs crates/quantiles/src/kll.rs crates/quantiles/src/qdigest.rs crates/quantiles/src/tdigest.rs
+
+/root/repo/target/release/deps/libqf_quantiles-6da06d51b3f3d1ff.rmeta: crates/quantiles/src/lib.rs crates/quantiles/src/ddsketch.rs crates/quantiles/src/exact.rs crates/quantiles/src/gk.rs crates/quantiles/src/kll.rs crates/quantiles/src/qdigest.rs crates/quantiles/src/tdigest.rs
+
+crates/quantiles/src/lib.rs:
+crates/quantiles/src/ddsketch.rs:
+crates/quantiles/src/exact.rs:
+crates/quantiles/src/gk.rs:
+crates/quantiles/src/kll.rs:
+crates/quantiles/src/qdigest.rs:
+crates/quantiles/src/tdigest.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/qf_repro-e6979e6a71deebee.d: src/lib.rs
+
+/root/repo/target/release/deps/libqf_repro-e6979e6a71deebee.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libqf_repro-e6979e6a71deebee.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/qf_sketch-6049807930d8d8d4.d: crates/sketch/src/lib.rs crates/sketch/src/count_min.rs crates/sketch/src/count_sketch.rs crates/sketch/src/counter.rs crates/sketch/src/rounding.rs crates/sketch/src/snapshot.rs crates/sketch/src/space_saving.rs crates/sketch/src/traits.rs
+
+/root/repo/target/release/deps/libqf_sketch-6049807930d8d8d4.rlib: crates/sketch/src/lib.rs crates/sketch/src/count_min.rs crates/sketch/src/count_sketch.rs crates/sketch/src/counter.rs crates/sketch/src/rounding.rs crates/sketch/src/snapshot.rs crates/sketch/src/space_saving.rs crates/sketch/src/traits.rs
+
+/root/repo/target/release/deps/libqf_sketch-6049807930d8d8d4.rmeta: crates/sketch/src/lib.rs crates/sketch/src/count_min.rs crates/sketch/src/count_sketch.rs crates/sketch/src/counter.rs crates/sketch/src/rounding.rs crates/sketch/src/snapshot.rs crates/sketch/src/space_saving.rs crates/sketch/src/traits.rs
+
+crates/sketch/src/lib.rs:
+crates/sketch/src/count_min.rs:
+crates/sketch/src/count_sketch.rs:
+crates/sketch/src/counter.rs:
+crates/sketch/src/rounding.rs:
+crates/sketch/src/snapshot.rs:
+crates/sketch/src/space_saving.rs:
+crates/sketch/src/traits.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-1e34d6df52920e31.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1e34d6df52920e31.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1e34d6df52920e31.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-e3a1f58f8fefe9f1.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-e3a1f58f8fefe9f1.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-e3a1f58f8fefe9f1.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

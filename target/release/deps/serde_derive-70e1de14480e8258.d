@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-70e1de14480e8258.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-70e1de14480e8258.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/checkpoint_restore-65711c12e153142e.d: examples/checkpoint_restore.rs
+
+/root/repo/target/release/examples/checkpoint_restore-65711c12e153142e: examples/checkpoint_restore.rs
+
+examples/checkpoint_restore.rs:

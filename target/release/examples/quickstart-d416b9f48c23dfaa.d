@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-d416b9f48c23dfaa.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-d416b9f48c23dfaa: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/seed_scan-fded7688ddfb47e0.d: crates/datasets/examples/seed_scan.rs
+
+/root/repo/target/release/examples/seed_scan-fded7688ddfb47e0: crates/datasets/examples/seed_scan.rs
+
+crates/datasets/examples/seed_scan.rs:

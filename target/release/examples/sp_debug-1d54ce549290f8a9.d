@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sp_debug-1d54ce549290f8a9.d: examples/sp_debug.rs
+
+/root/repo/target/release/examples/sp_debug-1d54ce549290f8a9: examples/sp_debug.rs
+
+examples/sp_debug.rs:

@@ -2,8 +2,8 @@
 //! width, stochastic rounding, candidate election value, and saturation
 //! (failure-injection) behaviour.
 
-use qf_repro::qf_baselines::{OutstandingDetector, QfDetector};
 use qf_repro::qf_baselines::qf::Algorithm1Detector;
+use qf_repro::qf_baselines::{OutstandingDetector, QfDetector};
 use qf_repro::qf_datasets::{internet_like, InternetConfig};
 use qf_repro::qf_eval::{ground_truth, run_detector, Accuracy};
 use qf_repro::qf_sketch::{CountSketch, WeightSketch};

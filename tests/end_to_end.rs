@@ -5,7 +5,9 @@ use qf_repro::qf_baselines::{
     HistSketchDetector, NaiveDetector, OutstandingDetector, QfDetector, SketchPolymerDetector,
     SquadDetector,
 };
-use qf_repro::qf_datasets::{cloud_like, internet_like, zipf_dataset, CloudConfig, InternetConfig, ZipfConfig};
+use qf_repro::qf_datasets::{
+    cloud_like, internet_like, zipf_dataset, CloudConfig, InternetConfig, ZipfConfig,
+};
 use qf_repro::qf_eval::{ground_truth, run_detector, Accuracy};
 use qf_repro::quantile_filter::Criteria;
 

@@ -1,9 +1,7 @@
 //! Cross-crate tests of the §III-C flexibility features: per-key criteria,
 //! dynamic modification, and multi-criteria monitoring.
 
-use qf_repro::quantile_filter::{
-    Criteria, MultiCriteriaFilter, QuantileFilterBuilder,
-};
+use qf_repro::quantile_filter::{Criteria, MultiCriteriaFilter, QuantileFilterBuilder};
 
 #[test]
 fn per_key_criteria_distinct_report_rates() {
@@ -21,16 +19,10 @@ fn per_key_criteria_distinct_report_rates() {
     // Both flows see identical 200ms latencies: above the UDP threshold,
     // below the TCP one.
     for _ in 0..5_000 {
-        if filter
-            .insert_with_criteria(&1u64, 200.0, &udp)
-            .is_some()
-        {
+        if filter.insert_with_criteria(&1u64, 200.0, &udp).is_some() {
             udp_reports += 1;
         }
-        if filter
-            .insert_with_criteria(&2u64, 200.0, &tcp)
-            .is_some()
-        {
+        if filter.insert_with_criteria(&2u64, 200.0, &tcp).is_some() {
             tcp_reports += 1;
         }
     }

@@ -1,0 +1,280 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion 0.5 API the workspace benches
+//! use — `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::{iter, iter_batched}`, `Throughput`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros — as a simple wall-clock
+//! runner. No statistics, outlier rejection, or HTML reports: each bench
+//! is timed over a bounded number of iterations and a single mean line is
+//! printed. Good enough for smoke-running benches offline and for keeping
+//! bench targets compiling; numbers are indicative only.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units-processed-per-iteration declaration for throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored by this
+/// runner; every iteration gets a fresh setup value).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier for a bench within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` compound id.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Per-bench measurement driver handed to the bench closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+/// Iteration budget per bench: stop after this many iterations or after
+/// [`TIME_CAP`] of measured work, whichever comes first.
+const MAX_ITERS: u64 = 30;
+const TIME_CAP: Duration = Duration::from_millis(250);
+
+impl Bencher {
+    fn new() -> Self {
+        Self {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Time repeated calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        while self.iters < MAX_ITERS && self.elapsed < TIME_CAP {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        while self.iters < MAX_ITERS && self.elapsed < TIME_CAP {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn report(label: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    if bencher.iters == 0 {
+        println!("{label:<48} (no iterations)");
+        return;
+    }
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iters as f64;
+    let mut line = format!("{label:<48} {:>12.3} us/iter", per_iter * 1e6);
+    match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            line.push_str(&format!("  {:>10.2} Melem/s", n as f64 / per_iter / 1e6));
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            line.push_str(&format!(
+                "  {:>10.2} MiB/s",
+                n as f64 / per_iter / (1 << 20) as f64
+            ));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+/// Top-level bench context.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benches.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Run a standalone bench.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&id.id, &b, None);
+    }
+}
+
+/// A named collection of benches sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-count hint (accepted, ignored by this runner).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time hint (accepted, ignored by this runner).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a bench in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), &b, self.throughput);
+        self
+    }
+
+    /// Run a bench parameterized by `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b, self.throughput);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Collect bench functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_measures_and_bounds() {
+        let mut b = Bencher::new();
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert!(b.iters > 0 && b.iters <= MAX_ITERS);
+        assert_eq!(count, b.iters);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10)
+            .throughput(Throughput::Elements(4))
+            .bench_function("sum", |b| {
+                b.iter(|| (0u64..4).sum::<u64>());
+            })
+            .bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &k| {
+                b.iter_batched(|| k, |k| k * 2, BatchSize::LargeInput);
+            })
+            .finish();
+    }
+}

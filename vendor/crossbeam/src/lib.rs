@@ -1,0 +1,71 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only scoped threads are provided, implemented directly on
+//! `std::thread::scope` (stable since 1.63). The API mirrors the
+//! `crossbeam::scope` shape this workspace uses: the closure passed to
+//! [`Scope::spawn`] receives a placeholder argument (call sites write
+//! `|_|`), handles expose `join() -> std::thread::Result<T>`, and
+//! [`scope`] returns a `Result` like the real crate (always `Ok` here —
+//! std's scope propagates panics instead of collecting them).
+
+/// Scoped-thread handle namespace, mirroring `crossbeam::thread`.
+pub mod thread {
+    /// A scope in which threads borrowing local state may be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure's argument is a
+        /// placeholder for crossbeam's nested-scope handle (unused by
+        /// every call site in this workspace, which write `|_|`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish and return its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Run `f` with a [`Scope`]; all spawned threads are joined before
+    /// this returns. Always `Ok`: a panicking child that was not joined
+    /// propagates the panic (std semantics) rather than surfacing as
+    /// `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+}

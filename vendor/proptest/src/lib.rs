@@ -1,0 +1,299 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach crates.io, so this vendored crate
+//! provides the subset of proptest this workspace uses: the [`proptest!`]
+//! macro (with optional `#![proptest_config(...)]` header), range and tuple
+//! strategies, [`collection::vec`], and the `prop_assert*` macros.
+//!
+//! Semantics differ from real proptest in two deliberate ways: case
+//! generation is deterministic (seeded from the test name so failures
+//! reproduce exactly), and there is no shrinking — a failing case panics
+//! with the ordinary assert message instead.
+
+use core::ops::{Range, RangeInclusive};
+
+/// Deterministic SplitMix64 case generator.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded constructor; tests derive the seed from their own name.
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+    }
+}
+
+/// Hash a test-function name into a reproducible seed.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A value generator. Strategies are sampled fresh for every test case.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (u128::from(rng.next_u64()) % span) as i128;
+                (lo as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (rng.next_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+/// `Just`-style constant strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+ $(,)?)),* $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use core::ops::Range;
+
+    /// Strategy for `Vec`s whose length is drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generate vectors of `element` draws with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.clone().sample_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    trait SampleLen {
+        fn sample_len(self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SampleLen for Range<usize> {
+        fn sample_len(self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty length range");
+            let span = (self.end - self.start) as u64;
+            self.start + (rng.next_u64() % span) as usize
+        }
+    }
+}
+
+/// Configuration and common re-exports.
+pub mod prelude {
+    pub use super::collection;
+    pub use super::{Just, Strategy};
+
+    /// Per-test run configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+/// Boolean property assertion (maps to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality property assertion (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality property assertion (maps to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The test-defining macro. Supports an optional
+/// `#![proptest_config(expr)]` header followed by any number of
+/// `#[test] fn name(binding in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    // NOTE: internal @-rules must precede the catch-all arm — macro arms
+    // are tried in order, and a trailing `$($rest:tt)*` would otherwise
+    // swallow `@funcs ...` recursions and loop forever.
+    (@funcs ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($args:tt)* ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::prelude::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_seed($crate::seed_from_name(stringify!($name)));
+                for _case in 0..config.cases {
+                    $crate::proptest!(@bind rng $($args)*);
+                    $body
+                }
+            }
+        )*
+    };
+
+    (@bind $rng:ident) => {};
+    (@bind $rng:ident $pat:pat in $strat:expr) => {
+        let $pat = $crate::Strategy::sample(&$strat, &mut $rng);
+    };
+    (@bind $rng:ident $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::Strategy::sample(&$strat, &mut $rng);
+        $crate::proptest!(@bind $rng $($rest)*);
+    };
+
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::prelude::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            let v = (10u64..20).sample(&mut rng);
+            assert!((10..20).contains(&v));
+            let f = (-1.0f64..1.0).sample(&mut rng);
+            assert!((-1.0..1.0).contains(&f));
+            let i = (i16::MIN..=i16::MAX).sample(&mut rng);
+            let _ = i;
+        }
+    }
+
+    #[test]
+    fn vec_strategy_obeys_len() {
+        let mut rng = TestRng::from_seed(2);
+        let s = collection::vec(0i64..5, 3..7);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..5).contains(x)));
+        }
+    }
+
+    crate::proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_multiple_args(
+            xs in collection::vec(0u64..100, 1..10),
+            q in 0.0f64..1.0,
+        ) {
+            crate::prop_assert!(!xs.is_empty());
+            crate::prop_assert!((0.0..1.0).contains(&q));
+        }
+
+        #[test]
+        fn macro_supports_tuples_and_mut(mut pairs in collection::vec((0u64..50, -20i64..20), 1..6)) {
+            pairs.push((0, 0));
+            crate::prop_assert!(pairs.len() >= 2);
+        }
+    }
+}

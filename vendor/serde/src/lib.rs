@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides marker `Serialize`/`Deserialize` traits and (behind the
+//! `derive` feature) re-exports the no-op derives from the vendored
+//! `serde_derive`. Enough for `#[derive(Serialize, Deserialize)]` +
+//! `#[serde(...)]` attributes to compile; no actual data format support.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The derives expand to nothing: they exist so `#[derive(Serialize,
+//! Deserialize)]` and `#[serde(...)]` field attributes compile without the
+//! real crate. Nothing in this workspace actually serializes through serde
+//! (configs are plain-old-data and round-trip via their own codecs), so
+//! marker-level support is sufficient.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; swallows `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; swallows `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
