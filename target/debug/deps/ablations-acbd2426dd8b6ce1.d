@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-acbd2426dd8b6ce1.d: tests/ablations.rs
+
+/root/repo/target/debug/deps/libablations-acbd2426dd8b6ce1.rmeta: tests/ablations.rs
+
+tests/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_agreement-631e7fd26d30fd84.d: tests/baseline_agreement.rs
+
+/root/repo/target/debug/deps/libbaseline_agreement-631e7fd26d30fd84.rmeta: tests/baseline_agreement.rs
+
+tests/baseline_agreement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-810cf15787a896c9.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-810cf15787a896c9.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detect-432530385fe6277a.d: crates/bench/src/bin/detect.rs
+
+/root/repo/target/debug/deps/libdetect-432530385fe6277a.rmeta: crates/bench/src/bin/detect.rs
+
+crates/bench/src/bin/detect.rs:

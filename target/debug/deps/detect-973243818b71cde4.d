@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detect-973243818b71cde4.d: crates/bench/src/bin/detect.rs
+
+/root/repo/target/debug/deps/libdetect-973243818b71cde4.rmeta: crates/bench/src/bin/detect.rs
+
+crates/bench/src/bin/detect.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-fb122aaa880a30b6.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-fb122aaa880a30b6.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

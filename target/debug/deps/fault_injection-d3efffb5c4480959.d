@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-d3efffb5c4480959.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/libfault_injection-d3efffb5c4480959.rmeta: tests/fault_injection.rs
+
+tests/fault_injection.rs:

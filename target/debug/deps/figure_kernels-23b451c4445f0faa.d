@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_kernels-23b451c4445f0faa.d: crates/bench/benches/figure_kernels.rs
+
+/root/repo/target/debug/deps/libfigure_kernels-23b451c4445f0faa.rmeta: crates/bench/benches/figure_kernels.rs
+
+crates/bench/benches/figure_kernels.rs:

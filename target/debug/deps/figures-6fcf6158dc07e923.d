@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-6fcf6158dc07e923.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/libfigures-6fcf6158dc07e923.rmeta: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-ee9dd416c6d41f0e.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/libfigures-ee9dd416c6d41f0e.rmeta: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

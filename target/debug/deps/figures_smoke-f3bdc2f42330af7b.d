@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_smoke-f3bdc2f42330af7b.d: tests/figures_smoke.rs
+
+/root/repo/target/debug/deps/libfigures_smoke-f3bdc2f42330af7b.rmeta: tests/figures_smoke.rs
+
+tests/figures_smoke.rs:

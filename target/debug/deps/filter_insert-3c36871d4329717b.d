@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/filter_insert-3c36871d4329717b.d: crates/bench/benches/filter_insert.rs
+
+/root/repo/target/debug/deps/libfilter_insert-3c36871d4329717b.rmeta: crates/bench/benches/filter_insert.rs
+
+crates/bench/benches/filter_insert.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flexibility-d8c704ba695dfec9.d: tests/flexibility.rs
+
+/root/repo/target/debug/deps/libflexibility-d8c704ba695dfec9.rmeta: tests/flexibility.rs
+
+tests/flexibility.rs:

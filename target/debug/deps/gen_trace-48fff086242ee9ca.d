@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_trace-48fff086242ee9ca.d: crates/bench/src/bin/gen_trace.rs
+
+/root/repo/target/debug/deps/libgen_trace-48fff086242ee9ca.rmeta: crates/bench/src/bin/gen_trace.rs
+
+crates/bench/src/bin/gen_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_trace-d31b953941358c21.d: crates/bench/src/bin/gen_trace.rs
+
+/root/repo/target/debug/deps/libgen_trace-d31b953941358c21.rmeta: crates/bench/src/bin/gen_trace.rs
+
+crates/bench/src/bin/gen_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-d9c60851ba65f4e9.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-d9c60851ba65f4e9.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qf_baselines-c9b28bb43ab2626b.d: crates/baselines/src/lib.rs crates/baselines/src/exact.rs crates/baselines/src/hist_sketch.rs crates/baselines/src/naive.rs crates/baselines/src/qf.rs crates/baselines/src/sketch_polymer.rs crates/baselines/src/squad.rs crates/baselines/src/value_buckets.rs
+
+/root/repo/target/debug/deps/libqf_baselines-c9b28bb43ab2626b.rmeta: crates/baselines/src/lib.rs crates/baselines/src/exact.rs crates/baselines/src/hist_sketch.rs crates/baselines/src/naive.rs crates/baselines/src/qf.rs crates/baselines/src/sketch_polymer.rs crates/baselines/src/squad.rs crates/baselines/src/value_buckets.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/exact.rs:
+crates/baselines/src/hist_sketch.rs:
+crates/baselines/src/naive.rs:
+crates/baselines/src/qf.rs:
+crates/baselines/src/sketch_polymer.rs:
+crates/baselines/src/squad.rs:
+crates/baselines/src/value_buckets.rs:

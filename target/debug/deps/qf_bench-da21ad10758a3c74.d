@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qf_bench-da21ad10758a3c74.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqf_bench-da21ad10758a3c74.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qf_bench-eb4bd3015a0aa13c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqf_bench-eb4bd3015a0aa13c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

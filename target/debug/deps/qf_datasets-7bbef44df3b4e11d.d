@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qf_datasets-7bbef44df3b4e11d.d: crates/datasets/src/lib.rs crates/datasets/src/config.rs crates/datasets/src/generators.rs crates/datasets/src/trace.rs crates/datasets/src/values.rs crates/datasets/src/zipf.rs
+
+/root/repo/target/debug/deps/libqf_datasets-7bbef44df3b4e11d.rmeta: crates/datasets/src/lib.rs crates/datasets/src/config.rs crates/datasets/src/generators.rs crates/datasets/src/trace.rs crates/datasets/src/values.rs crates/datasets/src/zipf.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/config.rs:
+crates/datasets/src/generators.rs:
+crates/datasets/src/trace.rs:
+crates/datasets/src/values.rs:
+crates/datasets/src/zipf.rs:

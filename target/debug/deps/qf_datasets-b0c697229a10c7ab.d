@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qf_datasets-b0c697229a10c7ab.d: crates/datasets/src/lib.rs crates/datasets/src/config.rs crates/datasets/src/generators.rs crates/datasets/src/trace.rs crates/datasets/src/values.rs crates/datasets/src/zipf.rs
+
+/root/repo/target/debug/deps/libqf_datasets-b0c697229a10c7ab.rmeta: crates/datasets/src/lib.rs crates/datasets/src/config.rs crates/datasets/src/generators.rs crates/datasets/src/trace.rs crates/datasets/src/values.rs crates/datasets/src/zipf.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/config.rs:
+crates/datasets/src/generators.rs:
+crates/datasets/src/trace.rs:
+crates/datasets/src/values.rs:
+crates/datasets/src/zipf.rs:

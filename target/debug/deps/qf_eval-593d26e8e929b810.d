@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qf_eval-593d26e8e929b810.d: crates/eval/src/lib.rs crates/eval/src/concurrent.rs crates/eval/src/figures/mod.rs crates/eval/src/figures/accuracy.rs crates/eval/src/figures/dynamic.rs crates/eval/src/figures/params.rs crates/eval/src/figures/speed.rs crates/eval/src/metrics.rs crates/eval/src/runner.rs
+
+/root/repo/target/debug/deps/libqf_eval-593d26e8e929b810.rmeta: crates/eval/src/lib.rs crates/eval/src/concurrent.rs crates/eval/src/figures/mod.rs crates/eval/src/figures/accuracy.rs crates/eval/src/figures/dynamic.rs crates/eval/src/figures/params.rs crates/eval/src/figures/speed.rs crates/eval/src/metrics.rs crates/eval/src/runner.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/concurrent.rs:
+crates/eval/src/figures/mod.rs:
+crates/eval/src/figures/accuracy.rs:
+crates/eval/src/figures/dynamic.rs:
+crates/eval/src/figures/params.rs:
+crates/eval/src/figures/speed.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/runner.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qf_hash-eb52fa3960cf04bd.d: crates/hash/src/lib.rs crates/hash/src/family.rs crates/hash/src/key.rs crates/hash/src/murmur3.rs crates/hash/src/splitmix.rs crates/hash/src/wire.rs crates/hash/src/xxhash.rs
+
+/root/repo/target/debug/deps/libqf_hash-eb52fa3960cf04bd.rmeta: crates/hash/src/lib.rs crates/hash/src/family.rs crates/hash/src/key.rs crates/hash/src/murmur3.rs crates/hash/src/splitmix.rs crates/hash/src/wire.rs crates/hash/src/xxhash.rs
+
+crates/hash/src/lib.rs:
+crates/hash/src/family.rs:
+crates/hash/src/key.rs:
+crates/hash/src/murmur3.rs:
+crates/hash/src/splitmix.rs:
+crates/hash/src/wire.rs:
+crates/hash/src/xxhash.rs:

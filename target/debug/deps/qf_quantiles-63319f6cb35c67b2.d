@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qf_quantiles-63319f6cb35c67b2.d: crates/quantiles/src/lib.rs crates/quantiles/src/ddsketch.rs crates/quantiles/src/exact.rs crates/quantiles/src/gk.rs crates/quantiles/src/kll.rs crates/quantiles/src/qdigest.rs crates/quantiles/src/tdigest.rs
+
+/root/repo/target/debug/deps/libqf_quantiles-63319f6cb35c67b2.rmeta: crates/quantiles/src/lib.rs crates/quantiles/src/ddsketch.rs crates/quantiles/src/exact.rs crates/quantiles/src/gk.rs crates/quantiles/src/kll.rs crates/quantiles/src/qdigest.rs crates/quantiles/src/tdigest.rs
+
+crates/quantiles/src/lib.rs:
+crates/quantiles/src/ddsketch.rs:
+crates/quantiles/src/exact.rs:
+crates/quantiles/src/gk.rs:
+crates/quantiles/src/kll.rs:
+crates/quantiles/src/qdigest.rs:
+crates/quantiles/src/tdigest.rs:

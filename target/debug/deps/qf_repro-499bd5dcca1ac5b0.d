@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qf_repro-499bd5dcca1ac5b0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqf_repro-499bd5dcca1ac5b0.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

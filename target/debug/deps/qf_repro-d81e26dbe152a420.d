@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qf_repro-d81e26dbe152a420.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqf_repro-d81e26dbe152a420.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

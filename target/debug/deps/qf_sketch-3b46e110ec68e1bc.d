@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qf_sketch-3b46e110ec68e1bc.d: crates/sketch/src/lib.rs crates/sketch/src/count_min.rs crates/sketch/src/count_sketch.rs crates/sketch/src/counter.rs crates/sketch/src/rounding.rs crates/sketch/src/snapshot.rs crates/sketch/src/space_saving.rs crates/sketch/src/traits.rs
+
+/root/repo/target/debug/deps/libqf_sketch-3b46e110ec68e1bc.rmeta: crates/sketch/src/lib.rs crates/sketch/src/count_min.rs crates/sketch/src/count_sketch.rs crates/sketch/src/counter.rs crates/sketch/src/rounding.rs crates/sketch/src/snapshot.rs crates/sketch/src/space_saving.rs crates/sketch/src/traits.rs
+
+crates/sketch/src/lib.rs:
+crates/sketch/src/count_min.rs:
+crates/sketch/src/count_sketch.rs:
+crates/sketch/src/counter.rs:
+crates/sketch/src/rounding.rs:
+crates/sketch/src/snapshot.rs:
+crates/sketch/src/space_saving.rs:
+crates/sketch/src/traits.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/quantile_filter-71db2448d81a5419.d: crates/core/src/lib.rs crates/core/src/algorithm1.rs crates/core/src/builder.rs crates/core/src/candidate.rs crates/core/src/criteria.rs crates/core/src/epoch.rs crates/core/src/error.rs crates/core/src/filter.rs crates/core/src/multi.rs crates/core/src/naive.rs crates/core/src/query.rs crates/core/src/qweight.rs crates/core/src/snapshot.rs crates/core/src/strategy.rs crates/core/src/stream.rs crates/core/src/vague.rs
+
+/root/repo/target/debug/deps/libquantile_filter-71db2448d81a5419.rmeta: crates/core/src/lib.rs crates/core/src/algorithm1.rs crates/core/src/builder.rs crates/core/src/candidate.rs crates/core/src/criteria.rs crates/core/src/epoch.rs crates/core/src/error.rs crates/core/src/filter.rs crates/core/src/multi.rs crates/core/src/naive.rs crates/core/src/query.rs crates/core/src/qweight.rs crates/core/src/snapshot.rs crates/core/src/strategy.rs crates/core/src/stream.rs crates/core/src/vague.rs
+
+crates/core/src/lib.rs:
+crates/core/src/algorithm1.rs:
+crates/core/src/builder.rs:
+crates/core/src/candidate.rs:
+crates/core/src/criteria.rs:
+crates/core/src/epoch.rs:
+crates/core/src/error.rs:
+crates/core/src/filter.rs:
+crates/core/src/multi.rs:
+crates/core/src/naive.rs:
+crates/core/src/query.rs:
+crates/core/src/qweight.rs:
+crates/core/src/snapshot.rs:
+crates/core/src/strategy.rs:
+crates/core/src/stream.rs:
+crates/core/src/vague.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quantile_summaries-37407c129f8b4554.d: crates/bench/benches/quantile_summaries.rs
+
+/root/repo/target/debug/deps/libquantile_summaries-37407c129f8b4554.rmeta: crates/bench/benches/quantile_summaries.rs
+
+crates/bench/benches/quantile_summaries.rs:

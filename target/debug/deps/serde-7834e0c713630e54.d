@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-7834e0c713630e54.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-7834e0c713630e54.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

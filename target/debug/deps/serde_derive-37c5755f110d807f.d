@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-37c5755f110d807f.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-37c5755f110d807f.rmeta: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

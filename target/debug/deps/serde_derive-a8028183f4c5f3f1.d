@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-a8028183f4c5f3f1.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-a8028183f4c5f3f1.rmeta: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sketch_ops-fd1a9564b3d6c46b.d: crates/bench/benches/sketch_ops.rs
+
+/root/repo/target/debug/deps/libsketch_ops-fd1a9564b3d6c46b.rmeta: crates/bench/benches/sketch_ops.rs
+
+crates/bench/benches/sketch_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snapshot_roundtrip-e31d5e9408f3381a.d: tests/snapshot_roundtrip.rs
+
+/root/repo/target/debug/deps/libsnapshot_roundtrip-e31d5e9408f3381a.rmeta: tests/snapshot_roundtrip.rs
+
+tests/snapshot_roundtrip.rs:

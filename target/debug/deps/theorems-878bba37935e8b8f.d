@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorems-878bba37935e8b8f.d: tests/theorems.rs
+
+/root/repo/target/debug/deps/libtheorems-878bba37935e8b8f.rmeta: tests/theorems.rs
+
+tests/theorems.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_roundtrip-0feb8d5e58c42034.d: tests/trace_roundtrip.rs
+
+/root/repo/target/debug/deps/libtrace_roundtrip-0feb8d5e58c42034.rmeta: tests/trace_roundtrip.rs
+
+tests/trace_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/checkpoint_restore-4f5d939f11562155.d: examples/checkpoint_restore.rs
+
+/root/repo/target/debug/examples/libcheckpoint_restore-4f5d939f11562155.rmeta: examples/checkpoint_restore.rs
+
+examples/checkpoint_restore.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_criteria-e9bda6c4bf127900.d: examples/multi_criteria.rs
+
+/root/repo/target/debug/examples/libmulti_criteria-e9bda6c4bf127900.rmeta: examples/multi_criteria.rs
+
+examples/multi_criteria.rs:

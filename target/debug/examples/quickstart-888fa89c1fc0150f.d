@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-888fa89c1fc0150f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-888fa89c1fc0150f.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

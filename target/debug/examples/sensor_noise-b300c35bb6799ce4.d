@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensor_noise-b300c35bb6799ce4.d: examples/sensor_noise.rs
+
+/root/repo/target/debug/examples/libsensor_noise-b300c35bb6799ce4.rmeta: examples/sensor_noise.rs
+
+examples/sensor_noise.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tail_latency-38f9ec6af7d3f3d4.d: examples/tail_latency.rs
+
+/root/repo/target/debug/examples/libtail_latency-38f9ec6af7d3f3d4.rmeta: examples/tail_latency.rs
+
+examples/tail_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-a4bbfa3cb6d255db.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/libtrace_replay-a4bbfa3cb6d255db.rmeta: examples/trace_replay.rs
+
+examples/trace_replay.rs:

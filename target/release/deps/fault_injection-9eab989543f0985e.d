@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_injection-9eab989543f0985e.d: tests/fault_injection.rs
+
+/root/repo/target/release/deps/fault_injection-9eab989543f0985e: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/snapshot_roundtrip-e9348bc2bb828dde.d: tests/snapshot_roundtrip.rs
+
+/root/repo/target/release/deps/snapshot_roundtrip-e9348bc2bb828dde: tests/snapshot_roundtrip.rs
+
+tests/snapshot_roundtrip.rs:
