@@ -4,20 +4,27 @@
 //! cargo run -p qf-bench --release --bin detect -- \
 //!     --trace PATH [--scheme qf|squad|polymer|hist|naive|exact] \
 //!     [--memory BYTES] [--query SQL] [--eps E --delta D --threshold T] \
-//!     [--ground-truth] [--seed S]
+//!     [--ground-truth] [--seed S] [--metrics-out PREFIX] [--no-metrics]
 //! ```
 //!
 //! The criteria come either from the paper's SQL form (`--query "SELECT
 //! key FROM s GROUP BY key HAVING QUANTILE(value_set, 0.95) >= 300 WITH
 //! eps = 30"`) or from the individual flags. With `--ground-truth` the
 //! exact outstanding set is computed too and precision/recall/F1 printed.
+//!
+//! Every run emits telemetry sidecars `<prefix>.metrics.json` and
+//! `<prefix>.metrics.prom` (default prefix `results/detect-<scheme>`;
+//! override with `--metrics-out`, suppress with `--no-metrics`). The
+//! hot-path counters inside are non-zero only when built with
+//! `--features telemetry`; sampled insert-latency quantiles are always
+//! recorded.
 
 use qf_baselines::{
     ExactDetector, HistSketchDetector, NaiveDetector, OutstandingDetector, QfDetector,
     SketchPolymerDetector, SquadDetector,
 };
 use qf_datasets::trace;
-use qf_eval::{ground_truth, run_detector, Accuracy};
+use qf_eval::{ground_truth, run_detector_telemetered, Accuracy, TelemetryConfig};
 use quantile_filter::{parse_query, Criteria};
 
 fn usage() -> ! {
@@ -25,7 +32,8 @@ fn usage() -> ! {
         "usage: detect --trace PATH [--scheme qf|squad|polymer|hist|naive|exact]\n\
          \x20              [--memory BYTES] [--query SQL]\n\
          \x20              [--eps E] [--delta D] [--threshold T]\n\
-         \x20              [--ground-truth] [--seed S]"
+         \x20              [--ground-truth] [--seed S]\n\
+         \x20              [--metrics-out PREFIX] [--no-metrics]"
     );
     std::process::exit(2)
 }
@@ -41,6 +49,8 @@ fn main() {
     let mut threshold: Option<f64> = None;
     let mut want_truth = false;
     let mut seed = 1u64;
+    let mut metrics_out: Option<String> = None;
+    let mut no_metrics = false;
 
     let mut i = 0;
     while i < argv.len() {
@@ -79,6 +89,11 @@ fn main() {
                 seed = val(i).parse().unwrap_or_else(|_| usage());
                 i += 1;
             }
+            "--metrics-out" => {
+                metrics_out = Some(val(i));
+                i += 1;
+            }
+            "--no-metrics" => no_metrics = true,
             _ => usage(),
         }
         i += 1;
@@ -119,7 +134,20 @@ fn main() {
         _ => usage(),
     };
 
-    let result = run_detector(detector.as_mut(), &items);
+    let telemetry = if no_metrics {
+        TelemetryConfig {
+            sidecar_prefix: None,
+            ..TelemetryConfig::default()
+        }
+    } else {
+        let prefix = metrics_out.unwrap_or_else(|| format!("results/detect-{scheme}"));
+        TelemetryConfig::with_sidecar(prefix)
+    };
+    let run = run_detector_telemetered(detector.as_mut(), &items, &telemetry).unwrap_or_else(|e| {
+        eprintln!("failed to write telemetry sidecar: {e}");
+        std::process::exit(1);
+    });
+    let result = run.result;
     println!(
         "reported {} distinct keys ({} report events) in {:.3}s — {:.2} Mops, {} live bytes",
         result.reported.len(),
@@ -128,6 +156,18 @@ fn main() {
         result.mops(),
         result.memory_bytes
     );
+    if let Some(h) = run.metrics.histogram("qf_insert_latency_ns") {
+        println!(
+            "insert latency (sampled, ns): p50={} p95={} p99={} max={}",
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99),
+            h.max
+        );
+    }
+    if let Some((json, prom)) = &run.sidecars {
+        println!("telemetry: {} / {}", json.display(), prom.display());
+    }
 
     if want_truth {
         let truth = ground_truth(&items, &criteria);

@@ -219,6 +219,7 @@ impl CandidatePart {
             .iter_mut()
             .find(|s| s.occupied && s.fp == old_fp)
             .map(|s| {
+                crate::telemetry::eviction();
                 let old = i64::from(s.qw);
                 s.fp = new_fp;
                 s.qw = new_qw.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32;

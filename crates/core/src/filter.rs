@@ -157,6 +157,7 @@ impl<S: WeightSketch> QuantileFilter<S> {
         criteria: &Criteria,
     ) -> Option<Report> {
         if !value.is_finite() {
+            crate::telemetry::dropped_non_finite();
             return None;
         }
         self.insert_finite(key, value, criteria)
@@ -183,6 +184,7 @@ impl<S: WeightSketch> QuantileFilter<S> {
         criteria: &Criteria,
     ) -> Result<Option<Report>, QfError> {
         if !value.is_finite() {
+            crate::telemetry::dropped_non_finite();
             return Err(QfError::NonFiniteValue { value });
         }
         Ok(self.insert_finite(key, value, criteria))
@@ -194,6 +196,7 @@ impl<S: WeightSketch> QuantileFilter<S> {
         value: f64,
         criteria: &Criteria,
     ) -> Option<Report> {
+        crate::telemetry::insert();
         let delta = self.rounder.round(criteria.item_weight(value));
         let bucket = self.candidate.bucket_of(key);
         let fp = self.candidate.fingerprint_of(key);
@@ -201,9 +204,11 @@ impl<S: WeightSketch> QuantileFilter<S> {
         match self.candidate.offer(bucket, fp, delta) {
             CandidateOutcome::Updated { qweight } => {
                 self.stats.candidate_hits += 1;
+                crate::telemetry::candidate_hit();
                 if Self::meets(criteria, qweight) {
                     self.candidate.reset_entry(bucket, fp);
                     self.stats.reports += 1;
+                    crate::telemetry::report_candidate();
                     return Some(Report {
                         source: ReportSource::Candidate,
                         estimated_qweight: qweight,
@@ -213,11 +218,13 @@ impl<S: WeightSketch> QuantileFilter<S> {
             }
             CandidateOutcome::Inserted => {
                 self.stats.candidate_inserts += 1;
+                crate::telemetry::candidate_insert();
                 // A single item can already be outstanding when ε = 0 and
                 // its weight crosses the (then zero-or-negative) threshold.
                 if Self::meets(criteria, delta) {
                     self.candidate.reset_entry(bucket, fp);
                     self.stats.reports += 1;
+                    crate::telemetry::report_candidate();
                     return Some(Report {
                         source: ReportSource::Candidate,
                         estimated_qweight: delta,
@@ -227,6 +234,7 @@ impl<S: WeightSketch> QuantileFilter<S> {
             }
             CandidateOutcome::BucketFull => {
                 self.stats.vague_visits += 1;
+                crate::telemetry::bucket_full();
                 let vk = VagueKey::new(bucket, fp);
                 self.vague.add(vk, delta);
                 let est = self.vague.estimate(vk);
@@ -234,6 +242,7 @@ impl<S: WeightSketch> QuantileFilter<S> {
                     // Report and reset the key's Qweight in the vague part.
                     self.vague.remove_estimate(vk);
                     self.stats.reports += 1;
+                    crate::telemetry::report_vague();
                     return Some(Report {
                         source: ReportSource::Vague,
                         estimated_qweight: est,
@@ -242,6 +251,7 @@ impl<S: WeightSketch> QuantileFilter<S> {
                 // Candidate election (Algorithm 2 lines 14–17).
                 if let Some((min_fp, min_qw)) = self.candidate.min_entry(bucket) {
                     if self.strategy.should_replace(est, min_qw, &mut self.rng) {
+                        crate::telemetry::election();
                         // Evicted entry's Qweight moves into the vague part
                         // under its own composite key...
                         let pulled = self.vague.remove_estimate(vk);
@@ -260,6 +270,7 @@ impl<S: WeightSketch> QuantileFilter<S> {
     /// Query a key's current Qweight: candidate part first, then the vague
     /// estimate (§III-B query operation).
     pub fn query<K: StreamKey + ?Sized>(&self, key: &K) -> i64 {
+        crate::telemetry::query();
         let bucket = self.candidate.bucket_of(key);
         let fp = self.candidate.fingerprint_of(key);
         if let Some(qw) = self.candidate.get(bucket, fp) {
@@ -271,6 +282,7 @@ impl<S: WeightSketch> QuantileFilter<S> {
     /// Delete a key's Qweight (§III-B delete operation; also the first step
     /// of a per-key criteria change, §III-C). Returns the removed Qweight.
     pub fn delete<K: StreamKey + ?Sized>(&mut self, key: &K) -> i64 {
+        crate::telemetry::delete();
         let bucket = self.candidate.bucket_of(key);
         let fp = self.candidate.fingerprint_of(key);
         if let Some(old) = self.candidate.reset_entry(bucket, fp) {

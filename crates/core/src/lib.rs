@@ -68,6 +68,7 @@ pub mod qweight;
 pub mod snapshot;
 pub mod strategy;
 pub mod stream;
+pub(crate) mod telemetry;
 pub mod vague;
 
 pub use algorithm1::QweightSketch;

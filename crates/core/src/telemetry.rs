@@ -1,0 +1,97 @@
+//! Feature-gated telemetry hooks for the filter hot path.
+//!
+//! With the `telemetry` cargo feature **off** (the default), every function
+//! here is an empty `#[inline(always)]` body and each call site compiles to
+//! nothing, so the uninstrumented filter is bit-identical to the pre-telemetry
+//! crate. With the feature **on**, each hook is a single uncontended relaxed
+//! `fetch_add` into the process-wide [`qf_telemetry::global`] registry via
+//! [`GlobalRecorder`](qf_telemetry::GlobalRecorder).
+//!
+//! The hooks mirror the control-flow joints of Algorithm 2:
+//!
+//! * ingest: [`insert`], [`dropped_non_finite`], [`query`], [`delete`];
+//! * candidate part: [`candidate_hit`], [`candidate_insert`],
+//!   [`bucket_full`], [`election`], [`eviction`];
+//! * vague part: [`vague_add`], [`vague_remove`];
+//! * reports: [`report_candidate`], [`report_vague`].
+//!
+//! They intentionally do **not** time anything — a per-item `Instant::now()`
+//! costs more than the insert itself. Latency histograms are recorded by the
+//! eval runner with sampled spans around whole inserts instead.
+
+#[cfg(feature = "telemetry")]
+mod hooks {
+    use qf_telemetry::{CounterId, GlobalRecorder, Recorder};
+
+    macro_rules! count_hooks {
+        ($($(#[$doc:meta])* $name:ident => $id:ident),+ $(,)?) => {
+            $(
+                $(#[$doc])*
+                #[inline(always)]
+                pub fn $name() {
+                    GlobalRecorder.count(CounterId::$id, 1);
+                }
+            )+
+        };
+    }
+
+    count_hooks! {
+        /// An item entered the insert path (finite values only).
+        insert => FilterInserts,
+        /// A non-finite value was rejected at the API boundary.
+        dropped_non_finite => FilterDroppedNonFinite,
+        /// A Qweight point query was served.
+        query => FilterQueries,
+        /// A key's Qweight was deleted (also criteria changes).
+        delete => FilterDeletes,
+        /// An insert matched an existing candidate entry.
+        candidate_hit => CandidateHits,
+        /// An insert created a fresh candidate entry.
+        candidate_insert => CandidateInserts,
+        /// An insert found its bucket full and fell through to the vague part.
+        bucket_full => CandidateBucketFull,
+        /// A candidate election ran and decided to replace the minimum entry.
+        election => CandidateElections,
+        /// A candidate entry was evicted into the vague part.
+        eviction => CandidateEvictions,
+        /// A (key, delta) pair was added to the vague sketch.
+        vague_add => VagueAdds,
+        /// A key's estimate was pulled out of the vague sketch.
+        vague_remove => VagueRemoves,
+        /// A report fired from the candidate part's exact Qweight.
+        report_candidate => FilterReportsCandidate,
+        /// A report fired from the vague part's estimate.
+        report_vague => FilterReportsVague,
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+mod hooks {
+    macro_rules! noop_hooks {
+        ($($name:ident),+ $(,)?) => {
+            $(
+                /// No-op: telemetry is compiled out.
+                #[inline(always)]
+                pub fn $name() {}
+            )+
+        };
+    }
+
+    noop_hooks! {
+        insert,
+        dropped_non_finite,
+        query,
+        delete,
+        candidate_hit,
+        candidate_insert,
+        bucket_full,
+        election,
+        eviction,
+        vague_add,
+        vague_remove,
+        report_candidate,
+        report_vague,
+    }
+}
+
+pub(crate) use hooks::*;

@@ -60,6 +60,7 @@ impl<S: WeightSketch> VaguePart<S> {
     /// Add `delta` under the composite key.
     #[inline(always)]
     pub fn add(&mut self, key: VagueKey, delta: i64) {
+        crate::telemetry::vague_add();
         self.sketch.add(&key, delta);
     }
 
@@ -73,6 +74,7 @@ impl<S: WeightSketch> VaguePart<S> {
     /// the "remove from vague part" half of the candidate exchange.
     #[inline(always)]
     pub fn remove_estimate(&mut self, key: VagueKey) -> i64 {
+        crate::telemetry::vague_remove();
         self.sketch.remove_estimate(&key)
     }
 

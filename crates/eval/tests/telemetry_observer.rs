@@ -1,0 +1,62 @@
+//! Observer-effect guard: instrumentation must never change what the
+//! filter reports.
+//!
+//! The telemetry hooks are required to be pure observers — with the
+//! `telemetry` feature off they compile to nothing, and with it on they
+//! only touch atomic counters, never filter state or RNG streams. A
+//! single binary cannot compile both feature configurations at once, so
+//! the check is a *golden* test: the full report sequence of a fixed
+//! seeded Zipf trace is hashed and compared against a hard-coded
+//! constant. CI runs this same test with the feature off and on; both
+//! builds must reproduce the identical hash, so any hook that perturbs
+//! behaviour (an RNG draw, a reordered branch, a stats side effect)
+//! fails exactly one of the two jobs.
+
+use qf_baselines::{OutstandingDetector, QfDetector};
+use qf_datasets::{zipf_dataset, ZipfConfig};
+use quantile_filter::Criteria;
+
+/// FNV-1a over the (item index, key) pairs of every report event.
+fn report_sequence_hash(
+    detector: &mut dyn OutstandingDetector,
+    items: &[qf_datasets::Item],
+) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fnv = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for (i, it) in items.iter().enumerate() {
+        if detector.insert(it.key, it.value) {
+            fnv(i as u64);
+            fnv(it.key);
+        }
+    }
+    h
+}
+
+#[test]
+fn report_sequence_identical_with_and_without_telemetry() {
+    let cfg = ZipfConfig {
+        items: 120_000,
+        keys: 4_000,
+        alpha: 1.2,
+        seed: 77,
+        ..ZipfConfig::default()
+    };
+    let ds = zipf_dataset(&cfg);
+    let criteria = Criteria::new(30.0, 0.95, ds.threshold).expect("paper-default criteria");
+    let mut det = QfDetector::paper_default(criteria, 128 * 1024, 9);
+    let got = report_sequence_hash(&mut det, &ds.items);
+
+    // Golden value computed from the telemetry-DISABLED build. The
+    // telemetry-enabled build must reproduce it bit-for-bit; if either
+    // build diverges, a hook has mutated filter behaviour.
+    const GOLDEN: u64 = 0x47b7_dc03_60ce_e143;
+    assert_eq!(
+        got, GOLDEN,
+        "report sequence diverged (got {got:#018x}); telemetry hooks must be pure observers"
+    );
+}

@@ -159,7 +159,16 @@ impl<C: SketchCounter> WeightSketch for CountSketch<C> {
         for row in 0..self.rows {
             let (col, sign) = self.family.column_and_sign(row, key);
             let cell = self.cell_mut(row, col);
-            *cell = cell.saturating_add_i64(sign * delta);
+            let w = sign * delta;
+            #[cfg(feature = "telemetry")]
+            let before = cell.to_i64();
+            *cell = cell.saturating_add_i64(w);
+            // A cell that clamped instead of absorbing the full delta is a
+            // saturation event (§III-B's overflow-reversal guard engaging).
+            #[cfg(feature = "telemetry")]
+            if before.checked_add(w) != Some(cell.to_i64()) {
+                crate::telemetry::saturation_event();
+            }
         }
     }
 

@@ -27,6 +27,7 @@ pub mod counter;
 pub mod rounding;
 pub mod snapshot;
 pub mod space_saving;
+pub(crate) mod telemetry;
 pub mod traits;
 
 pub use count_min::CountMinSketch;

@@ -42,7 +42,10 @@ impl StochasticRounder {
         }
         // Draw a uniform in [0,1) from 53 random mantissa bits.
         let u = (self.rng.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0);
-        if u < frac {
+        let up = u < frac;
+        // No-op unless the `telemetry` feature is on; never touches the RNG.
+        crate::telemetry::rounding_event(up, frac);
+        if up {
             base + 1
         } else {
             base

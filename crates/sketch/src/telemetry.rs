@@ -1,0 +1,63 @@
+//! Feature-gated telemetry hooks for sketch-level events.
+//!
+//! With the `telemetry` cargo feature **off** (the default), every
+//! function here is an empty `#[inline(always)]` body and each call site
+//! compiles to nothing — the hot paths are bit-identical to the
+//! uninstrumented crate. With the feature **on**, events are driven into
+//! the process-wide [`qf_telemetry::global`] registry through a
+//! [`GlobalRecorder`](qf_telemetry::GlobalRecorder) (one uncontended
+//! relaxed `fetch_add` per event).
+//!
+//! Two event families originate in this crate:
+//!
+//! * **Counter saturation** — a sketch cell clamped at its numeric bound
+//!   instead of absorbing the full delta (`§III-B`'s overflow-reversal
+//!   guard actually engaging). A rising rate means the configured counter
+//!   width is too narrow for the stream's mass.
+//! * **Stochastic rounding** — every fractional weight rounded by
+//!   [`StochasticRounder`](crate::StochasticRounder), the up-roundings,
+//!   and the cumulative signed drift (in millionths of one Qweight unit)
+//!   between what was added and the true fractional weight. Drift hovering
+//!   near zero is the live confirmation of the rounder's unbiasedness.
+
+#[cfg(feature = "telemetry")]
+mod hooks {
+    use qf_telemetry::{CounterId, GaugeId, GlobalRecorder, Recorder};
+
+    /// A cell clamped at its numeric bound instead of absorbing `delta`.
+    #[inline(always)]
+    pub fn saturation_event() {
+        GlobalRecorder.count(CounterId::SketchSaturations, 1);
+    }
+
+    /// A fractional weight went through the stochastic rounder; `up` says
+    /// whether it rounded to `⌊w⌋ + 1`, and `frac` is `w − ⌊w⌋`.
+    #[inline(always)]
+    pub fn rounding_event(up: bool, frac: f64) {
+        GlobalRecorder.count(CounterId::RoundingFractional, 1);
+        let drift = if up {
+            GlobalRecorder.count(CounterId::RoundingUp, 1);
+            (1.0 - frac) * 1e6
+        } else {
+            -frac * 1e6
+        };
+        GlobalRecorder.gauge_add(GaugeId::RoundingDriftMicros, drift as i64);
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+mod hooks {
+    // The saturation call sites are themselves cfg-gated (the before/after
+    // comparison has no other purpose), so this no-op is never referenced.
+    /// No-op: telemetry is compiled out.
+    #[allow(dead_code)]
+    #[inline(always)]
+    pub fn saturation_event() {}
+
+    /// No-op: telemetry is compiled out.
+    #[inline(always)]
+    pub fn rounding_event(_up: bool, _frac: f64) {}
+}
+
+#[allow(unused_imports)]
+pub(crate) use hooks::{rounding_event, saturation_event};

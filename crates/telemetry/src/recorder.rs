@@ -1,0 +1,197 @@
+//! The [`Recorder`] abstraction: where instrumentation events go.
+//!
+//! Instrumented crates (`quantile-filter`, `qf-sketch`) do not talk to the
+//! registry directly; their feature-gated hooks drive a zero-sized
+//! [`GlobalRecorder`] whose methods compile down to single relaxed atomic
+//! ops on [`global()`](crate::global) registry fields. When the
+//! `telemetry` feature is *off* in those crates the hooks themselves are
+//! compiled out, so the disabled hot path carries no trace of telemetry at
+//! all — [`NullRecorder`] exists for the remaining dynamic case: host
+//! applications that take a `&dyn Recorder` (or a generic `R: Recorder`)
+//! and want to disable recording at runtime without a rebuild. Its
+//! methods are empty `#[inline(always)]` bodies, so a monomorphized
+//! `NullRecorder` call site also compiles to nothing.
+
+use crate::registry::{global, QfMetrics};
+
+/// Identifies a counter in the [`QfMetrics`] registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variants mirror the registry fields 1:1
+pub enum CounterId {
+    FilterInserts,
+    FilterQueries,
+    FilterDeletes,
+    FilterDroppedNonFinite,
+    FilterReportsCandidate,
+    FilterReportsVague,
+    CandidateHits,
+    CandidateInserts,
+    CandidateBucketFull,
+    CandidateElections,
+    CandidateEvictions,
+    VagueAdds,
+    VagueRemoves,
+    SketchSaturations,
+    RoundingFractional,
+    RoundingUp,
+}
+
+/// Identifies a gauge in the [`QfMetrics`] registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum GaugeId {
+    RoundingDriftMicros,
+}
+
+/// Identifies a latency histogram in the [`QfMetrics`] registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum HistogramId {
+    InsertLatencyNs,
+    QueryLatencyNs,
+}
+
+impl QfMetrics {
+    /// Resolve a [`CounterId`] to its field.
+    #[inline(always)]
+    pub fn counter_of(&self, id: CounterId) -> &crate::Counter {
+        match id {
+            CounterId::FilterInserts => &self.filter_inserts,
+            CounterId::FilterQueries => &self.filter_queries,
+            CounterId::FilterDeletes => &self.filter_deletes,
+            CounterId::FilterDroppedNonFinite => &self.filter_dropped_nonfinite,
+            CounterId::FilterReportsCandidate => &self.filter_reports_candidate,
+            CounterId::FilterReportsVague => &self.filter_reports_vague,
+            CounterId::CandidateHits => &self.candidate_hits,
+            CounterId::CandidateInserts => &self.candidate_inserts,
+            CounterId::CandidateBucketFull => &self.candidate_bucket_full,
+            CounterId::CandidateElections => &self.candidate_elections,
+            CounterId::CandidateEvictions => &self.candidate_evictions,
+            CounterId::VagueAdds => &self.vague_adds,
+            CounterId::VagueRemoves => &self.vague_removes,
+            CounterId::SketchSaturations => &self.sketch_saturations,
+            CounterId::RoundingFractional => &self.rounding_fractional,
+            CounterId::RoundingUp => &self.rounding_up,
+        }
+    }
+
+    /// Resolve a [`GaugeId`] to its field.
+    #[inline(always)]
+    pub fn gauge_of(&self, id: GaugeId) -> &crate::Gauge {
+        match id {
+            GaugeId::RoundingDriftMicros => &self.rounding_drift_micros,
+        }
+    }
+
+    /// Resolve a [`HistogramId`] to its field.
+    #[inline(always)]
+    pub fn histogram_of(&self, id: HistogramId) -> &crate::LogHistogram {
+        match id {
+            HistogramId::InsertLatencyNs => &self.insert_latency_ns,
+            HistogramId::QueryLatencyNs => &self.query_latency_ns,
+        }
+    }
+}
+
+/// Sink for instrumentation events.
+pub trait Recorder {
+    /// Count `n` occurrences of an event.
+    fn count(&self, id: CounterId, n: u64);
+    /// Move a gauge by a signed delta.
+    fn gauge_add(&self, id: GaugeId, delta: i64);
+    /// Record one value (e.g. nanoseconds) into a histogram.
+    fn observe(&self, id: HistogramId, value: u64);
+}
+
+/// Records into the process-wide [`global()`] registry. Zero-sized; each
+/// method is a match on a constant id that folds to one atomic op.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalRecorder;
+
+impl Recorder for GlobalRecorder {
+    #[inline(always)]
+    fn count(&self, id: CounterId, n: u64) {
+        global().counter_of(id).add(n);
+    }
+
+    #[inline(always)]
+    fn gauge_add(&self, id: GaugeId, delta: i64) {
+        global().gauge_of(id).add(delta);
+    }
+
+    #[inline(always)]
+    fn observe(&self, id: HistogramId, value: u64) {
+        global().histogram_of(id).record(value);
+    }
+}
+
+/// Discards every event. With monomorphization the empty inline bodies
+/// vanish entirely — the runtime analogue of compiling telemetry out.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    #[inline(always)]
+    fn count(&self, _id: CounterId, _n: u64) {}
+
+    #[inline(always)]
+    fn gauge_add(&self, _id: GaugeId, _delta: i64) {}
+
+    #[inline(always)]
+    fn observe(&self, _id: HistogramId, _value: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_recorder_hits_the_global_registry() {
+        let before = global().candidate_elections.get();
+        GlobalRecorder.count(CounterId::CandidateElections, 3);
+        assert_eq!(global().candidate_elections.get(), before + 3);
+        GlobalRecorder.gauge_add(GaugeId::RoundingDriftMicros, 0);
+        GlobalRecorder.observe(HistogramId::QueryLatencyNs, 1);
+        assert!(global().query_latency_ns.count() >= 1);
+    }
+
+    #[test]
+    fn null_recorder_discards() {
+        let before = global().snapshot();
+        NullRecorder.count(CounterId::FilterInserts, 1_000);
+        NullRecorder.observe(HistogramId::InsertLatencyNs, 5);
+        let after = global().snapshot();
+        assert_eq!(
+            after.counter("qf_filter_inserts_total"),
+            before.counter("qf_filter_inserts_total")
+        );
+    }
+
+    #[test]
+    fn every_counter_id_resolves() {
+        use CounterId::*;
+        let m = QfMetrics::new();
+        for id in [
+            FilterInserts,
+            FilterQueries,
+            FilterDeletes,
+            FilterDroppedNonFinite,
+            FilterReportsCandidate,
+            FilterReportsVague,
+            CandidateHits,
+            CandidateInserts,
+            CandidateBucketFull,
+            CandidateElections,
+            CandidateEvictions,
+            VagueAdds,
+            VagueRemoves,
+            SketchSaturations,
+            RoundingFractional,
+            RoundingUp,
+        ] {
+            m.counter_of(id).incr();
+        }
+        let s = m.snapshot();
+        assert!(s.counters.iter().all(|&(_, v)| v == 1), "{s:?}");
+    }
+}
