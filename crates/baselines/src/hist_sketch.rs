@@ -137,14 +137,19 @@ impl OutstandingDetector for HistSketchDetector {
     fn insert(&mut self, key: u64, value: f64) -> bool {
         let bucket = bucket_of(value);
 
-        if let Some(h) = self.heavy.get_mut(&key) {
+        // The borrow of the heavy entry ends before `check` re-borrows
+        // `self`, so the histogram is copied out first.
+        let updated: Option<[u64; BUCKETS]> = self.heavy.get_mut(&key).map(|h| {
             h.counts[bucket] += 1;
             h.total += 1;
-            let hist: [u64; BUCKETS] = std::array::from_fn(|b| u64::from(h.counts[b]));
+            std::array::from_fn(|b| u64::from(h.counts[b]))
+        });
+        if let Some(hist) = updated {
             if self.check(&hist) {
-                let h = self.heavy.get_mut(&key).expect("present");
-                h.counts = [0; BUCKETS];
-                h.total = 0;
+                if let Some(h) = self.heavy.get_mut(&key) {
+                    h.counts = [0; BUCKETS];
+                    h.total = 0;
+                }
                 return true;
             }
             return false;

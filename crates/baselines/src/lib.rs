@@ -23,6 +23,8 @@
 //! from the published descriptions, not line-by-line ports; DESIGN.md §4
 //! records the correspondence argument.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod exact;
 pub mod hist_sketch;
 pub mod naive;

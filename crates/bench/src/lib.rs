@@ -1,1 +1,3 @@
 //! (under construction)
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]

@@ -310,6 +310,59 @@ impl CandidatePart {
     }
 }
 
+impl qf_sketch::invariants::CheckInvariants for CandidatePart {
+    fn check_invariants(&self) -> Result<(), qf_sketch::invariants::InvariantViolation> {
+        use qf_sketch::invariants::InvariantViolation as V;
+        const S: &str = "CandidatePart";
+        if self.buckets == 0 || self.bucket_len == 0 {
+            return Err(V::new(S, "dimensions must be positive"));
+        }
+        if self.slots.len() != self.buckets * self.bucket_len {
+            return Err(V::new(
+                S,
+                format!(
+                    "{} slots for {}x{} dims",
+                    self.slots.len(),
+                    self.buckets,
+                    self.bucket_len
+                ),
+            ));
+        }
+        if self.bucket_hash.range() != self.buckets {
+            return Err(V::new(
+                S,
+                format!(
+                    "bucket hash maps to {} buckets, array has {}",
+                    self.bucket_hash.range(),
+                    self.buckets
+                ),
+            ));
+        }
+        for (b, bucket) in self.slots.chunks(self.bucket_len).enumerate() {
+            let mut seen = [false; u16::MAX as usize + 1];
+            for slot in bucket {
+                if slot.occupied {
+                    // offer() never duplicates a fingerprint and replace()
+                    // only installs challengers absent from the bucket, so
+                    // a duplicate means an update went to the wrong entry.
+                    if seen[usize::from(slot.fp)] {
+                        return Err(V::new(
+                            S,
+                            format!("bucket {b} holds fingerprint {:#06x} twice", slot.fp),
+                        ));
+                    }
+                    seen[usize::from(slot.fp)] = true;
+                } else if slot.fp != 0 || slot.qw != 0 {
+                    // Free slots are always fully zeroed (Slot::default());
+                    // residue means a remove/clear path missed a field.
+                    return Err(V::new(S, format!("free slot in bucket {b} has residue")));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

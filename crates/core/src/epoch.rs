@@ -190,6 +190,10 @@ impl<C: SketchCounter, P: ResizePolicy> EpochFilter<C, P> {
     }
 
     /// Force an epoch rollover now (reset + optional resize).
+    ///
+    /// # Panics
+    /// With the `strict-invariants` feature enabled, panics if the
+    /// post-rollover structure fails its invariant audit.
     pub fn rollover(&mut self) {
         let stats = EpochStats {
             items: self.items_this_epoch,
@@ -216,6 +220,15 @@ impl<C: SketchCounter, P: ResizePolicy> EpochFilter<C, P> {
         }
         self.items_this_epoch = 0;
         self.epochs_completed += 1;
+        // The rollover either resets or rebuilds the whole structure —
+        // audit the fresh filter before the next epoch streams into it.
+        #[cfg(feature = "strict-invariants")]
+        {
+            use qf_sketch::invariants::CheckInvariants;
+            if let Err(e) = self.check_invariants() {
+                panic!("strict-invariants after rollover: {e}");
+            }
+        }
     }
 
     /// Snapshot accessors (the epoch manager's own counters).
@@ -265,6 +278,45 @@ impl<C: SketchCounter, P: ResizePolicy> EpochFilter<C, P> {
             epochs_completed,
             policy,
         }
+    }
+}
+
+impl<C: SketchCounter, P: ResizePolicy> qf_sketch::invariants::CheckInvariants
+    for EpochFilter<C, P>
+{
+    /// Audit the epoch counters (progress never exceeds the epoch length,
+    /// the length is positive, the recorded budget matches the live
+    /// structure's scale) and the wrapped filter.
+    fn check_invariants(&self) -> Result<(), qf_sketch::invariants::InvariantViolation> {
+        use qf_sketch::invariants::InvariantViolation as V;
+        const S: &str = "EpochFilter";
+        if self.epoch_len == 0 {
+            return Err(V::new(S, "epoch length is zero"));
+        }
+        if self.items_this_epoch > self.epoch_len {
+            return Err(V::new(
+                S,
+                format!(
+                    "epoch progress {} exceeds epoch length {}",
+                    self.items_this_epoch, self.epoch_len
+                ),
+            ));
+        }
+        // The builder rounds tiny budgets up to minimum dimensions, so the
+        // floor keeps degenerate configs out of the comparison. A live
+        // structure more than twice the recorded budget beyond that means
+        // a resize lost track.
+        if self.filter.memory_bytes() > self.memory_bytes.max(1024) * 2 {
+            return Err(V::new(
+                S,
+                format!(
+                    "live filter uses {} bytes against a {}-byte budget",
+                    self.filter.memory_bytes(),
+                    self.memory_bytes
+                ),
+            ));
+        }
+        self.filter.check_invariants()
     }
 }
 

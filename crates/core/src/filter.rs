@@ -260,6 +260,10 @@ impl<S: WeightSketch> QuantileFilter<S> {
                         // with the mass just pulled out of the sketch.
                         self.candidate.replace(bucket, min_fp, fp, pulled);
                         self.stats.exchanges += 1;
+                        // The exchange is the one mutation that rewrites an
+                        // entry in place — the natural audit point.
+                        #[cfg(feature = "strict-invariants")]
+                        self.assert_candidate_invariants();
                     }
                 }
                 None
@@ -316,6 +320,20 @@ impl<S: WeightSketch> QuantileFilter<S> {
         self.rng.state()
     }
 
+    /// Abort on any candidate-part invariant violation. Compiled only
+    /// under the `strict-invariants` feature; called from the mutation
+    /// sites that rewrite entries in place.
+    ///
+    /// # Panics
+    /// Panics if the candidate part fails [`CheckInvariants`].
+    #[cfg(feature = "strict-invariants")]
+    fn assert_candidate_invariants(&self) {
+        use qf_sketch::invariants::CheckInvariants;
+        if let Err(e) = self.candidate.check_invariants() {
+            panic!("strict-invariants: {e}");
+        }
+    }
+
     /// Reassemble a filter from fully-restored components, including the
     /// two RNG states and the running statistics.
     pub(crate) fn from_restored(
@@ -336,6 +354,32 @@ impl<S: WeightSketch> QuantileFilter<S> {
             rng: SplitMix64::from_state(rng_state),
             stats,
         }
+    }
+}
+
+impl<S> qf_sketch::invariants::CheckInvariants for QuantileFilter<S>
+where
+    S: WeightSketch + qf_sketch::invariants::CheckInvariants,
+{
+    /// Audit the whole filter: candidate part, vague sketch, and the
+    /// cross-structure relationship between slot occupancy and the running
+    /// statistics (occupied entries are only ever created by the
+    /// `Inserted` path, so occupancy can never exceed `candidate_inserts`).
+    fn check_invariants(&self) -> Result<(), qf_sketch::invariants::InvariantViolation> {
+        use qf_sketch::invariants::InvariantViolation as V;
+        self.candidate.check_invariants()?;
+        self.vague.inner().check_invariants()?;
+        let occupancy = self.candidate.occupancy() as u64;
+        if occupancy > self.stats.candidate_inserts {
+            return Err(V::new(
+                "QuantileFilter",
+                format!(
+                    "{} occupied entries but only {} recorded inserts",
+                    occupancy, self.stats.candidate_inserts
+                ),
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,108 @@
+//! The invariant machine: executable structural invariants across the
+//! QuantileFilter stack.
+//!
+//! Every structure in the stack implements
+//! [`CheckInvariants`](qf_sketch::invariants::CheckInvariants) — re-exported
+//! here — which audits the relationships that must hold at all times:
+//!
+//! | structure | invariants |
+//! |---|---|
+//! | [`CandidatePart`](crate::candidate::CandidatePart) | slot-vector length = `m × b`; bucket hash range = `m`; free slots fully zeroed; occupied fingerprints unique per bucket |
+//! | [`CountSketch`](qf_sketch::CountSketch) / [`CountMinSketch`](qf_sketch::CountMinSketch) | cell grid = `d × w`; hash-family arity and range match the grid; `d ≤ MAX_DEPTH` (CS) |
+//! | [`QuantileFilter`](crate::QuantileFilter) | both parts; occupancy ≤ recorded candidate inserts |
+//! | [`EpochFilter`](crate::epoch::EpochFilter) | epoch progress ≤ epoch length; live memory tracks the recorded budget; inner filter |
+//! | [`MultiCriteriaFilter`](crate::MultiCriteriaFilter) | non-empty criteria list; inner filter |
+//!
+//! ## When the checks run
+//!
+//! * **On demand** — `check_invariants()` is always compiled; call it after
+//!   restores, between replay segments, or from a harness. It returns the
+//!   violation as data and never panics.
+//! * **`strict-invariants` feature** — mutation hot spots (the
+//!   candidate⇄vague exchange, the epoch rollover) re-audit themselves
+//!   after every mutation and panic on violation. The checks are linear in
+//!   the structure size, so this mode is for test/CI builds, not
+//!   production streams.
+//!
+//! The differential-oracle integration test (`tests/differential_oracle.rs`)
+//! replays traces against an exact per-key Qweight model and interleaves
+//! `check_invariants()` calls, so any drift between the optimized structure
+//! and the paper's math surfaces as a violation with a named structure and
+//! relationship rather than a wrong report somewhere downstream.
+
+pub use qf_sketch::invariants::{CheckInvariants, InvariantViolation};
+
+#[cfg(test)]
+mod tests {
+    use super::CheckInvariants;
+    use crate::builder::QuantileFilterBuilder;
+    use crate::criteria::Criteria;
+    use crate::epoch::{EpochFilter, FixedSize};
+    use crate::multi::MultiCriteriaFilter;
+    use qf_sketch::CountSketch;
+
+    fn criteria() -> Criteria {
+        match Criteria::new(5.0, 0.9, 100.0) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    fn filter() -> crate::QuantileFilter<CountSketch<i8>> {
+        QuantileFilterBuilder::new(criteria())
+            .candidate_buckets(64)
+            .vague_dims(3, 512)
+            .seed(11)
+            .build()
+    }
+
+    #[test]
+    fn fresh_filter_passes() {
+        let qf = filter();
+        assert!(qf.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn filter_passes_after_mixed_workload() {
+        let mut qf = filter();
+        for i in 0..20_000u64 {
+            let key = i % 97;
+            let value = if key % 7 == 0 { 400.0 } else { 20.0 };
+            let _ = qf.insert(&key, value);
+            if i % 31 == 0 {
+                qf.delete(&(key / 2));
+            }
+        }
+        if let Err(v) = qf.check_invariants() {
+            panic!("violation after workload: {v}");
+        }
+    }
+
+    #[test]
+    fn epoch_filter_passes_across_rollovers() {
+        let mut ef: EpochFilter = EpochFilter::new(criteria(), 16 * 1024, 1_000, 5, FixedSize);
+        for i in 0..5_500u64 {
+            let _ = ef.insert(&(i % 50), if i % 9 == 0 { 300.0 } else { 10.0 });
+        }
+        if let Err(v) = ef.check_invariants() {
+            panic!("violation across rollovers: {v}");
+        }
+    }
+
+    #[test]
+    fn multi_criteria_filter_passes() {
+        let mut m = MultiCriteriaFilter::new(filter(), vec![criteria(), Criteria::default()]);
+        for i in 0..5_000u64 {
+            let _ = m.insert(&(i % 40), if i % 5 == 0 { 500.0 } else { 30.0 });
+        }
+        assert!(m.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn violation_reports_structure_and_detail() {
+        let v = super::InvariantViolation::new("CandidatePart", "slot vector length 3 != 4");
+        let msg = v.to_string();
+        assert!(msg.contains("CandidatePart"), "{msg}");
+        assert!(msg.contains("slot vector length"), "{msg}");
+    }
+}

@@ -61,6 +61,7 @@ pub mod criteria;
 pub mod epoch;
 pub mod error;
 pub mod filter;
+pub mod invariants;
 pub mod multi;
 pub mod naive;
 pub mod query;
@@ -77,6 +78,7 @@ pub use criteria::Criteria;
 pub use epoch::EpochFilter;
 pub use error::{BuilderError, QfError};
 pub use filter::{QuantileFilter, Report, ReportSource};
+pub use invariants::{CheckInvariants, InvariantViolation};
 pub use multi::MultiCriteriaFilter;
 pub use naive::NaiveDualCsketch;
 pub use query::parse_query;

@@ -93,6 +93,21 @@ impl<S: WeightSketch> MultiCriteriaFilter<S> {
     }
 }
 
+impl<S> qf_sketch::invariants::CheckInvariants for MultiCriteriaFilter<S>
+where
+    S: WeightSketch + qf_sketch::invariants::CheckInvariants,
+{
+    /// Audit the criteria list (never empty — enforced at construction)
+    /// and the wrapped filter.
+    fn check_invariants(&self) -> Result<(), qf_sketch::invariants::InvariantViolation> {
+        use qf_sketch::invariants::InvariantViolation as V;
+        if self.criteria.is_empty() {
+            return Err(V::new("MultiCriteriaFilter", "criteria list is empty"));
+        }
+        self.filter.check_invariants()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

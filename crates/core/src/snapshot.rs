@@ -8,17 +8,19 @@
 //! so a restored filter emits a byte-identical report sequence from the
 //! resume point.
 //!
-//! ## Wire format (version 1)
+//! ## Wire format (version 2)
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     magic "QFSN"
-//! 4       4     format version (u32 LE) — currently 1
-//! 8       8     config digest (u64 LE): xxh64(config bytes, DIGEST_SEED)
-//! 16      1     container tag: 1 = QuantileFilter, 2 = EpochFilter,
+//! 4       4     format version (u32 LE) — currently 2
+//! 8       4     total length (u32 LE): size of the whole envelope,
+//!               checksum included — makes the snapshot self-delimiting
+//! 12      8     config digest (u64 LE): xxh64(config bytes, DIGEST_SEED)
+//! 20      1     container tag: 1 = QuantileFilter, 2 = EpochFilter,
 //!               3 = MultiCriteriaFilter
-//! 17      4     config length (u32 LE)
-//! 21      …     config bytes   (structural parameters; covered by digest)
+//! 21      4     config length (u32 LE)
+//! 25      …     config bytes   (structural parameters; covered by digest)
 //! …       …     state bytes    (slots, counters, RNG states, stats)
 //! end−8   8     checksum (u64 LE): xxh64 over ALL preceding bytes
 //! ```
@@ -31,6 +33,12 @@
 //! additionally binds the structural parameters, giving a targeted
 //! "config digest mismatch" diagnostic when only the geometry was damaged.
 //!
+//! Version 2 added the total-length field: the envelope declares its own
+//! size, so a buffer carrying extra bytes after the checksum is rejected
+//! with a targeted "trailing garbage" diagnostic instead of the trailing
+//! bytes being silently folded into the checksum comparison. Embedders
+//! that frame snapshots inside larger files get an exact byte count.
+//!
 //! ## Version policy
 //!
 //! The version is bumped whenever the byte layout changes incompatibly.
@@ -38,10 +46,11 @@
 //! than guessing — restore-time migration belongs to the embedder, which
 //! knows where old checkpoints live.
 //!
-//! Decode order: length/magic → version → whole-file checksum → container
-//! tag → config bounds → config digest → field parsing. Every failure is a
-//! typed [`QfError`]; no input, however adversarial, panics or allocates
-//! unbounded memory (dimension fields are capped before any allocation).
+//! Decode order: length/magic → version → declared-length bounds →
+//! whole-file checksum → container tag → config bounds → config digest →
+//! field parsing. Every failure is a typed [`QfError`]; no input, however
+//! adversarial, panics or allocates unbounded memory (dimension fields
+//! are capped before any allocation).
 
 use crate::candidate::CandidatePart;
 use crate::criteria::Criteria;
@@ -59,7 +68,10 @@ use qf_sketch::{SketchCounter, WeightSketch};
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"QFSN";
 
 /// The format version this build writes and the only one it reads.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// History: 1 = initial envelope; 2 = added the total-length field at
+/// offset 8 (self-delimiting envelope, trailing-garbage detection).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Container tag for a bare [`QuantileFilter`].
 pub const TAG_FILTER: u8 = 1;
@@ -78,9 +90,10 @@ const CHECKSUM_SEED: u64 = 0x5EED_C4EC_5A11_D00D;
 /// a corrupted count field must not drive a huge allocation.
 const MAX_SNAPSHOT_CRITERIA: u32 = 1 << 20;
 
-// Header = magic(4) + version(4) + digest(8) + tag(1) + config_len(4);
-// the envelope additionally carries the trailing 8-byte checksum.
-const HEADER_BYTES: usize = 21;
+// Header = magic(4) + version(4) + total_len(4) + digest(8) + tag(1) +
+// config_len(4); the envelope additionally carries the trailing 8-byte
+// checksum.
+const HEADER_BYTES: usize = 25;
 const MIN_SNAPSHOT_BYTES: usize = HEADER_BYTES + 8;
 
 fn corrupt(reason: &str) -> QfError {
@@ -94,6 +107,8 @@ fn seal(tag: u8, config: &[u8], state: &[u8]) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_bytes(&SNAPSHOT_MAGIC);
     w.put_u32(SNAPSHOT_VERSION);
+    let total = HEADER_BYTES + config.len() + state.len() + 8;
+    w.put_u32(total as u32);
     w.put_u64(xxh64(config, DIGEST_SEED));
     w.put_u8(tag);
     w.put_u32(config.len() as u32);
@@ -113,9 +128,10 @@ fn open(bytes: &[u8], want_tag: u8) -> Result<(&[u8], &[u8]), QfError> {
         return Err(corrupt("bad magic (not a QuantileFilter snapshot)"));
     }
     let mut header = ByteReader::new(&bytes[4..HEADER_BYTES]);
-    let (version, digest, tag, config_len) = (|| -> Result<_, qf_hash::WireError> {
+    let (version, total_len, digest, tag, config_len) = (|| -> Result<_, qf_hash::WireError> {
         Ok((
             header.get_u32()?,
+            header.get_u32()? as usize,
             header.get_u64()?,
             header.get_u8()?,
             header.get_u32()? as usize,
@@ -128,7 +144,19 @@ fn open(bytes: &[u8], want_tag: u8) -> Result<(&[u8], &[u8]), QfError> {
             supported: SNAPSHOT_VERSION,
         });
     }
-    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    // The envelope is self-delimiting (version 2): the declared length
+    // must match the buffer exactly, so both truncation and trailing
+    // garbage get targeted diagnostics before any checksum math.
+    if total_len < MIN_SNAPSHOT_BYTES {
+        return Err(corrupt("declared length shorter than minimal envelope"));
+    }
+    if bytes.len() < total_len {
+        return Err(corrupt("snapshot truncated (shorter than declared length)"));
+    }
+    if bytes.len() > total_len {
+        return Err(corrupt("trailing garbage after snapshot envelope"));
+    }
+    let (body, trailer) = bytes.split_at(total_len - 8);
     let stored = u64::from_le_bytes(trailer.try_into().unwrap_or([0; 8]));
     if xxh64(body, CHECKSUM_SEED) != stored {
         return Err(corrupt("checksum mismatch"));
@@ -563,6 +591,85 @@ mod tests {
         let bytes = seal(TAG_FILTER, config.as_slice(), &[]);
         let err = QuantileFilter::<CountSketch<i8>>::restore(&bytes).unwrap_err();
         assert!(matches!(err, QfError::CorruptSnapshot { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected_for_every_container() {
+        let qf = warm_filter();
+        let ef: EpochFilter = EpochFilter::new(crit(), 8 * 1024, 300, 3, FixedSize);
+        let m = MultiCriteriaFilter::new(
+            QuantileFilterBuilder::new(Criteria::default())
+                .candidate_buckets(8)
+                .vague_dims(2, 64)
+                .seed(1)
+                .build(),
+            vec![crit()],
+        );
+        type RestoreErr = fn(&[u8]) -> Option<QfError>;
+        let cases: [(&str, Vec<u8>, RestoreErr); 3] = [
+            ("filter", qf.snapshot(), |b| {
+                QuantileFilter::<CountSketch<i8>>::restore(b).err()
+            }),
+            ("epoch", ef.snapshot(), |b| {
+                EpochFilter::<i8, FixedSize>::restore(b, FixedSize).err()
+            }),
+            ("multi", m.snapshot(), |b| {
+                MultiCriteriaFilter::<CountSketch<i8>>::restore(b).err()
+            }),
+        ];
+        for (name, bytes, restore) in cases {
+            for extra in [1usize, 8, 1024] {
+                let mut dam = bytes.clone();
+                dam.extend(std::iter::repeat_n(0xAB, extra));
+                let err = restore(&dam)
+                    .unwrap_or_else(|| panic!("{name} snapshot +{extra} bytes accepted"));
+                assert!(
+                    matches!(
+                        &err,
+                        QfError::CorruptSnapshot { reason } if reason.contains("trailing garbage")
+                    ),
+                    "{name} +{extra}: wrong diagnostic {err:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected_even_with_resealed_checksum() {
+        // An adversary appends garbage and re-computes the trailing
+        // checksum over the extended buffer: the declared total length
+        // still gives them away.
+        let bytes = warm_filter().snapshot();
+        let mut dam = bytes[..bytes.len() - 8].to_vec();
+        dam.extend_from_slice(&[0xCD; 16]);
+        let checksum = xxh64(&dam, CHECKSUM_SEED);
+        dam.extend_from_slice(&checksum.to_le_bytes());
+        let err = QuantileFilter::<CountSketch<i8>>::restore(&dam).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                QfError::CorruptSnapshot { reason } if reason.contains("trailing garbage")
+            ),
+            "resealed garbage got a different diagnostic: {err:?}"
+        );
+    }
+
+    #[test]
+    fn declared_length_skew_rejected() {
+        let bytes = warm_filter().snapshot();
+        // Understate the length: the buffer now looks like it carries
+        // trailing garbage.
+        let mut dam = bytes.clone();
+        dam[8..12].copy_from_slice(&((bytes.len() as u32) - 1).to_le_bytes());
+        assert!(QuantileFilter::<CountSketch<i8>>::restore(&dam).is_err());
+        // Overstate it: truncation.
+        let mut dam = bytes.clone();
+        dam[8..12].copy_from_slice(&((bytes.len() as u32) + 1).to_le_bytes());
+        assert!(QuantileFilter::<CountSketch<i8>>::restore(&dam).is_err());
+        // Understate below the minimal envelope.
+        let mut dam = bytes;
+        dam[8..12].copy_from_slice(&4u32.to_le_bytes());
+        assert!(QuantileFilter::<CountSketch<i8>>::restore(&dam).is_err());
     }
 
     #[test]

@@ -63,7 +63,7 @@ where
     let threads = threads.max(1);
     let chunk = n.div_ceil(threads);
     let mut outputs: Vec<Vec<Item>> = Vec::with_capacity(threads);
-    crossbeam::scope(|scope| {
+    let scope_result = crossbeam::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let start = t * chunk;
@@ -75,10 +75,16 @@ where
             handles.push(scope.spawn(move |_| f(t, start, len)));
         }
         for h in handles {
-            outputs.push(h.join().expect("generator thread panicked"));
+            match h.join() {
+                Ok(out) => outputs.push(out),
+                // Re-raise a generator thread's panic on the caller.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
-    })
-    .expect("crossbeam scope failed");
+    });
+    if let Err(payload) = scope_result {
+        std::panic::resume_unwind(payload);
+    }
     let mut items = Vec::with_capacity(n);
     for o in outputs {
         items.extend_from_slice(&o);

@@ -21,6 +21,8 @@
 //! crossbeam across chunks, and traces round-trip through a compact binary
 //! format ([`trace`]).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod config;
 pub mod generators;
 pub mod trace;

@@ -39,6 +39,12 @@ pub enum TraceError {
     BadHeader,
     /// The byte stream ended before the declared item count.
     Truncated,
+    /// Bytes remained after the declared item count was consumed — the
+    /// buffer is not (only) a trace.
+    TrailingGarbage {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
     /// Underlying IO failure.
     Io(io::Error),
 }
@@ -48,6 +54,9 @@ impl std::fmt::Display for TraceError {
         match self {
             Self::BadHeader => write!(f, "bad trace header"),
             Self::Truncated => write!(f, "trace truncated"),
+            Self::TrailingGarbage { extra } => {
+                write!(f, "trace has {extra} trailing garbage bytes")
+            }
             Self::Io(e) => write!(f, "trace io error: {e}"),
         }
     }
@@ -73,8 +82,16 @@ pub fn decode(mut data: Bytes) -> Result<(Vec<Item>, f64), TraceError> {
     }
     let count = data.get_u64_le() as usize;
     let threshold = data.get_f64_le();
-    if data.remaining() < count * 16 {
+    // A corrupt count near usize::MAX must not wrap the byte total and
+    // sneak past the length check.
+    let payload = count.checked_mul(16).ok_or(TraceError::Truncated)?;
+    if data.remaining() < payload {
         return Err(TraceError::Truncated);
+    }
+    if data.remaining() > payload {
+        return Err(TraceError::TrailingGarbage {
+            extra: data.remaining() - payload,
+        });
     }
     let mut items = Vec::with_capacity(count);
     for _ in 0..count {
@@ -165,6 +182,36 @@ mod tests {
         let raw = encode(&sample_items(), 1.0);
         let cut = raw.slice(0..raw.len() - 8);
         assert!(matches!(decode(cut), Err(TraceError::Truncated)));
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        // Regression: the decoder used to accept (and silently drop)
+        // surplus bytes after the declared item count.
+        let mut raw = encode(&sample_items(), 1.0).to_vec();
+        raw.extend_from_slice(&[0xEE; 24]);
+        assert!(matches!(
+            decode(Bytes::from(raw)),
+            Err(TraceError::TrailingGarbage { extra: 24 })
+        ));
+        // Even one extra byte counts.
+        let mut raw1 = encode(&[], 0.0).to_vec();
+        raw1.push(0);
+        assert!(matches!(
+            decode(Bytes::from(raw1)),
+            Err(TraceError::TrailingGarbage { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn huge_count_does_not_wrap_length_check() {
+        let mut raw = encode(&[], 0.0).to_vec();
+        // Overwrite the count field (offset 8) with u64::MAX.
+        raw[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            decode(Bytes::from(raw)),
+            Err(TraceError::Truncated)
+        ));
     }
 
     #[test]

@@ -64,7 +64,7 @@ impl<D: OutstandingDetector + Send> ShardedDetector<D> {
     {
         let threads = threads.max(1).min(self.shards.len());
         let mut all = HashSet::new();
-        crossbeam::scope(|scope| {
+        let scope_result = crossbeam::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..threads {
                 let this = &*self;
@@ -82,10 +82,16 @@ impl<D: OutstandingDetector + Send> ShardedDetector<D> {
                 }));
             }
             for h in handles {
-                all.extend(h.join().expect("shard worker panicked"));
+                match h.join() {
+                    Ok(reported) => all.extend(reported),
+                    // Re-raise a shard worker's panic on the caller.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
-        })
-        .expect("crossbeam scope");
+        });
+        if let Err(payload) = scope_result {
+            std::panic::resume_unwind(payload);
+        }
         all
     }
 }

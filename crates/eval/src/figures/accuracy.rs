@@ -98,7 +98,7 @@ pub fn fig6(scale: Scale) -> FigureOutput {
     );
     for (dataset, thresholds) in [(&internet, internet_ts), (&cloud, cloud_ts)] {
         for &t in thresholds {
-            let criteria = Criteria::new(30.0, 0.95, t).expect("valid criteria");
+            let criteria = super::expect_criteria(Criteria::new(30.0, 0.95, t));
             let truth = ground_truth(&dataset.items, &criteria);
             for memory in memories {
                 let mut det = QfDetector::paper_default(criteria, memory, SEED);
@@ -133,7 +133,7 @@ pub fn fig7(scale: Scale) -> FigureOutput {
         &["delta", "scheme", "precision", "recall", "f1"],
     );
     for &delta in deltas {
-        let criteria = Criteria::new(30.0, delta, dataset.threshold).expect("valid criteria");
+        let criteria = super::expect_criteria(Criteria::new(30.0, delta, dataset.threshold));
         let truth = ground_truth(&dataset.items, &criteria);
         for mut det in all_detectors(criteria, memory, SEED) {
             let name = det.name();

@@ -148,14 +148,19 @@ fn dynamic_figure(
 /// Fig. 13: modifying ε ("making ε larger increases accuracy … unmodified
 /// keys largely unaffected").
 pub fn fig13(scale: Scale) -> FigureOutput {
-    let base = Criteria::new(30.0, 0.95, 300.0).expect("valid");
+    let base = super::expect_criteria(Criteria::new(30.0, 0.95, 300.0));
     let eps: &[f64] = match scale {
         Scale::Tiny => &[10.0, 60.0],
         _ => &[5.0, 10.0, 30.0, 60.0, 120.0],
     };
     let variants = eps
         .iter()
-        .map(|&e| (format!("eps={e}"), base.with_epsilon(e).expect("valid")))
+        .map(|&e| {
+            (
+                format!("eps={e}"),
+                super::expect_criteria(base.with_epsilon(e)),
+            )
+        })
         .collect();
     dynamic_figure(
         "fig13",
@@ -167,14 +172,19 @@ pub fn fig13(scale: Scale) -> FigureOutput {
 
 /// Fig. 14: modifying δ ("the smaller the δ, the greater the error").
 pub fn fig14(scale: Scale) -> FigureOutput {
-    let base = Criteria::new(30.0, 0.95, 300.0).expect("valid");
+    let base = super::expect_criteria(Criteria::new(30.0, 0.95, 300.0));
     let deltas: &[f64] = match scale {
         Scale::Tiny => &[0.9, 0.99],
         _ => &[0.5, 0.75, 0.9, 0.95, 0.99],
     };
     let variants = deltas
         .iter()
-        .map(|&d| (format!("delta={d}"), base.with_delta(d).expect("valid")))
+        .map(|&d| {
+            (
+                format!("delta={d}"),
+                super::expect_criteria(base.with_delta(d)),
+            )
+        })
         .collect();
     dynamic_figure(
         "fig14",
@@ -187,14 +197,19 @@ pub fn fig14(scale: Scale) -> FigureOutput {
 /// Fig. 15: modifying T ("the smaller T is … increasing the error for
 /// unmodified keys").
 pub fn fig15(scale: Scale) -> FigureOutput {
-    let base = Criteria::new(30.0, 0.95, 300.0).expect("valid");
+    let base = super::expect_criteria(Criteria::new(30.0, 0.95, 300.0));
     let thresholds: &[f64] = match scale {
         Scale::Tiny => &[100.0, 500.0],
         _ => &[50.0, 100.0, 300.0, 500.0, 1000.0],
     };
     let variants = thresholds
         .iter()
-        .map(|&t| (format!("T={t}"), base.with_threshold(t).expect("valid")))
+        .map(|&t| {
+            (
+                format!("T={t}"),
+                super::expect_criteria(base.with_threshold(t)),
+            )
+        })
         .collect();
     dynamic_figure(
         "fig15",

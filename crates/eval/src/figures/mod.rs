@@ -142,11 +142,24 @@ impl std::fmt::Display for FigureOutput {
     }
 }
 
+/// Unwrap a criteria construction whose parameters come from a static
+/// figure config — an invalid result is a programming error in the figure
+/// definition, never a data-dependent condition.
+///
+/// # Panics
+/// Panics if the construction failed.
+pub(crate) fn expect_criteria<E: std::fmt::Display>(result: Result<Criteria, E>) -> Criteria {
+    match result {
+        Ok(c) => c,
+        Err(e) => panic!("figure config produced invalid criteria: {e}"),
+    }
+}
+
 /// The default experiment criteria of §V-A: ε = 30, δ = 95%, with `T`
 /// taken from the dataset ("adjusted to ensure the proportion of abnormal
 /// items is around 5%").
 pub fn paper_criteria(dataset: &Dataset) -> Criteria {
-    Criteria::new(30.0, 0.95, dataset.threshold).expect("paper criteria valid")
+    expect_criteria(Criteria::new(30.0, 0.95, dataset.threshold))
 }
 
 /// Construct the full comparator set at a memory budget.

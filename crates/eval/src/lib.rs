@@ -14,6 +14,8 @@
 //! returns a [`figures::FigureOutput`] table whose rows regenerate the
 //! corresponding plot's series.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod concurrent;
 pub mod figures;
 pub mod metrics;

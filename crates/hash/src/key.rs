@@ -132,10 +132,10 @@ impl FiveTuple {
     #[inline]
     pub fn from_bytes(bytes: &[u8; 13]) -> Self {
         Self {
-            src_ip: u32::from_be_bytes(bytes[0..4].try_into().unwrap()),
-            dst_ip: u32::from_be_bytes(bytes[4..8].try_into().unwrap()),
-            src_port: u16::from_be_bytes(bytes[8..10].try_into().unwrap()),
-            dst_port: u16::from_be_bytes(bytes[10..12].try_into().unwrap()),
+            src_ip: u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]),
+            dst_ip: u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+            src_port: u16::from_be_bytes([bytes[8], bytes[9]]),
+            dst_port: u16::from_be_bytes([bytes[10], bytes[11]]),
             protocol: bytes[12],
         }
     }

@@ -9,6 +9,12 @@ const C1: u64 = 0x87C3_7B91_1142_53D5;
 const C2: u64 = 0x4CF5_AD43_2745_937F;
 
 #[inline(always)]
+fn read_u64_le(bytes: &[u8], at: usize) -> u64 {
+    let b = &bytes[at..at + 8];
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+#[inline(always)]
 fn fmix64(mut k: u64) -> u64 {
     k ^= k >> 33;
     k = k.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
@@ -26,8 +32,8 @@ pub fn murmur3_x64_128(data: &[u8], seed: u64) -> (u64, u64) {
     let mut h2 = seed;
 
     for b in 0..n_blocks {
-        let k1 = u64::from_le_bytes(data[b * 16..b * 16 + 8].try_into().unwrap());
-        let k2 = u64::from_le_bytes(data[b * 16 + 8..b * 16 + 16].try_into().unwrap());
+        let k1 = read_u64_le(data, b * 16);
+        let k2 = read_u64_le(data, b * 16 + 8);
 
         h1 ^= k1.wrapping_mul(C1).rotate_left(31).wrapping_mul(C2);
         h1 = h1

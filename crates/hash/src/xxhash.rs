@@ -17,12 +17,14 @@ const PRIME64_5: u64 = 0x27D4_EB2F_1656_67C5;
 
 #[inline(always)]
 fn read_u64_le(bytes: &[u8], at: usize) -> u64 {
-    u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
+    let b = &bytes[at..at + 8];
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
 }
 
 #[inline(always)]
 fn read_u32_le(bytes: &[u8], at: usize) -> u32 {
-    u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())
+    let b = &bytes[at..at + 4];
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
 }
 
 #[inline(always)]

@@ -1,0 +1,10 @@
+# Snapshot wire-format fingerprint (rule QF-L005).
+#
+# `fingerprint` is FNV-1a over the normalized wire-format sources
+# (crates/core/src/snapshot.rs, crates/sketch/src/snapshot.rs, crates/hash/src/wire.rs).
+# If it drifts while `version` matches SNAPSHOT_VERSION, the
+# encoding changed without a version bump. After a legitimate
+# change: bump SNAPSHOT_VERSION if the bytes changed, then run
+# `cargo xtask lint --bless` to re-record.
+version = 2
+fingerprint = 0xcd7f61ac4f0de790

@@ -1,0 +1,533 @@
+//! A syn-less source model for the workspace linter.
+//!
+//! The rules in [`crate::rules`] do not need full Rust parsing — they need
+//! four things a careful lexer can provide:
+//!
+//! 1. **Code-only text** per line: comments and string/char-literal
+//!    contents blanked out, so pattern matches never fire inside docs,
+//!    doc-examples, or message strings.
+//! 2. **Test regions**: whether a line sits inside a `#[cfg(test)]` item
+//!    (or a `#[cfg(test)]`/`#[test]`-gated function).
+//! 3. **Function attribution**: the innermost enclosing `fn` name, plus
+//!    whether that function's doc comment carries a `# Panics` section
+//!    (the sanctioned escape hatch for explicit `panic!`).
+//! 4. **Normalized text** for fingerprinting: comments and blank lines
+//!    removed, whitespace collapsed, string literals *kept* (wire-format
+//!    magic bytes live in literals).
+//!
+//! The model is heuristic by design — it assumes rustfmt-shaped code
+//! (attributes on their own lines, braces opening at line ends). That
+//! assumption holds for this workspace and keeps the lexer at a few
+//! hundred dependency-free lines.
+
+use std::path::{Path, PathBuf};
+
+/// One analyzed line of a source file.
+#[derive(Debug)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// The raw source text (used for attribute/doc inspection only).
+    pub raw: String,
+    /// The text with comments and string/char contents blanked.
+    pub code: String,
+    /// True inside a `#[cfg(test)]` region or a test-gated function.
+    pub in_test: bool,
+    /// Innermost enclosing function, if any.
+    pub fn_name: Option<String>,
+    /// True when the enclosing function's docs contain a `# Panics`
+    /// section.
+    pub fn_has_panics_doc: bool,
+}
+
+/// A parsed source file ready for rule evaluation.
+#[derive(Debug)]
+pub struct SourceFile {
+    pub path: PathBuf,
+    pub lines: Vec<Line>,
+}
+
+/// What a `{` opened, tracked on the scope stack.
+#[derive(Debug)]
+enum ScopeKind {
+    /// A function body.
+    Fn {
+        name: String,
+        panics_doc: bool,
+        test: bool,
+    },
+    /// A `#[cfg(test)]` item (typically `mod tests`).
+    Test,
+    /// Anything else: impl/mod/match-arm/struct-literal/closure bodies.
+    Plain,
+}
+
+struct Scanner {
+    stack: Vec<ScopeKind>,
+    /// `fn NAME` seen, its `{` not yet.
+    pending_fn: Option<(String, bool, bool)>,
+    /// `#[cfg(test)]` (or `#[test]`) seen, its item's `{` not yet.
+    pending_cfg_test: bool,
+    /// A `/// # Panics` doc line seen, its item not yet.
+    pending_panics_doc: bool,
+    /// Combined `(`/`[` nesting depth, for `;`-as-item-terminator.
+    paren_depth: i32,
+}
+
+impl Scanner {
+    fn new() -> Self {
+        Self {
+            stack: Vec::new(),
+            pending_fn: None,
+            pending_cfg_test: false,
+            pending_panics_doc: false,
+            paren_depth: 0,
+        }
+    }
+
+    fn innermost_fn(&self) -> Option<(&str, bool)> {
+        self.stack.iter().rev().find_map(|s| match s {
+            ScopeKind::Fn {
+                name, panics_doc, ..
+            } => Some((name.as_str(), *panics_doc)),
+            _ => None,
+        })
+    }
+
+    fn in_test(&self) -> bool {
+        self.stack.iter().any(|s| match s {
+            ScopeKind::Test => true,
+            ScopeKind::Fn { test, .. } => *test,
+            ScopeKind::Plain => false,
+        })
+    }
+
+    /// Feed one line's code text through the brace/semicolon machine.
+    fn advance(&mut self, code: &str) {
+        if let Some(name) = fn_declaration_name(code) {
+            self.pending_fn = Some((name, self.pending_panics_doc, self.pending_cfg_test));
+            self.pending_panics_doc = false;
+            self.pending_cfg_test = false;
+        }
+        for c in code.chars() {
+            match c {
+                '(' | '[' => self.paren_depth += 1,
+                ')' | ']' => self.paren_depth -= 1,
+                '{' => {
+                    let kind = if let Some((name, panics_doc, test)) = self.pending_fn.take() {
+                        ScopeKind::Fn {
+                            name,
+                            panics_doc,
+                            test,
+                        }
+                    } else if self.pending_cfg_test {
+                        ScopeKind::Test
+                    } else {
+                        ScopeKind::Plain
+                    };
+                    self.pending_cfg_test = false;
+                    self.pending_panics_doc = false;
+                    self.stack.push(kind);
+                }
+                '}' => {
+                    self.stack.pop();
+                }
+                ';' if self.paren_depth <= 0 => {
+                    // An item ended without a body (trait method, use,
+                    // statement): drop anything pending.
+                    self.pending_fn = None;
+                    self.pending_cfg_test = false;
+                    self.pending_panics_doc = false;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl SourceFile {
+    /// Parse `text` into the line model.
+    pub fn parse(path: impl Into<PathBuf>, text: &str) -> SourceFile {
+        let stripped = strip(text, false);
+        let mut scanner = Scanner::new();
+        let mut lines = Vec::new();
+        for (idx, (raw, code)) in text.lines().zip(stripped.lines()).enumerate() {
+            let raw_trim = raw.trim_start();
+            if raw_trim.starts_with("///") || raw_trim.starts_with("//!") {
+                if raw_trim.contains("# Panics") {
+                    scanner.pending_panics_doc = true;
+                }
+            } else if (raw_trim.starts_with("#[") || raw_trim.starts_with("#!["))
+                && is_test_attr(raw_trim)
+            {
+                scanner.pending_cfg_test = true;
+            }
+
+            let fn_before = scanner.innermost_fn().map(|(n, p)| (n.to_string(), p));
+            let test_before = scanner.in_test();
+            scanner.advance(code);
+            let fn_after = scanner.innermost_fn().map(|(n, p)| (n.to_string(), p));
+            let test_after = scanner.in_test();
+
+            // Attribute the line to the deepest state it touched: the `{`
+            // of `fn f() {` belongs to `f`, while the closing `}` still
+            // belongs to the scope it closes.
+            let (fn_name, fn_has_panics_doc) = match fn_after.or(fn_before) {
+                Some((n, p)) => (Some(n), p),
+                None => (None, false),
+            };
+            lines.push(Line {
+                number: idx + 1,
+                raw: raw.to_string(),
+                code: code.to_string(),
+                in_test: test_before || test_after,
+                fn_name,
+                fn_has_panics_doc,
+            });
+        }
+        SourceFile {
+            path: path.into(),
+            lines,
+        }
+    }
+
+    /// Parse the file at `path` from disk.
+    pub fn read(path: &Path) -> std::io::Result<SourceFile> {
+        let text = std::fs::read_to_string(path)?;
+        Ok(SourceFile::parse(path, &text))
+    }
+
+    /// The file name (empty string when the path has none).
+    pub fn file_name(&self) -> &str {
+        self.path.file_name().and_then(|n| n.to_str()).unwrap_or("")
+    }
+}
+
+/// True for attributes that gate an item to test builds.
+fn is_test_attr(attr: &str) -> bool {
+    attr.contains("cfg(test)")
+        || attr.contains("cfg(all(test")
+        || attr.contains("cfg(any(test")
+        || attr.starts_with("#[test]")
+}
+
+/// Extract `NAME` from a `fn NAME` declaration in code-only text, if the
+/// line declares one (macro fragments like `fn $name` are ignored).
+fn fn_declaration_name(code: &str) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut search = 0;
+    while let Some(rel) = code.get(search..).and_then(|s| s.find("fn")) {
+        let at = search + rel;
+        search = at + 2;
+        // Must be the keyword `fn`, not a suffix/prefix of an identifier.
+        let before_ok = at == 0 || !is_ident_byte(bytes[at.saturating_sub(1)]);
+        let after = bytes.get(at + 2).copied();
+        let after_ok = matches!(after, Some(b' ') | Some(b'\t'));
+        if !(before_ok && after_ok) {
+            continue;
+        }
+        let rest = code[at + 2..].trim_start();
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() {
+            return Some(name);
+        }
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Normalize `text` for wire-format fingerprinting: strip comments (but
+/// keep string literals), drop blank lines, collapse whitespace runs.
+pub fn normalize_for_fingerprint(text: &str) -> String {
+    let stripped = strip(text, true);
+    let mut out = String::with_capacity(stripped.len());
+    for line in stripped.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut last_space = false;
+        for c in trimmed.chars() {
+            if c.is_whitespace() {
+                if !last_space {
+                    out.push(' ');
+                }
+                last_space = true;
+            } else {
+                out.push(c);
+                last_space = false;
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Blank out comments (always) and string/char-literal contents (unless
+/// `keep_strings`), preserving line structure so line numbers survive.
+fn strip(text: &str, keep_strings: bool) -> String {
+    let cs: Vec<char> = text.chars().collect();
+    let len = cs.len();
+    let mut out = String::with_capacity(text.len());
+    let mut i = 0;
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while i < len {
+        let c = cs[i];
+        match c {
+            '/' if cs.get(i + 1) == Some(&'/') => {
+                while i < len && cs[i] != '\n' {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            '/' if cs.get(i + 1) == Some(&'*') => {
+                let mut depth = 1;
+                out.push_str("  ");
+                i += 2;
+                while i < len && depth > 0 {
+                    if cs[i] == '/' && cs.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else if cs[i] == '*' && cs.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else {
+                        out.push(blank(cs[i]));
+                        i += 1;
+                    }
+                }
+            }
+            '"' => i = consume_string(&cs, i, keep_strings, &mut out),
+            'r' | 'b' => {
+                if let Some(next) = raw_or_byte_string_start(&cs, i) {
+                    if keep_strings {
+                        for &rc in &cs[i..next] {
+                            out.push(rc);
+                        }
+                    } else {
+                        for &rc in &cs[i..next] {
+                            out.push(blank(rc));
+                        }
+                    }
+                    i = next;
+                } else if c == 'b' && cs.get(i + 1) == Some(&'\'') {
+                    out.push(' ');
+                    i = consume_char_literal(&cs, i + 1, keep_strings, &mut out);
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                if is_char_literal(&cs, i) {
+                    i = consume_char_literal(&cs, i, keep_strings, &mut out);
+                } else {
+                    // A lifetime: keep the tick and move on.
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Consume a `"..."` literal starting at `cs[start] == '"'`; returns the
+/// index just past the closing quote.
+fn consume_string(cs: &[char], start: usize, keep: bool, out: &mut String) -> usize {
+    let len = cs.len();
+    let mut i = start;
+    let mut push = |c: char| {
+        out.push(if keep {
+            c
+        } else if c == '\n' {
+            '\n'
+        } else {
+            ' '
+        })
+    };
+    push(cs[i]);
+    i += 1;
+    while i < len {
+        if cs[i] == '\\' && i + 1 < len {
+            push(cs[i]);
+            push(cs[i + 1]);
+            i += 2;
+        } else if cs[i] == '"' {
+            push(cs[i]);
+            return i + 1;
+        } else {
+            push(cs[i]);
+            i += 1;
+        }
+    }
+    i
+}
+
+/// If `cs[start..]` begins a raw/byte string (`r"`, `r#"`, `b"`, `br#"` …),
+/// consume it and return the index just past the end. Returns `None` when
+/// it is not a string start (plain identifier letter).
+fn raw_or_byte_string_start(cs: &[char], start: usize) -> Option<usize> {
+    // The r/b prefix must not be part of a longer identifier.
+    if start > 0 && (cs[start - 1].is_ascii_alphanumeric() || cs[start - 1] == '_') {
+        return None;
+    }
+    let len = cs.len();
+    let mut i = start;
+    let mut raw = false;
+    if cs.get(i) == Some(&'b') {
+        i += 1;
+    }
+    if cs.get(i) == Some(&'r') {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0;
+    if raw {
+        while cs.get(i) == Some(&'#') {
+            hashes += 1;
+            i += 1;
+        }
+    }
+    if cs.get(i) != Some(&'"') {
+        return None;
+    }
+    // Plain `b"..."` (not raw) still honors escapes.
+    if !raw {
+        i += 1;
+        while i < len {
+            if cs[i] == '\\' && i + 1 < len {
+                i += 2;
+            } else if cs[i] == '"' {
+                return Some(i + 1);
+            } else {
+                i += 1;
+            }
+        }
+        return Some(i);
+    }
+    i += 1;
+    while i < len {
+        if cs[i] == '"' {
+            let mut ok = true;
+            for h in 0..hashes {
+                if cs.get(i + 1 + h) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return Some(i + 1 + hashes);
+            }
+        }
+        i += 1;
+    }
+    Some(i)
+}
+
+/// Is the `'` at `cs[i]` a char literal (vs a lifetime)?
+fn is_char_literal(cs: &[char], i: usize) -> bool {
+    match cs.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => cs.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Consume a `'x'` / `'\n'` literal starting at `cs[start] == '\''`.
+fn consume_char_literal(cs: &[char], start: usize, keep: bool, out: &mut String) -> usize {
+    let len = cs.len();
+    let mut i = start;
+    let mut push = |c: char| out.push(if keep { c } else { ' ' });
+    push(cs[i]);
+    i += 1;
+    while i < len {
+        if cs[i] == '\\' && i + 1 < len {
+            push(cs[i]);
+            push(cs[i + 1]);
+            i += 2;
+        } else if cs[i] == '\'' {
+            push(cs[i]);
+            return i + 1;
+        } else {
+            push(cs[i]);
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let s = \"has .unwrap() inside\"; // and .unwrap() here\n",
+        );
+        assert!(!f.lines[0].code.contains(".unwrap()"));
+        assert!(f.lines[0].raw.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn char_literal_braces_do_not_skew_depth() {
+        let src = "fn f() {\n    let open = '{';\n    let close = '}';\n    body();\n}\nfn g() {\n    tail();\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        let tail = &f.lines[6];
+        assert_eq!(tail.fn_name.as_deref(), Some("g"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str {\n    x\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.lines[1].fn_name.as_deref(), Some("f"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_tracked() {
+        let src = "fn live() {\n    a();\n}\n#[cfg(test)]\nmod tests {\n    fn t() {\n        b();\n    }\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.lines[1].in_test);
+        assert!(f.lines[6].in_test);
+        assert_eq!(f.lines[6].fn_name.as_deref(), Some("t"));
+    }
+
+    #[test]
+    fn panics_doc_attaches_to_next_fn_only() {
+        let src = "/// Does things.\n///\n/// # Panics\n/// When unhappy.\nfn documented() {\n    body();\n}\nfn bare() {\n    body();\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.lines[5].fn_has_panics_doc);
+        assert!(!f.lines[8].fn_has_panics_doc);
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let x = r#\"panic!(\"no\")\"#;\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.lines[0].code.contains("panic!"));
+    }
+
+    #[test]
+    fn fingerprint_normalization_keeps_strings_drops_comments() {
+        let a = normalize_for_fingerprint("let m = b\"QFSN\"; // magic\n\n");
+        let b = normalize_for_fingerprint("let m  =  b\"QFSN\";\n");
+        assert_eq!(a, b);
+        let c = normalize_for_fingerprint("let m = b\"QFSX\";\n");
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,499 @@
+//! The five workspace rules.
+//!
+//! | id | rule |
+//! |---|---|
+//! | `QF-L001` | no `unwrap()`/`expect()`/`panic!` family in non-test lib code; explicit `panic!`/`unreachable!` allowed only in functions documenting `# Panics` |
+//! | `QF-L002` | no allocation or `std::time` in hot-path modules outside the cold-function allowlist |
+//! | `QF-L003` | every item-level `#[cfg(feature = "telemetry")]` has a `#[cfg(not(feature = "telemetry"))]` fallback in the same file |
+//! | `QF-L004` | sketch/candidate counter fields are only mutated through saturating/clamping arithmetic |
+//! | `QF-L005` | the snapshot wire-format fingerprint matches the committed record, and `SNAPSHOT_VERSION` was bumped when it changed |
+//!
+//! Rules work over the [`SourceFile`] model: comments and string contents
+//! are already blanked, test regions and enclosing functions are already
+//! attributed, so each rule is a direct statement of the convention.
+
+use crate::model::{Line, SourceFile};
+use crate::Diagnostic;
+
+/// Path suffixes of the paper's per-item hot path (rule `QF-L002`).
+/// Crate-qualified so that e.g. qf-telemetry's unrelated `counter.rs` is
+/// not swept in by a bare file-name match.
+pub const HOT_PATH_FILES: [&str; 3] = [
+    "core/src/filter.rs",
+    "sketch/src/count_sketch.rs",
+    "sketch/src/counter.rs",
+];
+
+/// Path suffixes holding saturating counter storage (rule `QF-L004`).
+pub const COUNTER_FILES: [&str; 3] = [
+    "sketch/src/count_sketch.rs",
+    "sketch/src/count_min.rs",
+    "core/src/candidate.rs",
+];
+
+/// Does the file's path end with one of the crate-qualified suffixes?
+fn path_matches(file: &SourceFile, suffixes: &[&str]) -> bool {
+    let p = file.path.to_string_lossy().replace('\\', "/");
+    suffixes.iter().any(|s| p.ends_with(s))
+}
+
+/// Functions in hot-path modules that are allowed to allocate: one-time
+/// construction, wire encode/decode, diagnostics, and invariant audits —
+/// none of them run per stream item.
+const COLD_FNS: [&str; 14] = [
+    "new",
+    "try_new",
+    "with_memory_budget",
+    "try_build",
+    "build",
+    "from_state",
+    "write_state",
+    "shape",
+    "check_invariants",
+    "assert_candidate_invariants",
+    "fmt",
+    "clone",
+    "snapshot",
+    "restore",
+];
+
+fn diag(rule: &'static str, file: &SourceFile, line: &Line, message: String) -> Diagnostic {
+    Diagnostic {
+        rule,
+        path: file.path.clone(),
+        line: line.number,
+        message,
+    }
+}
+
+/// `QF-L001`: the panic-free surface.
+///
+/// Non-test library code must not call `.unwrap()` / `.expect(…)` or use
+/// `todo!` / `unimplemented!`. Explicit `panic!` / `unreachable!` is the
+/// sanctioned escape hatch for documented panicking wrappers — allowed
+/// only when the enclosing function's docs carry a `# Panics` section.
+pub fn rule_panic_free(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    const R: &str = "QF-L001";
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.as_str();
+        if code.contains(".unwrap()") {
+            out.push(diag(
+                R,
+                file,
+                line,
+                "`.unwrap()` in non-test library code; return a typed error instead".into(),
+            ));
+        }
+        if code.contains(".expect(") {
+            out.push(diag(
+                R,
+                file,
+                line,
+                "`.expect(…)` in non-test library code; return a typed error instead".into(),
+            ));
+        }
+        for m in ["todo!", "unimplemented!"] {
+            if contains_macro(code, m) {
+                out.push(diag(
+                    R,
+                    file,
+                    line,
+                    format!("`{m}` must not reach library code"),
+                ));
+            }
+        }
+        for m in ["panic!", "unreachable!"] {
+            if contains_macro(code, m) && !line.fn_has_panics_doc {
+                out.push(diag(
+                    R,
+                    file,
+                    line,
+                    format!(
+                        "`{m}` outside a function documenting `# Panics`{}",
+                        line.fn_name
+                            .as_deref()
+                            .map(|f| format!(" (in fn `{f}`)"))
+                            .unwrap_or_default()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Does `code` invoke macro `name` (`name!(`, `name!{`, `name![`)?
+fn contains_macro(code: &str, name: &str) -> bool {
+    let mut search = 0;
+    while let Some(rel) = code.get(search..).and_then(|s| s.find(name)) {
+        let at = search + rel;
+        search = at + name.len();
+        let before_ok = at == 0
+            || !code.as_bytes()[at - 1].is_ascii_alphanumeric() && code.as_bytes()[at - 1] != b'_';
+        let after = code[at + name.len()..].trim_start();
+        if before_ok && (after.starts_with('(') || after.starts_with('{') || after.starts_with('['))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// `QF-L002`: the hot path neither allocates nor reads clocks.
+///
+/// Within [`HOT_PATH_FILES`], any allocation marker or `std::time` use
+/// outside the [`COLD_FNS`] allowlist is flagged: a per-item allocation or
+/// `Instant::now()` costs more than the O(1) insert it decorates.
+pub fn rule_hot_path(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    const R: &str = "QF-L002";
+    if !path_matches(file, &HOT_PATH_FILES) {
+        return;
+    }
+    const ALLOC: [&str; 12] = [
+        "vec!",
+        "Vec::new",
+        "Vec::with_capacity",
+        "Box::new",
+        "String::new",
+        "String::from",
+        "format!",
+        ".to_string(",
+        ".to_owned(",
+        ".to_vec(",
+        "HashMap::new",
+        "BTreeMap::new",
+    ];
+    const TIME: [&str; 3] = ["std::time", "Instant::now", "SystemTime::now"];
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        let cold = line
+            .fn_name
+            .as_deref()
+            .is_some_and(|f| COLD_FNS.contains(&f));
+        if cold {
+            continue;
+        }
+        let code = line.code.as_str();
+        for m in ALLOC {
+            if code.contains(m) {
+                out.push(diag(
+                    R,
+                    file,
+                    line,
+                    format!(
+                        "allocation (`{m}`) in hot-path module{}; move it to a cold constructor or codec function",
+                        line.fn_name
+                            .as_deref()
+                            .map(|f| format!(" fn `{f}`"))
+                            .unwrap_or_default()
+                    ),
+                ));
+            }
+        }
+        for m in TIME {
+            if code.contains(m) {
+                out.push(diag(
+                    R,
+                    file,
+                    line,
+                    format!("`{m}` in hot-path module; latency is sampled by the eval runner, never inline"),
+                ));
+            }
+        }
+    }
+}
+
+/// `QF-L003`: telemetry hooks always have a compiled-out twin.
+///
+/// An item-level `#[cfg(feature = "telemetry")]` without a matching
+/// `#[cfg(not(feature = "telemetry"))]` item in the same file means the
+/// default build would lose the symbol (or silently change behavior).
+/// Statement-level gates inside function bodies are self-contained and
+/// skipped.
+pub fn rule_telemetry_pairing(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    const R: &str = "QF-L003";
+    let gated = collect_feature_gated_items(file, "#[cfg(feature = \"telemetry\")]");
+    if gated.is_empty() {
+        return;
+    }
+    let fallbacks = collect_feature_gated_items(file, "#[cfg(not(feature = \"telemetry\"))]");
+    for (line_no, item) in gated {
+        let paired = match &item {
+            GatedItem::Named { kind, name } => fallbacks.iter().any(|(_, f)| match f {
+                GatedItem::Named {
+                    kind: fk,
+                    name: fname,
+                } => fk == kind && fname == name,
+                GatedItem::Anonymous(_) => false,
+            }),
+            GatedItem::Anonymous(_) => !fallbacks.is_empty(),
+        };
+        if !paired {
+            let what = match &item {
+                GatedItem::Named { kind, name } => format!("{kind} `{name}`"),
+                GatedItem::Anonymous(kind) => kind.clone(),
+            };
+            out.push(Diagnostic {
+                rule: R,
+                path: file.path.clone(),
+                line: line_no,
+                message: format!(
+                    "telemetry-gated {what} has no `#[cfg(not(feature = \"telemetry\"))]` fallback in this file"
+                ),
+            });
+        }
+    }
+}
+
+#[derive(Debug, PartialEq)]
+enum GatedItem {
+    /// `fn`/`mod`/`struct`… with a name we can pair exactly.
+    Named { kind: String, name: String },
+    /// `use`/`impl`/… — paired loosely (any fallback in the file).
+    Anonymous(String),
+}
+
+/// Find items directly following attribute `attr` (skipping further
+/// attributes and doc lines). Statement-level gates are ignored.
+fn collect_feature_gated_items(file: &SourceFile, attr: &str) -> Vec<(usize, GatedItem)> {
+    const ITEM_KINDS: [&str; 10] = [
+        "fn", "mod", "struct", "enum", "trait", "impl", "use", "static", "const", "type",
+    ];
+    let mut found = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.raw.trim_start() != attr {
+            continue;
+        }
+        // Walk to the first non-attribute, non-doc line after the gate.
+        let mut j = idx + 1;
+        let target = loop {
+            match file.lines.get(j) {
+                None => break None,
+                Some(l) => {
+                    let t = l.raw.trim_start();
+                    if t.starts_with("#[") || t.starts_with("///") || t.is_empty() {
+                        j += 1;
+                        continue;
+                    }
+                    break Some(t.to_string());
+                }
+            }
+        };
+        let Some(target) = target else { continue };
+        let mut words = target
+            .split(|c: char| c.is_whitespace() || c == '<' || c == '(')
+            .filter(|w| !w.is_empty());
+        let mut kind = None;
+        for w in words.by_ref() {
+            // Skip visibility/safety qualifiers; `pub(crate)` splits into
+            // `pub` + `crate)` because `(` is a separator above.
+            if w == "pub" || w.ends_with(')') || w == "unsafe" || w == "extern" {
+                continue;
+            }
+            if ITEM_KINDS.contains(&w) {
+                kind = Some(w.to_string());
+            }
+            break;
+        }
+        let Some(kind) = kind else {
+            // First word is not an item keyword: a statement-level gate.
+            continue;
+        };
+        let item = if kind == "fn" || kind == "mod" || kind == "struct" || kind == "trait" {
+            match words.next() {
+                Some(name) => GatedItem::Named {
+                    kind,
+                    name: name
+                        .trim_end_matches(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+                        .to_string(),
+                },
+                None => GatedItem::Anonymous(kind),
+            }
+        } else {
+            GatedItem::Anonymous(kind)
+        };
+        found.push((line.number, item));
+    }
+    found
+}
+
+/// `QF-L004`: counter fields only move through saturating arithmetic.
+///
+/// Within [`COUNTER_FILES`], a raw `+=`/`-=`/`wrapping_*` on a counter
+/// accessor (`cells[…]`, `cell_mut`, `*cell`, `.qw`) reintroduces exactly
+/// the overflow reversal §III-B forbids. Lines that go through
+/// `saturating_*` or an explicit `clamp` are the sanctioned forms.
+pub fn rule_counter_arithmetic(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    const R: &str = "QF-L004";
+    if !path_matches(file, &COUNTER_FILES) {
+        return;
+    }
+    const FIELDS: [&str; 4] = ["cells[", "cell_mut", "*cell", ".qw"];
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.as_str();
+        if !FIELDS.iter().any(|f| code.contains(f)) {
+            continue;
+        }
+        if code.contains("saturating_") || code.contains(".clamp(") {
+            continue;
+        }
+        let raw_op = code.contains("+=")
+            || code.contains("-=")
+            || code.contains("wrapping_add")
+            || code.contains("wrapping_sub");
+        if raw_op {
+            out.push(diag(
+                R,
+                file,
+                line,
+                "raw arithmetic on a counter field; use `saturating_add_i64` (overflow-reversal guard, §III-B)".into(),
+            ));
+        }
+    }
+}
+
+/// `QF-L005`: wire-format changes must bump `SNAPSHOT_VERSION`.
+///
+/// The committed record (`crates/lint/snapshot-format.fp`) stores the
+/// version and a fingerprint of the normalized wire-format sources. This
+/// pure function compares a freshly computed pair against it; the
+/// filesystem plumbing lives in [`crate::fingerprint`].
+pub fn check_fingerprint(
+    computed: u64,
+    source_version: Option<u32>,
+    stored_version: u32,
+    stored_fp: u64,
+) -> Option<String> {
+    let Some(source_version) = source_version else {
+        return Some(
+            "could not find `SNAPSHOT_VERSION: u32 = …` in crates/core/src/snapshot.rs".into(),
+        );
+    };
+    if source_version < stored_version {
+        return Some(format!(
+            "SNAPSHOT_VERSION regressed: source has {source_version}, committed record has {stored_version}"
+        ));
+    }
+    if computed != stored_fp {
+        if source_version == stored_version {
+            return Some(format!(
+                "wire-format sources changed (fingerprint {computed:#018x} != recorded {stored_fp:#018x}) \
+                 but SNAPSHOT_VERSION is still {stored_version}; bump it if the encoding changed, \
+                 then run `cargo xtask lint --bless`"
+            ));
+        }
+        return Some(format!(
+            "SNAPSHOT_VERSION bumped to {source_version} but the fingerprint record is stale; \
+             run `cargo xtask lint --bless`"
+        ));
+    }
+    if source_version != stored_version {
+        return Some(format!(
+            "SNAPSHOT_VERSION is {source_version} but the committed record says {stored_version}; \
+             run `cargo xtask lint --bless`"
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+
+    fn run(rule: fn(&SourceFile, &mut Vec<Diagnostic>), rel: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(format!("crates/{rel}"), src);
+        let mut out = Vec::new();
+        rule(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_flagged_outside_tests_only() {
+        let src = "fn f() {\n    x.unwrap();\n}\n#[cfg(test)]\nmod tests {\n    fn t() {\n        x.unwrap();\n    }\n}\n";
+        let d = run(rule_panic_free, "fake/src/lib.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn documented_panic_is_allowed() {
+        let ok = "/// # Panics\n/// When broken.\nfn f() {\n    panic!(\"broken\");\n}\n";
+        assert!(run(rule_panic_free, "fake/src/lib.rs", ok).is_empty());
+        let bad = "fn f() {\n    panic!(\"broken\");\n}\n";
+        assert_eq!(run(rule_panic_free, "fake/src/lib.rs", bad).len(), 1);
+    }
+
+    #[test]
+    fn unwrap_in_comment_or_string_is_ignored() {
+        let src = "fn f() {\n    // x.unwrap()\n    let s = \".unwrap()\";\n    let _ = s;\n}\n";
+        assert!(run(rule_panic_free, "fake/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_flagged_outside_cold_fns() {
+        let src = "fn insert(&mut self) {\n    let s = format!(\"x\");\n}\nfn new() -> Self {\n    let v = Vec::with_capacity(8);\n}\n";
+        let d = run(rule_hot_path, "core/src/filter.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+        // Same source in a non-hot file: no diagnostics at all.
+        assert!(run(rule_hot_path, "core/src/builder.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_clock_flagged() {
+        let src = "fn add(&mut self) {\n    let t = std::time::Instant::now();\n}\n";
+        let d = run(rule_hot_path, "sketch/src/count_sketch.rs", src);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn telemetry_gate_requires_fallback() {
+        let bad = "#[cfg(feature = \"telemetry\")]\nfn hook() {\n    record();\n}\n";
+        let d = run(rule_telemetry_pairing, "fake/src/lib.rs", bad);
+        assert_eq!(d.len(), 1);
+        let ok = "#[cfg(feature = \"telemetry\")]\nfn hook() {\n    record();\n}\n#[cfg(not(feature = \"telemetry\"))]\nfn hook() {}\n";
+        assert!(run(rule_telemetry_pairing, "fake/src/lib.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn statement_level_telemetry_gate_is_skipped() {
+        let src = "fn add(&mut self) {\n    #[cfg(feature = \"telemetry\")]\n    let before = cell.to_i64();\n    work();\n}\n";
+        assert!(run(rule_telemetry_pairing, "fake/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_counter_arithmetic_flagged() {
+        let bad = "fn add(&mut self) {\n    self.cells[i] += 1;\n}\n";
+        let d = run(rule_counter_arithmetic, "sketch/src/count_sketch.rs", bad);
+        assert_eq!(d.len(), 1);
+        let ok = "fn add(&mut self) {\n    *cell = cell.saturating_add_i64(w);\n}\n";
+        assert!(run(rule_counter_arithmetic, "sketch/src/count_sketch.rs", ok).is_empty());
+        // The same raw op outside counter files is not this rule's business.
+        assert!(run(rule_counter_arithmetic, "core/src/strategy.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn fingerprint_verdicts() {
+        // Clean: same version, same fingerprint.
+        assert!(check_fingerprint(7, Some(2), 2, 7).is_none());
+        // Sources changed, version not bumped.
+        let msg = check_fingerprint(8, Some(2), 2, 7);
+        assert!(msg.is_some_and(|m| m.contains("bump")));
+        // Version bumped, record stale.
+        let msg = check_fingerprint(8, Some(3), 2, 7);
+        assert!(msg.is_some_and(|m| m.contains("--bless")));
+        // Version regressed.
+        let msg = check_fingerprint(7, Some(1), 2, 7);
+        assert!(msg.is_some_and(|m| m.contains("regressed")));
+        // Version constant missing entirely.
+        assert!(check_fingerprint(7, None, 2, 7).is_some());
+    }
+}

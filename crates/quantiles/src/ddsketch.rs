@@ -93,8 +93,11 @@ impl DdSketch {
     /// the tail quantiles that matter for latency monitoring).
     fn collapse_if_needed(&mut self) {
         while self.buckets.len() > self.max_buckets {
-            let (&lowest, &c0) = self.buckets.iter().next().expect("nonempty");
-            let (&second, _) = self.buckets.iter().nth(1).expect("len > max ≥ 2");
+            let mut it = self.buckets.iter();
+            let (Some((&lowest, &c0)), Some((&second, _))) = (it.next(), it.next()) else {
+                // len > max_buckets ≥ 1 implies at least two buckets.
+                break;
+            };
             self.buckets.remove(&lowest);
             *self.buckets.entry(second).or_insert(0) += c0;
         }

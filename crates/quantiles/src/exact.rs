@@ -32,8 +32,7 @@ impl ExactQuantiles {
         if self.sorted_prefix < self.values.len() {
             // Values arrive mostly unsorted; a full unstable sort is the
             // cheapest robust option and is amortized across queries.
-            self.values
-                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN values"));
+            self.values.sort_unstable_by(|a, b| a.total_cmp(b));
             self.sorted_prefix = self.values.len();
         }
     }

@@ -74,7 +74,7 @@ impl KllSketch {
                     self.compactors.push(Vec::new());
                 }
                 let mut items = core::mem::take(&mut self.compactors[level]);
-                items.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                items.sort_unstable_by(|a, b| a.total_cmp(b));
                 let offset = (self.rng.next_u64() & 1) as usize;
                 let promoted: Vec<f64> = items.iter().skip(offset).step_by(2).copied().collect();
                 self.compactors[level + 1].extend_from_slice(&promoted);
@@ -136,17 +136,19 @@ impl QuantileSummary for KllSketch {
             return None;
         }
         let mut items = self.weighted_items();
-        items.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+        items.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
         let total: u64 = items.iter().map(|&(_, w)| w).sum();
         let target = target_rank(q, total);
         let mut acc = 0u64;
-        for (v, w) in items {
+        for &(v, w) in &items {
             acc += w;
             if acc > target {
                 return Some(v);
             }
         }
-        unreachable!("target rank below total weight")
+        // target < total guarantees the loop returns; the largest item is
+        // a safe answer if rank accounting ever drifts.
+        items.last().map(|&(v, _)| v)
     }
 
     fn clear(&mut self) {

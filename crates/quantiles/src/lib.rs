@@ -19,6 +19,8 @@
 //! All types implement [`QuantileSummary`] so the baselines can be generic
 //! over the summary engine.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod ddsketch;
 pub mod exact;
 pub mod gk;

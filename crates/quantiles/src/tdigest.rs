@@ -72,7 +72,7 @@ impl TDigest {
         self.centroids.extend_from_slice(&other.centroids);
         // Re-run the merge pass over the combined centroid list.
         self.centroids
-            .sort_unstable_by(|a, b| a.mean.partial_cmp(&b.mean).expect("no NaN"));
+            .sort_unstable_by(|a, b| a.mean.total_cmp(&b.mean));
         let all = core::mem::take(&mut self.centroids);
         if all.is_empty() {
             return;
@@ -110,7 +110,7 @@ impl TDigest {
             mean: v,
             weight: 1.0,
         }));
-        all.sort_unstable_by(|a, b| a.mean.partial_cmp(&b.mean).expect("no NaN"));
+        all.sort_unstable_by(|a, b| a.mean.total_cmp(&b.mean));
 
         let total: f64 = all.iter().map(|c| c.weight).sum();
         let mut merged: Vec<Centroid> = Vec::new();

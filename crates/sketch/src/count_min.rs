@@ -64,6 +64,43 @@ impl<C: SketchCounter> CountMinSketch<C> {
     }
 }
 
+impl<C: SketchCounter> crate::invariants::CheckInvariants for CountMinSketch<C> {
+    fn check_invariants(&self) -> Result<(), crate::invariants::InvariantViolation> {
+        use crate::invariants::InvariantViolation as V;
+        const S: &str = "CountMinSketch";
+        if self.rows == 0 {
+            return Err(V::new(S, "rows is zero"));
+        }
+        if self.width == 0 {
+            return Err(V::new(S, "width is zero"));
+        }
+        if self.cells.len() != self.rows * self.width {
+            return Err(V::new(
+                S,
+                format!(
+                    "cell grid holds {} cells for {}x{} dims",
+                    self.cells.len(),
+                    self.rows,
+                    self.width
+                ),
+            ));
+        }
+        if self.family.rows() != self.rows || self.family.width() != self.width {
+            return Err(V::new(
+                S,
+                format!(
+                    "hash family is {}x{}, grid is {}x{}",
+                    self.family.rows(),
+                    self.family.width(),
+                    self.rows,
+                    self.width
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
 impl<C: SketchCounter> SketchState for CountMinSketch<C> {
     fn shape(&self) -> SketchShape {
         SketchShape {

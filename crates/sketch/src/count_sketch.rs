@@ -102,6 +102,64 @@ impl<C: SketchCounter> CountSketch<C> {
     }
 }
 
+impl<C: SketchCounter> crate::invariants::CheckInvariants for CountSketch<C> {
+    fn check_invariants(&self) -> Result<(), crate::invariants::InvariantViolation> {
+        use crate::invariants::InvariantViolation as V;
+        const S: &str = "CountSketch";
+        if self.rows == 0 || self.rows > MAX_DEPTH {
+            return Err(V::new(
+                S,
+                format!("rows {} outside 1..={MAX_DEPTH}", self.rows),
+            ));
+        }
+        if self.width == 0 {
+            return Err(V::new(S, "width is zero"));
+        }
+        if self.cells.len() != self.rows * self.width {
+            return Err(V::new(
+                S,
+                format!(
+                    "cell grid holds {} cells for {}x{} dims",
+                    self.cells.len(),
+                    self.rows,
+                    self.width
+                ),
+            ));
+        }
+        if self.family.rows() != self.rows {
+            return Err(V::new(
+                S,
+                format!(
+                    "hash family has {} rows, grid has {}",
+                    self.family.rows(),
+                    self.rows
+                ),
+            ));
+        }
+        if self.family.width() != self.width {
+            return Err(V::new(
+                S,
+                format!(
+                    "hash family maps to width {}, grid has {}",
+                    self.family.width(),
+                    self.width
+                ),
+            ));
+        }
+        if self.family.seeds().len() != self.rows {
+            return Err(V::new(
+                S,
+                format!(
+                    "{} row seeds for {} rows",
+                    self.family.seeds().len(),
+                    self.rows
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
 impl<C: SketchCounter> SketchState for CountSketch<C> {
     fn shape(&self) -> SketchShape {
         SketchShape {

@@ -1,0 +1,51 @@
+//! Checked structural invariants for the sketch structures.
+//!
+//! Every sketch owns a handful of relationships that must hold at *all*
+//! times — grid dimensions vs. cell-vector length, hash-family arity vs.
+//! row count — and that no unit test can pin down once the structure is
+//! driven by restored snapshots or long adversarial streams. The
+//! [`CheckInvariants`] trait makes those relationships executable:
+//! `check_invariants()` walks the structure and returns the first
+//! violation found, as data rather than a panic, so harnesses can assert
+//! on it and production code can log it.
+//!
+//! The checks are `O(structure size)` — far too slow for per-item calls on
+//! the hot path. Callers gate them behind `debug_assertions` or the
+//! `strict-invariants` feature (see `quantile-filter`'s hooks), or invoke
+//! them at natural barriers: after restore, after an epoch rollover, every
+//! N items in a replay harness.
+
+/// A violated structural invariant: which structure, and what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// The structure that failed ("CountSketch", "CandidatePart", ...).
+    pub structure: &'static str,
+    /// Human-readable description of the violated relationship.
+    pub detail: String,
+}
+
+impl InvariantViolation {
+    /// Build a violation report.
+    pub fn new(structure: &'static str, detail: impl Into<String>) -> Self {
+        Self {
+            structure,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} invariant violated: {}", self.structure, self.detail)
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Structures whose internal consistency can be audited on demand.
+pub trait CheckInvariants {
+    /// Verify every structural invariant; `Err` carries the first
+    /// violation found. Runs in time linear in the structure size and
+    /// never panics.
+    fn check_invariants(&self) -> Result<(), InvariantViolation>;
+}

@@ -21,9 +21,12 @@
 //! * [`snapshot`] — the [`SketchState`](snapshot::SketchState) trait used by
 //!   the crash-safety layer to persist and restore sketch state.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod count_min;
 pub mod count_sketch;
 pub mod counter;
+pub mod invariants;
 pub mod rounding;
 pub mod snapshot;
 pub mod space_saving;
@@ -33,6 +36,7 @@ pub mod traits;
 pub use count_min::CountMinSketch;
 pub use count_sketch::CountSketch;
 pub use counter::SketchCounter;
+pub use invariants::{CheckInvariants, InvariantViolation};
 pub use rounding::StochasticRounder;
 pub use snapshot::{SketchShape, SketchState, SKETCH_KIND_CMS, SKETCH_KIND_CS};
 pub use space_saving::{SpaceSaving, SsEntry};

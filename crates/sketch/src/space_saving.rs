@@ -73,12 +73,14 @@ impl SpaceSaving {
             self.entries.insert(key, SsEntry { count: 1, err: 0 });
             return None;
         }
-        // Evict the minimum-count entry.
-        let (&victim, &SsEntry { count: min, .. }) = self
-            .entries
-            .iter()
-            .min_by_key(|&(_, e)| e.count)
-            .expect("capacity > 0");
+        // Evict the minimum-count entry. The map is nonempty here: its
+        // length just compared ≥ capacity, and capacity ≥ 1.
+        let Some((&victim, &SsEntry { count: min, .. })) =
+            self.entries.iter().min_by_key(|&(_, e)| e.count)
+        else {
+            self.entries.insert(key, SsEntry { count: 1, err: 0 });
+            return None;
+        };
         self.entries.remove(&victim);
         self.entries.insert(
             key,

@@ -44,10 +44,13 @@ pub fn median_in_place(values: &mut [i64]) -> i64 {
     if values.len() % 2 == 1 {
         hi
     } else {
-        let lo = values[..mid].iter().copied().max().expect("nonempty half");
+        // The lower half is nonempty whenever the length is even (mid ≥ 1).
         // Average without overflow; truncates toward the lower value for
         // odd sums, keeping the estimator integral.
-        lo + (hi - lo) / 2
+        match values[..mid].iter().copied().max() {
+            Some(lo) => lo + (hi - lo) / 2,
+            None => hi,
+        }
     }
 }
 

@@ -32,6 +32,8 @@
 //! exact report sequence of a fixed Zipf trace in both modes. With the
 //! feature on, a hook is one uncontended relaxed `fetch_add` (~5 ns).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod counter;
 pub mod export;
 pub mod histogram;

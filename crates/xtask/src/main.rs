@@ -1,0 +1,116 @@
+//! `cargo xtask` — workspace automation without external tooling.
+//!
+//! Subcommands:
+//!
+//! * `lint` — run the qf-lint rules over the workspace; exits non-zero on
+//!   any diagnostic.
+//! * `lint --self-test` — run the linter against seeded violations and
+//!   verify every rule fires (the linter's own regression gate).
+//! * `lint --bless` — re-record the snapshot wire-format fingerprint
+//!   after a legitimate change (bump `SNAPSHOT_VERSION` first if the
+//!   encoding itself changed).
+//!
+//! The alias lives in `.cargo/config.toml`; the binary itself has no
+//! dependencies beyond `qf-lint`, so it builds in seconds on a bare
+//! toolchain.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`");
+            usage();
+            ExitCode::from(2)
+        }
+        None => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo xtask lint [--bless] [--self-test]");
+}
+
+/// The workspace root: two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}
+
+fn lint(flags: &[String]) -> ExitCode {
+    let mut bless = false;
+    let mut self_test = false;
+    for flag in flags {
+        match flag.as_str() {
+            "--bless" => bless = true,
+            "--self-test" => self_test = true,
+            other => {
+                eprintln!("unknown lint flag `{other}`");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = workspace_root();
+
+    if self_test {
+        return match qf_lint::self_test() {
+            Ok(()) => {
+                println!("qf-lint self-test: every rule fires on its seeded violation");
+                ExitCode::SUCCESS
+            }
+            Err(failures) => {
+                eprintln!("qf-lint self-test FAILED:");
+                for f in &failures {
+                    eprintln!("  {f}");
+                }
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if bless {
+        match qf_lint::bless(&root) {
+            Ok(record) => {
+                println!(
+                    "blessed {}: version {} fingerprint {:#018x}",
+                    qf_lint::fingerprint::FP_RECORD,
+                    record.version,
+                    record.fingerprint
+                );
+            }
+            Err(e) => {
+                eprintln!("bless failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match qf_lint::lint_workspace(&root) {
+        Ok(diagnostics) if diagnostics.is_empty() => {
+            println!("qf-lint: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diagnostics) => {
+            for d in &diagnostics {
+                eprintln!("{d}");
+            }
+            eprintln!("qf-lint: {} diagnostic(s)", diagnostics.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("qf-lint: io error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

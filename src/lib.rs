@@ -18,6 +18,8 @@
 //! See `examples/` for runnable scenarios and DESIGN.md / EXPERIMENTS.md
 //! for the reproduction methodology and results.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub use qf_baselines;
 pub use qf_datasets;
 pub use qf_eval;

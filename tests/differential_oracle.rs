@@ -1,0 +1,263 @@
+//! Differential oracle: replay deterministic traces against an exact
+//! per-key Qweight model and fail on *any* divergence between the
+//! optimized structure and the paper's math (§III-A/B semantics).
+//!
+//! Three regimes:
+//!
+//! 1. **Exact** — integer item weights (δ = 0.75 ⇒ +3 above / −1 below,
+//!    both exact in f64, so [`StochasticRounder`] never draws randomness)
+//!    and a candidate part large enough that every key stays resident.
+//!    The filter must then agree with a trivial per-key `i64` accumulator
+//!    *bit for bit*: every query, every report, every reported Qweight,
+//!    every delete.
+//! 2. **Bounds** — fractional weights (δ = 0.6 ⇒ +1.5 above), where the
+//!    rounder randomizes between floor and ceiling. The filter cannot be
+//!    exact, but every query must stay inside the deterministic envelope
+//!    `[n_above·1 − n_below, n_above·2 − n_below]`.
+//! 3. **Invariant stress** — a mixed insert/delete/rollover workload over
+//!    `QuantileFilter`, `EpochFilter`, and `MultiCriteriaFilter` with
+//!    `check_invariants()` interleaved every few hundred operations, so
+//!    structural drift surfaces with a named structure and relationship
+//!    rather than a wrong report downstream.
+
+use std::collections::HashMap;
+
+use qf_repro::quantile_filter::epoch::{EpochFilter, FixedSize};
+use qf_repro::quantile_filter::{
+    CheckInvariants, Criteria, MultiCriteriaFilter, QuantileFilterBuilder,
+};
+
+/// Minimal deterministic RNG (SplitMix64) so the trace is reproducible
+/// without pulling randomness into the oracle itself.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn criteria(epsilon: f64, delta: f64, threshold: f64) -> Criteria {
+    match Criteria::new(epsilon, delta, threshold) {
+        Ok(c) => c,
+        Err(e) => panic!("criteria: {e}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regime 1: exact agreement with the per-key integer model.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn filter_matches_exact_qweight_model_on_integer_weights() {
+    // δ = 0.75 ⇒ weight_above = 0.75/0.25 = 3.0 exactly (both representable),
+    // so the stochastic rounder is deterministic: +3 above T, −1 at/below.
+    // ε = 5 ⇒ report threshold ε/(1−δ) = 20.
+    let c = criteria(5.0, 0.75, 100.0);
+    assert_eq!(c.weight_above(), 3.0, "regime requires an exact weight");
+    assert_eq!(c.report_threshold(), 20.0);
+
+    // 24 keys over 256 buckets × 4 slots: every key stays candidate-resident
+    // (verified at the end via stats), so the filter has no approximation
+    // left and must agree with the model exactly.
+    let mut qf = QuantileFilterBuilder::new(c)
+        .candidate_buckets(256)
+        .bucket_len(4)
+        .vague_dims(3, 512)
+        .seed(0xD1FF)
+        .build();
+
+    let keys: Vec<String> = (0..24).map(|i| format!("key-{i:02}")).collect();
+    let mut model: HashMap<String, i64> = HashMap::new();
+    let mut rng = Rng(42);
+    let mut reports = 0u64;
+
+    for step in 0..20_000u64 {
+        let key = &keys[rng.below(24) as usize];
+        // ~55% of items land above T so Qweights drift upward and reports
+        // actually fire; the rest pull them back down (including negative).
+        let above = rng.below(100) < 55;
+        let value = if above { 150.0 } else { 50.0 };
+        let delta: i64 = if above { 3 } else { -1 };
+
+        let qw = model.entry(key.clone()).or_insert(0);
+        *qw += delta;
+
+        let report = qf.insert(key.as_str(), value);
+        if *qw >= 20 {
+            let r = match report {
+                Some(r) => r,
+                None => {
+                    panic!("step {step}: model Qweight {qw} demands a report, filter gave none")
+                }
+            };
+            assert_eq!(
+                r.estimated_qweight, *qw,
+                "step {step}: reported Qweight diverges from the exact model"
+            );
+            *qw = 0; // the filter resets a reported key's Qweight
+            reports += 1;
+        } else {
+            assert!(
+                report.is_none(),
+                "step {step}: filter reported at model Qweight {qw} < 20"
+            );
+        }
+
+        assert_eq!(
+            qf.query(key.as_str()),
+            *qw,
+            "step {step}: query diverges from the exact model for {key}"
+        );
+
+        // Sporadic deletes: both sides drop the key's accumulated Qweight.
+        if step % 977 == 0 && step > 0 {
+            let victim = &keys[rng.below(24) as usize];
+            let removed = qf.delete(victim.as_str());
+            let expected = model.insert(victim.clone(), 0).unwrap_or(0);
+            assert_eq!(
+                removed, expected,
+                "step {step}: delete returned a stale Qweight"
+            );
+        }
+
+        if step % 500 == 0 {
+            if let Err(v) = qf.check_invariants() {
+                panic!("step {step}: invariant violation during exact replay: {v}");
+            }
+        }
+    }
+
+    assert!(
+        reports > 50,
+        "workload produced only {reports} reports — trace too tame"
+    );
+    let stats = qf.stats();
+    assert_eq!(
+        stats.vague_visits, 0,
+        "exact regime assumed full candidate residency, but {} inserts spilled to the vague part",
+        stats.vague_visits
+    );
+    assert_eq!(stats.reports, reports);
+}
+
+// ---------------------------------------------------------------------------
+// Regime 2: fractional weights stay inside the floor/ceil envelope.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fractional_weights_stay_inside_floor_ceil_envelope() {
+    // δ = 0.6 ⇒ weight_above = 1.5: the rounder splits each above-item
+    // between +1 and +2. ε is huge so no report ever resets a Qweight and
+    // the envelope stays valid for the whole trace.
+    let c = criteria(1e6, 0.6, 100.0);
+    let mut qf = QuantileFilterBuilder::new(c)
+        .candidate_buckets(256)
+        .bucket_len(4)
+        .vague_dims(3, 512)
+        .seed(0xB07)
+        .build();
+
+    let keys: Vec<String> = (0..16).map(|i| format!("frac-{i:02}")).collect();
+    // Per key: (items above T, items at/below T).
+    let mut counts: HashMap<String, (i64, i64)> = HashMap::new();
+    let mut rng = Rng(7);
+
+    for step in 0..10_000u64 {
+        let key = &keys[rng.below(16) as usize];
+        let above = rng.below(100) < 70;
+        let value = if above { 250.0 } else { 10.0 };
+        let (n_above, n_below) = counts.entry(key.clone()).or_insert((0, 0));
+        if above {
+            *n_above += 1;
+        } else {
+            *n_below += 1;
+        }
+
+        let report = qf.insert(key.as_str(), value);
+        assert!(report.is_none(), "step {step}: report despite ε = 1e6");
+
+        let qw = qf.query(key.as_str());
+        let lo = *n_above - *n_below; // every above-item rounded down to +1
+        let hi = 2 * *n_above - *n_below; // every above-item rounded up to +2
+        assert!(
+            (lo..=hi).contains(&qw),
+            "step {step}: query {qw} for {key} outside envelope [{lo}, {hi}] \
+             (n_above {n_above}, n_below {n_below})"
+        );
+    }
+
+    assert_eq!(
+        qf.stats().vague_visits,
+        0,
+        "envelope assumed candidate residency"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Regime 3: invariants hold across every container under a mixed workload.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn invariants_hold_under_mixed_workload_across_containers() {
+    let c = criteria(5.0, 0.9, 100.0);
+    // Deliberately tiny candidate part so the vague path, elections, and
+    // exchanges all run hot.
+    let mut qf = QuantileFilterBuilder::new(c)
+        .candidate_buckets(8)
+        .bucket_len(2)
+        .vague_dims(3, 128)
+        .seed(3)
+        .build();
+    let mut epoch: EpochFilter<i8> = EpochFilter::new(c, 16 * 1024, 750, 5, FixedSize);
+    let inner = QuantileFilterBuilder::new(c)
+        .candidate_buckets(16)
+        .bucket_len(2)
+        .vague_dims(3, 128)
+        .seed(9)
+        .build();
+    let mut multi = MultiCriteriaFilter::new(inner, vec![c, criteria(2.0, 0.5, 50.0)]);
+
+    let mut rng = Rng(0xACE);
+    for step in 0..6_000u64 {
+        let key = format!("k{}", rng.below(300));
+        let value = rng.below(200) as f64;
+        qf.insert(key.as_str(), value);
+        epoch.insert(key.as_str(), value);
+        multi.insert(&key, value);
+        if step % 37 == 0 {
+            qf.delete(key.as_str());
+            multi.delete(&key);
+        }
+
+        if step % 250 == 0 {
+            if let Err(v) = qf.check_invariants() {
+                panic!("step {step}: QuantileFilter violation: {v}");
+            }
+            if let Err(v) = epoch.check_invariants() {
+                panic!("step {step}: EpochFilter violation: {v}");
+            }
+            if let Err(v) = multi.check_invariants() {
+                panic!("step {step}: MultiCriteriaFilter violation: {v}");
+            }
+        }
+    }
+
+    assert!(
+        epoch.epochs_completed() >= 7,
+        "epoch filter should have rolled over"
+    );
+    assert!(
+        qf.stats().vague_visits > 0,
+        "stress regime should exercise the vague path"
+    );
+}

@@ -1,0 +1,188 @@
+//! Snapshot decoder fuzzing: the restore path must be *total* — any byte
+//! sequence, however hostile, produces `Err`, never a panic, never an
+//! out-of-bounds read, and never a silently-wrong filter.
+//!
+//! Three attack surfaces, each across all three container tags:
+//!
+//! * **Arbitrary bytes** — decoding random garbage fails cleanly.
+//! * **Mutated valid snapshots** — flip one byte of a genuine snapshot;
+//!   the envelope (magic, version, length, digest, checksum) must catch
+//!   it. Mutations that the decoder *accepts* are allowed only if they
+//!   leave the restored filter equal to the original (the flipped byte
+//!   was outside every validated field — impossible with the trailing
+//!   checksum, so acceptance is a test failure here).
+//! * **Appended garbage** — the self-delimiting envelope rejects trailing
+//!   bytes (the crash-recovery double-write case).
+//!
+//! Runs under the vendored deterministic `proptest`; case counts stay
+//! modest so the suite is Miri-friendly.
+
+use proptest::prelude::*;
+use proptest::{collection, prop_assert, proptest};
+
+use qf_repro::quantile_filter::epoch::{EpochFilter, FixedSize};
+use qf_repro::quantile_filter::{
+    Criteria, MultiCriteriaFilter, QuantileFilter, QuantileFilterBuilder,
+};
+
+fn criteria() -> Criteria {
+    match Criteria::new(5.0, 0.9, 100.0) {
+        Ok(c) => c,
+        Err(e) => panic!("criteria: {e}"),
+    }
+}
+
+fn seeded_filter(seed: u64) -> QuantileFilter {
+    let mut qf = QuantileFilterBuilder::new(criteria())
+        .candidate_buckets(16)
+        .bucket_len(2)
+        .vague_dims(3, 64)
+        .seed(seed)
+        .build();
+    for i in 0..200u64 {
+        let key = format!("k{}", i % 37);
+        qf.insert(key.as_str(), (i % 200) as f64);
+    }
+    qf
+}
+
+/// One genuine snapshot per container tag, with some accumulated state so
+/// the config/state sections are non-trivial.
+fn valid_snapshots() -> Vec<(&'static str, Vec<u8>)> {
+    let filter = seeded_filter(11).snapshot();
+
+    let mut ef: EpochFilter<i8> = EpochFilter::new(criteria(), 8 * 1024, 100, 7, FixedSize);
+    for i in 0..250u64 {
+        let key = format!("e{}", i % 23);
+        ef.insert(key.as_str(), (i % 150) as f64);
+    }
+    let epoch = ef.snapshot();
+
+    let mc = MultiCriteriaFilter::new(
+        seeded_filter(13),
+        vec![
+            criteria(),
+            match Criteria::new(2.0, 0.5, 50.0) {
+                Ok(c) => c,
+                Err(e) => panic!("criteria: {e}"),
+            },
+        ],
+    );
+    let multi = mc.snapshot();
+
+    vec![("filter", filter), ("epoch", epoch), ("multi", multi)]
+}
+
+/// Decode `bytes` as every container type; return the tags that accepted.
+fn restore_all(bytes: &[u8]) -> Vec<&'static str> {
+    let mut accepted = Vec::new();
+    if QuantileFilter::<qf_repro::qf_sketch::CountSketch<i8>>::restore(bytes).is_ok() {
+        accepted.push("filter");
+    }
+    if EpochFilter::<i8, FixedSize>::restore(bytes, FixedSize).is_ok() {
+        accepted.push("epoch");
+    }
+    if MultiCriteriaFilter::<qf_repro::qf_sketch::CountSketch<i8>>::restore(bytes).is_ok() {
+        accepted.push("multi");
+    }
+    accepted
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary byte soup never panics and never restores.
+    #[test]
+    fn arbitrary_bytes_never_restore(bytes in collection::vec(0u8..=255u8, 0..256usize)) {
+        let accepted = restore_all(&bytes);
+        prop_assert!(
+            accepted.is_empty(),
+            "random bytes decoded as {accepted:?}"
+        );
+    }
+
+    /// A random prefix of random bytes grafted onto the real magic still
+    /// fails cleanly (exercises the post-magic header parsing).
+    #[test]
+    fn magic_plus_garbage_never_restores(tail in collection::vec(0u8..=255u8, 0..128usize)) {
+        let mut bytes = b"QFSN".to_vec();
+        bytes.extend_from_slice(&tail);
+        let accepted = restore_all(&bytes);
+        prop_assert!(accepted.is_empty(), "magic+garbage decoded as {accepted:?}");
+    }
+
+    /// Single-byte corruption of a genuine snapshot is always detected.
+    #[test]
+    fn mutated_snapshots_never_restore(
+        which in 0usize..3,
+        pos_seed in 0usize..100_000,
+        xor in 1u8..=255u8,
+    ) {
+        let snapshots = valid_snapshots();
+        let (name, original) = &snapshots[which];
+        let pos = pos_seed % original.len();
+        let mut mutated = original.clone();
+        mutated[pos] ^= xor; // xor != 0, so the byte really changes
+        let accepted = restore_all(&mutated);
+        prop_assert!(
+            accepted.is_empty(),
+            "{name} snapshot with byte {pos} xor {xor:#04x} still decoded as {accepted:?}"
+        );
+    }
+
+    /// Truncation at any point is always detected.
+    #[test]
+    fn truncated_snapshots_never_restore(which in 0usize..3, keep_seed in 0usize..100_000) {
+        let snapshots = valid_snapshots();
+        let (name, original) = &snapshots[which];
+        let keep = keep_seed % original.len(); // strictly shorter than full
+        let accepted = restore_all(&original[..keep]);
+        prop_assert!(
+            accepted.is_empty(),
+            "{name} snapshot truncated to {keep} bytes decoded as {accepted:?}"
+        );
+    }
+
+    /// Appended garbage is rejected by the self-delimiting envelope with
+    /// the dedicated trailing-garbage error.
+    #[test]
+    fn appended_garbage_never_restores(
+        which in 0usize..3,
+        junk in collection::vec(0u8..=255u8, 1..64usize),
+    ) {
+        let snapshots = valid_snapshots();
+        let (name, original) = &snapshots[which];
+        let mut padded = original.clone();
+        padded.extend_from_slice(&junk);
+
+        let err = match which {
+            0 => QuantileFilter::<qf_repro::qf_sketch::CountSketch<i8>>::restore(&padded).err(),
+            1 => EpochFilter::<i8, FixedSize>::restore(&padded, FixedSize).err(),
+            _ => MultiCriteriaFilter::<qf_repro::qf_sketch::CountSketch<i8>>::restore(&padded).err(),
+        };
+        let err = match err {
+            Some(e) => e,
+            None => panic!("{name} snapshot accepted {} bytes of trailing garbage", junk.len()),
+        };
+        let msg = err.to_string();
+        prop_assert!(
+            msg.contains("trailing garbage"),
+            "{name}: wrong rejection reason for appended junk: {msg}"
+        );
+    }
+}
+
+/// Sanity anchor for the fuzz properties: the unmutated snapshots *do*
+/// restore, so the rejections above are discriminating, not vacuous.
+#[test]
+fn unmutated_snapshots_restore() {
+    let snapshots = valid_snapshots();
+    assert!(
+        QuantileFilter::<qf_repro::qf_sketch::CountSketch<i8>>::restore(&snapshots[0].1).is_ok()
+    );
+    assert!(EpochFilter::<i8, FixedSize>::restore(&snapshots[1].1, FixedSize).is_ok());
+    assert!(
+        MultiCriteriaFilter::<qf_repro::qf_sketch::CountSketch<i8>>::restore(&snapshots[2].1)
+            .is_ok()
+    );
+}
