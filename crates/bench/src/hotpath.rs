@@ -1,0 +1,585 @@
+//! The hot-path A/B harness behind the `hotpath` bin.
+//!
+//! [`LegacyFilter`] reconstructs the pre-refactor insert flow from the
+//! filter's public parts — identical structures, seeds, and Qweight math,
+//! but the old three-query vague-part conversation (`add`, then a
+//! rehashing `estimate`, then a re-deriving `remove_estimate`) and a
+//! fresh `report_threshold()` division at every check. Running it against
+//! [`QuantileFilter::insert`] / [`QuantileFilter::insert_batch`] on the
+//! same trace isolates exactly what the one-pass rewrite bought; the unit
+//! tests below pin the two to identical report decisions, so the
+//! comparison measures the insert flow and nothing else.
+//!
+//! The harness reports best-of-`repeats` wall-clock throughput in Mops/s
+//! (million inserts per second) and renders the whole run as the
+//! `BENCH_hotpath.json` schema documented on [`render_json`].
+
+use qf_baselines::QfDetector;
+use qf_datasets::Item;
+use qf_eval::ShardedDetector;
+use qf_hash::SplitMix64;
+use qf_sketch::{CountSketch, StochasticRounder, WeightSketch};
+use quantile_filter::candidate::{CandidateOutcome, CandidatePart};
+use quantile_filter::vague::VagueKey;
+use quantile_filter::{Criteria, ElectionStrategy, QuantileFilter, QuantileFilterBuilder};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Structure dimensions shared by the legacy baseline and the current
+/// filter, so an A/B run compares code paths over bit-identical state.
+#[derive(Debug, Clone, Copy)]
+pub struct HotpathDims {
+    /// Candidate buckets `m`.
+    pub candidate_buckets: usize,
+    /// Entries per bucket `b`.
+    pub bucket_len: usize,
+    /// Vague-part rows `d`.
+    pub vague_depth: usize,
+    /// Vague-part counters per row `w`.
+    pub vague_width: usize,
+    /// Master seed (hash families, rounder, and election RNG derive from
+    /// it exactly as [`QuantileFilterBuilder`] does).
+    pub seed: u64,
+}
+
+impl HotpathDims {
+    /// ≈32 KiB at the paper's 4:1 candidate:vague split with b = 6, d = 3:
+    /// 728 × 6 candidate entries (6 B each) plus 3 × 2184 i8 counters.
+    /// Small enough to stay cache-resident, so the A/B difference is
+    /// hashing and arithmetic rather than DRAM.
+    pub fn paper_32k(seed: u64) -> Self {
+        Self {
+            candidate_buckets: 728,
+            bucket_len: 6,
+            vague_depth: 3,
+            vague_width: 2184,
+            seed,
+        }
+    }
+}
+
+/// Build the current filter with exactly the dimensions and derived seeds
+/// the legacy baseline uses.
+pub fn build_current(criteria: Criteria, dims: &HotpathDims) -> QuantileFilter {
+    QuantileFilterBuilder::new(criteria)
+        .candidate_buckets(dims.candidate_buckets)
+        .bucket_len(dims.bucket_len)
+        .vague_dims(dims.vague_depth, dims.vague_width)
+        .seed(dims.seed)
+        .build()
+}
+
+/// The pre-refactor QuantileFilter insert flow, rebuilt from public parts.
+///
+/// Decision-for-decision equivalent to [`QuantileFilter::insert`] when
+/// constructed with the same [`HotpathDims`] (same hash seeds, same
+/// rounder and election RNG streams), but performing the work the
+/// one-pass rewrite eliminated: per-check `ε/(1−δ)` divisions, a full
+/// row-rehashing `estimate` after every vague `add`, and a third
+/// estimate-re-deriving sketch query on reports and elections.
+pub struct LegacyFilter {
+    criteria: Criteria,
+    candidate: CandidatePart,
+    vague: CountSketch<i8>,
+    strategy: ElectionStrategy,
+    rounder: StochasticRounder,
+    rng: SplitMix64,
+}
+
+impl LegacyFilter {
+    /// Build with the same derived seeds as [`build_current`].
+    pub fn new(criteria: Criteria, dims: &HotpathDims) -> Self {
+        Self {
+            criteria,
+            candidate: CandidatePart::new(dims.candidate_buckets, dims.bucket_len, dims.seed),
+            vague: CountSketch::new(dims.vague_depth, dims.vague_width, dims.seed ^ 0x7A63_5E11),
+            strategy: ElectionStrategy::default(),
+            rounder: StochasticRounder::new(dims.seed ^ 0x5EED_0001),
+            rng: SplitMix64::new(dims.seed ^ 0x5EED_0002),
+        }
+    }
+
+    #[inline]
+    fn meets(&self, qw: i64) -> bool {
+        // Pre-refactor check: the ε/(1−δ) division re-runs at every call.
+        qw as f64 + 1e-9 >= self.criteria.report_threshold()
+    }
+
+    /// The old insert: candidate offer, then on overflow up to three
+    /// separate sketch queries. Returns whether the key was reported.
+    #[inline]
+    pub fn insert(&mut self, key: u64, value: f64) -> bool {
+        if !value.is_finite() {
+            return false;
+        }
+        let delta = self.rounder.round(self.criteria.item_weight(value));
+        let bucket = self.candidate.bucket_of(&key);
+        let fp = self.candidate.fingerprint_of(&key);
+        match self.candidate.offer(bucket, fp, delta) {
+            CandidateOutcome::Updated { qweight } => {
+                if self.meets(qweight) {
+                    self.candidate.reset_entry(bucket, fp);
+                    return true;
+                }
+                false
+            }
+            CandidateOutcome::Inserted => {
+                if self.meets(delta) {
+                    self.candidate.reset_entry(bucket, fp);
+                    return true;
+                }
+                false
+            }
+            CandidateOutcome::BucketFull => {
+                let vk = VagueKey::new(bucket, fp);
+                // Query 1: add (d row hashes). Query 2: estimate (the
+                // same d row hashes all over again).
+                self.vague.add(&vk, delta);
+                let est = self.vague.estimate(&vk);
+                if self.meets(est) {
+                    // Query 3: remove_estimate re-derives the estimate a
+                    // third time before subtracting it.
+                    self.vague.remove_estimate(&vk);
+                    return true;
+                }
+                if let Some((min_fp, min_qw)) = self.candidate.min_entry(bucket) {
+                    if self.strategy.should_replace(est, min_qw, &mut self.rng) {
+                        let pulled = self.vague.remove_estimate(&vk);
+                        self.vague.add(&VagueKey::new(bucket, min_fp), min_qw);
+                        self.candidate.replace(bucket, min_fp, fp, pulled);
+                    }
+                }
+                false
+            }
+        }
+    }
+}
+
+/// One timed ingest run: item count, best wall-clock seconds, reports.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Items ingested per run.
+    pub items: usize,
+    /// Best-of-repeats wall-clock seconds.
+    pub seconds: f64,
+    /// Reports (or reported keys, for sharded runs) from the last repeat.
+    pub reports: u64,
+}
+
+impl Measurement {
+    /// Million inserts per second.
+    pub fn mops(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return 0.0;
+        }
+        self.items as f64 / self.seconds / 1e6
+    }
+}
+
+/// Best-of-`repeats` timing: `setup` runs untimed before each repeat (so
+/// construction and allocation stay out of the measurement), `run` is the
+/// timed ingest and returns its report count.
+fn timed<T>(
+    items_len: usize,
+    repeats: usize,
+    mut setup: impl FnMut() -> T,
+    mut run: impl FnMut(&mut T) -> u64,
+) -> Measurement {
+    let mut best = f64::INFINITY;
+    let mut reports = 0;
+    for _ in 0..repeats.max(1) {
+        let mut state = setup();
+        let t0 = Instant::now();
+        let r = run(&mut state);
+        let dt = t0.elapsed().as_secs_f64();
+        black_box(&state);
+        reports = r;
+        if dt < best {
+            best = dt;
+        }
+    }
+    Measurement {
+        items: items_len,
+        seconds: best,
+        reports,
+    }
+}
+
+/// Time the legacy three-query insert flow over `items`.
+pub fn measure_legacy(
+    criteria: Criteria,
+    dims: &HotpathDims,
+    items: &[(u64, f64)],
+    repeats: usize,
+) -> Measurement {
+    timed(
+        items.len(),
+        repeats,
+        || LegacyFilter::new(criteria, dims),
+        |f| {
+            let mut r = 0u64;
+            for &(k, v) in items {
+                r += u64::from(f.insert(k, v));
+            }
+            r
+        },
+    )
+}
+
+/// Time the current one-pass scalar insert over `items`.
+pub fn measure_scalar(
+    criteria: Criteria,
+    dims: &HotpathDims,
+    items: &[(u64, f64)],
+    repeats: usize,
+) -> Measurement {
+    timed(
+        items.len(),
+        repeats,
+        || build_current(criteria, dims),
+        |f| {
+            let mut r = 0u64;
+            for &(k, v) in items {
+                r += u64::from(f.insert(&k, v).is_some());
+            }
+            r
+        },
+    )
+}
+
+/// Time [`QuantileFilter::insert_batch`] over `items` in `chunk`-sized
+/// feeds (the chunk only bounds how far the prefetcher looks ahead; the
+/// replayed stream is identical).
+pub fn measure_batch(
+    criteria: Criteria,
+    dims: &HotpathDims,
+    items: &[(u64, f64)],
+    chunk: usize,
+    repeats: usize,
+) -> Measurement {
+    timed(
+        items.len(),
+        repeats,
+        || build_current(criteria, dims),
+        |f| {
+            let mut r = 0u64;
+            for part in items.chunks(chunk.max(1)) {
+                f.insert_batch(part, &mut |_, _| r += 1);
+            }
+            r
+        },
+    )
+}
+
+/// Time [`ShardedDetector::run_parallel`] at a given worker count over a
+/// bank of `shards` paper-default QuantileFilters.
+pub fn measure_sharded(
+    criteria: Criteria,
+    memory_bytes: usize,
+    shards: usize,
+    threads: usize,
+    items: &[Item],
+    repeats: usize,
+) -> Measurement {
+    timed(
+        items.len(),
+        repeats,
+        || {
+            ShardedDetector::new(
+                (0..shards)
+                    .map(|i| QfDetector::paper_default(criteria, memory_bytes, i as u64))
+                    .collect::<Vec<_>>(),
+            )
+        },
+        |bank| bank.run_parallel(items, threads).len() as u64,
+    )
+}
+
+/// Single-thread A/B block of one workload.
+#[derive(Debug, Clone, Copy)]
+pub struct SingleThread {
+    /// The reconstructed pre-refactor flow.
+    pub legacy: Measurement,
+    /// Current scalar [`QuantileFilter::insert`].
+    pub scalar: Measurement,
+    /// Current [`QuantileFilter::insert_batch`].
+    pub batch: Measurement,
+}
+
+/// One `run_parallel` scaling point.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadPoint {
+    /// Worker count requested.
+    pub threads: usize,
+    /// The timed run (`reports` counts distinct reported keys).
+    pub measurement: Measurement,
+}
+
+/// All measurements taken on one trace.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// Workload name ("zipf", "internet").
+    pub name: String,
+    /// Stream length.
+    pub items: usize,
+    /// Distinct keys present.
+    pub keys: u64,
+    /// Value threshold `T` used by the criteria.
+    pub threshold: f64,
+    /// Single-thread A/B numbers.
+    pub single: SingleThread,
+    /// Sharded-ingest scaling points.
+    pub sharded: Vec<ThreadPoint>,
+}
+
+/// A full harness run, renderable as `BENCH_hotpath.json`.
+#[derive(Debug, Clone)]
+pub struct HotpathReport {
+    /// "full" or "tiny" (the CI smoke mode).
+    pub mode: String,
+    /// `available_parallelism` of the measuring host.
+    pub nproc: usize,
+    /// Best-of repeats per measurement.
+    pub repeats: usize,
+    /// Batch feed size used by the `insert_batch` measurement.
+    pub batch_chunk: usize,
+    /// Per-workload results.
+    pub workloads: Vec<WorkloadResult>,
+}
+
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "0".into()
+    }
+}
+
+/// Render the report as the `BENCH_hotpath.json` document:
+///
+/// ```json
+/// {
+///   "schema": "qf-bench-hotpath/v1",
+///   "mode": "full",            // or "tiny" (CI smoke)
+///   "nproc": 1,                // cores on the measuring host
+///   "repeats": 3,              // best-of repeats per number
+///   "batch_chunk": 4096,
+///   "workloads": [{
+///     "name": "zipf", "items": 2000000, "keys": 120000, "threshold": 300.0,
+///     "single_thread": {
+///       "legacy_mops": 10.0,   // pre-refactor three-query flow
+///       "scalar_mops": 14.0,   // current insert()
+///       "batch_mops": 16.0,    // current insert_batch()
+///       "scalar_speedup_vs_legacy": 1.4,
+///       "batch_speedup_vs_legacy": 1.6,
+///       "reports": 1234        // identical across all three by construction
+///     },
+///     "sharded": [{"threads": 1, "mops": 9.0, "reported_keys": 77}, ...]
+///   }]
+/// }
+/// ```
+pub fn render_json(report: &HotpathReport) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"qf-bench-hotpath/v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", report.mode));
+    out.push_str(&format!("  \"nproc\": {},\n", report.nproc));
+    out.push_str(&format!("  \"repeats\": {},\n", report.repeats));
+    out.push_str(&format!("  \"batch_chunk\": {},\n", report.batch_chunk));
+    out.push_str("  \"workloads\": [\n");
+    for (i, w) in report.workloads.iter().enumerate() {
+        let s = &w.single;
+        let (legacy, scalar, batch) = (s.legacy.mops(), s.scalar.mops(), s.batch.mops());
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", w.name));
+        out.push_str(&format!("      \"items\": {},\n", w.items));
+        out.push_str(&format!("      \"keys\": {},\n", w.keys));
+        out.push_str(&format!("      \"threshold\": {},\n", num(w.threshold)));
+        out.push_str("      \"single_thread\": {\n");
+        out.push_str(&format!("        \"legacy_mops\": {},\n", num(legacy)));
+        out.push_str(&format!("        \"scalar_mops\": {},\n", num(scalar)));
+        out.push_str(&format!("        \"batch_mops\": {},\n", num(batch)));
+        out.push_str(&format!(
+            "        \"scalar_speedup_vs_legacy\": {},\n",
+            num(if legacy > 0.0 { scalar / legacy } else { 0.0 })
+        ));
+        out.push_str(&format!(
+            "        \"batch_speedup_vs_legacy\": {},\n",
+            num(if legacy > 0.0 { batch / legacy } else { 0.0 })
+        ));
+        out.push_str(&format!("        \"reports\": {}\n", s.batch.reports));
+        out.push_str("      },\n");
+        out.push_str("      \"sharded\": [\n");
+        for (j, p) in w.sharded.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"threads\": {}, \"mops\": {}, \"reported_keys\": {}}}{}\n",
+                p.threads,
+                num(p.measurement.mops()),
+                p.measurement.reports,
+                if j + 1 < w.sharded.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < report.workloads.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn criteria() -> Criteria {
+        match Criteria::new(5.0, 0.9, 100.0) {
+            Ok(c) => c,
+            Err(e) => panic!("criteria: {e}"),
+        }
+    }
+
+    fn trace(len: usize, keys: u64, seed: u64) -> Vec<(u64, f64)> {
+        let mut rng = SplitMix64::new(seed);
+        (0..len)
+            .map(|_| {
+                let key = rng.next_u64() % keys;
+                let value = if rng.next_u64() % 100 < 40 {
+                    500.0
+                } else {
+                    5.0
+                };
+                (key, value)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn legacy_filter_matches_current_decisions_item_for_item() {
+        // The baseline is only a fair baseline if it is the same filter:
+        // same per-item report decisions over a collision-heavy trace.
+        let dims = HotpathDims {
+            candidate_buckets: 32,
+            bucket_len: 2,
+            vague_depth: 3,
+            vague_width: 512,
+            seed: 0xA11CE,
+        };
+        let c = criteria();
+        let mut legacy = LegacyFilter::new(c, &dims);
+        let mut current = build_current(c, &dims);
+        let items = trace(40_000, 2_000, 7);
+        let mut reports = 0u64;
+        for (i, &(k, v)) in items.iter().enumerate() {
+            let a = legacy.insert(k, v);
+            let b = current.insert(&k, v).is_some();
+            assert_eq!(a, b, "decision divergence at item {i} (key {k})");
+            reports += u64::from(a);
+        }
+        assert!(reports > 10, "only {reports} reports — trace too tame");
+        assert!(
+            current.stats().vague_visits > 10_000,
+            "vague path barely exercised"
+        );
+        assert!(current.stats().exchanges > 0, "no elections exercised");
+    }
+
+    #[test]
+    fn all_three_measurements_agree_on_reports() {
+        let dims = HotpathDims {
+            candidate_buckets: 64,
+            bucket_len: 4,
+            vague_depth: 3,
+            vague_width: 1024,
+            seed: 0xBEE,
+        };
+        let c = criteria();
+        let items = trace(20_000, 1_500, 11);
+        let legacy = measure_legacy(c, &dims, &items, 1);
+        let scalar = measure_scalar(c, &dims, &items, 1);
+        let batch = measure_batch(c, &dims, &items, 4096, 1);
+        assert!(legacy.reports > 0);
+        assert_eq!(legacy.reports, scalar.reports);
+        assert_eq!(scalar.reports, batch.reports);
+        assert_eq!(legacy.items, 20_000);
+    }
+
+    #[test]
+    fn rendered_json_is_balanced_and_complete() {
+        let m = Measurement {
+            items: 1000,
+            seconds: 0.001,
+            reports: 5,
+        };
+        let report = HotpathReport {
+            mode: "tiny".into(),
+            nproc: 1,
+            repeats: 1,
+            batch_chunk: 4096,
+            workloads: vec![WorkloadResult {
+                name: "zipf".into(),
+                items: 1000,
+                keys: 100,
+                threshold: 300.0,
+                single: SingleThread {
+                    legacy: m,
+                    scalar: m,
+                    batch: m,
+                },
+                sharded: vec![
+                    ThreadPoint {
+                        threads: 1,
+                        measurement: m,
+                    },
+                    ThreadPoint {
+                        threads: 2,
+                        measurement: m,
+                    },
+                ],
+            }],
+        };
+        let json = render_json(&report);
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let opens = json.matches(open).count();
+            let closes = json.matches(close).count();
+            assert_eq!(opens, closes, "unbalanced {open}{close} in:\n{json}");
+        }
+        for key in [
+            "\"schema\"",
+            "\"qf-bench-hotpath/v1\"",
+            "\"legacy_mops\"",
+            "\"scalar_mops\"",
+            "\"batch_mops\"",
+            "\"batch_speedup_vs_legacy\"",
+            "\"sharded\"",
+            "\"threads\": 2",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        // No trailing commas (the classic hand-rolled-JSON bug).
+        assert!(!json.contains(",\n      ]"));
+        assert!(!json.contains(",\n  ]"));
+        assert!(!json.contains(",}"));
+    }
+
+    #[test]
+    fn measurement_mops_math() {
+        let m = Measurement {
+            items: 2_000_000,
+            seconds: 0.5,
+            reports: 0,
+        };
+        assert!((m.mops() - 4.0).abs() < 1e-9);
+        let zero = Measurement {
+            items: 10,
+            seconds: 0.0,
+            reports: 0,
+        };
+        assert_eq!(zero.mops(), 0.0);
+    }
+}

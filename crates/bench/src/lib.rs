@@ -1,3 +1,7 @@
-//! (under construction)
+//! qf-bench: criterion benches, figure-regeneration binaries, and the
+//! hot-path A/B harness ([`hotpath`]) that measures the one-pass insert
+//! rewrite against a faithful reconstruction of the pre-refactor flow.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod hotpath;

@@ -7,7 +7,7 @@
 //! split) charges.
 
 use qf_hash::wire::{ByteReader, ByteWriter, WireError};
-use qf_hash::{fingerprint16, RowHasher, StreamKey};
+use qf_hash::{fingerprint16, HashedKey, RowHasher, StreamKey};
 
 /// One candidate slot. `occupied == false` slots have undefined fp/qw.
 #[derive(Debug, Clone, Copy, Default)]
@@ -32,6 +32,29 @@ pub enum CandidateOutcome {
     Inserted,
     /// Bucket full and no match: the caller must go to the vague part.
     BucketFull,
+}
+
+/// Outcome of the fused walk [`CandidatePart::offer_or_min`]. Identical to
+/// [`CandidateOutcome`] except that the bucket-full case carries the
+/// bucket's minimum entry, discovered during the same pass over the slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OfferOutcome {
+    /// The key's fingerprint matched; its Qweight is now the payload.
+    Updated {
+        /// Qweight after the update.
+        qweight: i64,
+    },
+    /// The bucket had room; a fresh entry was created with the item weight.
+    Inserted,
+    /// Bucket full and no match: the caller must go to the vague part.
+    /// `⟨min_fp, min_qw⟩` is the bucket's minimum-Qweight entry (Algorithm 2
+    /// line 14), so the election needs no second scan of the bucket.
+    BucketFull {
+        /// Fingerprint of the minimum-Qweight entry.
+        min_fp: u16,
+        /// That entry's Qweight.
+        min_qw: i64,
+    },
 }
 
 /// The candidate array.
@@ -129,6 +152,26 @@ impl CandidatePart {
         fingerprint16(key, self.fp_seed)
     }
 
+    /// Both candidate coordinates — `h_b(x)` and `h_fp(x)` — captured once
+    /// per insert and carried through the whole operation, so neither hash
+    /// is ever recomputed mid-insert.
+    #[inline(always)]
+    pub fn coords_of<K: StreamKey + ?Sized>(&self, key: &K) -> HashedKey {
+        HashedKey {
+            bucket: self.bucket_of(key),
+            fp: self.fingerprint_of(key),
+        }
+    }
+
+    /// Hint-prefetch a bucket's slot line ahead of [`Self::offer`] — used
+    /// by the batch ingest path, which hashes item `i+1` while item `i` is
+    /// being applied.
+    #[inline(always)]
+    pub fn prefetch(&self, bucket: usize) {
+        debug_assert!(bucket < self.buckets);
+        qf_sketch::prefetch_read(self.slots.as_ptr().wrapping_add(bucket * self.bucket_len));
+    }
+
     #[inline(always)]
     fn bucket_slots(&self, bucket: usize) -> &[Slot] {
         &self.slots[bucket * self.bucket_len..(bucket + 1) * self.bucket_len]
@@ -166,6 +209,60 @@ impl CandidatePart {
             return CandidateOutcome::Inserted;
         }
         CandidateOutcome::BucketFull
+    }
+
+    /// One-pass variant of [`Self::offer`]: walks the bucket once and, when
+    /// it is full with no fingerprint match, returns the minimum entry found
+    /// during that same walk — the election (Algorithm 2 lines 14–17) then
+    /// needs no second scan of the bucket. The tie-break matches
+    /// [`Self::min_entry`] exactly: the first minimal entry in slot order.
+    ///
+    /// [`Self::offer`] is kept separately (rather than wrapping this) so
+    /// callers that never elect — and A/B baselines reconstructing the
+    /// pre-fusion flow — don't pay for the min tracking.
+    pub fn offer_or_min(&mut self, bucket: usize, fp: u16, delta: i64) -> OfferOutcome {
+        let mut free: Option<usize> = None;
+        let mut min: Option<(u16, i32)> = None;
+        let slots = self.bucket_slots_mut(bucket);
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if slot.occupied {
+                if slot.fp == fp {
+                    let widened = i64::from(slot.qw).saturating_add(delta);
+                    slot.qw = widened.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32;
+                    return OfferOutcome::Updated {
+                        qweight: i64::from(slot.qw),
+                    };
+                }
+                // Strict `<` keeps the first minimal entry, like min_entry's
+                // min_by_key.
+                if min.is_none_or(|(_, qw)| slot.qw < qw) {
+                    min = Some((slot.fp, slot.qw));
+                }
+            } else if free.is_none() {
+                free = Some(i);
+            }
+        }
+        if let Some(i) = free {
+            slots[i] = Slot {
+                fp,
+                qw: delta.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32,
+                occupied: true,
+            };
+            return OfferOutcome::Inserted;
+        }
+        match min {
+            Some((min_fp, min_qw)) => OfferOutcome::BucketFull {
+                min_fp,
+                min_qw: i64::from(min_qw),
+            },
+            // Unreachable: a full bucket (no free slot, bucket_len ≥ 1) has
+            // at least one occupied entry. An i64::MAX minimum makes every
+            // election a no-op rather than panicking.
+            None => OfferOutcome::BucketFull {
+                min_fp: fp,
+                min_qw: i64::MAX,
+            },
+        }
     }
 
     /// Read a key's Qweight if its fingerprint is present in `bucket`.
@@ -398,6 +495,50 @@ mod tests {
         p.offer(0, 2, -5);
         p.offer(0, 3, 7);
         assert_eq!(p.min_entry(0), Some((2, -5)));
+    }
+
+    #[test]
+    fn offer_or_min_reports_first_minimal_entry() {
+        let mut p = CandidatePart::new(1, 4, 2);
+        p.offer(0, 1, 7);
+        p.offer(0, 2, -5);
+        p.offer(0, 3, -5); // Tie with fp 2; fp 2 is first in slot order.
+        p.offer(0, 4, 10);
+        assert_eq!(
+            p.offer_or_min(0, 99, 1),
+            OfferOutcome::BucketFull {
+                min_fp: 2,
+                min_qw: -5
+            }
+        );
+        // The carried minimum must agree with the two-scan answer.
+        assert_eq!(p.min_entry(0), Some((2, -5)));
+    }
+
+    #[test]
+    fn offer_or_min_matches_offer_on_update_and_insert() {
+        let mut a = CandidatePart::new(4, 3, 42);
+        let mut b = CandidatePart::new(4, 3, 42);
+        for k in 0u64..200 {
+            let bucket = a.bucket_of(&k);
+            let fp = a.fingerprint_of(&k);
+            let delta = (k as i64 % 13) - 6;
+            let via_offer = a.offer(bucket, fp, delta);
+            let via_fused = b.offer_or_min(bucket, fp, delta);
+            match (via_offer, via_fused) {
+                (
+                    CandidateOutcome::Updated { qweight: x },
+                    OfferOutcome::Updated { qweight: y },
+                ) => {
+                    assert_eq!(x, y)
+                }
+                (CandidateOutcome::Inserted, OfferOutcome::Inserted) => {}
+                (CandidateOutcome::BucketFull, OfferOutcome::BucketFull { min_fp, min_qw }) => {
+                    assert_eq!(a.min_entry(bucket), Some((min_fp, min_qw)));
+                }
+                (x, y) => panic!("diverged on key {k}: {x:?} vs {y:?}"),
+            }
+        }
     }
 
     #[test]

@@ -1,12 +1,12 @@
 //! The QuantileFilter (Algorithm 2): candidate part + vague part with
 //! candidate election.
 
-use crate::candidate::{CandidateOutcome, CandidatePart};
+use crate::candidate::{CandidatePart, OfferOutcome};
 use crate::criteria::Criteria;
 use crate::error::QfError;
 use crate::strategy::ElectionStrategy;
 use crate::vague::{VagueKey, VaguePart};
-use qf_hash::{SplitMix64, StreamKey};
+use qf_hash::{HashedKey, SplitMix64, StreamKey};
 use qf_sketch::{CountSketch, StochasticRounder, WeightSketch};
 
 /// Which part of the structure produced a report.
@@ -67,6 +67,11 @@ pub struct QuantileFilter<S: WeightSketch = CountSketch<i8>> {
     rounder: StochasticRounder,
     rng: SplitMix64,
     stats: FilterStats,
+    // Derived from `criteria` whenever it is (re)set, so the default-
+    // criteria ingest paths never re-divide per item. Not serialized:
+    // snapshots restore `criteria` and recompute.
+    report_at: f64,
+    weight_above: f64,
 }
 
 impl<S: WeightSketch> QuantileFilter<S> {
@@ -87,6 +92,8 @@ impl<S: WeightSketch> QuantileFilter<S> {
             rounder: StochasticRounder::new(seed ^ 0x5EED_0001),
             rng: SplitMix64::new(seed ^ 0x5EED_0002),
             stats: FilterStats::default(),
+            report_at: criteria.report_threshold(),
+            weight_above: criteria.weight_above(),
         }
     }
 
@@ -100,6 +107,8 @@ impl<S: WeightSketch> QuantileFilter<S> {
     /// [`Self::delete`]).
     pub fn set_default_criteria(&mut self, criteria: Criteria) {
         self.criteria = criteria;
+        self.report_at = criteria.report_threshold();
+        self.weight_above = criteria.weight_above();
     }
 
     /// Operation statistics since construction or the last [`Self::reset`].
@@ -127,10 +136,13 @@ impl<S: WeightSketch> QuantileFilter<S> {
         &self.vague
     }
 
-    /// Does an integer Qweight meet the report threshold `ε/(1−δ)`?
+    /// Does an integer Qweight meet the report threshold `ε/(1−δ)`? The
+    /// threshold is computed once per insert (or once per batch) and passed
+    /// in, so the division behind `report_threshold()` is off the per-check
+    /// path.
     #[inline(always)]
-    fn meets(criteria: &Criteria, qw: i64) -> bool {
-        qw as f64 + 1e-9 >= criteria.report_threshold()
+    fn meets(report_at: f64, qw: i64) -> bool {
+        qw as f64 + 1e-9 >= report_at
     }
 
     /// Insert an item under the filter-wide default criteria.
@@ -142,8 +154,13 @@ impl<S: WeightSketch> QuantileFilter<S> {
     /// rejection as a typed error instead.
     #[inline]
     pub fn insert<K: StreamKey + ?Sized>(&mut self, key: &K, value: f64) -> Option<Report> {
-        let criteria = self.criteria;
-        self.insert_with_criteria(key, value, &criteria)
+        if !value.is_finite() {
+            crate::telemetry::dropped_non_finite();
+            return None;
+        }
+        let (threshold, report_at, weight_above) =
+            (self.criteria.threshold(), self.report_at, self.weight_above);
+        self.insert_finite(key, value, threshold, report_at, weight_above)
     }
 
     /// Insert an item under per-item criteria (§III-C first flexibility:
@@ -160,7 +177,13 @@ impl<S: WeightSketch> QuantileFilter<S> {
             crate::telemetry::dropped_non_finite();
             return None;
         }
-        self.insert_finite(key, value, criteria)
+        self.insert_finite(
+            key,
+            value,
+            criteria.threshold(),
+            criteria.report_threshold(),
+            criteria.weight_above(),
+        )
     }
 
     /// Fallible insert under the filter-wide default criteria: rejects
@@ -171,8 +194,13 @@ impl<S: WeightSketch> QuantileFilter<S> {
         key: &K,
         value: f64,
     ) -> Result<Option<Report>, QfError> {
-        let criteria = self.criteria;
-        self.try_insert_with_criteria(key, value, &criteria)
+        if !value.is_finite() {
+            crate::telemetry::rejected_non_finite();
+            return Err(QfError::NonFiniteValue { value });
+        }
+        let (threshold, report_at, weight_above) =
+            (self.criteria.threshold(), self.report_at, self.weight_above);
+        Ok(self.insert_finite(key, value, threshold, report_at, weight_above))
     }
 
     /// Fallible insert under per-item criteria: rejects NaN/±∞ with
@@ -184,28 +212,56 @@ impl<S: WeightSketch> QuantileFilter<S> {
         criteria: &Criteria,
     ) -> Result<Option<Report>, QfError> {
         if !value.is_finite() {
-            crate::telemetry::dropped_non_finite();
+            crate::telemetry::rejected_non_finite();
             return Err(QfError::NonFiniteValue { value });
         }
-        Ok(self.insert_finite(key, value, criteria))
+        Ok(self.insert_finite(
+            key,
+            value,
+            criteria.threshold(),
+            criteria.report_threshold(),
+            criteria.weight_above(),
+        ))
     }
 
+    /// The shared finite-value ingest: callers pass the criteria already
+    /// broken into its three hot constants (value threshold, report
+    /// threshold, above-`T` weight) so the default-criteria paths read the
+    /// cached derivations and never divide per item.
     fn insert_finite<K: StreamKey + ?Sized>(
         &mut self,
         key: &K,
         value: f64,
-        criteria: &Criteria,
+        value_threshold: f64,
+        report_at: f64,
+        weight_above: f64,
     ) -> Option<Report> {
         crate::telemetry::insert();
-        let delta = self.rounder.round(criteria.item_weight(value));
-        let bucket = self.candidate.bucket_of(key);
-        let fp = self.candidate.fingerprint_of(key);
+        let raw = if value > value_threshold {
+            weight_above
+        } else {
+            -1.0
+        };
+        let delta = self.rounder.round(raw);
+        let hk = self.candidate.coords_of(key);
+        self.offer_hashed(hk, delta, report_at)
+    }
 
-        match self.candidate.offer(bucket, fp, delta) {
-            CandidateOutcome::Updated { qweight } => {
+    /// The one-pass core of Algorithm 2, operating on precomputed
+    /// candidate coordinates. Every hash the insert needs is evaluated
+    /// exactly once — `h_b`/`h_fp` arrive in `hk`, and the vague path
+    /// captures its `d` row lanes once and reuses them for the fused
+    /// add-estimate, the post-report reset, and the election's pull — and
+    /// the candidate bucket is walked exactly once: `offer_or_min` carries
+    /// the bucket's minimum entry out of the same scan that established
+    /// bucket-full, so the election never rescans the slots.
+    fn offer_hashed(&mut self, hk: HashedKey, delta: i64, report_at: f64) -> Option<Report> {
+        let HashedKey { bucket, fp } = hk;
+        match self.candidate.offer_or_min(bucket, fp, delta) {
+            OfferOutcome::Updated { qweight } => {
                 self.stats.candidate_hits += 1;
                 crate::telemetry::candidate_hit();
-                if Self::meets(criteria, qweight) {
+                if Self::meets(report_at, qweight) {
                     self.candidate.reset_entry(bucket, fp);
                     self.stats.reports += 1;
                     crate::telemetry::report_candidate();
@@ -216,12 +272,12 @@ impl<S: WeightSketch> QuantileFilter<S> {
                 }
                 None
             }
-            CandidateOutcome::Inserted => {
+            OfferOutcome::Inserted => {
                 self.stats.candidate_inserts += 1;
                 crate::telemetry::candidate_insert();
                 // A single item can already be outstanding when ε = 0 and
                 // its weight crosses the (then zero-or-negative) threshold.
-                if Self::meets(criteria, delta) {
+                if Self::meets(report_at, delta) {
                     self.candidate.reset_entry(bucket, fp);
                     self.stats.reports += 1;
                     crate::telemetry::report_candidate();
@@ -232,15 +288,17 @@ impl<S: WeightSketch> QuantileFilter<S> {
                 }
                 None
             }
-            CandidateOutcome::BucketFull => {
+            OfferOutcome::BucketFull { min_fp, min_qw } => {
                 self.stats.vague_visits += 1;
                 crate::telemetry::bucket_full();
                 let vk = VagueKey::new(bucket, fp);
-                self.vague.add(vk, delta);
-                let est = self.vague.estimate(vk);
-                if Self::meets(criteria, est) {
-                    // Report and reset the key's Qweight in the vague part.
-                    self.vague.remove_estimate(vk);
+                let lanes = self.vague.prepare_lanes(vk);
+                let est = self.vague.add_and_estimate(vk, &lanes, delta);
+                if Self::meets(report_at, est) {
+                    // Report and reset the key's Qweight in the vague part —
+                    // removing exactly the estimate just acted on, not a
+                    // recomputed one.
+                    self.vague.fetch_remove(vk, &lanes, est);
                     self.stats.reports += 1;
                     crate::telemetry::report_vague();
                     return Some(Report {
@@ -248,25 +306,80 @@ impl<S: WeightSketch> QuantileFilter<S> {
                         estimated_qweight: est,
                     });
                 }
-                // Candidate election (Algorithm 2 lines 14–17).
-                if let Some((min_fp, min_qw)) = self.candidate.min_entry(bucket) {
-                    if self.strategy.should_replace(est, min_qw, &mut self.rng) {
-                        crate::telemetry::election();
-                        // Evicted entry's Qweight moves into the vague part
-                        // under its own composite key...
-                        let pulled = self.vague.remove_estimate(vk);
-                        self.vague.add(VagueKey::new(bucket, min_fp), min_qw);
-                        // ...and the challenger enters the candidate part
-                        // with the mass just pulled out of the sketch.
-                        self.candidate.replace(bucket, min_fp, fp, pulled);
-                        self.stats.exchanges += 1;
-                        // The exchange is the one mutation that rewrites an
-                        // entry in place — the natural audit point.
-                        #[cfg(feature = "strict-invariants")]
-                        self.assert_candidate_invariants();
-                    }
+                // Candidate election (Algorithm 2 lines 14–17), against the
+                // ⟨min_fp, min_qw⟩ entry the offer walk already found.
+                if self.strategy.should_replace(est, min_qw, &mut self.rng) {
+                    crate::telemetry::election();
+                    // Evicted entry's Qweight moves into the vague part
+                    // under its own composite key... The challenger's
+                    // mass pulled out of the sketch is `est` itself —
+                    // the same value the election just weighed, never a
+                    // third query that could disagree with it.
+                    let pulled = self.vague.fetch_remove(vk, &lanes, est);
+                    self.vague.add(VagueKey::new(bucket, min_fp), min_qw);
+                    // ...and the challenger enters the candidate part
+                    // with the mass just pulled out of the sketch.
+                    self.candidate.replace(bucket, min_fp, fp, pulled);
+                    self.stats.exchanges += 1;
+                    // The exchange is the one mutation that rewrites an
+                    // entry in place — the natural audit point.
+                    #[cfg(feature = "strict-invariants")]
+                    self.assert_candidate_invariants();
                 }
                 None
+            }
+        }
+    }
+
+    /// Insert a batch of items under the filter-wide default criteria,
+    /// invoking `sink(index, report)` for each item that fires a report.
+    ///
+    /// Behaviorally identical to calling [`Self::insert`] on each item in
+    /// order — same reports, same statistics, same RNG consumption, bit for
+    /// bit — but the per-item fixed costs are amortized across the batch:
+    /// the report threshold and above-`T` weight are derived once, and the
+    /// next item's candidate coordinates are hashed one step ahead so its
+    /// bucket line is prefetched while the current item is applied.
+    ///
+    /// Non-finite values are dropped exactly as [`Self::insert`] drops them.
+    /// The sink is a callback (not a collection) so this path allocates
+    /// nothing.
+    pub fn insert_batch<K, F>(&mut self, items: &[(K, f64)], sink: &mut F)
+    where
+        K: StreamKey,
+        F: FnMut(usize, Report),
+    {
+        let report_at = self.report_at;
+        let weight_above = self.weight_above;
+        let value_threshold = self.criteria.threshold();
+        let Some((first, _)) = items.first() else {
+            return;
+        };
+        let mut hk = self.candidate.coords_of(first);
+        self.candidate.prefetch(hk.bucket);
+        for i in 0..items.len() {
+            // Hash item i+1 while item i's bucket line is (being) fetched.
+            let next = items.get(i + 1).map(|(k, _)| self.candidate.coords_of(k));
+            if let Some(n) = next {
+                self.candidate.prefetch(n.bucket);
+            }
+            let value = items[i].1;
+            if value.is_finite() {
+                crate::telemetry::insert();
+                let raw = if value > value_threshold {
+                    weight_above
+                } else {
+                    -1.0
+                };
+                let delta = self.rounder.round(raw);
+                if let Some(report) = self.offer_hashed(hk, delta, report_at) {
+                    sink(i, report);
+                }
+            } else {
+                crate::telemetry::dropped_non_finite();
+            }
+            if let Some(n) = next {
+                hk = n;
             }
         }
     }
@@ -275,8 +388,7 @@ impl<S: WeightSketch> QuantileFilter<S> {
     /// estimate (§III-B query operation).
     pub fn query<K: StreamKey + ?Sized>(&self, key: &K) -> i64 {
         crate::telemetry::query();
-        let bucket = self.candidate.bucket_of(key);
-        let fp = self.candidate.fingerprint_of(key);
+        let HashedKey { bucket, fp } = self.candidate.coords_of(key);
         if let Some(qw) = self.candidate.get(bucket, fp) {
             return qw;
         }
@@ -287,8 +399,7 @@ impl<S: WeightSketch> QuantileFilter<S> {
     /// of a per-key criteria change, §III-C). Returns the removed Qweight.
     pub fn delete<K: StreamKey + ?Sized>(&mut self, key: &K) -> i64 {
         crate::telemetry::delete();
-        let bucket = self.candidate.bucket_of(key);
-        let fp = self.candidate.fingerprint_of(key);
+        let HashedKey { bucket, fp } = self.candidate.coords_of(key);
         if let Some(old) = self.candidate.reset_entry(bucket, fp) {
             return old;
         }
@@ -353,6 +464,8 @@ impl<S: WeightSketch> QuantileFilter<S> {
             rounder: StochasticRounder::from_state(rounder_state),
             rng: SplitMix64::from_state(rng_state),
             stats,
+            report_at: criteria.report_threshold(),
+            weight_above: criteria.weight_above(),
         }
     }
 }
@@ -613,6 +726,24 @@ mod tests {
     }
 
     #[test]
+    fn set_default_criteria_refreshes_cached_thresholds() {
+        // The derived report-threshold/weight cache must track criteria
+        // changes: a filter switched to tighter criteria reports at exactly
+        // the same item as a fresh filter built with them.
+        let tight = Criteria::new(1.0, 0.9, 100.0).unwrap();
+        let mut switched = small_filter(default_criteria());
+        switched.set_default_criteria(tight);
+        let mut fresh = small_filter(tight);
+        for i in 0..10 {
+            assert_eq!(
+                switched.insert(&30u64, 500.0).is_some(),
+                fresh.insert(&30u64, 500.0).is_some(),
+                "divergence at item {i}"
+            );
+        }
+    }
+
+    #[test]
     fn epsilon_zero_single_item_report() {
         // ε = 0, δ = 0.5, T = 10: one value above T gives Qw = +1 ≥ 0 ⇒
         // immediate report (the "premature reporting" the paper's ε > 0
@@ -675,5 +806,209 @@ mod tests {
             qf.memory_bytes(),
             qf.candidate_part().memory_bytes() + qf.vague_part().memory_bytes()
         );
+    }
+
+    #[test]
+    fn insert_batch_matches_sequential_inserts() {
+        // Identically-seeded twins over a collision-heavy trace: the batch
+        // path must reproduce the scalar path bit for bit — same report
+        // sequence at the same item indices, same stats, same final state.
+        let c = default_criteria();
+        let build = || {
+            QuantileFilterBuilder::new(c)
+                .candidate_buckets(8)
+                .bucket_len(2)
+                .vague_dims(3, 256)
+                .seed(0xBA7C)
+                .build()
+        };
+        let mut scalar = build();
+        let mut batched = build();
+
+        let mut rng = qf_hash::SplitMix64::new(99);
+        let items: Vec<(u64, f64)> = (0..20_000)
+            .map(|_| {
+                let key = rng.next_u64() % 400;
+                let value = if rng.next_u64() % 100 < 60 {
+                    500.0
+                } else {
+                    5.0
+                };
+                (key, value)
+            })
+            .collect();
+
+        let mut want = Vec::new();
+        for (i, &(k, v)) in items.iter().enumerate() {
+            if let Some(r) = scalar.insert(&k, v) {
+                want.push((i, r));
+            }
+        }
+        let mut got = Vec::new();
+        batched.insert_batch(&items, &mut |i, r| got.push((i, r)));
+
+        assert!(!want.is_empty(), "trace produced no reports — too tame");
+        assert_eq!(got, want, "batch report sequence diverged from scalar");
+        let (s, b) = (scalar.stats(), batched.stats());
+        assert_eq!(s.candidate_hits, b.candidate_hits);
+        assert_eq!(s.vague_visits, b.vague_visits);
+        assert_eq!(s.exchanges, b.exchanges);
+        assert_eq!(s.reports, b.reports);
+        assert_eq!(scalar.rounder_state(), batched.rounder_state());
+        assert_eq!(scalar.rng_state(), batched.rng_state());
+        for k in 0u64..400 {
+            assert_eq!(
+                scalar.query(&k),
+                batched.query(&k),
+                "state differs at key {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_batch_drops_non_finite_like_scalar() {
+        let c = default_criteria();
+        let mut qf = small_filter(c);
+        let items = [
+            (1u64, 500.0),
+            (1u64, f64::NAN),
+            (1u64, f64::INFINITY),
+            (1u64, 500.0),
+        ];
+        qf.insert_batch(&items, &mut |_, _| {});
+        // Only the two finite items count: Qweight 2 × (+9).
+        assert_eq!(qf.query(&1u64), 18);
+        assert_eq!(qf.stats().candidate_hits + qf.stats().candidate_inserts, 2);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut qf = small_filter(default_criteria());
+        let mut fired = false;
+        qf.insert_batch::<u64, _>(&[], &mut |_, _| fired = true);
+        assert!(!fired);
+        assert_eq!(qf.stats().candidate_inserts, 0);
+    }
+
+    /// A [`WeightSketch`] shim that counts how many times each estimate
+    /// derivation path runs, pinning the one-estimate-per-insert contract.
+    #[derive(Debug, Clone)]
+    struct CountingSketch {
+        inner: CountSketch<i8>,
+        adds: std::cell::Cell<u64>,
+        estimates: std::cell::Cell<u64>,
+        removes: std::cell::Cell<u64>,
+        fused: std::cell::Cell<u64>,
+        fetches: std::cell::Cell<u64>,
+    }
+
+    impl CountingSketch {
+        fn new(inner: CountSketch<i8>) -> Self {
+            Self {
+                inner,
+                adds: std::cell::Cell::new(0),
+                estimates: std::cell::Cell::new(0),
+                removes: std::cell::Cell::new(0),
+                fused: std::cell::Cell::new(0),
+                fetches: std::cell::Cell::new(0),
+            }
+        }
+    }
+
+    impl WeightSketch for CountingSketch {
+        fn add<K: StreamKey + ?Sized>(&mut self, key: &K, delta: i64) {
+            self.adds.set(self.adds.get() + 1);
+            self.inner.add(key, delta);
+        }
+        fn estimate<K: StreamKey + ?Sized>(&self, key: &K) -> i64 {
+            self.estimates.set(self.estimates.get() + 1);
+            self.inner.estimate(key)
+        }
+        fn remove_estimate<K: StreamKey + ?Sized>(&mut self, key: &K) -> i64 {
+            self.removes.set(self.removes.get() + 1);
+            self.inner.remove_estimate(key)
+        }
+        fn prepare_lanes<K: StreamKey + ?Sized>(&self, key: &K) -> qf_hash::RowLanes {
+            self.inner.prepare_lanes(key)
+        }
+        fn add_and_estimate<K: StreamKey + ?Sized>(
+            &mut self,
+            key: &K,
+            lanes: &qf_hash::RowLanes,
+            delta: i64,
+        ) -> i64 {
+            self.fused.set(self.fused.get() + 1);
+            self.inner.add_and_estimate(key, lanes, delta)
+        }
+        fn fetch_remove<K: StreamKey + ?Sized>(
+            &mut self,
+            key: &K,
+            lanes: &qf_hash::RowLanes,
+            estimate: i64,
+        ) -> i64 {
+            self.fetches.set(self.fetches.get() + 1);
+            self.inner.fetch_remove(key, lanes, estimate)
+        }
+        fn clear(&mut self) {
+            self.inner.clear();
+        }
+        fn memory_bytes(&self) -> usize {
+            self.inner.memory_bytes()
+        }
+        fn kind_name(&self) -> &'static str {
+            self.inner.kind_name()
+        }
+    }
+
+    #[test]
+    fn insert_computes_exactly_one_estimate_per_vague_visit() {
+        // Regression for the old three-query flow (add → estimate →
+        // remove_estimate, each rehashing and the last re-deriving the
+        // estimate): every vague visit must run exactly one fused
+        // add-and-estimate, and the report/election resets must reuse that
+        // value via fetch_remove — never a standalone estimate or a
+        // re-deriving remove_estimate.
+        let c = Criteria::new(5.0, 0.9, 100.0).unwrap();
+        let candidate = match CandidatePart::try_new(1, 1, 17) {
+            Some(p) => p,
+            None => panic!("candidate part"),
+        };
+        let sketch = CountingSketch::new(CountSketch::new(3, 512, 17));
+        let mut qf =
+            QuantileFilter::from_parts(c, candidate, sketch, ElectionStrategy::Comparative, 17);
+
+        // A 1×1 candidate part funnels nearly everything through the vague
+        // path, exercising plain visits, elections, and vague reports.
+        let mut rng = qf_hash::SplitMix64::new(5);
+        for _ in 0..5_000 {
+            let key = rng.next_u64() % 64;
+            let value = if rng.next_u64() % 100 < 70 {
+                500.0
+            } else {
+                5.0
+            };
+            qf.insert(&key, value);
+        }
+
+        let visits = qf.stats().vague_visits;
+        assert!(visits > 1_000, "vague path barely exercised: {visits}");
+        let s = qf.vague_part().inner();
+        assert_eq!(
+            s.fused.get(),
+            visits,
+            "each vague visit must derive its estimate exactly once"
+        );
+        assert_eq!(s.estimates.get(), 0, "standalone estimate on insert path");
+        assert_eq!(
+            s.removes.get(),
+            0,
+            "re-deriving remove_estimate on insert path"
+        );
+        assert!(
+            s.fetches.get() <= visits,
+            "at most one reset per vague visit"
+        );
+        // The election's incumbent push-back is the only plain add left.
+        assert_eq!(s.adds.get(), qf.stats().exchanges);
     }
 }

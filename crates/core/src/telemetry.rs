@@ -9,7 +9,8 @@
 //!
 //! The hooks mirror the control-flow joints of Algorithm 2:
 //!
-//! * ingest: [`insert`], [`dropped_non_finite`], [`query`], [`delete`];
+//! * ingest: [`insert`], [`dropped_non_finite`], [`rejected_non_finite`],
+//!   [`query`], [`delete`];
 //! * candidate part: [`candidate_hit`], [`candidate_insert`],
 //!   [`bucket_full`], [`election`], [`eviction`];
 //! * vague part: [`vague_add`], [`vague_remove`];
@@ -38,8 +39,11 @@ mod hooks {
     count_hooks! {
         /// An item entered the insert path (finite values only).
         insert => FilterInserts,
-        /// A non-finite value was rejected at the API boundary.
+        /// A non-finite value was silently dropped by the infallible API.
         dropped_non_finite => FilterDroppedNonFinite,
+        /// A non-finite value was rejected with a typed error by the
+        /// fallible API — a distinct disposition from a silent drop.
+        rejected_non_finite => FilterRejectedNonFinite,
         /// A Qweight point query was served.
         query => FilterQueries,
         /// A key's Qweight was deleted (also criteria changes).
@@ -80,6 +84,7 @@ mod hooks {
     noop_hooks! {
         insert,
         dropped_non_finite,
+        rejected_non_finite,
         query,
         delete,
         candidate_hit,

@@ -9,6 +9,7 @@
 //! `m · 2^16` (buckets × fingerprint space) is much larger than the number
 //! of sketch counters, no visible accuracy is lost.
 
+use qf_hash::RowLanes;
 use qf_sketch::WeightSketch;
 
 /// The composite vague-part key: bucket index in the high bits, 16-bit
@@ -76,6 +77,29 @@ impl<S: WeightSketch> VaguePart<S> {
     pub fn remove_estimate(&mut self, key: VagueKey) -> i64 {
         crate::telemetry::vague_remove();
         self.sketch.remove_estimate(&key)
+    }
+
+    /// Precompute the composite key's per-row lanes so the one-pass entry
+    /// points below touch each counter row with zero extra hashing.
+    #[inline(always)]
+    pub fn prepare_lanes(&self, key: VagueKey) -> RowLanes {
+        self.sketch.prepare_lanes(&key)
+    }
+
+    /// Add `delta` and return the post-add estimate in one pass over the
+    /// sketch rows (equivalent to [`Self::add`] then [`Self::estimate`]).
+    #[inline(always)]
+    pub fn add_and_estimate(&mut self, key: VagueKey, lanes: &RowLanes, delta: i64) -> i64 {
+        crate::telemetry::vague_add();
+        self.sketch.add_and_estimate(&key, lanes, delta)
+    }
+
+    /// Remove the estimate the caller already holds (from
+    /// [`Self::add_and_estimate`]) without re-deriving it.
+    #[inline(always)]
+    pub fn fetch_remove(&mut self, key: VagueKey, lanes: &RowLanes, estimate: i64) -> i64 {
+        crate::telemetry::vague_remove();
+        self.sketch.fetch_remove(&key, lanes, estimate)
     }
 
     /// Clear all counters.

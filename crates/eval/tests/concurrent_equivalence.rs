@@ -1,0 +1,90 @@
+//! Equivalence suite for the pre-partitioned `run_parallel`.
+//!
+//! The rewrite replaced "every worker rescans the full item slice and
+//! locks per item" with "partition once, one lock per shard per worker".
+//! The contract is that the *reported-key set* is unchanged: per-shard
+//! item order is still the stream order, per-key state never crosses
+//! shards, and the shard→worker mapping is the same `shard % threads`.
+//!
+//! The reference here is [`ShardedDetector::insert`] driven serially over
+//! the stream — exactly the old per-item routing (shard hash per item,
+//! lock per item), so agreement with it across 1–8 threads pins the new
+//! path to the old behavior on seeded Zipf and internet-shaped traces.
+
+use qf_baselines::QfDetector;
+use qf_datasets::{internet_like, zipf_dataset, InternetConfig, Item, ZipfConfig};
+use qf_eval::ShardedDetector;
+use quantile_filter::Criteria;
+use std::collections::HashSet;
+
+fn criteria(threshold: f64) -> Criteria {
+    match Criteria::new(5.0, 0.9, threshold) {
+        Ok(c) => c,
+        Err(e) => panic!("criteria: {e}"),
+    }
+}
+
+fn bank(shards: usize, threshold: f64) -> ShardedDetector<QfDetector> {
+    ShardedDetector::new(
+        (0..shards)
+            .map(|i| QfDetector::paper_default(criteria(threshold), 32 * 1024, i as u64))
+            .collect(),
+    )
+}
+
+/// The old semantics, spelled out: walk the stream in order, route each
+/// item to its shard, collect the deduplicated reported keys.
+fn reference_reported(bank: &ShardedDetector<QfDetector>, items: &[Item]) -> HashSet<u64> {
+    let mut reported = HashSet::new();
+    for it in items {
+        if bank.insert(it.key, it.value) {
+            reported.insert(it.key);
+        }
+    }
+    reported
+}
+
+fn assert_equivalent_across_threads(items: &[Item], threshold: f64, shards: usize) {
+    let reference = {
+        let b = bank(shards, threshold);
+        reference_reported(&b, items)
+    };
+    assert!(
+        !reference.is_empty(),
+        "trace produced no reports — equivalence would be vacuous"
+    );
+    for threads in 1..=8 {
+        let b = bank(shards, threshold);
+        let got = b.run_parallel(items, threads);
+        assert_eq!(
+            got, reference,
+            "reported set diverged from per-item routing at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn partitioned_run_matches_per_item_routing_on_zipf() {
+    let data = zipf_dataset(&ZipfConfig::tiny());
+    assert_equivalent_across_threads(&data.items, data.threshold, 8);
+}
+
+#[test]
+fn partitioned_run_matches_per_item_routing_on_internet_trace() {
+    let data = internet_like(&InternetConfig::tiny());
+    assert_equivalent_across_threads(&data.items, data.threshold, 8);
+}
+
+#[test]
+fn partitioned_run_matches_with_more_shards_than_threads() {
+    // 5 shards over up to 8 threads exercises the threads > shards clamp
+    // and the uneven shard→worker assignment in one go.
+    let data = zipf_dataset(&ZipfConfig::tiny());
+    assert_equivalent_across_threads(&data.items, data.threshold, 5);
+}
+
+#[test]
+fn empty_stream_reports_nothing() {
+    let b = bank(4, 300.0);
+    assert!(b.run_parallel(&[], 4).is_empty());
+}

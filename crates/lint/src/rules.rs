@@ -17,11 +17,17 @@ use crate::Diagnostic;
 
 /// Path suffixes of the paper's per-item hot path (rule `QF-L002`).
 /// Crate-qualified so that e.g. qf-telemetry's unrelated `counter.rs` is
-/// not swept in by a bare file-name match.
-pub const HOT_PATH_FILES: [&str; 3] = [
+/// not swept in by a bare file-name match. The one-pass insert rewrite
+/// spread the hot path across the candidate walk, the vague-part fused
+/// ops, the CMS ablation twin, and the lane precomputation — all of which
+/// run per item and are held to the same no-alloc/no-clock standard.
+pub const HOT_PATH_FILES: [&str; 6] = [
     "core/src/filter.rs",
+    "core/src/candidate.rs",
+    "core/src/vague.rs",
     "sketch/src/count_sketch.rs",
     "sketch/src/counter.rs",
+    "hash/src/lanes.rs",
 ];
 
 /// Path suffixes holding saturating counter storage (rule `QF-L004`).

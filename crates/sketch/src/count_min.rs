@@ -13,7 +13,7 @@ use crate::counter::SketchCounter;
 use crate::snapshot::{SketchShape, SketchState, SKETCH_KIND_CMS};
 use crate::traits::WeightSketch;
 use qf_hash::wire::{ByteReader, ByteWriter, WireError};
-use qf_hash::{HashFamily, StreamKey};
+use qf_hash::{HashFamily, RowLanes, StreamKey};
 
 /// A Count-Min sketch over cells of type `C` with signed updates.
 #[derive(Debug, Clone)]
@@ -61,6 +61,22 @@ impl<C: SketchCounter> CountMinSketch<C> {
     /// Direct read of the raw counter grid (tests and diagnostics).
     pub fn raw_cells(&self) -> &[C] {
         &self.cells
+    }
+
+    /// Saturating-add `w` into one cell and return the post-add value —
+    /// the shared kernel of the fused one-pass entry points.
+    #[inline(always)]
+    fn bump_cell(&mut self, row: usize, col: usize, w: i64) -> i64 {
+        let cell = &mut self.cells[row * self.width + col];
+        #[cfg(feature = "telemetry")]
+        let before = cell.to_i64();
+        *cell = cell.saturating_add_i64(w);
+        // Same saturation accounting as the Count sketch's add path.
+        #[cfg(feature = "telemetry")]
+        if before.checked_add(w) != Some(cell.to_i64()) {
+            crate::telemetry::saturation_event();
+        }
+        cell.to_i64()
     }
 }
 
@@ -190,6 +206,64 @@ impl<C: SketchCounter> WeightSketch for CountMinSketch<C> {
         est
     }
 
+    #[inline]
+    fn prepare_lanes<K: StreamKey + ?Sized>(&self, key: &K) -> RowLanes {
+        // CMS ignores the sign half of each lane; the column half is the
+        // same multiply-shift `column` computes, so lanes are shared with CS.
+        self.family.lanes(key)
+    }
+
+    #[inline]
+    fn add_and_estimate<K: StreamKey + ?Sized>(
+        &mut self,
+        key: &K,
+        lanes: &RowLanes,
+        delta: i64,
+    ) -> i64 {
+        if lanes.len() != self.rows {
+            self.add(key, delta);
+            return self.estimate(key);
+        }
+        // One pass: bump each row's cell and fold the post-add value into
+        // the running minimum. Rows occupy disjoint grid slices, so this is
+        // bit-identical to a full `add` followed by a full `estimate`.
+        if self.rows == 3 {
+            // Paper-default depth: constant trip count, stays in registers.
+            let v0 = self.bump_cell(0, lanes.col(0), delta);
+            let v1 = self.bump_cell(1, lanes.col(1), delta);
+            let v2 = self.bump_cell(2, lanes.col(2), delta);
+            return v0.min(v1).min(v2);
+        }
+        let mut min = i64::MAX;
+        for row in 0..self.rows {
+            let v = self.bump_cell(row, lanes.col(row), delta);
+            if v < min {
+                min = v;
+            }
+        }
+        min
+    }
+
+    #[inline]
+    fn fetch_remove<K: StreamKey + ?Sized>(
+        &mut self,
+        key: &K,
+        lanes: &RowLanes,
+        estimate: i64,
+    ) -> i64 {
+        if lanes.len() != self.rows {
+            return self.remove_estimate(key);
+        }
+        if estimate != 0 {
+            for row in 0..self.rows {
+                let col = lanes.col(row);
+                let cell = &mut self.cells[row * self.width + col];
+                *cell = cell.saturating_add_i64(-estimate);
+            }
+        }
+        estimate
+    }
+
     fn clear(&mut self) {
         self.cells.fill(C::zero());
     }
@@ -259,6 +333,52 @@ mod tests {
         assert_eq!(cms.estimate(&1u64), 0);
         assert_eq!(cms.memory_bytes(), 2 * 256);
         assert_eq!(cms.kind_name(), "CMS");
+    }
+
+    #[test]
+    fn add_and_estimate_matches_separate_ops() {
+        let mut fused = CountMinSketch::<i16>::new(4, 48, 31);
+        let mut split = CountMinSketch::<i16>::new(4, 48, 31);
+        for step in 0u64..5_000 {
+            let key = step % 83;
+            let delta = (step as i64 % 11) - 5;
+            let lanes = fused.prepare_lanes(&key);
+            let got = fused.add_and_estimate(&key, &lanes, delta);
+            split.add(&key, delta);
+            assert_eq!(got, split.estimate(&key), "step {step}");
+            assert_eq!(fused.raw_cells(), split.raw_cells(), "step {step}");
+        }
+    }
+
+    #[test]
+    fn fetch_remove_matches_remove_estimate() {
+        let mut fused = CountMinSketch::<i64>::new(3, 64, 32);
+        let mut split = CountMinSketch::<i64>::new(3, 64, 32);
+        for k in 0u64..120 {
+            fused.add(&k, k as i64 % 17);
+            split.add(&k, k as i64 % 17);
+        }
+        for k in 0u64..120 {
+            let lanes = fused.prepare_lanes(&k);
+            let est = fused.estimate(&k);
+            assert_eq!(
+                fused.fetch_remove(&k, &lanes, est),
+                split.remove_estimate(&k)
+            );
+        }
+        assert_eq!(fused.raw_cells(), split.raw_cells());
+    }
+
+    #[test]
+    fn deep_sketch_falls_back_when_lanes_unavailable() {
+        // Depth beyond qf_hash::MAX_LANES: prepare_lanes yields the empty
+        // marker and the fused entry points serve from the key instead.
+        let mut cms = CountMinSketch::<i64>::new(40, 8, 33);
+        let lanes = cms.prepare_lanes(&9u64);
+        assert!(lanes.is_empty());
+        assert_eq!(cms.add_and_estimate(&9u64, &lanes, 6), 6);
+        assert_eq!(cms.fetch_remove(&9u64, &lanes, 6), 6);
+        assert_eq!(cms.estimate(&9u64), 0);
     }
 
     #[test]

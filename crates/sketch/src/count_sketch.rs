@@ -13,7 +13,7 @@ use crate::counter::SketchCounter;
 use crate::snapshot::{SketchShape, SketchState, SKETCH_KIND_CS};
 use crate::traits::{median_in_place, WeightSketch};
 use qf_hash::wire::{ByteReader, ByteWriter, WireError};
-use qf_hash::{HashFamily, StreamKey};
+use qf_hash::{HashFamily, RowLanes, StreamKey};
 
 /// Maximum supported depth. Figure 9 sweeps `d` up to 20; 32 leaves room.
 pub const MAX_DEPTH: usize = 32;
@@ -73,6 +73,23 @@ impl<C: SketchCounter> CountSketch<C> {
     #[inline(always)]
     fn cell_mut(&mut self, row: usize, col: usize) -> &mut C {
         &mut self.cells[row * self.width + col]
+    }
+
+    /// Saturating-add `w` into one cell and return the post-add value —
+    /// the shared kernel of the fused one-pass entry points.
+    #[inline(always)]
+    fn bump_cell(&mut self, row: usize, col: usize, w: i64) -> i64 {
+        let cell = &mut self.cells[row * self.width + col];
+        #[cfg(feature = "telemetry")]
+        let before = cell.to_i64();
+        *cell = cell.saturating_add_i64(w);
+        // A cell that clamped instead of absorbing the full delta is a
+        // saturation event (§III-B's overflow-reversal guard engaging).
+        #[cfg(feature = "telemetry")]
+        if before.checked_add(w) != Some(cell.to_i64()) {
+            crate::telemetry::saturation_event();
+        }
+        cell.to_i64()
     }
 
     /// Direct read of the raw counter grid (tests and diagnostics).
@@ -253,6 +270,75 @@ impl<C: SketchCounter> WeightSketch for CountSketch<C> {
         est
     }
 
+    #[inline]
+    fn prepare_lanes<K: StreamKey + ?Sized>(&self, key: &K) -> RowLanes {
+        self.family.lanes(key)
+    }
+
+    #[inline]
+    fn add_and_estimate<K: StreamKey + ?Sized>(
+        &mut self,
+        key: &K,
+        lanes: &RowLanes,
+        delta: i64,
+    ) -> i64 {
+        if lanes.len() != self.rows {
+            self.add(key, delta);
+            return self.estimate(key);
+        }
+        // One pass: each row's cell is bumped and then read back. Rows live
+        // in disjoint slices of the grid, and within a row the read hits the
+        // very cell just written, so the result is bit-identical to a full
+        // `add` followed by a full `estimate` — at d row hashes saved.
+        if self.rows == 3 {
+            // The paper-default depth stays entirely in registers: no
+            // median buffer to zero, no selection call — median3 returns
+            // the same middle value median_in_place would.
+            let (s0, s1, s2) = (lanes.sign(0), lanes.sign(1), lanes.sign(2));
+            let e0 = s0 * self.bump_cell(0, lanes.col(0), s0 * delta);
+            let e1 = s1 * self.bump_cell(1, lanes.col(1), s1 * delta);
+            let e2 = s2 * self.bump_cell(2, lanes.col(2), s2 * delta);
+            return crate::traits::median3(e0, e1, e2);
+        }
+        // Lanes exist, so rows ≤ MAX_LANES — the buffer is sized for the
+        // hot path's depth ceiling, not the full MAX_DEPTH.
+        let mut buf = [0i64; qf_hash::MAX_LANES];
+        for (row, slot) in buf.iter_mut().enumerate().take(self.rows) {
+            let (col, sign) = (lanes.col(row), lanes.sign(row));
+            *slot = sign * self.bump_cell(row, col, sign * delta);
+        }
+        median_in_place(&mut buf[..self.rows])
+    }
+
+    #[inline]
+    fn fetch_remove<K: StreamKey + ?Sized>(
+        &mut self,
+        key: &K,
+        lanes: &RowLanes,
+        estimate: i64,
+    ) -> i64 {
+        if lanes.len() != self.rows {
+            return self.remove_estimate(key);
+        }
+        if estimate != 0 {
+            if self.rows == 3 {
+                // Constant trip count unrolls; same stores as the loop below.
+                for row in 0..3 {
+                    let (col, sign) = (lanes.col(row), lanes.sign(row));
+                    let cell = self.cell_mut(row, col);
+                    *cell = cell.saturating_add_i64(-sign * estimate);
+                }
+            } else {
+                for row in 0..self.rows {
+                    let (col, sign) = (lanes.col(row), lanes.sign(row));
+                    let cell = self.cell_mut(row, col);
+                    *cell = cell.saturating_add_i64(-sign * estimate);
+                }
+            }
+        }
+        estimate
+    }
+
     fn clear(&mut self) {
         self.cells.fill(C::zero());
     }
@@ -382,6 +468,52 @@ mod tests {
     #[should_panic(expected = "rows must be")]
     fn zero_rows_rejected() {
         let _ = CountSketch::<i32>::new(0, 8, 0);
+    }
+
+    #[test]
+    fn add_and_estimate_matches_separate_ops() {
+        // The fused one-pass update must be bit-identical to add + estimate
+        // on an identically-seeded twin, across a colliding workload.
+        let mut fused = CountSketch::<i8>::new(3, 32, 21);
+        let mut split = CountSketch::<i8>::new(3, 32, 21);
+        for step in 0u64..5_000 {
+            let key = step % 97;
+            let delta = (step as i64 % 9) - 4;
+            let lanes = fused.prepare_lanes(&key);
+            let got = fused.add_and_estimate(&key, &lanes, delta);
+            split.add(&key, delta);
+            let want = split.estimate(&key);
+            assert_eq!(got, want, "step {step}");
+            assert_eq!(fused.raw_cells(), split.raw_cells(), "step {step}");
+        }
+    }
+
+    #[test]
+    fn fetch_remove_matches_remove_estimate() {
+        let mut fused = CountSketch::<i64>::new(5, 64, 22);
+        let mut split = CountSketch::<i64>::new(5, 64, 22);
+        for k in 0u64..200 {
+            fused.add(&k, (k as i64 % 13) - 6);
+            split.add(&k, (k as i64 % 13) - 6);
+        }
+        for k in 0u64..200 {
+            let lanes = fused.prepare_lanes(&k);
+            let est = fused.estimate(&k);
+            assert_eq!(
+                fused.fetch_remove(&k, &lanes, est),
+                split.remove_estimate(&k)
+            );
+        }
+        assert_eq!(fused.raw_cells(), split.raw_cells());
+    }
+
+    #[test]
+    fn empty_lanes_fall_back_to_key_hashing() {
+        let mut cs = CountSketch::<i64>::new(3, 64, 23);
+        let got = cs.add_and_estimate(&5u64, &RowLanes::empty(), 12);
+        assert_eq!(got, 12);
+        assert_eq!(cs.fetch_remove(&5u64, &RowLanes::empty(), got), 12);
+        assert_eq!(cs.estimate(&5u64), 0);
     }
 
     proptest::proptest! {

@@ -40,4 +40,4 @@ pub use invariants::{CheckInvariants, InvariantViolation};
 pub use rounding::StochasticRounder;
 pub use snapshot::{SketchShape, SketchState, SKETCH_KIND_CMS, SKETCH_KIND_CS};
 pub use space_saving::{SpaceSaving, SsEntry};
-pub use traits::WeightSketch;
+pub use traits::{prefetch_read, WeightSketch};

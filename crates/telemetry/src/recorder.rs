@@ -22,6 +22,7 @@ pub enum CounterId {
     FilterQueries,
     FilterDeletes,
     FilterDroppedNonFinite,
+    FilterRejectedNonFinite,
     FilterReportsCandidate,
     FilterReportsVague,
     CandidateHits,
@@ -60,6 +61,7 @@ impl QfMetrics {
             CounterId::FilterQueries => &self.filter_queries,
             CounterId::FilterDeletes => &self.filter_deletes,
             CounterId::FilterDroppedNonFinite => &self.filter_dropped_nonfinite,
+            CounterId::FilterRejectedNonFinite => &self.filter_rejected_nonfinite,
             CounterId::FilterReportsCandidate => &self.filter_reports_candidate,
             CounterId::FilterReportsVague => &self.filter_reports_vague,
             CounterId::CandidateHits => &self.candidate_hits,
@@ -176,6 +178,7 @@ mod tests {
             FilterQueries,
             FilterDeletes,
             FilterDroppedNonFinite,
+            FilterRejectedNonFinite,
             FilterReportsCandidate,
             FilterReportsVague,
             CandidateHits,

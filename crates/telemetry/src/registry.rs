@@ -72,6 +72,7 @@ registry! {
         filter_queries => "qf_filter_queries_total",
         filter_deletes => "qf_filter_deletes_total",
         filter_dropped_nonfinite => "qf_filter_dropped_nonfinite_total",
+        filter_rejected_nonfinite => "qf_filter_rejected_nonfinite_total",
         filter_reports_candidate => "qf_filter_reports_total{source=\"candidate\"}",
         filter_reports_vague => "qf_filter_reports_total{source=\"vague\"}",
         // candidate.rs: paths, elections, evictions

@@ -1,0 +1,192 @@
+//! Differential replay: `insert_batch` must be indistinguishable from
+//! sequential `insert` — bit for bit.
+//!
+//! Same replay discipline as `differential_oracle.rs`: deterministic
+//! SplitMix64 traces, identically-seeded twin structures, and assertions
+//! on *every* observable — the full report sequence (index, source,
+//! Qweight), the running statistics, both RNG states (stochastic rounder
+//! and election), and a final point-query sweep. Any divergence in hash
+//! reuse, RNG draw order, or control flow between the batch and scalar
+//! paths fails here with the first diverging item index.
+//!
+//! Three regimes:
+//! 1. **Integer weights** (δ = 0.75): the rounder never draws randomness,
+//!    so this isolates control-flow and hashing equivalence.
+//! 2. **Fractional weights** (δ = 0.6): every above-`T` item draws from
+//!    the rounder's RNG, so this pins the batch path to the exact same
+//!    per-item draw order.
+//! 3. **Chunked feeding with poisoned values**: the same trace split into
+//!    uneven chunks (including singleton and whole-trace chunks) with NaN
+//!    and ±∞ sprinkled in must drop them exactly like scalar `insert`.
+
+use qf_repro::quantile_filter::{Criteria, QuantileFilter, QuantileFilterBuilder, Report};
+
+/// Minimal deterministic RNG (SplitMix64), as in the differential oracle.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn criteria(epsilon: f64, delta: f64, threshold: f64) -> Criteria {
+    match Criteria::new(epsilon, delta, threshold) {
+        Ok(c) => c,
+        Err(e) => panic!("criteria: {e}"),
+    }
+}
+
+/// Small, collision-heavy filter so the vague path, elections, and
+/// reports are all exercised hard.
+fn build(c: Criteria, seed: u64) -> QuantileFilter {
+    QuantileFilterBuilder::new(c)
+        .candidate_buckets(8)
+        .bucket_len(2)
+        .vague_dims(3, 256)
+        .seed(seed)
+        .build()
+}
+
+fn trace(seed: u64, len: usize, keys: u64, hot_pct: u64) -> Vec<(u64, f64)> {
+    let mut rng = Rng(seed);
+    (0..len)
+        .map(|_| {
+            let key = rng.below(keys);
+            let value = if rng.below(100) < hot_pct { 500.0 } else { 5.0 };
+            (key, value)
+        })
+        .collect()
+}
+
+/// Feed `items` through the scalar path and return the report log.
+fn scalar_reports(qf: &mut QuantileFilter, items: &[(u64, f64)]) -> Vec<(usize, Report)> {
+    let mut log = Vec::new();
+    for (i, &(k, v)) in items.iter().enumerate() {
+        if let Some(r) = qf.insert(&k, v) {
+            log.push((i, r));
+        }
+    }
+    log
+}
+
+/// Feed `items` through `insert_batch` in chunks of `chunk` and return the
+/// report log with *global* item indices.
+fn batch_reports(
+    qf: &mut QuantileFilter,
+    items: &[(u64, f64)],
+    chunk: usize,
+) -> Vec<(usize, Report)> {
+    let mut log = Vec::new();
+    for (c, chunk_items) in items.chunks(chunk.max(1)).enumerate() {
+        let base = c * chunk.max(1);
+        qf.insert_batch(chunk_items, &mut |i, r| log.push((base + i, r)));
+    }
+    log
+}
+
+fn assert_twins_agree(scalar: &QuantileFilter, batched: &QuantileFilter, keys: u64, regime: &str) {
+    let (s, b) = (scalar.stats(), batched.stats());
+    assert_eq!(
+        s.candidate_hits, b.candidate_hits,
+        "{regime}: candidate_hits"
+    );
+    assert_eq!(
+        s.candidate_inserts, b.candidate_inserts,
+        "{regime}: inserts"
+    );
+    assert_eq!(s.vague_visits, b.vague_visits, "{regime}: vague_visits");
+    assert_eq!(s.exchanges, b.exchanges, "{regime}: exchanges");
+    assert_eq!(s.reports, b.reports, "{regime}: reports");
+    for k in 0..keys {
+        assert_eq!(
+            scalar.query(&k),
+            batched.query(&k),
+            "{regime}: post-trace Qweight differs for key {k}"
+        );
+    }
+}
+
+#[test]
+fn integer_weight_replay_is_bit_identical() {
+    // δ = 0.75 ⇒ +3/−1 exactly: the rounder is deterministic, so this
+    // regime isolates control-flow and hashing equivalence.
+    let c = criteria(5.0, 0.75, 100.0);
+    let items = trace(0xABCD, 30_000, 300, 55);
+    let mut scalar = build(c, 0x11);
+    let mut batched = build(c, 0x11);
+    let want = scalar_reports(&mut scalar, &items);
+    let got = batch_reports(&mut batched, &items, 256);
+    assert!(
+        want.len() > 30,
+        "only {} reports — trace too tame",
+        want.len()
+    );
+    assert_eq!(got, want, "integer regime: report sequences diverge");
+    assert_twins_agree(&scalar, &batched, 300, "integer");
+}
+
+#[test]
+fn fractional_weight_replay_consumes_rng_identically() {
+    // δ = 0.6 ⇒ +1.5 above T: every above-item draws from the rounder's
+    // RNG. The batch path must make exactly the same draws in the same
+    // order, or the report log and final state drift immediately.
+    let c = criteria(5.0, 0.6, 100.0);
+    let items = trace(0xF00D, 30_000, 200, 60);
+    let mut scalar = build(c, 0x22);
+    let mut batched = build(c, 0x22);
+    let want = scalar_reports(&mut scalar, &items);
+    let got = batch_reports(&mut batched, &items, 512);
+    assert!(!want.is_empty(), "fractional trace produced no reports");
+    assert_eq!(got, want, "fractional regime: report sequences diverge");
+    assert_twins_agree(&scalar, &batched, 200, "fractional");
+}
+
+#[test]
+fn every_chunking_matches_scalar() {
+    // Chunk size must be invisible: singleton chunks, odd sizes, and one
+    // whole-trace batch all replay to the same log as scalar insert.
+    let c = criteria(5.0, 0.75, 100.0);
+    let items = trace(0x5EED, 12_000, 150, 55);
+    let mut scalar = build(c, 0x33);
+    let want = scalar_reports(&mut scalar, &items);
+    for chunk in [1usize, 2, 3, 7, 64, 1000, items.len()] {
+        let mut batched = build(c, 0x33);
+        let got = batch_reports(&mut batched, &items, chunk);
+        assert_eq!(got, want, "chunk size {chunk} diverges from scalar");
+        assert_twins_agree(&scalar, &batched, 150, "chunked");
+    }
+}
+
+#[test]
+fn poisoned_values_are_dropped_identically() {
+    // NaN/±∞ sprinkled through the trace: scalar insert drops them
+    // silently; insert_batch must drop the same items and nothing else
+    // (in particular the item *indices* of later reports must still match).
+    let c = criteria(5.0, 0.75, 100.0);
+    let mut items = trace(0xBAD, 8_000, 100, 55);
+    let mut rng = Rng(0xDEAD);
+    for _ in 0..400 {
+        let at = rng.below(items.len() as u64) as usize;
+        let poison = match rng.below(3) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        };
+        items[at].1 = poison;
+    }
+    let mut scalar = build(c, 0x44);
+    let mut batched = build(c, 0x44);
+    let want = scalar_reports(&mut scalar, &items);
+    let got = batch_reports(&mut batched, &items, 333);
+    assert_eq!(got, want, "poisoned trace: report sequences diverge");
+    assert_twins_agree(&scalar, &batched, 100, "poisoned");
+}
