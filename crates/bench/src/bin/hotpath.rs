@@ -83,13 +83,15 @@ fn measure_workload(
             repeats,
         );
         println!(
-            "{short_name}: sharded x{threads} threads {:.2} Mops, {} reported keys",
-            m.mops(),
-            m.reports
+            "{short_name}: sharded x{threads} requested ({} effective) {:.2} Mops, {} reported keys",
+            m.effective_threads,
+            m.measurement.mops(),
+            m.measurement.reports
         );
         sharded.push(ThreadPoint {
             threads,
-            measurement: m,
+            effective_threads: m.effective_threads,
+            measurement: m.measurement,
         });
     }
 

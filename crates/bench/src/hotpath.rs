@@ -271,6 +271,19 @@ pub fn measure_batch(
     )
 }
 
+/// A sharded timing plus the worker count the bank actually ran with.
+///
+/// `ShardedDetector` clamps the request to the shard count; a scaling
+/// curve that labels points by the *requested* count silently flattens
+/// past the clamp, so the measurement carries the effective value out.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedMeasurement {
+    /// The timed run (`reports` counts distinct reported keys).
+    pub measurement: Measurement,
+    /// Worker threads actually spawned (requested clamped to shards).
+    pub effective_threads: usize,
+}
+
 /// Time [`ShardedDetector::run_parallel`] at a given worker count over a
 /// bank of `shards` paper-default QuantileFilters.
 pub fn measure_sharded(
@@ -280,8 +293,9 @@ pub fn measure_sharded(
     threads: usize,
     items: &[Item],
     repeats: usize,
-) -> Measurement {
-    timed(
+) -> ShardedMeasurement {
+    let mut effective = 0usize;
+    let measurement = timed(
         items.len(),
         repeats,
         || {
@@ -291,8 +305,16 @@ pub fn measure_sharded(
                     .collect::<Vec<_>>(),
             )
         },
-        |bank| bank.run_parallel(items, threads).len() as u64,
-    )
+        |bank| {
+            let run = bank.run_parallel_counted(items, threads);
+            effective = run.effective_threads;
+            run.reported.len() as u64
+        },
+    );
+    ShardedMeasurement {
+        measurement,
+        effective_threads: effective,
+    }
 }
 
 /// Single-thread A/B block of one workload.
@@ -311,6 +333,8 @@ pub struct SingleThread {
 pub struct ThreadPoint {
     /// Worker count requested.
     pub threads: usize,
+    /// Worker count the bank actually used (requested clamped to shards).
+    pub effective_threads: usize,
     /// The timed run (`reports` counts distinct reported keys).
     pub measurement: Measurement,
 }
@@ -359,7 +383,7 @@ fn num(x: f64) -> String {
 ///
 /// ```json
 /// {
-///   "schema": "qf-bench-hotpath/v1",
+///   "schema": "qf-bench-hotpath/v2",
 ///   "mode": "full",            // or "tiny" (CI smoke)
 ///   "nproc": 1,                // cores on the measuring host
 ///   "repeats": 3,              // best-of repeats per number
@@ -374,14 +398,22 @@ fn num(x: f64) -> String {
 ///       "batch_speedup_vs_legacy": 1.6,
 ///       "reports": 1234        // identical across all three by construction
 ///     },
-///     "sharded": [{"threads": 1, "mops": 9.0, "reported_keys": 77}, ...]
+///     "sharded": [
+///       {"threads": 1, "effective_threads": 1, "mops": 9.0, "reported_keys": 77},
+///       ...
+///     ]
 ///   }]
 /// }
 /// ```
+///
+/// v2 added `effective_threads` per sharded point: the bank clamps the
+/// requested worker count to its shard count, and with the clamp visible
+/// a flat tail in the scaling curve is distinguishable from a host that
+/// simply has fewer cores than shards (`nproc`).
 pub fn render_json(report: &HotpathReport) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"qf-bench-hotpath/v1\",\n");
+    out.push_str("  \"schema\": \"qf-bench-hotpath/v2\",\n");
     out.push_str(&format!("  \"mode\": \"{}\",\n", report.mode));
     out.push_str(&format!("  \"nproc\": {},\n", report.nproc));
     out.push_str(&format!("  \"repeats\": {},\n", report.repeats));
@@ -412,8 +444,9 @@ pub fn render_json(report: &HotpathReport) -> String {
         out.push_str("      \"sharded\": [\n");
         for (j, p) in w.sharded.iter().enumerate() {
             out.push_str(&format!(
-                "        {{\"threads\": {}, \"mops\": {}, \"reported_keys\": {}}}{}\n",
+                "        {{\"threads\": {}, \"effective_threads\": {}, \"mops\": {}, \"reported_keys\": {}}}{}\n",
                 p.threads,
+                p.effective_threads,
                 num(p.measurement.mops()),
                 p.measurement.reports,
                 if j + 1 < w.sharded.len() { "," } else { "" }
@@ -534,10 +567,12 @@ mod tests {
                 sharded: vec![
                     ThreadPoint {
                         threads: 1,
+                        effective_threads: 1,
                         measurement: m,
                     },
                     ThreadPoint {
-                        threads: 2,
+                        threads: 16,
+                        effective_threads: 2,
                         measurement: m,
                     },
                 ],
@@ -551,13 +586,13 @@ mod tests {
         }
         for key in [
             "\"schema\"",
-            "\"qf-bench-hotpath/v1\"",
+            "\"qf-bench-hotpath/v2\"",
             "\"legacy_mops\"",
             "\"scalar_mops\"",
             "\"batch_mops\"",
             "\"batch_speedup_vs_legacy\"",
             "\"sharded\"",
-            "\"threads\": 2",
+            "\"threads\": 16, \"effective_threads\": 2",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
@@ -565,6 +600,18 @@ mod tests {
         assert!(!json.contains(",\n      ]"));
         assert!(!json.contains(",\n  ]"));
         assert!(!json.contains(",}"));
+    }
+
+    #[test]
+    fn sharded_measurement_exposes_the_clamp() {
+        let items: Vec<Item> = trace(2_000, 200, 3)
+            .into_iter()
+            .map(|(key, value)| Item { key, value })
+            .collect();
+        let m = measure_sharded(criteria(), 8 * 1024, 2, 16, &items, 1);
+        assert_eq!(m.effective_threads, 2, "16 requested over 2 shards");
+        let m = measure_sharded(criteria(), 8 * 1024, 4, 4, &items, 1);
+        assert_eq!(m.effective_threads, 4, "unclamped request passes through");
     }
 
     #[test]

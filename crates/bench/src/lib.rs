@@ -1,7 +1,9 @@
-//! qf-bench: criterion benches, figure-regeneration binaries, and the
+//! qf-bench: criterion benches, figure-regeneration binaries, the
 //! hot-path A/B harness ([`hotpath`]) that measures the one-pass insert
-//! rewrite against a faithful reconstruction of the pre-refactor flow.
+//! rewrite against a faithful reconstruction of the pre-refactor flow,
+//! and the live-pipeline throughput harness ([`pipeline`]).
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod hotpath;
+pub mod pipeline;

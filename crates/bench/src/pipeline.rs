@@ -1,0 +1,414 @@
+//! The live-pipeline throughput harness behind the `pipeline` bin.
+//!
+//! One measurement streams a trace through a freshly-launched
+//! `qf-pipeline` (router → SPSC queues → per-shard workers → mpsc sink)
+//! and times two phases separately:
+//!
+//! * **offered** — the router-side ingest loop alone. Under
+//!   [`BackpressurePolicy::Block`] this is the rate the pipeline
+//!   *sustains at the front door* (full queues stall the router); under
+//!   [`BackpressurePolicy::DropNewest`] it is the rate the caller can
+//!   offer with bounded latency, with the drop rate as the overload
+//!   signal.
+//! * **sustained** — items actually applied to the shard filters over
+//!   the whole run including the drain, i.e. end-to-end detector
+//!   throughput.
+//!
+//! The per-run accounting comes straight from the pipeline's own
+//! [`PipelineSummary`], so every point re-checks the conservation law
+//! `offered == enqueued + dropped` before it is rendered. Results render
+//! as the `BENCH_pipeline.json` schema documented on [`render_json`].
+
+use qf_datasets::Item;
+use qf_pipeline::{BackpressurePolicy, Pipeline, PipelineConfig, PipelineError};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// The JSON name of a backpressure policy.
+pub fn policy_name(policy: BackpressurePolicy) -> &'static str {
+    match policy {
+        BackpressurePolicy::Block => "block",
+        BackpressurePolicy::DropNewest => "drop_newest",
+    }
+}
+
+/// One timed pipeline run (the best-of-repeats winner), with the
+/// pipeline's own conservation accounting carried along.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineMeasurement {
+    /// Shard / worker count.
+    pub shards: usize,
+    /// `"block"` or `"drop_newest"`.
+    pub policy: &'static str,
+    /// Items offered at the router.
+    pub offered: u64,
+    /// Items accepted onto shard queues.
+    pub enqueued: u64,
+    /// Items shed at the router (always 0 under `block`).
+    pub dropped: u64,
+    /// Items applied to shard filters.
+    pub processed: u64,
+    /// Distinct reported keys.
+    pub reported_keys: u64,
+    /// Wall-clock seconds of the ingest loop alone.
+    pub ingest_seconds: f64,
+    /// Wall-clock seconds from first ingest through drained shutdown.
+    pub total_seconds: f64,
+}
+
+impl PipelineMeasurement {
+    /// Million items offered at the router per second of ingest.
+    pub fn offered_mops(&self) -> f64 {
+        if self.ingest_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.offered as f64 / self.ingest_seconds / 1e6
+    }
+
+    /// Million items applied to filters per second, end to end.
+    pub fn sustained_mops(&self) -> f64 {
+        if self.total_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.processed as f64 / self.total_seconds / 1e6
+    }
+
+    /// Fraction of offered items shed at the router.
+    pub fn drop_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.dropped as f64 / self.offered as f64
+    }
+}
+
+/// Run `items` through a pipeline built from `config`, `repeats` times,
+/// and keep the fastest end-to-end run. Each repeat launches a fresh
+/// pipeline (thread spawn and filter construction stay outside the
+/// ingest timing but inside no timing at all).
+pub fn measure_pipeline(
+    config: PipelineConfig,
+    items: &[Item],
+    repeats: usize,
+) -> Result<PipelineMeasurement, PipelineError> {
+    let mut best: Option<PipelineMeasurement> = None;
+    for _ in 0..repeats.max(1) {
+        let mut pipe = Pipeline::launch(config)?;
+        let mut reported = HashSet::new();
+        let t0 = Instant::now();
+        for it in items {
+            pipe.ingest(it.key, it.value)?;
+        }
+        let ingest_seconds = t0.elapsed().as_secs_f64();
+        for ev in pipe.poll_reports() {
+            reported.insert(ev.key);
+        }
+        let summary = pipe.shutdown()?;
+        let total_seconds = t0.elapsed().as_secs_f64();
+        for ev in &summary.reports {
+            reported.insert(ev.key);
+        }
+        let m = PipelineMeasurement {
+            shards: config.shards,
+            policy: policy_name(config.policy),
+            offered: summary.offered,
+            enqueued: summary.enqueued,
+            dropped: summary.dropped,
+            processed: summary.processed,
+            reported_keys: reported.len() as u64,
+            ingest_seconds,
+            total_seconds,
+        };
+        if m.offered != m.enqueued + m.dropped {
+            return Err(PipelineError::InvalidConfig {
+                reason: format!(
+                    "conservation violated: offered {} != enqueued {} + dropped {}",
+                    m.offered, m.enqueued, m.dropped
+                ),
+            });
+        }
+        if best
+            .as_ref()
+            .is_none_or(|b| m.total_seconds < b.total_seconds)
+        {
+            best = Some(m);
+        }
+    }
+    match best {
+        Some(m) => Ok(m),
+        // Unreachable (repeats is clamped to ≥ 1), but the harness is
+        // under the workspace unwrap ban like everything else.
+        None => Err(PipelineError::InvalidConfig {
+            reason: "no repeats executed".into(),
+        }),
+    }
+}
+
+/// The trace a report was measured on.
+#[derive(Debug, Clone)]
+pub struct WorkloadMeta {
+    /// Workload name ("zipf").
+    pub name: String,
+    /// Stream length.
+    pub items: usize,
+    /// Distinct keys present.
+    pub keys: u64,
+    /// Value threshold `T` used by the criteria.
+    pub threshold: f64,
+}
+
+/// A full harness run, renderable as `BENCH_pipeline.json`.
+#[derive(Debug, Clone)]
+pub struct PipelineBenchReport {
+    /// "full" or "tiny" (the CI smoke mode).
+    pub mode: String,
+    /// `available_parallelism` of the measuring host.
+    pub nproc: usize,
+    /// Best-of repeats per point.
+    pub repeats: usize,
+    /// Slots per shard queue.
+    pub queue_capacity: usize,
+    /// Memory budget per shard filter.
+    pub memory_bytes_per_shard: usize,
+    /// The measured trace.
+    pub workload: WorkloadMeta,
+    /// One point per (shards, policy) pair.
+    pub points: Vec<PipelineMeasurement>,
+}
+
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "0".into()
+    }
+}
+
+/// Render the report as the `BENCH_pipeline.json` document:
+///
+/// ```json
+/// {
+///   "schema": "qf-bench-pipeline/v1",
+///   "mode": "full",                  // or "tiny" (CI smoke)
+///   "nproc": 8,                      // cores on the measuring host
+///   "repeats": 3,                    // best-of repeats per point
+///   "queue_capacity": 1024,          // slots per shard queue
+///   "memory_bytes_per_shard": 32768,
+///   "workload": {"name": "zipf", "items": 2000000, "keys": 120000,
+///                "threshold": 300.0},
+///   "points": [{
+///     "shards": 1, "policy": "block",
+///     "offered_mops": 9.0,           // router-side ingest rate
+///     "sustained_mops": 8.5,         // filter-applied rate, incl. drain
+///     "drop_rate": 0.0,              // dropped / offered
+///     "offered": 2000000, "enqueued": 2000000, "dropped": 0,
+///     "processed": 2000000, "reported_keys": 77
+///   }, ...]
+/// }
+/// ```
+pub fn render_json(report: &PipelineBenchReport) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"qf-bench-pipeline/v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", report.mode));
+    out.push_str(&format!("  \"nproc\": {},\n", report.nproc));
+    out.push_str(&format!("  \"repeats\": {},\n", report.repeats));
+    out.push_str(&format!(
+        "  \"queue_capacity\": {},\n",
+        report.queue_capacity
+    ));
+    out.push_str(&format!(
+        "  \"memory_bytes_per_shard\": {},\n",
+        report.memory_bytes_per_shard
+    ));
+    out.push_str(&format!(
+        "  \"workload\": {{\"name\": \"{}\", \"items\": {}, \"keys\": {}, \"threshold\": {}}},\n",
+        report.workload.name,
+        report.workload.items,
+        report.workload.keys,
+        num(report.workload.threshold)
+    ));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in report.points.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"shards\": {},\n", p.shards));
+        out.push_str(&format!("      \"policy\": \"{}\",\n", p.policy));
+        out.push_str(&format!(
+            "      \"offered_mops\": {},\n",
+            num(p.offered_mops())
+        ));
+        out.push_str(&format!(
+            "      \"sustained_mops\": {},\n",
+            num(p.sustained_mops())
+        ));
+        out.push_str(&format!("      \"drop_rate\": {},\n", num(p.drop_rate())));
+        out.push_str(&format!("      \"offered\": {},\n", p.offered));
+        out.push_str(&format!("      \"enqueued\": {},\n", p.enqueued));
+        out.push_str(&format!("      \"dropped\": {},\n", p.dropped));
+        out.push_str(&format!("      \"processed\": {},\n", p.processed));
+        out.push_str(&format!("      \"reported_keys\": {}\n", p.reported_keys));
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < report.points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quantile_filter::Criteria;
+
+    fn criteria() -> Criteria {
+        match Criteria::new(5.0, 0.9, 100.0) {
+            Ok(c) => c,
+            Err(e) => panic!("criteria: {e}"),
+        }
+    }
+
+    fn trace(len: usize, keys: u64, seed: u64) -> Vec<Item> {
+        let mut rng = qf_hash::SplitMix64::new(seed);
+        (0..len)
+            .map(|_| {
+                let key = rng.next_u64() % keys;
+                let value = if rng.next_u64() % 100 < 30 {
+                    500.0
+                } else {
+                    5.0
+                };
+                Item { key, value }
+            })
+            .collect()
+    }
+
+    fn config(shards: usize, policy: BackpressurePolicy, queue_capacity: usize) -> PipelineConfig {
+        PipelineConfig {
+            shards,
+            criteria: criteria(),
+            memory_bytes_per_shard: 16 * 1024,
+            queue_capacity,
+            policy,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn block_policy_measures_losslessly() {
+        let items = trace(20_000, 500, 5);
+        let m = match measure_pipeline(config(2, BackpressurePolicy::Block, 64), &items, 2) {
+            Ok(m) => m,
+            Err(e) => panic!("measure: {e}"),
+        };
+        assert_eq!(m.offered, 20_000);
+        assert_eq!(m.dropped, 0);
+        assert_eq!(m.processed, 20_000);
+        assert!(m.reported_keys > 0, "trace too tame to exercise reports");
+        assert!(m.total_seconds >= m.ingest_seconds * 0.99);
+        assert!((m.drop_rate() - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn drop_policy_conserves_offered_items() {
+        // A 2-slot queue under a full-speed router must shed load; the
+        // measurement's own conservation check re-verifies the split.
+        let items = trace(20_000, 500, 6);
+        let m = match measure_pipeline(config(1, BackpressurePolicy::DropNewest, 2), &items, 1) {
+            Ok(m) => m,
+            Err(e) => panic!("measure: {e}"),
+        };
+        assert_eq!(m.offered, 20_000);
+        assert_eq!(m.offered, m.enqueued + m.dropped);
+        assert_eq!(m.processed, m.enqueued, "drained shutdown processes all");
+        assert_eq!(m.policy, "drop_newest");
+    }
+
+    #[test]
+    fn rendered_json_is_balanced_and_complete() {
+        let point = PipelineMeasurement {
+            shards: 4,
+            policy: "block",
+            offered: 1000,
+            enqueued: 1000,
+            dropped: 0,
+            processed: 1000,
+            reported_keys: 7,
+            ingest_seconds: 0.001,
+            total_seconds: 0.002,
+        };
+        let report = PipelineBenchReport {
+            mode: "tiny".into(),
+            nproc: 8,
+            repeats: 1,
+            queue_capacity: 1024,
+            memory_bytes_per_shard: 32 * 1024,
+            workload: WorkloadMeta {
+                name: "zipf".into(),
+                items: 1000,
+                keys: 100,
+                threshold: 300.0,
+            },
+            points: vec![
+                point,
+                PipelineMeasurement {
+                    policy: "drop_newest",
+                    dropped: 250,
+                    enqueued: 750,
+                    processed: 750,
+                    ..point
+                },
+            ],
+        };
+        let json = render_json(&report);
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close} in:\n{json}"
+            );
+        }
+        for key in [
+            "\"qf-bench-pipeline/v1\"",
+            "\"queue_capacity\": 1024",
+            "\"nproc\": 8",
+            "\"policy\": \"block\"",
+            "\"policy\": \"drop_newest\"",
+            "\"offered_mops\"",
+            "\"sustained_mops\"",
+            "\"drop_rate\": 0.250",
+            "\"reported_keys\": 7",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert!(!json.contains(",\n  ]"));
+        assert!(!json.contains(",}"));
+    }
+
+    #[test]
+    fn rate_math() {
+        let m = PipelineMeasurement {
+            shards: 1,
+            policy: "block",
+            offered: 2_000_000,
+            enqueued: 1_500_000,
+            dropped: 500_000,
+            processed: 1_500_000,
+            reported_keys: 0,
+            ingest_seconds: 0.5,
+            total_seconds: 1.0,
+        };
+        assert!((m.offered_mops() - 4.0).abs() < 1e-9);
+        assert!((m.sustained_mops() - 1.5).abs() < 1e-9);
+        assert!((m.drop_rate() - 0.25).abs() < 1e-9);
+        let zero = PipelineMeasurement {
+            ingest_seconds: 0.0,
+            total_seconds: 0.0,
+            offered: 0,
+            ..m
+        };
+        assert_eq!(zero.offered_mops(), 0.0);
+        assert_eq!(zero.sustained_mops(), 0.0);
+        assert_eq!(zero.drop_rate(), 0.0);
+    }
+}

@@ -404,4 +404,106 @@ mod tests {
     fn zero_epoch_rejected() {
         let _: EpochFilter = EpochFilter::new(crit(), 1024, 0, 6, FixedSize);
     }
+
+    /// The item that lands exactly on the epoch boundary is part of the
+    /// closing epoch: its report (if any) is returned before the rollover
+    /// reset, which runs lazily on the *next* insert. A key accumulated
+    /// earlier in the epoch witnesses that no reset happened under the
+    /// boundary item's feet.
+    #[test]
+    fn boundary_report_precedes_rollover_reset() {
+        let mut ef: EpochFilter = EpochFilter::new(crit(), 16 * 1024, 12, 7, FixedSize);
+        // Items 1-5: key 1 accumulates +9 each (45 < 50, no report yet).
+        for _ in 0..5 {
+            assert!(ef.insert(&1u64, 500.0).is_none());
+        }
+        // Items 6-8: witness key, left at +27 for the rest of the epoch.
+        for _ in 0..3 {
+            ef.insert(&7u64, 500.0);
+        }
+        // Items 9-11: filler traffic.
+        for _ in 0..3 {
+            ef.insert(&8u64, 5.0);
+        }
+        assert_eq!(ef.remaining_in_epoch(), 1);
+        // Item 12 — the boundary item — pushes key 1 to 54 ≥ 50: the
+        // report must come out of this very call...
+        let boundary = ef.insert(&1u64, 500.0);
+        assert!(boundary.is_some(), "boundary item's report must be emitted");
+        // ...with the epoch exhausted but not yet rolled over:
+        assert_eq!(ef.remaining_in_epoch(), 0);
+        assert_eq!(ef.epochs_completed(), 0, "rollover is lazy");
+        assert_eq!(
+            ef.filter().query(&7u64),
+            27,
+            "state must survive until the next insert triggers the reset"
+        );
+        // The next insert rolls over first, then lands in the new epoch.
+        assert_eq!(ef.insert(&8u64, 5.0), None);
+        assert_eq!(ef.epochs_completed(), 1);
+        assert_eq!(ef.remaining_in_epoch(), 11);
+        assert_eq!(ef.filter().query(&7u64), 0, "reset cleared the old epoch");
+        assert_eq!(ef.filter().query(&8u64), -1, "new epoch counts from zero");
+    }
+
+    /// `remaining_in_epoch` counts down one per *accepted* item; dropped
+    /// non-finite values consume no capacity.
+    #[test]
+    fn remaining_counts_down_and_skips_non_finite() {
+        let mut ef: EpochFilter = EpochFilter::new(crit(), 16 * 1024, 4, 8, FixedSize);
+        assert_eq!(ef.remaining_in_epoch(), 4);
+        for expect in [3u64, 2, 1] {
+            ef.insert(&1u64, 5.0);
+            assert_eq!(ef.remaining_in_epoch(), expect);
+        }
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(ef.insert(&1u64, bad).is_none());
+            assert_eq!(ef.remaining_in_epoch(), 1, "non-finite must not consume");
+        }
+        ef.insert(&1u64, 5.0);
+        assert_eq!(ef.remaining_in_epoch(), 0);
+        assert_eq!(ef.epochs_completed(), 0);
+        ef.insert(&1u64, 5.0);
+        assert_eq!(ef.epochs_completed(), 1);
+        assert_eq!(ef.remaining_in_epoch(), 3, "first item of the new epoch");
+    }
+
+    /// What the resize policy observes: automatic rollovers hand it
+    /// exactly `epoch_len` items with per-epoch (not cumulative) filter
+    /// stats, and a forced mid-epoch rollover reports the partial count.
+    #[test]
+    fn policy_sees_exact_per_epoch_stats() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct Recording(Rc<RefCell<Vec<EpochStats>>>);
+        impl ResizePolicy for Recording {
+            fn decide(&mut self, stats: EpochStats) -> ResizeDecision {
+                self.0.borrow_mut().push(stats);
+                ResizeDecision::Keep
+            }
+        }
+
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let mut ef: EpochFilter<i8, Recording> =
+            EpochFilter::new(crit(), 16 * 1024, 50, 9, Recording(Rc::clone(&seen)));
+        // 125 inserts: two automatic rollovers, 25 items into epoch 3.
+        for i in 0..125u64 {
+            ef.insert(&(i % 5), 5.0);
+        }
+        // Forced mid-epoch rollover reports the partial epoch.
+        ef.rollover();
+        let seen = seen.borrow();
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[0].items, 50, "boundary epoch closes at exactly len");
+        assert_eq!(seen[1].items, 50, "counters reset between epochs");
+        assert_eq!(seen[2].items, 25, "forced rollover sees the partial count");
+        for s in seen.iter() {
+            assert_eq!(s.memory_bytes, 16 * 1024);
+            assert!(
+                s.reports <= s.items && s.vague_visits <= s.items,
+                "stats must be per-epoch, not cumulative: {s:?}"
+            );
+        }
+    }
 }

@@ -53,20 +53,41 @@ impl<S: WeightSketch> MultiCriteriaFilter<S> {
         &self.criteria
     }
 
-    /// Insert an item; performs `r` composite-key inserts and returns every
-    /// `(criterion index, report)` pair that fired. Non-finite values are
-    /// dropped (as in [`QuantileFilter::insert`]).
-    pub fn insert<K: StreamKey>(&mut self, key: &K, value: f64) -> Vec<(usize, Report)> {
-        let mut out = Vec::new();
+    /// Insert an item, streaming every `(criterion index, report)` pair
+    /// that fired into `sink` — the allocation-free primary path,
+    /// matching the caller-supplied-sink shape of `insert_batch` in the
+    /// detector trait. Performs `r` composite-key inserts; non-finite
+    /// values are dropped (as in [`QuantileFilter::insert`]).
+    ///
+    /// An earlier version cloned the whole criteria `Vec` *and* allocated
+    /// a fresh result `Vec` on every insert; indexed criteria copies
+    /// (`Criteria` is `Copy`) and the sink remove both from the per-item
+    /// path, which QF-L002 now holds to the hot-path standard.
+    pub fn insert_into<K: StreamKey>(
+        &mut self,
+        key: &K,
+        value: f64,
+        sink: &mut impl FnMut(usize, Report),
+    ) {
         if !value.is_finite() {
-            return out;
+            return;
         }
-        for (idx, c) in self.criteria.clone().iter().enumerate() {
+        for idx in 0..self.criteria.len() {
+            let c = self.criteria[idx];
             let composite = (key, idx as u32);
-            if let Some(report) = self.filter.insert_with_criteria(&composite, value, c) {
-                out.push((idx, report));
+            if let Some(report) = self.filter.insert_with_criteria(&composite, value, &c) {
+                sink(idx, report);
             }
         }
+    }
+
+    /// Insert an item and collect the fired `(criterion index, report)`
+    /// pairs into a fresh `Vec` — a thin compatibility wrapper over
+    /// [`Self::insert_into`] for callers that prefer the allocating
+    /// shape; hot loops should pass their own sink instead.
+    pub fn insert<K: StreamKey>(&mut self, key: &K, value: f64) -> Vec<(usize, Report)> {
+        let mut out = Vec::new();
+        self.insert_into(key, value, &mut |idx, report| out.push((idx, report)));
         out
     }
 
@@ -179,6 +200,33 @@ mod tests {
         m.delete(&4u64);
         assert_eq!(m.query(&4u64, 0), 0);
         assert_eq!(m.query(&4u64, 1), 0);
+    }
+
+    #[test]
+    fn insert_into_matches_allocating_wrapper() {
+        // Two identically-seeded filters, one driven through the sink
+        // path and one through the wrapper: report-for-report identical.
+        let mut a = multi();
+        let mut b = multi();
+        for round in 0..200u64 {
+            let key = round % 7;
+            let value = if round % 3 == 0 { 500.0 } else { 200.0 };
+            let mut via_sink = Vec::new();
+            a.insert_into(&key, value, &mut |idx, report| via_sink.push((idx, report)));
+            let via_wrapper = b.insert(&key, value);
+            assert_eq!(via_sink, via_wrapper, "round {round}");
+        }
+    }
+
+    #[test]
+    fn non_finite_values_hit_no_criterion() {
+        let mut m = multi();
+        let mut fired = 0usize;
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            m.insert_into(&9u64, bad, &mut |_, _| fired += 1);
+        }
+        assert_eq!(fired, 0);
+        assert_eq!(m.query(&9u64, 0), 0, "state untouched by dropped values");
     }
 
     #[test]

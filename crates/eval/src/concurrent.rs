@@ -38,10 +38,13 @@ impl<D: OutstandingDetector + Send> ShardedDetector<D> {
         self.shards.len()
     }
 
-    /// The shard a key belongs to.
+    /// The shard a key belongs to. Delegates to [`qf_pipeline::shard_of`]
+    /// so the batch harness and the live pipeline route identically —
+    /// the per-shard item streams (and hence reported sets) of the two
+    /// systems are comparable only because this function is shared.
     #[inline]
     pub fn shard_of(&self, key: u64) -> usize {
-        (qf_hash::mix64(key ^ 0x5AAD) % self.shards.len() as u64) as usize
+        qf_pipeline::shard_of(key, self.shards.len())
     }
 
     /// Insert one item; routed to the owning shard.
@@ -56,7 +59,23 @@ impl<D: OutstandingDetector + Send> ShardedDetector<D> {
     }
 
     /// Ingest a stream with `threads` workers. Returns the deduplicated
-    /// reported-key set.
+    /// reported-key set; use [`Self::run_parallel_counted`] to also learn
+    /// how many workers actually ran.
+    pub fn run_parallel(&self, items: &[Item], threads: usize) -> HashSet<u64>
+    where
+        D: 'static,
+    {
+        self.run_parallel_counted(items, threads).reported
+    }
+
+    /// Ingest a stream with `threads` workers, reporting the *effective*
+    /// parallelism alongside the reported-key set.
+    ///
+    /// `threads` is clamped to `[1, shard_count]` — a worker without a
+    /// shard to own would sit idle. The clamp used to be silent, which
+    /// made a benchmark asking for 8 threads over 4 shards (or running on
+    /// a 1-core box) indistinguishable from a real scaling failure; the
+    /// returned [`ParallelRun::effective_threads`] makes it visible.
     ///
     /// Items are pre-partitioned per shard in a single order-preserving
     /// pass (one shard hash per item, total), then each worker drains only
@@ -66,10 +85,11 @@ impl<D: OutstandingDetector + Send> ShardedDetector<D> {
     /// round-trips per worker; this does O(N) work total with the identical
     /// reported-set semantics (per-shard item order is the stream order
     /// either way, and per-key state never crosses shards).
-    pub fn run_parallel(&self, items: &[Item], threads: usize) -> HashSet<u64>
+    pub fn run_parallel_counted(&self, items: &[Item], threads: usize) -> ParallelRun
     where
         D: 'static,
     {
+        let requested_threads = threads;
         let threads = threads.max(1).min(self.shards.len());
         let shard_count = self.shards.len();
         let mut parts: Vec<Vec<(u64, f64)>> = (0..shard_count)
@@ -107,8 +127,25 @@ impl<D: OutstandingDetector + Send> ShardedDetector<D> {
         if let Err(payload) = scope_result {
             std::panic::resume_unwind(payload);
         }
-        all
+        ParallelRun {
+            reported: all,
+            requested_threads,
+            effective_threads: threads,
+        }
     }
+}
+
+/// The outcome of [`ShardedDetector::run_parallel_counted`]: the reported
+/// keys plus the parallelism that actually materialized.
+#[derive(Debug, Clone)]
+pub struct ParallelRun {
+    /// Deduplicated reported-key set.
+    pub reported: HashSet<u64>,
+    /// The thread count the caller asked for.
+    pub requested_threads: usize,
+    /// The worker count that actually ran: `requested_threads` clamped to
+    /// `[1, shard_count]`.
+    pub effective_threads: usize,
 }
 
 #[cfg(test)]
@@ -176,6 +213,23 @@ mod tests {
         let serial = s1.run_parallel(&items, 1);
         let parallel = s4.run_parallel(&items, 4);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn effective_parallelism_is_reported_not_silent() {
+        let items = workload();
+        // More threads than shards: clamped down, and the clamp is visible.
+        let run = sharded(4).run_parallel_counted(&items, 16);
+        assert_eq!(run.requested_threads, 16);
+        assert_eq!(run.effective_threads, 4);
+        // Zero threads: clamped up to 1.
+        let run = sharded(4).run_parallel_counted(&items, 0);
+        assert_eq!(run.requested_threads, 0);
+        assert_eq!(run.effective_threads, 1);
+        // In range: passes through untouched, same reported set either way.
+        let run2 = sharded(4).run_parallel_counted(&items, 2);
+        assert_eq!(run2.effective_threads, 2);
+        assert_eq!(run.reported, run2.reported);
     }
 
     #[test]

@@ -19,10 +19,12 @@
 pub mod concurrent;
 pub mod figures;
 pub mod metrics;
+pub mod pipeline;
 pub mod runner;
 pub mod telemetry_sidecar;
 
-pub use concurrent::ShardedDetector;
+pub use concurrent::{ParallelRun, ShardedDetector};
 pub use metrics::Accuracy;
+pub use pipeline::{PipelineDetector, PipelineRun};
 pub use runner::{ground_truth, run_detector, RunResult};
 pub use telemetry_sidecar::{run_detector_telemetered, TelemeteredRun, TelemetryConfig};

@@ -1,0 +1,87 @@
+//! Differential suite: the live concurrent pipeline against the batch
+//! sharded harness.
+//!
+//! Both systems route keys with `qf_pipeline::shard_of` and seed shard
+//! `i`'s filter with `i`, so over the same trace their per-shard item
+//! streams are identical. The contract ([`PipelineDetector`] docs, and
+//! the issue's acceptance bar): for 1/2/4/8 shards, the concurrent
+//! pipeline's reported key set equals single-threaded `ShardedDetector`
+//! routing — regardless of how the OS interleaves the worker threads.
+
+use qf_baselines::QfDetector;
+use qf_datasets::{zipf_dataset, Item, ZipfConfig};
+use qf_eval::{PipelineDetector, ShardedDetector};
+use quantile_filter::Criteria;
+use std::collections::HashSet;
+
+fn criteria(threshold: f64) -> Criteria {
+    match Criteria::new(5.0, 0.9, threshold) {
+        Ok(c) => c,
+        Err(e) => panic!("criteria: {e}"),
+    }
+}
+
+const SHARD_MEMORY: usize = 32 * 1024;
+
+/// Single-threaded serial routing over the same shard bank geometry.
+fn serial_reference(items: &[Item], threshold: f64, shards: usize) -> HashSet<u64> {
+    let bank = ShardedDetector::new(
+        (0..shards)
+            .map(|i| QfDetector::paper_default(criteria(threshold), SHARD_MEMORY, i as u64))
+            .collect::<Vec<_>>(),
+    );
+    let mut reported = HashSet::new();
+    for it in items {
+        if bank.insert(it.key, it.value) {
+            reported.insert(it.key);
+        }
+    }
+    reported
+}
+
+#[test]
+fn pipeline_reports_equal_serial_sharded_routing() {
+    let data = zipf_dataset(&ZipfConfig::tiny());
+    for shards in [1usize, 2, 4, 8] {
+        let reference = serial_reference(&data.items, data.threshold, shards);
+        assert!(
+            !reference.is_empty(),
+            "trace produced no reports — equivalence would be vacuous"
+        );
+        let detector =
+            PipelineDetector::paper_default(criteria(data.threshold), shards, SHARD_MEMORY);
+        let run = match detector.run(&data.items) {
+            Ok(r) => r,
+            Err(e) => panic!("pipeline run (shards={shards}): {e}"),
+        };
+        assert_eq!(
+            run.reported, reference,
+            "pipeline vs serial divergence at shards={shards}"
+        );
+        // Lossless policy + full drain: conservation is exact.
+        assert_eq!(run.summary.offered, data.items.len() as u64);
+        assert_eq!(run.summary.dropped, 0);
+        assert_eq!(run.summary.processed, run.summary.enqueued);
+    }
+}
+
+#[test]
+fn pipeline_agrees_with_run_parallel() {
+    // Transitivity check against the batch path actually used by the
+    // benches: run_parallel over the same bank must also agree.
+    let data = zipf_dataset(&ZipfConfig::tiny());
+    let shards = 4;
+    let bank = ShardedDetector::new(
+        (0..shards)
+            .map(|i| QfDetector::paper_default(criteria(data.threshold), SHARD_MEMORY, i as u64))
+            .collect::<Vec<_>>(),
+    );
+    let batch = bank.run_parallel_counted(&data.items, shards);
+    assert_eq!(batch.effective_threads, shards);
+    let detector = PipelineDetector::paper_default(criteria(data.threshold), shards, SHARD_MEMORY);
+    let live = match detector.run(&data.items) {
+        Ok(r) => r,
+        Err(e) => panic!("pipeline run: {e}"),
+    };
+    assert_eq!(live.reported, batch.reported);
+}

@@ -19,15 +19,20 @@ use crate::Diagnostic;
 /// Crate-qualified so that e.g. qf-telemetry's unrelated `counter.rs` is
 /// not swept in by a bare file-name match. The one-pass insert rewrite
 /// spread the hot path across the candidate walk, the vague-part fused
-/// ops, the CMS ablation twin, and the lane precomputation — all of which
-/// run per item and are held to the same no-alloc/no-clock standard.
-pub const HOT_PATH_FILES: [&str; 6] = [
+/// ops, the CMS ablation twin, and the lane precomputation; the live
+/// pipeline added the multi-criteria insert path and the SPSC queue /
+/// worker loop — all of which run per item and are held to the same
+/// no-alloc/no-clock standard.
+pub const HOT_PATH_FILES: [&str; 9] = [
     "core/src/filter.rs",
     "core/src/candidate.rs",
     "core/src/vague.rs",
+    "core/src/multi.rs",
     "sketch/src/count_sketch.rs",
     "sketch/src/counter.rs",
     "hash/src/lanes.rs",
+    "pipeline/src/ring.rs",
+    "pipeline/src/worker.rs",
 ];
 
 /// Path suffixes holding saturating counter storage (rule `QF-L004`).
@@ -46,9 +51,10 @@ fn path_matches(file: &SourceFile, suffixes: &[&str]) -> bool {
 /// Functions in hot-path modules that are allowed to allocate: one-time
 /// construction, wire encode/decode, diagnostics, and invariant audits —
 /// none of them run per stream item.
-const COLD_FNS: [&str; 14] = [
+const COLD_FNS: [&str; 15] = [
     "new",
     "try_new",
+    "with_capacity",
     "with_memory_budget",
     "try_build",
     "build",
@@ -62,6 +68,13 @@ const COLD_FNS: [&str; 14] = [
     "snapshot",
     "restore",
 ];
+
+/// Per-file exemptions to `QF-L002`: documented thin *allocating wrappers*
+/// kept for API compatibility next to an allocation-free primary path.
+/// Deliberately file-qualified — adding `insert` to [`COLD_FNS`] would
+/// exempt every hot-path `insert`, which is exactly the function the rule
+/// exists to police.
+const ALLOC_WRAPPERS: [(&str, &str); 1] = [("core/src/multi.rs", "insert")];
 
 fn diag(rule: &'static str, file: &SourceFile, line: &Line, message: String) -> Diagnostic {
     Diagnostic {
@@ -176,10 +189,12 @@ pub fn rule_hot_path(file: &SourceFile, out: &mut Vec<Diagnostic>) {
         if line.in_test {
             continue;
         }
-        let cold = line
-            .fn_name
-            .as_deref()
-            .is_some_and(|f| COLD_FNS.contains(&f));
+        let cold = line.fn_name.as_deref().is_some_and(|f| {
+            COLD_FNS.contains(&f)
+                || ALLOC_WRAPPERS
+                    .iter()
+                    .any(|&(path, wrapper)| f == wrapper && path_matches(file, &[path]))
+        });
         if cold {
             continue;
         }
@@ -451,6 +466,30 @@ mod tests {
         assert_eq!(d[0].line, 2);
         // Same source in a non-hot file: no diagnostics at all.
         assert!(run(rule_hot_path, "core/src/builder.rs", src).is_empty());
+    }
+
+    #[test]
+    fn alloc_wrapper_exemption_is_file_scoped() {
+        let src = "fn insert(&mut self) {\n    let mut out = Vec::new();\n}\n";
+        // The documented allocating wrapper in multi.rs is tolerated…
+        assert!(run(rule_hot_path, "core/src/multi.rs", src).is_empty());
+        // …but the same fn name allocating in filter.rs is still a finding.
+        assert_eq!(run(rule_hot_path, "core/src/filter.rs", src).len(), 1);
+        // And other multi.rs functions get no blanket pass.
+        let other = "fn insert_into(&mut self) {\n    let v = Vec::new();\n}\n";
+        assert_eq!(run(rule_hot_path, "core/src/multi.rs", other).len(), 1);
+    }
+
+    #[test]
+    fn pipeline_queue_and_worker_files_are_hot_path() {
+        let alloc = "fn pop_wait(&mut self) {\n    let s = format!(\"x\");\n}\n";
+        assert_eq!(run(rule_hot_path, "pipeline/src/ring.rs", alloc).len(), 1);
+        assert_eq!(run(rule_hot_path, "pipeline/src/worker.rs", alloc).len(), 1);
+        let clock = "fn run_worker() {\n    let t = std::time::Instant::now();\n}\n";
+        assert!(!run(rule_hot_path, "pipeline/src/worker.rs", clock).is_empty());
+        // Ring construction may allocate its slot array.
+        let ctor = "fn with_capacity(n: usize) -> Self {\n    let v = Vec::with_capacity(n);\n}\n";
+        assert!(run(rule_hot_path, "pipeline/src/ring.rs", ctor).is_empty());
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! qf-pipeline: live concurrent ingest for the QuantileFilter stack.
+//!
+//! The paper's deployments are single-writer — one switch/FPGA pipeline
+//! owns the structure. This crate keeps that model while scaling across
+//! cores, by promoting the eval harness's hash sharding into a production
+//! subsystem: a single-threaded router partitions keys over per-shard
+//! worker threads (each owning a private [`quantile_filter::QuantileFilter`])
+//! connected by bounded, hand-rolled SPSC ring queues. Per-key state
+//! never crosses a shard boundary, so the reported key set is identical
+//! to single-threaded execution over the same per-shard item order — the
+//! equivalence the stress suite pins against `ShardedDetector`.
+//!
+//! What the pipeline adds over the batch harness:
+//!
+//! * **Online ingest** — items are routed as they arrive
+//!   ([`Pipeline::ingest`]), not pre-partitioned from a slice.
+//! * **Backpressure** — a full shard queue either blocks the router or
+//!   sheds the item with exact per-shard accounting
+//!   ([`BackpressurePolicy`]).
+//! * **Snapshot under load** — a quiesce barrier flows through the FIFO
+//!   queues, each worker emits a wire-v2 filter snapshot at the barrier
+//!   point, and the frames are merged into one self-delimiting,
+//!   checksummed envelope that [`Pipeline::restore`] round-trips
+//!   byte-identically ([`Pipeline::snapshot`]).
+//! * **Graceful shutdown** — queues drain fully and the final accounting
+//!   conserves: offered = enqueued + dropped, processed = enqueued
+//!   ([`Pipeline::shutdown`]).
+//!
+//! ```
+//! use qf_pipeline::{BackpressurePolicy, Pipeline, PipelineConfig};
+//! use quantile_filter::Criteria;
+//!
+//! let mut pipe = Pipeline::launch(PipelineConfig {
+//!     shards: 4,
+//!     criteria: Criteria::new(5.0, 0.9, 100.0)?,
+//!     memory_bytes_per_shard: 32 * 1024,
+//!     queue_capacity: 1024,
+//!     policy: BackpressurePolicy::Block,
+//!     seed: 0,
+//! })?;
+//! for i in 0..50_000u64 {
+//!     pipe.ingest(i % 64, 5.0)?;       // background traffic
+//!     pipe.ingest(1_000, 500.0)?;      // one hot key
+//! }
+//! let reported = pipe.poll_reports();
+//! let summary = pipe.shutdown()?;
+//! assert_eq!(summary.offered, summary.enqueued + summary.dropped);
+//! assert!(reported.iter().chain(&summary.reports).any(|r| r.key == 1_000));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(missing_docs)]
+
+pub mod pipeline;
+pub mod ring;
+pub mod snapshot;
+mod telemetry;
+pub mod worker;
+
+pub use pipeline::{
+    BackpressurePolicy, IngestOutcome, Pipeline, PipelineConfig, PipelineSummary, ReportEvent,
+    ShardSummary,
+};
+pub use ring::{Consumer, Producer, PushError, SpscRing};
+pub use snapshot::{PIPELINE_SNAPSHOT_MAGIC, PIPELINE_SNAPSHOT_VERSION};
+
+use quantile_filter::QfError;
+
+/// The shard a key routes to, shared by this crate's router and
+/// `qf-eval`'s `ShardedDetector` so their per-shard item streams are
+/// identical — the foundation of the equivalence guarantee. The `0x5AAD`
+/// tweak decorrelates routing from the filters' own key hashing.
+#[inline]
+pub fn shard_of(key: u64, shards: usize) -> usize {
+    (qf_hash::mix64(key ^ 0x5AAD) % shards as u64) as usize
+}
+
+/// Pipeline failures. Everything is typed — worker panics surface as
+/// [`Self::WorkerDied`], never as a hang or a propagated panic.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The configuration cannot be launched.
+    InvalidConfig {
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A shard worker exited (panic or premature death); the pipeline can
+    /// no longer make progress on that shard.
+    WorkerDied {
+        /// The dead worker's shard index.
+        shard: usize,
+    },
+    /// A snapshot envelope or per-shard frame failed to decode.
+    Snapshot(QfError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidConfig { reason } => write!(f, "invalid pipeline config: {reason}"),
+            Self::WorkerDied { shard } => write!(f, "worker for shard {shard} died"),
+            Self::Snapshot(e) => write!(f, "pipeline snapshot error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QfError> for PipelineError {
+    fn from(e: QfError) -> Self {
+        Self::Snapshot(e)
+    }
+}

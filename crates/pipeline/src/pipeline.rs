@@ -1,0 +1,422 @@
+//! The pipeline itself: config, launch, routing, backpressure, snapshot
+//! under load, and drained shutdown.
+//!
+//! ## Topology
+//!
+//! ```text
+//!              ┌─ SPSC ring ─ worker 0 (owns QuantileFilter #0) ─┐
+//!  router ─────┼─ SPSC ring ─ worker 1 (owns QuantileFilter #1) ─┼─ mpsc ─ caller
+//!  (1 thread)  └─ SPSC ring ─ worker N (owns QuantileFilter #N) ─┘  sink
+//! ```
+//!
+//! The router ([`Pipeline::ingest`], single-threaded by `&mut self`)
+//! hashes each key to its shard with [`crate::shard_of`] and pushes onto
+//! that shard's bounded queue. Each worker owns its filter outright — the
+//! paper's single-writer deployment model, preserved per shard — and
+//! sends [`Event`]s into one shared mpsc sink the caller drains with
+//! [`Pipeline::poll_reports`].
+//!
+//! ## Ordering guarantee (and its limits)
+//!
+//! Per shard, items are applied in exactly the order they were ingested,
+//! and reports from one shard arrive in the sink in emission order.
+//! *Across* shards no order is defined — two reports from different
+//! shards may arrive in either order relative to their ingest order.
+//! Since per-key state never crosses shards, the reported *key set* (and
+//! each shard's report sequence) is identical to single-threaded
+//! execution; only the cross-shard interleaving of the sink is
+//! scheduling-dependent.
+
+use crate::ring::{Producer, PushError, SpscRing};
+use crate::snapshot::{open_shards, seal_shards};
+use crate::telemetry;
+use crate::worker::{run_worker, Event, Msg, WorkerExit};
+use crate::{shard_of, PipelineError};
+use quantile_filter::{Criteria, QuantileFilter, QuantileFilterBuilder, Report};
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, TryRecvError};
+use std::thread::JoinHandle;
+
+/// What the router does when a shard queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Wait (spin/yield) until the worker frees a slot. Lossless;
+    /// ingest latency absorbs the overload.
+    Block,
+    /// Drop the incoming item and count it (per shard, plus the
+    /// `qf_pipeline_dropped_total` telemetry counter). Bounded ingest
+    /// latency; the drop rate is the overload signal.
+    DropNewest,
+}
+
+/// Static configuration of a [`Pipeline`].
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Number of shards == worker threads. Keys are partitioned across
+    /// shards by [`crate::shard_of`].
+    pub shards: usize,
+    /// Detection criteria, shared by every shard's filter.
+    pub criteria: Criteria,
+    /// Memory budget per shard filter, in bytes.
+    pub memory_bytes_per_shard: usize,
+    /// Slots per shard queue (rounded up to a power of two, minimum 2).
+    pub queue_capacity: usize,
+    /// Full-queue behavior.
+    pub policy: BackpressurePolicy,
+    /// Base RNG seed; shard `i` uses `seed.wrapping_add(i)`, matching the
+    /// distinct-seeds-per-shard convention of the eval harness.
+    pub seed: u64,
+}
+
+impl PipelineConfig {
+    /// The seed shard `i`'s filter is built with.
+    pub fn shard_seed(&self, shard: usize) -> u64 {
+        self.seed.wrapping_add(shard as u64)
+    }
+
+    fn validate(&self) -> Result<(), PipelineError> {
+        if self.shards == 0 {
+            return Err(PipelineError::InvalidConfig {
+                reason: "pipeline needs at least one shard".into(),
+            });
+        }
+        if self.queue_capacity < 2 {
+            return Err(PipelineError::InvalidConfig {
+                reason: "queue capacity must be at least 2".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Whether [`Pipeline::ingest`] accepted or shed the item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// The item is on its shard's queue.
+    Enqueued,
+    /// The queue was full under [`BackpressurePolicy::DropNewest`]; the
+    /// item was shed and counted.
+    Dropped,
+}
+
+/// A report pulled out of the sink, tagged with its origin shard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReportEvent {
+    /// Shard whose filter fired.
+    pub shard: usize,
+    /// The reported key.
+    pub key: u64,
+    /// The filter's report payload.
+    pub report: Report,
+}
+
+/// Exact per-shard accounting, returned by [`Pipeline::shutdown`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardSummary {
+    /// Items accepted onto this shard's queue.
+    pub enqueued: u64,
+    /// Items shed at the router (always 0 under `Block`).
+    pub dropped: u64,
+    /// Items the worker popped and applied to its filter.
+    pub processed: u64,
+    /// Reports the worker's filter emitted.
+    pub reports: u64,
+}
+
+/// Final accounting for a drained pipeline. Conservation laws (pinned by
+/// the stress suite): `offered == enqueued + dropped` and, after the full
+/// drain a shutdown performs, `processed == enqueued`.
+#[derive(Debug, Clone)]
+pub struct PipelineSummary {
+    /// Items presented to [`Pipeline::ingest`].
+    pub offered: u64,
+    /// Items accepted onto some shard queue.
+    pub enqueued: u64,
+    /// Items shed under `DropNewest`.
+    pub dropped: u64,
+    /// Items applied to shard filters.
+    pub processed: u64,
+    /// Total reports emitted.
+    pub reports_emitted: u64,
+    /// Per-shard breakdown, indexed by shard.
+    pub per_shard: Vec<ShardSummary>,
+    /// Reports not yet consumed via [`Pipeline::poll_reports`] when the
+    /// pipeline shut down, in sink arrival order.
+    pub reports: Vec<ReportEvent>,
+}
+
+struct ShardHandle {
+    queue: Producer<Msg>,
+    worker: Option<JoinHandle<WorkerExit>>,
+    enqueued: u64,
+    dropped: u64,
+}
+
+/// A live concurrent ingest pipeline. See the module docs for topology
+/// and guarantees; `&mut self` on the ingest path enforces the
+/// single-producer half of the SPSC contract.
+pub struct Pipeline {
+    config: PipelineConfig,
+    shards: Vec<ShardHandle>,
+    events: Receiver<Event>,
+    /// Reports received while waiting for snapshot barriers, preserved in
+    /// arrival order for the next `poll_reports`.
+    pending: VecDeque<ReportEvent>,
+    offered: u64,
+    memory_bytes: usize,
+}
+
+impl Pipeline {
+    /// Build per-shard filters from `config` and launch the workers.
+    pub fn launch(config: PipelineConfig) -> Result<Self, PipelineError> {
+        config.validate()?;
+        let mut filters = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let filter = QuantileFilterBuilder::new(config.criteria)
+                .memory_budget_bytes(config.memory_bytes_per_shard)
+                .seed(config.shard_seed(shard))
+                .try_build()
+                .map_err(|e| PipelineError::InvalidConfig {
+                    reason: e.to_string(),
+                })?;
+            filters.push(filter);
+        }
+        Self::launch_with_filters(config, filters)
+    }
+
+    /// Launch workers over caller-supplied filters (one per shard) —
+    /// the restore path, and the hook for non-default filter geometry.
+    pub fn launch_with_filters(
+        config: PipelineConfig,
+        filters: Vec<QuantileFilter>,
+    ) -> Result<Self, PipelineError> {
+        config.validate()?;
+        if filters.len() != config.shards {
+            return Err(PipelineError::InvalidConfig {
+                reason: format!("got {} filters for {} shards", filters.len(), config.shards),
+            });
+        }
+        let memory_bytes = filters.iter().map(QuantileFilter::memory_bytes).sum();
+        let (sink, events) = channel();
+        let mut shards = Vec::with_capacity(config.shards);
+        for (shard, filter) in filters.into_iter().enumerate() {
+            let (producer, consumer) = SpscRing::with_capacity(config.queue_capacity).split();
+            let sink = sink.clone();
+            let worker = std::thread::Builder::new()
+                .name(format!("qf-pipeline-{shard}"))
+                .spawn(move || run_worker(shard, consumer, filter, sink))
+                .map_err(|e| PipelineError::InvalidConfig {
+                    reason: format!("failed to spawn worker thread: {e}"),
+                })?;
+            shards.push(ShardHandle {
+                queue: producer,
+                worker: Some(worker),
+                enqueued: 0,
+                dropped: 0,
+            });
+        }
+        // The workers hold the only senders now: a `recv` error later
+        // means every worker is gone, not that we forgot a clone here.
+        drop(sink);
+        Ok(Self {
+            config,
+            shards,
+            events,
+            pending: VecDeque::new(),
+            offered: 0,
+            memory_bytes,
+        })
+    }
+
+    /// Rebuild a pipeline from a [`Self::snapshot`] envelope. Queue and
+    /// policy settings come from `config` (they are not part of filter
+    /// state); the shard count must match the envelope.
+    pub fn restore(bytes: &[u8], config: PipelineConfig) -> Result<Self, PipelineError> {
+        config.validate()?;
+        let frames = open_shards(bytes)?;
+        if frames.len() != config.shards {
+            return Err(PipelineError::InvalidConfig {
+                reason: format!(
+                    "snapshot has {} shards but config asks for {}",
+                    frames.len(),
+                    config.shards
+                ),
+            });
+        }
+        let mut filters = Vec::with_capacity(frames.len());
+        for frame in frames {
+            filters.push(QuantileFilter::restore(frame)?);
+        }
+        Self::launch_with_filters(config, filters)
+    }
+
+    /// The configuration this pipeline was launched with.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Number of shards / worker threads.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Summed memory of the shard filters, captured at launch.
+    pub fn memory_bytes(&self) -> usize {
+        self.memory_bytes
+    }
+
+    /// Items currently queued for `shard` (racy snapshot).
+    pub fn queue_len(&self, shard: usize) -> usize {
+        self.shards.get(shard).map_or(0, |s| s.queue.len())
+    }
+
+    /// Items presented to [`Self::ingest`] so far.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Route one item to its shard. Under [`BackpressurePolicy::Block`]
+    /// this waits for queue space; under
+    /// [`BackpressurePolicy::DropNewest`] a full queue sheds the item and
+    /// returns [`IngestOutcome::Dropped`]. Errors only if the owning
+    /// worker has died.
+    pub fn ingest(&mut self, key: u64, value: f64) -> Result<IngestOutcome, PipelineError> {
+        let shard = shard_of(key, self.shards.len());
+        self.offered += 1;
+        let handle = &mut self.shards[shard];
+        let msg = Msg::Item { key, value };
+        match self.config.policy {
+            BackpressurePolicy::Block => match handle.queue.push_blocking(msg) {
+                Ok(()) => {}
+                Err(_) => return Err(PipelineError::WorkerDied { shard }),
+            },
+            BackpressurePolicy::DropNewest => match handle.queue.try_push(msg) {
+                Ok(()) => {}
+                Err((PushError::Full, _)) => {
+                    handle.dropped += 1;
+                    telemetry::dropped();
+                    return Ok(IngestOutcome::Dropped);
+                }
+                Err((PushError::Disconnected, _)) => {
+                    return Err(PipelineError::WorkerDied { shard });
+                }
+            },
+        }
+        handle.enqueued += 1;
+        telemetry::enqueued();
+        Ok(IngestOutcome::Enqueued)
+    }
+
+    /// Drain every report currently available without blocking, in sink
+    /// arrival order (per shard: emission order).
+    pub fn poll_reports(&mut self) -> Vec<ReportEvent> {
+        let mut out: Vec<ReportEvent> = self.pending.drain(..).collect();
+        loop {
+            match self.events.try_recv() {
+                Ok(Event::Report { shard, key, report }) => {
+                    out.push(ReportEvent { shard, key, report });
+                }
+                // A stray barrier ack outside `snapshot` cannot happen
+                // (only `snapshot` sends Quiesce and it collects all acks
+                // before returning); tolerate rather than poison.
+                Ok(Event::Snapshot { .. }) => {}
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        out
+    }
+
+    /// Snapshot all shard filters at a consistent cut *while the pipeline
+    /// keeps running*, returning the merged envelope.
+    ///
+    /// A `Quiesce` barrier message is pushed through each shard queue
+    /// (never dropped, regardless of policy). Because the queues are
+    /// FIFO, each worker snapshots after applying exactly the items
+    /// ingested before this call and none after — a consistent cut
+    /// without stopping ingest on other shards; each worker resumes the
+    /// moment its own encode finishes. Reports that arrive while waiting
+    /// for the barrier acks are buffered for the next
+    /// [`Self::poll_reports`].
+    pub fn snapshot(&mut self) -> Result<Vec<u8>, PipelineError> {
+        for (shard, handle) in self.shards.iter_mut().enumerate() {
+            if handle.queue.push_blocking(Msg::Quiesce).is_err() {
+                return Err(PipelineError::WorkerDied { shard });
+            }
+        }
+        let mut frames: Vec<Option<Vec<u8>>> = vec![None; self.shards.len()];
+        let mut missing = self.shards.len();
+        while missing > 0 {
+            match self.events.recv() {
+                Ok(Event::Report { shard, key, report }) => {
+                    self.pending.push_back(ReportEvent { shard, key, report });
+                }
+                Ok(Event::Snapshot { shard, bytes }) => {
+                    if frames[shard].replace(bytes).is_none() {
+                        missing -= 1;
+                    }
+                }
+                Err(_) => {
+                    let shard = frames.iter().position(Option::is_none).unwrap_or(0);
+                    return Err(PipelineError::WorkerDied { shard });
+                }
+            }
+        }
+        let frames: Vec<Vec<u8>> = frames.into_iter().flatten().collect();
+        Ok(seal_shards(&frames))
+    }
+
+    /// Stop ingest, drain every queue to empty, join the workers, and
+    /// return the final accounting plus any unconsumed reports.
+    pub fn shutdown(mut self) -> Result<PipelineSummary, PipelineError> {
+        let mut first_dead: Option<usize> = None;
+        for (shard, handle) in self.shards.iter_mut().enumerate() {
+            // A dead worker can't drain; remember it, join below anyway.
+            if handle.queue.push_blocking(Msg::Shutdown).is_err() && first_dead.is_none() {
+                first_dead = Some(shard);
+            }
+        }
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        let mut processed = 0u64;
+        let mut reports_emitted = 0u64;
+        let mut enqueued = 0u64;
+        let mut dropped = 0u64;
+        for (shard, mut handle) in self.shards.drain(..).enumerate() {
+            let exit = match handle.worker.take().map(JoinHandle::join) {
+                Some(Ok(exit)) => exit,
+                Some(Err(_)) | None => {
+                    first_dead.get_or_insert(shard);
+                    continue;
+                }
+            };
+            processed += exit.processed;
+            reports_emitted += exit.reports;
+            enqueued += handle.enqueued;
+            dropped += handle.dropped;
+            per_shard.push(ShardSummary {
+                enqueued: handle.enqueued,
+                dropped: handle.dropped,
+                processed: exit.processed,
+                reports: exit.reports,
+            });
+        }
+        if let Some(shard) = first_dead {
+            return Err(PipelineError::WorkerDied { shard });
+        }
+        // Workers have exited, so the channel holds every remaining event.
+        let mut reports: Vec<ReportEvent> = self.pending.drain(..).collect();
+        while let Ok(ev) = self.events.try_recv() {
+            if let Event::Report { shard, key, report } = ev {
+                reports.push(ReportEvent { shard, key, report });
+            }
+        }
+        Ok(PipelineSummary {
+            offered: self.offered,
+            enqueued,
+            dropped,
+            processed,
+            reports_emitted,
+            per_shard,
+            reports,
+        })
+    }
+}

@@ -1,0 +1,306 @@
+//! Bounded single-producer / single-consumer ring queue.
+//!
+//! Hand-rolled (no external deps) because the pipeline's hot path is one
+//! `push` per routed item and one `pop` per worker iteration: a fixed
+//! power-of-two slot array, a producer-owned `tail`, a consumer-owned
+//! `head`, and acquire/release pairs on exactly those two words. No locks,
+//! no per-item allocation — the slot array is the only heap memory and it
+//! is allocated once in [`SpscRing::with_capacity`].
+//!
+//! The single-producer / single-consumer discipline is enforced in the
+//! type system: [`split`](SpscRing::split) yields one [`Producer`] and one
+//! [`Consumer`], neither of which is `Clone`. The pipeline gives each
+//! shard queue its producer side to the (single-threaded) router and its
+//! consumer side to the shard's worker thread.
+//!
+//! ## Idle strategy
+//!
+//! An empty-queue consumer first spins (with [`std::hint::spin_loop`]),
+//! then yields, then parks its thread; the producer unparks it after a
+//! push when (and only when) the parked flag is up, using the SeqCst-fence
+//! handshake so a wakeup can never be lost between the consumer's "is it
+//! still empty?" re-check and the producer's flag read. A full-queue
+//! *producer* under the blocking backpressure policy only spins/yields —
+//! producer stalls end as soon as the consumer frees a slot, so parking
+//! machinery on that side would buy nothing.
+//!
+//! ## Liveness
+//!
+//! Every slot-freeing pop is observed by the producer via `head`; every
+//! blocking wait re-checks [`consumer_alive`](SpscRing) so a worker that
+//! exits (including by panic — the worker holds a drop guard) turns a
+//! would-be deadlock into a [`PushError::Disconnected`].
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::Thread;
+
+/// Spins before the consumer escalates from `spin_loop` to `yield_now`.
+const SPINS_BEFORE_YIELD: usize = 64;
+/// Yields before the consumer escalates from `yield_now` to parking.
+const YIELDS_BEFORE_PARK: usize = 32;
+
+/// Why a push did not take effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is full (only returned by [`Producer::try_push`]).
+    Full,
+    /// The consumer side is gone; no push can ever succeed again.
+    Disconnected,
+}
+
+struct Slot<T>(UnsafeCell<MaybeUninit<T>>);
+
+/// The shared ring state. Construct with [`SpscRing::with_capacity`] and
+/// [`split`](SpscRing::split) into the two endpoint handles.
+pub struct SpscRing<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    /// Next slot the producer writes (monotonic, wraps via `mask`).
+    tail: AtomicUsize,
+    /// Next slot the consumer reads (monotonic, wraps via `mask`).
+    head: AtomicUsize,
+    /// Cleared by the consumer's drop guard when the worker exits.
+    consumer_alive: AtomicBool,
+    /// Raised by the consumer just before parking (SeqCst handshake).
+    consumer_parked: AtomicBool,
+    /// The consumer thread to unpark; registered before the first pop.
+    consumer_thread: Mutex<Option<Thread>>,
+}
+
+// The `UnsafeCell` slots are handed between exactly one producer and one
+// consumer with release/acquire ordering on `tail`/`head`; no slot is ever
+// aliased mutably (safety argument on `push_slot`/`pop_slot`).
+unsafe impl<T: Send> Send for SpscRing<T> {}
+unsafe impl<T: Send> Sync for SpscRing<T> {}
+
+impl<T> SpscRing<T> {
+    /// Allocate a ring with at least `capacity` slots (rounded up to a
+    /// power of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let mut slots = Vec::with_capacity(cap);
+        for _ in 0..cap {
+            slots.push(Slot(UnsafeCell::new(MaybeUninit::uninit())));
+        }
+        Self {
+            slots: slots.into_boxed_slice(),
+            mask: cap - 1,
+            tail: AtomicUsize::new(0),
+            head: AtomicUsize::new(0),
+            consumer_alive: AtomicBool::new(true),
+            consumer_parked: AtomicBool::new(false),
+            consumer_thread: Mutex::new(None),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Split into the producer and consumer endpoints.
+    pub fn split(self) -> (Producer<T>, Consumer<T>) {
+        let ring = Arc::new(self);
+        (
+            Producer {
+                ring: Arc::clone(&ring),
+            },
+            Consumer { ring },
+        )
+    }
+
+    /// Items currently queued (racy snapshot; exact when quiescent).
+    fn len(&self) -> usize {
+        self.tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.head.load(Ordering::Acquire))
+    }
+
+    /// Write `value` into the slot at `tail` and publish it.
+    ///
+    /// Safety: caller is the unique producer and has verified the slot is
+    /// free (`tail - head < capacity`); the consumer only reads slots
+    /// strictly below `tail`, so this write is unaliased.
+    fn push_slot(&self, value: T) {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let slot = &self.slots[tail & self.mask];
+        unsafe { (*slot.0.get()).write(value) };
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Read the slot at `head` out and free it.
+    ///
+    /// Safety: caller is the unique consumer and has verified the slot is
+    /// filled (`head < tail`); the producer only writes slots at or above
+    /// `tail`, so this read is unaliased and initialized.
+    fn pop_slot(&self) -> T {
+        let head = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[head & self.mask];
+        let value = unsafe { (*slot.0.get()).assume_init_read() };
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        value
+    }
+}
+
+impl<T> Drop for SpscRing<T> {
+    fn drop(&mut self) {
+        // Both handles are gone; drain whatever is still queued.
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        let mut at = head;
+        while at != tail {
+            let slot = &self.slots[at & self.mask];
+            unsafe { (*slot.0.get()).assume_init_drop() };
+            at = at.wrapping_add(1);
+        }
+    }
+}
+
+/// The unique producing endpoint of a ring.
+pub struct Producer<T> {
+    ring: Arc<SpscRing<T>>,
+}
+
+impl<T> Producer<T> {
+    /// Push without waiting. On failure the value is handed back alongside
+    /// the reason: [`PushError::Full`] if no slot is free,
+    /// [`PushError::Disconnected`] if the consumer is gone.
+    pub fn try_push(&mut self, value: T) -> Result<(), (PushError, T)> {
+        if !self.ring.consumer_alive.load(Ordering::Acquire) {
+            return Err((PushError::Disconnected, value));
+        }
+        let tail = self.ring.tail.load(Ordering::Relaxed);
+        let head = self.ring.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > self.ring.mask {
+            return Err((PushError::Full, value));
+        }
+        self.ring.push_slot(value);
+        self.wake_consumer();
+        Ok(())
+    }
+
+    /// Push, spinning/yielding while the queue is full (the blocking
+    /// backpressure policy). Fails only if the consumer disappears.
+    pub fn push_blocking(&mut self, mut value: T) -> Result<(), PushError> {
+        let mut spins = 0usize;
+        loop {
+            match self.try_push(value) {
+                Ok(()) => return Ok(()),
+                Err((PushError::Disconnected, _)) => return Err(PushError::Disconnected),
+                Err((PushError::Full, v)) => {
+                    value = v;
+                    if spins < SPINS_BEFORE_YIELD {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                    spins += 1;
+                }
+            }
+        }
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.ring.len() == 0
+    }
+
+    /// Is the consumer endpoint still alive?
+    pub fn consumer_alive(&self) -> bool {
+        self.ring.consumer_alive.load(Ordering::Acquire)
+    }
+
+    /// SeqCst-fence handshake: after publishing `tail`, unpark the
+    /// consumer iff it is (or is about to be) parked.
+    fn wake_consumer(&self) {
+        fence(Ordering::SeqCst);
+        if self.ring.consumer_parked.load(Ordering::Relaxed) {
+            if let Ok(guard) = self.ring.consumer_thread.lock() {
+                if let Some(t) = guard.as_ref() {
+                    t.unpark();
+                }
+            }
+        }
+    }
+}
+
+/// The unique consuming endpoint of a ring.
+pub struct Consumer<T> {
+    ring: Arc<SpscRing<T>>,
+}
+
+impl<T> Consumer<T> {
+    /// Register the calling thread as the one to unpark. Workers call this
+    /// once before their first [`Self::pop_wait`].
+    pub fn register_current_thread(&self) {
+        if let Ok(mut guard) = self.ring.consumer_thread.lock() {
+            *guard = Some(std::thread::current());
+        }
+    }
+
+    /// Pop without waiting.
+    pub fn try_pop(&mut self) -> Option<T> {
+        let head = self.ring.head.load(Ordering::Relaxed);
+        let tail = self.ring.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        Some(self.ring.pop_slot())
+    }
+
+    /// Pop, escalating empty-queue waits from spin to yield to park.
+    /// The producer's post-push fence pairs with the fence below, so
+    /// either this thread sees the new item on its re-check or the
+    /// producer sees the parked flag and unparks it.
+    pub fn pop_wait(&mut self) -> T {
+        loop {
+            let mut spins = 0usize;
+            while spins < SPINS_BEFORE_YIELD + YIELDS_BEFORE_PARK {
+                if let Some(v) = self.try_pop() {
+                    return v;
+                }
+                if spins < SPINS_BEFORE_YIELD {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+                spins += 1;
+            }
+            // Self-register before the first park, so an unregistered
+            // consumer can never sleep beyond the producer's reach.
+            self.register_current_thread();
+            self.ring.consumer_parked.store(true, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            if let Some(v) = self.try_pop() {
+                self.ring.consumer_parked.store(false, Ordering::Relaxed);
+                return v;
+            }
+            std::thread::park();
+            self.ring.consumer_parked.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Mark the consumer as gone so blocked producers fail fast instead of
+    /// waiting forever. Called by the worker's drop guard.
+    pub fn mark_dead(&self) {
+        self.ring.consumer_alive.store(false, Ordering::Release);
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.ring.len() == 0
+    }
+}

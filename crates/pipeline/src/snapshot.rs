@@ -1,0 +1,211 @@
+//! The merged pipeline snapshot envelope: N per-shard wire-v2
+//! `QuantileFilter` snapshots framed into one self-delimiting,
+//! checksummed byte stream.
+//!
+//! ## Wire format (version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "QFPS"
+//! 4       4     format version (u32 LE) — currently 1
+//! 8       4     total length (u32 LE): whole envelope incl. checksum
+//! 12      4     shard count (u32 LE)
+//! 16      …     per shard, in shard order:
+//!                 4  snapshot length (u32 LE)
+//!                 …  `QuantileFilter::snapshot()` bytes (wire v2,
+//!                    themselves self-delimiting and checksummed)
+//! end−8   8     checksum (u64 LE): xxh64 over ALL preceding bytes
+//! ```
+//!
+//! The envelope reuses the house conventions from qf-core's snapshot
+//! module: little-endian throughout, a declared total length so trailing
+//! garbage is a typed error rather than silently folded into the
+//! checksum, and a trailing whole-envelope xxh64 so any single bit flip
+//! is caught at the outer layer before the per-shard snapshots are even
+//! opened. Because `QuantileFilter::snapshot()` is deterministic in the
+//! filter state, sealing the shards of a restored pipeline reproduces the
+//! original envelope byte for byte — the round-trip property the
+//! snapshot-under-load tests pin.
+//!
+//! Decode order: length/magic → version → declared-length bounds →
+//! whole-envelope checksum → shard count bounds → per-shard frame bounds.
+//! Every failure is a typed [`QfError`]; no input drives an oversized
+//! allocation (the shard count is capped before any `Vec` is sized).
+
+use qf_hash::wire::{ByteReader, ByteWriter};
+use qf_hash::xxh64;
+use quantile_filter::QfError;
+
+/// First four bytes of every merged pipeline snapshot.
+pub const PIPELINE_SNAPSHOT_MAGIC: [u8; 4] = *b"QFPS";
+
+/// The envelope version this build writes and the only one it reads.
+pub const PIPELINE_SNAPSHOT_VERSION: u32 = 1;
+
+/// Bound on the decoded shard count — a corrupted count field must not
+/// drive a huge allocation. Far above any deployable shard fan-out.
+const MAX_SNAPSHOT_SHARDS: u32 = 1 << 16;
+
+// magic(4) + version(4) + total_len(4) + shard_count(4)
+const HEADER_BYTES: usize = 16;
+const MIN_ENVELOPE_BYTES: usize = HEADER_BYTES + 8;
+
+/// Seed for the whole-envelope checksum (distinct from qf-core's seeds by
+/// construction).
+const CHECKSUM_SEED: u64 = 0x5EED_919E_11E0_0F5E;
+
+fn corrupt(reason: &str) -> QfError {
+    QfError::CorruptSnapshot {
+        reason: reason.to_string(),
+    }
+}
+
+/// Frame per-shard snapshots (in shard order) into the merged envelope.
+pub fn seal_shards(shards: &[Vec<u8>]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_bytes(&PIPELINE_SNAPSHOT_MAGIC);
+    w.put_u32(PIPELINE_SNAPSHOT_VERSION);
+    let body: usize = shards.iter().map(|s| 4 + s.len()).sum();
+    w.put_u32((HEADER_BYTES + body + 8) as u32);
+    w.put_u32(shards.len() as u32);
+    for shard in shards {
+        w.put_u32(shard.len() as u32);
+        w.put_bytes(shard);
+    }
+    w.put_u64(xxh64(w.as_slice(), CHECKSUM_SEED));
+    w.into_bytes()
+}
+
+/// Open a merged envelope back into per-shard snapshot slices.
+pub fn open_shards(bytes: &[u8]) -> Result<Vec<&[u8]>, QfError> {
+    if bytes.len() < MIN_ENVELOPE_BYTES {
+        return Err(corrupt("pipeline snapshot shorter than minimum envelope"));
+    }
+    let mut r = ByteReader::new(bytes);
+    let magic = r
+        .get_bytes(4)
+        .map_err(|_| corrupt("pipeline snapshot truncated"))?;
+    if magic != PIPELINE_SNAPSHOT_MAGIC {
+        return Err(corrupt("bad pipeline snapshot magic"));
+    }
+    let version = r
+        .get_u32()
+        .map_err(|_| corrupt("pipeline snapshot truncated"))?;
+    if version != PIPELINE_SNAPSHOT_VERSION {
+        return Err(QfError::VersionMismatch {
+            found: version,
+            supported: PIPELINE_SNAPSHOT_VERSION,
+        });
+    }
+    let total = r
+        .get_u32()
+        .map_err(|_| corrupt("pipeline snapshot truncated"))? as usize;
+    if total != bytes.len() {
+        return Err(corrupt(if total > bytes.len() {
+            "pipeline snapshot truncated: declared length exceeds buffer"
+        } else {
+            "trailing garbage after pipeline snapshot envelope"
+        }));
+    }
+    let stored = u64::from_le_bytes(match bytes[bytes.len() - 8..].try_into() {
+        Ok(a) => a,
+        Err(_) => return Err(corrupt("pipeline snapshot truncated")),
+    });
+    let computed = xxh64(&bytes[..bytes.len() - 8], CHECKSUM_SEED);
+    if stored != computed {
+        return Err(corrupt("pipeline snapshot checksum mismatch"));
+    }
+    let count = r
+        .get_u32()
+        .map_err(|_| corrupt("pipeline snapshot truncated"))?;
+    if count == 0 {
+        return Err(corrupt("pipeline snapshot has zero shards"));
+    }
+    if count > MAX_SNAPSHOT_SHARDS {
+        return Err(corrupt("pipeline snapshot shard count implausibly large"));
+    }
+    let mut shards = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let len = r
+            .get_u32()
+            .map_err(|_| corrupt("pipeline snapshot truncated in shard frame"))?
+            as usize;
+        if len + 8 > r.remaining() {
+            return Err(corrupt("pipeline snapshot shard frame overruns envelope"));
+        }
+        shards.push(
+            r.get_bytes(len)
+                .map_err(|_| corrupt("pipeline snapshot truncated in shard frame"))?,
+        );
+    }
+    if r.remaining() != 8 {
+        return Err(corrupt(
+            "pipeline snapshot has bytes between shards and checksum",
+        ));
+    }
+    Ok(shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Vec<u8>> {
+        vec![vec![1, 2, 3], vec![], vec![0xAB; 37]]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let sealed = seal_shards(&sample());
+        let opened = open_shards(&sealed).unwrap();
+        assert_eq!(opened.len(), 3);
+        assert_eq!(opened[0], &[1, 2, 3]);
+        assert_eq!(opened[1], &[] as &[u8]);
+        assert_eq!(opened[2], vec![0xAB; 37].as_slice());
+    }
+
+    #[test]
+    fn every_bit_flip_is_caught() {
+        let sealed = seal_shards(&sample());
+        for byte in 0..sealed.len() {
+            for bit in 0..8 {
+                let mut bad = sealed.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    open_shards(&bad).is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut sealed = seal_shards(&sample());
+        sealed.push(0);
+        let err = open_shards(&sealed).unwrap_err();
+        assert!(format!("{err:?}").contains("trailing"));
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_length() {
+        let sealed = seal_shards(&sample());
+        for len in 0..sealed.len() {
+            assert!(open_shards(&sealed[..len]).is_err(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let mut sealed = seal_shards(&sample());
+        sealed[4] = 9; // version field
+                       // Re-checksum so only the version differs.
+        let cut = sealed.len() - 8;
+        let sum = qf_hash::xxh64(&sealed[..cut], super::CHECKSUM_SEED);
+        sealed[cut..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            open_shards(&sealed),
+            Err(QfError::VersionMismatch { found: 9, .. })
+        ));
+    }
+}

@@ -1,0 +1,65 @@
+//! Feature-gated telemetry hooks for the pipeline hot path.
+//!
+//! Same contract as `quantile-filter`'s hooks: with the `telemetry` cargo
+//! feature **off** (the default) every function is an empty
+//! `#[inline(always)]` body and the router/worker loops carry no trace of
+//! instrumentation; with it **on**, each hook is one relaxed atomic op on
+//! the process-wide [`qf_telemetry::global`] registry.
+//!
+//! The registry counters are process aggregates (the registry's naming
+//! rules forbid open label vocabularies, and shard counts are dynamic);
+//! exact per-shard accounting always travels in
+//! [`ShardSummary`](crate::ShardSummary) instead.
+
+#[cfg(feature = "telemetry")]
+mod hooks {
+    use qf_telemetry::{CounterId, GaugeId, GlobalRecorder, Recorder};
+
+    /// An item was accepted into a shard queue.
+    #[inline(always)]
+    pub fn enqueued() {
+        GlobalRecorder.count(CounterId::PipelineEnqueued, 1);
+        GlobalRecorder.gauge_add(GaugeId::PipelineQueueDepth, 1);
+    }
+
+    /// A worker popped an item off its queue.
+    #[inline(always)]
+    pub fn dequeued() {
+        GlobalRecorder.count(CounterId::PipelineDequeued, 1);
+        GlobalRecorder.gauge_add(GaugeId::PipelineQueueDepth, -1);
+    }
+
+    /// An item was dropped at the router under `DropNewest` backpressure.
+    #[inline(always)]
+    pub fn dropped() {
+        GlobalRecorder.count(CounterId::PipelineDropped, 1);
+    }
+
+    /// A worker's filter emitted a report.
+    #[inline(always)]
+    pub fn report() {
+        GlobalRecorder.count(CounterId::PipelineReports, 1);
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+mod hooks {
+    macro_rules! noop_hooks {
+        ($($name:ident),+ $(,)?) => {
+            $(
+                /// No-op: telemetry is compiled out.
+                #[inline(always)]
+                pub fn $name() {}
+            )+
+        };
+    }
+
+    noop_hooks! {
+        enqueued,
+        dequeued,
+        dropped,
+        report,
+    }
+}
+
+pub(crate) use hooks::*;

@@ -1,0 +1,122 @@
+//! The per-shard worker: pops messages off its SPSC queue, drives its
+//! privately-owned `QuantileFilter`, and forwards reports to the sink.
+//!
+//! Single-writer is preserved by construction — the filter lives on the
+//! worker's stack and is moved back out through the join handle at
+//! shutdown; no lock, no sharing. This file is in the QF-L002 hot-path
+//! set: the message loop performs no allocation and reads no clocks
+//! (snapshot encoding, which does allocate, only runs on an explicit
+//! quiesce message — see the `snapshot` method, which is on the
+//! cold-function allowlist).
+
+use crate::ring::Consumer;
+use crate::telemetry;
+use quantile_filter::{QuantileFilter, Report};
+use std::sync::mpsc::Sender;
+
+/// One message on a shard queue. `Copy` so queue slots never own heap
+/// memory.
+#[derive(Debug, Clone, Copy)]
+pub enum Msg {
+    /// A routed stream item.
+    Item {
+        /// The stream key (already hashed to this shard by the router).
+        key: u64,
+        /// The item's value/weight.
+        value: f64,
+    },
+    /// Quiesce barrier: snapshot the filter *now* (every earlier item is
+    /// applied, no later item is) and send the bytes to the sink.
+    Quiesce,
+    /// Drain sentinel: the router will push nothing further; exit after
+    /// this message.
+    Shutdown,
+}
+
+/// An event a worker pushes into the shared sink channel.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// The just-inserted key was reported quantile-outstanding.
+    Report {
+        /// Shard that produced the report.
+        shard: usize,
+        /// The reported key.
+        key: u64,
+        /// The filter's report payload.
+        report: Report,
+    },
+    /// A quiesce barrier reached this shard; `bytes` is the wire-v2
+    /// snapshot of its filter at the barrier point.
+    Snapshot {
+        /// Shard the snapshot belongs to.
+        shard: usize,
+        /// `QuantileFilter::snapshot()` bytes.
+        bytes: Vec<u8>,
+    },
+}
+
+/// What a worker hands back through its join handle.
+#[derive(Debug)]
+pub struct WorkerExit {
+    /// Items popped and applied to the filter.
+    pub processed: u64,
+    /// Reports emitted.
+    pub reports: u64,
+    /// The filter itself, so callers can inspect or re-launch.
+    pub filter: QuantileFilter,
+}
+
+/// Owns the queue's consumer side and marks it dead when the worker
+/// exits — including by unwinding — so a blocked router errors out
+/// instead of spinning forever.
+struct AliveGuard {
+    queue: Consumer<Msg>,
+}
+
+impl Drop for AliveGuard {
+    fn drop(&mut self) {
+        self.queue.mark_dead();
+    }
+}
+
+/// The worker body. Runs on a dedicated thread until [`Msg::Shutdown`].
+pub fn run_worker(
+    shard: usize,
+    queue: Consumer<Msg>,
+    mut filter: QuantileFilter,
+    sink: Sender<Event>,
+) -> WorkerExit {
+    queue.register_current_thread();
+    let mut guard = AliveGuard { queue };
+    let mut processed = 0u64;
+    let mut reports = 0u64;
+    loop {
+        match guard.queue.pop_wait() {
+            Msg::Item { key, value } => {
+                telemetry::dequeued();
+                processed += 1;
+                if let Some(report) = filter.insert(&key, value) {
+                    telemetry::report();
+                    reports += 1;
+                    // A closed sink is not the worker's problem: keep
+                    // draining so shutdown still conserves accounting.
+                    let _ = sink.send(Event::Report { shard, key, report });
+                }
+            }
+            Msg::Quiesce => snapshot(shard, &filter, &sink),
+            Msg::Shutdown => break,
+        }
+    }
+    WorkerExit {
+        processed,
+        reports,
+        filter,
+    }
+}
+
+/// Encode the filter at the quiesce point and ship it to the sink.
+/// Cold by contract: runs once per snapshot request, never per item.
+fn snapshot(shard: usize, filter: &QuantileFilter, sink: &Sender<Event>) {
+    let bytes = filter.snapshot();
+    let _ = sink.send(Event::Snapshot { shard, bytes });
+}

@@ -35,6 +35,10 @@ pub enum CounterId {
     SketchSaturations,
     RoundingFractional,
     RoundingUp,
+    PipelineEnqueued,
+    PipelineDequeued,
+    PipelineDropped,
+    PipelineReports,
 }
 
 /// Identifies a gauge in the [`QfMetrics`] registry.
@@ -42,6 +46,7 @@ pub enum CounterId {
 #[allow(missing_docs)]
 pub enum GaugeId {
     RoundingDriftMicros,
+    PipelineQueueDepth,
 }
 
 /// Identifies a latency histogram in the [`QfMetrics`] registry.
@@ -74,6 +79,10 @@ impl QfMetrics {
             CounterId::SketchSaturations => &self.sketch_saturations,
             CounterId::RoundingFractional => &self.rounding_fractional,
             CounterId::RoundingUp => &self.rounding_up,
+            CounterId::PipelineEnqueued => &self.pipeline_enqueued,
+            CounterId::PipelineDequeued => &self.pipeline_dequeued,
+            CounterId::PipelineDropped => &self.pipeline_dropped,
+            CounterId::PipelineReports => &self.pipeline_reports,
         }
     }
 
@@ -82,6 +91,7 @@ impl QfMetrics {
     pub fn gauge_of(&self, id: GaugeId) -> &crate::Gauge {
         match id {
             GaugeId::RoundingDriftMicros => &self.rounding_drift_micros,
+            GaugeId::PipelineQueueDepth => &self.pipeline_queue_depth,
         }
     }
 
@@ -191,6 +201,10 @@ mod tests {
             SketchSaturations,
             RoundingFractional,
             RoundingUp,
+            PipelineEnqueued,
+            PipelineDequeued,
+            PipelineDropped,
+            PipelineReports,
         ] {
             m.counter_of(id).incr();
         }

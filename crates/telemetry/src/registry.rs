@@ -88,12 +88,22 @@ registry! {
         sketch_saturations => "qf_sketch_saturation_events_total",
         rounding_fractional => "qf_rounding_fractional_total",
         rounding_up => "qf_rounding_up_total",
+        // qf-pipeline ingest traffic (process aggregates; exact per-shard
+        // accounting travels in `PipelineSummary`, since the registry's
+        // closed-vocabulary label rule rules out per-shard label values)
+        pipeline_enqueued => "qf_pipeline_enqueued_total",
+        pipeline_dequeued => "qf_pipeline_dequeued_total",
+        pipeline_dropped => "qf_pipeline_dropped_total",
+        pipeline_reports => "qf_pipeline_reports_total",
     }
     gauges {
         // Cumulative stochastic-rounding drift, in millionths of a unit of
         // Qweight: +(1−frac)·1e6 on a round-up, −frac·1e6 on a round-down.
         // Stays near zero iff the rounder is unbiased in practice.
         rounding_drift_micros => "qf_rounding_drift_micros",
+        // Items sitting in shard queues right now, summed across shards:
+        // +1 on enqueue, −1 on dequeue.
+        pipeline_queue_depth => "qf_pipeline_queue_depth",
     }
     histograms {
         insert_latency_ns => "qf_insert_latency_ns",

@@ -13,6 +13,9 @@
 //! * [`qf_datasets`] — internet-like / cloud-like / Zipf workload
 //!   generators and trace IO.
 //! * [`qf_eval`] — metrics, runners and per-figure experiment drivers.
+//! * [`qf_pipeline`] — live concurrent ingest: hash router, bounded
+//!   SPSC shard queues with backpressure, per-shard worker threads, and
+//!   snapshot-under-load.
 //! * [`qf_hash`] — xxHash64, MurmurHash3 and seeded hash families.
 //!
 //! See `examples/` for runnable scenarios and DESIGN.md / EXPERIMENTS.md
@@ -24,6 +27,7 @@ pub use qf_baselines;
 pub use qf_datasets;
 pub use qf_eval;
 pub use qf_hash;
+pub use qf_pipeline;
 pub use qf_quantiles;
 pub use qf_sketch;
 pub use quantile_filter;
