@@ -7,15 +7,16 @@
 //! ```
 //!
 //! For each shard count in {1, 2, 4, 8} and each backpressure policy
-//! (`block`, `drop_newest`), streams a Zipf trace through a freshly
-//! launched `qf-pipeline` and records:
+//! (`block`, `drop_newest`, `drop_oldest`, `shed_fair`), streams a Zipf
+//! trace through a freshly launched `qf-pipeline` and records:
 //!
 //! * offered Mops — the router-side ingest rate (what the caller sees);
 //! * sustained Mops — items applied to shard filters over the whole run
 //!   including the drain;
-//! * drop rate — items shed at the router under `drop_newest` (always 0
-//!   under `block`; the measurement aborts if conservation
-//!   `offered == enqueued + dropped` ever fails).
+//! * drop rate — items shed at the router under the dropping policies
+//!   (always 0 under `block`; the measurement aborts if conservation
+//!   `offered == enqueued + dropped` or `enqueued == processed + shed`
+//!   ever fails).
 //!
 //! Writes the results as `BENCH_pipeline.json` (schema documented on
 //! `qf_bench::pipeline::render_json`). `--tiny` is the CI smoke mode:
@@ -27,8 +28,12 @@ use qf_pipeline::{BackpressurePolicy, PipelineConfig};
 use quantile_filter::Criteria;
 
 const SHARD_POINTS: [usize; 4] = [1, 2, 4, 8];
-const POLICIES: [BackpressurePolicy; 2] =
-    [BackpressurePolicy::Block, BackpressurePolicy::DropNewest];
+const POLICIES: [BackpressurePolicy; 4] = [
+    BackpressurePolicy::Block,
+    BackpressurePolicy::DropNewest,
+    BackpressurePolicy::DropOldest,
+    BackpressurePolicy::ShedFair,
+];
 const SHARD_MEMORY: usize = 32 * 1024;
 
 fn usage() -> ! {

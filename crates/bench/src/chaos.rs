@@ -1,0 +1,444 @@
+//! The self-healing-pipeline harness behind the `chaos` bin.
+//!
+//! Two questions, measured separately:
+//!
+//! * **What does supervision cost when nothing goes wrong?** The same
+//!   trace is streamed through an unsupervised pipeline and a supervised
+//!   one (checkpointing + journaling on, zero faults); the overhead is
+//!   the relative throughput delta. The acceptance budget is 10%.
+//! * **How fast is recovery when something does?** A poison key is
+//!   injected at evenly spaced points of the trace, each delivery
+//!   killing its worker; the supervisor's own [`RecoveryRecord`]s give
+//!   the restart latency distribution (p50/p99/max) plus the replay and
+//!   loss totals.
+//!
+//! Results render as the `BENCH_chaos.json` schema documented on
+//! [`render_json`].
+
+use crate::pipeline::{measure_pipeline, PipelineMeasurement};
+use qf_datasets::Item;
+use qf_pipeline::{
+    ChaosPlan, Fault, Pipeline, PipelineConfig, PipelineError, RecoveryRecord, SupervisorConfig,
+};
+use std::time::Instant;
+
+/// One shard point of the no-fault overhead comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadPoint {
+    /// Shard / worker count.
+    pub shards: usize,
+    /// End-to-end Mops without supervision (the PR-5 baseline path).
+    pub baseline_mops: f64,
+    /// End-to-end Mops with checkpointing + journaling on, zero faults.
+    pub supervised_mops: f64,
+}
+
+impl OverheadPoint {
+    /// Relative throughput lost to supervision (0.1 == 10% slower).
+    pub fn overhead_frac(&self) -> f64 {
+        if self.baseline_mops <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.supervised_mops / self.baseline_mops).max(0.0)
+    }
+}
+
+/// Restart-latency distribution over one fault-injection run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryStats {
+    /// Recoveries observed (quarantines excluded — none should occur).
+    pub samples: usize,
+    /// Median restart latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile restart latency, microseconds.
+    pub p99_us: u64,
+    /// Worst restart latency, microseconds.
+    pub max_us: u64,
+    /// Journal entries replayed across all recoveries.
+    pub replayed_total: u64,
+    /// Items lost to crash windows across the whole run (accounted).
+    pub lost_total: u64,
+    /// Items applied end to end despite the crashes.
+    pub processed: u64,
+}
+
+/// `ceil(p/100 · n)`-th order statistic of `sorted` (1-indexed), the
+/// standard nearest-rank percentile.
+fn percentile(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * sorted.len() as u64).div_ceil(100).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Stream `items` through a *supervised* pipeline with no faults and
+/// time it like [`measure_pipeline`] does, keeping the fastest of
+/// `repeats` runs.
+pub fn measure_supervised(
+    config: PipelineConfig,
+    sup: SupervisorConfig,
+    items: &[Item],
+    repeats: usize,
+) -> Result<PipelineMeasurement, PipelineError> {
+    let mut best: Option<PipelineMeasurement> = None;
+    for _ in 0..repeats.max(1) {
+        let mut pipe = Pipeline::launch_supervised(config, sup)?;
+        let t0 = Instant::now();
+        for it in items {
+            pipe.ingest(it.key, it.value)?;
+        }
+        let ingest_seconds = t0.elapsed().as_secs_f64();
+        let summary = pipe.shutdown()?;
+        let total_seconds = t0.elapsed().as_secs_f64();
+        if summary.lost_to_crash != 0 || summary.restarts != 0 {
+            return Err(PipelineError::InvalidConfig {
+                reason: format!(
+                    "no-fault supervised run crashed: restarts {} lost {}",
+                    summary.restarts, summary.lost_to_crash
+                ),
+            });
+        }
+        let m = PipelineMeasurement {
+            shards: config.shards,
+            policy: crate::pipeline::policy_name(config.policy),
+            offered: summary.offered,
+            enqueued: summary.enqueued,
+            dropped: summary.dropped,
+            processed: summary.processed,
+            shed: summary.shed,
+            reported_keys: 0,
+            ingest_seconds,
+            total_seconds,
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| m.total_seconds < b.total_seconds)
+        {
+            best = Some(m);
+        }
+    }
+    best.ok_or_else(|| PipelineError::InvalidConfig {
+        reason: "no repeats executed".into(),
+    })
+}
+
+/// Stream `items` through a supervised pipeline while a poison key kills
+/// a worker `crashes` times at evenly spaced points, then distill the
+/// supervisor's recovery records. `strike_forgiveness: 1` keeps the
+/// strike counter at bay (each crash is separated by real progress), so
+/// every fault ends in a restart, never a quarantine.
+pub fn measure_recovery(
+    config: PipelineConfig,
+    sup: SupervisorConfig,
+    items: &[Item],
+    crashes: u32,
+) -> Result<RecoveryStats, PipelineError> {
+    // A key outside every dataset generator's range, so it perturbs
+    // nothing but the worker it kills.
+    let poison_key = u64::MAX - 1;
+    let plan = ChaosPlan::new().with(Fault::Poison {
+        key: poison_key,
+        times: crashes,
+    });
+    let sup = SupervisorConfig {
+        strike_forgiveness: 1,
+        ..sup
+    };
+    let mut pipe = Pipeline::launch_chaos(config, sup, &plan)?;
+    let gap = (items.len() / (crashes.max(1) as usize + 1)).max(1);
+    for (i, it) in items.iter().enumerate() {
+        if i % gap == gap - 1 {
+            pipe.ingest(poison_key, 1.0)?;
+        }
+        pipe.ingest(it.key, it.value)?;
+    }
+    let summary = pipe.shutdown()?;
+    if summary.offered != summary.enqueued + summary.dropped + summary.rejected
+        || summary.enqueued != summary.processed + summary.shed + summary.lost_to_crash
+    {
+        return Err(PipelineError::InvalidConfig {
+            reason: format!("conservation violated under chaos: {summary:?}"),
+        });
+    }
+    let restarts: Vec<&RecoveryRecord> = summary
+        .recoveries
+        .iter()
+        .filter(|r| !r.quarantined)
+        .collect();
+    let mut lat_us: Vec<u64> = restarts
+        .iter()
+        .map(|r| r.restart_latency.as_micros() as u64)
+        .collect();
+    lat_us.sort_unstable();
+    Ok(RecoveryStats {
+        samples: lat_us.len(),
+        p50_us: percentile(&lat_us, 50),
+        p99_us: percentile(&lat_us, 99),
+        max_us: lat_us.last().copied().unwrap_or(0),
+        replayed_total: restarts.iter().map(|r| r.replayed).sum(),
+        lost_total: summary.lost_to_crash,
+        processed: summary.processed,
+    })
+}
+
+/// A full harness run, renderable as `BENCH_chaos.json`.
+#[derive(Debug, Clone)]
+pub struct ChaosBenchReport {
+    /// "full" or "tiny" (the CI smoke mode).
+    pub mode: String,
+    /// `available_parallelism` of the measuring host.
+    pub nproc: usize,
+    /// Best-of repeats per overhead point.
+    pub repeats: usize,
+    /// Slots per shard queue.
+    pub queue_capacity: usize,
+    /// Checkpoint cadence used by the supervised runs.
+    pub checkpoint_interval: u64,
+    /// Trace length.
+    pub items: usize,
+    /// One point per shard count.
+    pub overhead: Vec<OverheadPoint>,
+    /// The fault-injection distillate.
+    pub recovery: RecoveryStats,
+}
+
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "0".into()
+    }
+}
+
+/// Render the report as the `BENCH_chaos.json` document:
+///
+/// ```json
+/// {
+///   "schema": "qf-bench-chaos/v1",
+///   "mode": "full",                   // or "tiny" (CI smoke)
+///   "nproc": 8,
+///   "repeats": 3,
+///   "queue_capacity": 1024,
+///   "checkpoint_interval": 8192,
+///   "items": 2000000,
+///   "overhead": [{
+///     "shards": 1,
+///     "baseline_mops": 8.5,           // unsupervised end-to-end rate
+///     "supervised_mops": 8.1,         // checkpointing on, zero faults
+///     "overhead_frac": 0.047          // budget: <= 0.10
+///   }, ...],
+///   "recovery": {
+///     "samples": 16,                  // restarts observed
+///     "restart_latency_p50_us": 900,
+///     "restart_latency_p99_us": 2400,
+///     "restart_latency_max_us": 2600,
+///     "replayed_total": 131072,       // journal entries replayed
+///     "lost_total": 1024,             // accounted crash-window loss
+///     "processed": 1998976
+///   }
+/// }
+/// ```
+pub fn render_json(report: &ChaosBenchReport) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"qf-bench-chaos/v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", report.mode));
+    out.push_str(&format!("  \"nproc\": {},\n", report.nproc));
+    out.push_str(&format!("  \"repeats\": {},\n", report.repeats));
+    out.push_str(&format!(
+        "  \"queue_capacity\": {},\n",
+        report.queue_capacity
+    ));
+    out.push_str(&format!(
+        "  \"checkpoint_interval\": {},\n",
+        report.checkpoint_interval
+    ));
+    out.push_str(&format!("  \"items\": {},\n", report.items));
+    out.push_str("  \"overhead\": [\n");
+    for (i, p) in report.overhead.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"baseline_mops\": {}, \"supervised_mops\": {}, \
+             \"overhead_frac\": {}}}{}\n",
+            p.shards,
+            num(p.baseline_mops),
+            num(p.supervised_mops),
+            num(p.overhead_frac()),
+            if i + 1 < report.overhead.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ],\n");
+    let r = &report.recovery;
+    out.push_str("  \"recovery\": {\n");
+    out.push_str(&format!("    \"samples\": {},\n", r.samples));
+    out.push_str(&format!("    \"restart_latency_p50_us\": {},\n", r.p50_us));
+    out.push_str(&format!("    \"restart_latency_p99_us\": {},\n", r.p99_us));
+    out.push_str(&format!("    \"restart_latency_max_us\": {},\n", r.max_us));
+    out.push_str(&format!("    \"replayed_total\": {},\n", r.replayed_total));
+    out.push_str(&format!("    \"lost_total\": {},\n", r.lost_total));
+    out.push_str(&format!("    \"processed\": {}\n", r.processed));
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Baseline-vs-supervised comparison for one shard count.
+pub fn measure_overhead(
+    config: PipelineConfig,
+    sup: SupervisorConfig,
+    items: &[Item],
+    repeats: usize,
+) -> Result<OverheadPoint, PipelineError> {
+    let baseline = measure_pipeline(config, items, repeats)?;
+    let supervised = measure_supervised(config, sup, items, repeats)?;
+    Ok(OverheadPoint {
+        shards: config.shards,
+        baseline_mops: baseline.sustained_mops(),
+        supervised_mops: supervised.sustained_mops(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qf_pipeline::BackpressurePolicy;
+    use quantile_filter::Criteria;
+    use std::time::Duration;
+
+    fn criteria() -> Criteria {
+        match Criteria::new(5.0, 0.9, 100.0) {
+            Ok(c) => c,
+            Err(e) => panic!("criteria: {e}"),
+        }
+    }
+
+    fn trace(len: usize, keys: u64, seed: u64) -> Vec<Item> {
+        let mut rng = qf_hash::SplitMix64::new(seed);
+        (0..len)
+            .map(|_| {
+                let key = rng.next_u64() % keys;
+                let value = if rng.next_u64() % 100 < 30 {
+                    500.0
+                } else {
+                    5.0
+                };
+                Item { key, value }
+            })
+            .collect()
+    }
+
+    fn config(shards: usize) -> PipelineConfig {
+        PipelineConfig {
+            shards,
+            criteria: criteria(),
+            memory_bytes_per_shard: 16 * 1024,
+            queue_capacity: 256,
+            policy: BackpressurePolicy::Block,
+            seed: 0,
+        }
+    }
+
+    fn sup() -> SupervisorConfig {
+        SupervisorConfig {
+            checkpoint_interval: 512,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+            ..SupervisorConfig::default()
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 99), 0);
+        assert_eq!(percentile(&[7], 50), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&v, 100), 100);
+    }
+
+    #[test]
+    fn overhead_point_measures_both_modes() {
+        let items = trace(30_000, 500, 9);
+        let p = match measure_overhead(config(2), sup(), &items, 1) {
+            Ok(p) => p,
+            Err(e) => panic!("measure: {e}"),
+        };
+        assert_eq!(p.shards, 2);
+        assert!(p.baseline_mops > 0.0);
+        assert!(p.supervised_mops > 0.0);
+        assert!(p.overhead_frac() >= 0.0);
+    }
+
+    #[test]
+    fn recovery_stats_capture_each_injected_crash() {
+        let items = trace(30_000, 500, 10);
+        let stats = match measure_recovery(config(2), sup(), &items, 3) {
+            Ok(s) => s,
+            Err(e) => panic!("measure: {e}"),
+        };
+        assert_eq!(stats.samples, 3, "every poison delivery must restart");
+        assert!(stats.p50_us <= stats.p99_us);
+        assert!(stats.p99_us <= stats.max_us);
+        assert!(
+            stats.lost_total >= 3,
+            "each crash loses at least its poison item"
+        );
+        assert!(stats.processed > 0);
+    }
+
+    #[test]
+    fn rendered_json_is_balanced_and_complete() {
+        let report = ChaosBenchReport {
+            mode: "tiny".into(),
+            nproc: 8,
+            repeats: 1,
+            queue_capacity: 256,
+            checkpoint_interval: 512,
+            items: 1000,
+            overhead: vec![
+                OverheadPoint {
+                    shards: 1,
+                    baseline_mops: 8.0,
+                    supervised_mops: 7.6,
+                },
+                OverheadPoint {
+                    shards: 2,
+                    baseline_mops: 12.0,
+                    supervised_mops: 11.5,
+                },
+            ],
+            recovery: RecoveryStats {
+                samples: 4,
+                p50_us: 900,
+                p99_us: 2400,
+                max_us: 2600,
+                replayed_total: 2048,
+                lost_total: 5,
+                processed: 995,
+            },
+        };
+        let json = render_json(&report);
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close} in:\n{json}"
+            );
+        }
+        for key in [
+            "\"qf-bench-chaos/v1\"",
+            "\"checkpoint_interval\": 512",
+            "\"overhead_frac\": 0.0500",
+            "\"restart_latency_p50_us\": 900",
+            "\"restart_latency_p99_us\": 2400",
+            "\"lost_total\": 5",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert!(!json.contains(",\n  ]"));
+    }
+}

@@ -1,9 +1,12 @@
 //! qf-bench: criterion benches, figure-regeneration binaries, the
 //! hot-path A/B harness ([`hotpath`]) that measures the one-pass insert
 //! rewrite against a faithful reconstruction of the pre-refactor flow,
-//! and the live-pipeline throughput harness ([`pipeline`]).
+//! the live-pipeline throughput harness ([`pipeline`]), and the
+//! self-healing harness ([`chaos`]) that prices supervision overhead and
+//! restart latency.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod chaos;
 pub mod hotpath;
 pub mod pipeline;

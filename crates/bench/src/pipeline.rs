@@ -29,6 +29,8 @@ pub fn policy_name(policy: BackpressurePolicy) -> &'static str {
     match policy {
         BackpressurePolicy::Block => "block",
         BackpressurePolicy::DropNewest => "drop_newest",
+        BackpressurePolicy::DropOldest => "drop_oldest",
+        BackpressurePolicy::ShedFair => "shed_fair",
     }
 }
 
@@ -38,16 +40,19 @@ pub fn policy_name(policy: BackpressurePolicy) -> &'static str {
 pub struct PipelineMeasurement {
     /// Shard / worker count.
     pub shards: usize,
-    /// `"block"` or `"drop_newest"`.
+    /// `"block"`, `"drop_newest"`, `"drop_oldest"`, or `"shed_fair"`.
     pub policy: &'static str,
     /// Items offered at the router.
     pub offered: u64,
     /// Items accepted onto shard queues.
     pub enqueued: u64,
-    /// Items shed at the router (always 0 under `block`).
+    /// Incoming items shed at the router (always 0 under `block`).
     pub dropped: u64,
     /// Items applied to shard filters.
     pub processed: u64,
+    /// Oldest-item drops redeemed by workers (only nonzero under
+    /// `drop_oldest` / `shed_fair`).
+    pub shed: u64,
     /// Distinct reported keys.
     pub reported_keys: u64,
     /// Wall-clock seconds of the ingest loop alone.
@@ -115,6 +120,7 @@ pub fn measure_pipeline(
             enqueued: summary.enqueued,
             dropped: summary.dropped,
             processed: summary.processed,
+            shed: summary.shed,
             reported_keys: reported.len() as u64,
             ingest_seconds,
             total_seconds,
@@ -124,6 +130,14 @@ pub fn measure_pipeline(
                 reason: format!(
                     "conservation violated: offered {} != enqueued {} + dropped {}",
                     m.offered, m.enqueued, m.dropped
+                ),
+            });
+        }
+        if m.enqueued != m.processed + m.shed {
+            return Err(PipelineError::InvalidConfig {
+                reason: format!(
+                    "conservation violated: enqueued {} != processed {} + shed {}",
+                    m.enqueued, m.processed, m.shed
                 ),
             });
         }
@@ -202,7 +216,7 @@ fn num(x: f64) -> String {
 ///     "sustained_mops": 8.5,         // filter-applied rate, incl. drain
 ///     "drop_rate": 0.0,              // dropped / offered
 ///     "offered": 2000000, "enqueued": 2000000, "dropped": 0,
-///     "processed": 2000000, "reported_keys": 77
+///     "processed": 2000000, "shed": 0, "reported_keys": 77
 ///   }, ...]
 /// }
 /// ```
@@ -246,6 +260,7 @@ pub fn render_json(report: &PipelineBenchReport) -> String {
         out.push_str(&format!("      \"enqueued\": {},\n", p.enqueued));
         out.push_str(&format!("      \"dropped\": {},\n", p.dropped));
         out.push_str(&format!("      \"processed\": {},\n", p.processed));
+        out.push_str(&format!("      \"shed\": {},\n", p.shed));
         out.push_str(&format!("      \"reported_keys\": {}\n", p.reported_keys));
         out.push_str(&format!(
             "    }}{}\n",
@@ -325,6 +340,23 @@ mod tests {
     }
 
     #[test]
+    fn drop_oldest_policy_sheds_with_exact_accounting() {
+        // Same overload shape as above, but the loss shows up as worker
+        // sheds (oldest items discarded) and/or router drops when the
+        // worker can't free a slot in the bounded window; both sides of
+        // the split are checked by measure_pipeline itself.
+        let items = trace(20_000, 500, 7);
+        let m = match measure_pipeline(config(1, BackpressurePolicy::DropOldest, 2), &items, 1) {
+            Ok(m) => m,
+            Err(e) => panic!("measure: {e}"),
+        };
+        assert_eq!(m.offered, 20_000);
+        assert_eq!(m.offered, m.enqueued + m.dropped);
+        assert_eq!(m.enqueued, m.processed + m.shed);
+        assert_eq!(m.policy, "drop_oldest");
+    }
+
+    #[test]
     fn rendered_json_is_balanced_and_complete() {
         let point = PipelineMeasurement {
             shards: 4,
@@ -333,6 +365,7 @@ mod tests {
             enqueued: 1000,
             dropped: 0,
             processed: 1000,
+            shed: 0,
             reported_keys: 7,
             ingest_seconds: 0.001,
             total_seconds: 0.002,
@@ -394,6 +427,7 @@ mod tests {
             enqueued: 1_500_000,
             dropped: 500_000,
             processed: 1_500_000,
+            shed: 0,
             reported_keys: 0,
             ingest_seconds: 0.5,
             total_seconds: 1.0,

@@ -11,7 +11,9 @@
 //! the equivalence the `pipeline_equivalence` test pins.
 
 use qf_datasets::Item;
-use qf_pipeline::{BackpressurePolicy, Pipeline, PipelineConfig, PipelineError, PipelineSummary};
+use qf_pipeline::{
+    BackpressurePolicy, Pipeline, PipelineConfig, PipelineError, PipelineSummary, SupervisorConfig,
+};
 use quantile_filter::Criteria;
 use std::collections::HashSet;
 
@@ -60,7 +62,22 @@ impl PipelineDetector {
 
     /// Stream `items` through a freshly-launched pipeline and drain it.
     pub fn run(&self, items: &[Item]) -> Result<PipelineRun, PipelineError> {
-        let mut pipe = Pipeline::launch(self.config)?;
+        self.drive(Pipeline::launch(self.config)?, items)
+    }
+
+    /// Same run, but through the self-healing layer: checkpointing and
+    /// journaling on, watchdog armed. With no faults injected this must
+    /// report exactly what [`run`](Self::run) reports — the equivalence
+    /// suite pins that supervision is observationally free.
+    pub fn run_supervised(
+        &self,
+        sup: SupervisorConfig,
+        items: &[Item],
+    ) -> Result<PipelineRun, PipelineError> {
+        self.drive(Pipeline::launch_supervised(self.config, sup)?, items)
+    }
+
+    fn drive(&self, mut pipe: Pipeline, items: &[Item]) -> Result<PipelineRun, PipelineError> {
         let mut reported = HashSet::new();
         for item in items {
             pipe.ingest(item.key, item.value)?;

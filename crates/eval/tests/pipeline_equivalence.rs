@@ -11,6 +11,7 @@
 use qf_baselines::QfDetector;
 use qf_datasets::{zipf_dataset, Item, ZipfConfig};
 use qf_eval::{PipelineDetector, ShardedDetector};
+use qf_pipeline::SupervisorConfig;
 use quantile_filter::Criteria;
 use std::collections::HashSet;
 
@@ -62,6 +63,32 @@ fn pipeline_reports_equal_serial_sharded_routing() {
         assert_eq!(run.summary.offered, data.items.len() as u64);
         assert_eq!(run.summary.dropped, 0);
         assert_eq!(run.summary.processed, run.summary.enqueued);
+    }
+}
+
+#[test]
+fn supervised_pipeline_reports_equal_serial_sharded_routing() {
+    // Supervision (checkpointing, journaling, watchdog) must be
+    // observationally free when nothing crashes: same key set as the
+    // serial reference, zero loss, zero restarts.
+    let data = zipf_dataset(&ZipfConfig::tiny());
+    for shards in [2usize, 4] {
+        let reference = serial_reference(&data.items, data.threshold, shards);
+        let detector =
+            PipelineDetector::paper_default(criteria(data.threshold), shards, SHARD_MEMORY);
+        let run = match detector.run_supervised(SupervisorConfig::default(), &data.items) {
+            Ok(r) => r,
+            Err(e) => panic!("supervised pipeline run (shards={shards}): {e}"),
+        };
+        assert_eq!(
+            run.reported, reference,
+            "supervised pipeline vs serial divergence at shards={shards}"
+        );
+        assert_eq!(run.summary.lost_to_crash, 0);
+        assert_eq!(run.summary.restarts, 0);
+        assert_eq!(run.summary.rejected, 0);
+        assert_eq!(run.summary.processed, run.summary.enqueued);
+        assert!(run.summary.recoveries.is_empty());
     }
 }
 

@@ -21,9 +21,12 @@ use crate::Diagnostic;
 /// spread the hot path across the candidate walk, the vague-part fused
 /// ops, the CMS ablation twin, and the lane precomputation; the live
 /// pipeline added the multi-criteria insert path and the SPSC queue /
-/// worker loop — all of which run per item and are held to the same
-/// no-alloc/no-clock standard.
-pub const HOT_PATH_FILES: [&str; 9] = [
+/// worker loop; the supervision layer added the per-burst journal commit
+/// and the armed-chaos probe — all of which run per item (or per burst)
+/// and are held to the same no-alloc/no-clock standard. Checkpoint
+/// *sealing* allocates by necessity, which is why it lives in `snapshot`
+/// -family cold functions and runs once per interval, never per item.
+pub const HOT_PATH_FILES: [&str; 11] = [
     "core/src/filter.rs",
     "core/src/candidate.rs",
     "core/src/vague.rs",
@@ -33,6 +36,8 @@ pub const HOT_PATH_FILES: [&str; 9] = [
     "hash/src/lanes.rs",
     "pipeline/src/ring.rs",
     "pipeline/src/worker.rs",
+    "pipeline/src/supervisor.rs",
+    "pipeline/src/chaos.rs",
 ];
 
 /// Path suffixes holding saturating counter storage (rule `QF-L004`).
@@ -490,6 +495,23 @@ mod tests {
         // Ring construction may allocate its slot array.
         let ctor = "fn with_capacity(n: usize) -> Self {\n    let v = Vec::with_capacity(n);\n}\n";
         assert!(run(rule_hot_path, "pipeline/src/ring.rs", ctor).is_empty());
+    }
+
+    #[test]
+    fn supervisor_and_chaos_files_are_hot_path() {
+        // The per-burst commit (journal append) and the per-item chaos
+        // probe must stay allocation- and clock-free…
+        let alloc = "fn append(&mut self) {\n    let s = format!(\"x\");\n}\n";
+        assert_eq!(
+            run(rule_hot_path, "pipeline/src/supervisor.rs", alloc).len(),
+            1
+        );
+        let clock = "fn before_apply(&self) {\n    let t = std::time::Instant::now();\n}\n";
+        assert!(!run(rule_hot_path, "pipeline/src/chaos.rs", clock).is_empty());
+        // …while checkpoint sealing allocates inside the cold
+        // snapshot/restore family, off the per-item path.
+        let seal = "fn snapshot(&self) -> Vec<u8> {\n    let v = Vec::with_capacity(64);\n}\n";
+        assert!(run(rule_hot_path, "pipeline/src/supervisor.rs", seal).is_empty());
     }
 
     #[test]

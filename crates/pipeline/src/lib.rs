@@ -23,8 +23,14 @@
 //!   checksummed envelope that [`Pipeline::restore`] round-trips
 //!   byte-identically ([`Pipeline::snapshot`]).
 //! * **Graceful shutdown** — queues drain fully and the final accounting
-//!   conserves: offered = enqueued + dropped, processed = enqueued
-//!   ([`Pipeline::shutdown`]).
+//!   conserves: offered = enqueued + dropped + rejected and
+//!   enqueued = processed + shed + lost ([`Pipeline::shutdown`]).
+//! * **Self-healing (opt-in)** — [`Pipeline::launch_supervised`] adds
+//!   per-shard checkpoint/replay recovery, a hang watchdog, and restart
+//!   with capped backoff, so a crashed or wedged worker costs a bounded,
+//!   *accounted* loss window instead of the pipeline. The qf-chaos
+//!   harness ([`ChaosPlan`] + [`Pipeline::launch_chaos`]) injects panics,
+//!   hangs, poison keys, and checkpoint corruption to prove it.
 //!
 //! ```
 //! use qf_pipeline::{BackpressurePolicy, Pipeline, PipelineConfig};
@@ -52,18 +58,22 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![deny(missing_docs)]
 
+pub mod chaos;
 pub mod pipeline;
 pub mod ring;
 pub mod snapshot;
+pub mod supervisor;
 mod telemetry;
 pub mod worker;
 
+pub use chaos::{ChaosPlan, Fault};
 pub use pipeline::{
     BackpressurePolicy, IngestOutcome, Pipeline, PipelineConfig, PipelineSummary, ReportEvent,
     ShardSummary,
 };
 pub use ring::{Consumer, Producer, PushError, SpscRing};
 pub use snapshot::{PIPELINE_SNAPSHOT_MAGIC, PIPELINE_SNAPSHOT_VERSION};
+pub use supervisor::{CrashCause, RecoveredBase, RecoveryRecord, ShardState, SupervisorConfig};
 
 use quantile_filter::QfError;
 

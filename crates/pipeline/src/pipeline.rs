@@ -1,5 +1,5 @@
 //! The pipeline itself: config, launch, routing, backpressure, snapshot
-//! under load, and drained shutdown.
+//! under load, supervision/recovery, and drained shutdown.
 //!
 //! ## Topology
 //!
@@ -16,6 +16,33 @@
 //! sends [`Event`]s into one shared mpsc sink the caller drains with
 //! [`Pipeline::poll_reports`].
 //!
+//! ## Supervision (opt-in)
+//!
+//! [`Pipeline::launch_supervised`] adds the self-healing layer from
+//! [`crate::supervisor`]: the router doubles as supervisor, detecting
+//! worker death on `Disconnected` pushes and worker *hangs* via a
+//! per-shard progress watchdog, then fencing the old generation and
+//! respawning the shard from its checkpoint + replay journal with capped
+//! exponential backoff. Repeated rapid crashes quarantine the shard:
+//! its items come back as [`IngestOutcome::ShardDown`] and the rest of
+//! the pipeline keeps running. An unsupervised pipeline has none of this
+//! machinery — no journal writes, no extra lock on the worker path.
+//!
+//! ## Conservation laws
+//!
+//! Pinned by the stress and chaos suites, for every shard and in total:
+//!
+//! ```text
+//! offered  == enqueued + dropped + rejected        (router-side)
+//! enqueued == processed + shed + lost_to_crash     (after drained shutdown)
+//! ```
+//!
+//! `rejected` counts items refused because their shard was down or
+//! quarantined; `shed` counts oldest-item drops under the shedding
+//! policies; `lost_to_crash` is exactly the accounted loss window of
+//! each crash (uncommitted burst + in-ring slab), zero when nothing
+//! crashed.
+//!
 //! ## Ordering guarantee (and its limits)
 //!
 //! Per shard, items are applied in exactly the order they were ingested,
@@ -25,17 +52,31 @@
 //! Since per-key state never crosses shards, the reported *key set* (and
 //! each shard's report sequence) is identical to single-threaded
 //! execution; only the cross-shard interleaving of the sink is
-//! scheduling-dependent.
+//! scheduling-dependent. Under supervision the same holds outside the
+//! accounted loss windows: a recovered shard's report sequence is the
+//! serial reference's sequence with the lost items' reports excised.
 
+use crate::chaos::{ArmedChaos, ChaosPlan};
 use crate::ring::{Producer, PushError, SpscRing};
 use crate::snapshot::{open_shards, seal_shards};
+use crate::supervisor::{
+    CrashCause, RecoveredBase, RecoveryRecord, ShardRecovery, ShardState, SupervisorConfig,
+};
 use crate::telemetry;
-use crate::worker::{run_worker, Event, Msg, WorkerExit};
+use crate::worker::{run_supervised, run_worker, Event, Msg, Supervision, WorkerExit};
 use crate::{shard_of, PipelineError};
 use quantile_filter::{Criteria, QuantileFilter, QuantileFilterBuilder, Report};
 use std::collections::VecDeque;
-use std::sync::mpsc::{channel, Receiver, TryRecvError};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Spin/yield rounds per bounded push attempt on the supervised blocking
+/// path, between watchdog checks. Small enough that a hung worker is
+/// noticed within a few clock reads, large enough that the clock is not
+/// on the per-push path when the queue has room.
+const PUSH_ROUND_BUDGET: usize = 512;
 
 /// What the router does when a shard queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +88,17 @@ pub enum BackpressurePolicy {
     /// `qf_pipeline_dropped_total` telemetry counter). Bounded ingest
     /// latency; the drop rate is the overload signal.
     DropNewest,
+    /// Admit the incoming item by shedding the *oldest* queued one: the
+    /// router posts a shed credit that the worker redeems by discarding
+    /// the queue head (counted per shard as `shed`). Keeps the freshest
+    /// data under overload — the right bias for an online detector.
+    DropOldest,
+    /// `DropOldest` with per-key fairness: admission history is sampled
+    /// into 256 key buckets, and when the queue is full an item from a
+    /// bucket holding more than 4× its fair share is dropped *itself*
+    /// instead of shedding someone else's oldest. Heavy keys absorb the
+    /// overload they cause; light keys keep flowing.
+    ShedFair,
 }
 
 /// Static configuration of a [`Pipeline`].
@@ -87,16 +139,31 @@ impl PipelineConfig {
         }
         Ok(())
     }
+
+    fn build_filter(&self, shard: usize) -> Result<QuantileFilter, PipelineError> {
+        QuantileFilterBuilder::new(self.criteria)
+            .memory_budget_bytes(self.memory_bytes_per_shard)
+            .seed(self.shard_seed(shard))
+            .try_build()
+            .map_err(|e| PipelineError::InvalidConfig {
+                reason: e.to_string(),
+            })
+    }
 }
 
-/// Whether [`Pipeline::ingest`] accepted or shed the item.
+/// Per-item verdict from [`Pipeline::ingest`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IngestOutcome {
     /// The item is on its shard's queue.
     Enqueued,
-    /// The queue was full under [`BackpressurePolicy::DropNewest`]; the
-    /// item was shed and counted.
+    /// The queue was full and the policy shed the *incoming* item
+    /// ([`BackpressurePolicy::DropNewest`], or the fairness drop under
+    /// [`BackpressurePolicy::ShedFair`]); it was counted per shard.
     Dropped,
+    /// The item's shard is down — its worker died (unsupervised) or was
+    /// quarantined after exhausting its strike budget (supervised). Only
+    /// this shard's items are affected; other shards keep accepting.
+    ShardDown,
 }
 
 /// A report pulled out of the sink, tagged with its origin shard.
@@ -115,31 +182,54 @@ pub struct ReportEvent {
 pub struct ShardSummary {
     /// Items accepted onto this shard's queue.
     pub enqueued: u64,
-    /// Items shed at the router (always 0 under `Block`).
+    /// Items shed at the router (incoming-item drops).
     pub dropped: u64,
-    /// Items the worker popped and applied to its filter.
+    /// Items refused because the shard was down or quarantined.
+    pub rejected: u64,
+    /// Items the worker popped and applied to its filter (supervised:
+    /// journaled applies, surviving every recovery).
     pub processed: u64,
-    /// Reports the worker's filter emitted.
+    /// Oldest-item drops redeemed by the worker under the shedding
+    /// policies.
+    pub shed: u64,
+    /// Items whose effect did not survive a crash (enqueued, never
+    /// journaled). Always 0 without faults.
+    pub lost: u64,
+    /// Reports the worker's filter emitted (supervised: for journaled
+    /// items).
     pub reports: u64,
+    /// Times this shard's worker was restarted by the supervisor.
+    pub restarts: u64,
+    /// Lifecycle state at shutdown (always `Running` unsupervised).
+    pub state: ShardState,
 }
 
-/// Final accounting for a drained pipeline. Conservation laws (pinned by
-/// the stress suite): `offered == enqueued + dropped` and, after the full
-/// drain a shutdown performs, `processed == enqueued`.
+/// Final accounting for a drained pipeline. See the module docs for the
+/// conservation laws the stress/chaos suites pin.
 #[derive(Debug, Clone)]
 pub struct PipelineSummary {
     /// Items presented to [`Pipeline::ingest`].
     pub offered: u64,
     /// Items accepted onto some shard queue.
     pub enqueued: u64,
-    /// Items shed under `DropNewest`.
+    /// Incoming items shed at the router.
     pub dropped: u64,
-    /// Items applied to shard filters.
+    /// Items refused because their shard was down.
+    pub rejected: u64,
+    /// Items applied to shard filters (and journaled, when supervised).
     pub processed: u64,
+    /// Oldest-item drops under the shedding policies.
+    pub shed: u64,
+    /// Items lost to worker crashes — the summed accounted loss windows.
+    pub lost_to_crash: u64,
     /// Total reports emitted.
     pub reports_emitted: u64,
+    /// Worker restarts across all shards.
+    pub restarts: u64,
     /// Per-shard breakdown, indexed by shard.
     pub per_shard: Vec<ShardSummary>,
+    /// Every recovery event, in occurrence order (empty without faults).
+    pub recoveries: Vec<RecoveryRecord>,
     /// Reports not yet consumed via [`Pipeline::poll_reports`] when the
     /// pipeline shut down, in sink arrival order.
     pub reports: Vec<ReportEvent>,
@@ -150,6 +240,90 @@ struct ShardHandle {
     worker: Option<JoinHandle<WorkerExit>>,
     enqueued: u64,
     dropped: u64,
+    rejected: u64,
+}
+
+/// Router-side admission sampling for [`BackpressurePolicy::ShedFair`]:
+/// 256 hash buckets of recent admissions, halved once the window fills
+/// so the estimate tracks the live mix.
+struct Fairness {
+    buckets: Box<[u32; 256]>,
+    total: u32,
+}
+
+impl Fairness {
+    const WINDOW: u32 = 4096;
+    const HEAVY_FACTOR: u32 = 4;
+
+    fn new() -> Self {
+        Self {
+            buckets: Box::new([0u32; 256]),
+            total: 0,
+        }
+    }
+
+    /// Bucket a key; the tweak decorrelates fairness sampling from both
+    /// routing and the filters' own hashing.
+    fn bucket(key: u64) -> usize {
+        (qf_hash::mix64(key ^ 0xFA1B) & 0xFF) as usize
+    }
+
+    fn note(&mut self, key: u64) {
+        let b = Self::bucket(key);
+        self.buckets[b] = self.buckets[b].saturating_add(1);
+        self.total = self.total.saturating_add(1);
+        if self.total >= Self::WINDOW {
+            let mut total = 0u32;
+            for c in self.buckets.iter_mut() {
+                *c >>= 1;
+                total += *c;
+            }
+            self.total = total;
+        }
+    }
+
+    fn is_heavy(&self, key: u64) -> bool {
+        let share = self.buckets[Self::bucket(key)];
+        let fair = self.total / 256 + 1;
+        share > Self::HEAVY_FACTOR * fair
+    }
+}
+
+/// Router-side supervision state for one shard.
+struct ShardSup {
+    recovery: Arc<ShardRecovery>,
+    /// Mirror of the recovery generation (authoritative copy lives under
+    /// the lock); used to discard stale snapshot frames.
+    generation: u64,
+    state: ShardState,
+    strikes: u32,
+    /// `applied` when the current worker generation started; the strike
+    /// counter resets once the shard runs `strike_forgiveness` past it.
+    applied_at_restart: u64,
+    restarts: u64,
+    /// Journaled applies carried over from lineages that ended in
+    /// `StateLoss` (their items were processed, then the state was
+    /// rolled away; the count survives).
+    processed_cum: u64,
+    /// Loss already attributed to earlier fences, so each recovery
+    /// record carries only its own increment.
+    lost_so_far: u64,
+    /// Watchdog: last observed progress counter and when it last moved.
+    last_progress: u64,
+    last_progress_at: Instant,
+}
+
+/// Everything a supervised pipeline carries beyond the legacy fields.
+struct Supervised {
+    cfg: SupervisorConfig,
+    chaos: Option<ArmedChaos>,
+    /// Kept so the router can spawn replacement workers; also means the
+    /// event channel never reports disconnected while supervised.
+    sink: Sender<Event>,
+    shards: Vec<ShardSup>,
+    /// Fenced workers not yet known to have exited; reaped at shutdown.
+    graveyard: Vec<JoinHandle<WorkerExit>>,
+    recoveries: Vec<RecoveryRecord>,
 }
 
 /// A live concurrent ingest pipeline. See the module docs for topology
@@ -164,6 +338,11 @@ pub struct Pipeline {
     pending: VecDeque<ReportEvent>,
     offered: u64,
     memory_bytes: usize,
+    /// Per-shard admission sampling; populated only under `ShedFair`.
+    fairness: Vec<Fairness>,
+    /// Present iff launched via [`Self::launch_supervised`] /
+    /// [`Self::launch_chaos`].
+    supervision: Option<Supervised>,
 }
 
 impl Pipeline {
@@ -172,14 +351,7 @@ impl Pipeline {
         config.validate()?;
         let mut filters = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {
-            let filter = QuantileFilterBuilder::new(config.criteria)
-                .memory_budget_bytes(config.memory_bytes_per_shard)
-                .seed(config.shard_seed(shard))
-                .try_build()
-                .map_err(|e| PipelineError::InvalidConfig {
-                    reason: e.to_string(),
-                })?;
-            filters.push(filter);
+            filters.push(config.build_filter(shard)?);
         }
         Self::launch_with_filters(config, filters)
     }
@@ -213,11 +385,13 @@ impl Pipeline {
                 worker: Some(worker),
                 enqueued: 0,
                 dropped: 0,
+                rejected: 0,
             });
         }
         // The workers hold the only senders now: a `recv` error later
         // means every worker is gone, not that we forgot a clone here.
         drop(sink);
+        let fairness = Self::fairness_for(&config);
         Ok(Self {
             config,
             shards,
@@ -225,7 +399,127 @@ impl Pipeline {
             pending: VecDeque::new(),
             offered: 0,
             memory_bytes,
+            fairness,
+            supervision: None,
         })
+    }
+
+    /// Launch with the self-healing supervision layer: periodic
+    /// checkpoints + replay journal per shard, crash/hang detection, and
+    /// restart with capped backoff (quarantine after repeated strikes).
+    /// See [`SupervisorConfig`] for the knobs.
+    pub fn launch_supervised(
+        config: PipelineConfig,
+        sup: SupervisorConfig,
+    ) -> Result<Self, PipelineError> {
+        Self::launch_supervised_inner(config, sup, None)
+    }
+
+    /// [`Self::launch_supervised`] with an armed [`ChaosPlan`] — the
+    /// qf-chaos harness entry point. Production code never injects
+    /// faults; this exists so the recovery machinery is tested by the
+    /// same code path it protects.
+    pub fn launch_chaos(
+        config: PipelineConfig,
+        sup: SupervisorConfig,
+        plan: &ChaosPlan,
+    ) -> Result<Self, PipelineError> {
+        Self::launch_supervised_inner(config, sup, Some(plan.arm()))
+    }
+
+    fn launch_supervised_inner(
+        config: PipelineConfig,
+        sup: SupervisorConfig,
+        chaos: Option<ArmedChaos>,
+    ) -> Result<Self, PipelineError> {
+        config.validate()?;
+        sup.validate()
+            .map_err(|reason| PipelineError::InvalidConfig {
+                reason: format!("supervisor config: {reason}"),
+            })?;
+        let (sink, events) = channel();
+        let mut shards = Vec::with_capacity(config.shards);
+        let mut sup_shards = Vec::with_capacity(config.shards);
+        let mut memory_bytes = 0usize;
+        for shard in 0..config.shards {
+            let filter = config.build_filter(shard)?;
+            memory_bytes += filter.memory_bytes();
+            let recovery = Arc::new(ShardRecovery::new(sup.checkpoint_interval));
+            let (producer, worker) = Self::spawn_supervised_worker(
+                &config,
+                shard,
+                filter,
+                sink.clone(),
+                Supervision {
+                    recovery: Arc::clone(&recovery),
+                    generation: 0,
+                    checkpoint_interval: sup.checkpoint_interval,
+                    chaos: chaos.clone(),
+                },
+            )?;
+            shards.push(ShardHandle {
+                queue: producer,
+                worker: Some(worker),
+                enqueued: 0,
+                dropped: 0,
+                rejected: 0,
+            });
+            sup_shards.push(ShardSup {
+                recovery,
+                generation: 0,
+                state: ShardState::Running,
+                strikes: 0,
+                applied_at_restart: 0,
+                restarts: 0,
+                processed_cum: 0,
+                lost_so_far: 0,
+                last_progress: 0,
+                last_progress_at: Instant::now(),
+            });
+        }
+        let fairness = Self::fairness_for(&config);
+        Ok(Self {
+            config,
+            shards,
+            events,
+            pending: VecDeque::new(),
+            offered: 0,
+            memory_bytes,
+            fairness,
+            supervision: Some(Supervised {
+                cfg: sup,
+                chaos,
+                sink,
+                shards: sup_shards,
+                graveyard: Vec::new(),
+                recoveries: Vec::new(),
+            }),
+        })
+    }
+
+    fn fairness_for(config: &PipelineConfig) -> Vec<Fairness> {
+        if config.policy == BackpressurePolicy::ShedFair {
+            (0..config.shards).map(|_| Fairness::new()).collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn spawn_supervised_worker(
+        config: &PipelineConfig,
+        shard: usize,
+        filter: QuantileFilter,
+        sink: Sender<Event>,
+        sup: Supervision,
+    ) -> Result<(Producer<Msg>, JoinHandle<WorkerExit>), PipelineError> {
+        let (producer, consumer) = SpscRing::with_capacity(config.queue_capacity).split();
+        let worker = std::thread::Builder::new()
+            .name(format!("qf-pipeline-{shard}"))
+            .spawn(move || run_supervised(shard, consumer, filter, sink, sup))
+            .map_err(|e| PipelineError::InvalidConfig {
+                reason: format!("failed to spawn worker thread: {e}"),
+            })?;
+        Ok((producer, worker))
     }
 
     /// Rebuild a pipeline from a [`Self::snapshot`] envelope. Queue and
@@ -275,36 +569,293 @@ impl Pipeline {
         self.offered
     }
 
-    /// Route one item to its shard. Under [`BackpressurePolicy::Block`]
-    /// this waits for queue space; under
-    /// [`BackpressurePolicy::DropNewest`] a full queue sheds the item and
-    /// returns [`IngestOutcome::Dropped`]. Errors only if the owning
-    /// worker has died.
+    /// Lifecycle state of `shard` (always `Running` unsupervised).
+    pub fn shard_state(&self, shard: usize) -> ShardState {
+        self.supervision
+            .as_ref()
+            .and_then(|sv| sv.shards.get(shard))
+            .map_or(ShardState::Running, |s| s.state)
+    }
+
+    /// Worker restarts so far across all shards (0 unsupervised).
+    pub fn restarts(&self) -> u64 {
+        self.supervision
+            .as_ref()
+            .map_or(0, |sv| sv.shards.iter().map(|s| s.restarts).sum())
+    }
+
+    /// Route one item to its shard. Never fails the whole call for a
+    /// single bad shard: a full queue resolves per the backpressure
+    /// policy, and a dead or quarantined shard yields
+    /// [`IngestOutcome::ShardDown`] for *its* items while other shards
+    /// keep accepting. Under supervision a dead/hung worker is first
+    /// recovered (restarted from checkpoint + journal) and the push
+    /// retried; `ShardDown` then only appears once the shard is
+    /// quarantined.
     pub fn ingest(&mut self, key: u64, value: f64) -> Result<IngestOutcome, PipelineError> {
-        let shard = shard_of(key, self.shards.len());
         self.offered += 1;
+        let shard = shard_of(key, self.shards.len());
+        let outcome = if self.supervision.is_some() {
+            self.ingest_supervised(shard, key, value)
+        } else {
+            self.ingest_unsupervised(shard, key, value)
+        };
         let handle = &mut self.shards[shard];
-        let msg = Msg::Item { key, value };
-        match self.config.policy {
-            BackpressurePolicy::Block => match handle.queue.push_blocking(msg) {
-                Ok(()) => {}
-                Err(_) => return Err(PipelineError::WorkerDied { shard }),
-            },
-            BackpressurePolicy::DropNewest => match handle.queue.try_push(msg) {
-                Ok(()) => {}
-                Err((PushError::Full, _)) => {
-                    handle.dropped += 1;
-                    telemetry::dropped();
-                    return Ok(IngestOutcome::Dropped);
+        match outcome {
+            IngestOutcome::Enqueued => {
+                handle.enqueued += 1;
+                telemetry::enqueued();
+                if self.config.policy == BackpressurePolicy::ShedFair {
+                    self.fairness[shard].note(key);
                 }
-                Err((PushError::Disconnected, _)) => {
-                    return Err(PipelineError::WorkerDied { shard });
-                }
-            },
+            }
+            IngestOutcome::Dropped => {
+                handle.dropped += 1;
+                telemetry::dropped();
+            }
+            IngestOutcome::ShardDown => {
+                handle.rejected += 1;
+                telemetry::shard_down_rejected();
+            }
         }
-        handle.enqueued += 1;
-        telemetry::enqueued();
-        Ok(IngestOutcome::Enqueued)
+        Ok(outcome)
+    }
+
+    fn ingest_unsupervised(&mut self, shard: usize, key: u64, value: f64) -> IngestOutcome {
+        let msg = Msg::Item { key, value };
+        let queue = &mut self.shards[shard].queue;
+        match self.config.policy {
+            BackpressurePolicy::Block => match queue.push_blocking(msg) {
+                Ok(()) => IngestOutcome::Enqueued,
+                Err(_) => IngestOutcome::ShardDown,
+            },
+            BackpressurePolicy::DropNewest => match queue.try_push(msg) {
+                Ok(()) => IngestOutcome::Enqueued,
+                Err((PushError::Full, _)) => IngestOutcome::Dropped,
+                Err((PushError::Disconnected, _)) => IngestOutcome::ShardDown,
+            },
+            BackpressurePolicy::DropOldest | BackpressurePolicy::ShedFair => {
+                match queue.try_push(msg) {
+                    Ok(()) => IngestOutcome::Enqueued,
+                    Err((PushError::Disconnected, _)) => IngestOutcome::ShardDown,
+                    Err((PushError::Full, m)) => {
+                        if self.config.policy == BackpressurePolicy::ShedFair
+                            && self.fairness[shard].is_heavy(key)
+                        {
+                            return IngestOutcome::Dropped;
+                        }
+                        queue.request_shed(1);
+                        match queue.try_push_for(m, PUSH_ROUND_BUDGET) {
+                            Ok(()) => IngestOutcome::Enqueued,
+                            // Consumer could not make room in the bounded
+                            // window (wedged or outpaced): degrade to
+                            // dropping the incoming item — unsupervised
+                            // pipelines have no watchdog to do better.
+                            Err((PushError::Full, _)) => IngestOutcome::Dropped,
+                            Err((PushError::Disconnected, _)) => IngestOutcome::ShardDown,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn ingest_supervised(&mut self, shard: usize, key: u64, value: f64) -> IngestOutcome {
+        let mut msg = Msg::Item { key, value };
+        let mut shed_requested = false;
+        loop {
+            if self.shard_state(shard) == ShardState::Quarantined {
+                return IngestOutcome::ShardDown;
+            }
+            let policy = self.config.policy;
+            let attempt = match policy {
+                BackpressurePolicy::DropNewest => self.shards[shard].queue.try_push(msg),
+                _ => self.shards[shard]
+                    .queue
+                    .try_push_for(msg, PUSH_ROUND_BUDGET),
+            };
+            match attempt {
+                Ok(()) => return IngestOutcome::Enqueued,
+                Err((PushError::Disconnected, m)) => {
+                    msg = m;
+                    self.recover_shard(shard, CrashCause::Panic);
+                }
+                Err((PushError::Full, m)) => {
+                    msg = m;
+                    match policy {
+                        BackpressurePolicy::DropNewest => return IngestOutcome::Dropped,
+                        BackpressurePolicy::Block => {}
+                        BackpressurePolicy::DropOldest | BackpressurePolicy::ShedFair => {
+                            if policy == BackpressurePolicy::ShedFair
+                                && self.fairness[shard].is_heavy(key)
+                            {
+                                return IngestOutcome::Dropped;
+                            }
+                            if !shed_requested {
+                                self.shards[shard].queue.request_shed(1);
+                                shed_requested = true;
+                            }
+                        }
+                    }
+                    if self.hang_confirmed(shard) {
+                        self.recover_shard(shard, CrashCause::Hang);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Watchdog probe, called only when pushes to `shard` are stalling:
+    /// has its progress counter been frozen past the deadline?
+    fn hang_confirmed(&mut self, shard: usize) -> bool {
+        let Some(sv) = self.supervision.as_mut() else {
+            return false;
+        };
+        let s = &mut sv.shards[shard];
+        let progress = s.recovery.progress();
+        let now = Instant::now();
+        if progress != s.last_progress {
+            s.last_progress = progress;
+            s.last_progress_at = now;
+            if s.state == ShardState::Suspect {
+                Self::set_state(s, ShardState::Running);
+            }
+            return false;
+        }
+        if now.duration_since(s.last_progress_at) >= sv.cfg.watchdog_deadline {
+            return true;
+        }
+        if s.state == ShardState::Running {
+            Self::set_state(s, ShardState::Suspect);
+        }
+        false
+    }
+
+    fn set_state(s: &mut ShardSup, state: ShardState) {
+        if s.state != state {
+            telemetry::shard_state_delta(state.code() - s.state.code());
+            s.state = state;
+        }
+    }
+
+    /// Fence the shard's current worker generation and either restart it
+    /// from checkpoint + journal (with backoff) or quarantine it once
+    /// the strike budget is exhausted. Loss is accounted here, at the
+    /// fence point.
+    fn recover_shard(&mut self, shard: usize, cause: CrashCause) {
+        let t0 = Instant::now();
+        let config = self.config;
+        let mut build_fresh = move || -> Option<QuantileFilter> { config.build_filter(shard).ok() };
+        let Some(sv) = self.supervision.as_mut() else {
+            return;
+        };
+        let s = &mut sv.shards[shard];
+        if s.state == ShardState::Quarantined {
+            return;
+        }
+        Self::set_state(s, ShardState::Restarting);
+        // Fence + rebuild under one lock acquisition: after this block
+        // the old generation can neither journal nor seal.
+        let (recovered, applied_now, shed_now, fenced_gen) = {
+            let mut inner = s.recovery.lock();
+            if inner.applied.saturating_sub(s.applied_at_restart) >= sv.cfg.strike_forgiveness {
+                s.strikes = 0;
+            }
+            s.strikes += 1;
+            let fenced_gen = inner.generation;
+            let recovered = if s.strikes >= sv.cfg.max_strikes {
+                inner.generation += 1;
+                None
+            } else {
+                inner.recover(&mut build_fresh)
+            };
+            s.generation = inner.generation;
+            (recovered, inner.applied, inner.shed, fenced_gen)
+        };
+        // Loss attributable to this fence: everything enqueued that is
+        // neither journaled-processed nor shed nor already-accounted.
+        // (Covers the uncommitted burst and whatever sat in the ring.)
+        if let Some(rec) = &recovered {
+            if rec.base == RecoveredBase::StateLoss {
+                s.processed_cum += rec.prior_applied;
+            }
+        }
+        let enqueued_so_far = self.shards[shard].enqueued;
+        let processed_total = s.processed_cum + applied_now;
+        let lost_inc = enqueued_so_far
+            .saturating_sub(shed_now)
+            .saturating_sub(processed_total)
+            .saturating_sub(s.lost_so_far);
+        s.lost_so_far += lost_inc;
+        // Retire the old worker: dropping its producer closes the ring
+        // (so a hung worker that wakes drains to `None` and exits), and
+        // the join handle goes to the graveyard for reaping at shutdown.
+        if let Some(old) = self.shards[shard].worker.take() {
+            if old.is_finished() {
+                let _ = old.join();
+            } else {
+                sv.graveyard.push(old);
+            }
+        }
+        let mut record = RecoveryRecord {
+            shard,
+            generation: fenced_gen,
+            cause,
+            base: None,
+            replayed: 0,
+            recovered_seq: applied_now,
+            lost: lost_inc,
+            prior_applied: applied_now,
+            quarantined: true,
+            restart_latency: Duration::ZERO,
+        };
+        let respawned = match recovered {
+            None => None,
+            Some(rec) => {
+                record.base = Some(rec.base);
+                record.replayed = rec.replayed;
+                record.recovered_seq = rec.recovered_seq;
+                record.prior_applied = rec.prior_applied;
+                std::thread::sleep(sv.cfg.backoff_for(s.strikes));
+                Self::spawn_supervised_worker(
+                    &config,
+                    shard,
+                    rec.filter,
+                    sv.sink.clone(),
+                    Supervision {
+                        recovery: Arc::clone(&s.recovery),
+                        generation: s.generation,
+                        checkpoint_interval: sv.cfg.checkpoint_interval,
+                        chaos: sv.chaos.clone(),
+                    },
+                )
+                .ok()
+            }
+        };
+        match respawned {
+            Some((producer, worker)) => {
+                self.shards[shard].queue = producer;
+                self.shards[shard].worker = Some(worker);
+                s.restarts += 1;
+                s.applied_at_restart = record.recovered_seq;
+                s.last_progress = s.recovery.progress();
+                s.last_progress_at = Instant::now();
+                record.quarantined = false;
+                record.restart_latency = t0.elapsed();
+                Self::set_state(s, ShardState::Running);
+                telemetry::restart();
+            }
+            None => {
+                // Quarantine: park a closed queue in the handle so any
+                // residual push fails fast, and stop routing to it.
+                let (producer, consumer) = SpscRing::with_capacity(2).split();
+                consumer.mark_dead();
+                drop(consumer);
+                self.shards[shard].queue = producer;
+                Self::set_state(s, ShardState::Quarantined);
+            }
+        }
+        sv.recoveries.push(record);
     }
 
     /// Drain every report currently available without blocking, in sink
@@ -316,9 +867,9 @@ impl Pipeline {
                 Ok(Event::Report { shard, key, report }) => {
                     out.push(ReportEvent { shard, key, report });
                 }
-                // A stray barrier ack outside `snapshot` cannot happen
-                // (only `snapshot` sends Quiesce and it collects all acks
-                // before returning); tolerate rather than poison.
+                // A stray barrier ack outside `snapshot` can only come
+                // from a fenced generation that answered an abandoned
+                // barrier; tolerate rather than poison.
                 Ok(Event::Snapshot { .. }) => {}
                 Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
             }
@@ -337,7 +888,18 @@ impl Pipeline {
     /// moment its own encode finishes. Reports that arrive while waiting
     /// for the barrier acks are buffered for the next
     /// [`Self::poll_reports`].
+    ///
+    /// Under supervision, a worker that dies or hangs mid-barrier is
+    /// recovered and the barrier re-issued to its replacement (whose
+    /// filter resumes from the journal head, i.e. the crash's accounted
+    /// loss window is excluded from the cut), and a quarantined shard
+    /// contributes the frame reconstructed from its checkpoint +
+    /// journal; the call errors only if that reconstruction is
+    /// impossible.
     pub fn snapshot(&mut self) -> Result<Vec<u8>, PipelineError> {
+        if self.supervision.is_some() {
+            return self.snapshot_supervised();
+        }
         for (shard, handle) in self.shards.iter_mut().enumerate() {
             if handle.queue.push_blocking(Msg::Quiesce).is_err() {
                 return Err(PipelineError::WorkerDied { shard });
@@ -350,7 +912,7 @@ impl Pipeline {
                 Ok(Event::Report { shard, key, report }) => {
                     self.pending.push_back(ReportEvent { shard, key, report });
                 }
-                Ok(Event::Snapshot { shard, bytes }) => {
+                Ok(Event::Snapshot { shard, bytes, .. }) => {
                     if frames[shard].replace(bytes).is_none() {
                         missing -= 1;
                     }
@@ -365,9 +927,141 @@ impl Pipeline {
         Ok(seal_shards(&frames))
     }
 
+    fn snapshot_supervised(&mut self) -> Result<Vec<u8>, PipelineError> {
+        let n = self.shards.len();
+        let mut frames: Vec<Option<Vec<u8>>> = vec![None; n];
+        let mut missing = 0usize;
+        for (shard, frame) in frames.iter_mut().enumerate() {
+            if self.shard_state(shard) == ShardState::Quarantined {
+                *frame = Some(self.reconstruct_frame(shard)?);
+            } else {
+                self.push_barrier(shard, frame)?;
+                if frame.is_none() {
+                    missing += 1;
+                }
+            }
+        }
+        let tick = self
+            .supervision
+            .as_ref()
+            .map_or(Duration::from_millis(50), |sv| sv.cfg.watchdog_deadline);
+        while missing > 0 {
+            match self.events.recv_timeout(tick) {
+                Ok(Event::Report { shard, key, report }) => {
+                    self.pending.push_back(ReportEvent { shard, key, report });
+                }
+                Ok(Event::Snapshot {
+                    shard,
+                    generation,
+                    bytes,
+                }) => {
+                    // Frames from fenced generations answer barriers that
+                    // were already re-issued; discard them.
+                    let current = self
+                        .supervision
+                        .as_ref()
+                        .map_or(0, |sv| sv.shards[shard].generation);
+                    if generation == current && frames[shard].replace(bytes).is_none() {
+                        missing -= 1;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    for (shard, frame) in frames.iter_mut().enumerate() {
+                        if frame.is_some() {
+                            continue;
+                        }
+                        let dead = !self.shards[shard].queue.consumer_alive();
+                        if dead {
+                            self.recover_shard(shard, CrashCause::Panic);
+                        } else if self.hang_confirmed(shard) {
+                            self.recover_shard(shard, CrashCause::Hang);
+                        } else {
+                            continue;
+                        }
+                        if self.shard_state(shard) == ShardState::Quarantined {
+                            *frame = Some(self.reconstruct_frame(shard)?);
+                            missing -= 1;
+                        } else {
+                            self.push_barrier(shard, frame)?;
+                            if frame.is_some() {
+                                missing -= 1;
+                            }
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Unreachable while supervised (the router holds a
+                    // sink sender); fail closed regardless.
+                    let shard = frames.iter().position(Option::is_none).unwrap_or(0);
+                    return Err(PipelineError::WorkerDied { shard });
+                }
+            }
+        }
+        let frames: Vec<Vec<u8>> = frames.into_iter().flatten().collect();
+        Ok(seal_shards(&frames))
+    }
+
+    /// Push a quiesce barrier to a live shard, recovering through dead or
+    /// hung workers; fills `frame` directly if the shard ends up
+    /// quarantined along the way.
+    fn push_barrier(
+        &mut self,
+        shard: usize,
+        frame: &mut Option<Vec<u8>>,
+    ) -> Result<(), PipelineError> {
+        loop {
+            if self.shard_state(shard) == ShardState::Quarantined {
+                *frame = Some(self.reconstruct_frame(shard)?);
+                return Ok(());
+            }
+            match self.shards[shard]
+                .queue
+                .try_push_for(Msg::Quiesce, PUSH_ROUND_BUDGET)
+            {
+                Ok(()) => return Ok(()),
+                Err((PushError::Disconnected, _)) => {
+                    self.recover_shard(shard, CrashCause::Panic);
+                }
+                Err((PushError::Full, _)) => {
+                    if self.hang_confirmed(shard) {
+                        self.recover_shard(shard, CrashCause::Hang);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rebuild a quarantined shard's filter from its recovery state and
+    /// encode it — the snapshot path for shards with no live worker.
+    fn reconstruct_frame(&self, shard: usize) -> Result<Vec<u8>, PipelineError> {
+        let Some(sv) = self.supervision.as_ref() else {
+            return Err(PipelineError::WorkerDied { shard });
+        };
+        let config = self.config;
+        let mut build_fresh = move || -> Option<QuantileFilter> { config.build_filter(shard).ok() };
+        let inner = sv.shards[shard].recovery.lock();
+        match inner.reconstruct(&mut build_fresh) {
+            Some((filter, _, _)) => Ok(filter.snapshot()),
+            None => Err(PipelineError::WorkerDied { shard }),
+        }
+    }
+
     /// Stop ingest, drain every queue to empty, join the workers, and
     /// return the final accounting plus any unconsumed reports.
-    pub fn shutdown(mut self) -> Result<PipelineSummary, PipelineError> {
+    ///
+    /// Unsupervised, a dead worker makes this return
+    /// [`PipelineError::WorkerDied`] (its counts are unrecoverable).
+    /// Supervised, shutdown always produces a summary: crashes during
+    /// the final drain are fenced and accounted like any other, and
+    /// quarantined shards report their journaled state.
+    pub fn shutdown(self) -> Result<PipelineSummary, PipelineError> {
+        if self.supervision.is_some() {
+            return Ok(self.shutdown_supervised());
+        }
+        self.shutdown_unsupervised()
+    }
+
+    fn shutdown_unsupervised(mut self) -> Result<PipelineSummary, PipelineError> {
         let mut first_dead: Option<usize> = None;
         for (shard, handle) in self.shards.iter_mut().enumerate() {
             // A dead worker can't drain; remember it, join below anyway.
@@ -377,9 +1071,11 @@ impl Pipeline {
         }
         let mut per_shard = Vec::with_capacity(self.shards.len());
         let mut processed = 0u64;
+        let mut shed = 0u64;
         let mut reports_emitted = 0u64;
         let mut enqueued = 0u64;
         let mut dropped = 0u64;
+        let mut rejected = 0u64;
         for (shard, mut handle) in self.shards.drain(..).enumerate() {
             let exit = match handle.worker.take().map(JoinHandle::join) {
                 Some(Ok(exit)) => exit,
@@ -389,14 +1085,21 @@ impl Pipeline {
                 }
             };
             processed += exit.processed;
+            shed += exit.shed;
             reports_emitted += exit.reports;
             enqueued += handle.enqueued;
             dropped += handle.dropped;
+            rejected += handle.rejected;
             per_shard.push(ShardSummary {
                 enqueued: handle.enqueued,
                 dropped: handle.dropped,
+                rejected: handle.rejected,
                 processed: exit.processed,
+                shed: exit.shed,
+                lost: 0,
                 reports: exit.reports,
+                restarts: 0,
+                state: ShardState::Running,
             });
         }
         if let Some(shard) = first_dead {
@@ -413,10 +1116,340 @@ impl Pipeline {
             offered: self.offered,
             enqueued,
             dropped,
+            rejected,
             processed,
+            shed,
+            lost_to_crash: 0,
             reports_emitted,
+            restarts: 0,
             per_shard,
+            recoveries: Vec::new(),
             reports,
         })
+    }
+
+    fn shutdown_supervised(mut self) -> PipelineSummary {
+        let n = self.shards.len();
+        // Phase 1: deliver the drain sentinel to every live shard,
+        // recovering through crashes and hangs so it always lands (or
+        // the shard ends up quarantined with its loss accounted).
+        for shard in 0..n {
+            loop {
+                if self.shard_state(shard) == ShardState::Quarantined {
+                    break;
+                }
+                match self.shards[shard]
+                    .queue
+                    .try_push_for(Msg::Shutdown, PUSH_ROUND_BUDGET)
+                {
+                    Ok(()) => break,
+                    Err((PushError::Disconnected, _)) => {
+                        self.recover_shard(shard, CrashCause::Panic);
+                    }
+                    Err((PushError::Full, _)) => {
+                        if self.hang_confirmed(shard) {
+                            self.recover_shard(shard, CrashCause::Hang);
+                        }
+                    }
+                }
+            }
+        }
+        // Phase 2: join the live workers. The grace window re-arms on
+        // progress, so a long legitimate drain never trips it; a worker
+        // that stops progressing without exiting is fenced, accounted,
+        // and detached.
+        for shard in 0..n {
+            let Some(worker) = self.shards[shard].worker.take() else {
+                continue;
+            };
+            match self.join_with_grace(shard, worker) {
+                Some(Ok(_exit)) => {}
+                Some(Err(_)) => {
+                    // Panicked during the final drain (e.g. a late chaos
+                    // fault): fence and account; no restart at teardown.
+                    self.fence_terminally(shard, CrashCause::Panic);
+                }
+                None => {
+                    self.fence_terminally(shard, CrashCause::ShutdownStall);
+                }
+            }
+        }
+        let Some(sv) = self.supervision.take() else {
+            // Unreachable: shutdown_supervised is only called when
+            // supervision is present.
+            return PipelineSummary {
+                offered: self.offered,
+                enqueued: 0,
+                dropped: 0,
+                rejected: 0,
+                processed: 0,
+                shed: 0,
+                lost_to_crash: 0,
+                reports_emitted: 0,
+                restarts: 0,
+                per_shard: Vec::new(),
+                recoveries: Vec::new(),
+                reports: Vec::new(),
+            };
+        };
+        // Phase 3: assemble the summary from the recovery state (the
+        // crash-safe source of truth) and release the gauge.
+        let mut per_shard = Vec::with_capacity(n);
+        let mut totals = PipelineSummary {
+            offered: self.offered,
+            enqueued: 0,
+            dropped: 0,
+            rejected: 0,
+            processed: 0,
+            shed: 0,
+            lost_to_crash: 0,
+            reports_emitted: 0,
+            restarts: 0,
+            per_shard: Vec::new(),
+            recoveries: sv.recoveries,
+            reports: Vec::new(),
+        };
+        for (shard, s) in sv.shards.iter().enumerate() {
+            let (applied, shard_shed, shard_reports) = {
+                let inner = s.recovery.lock();
+                (inner.applied, inner.shed, inner.reports)
+            };
+            let handle = &self.shards[shard];
+            let processed = s.processed_cum + applied;
+            let lost = handle
+                .enqueued
+                .saturating_sub(shard_shed)
+                .saturating_sub(processed);
+            let summary = ShardSummary {
+                enqueued: handle.enqueued,
+                dropped: handle.dropped,
+                rejected: handle.rejected,
+                processed,
+                shed: shard_shed,
+                lost,
+                reports: shard_reports,
+                restarts: s.restarts,
+                state: s.state,
+            };
+            totals.enqueued += summary.enqueued;
+            totals.dropped += summary.dropped;
+            totals.rejected += summary.rejected;
+            totals.processed += summary.processed;
+            totals.shed += summary.shed;
+            totals.lost_to_crash += summary.lost;
+            totals.reports_emitted += summary.reports;
+            totals.restarts += summary.restarts;
+            // The process-wide gauge outlives this pipeline; remove this
+            // run's contribution.
+            telemetry::shard_state_delta(-s.state.code());
+            per_shard.push(summary);
+        }
+        totals.per_shard = per_shard;
+        // Phase 4: drain the sink (all live workers have exited; fenced
+        // stragglers can no longer send reports past their fence).
+        let mut reports: Vec<ReportEvent> = self.pending.drain(..).collect();
+        while let Ok(ev) = self.events.try_recv() {
+            if let Event::Report { shard, key, report } = ev {
+                reports.push(ReportEvent { shard, key, report });
+            }
+        }
+        totals.reports = reports;
+        // Phase 5: reap the graveyard. Fenced workers exit on their own
+        // (closed queue or generation check); give bounded time to the
+        // ones still mid-sleep, then detach.
+        let grace = sv.cfg.watchdog_deadline.saturating_mul(20);
+        for handle in sv.graveyard {
+            let t0 = Instant::now();
+            while !handle.is_finished() && t0.elapsed() < grace {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if handle.is_finished() {
+                let _ = handle.join();
+            }
+        }
+        totals
+    }
+
+    /// Join a live worker, re-arming the grace window whenever the shard
+    /// makes progress. `None` means it neither progressed nor exited for
+    /// a full window and was detached.
+    fn join_with_grace(
+        &mut self,
+        shard: usize,
+        worker: JoinHandle<WorkerExit>,
+    ) -> Option<std::thread::Result<WorkerExit>> {
+        let grace = self
+            .supervision
+            .as_ref()
+            .map_or(Duration::from_millis(500), |sv| {
+                sv.cfg.watchdog_deadline.saturating_mul(20)
+            });
+        let progress_of = |p: &Pipeline| {
+            p.supervision
+                .as_ref()
+                .map_or(0, |sv| sv.shards[shard].recovery.progress())
+        };
+        let mut last = progress_of(self);
+        let mut armed_at = Instant::now();
+        while !worker.is_finished() {
+            if armed_at.elapsed() >= grace {
+                let now = progress_of(self);
+                if now == last {
+                    return None;
+                }
+                last = now;
+                armed_at = Instant::now();
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Some(worker.join())
+    }
+
+    /// Terminal fence during shutdown: bump the generation, account the
+    /// loss, and mark the shard quarantined — no restart at teardown.
+    fn fence_terminally(&mut self, shard: usize, cause: CrashCause) {
+        let enqueued_so_far = self.shards[shard].enqueued;
+        let Some(sv) = self.supervision.as_mut() else {
+            return;
+        };
+        let s = &mut sv.shards[shard];
+        let (applied_now, shed_now, fenced_gen) = {
+            let mut inner = s.recovery.lock();
+            let fenced = inner.generation;
+            inner.generation += 1;
+            (inner.applied, inner.shed, fenced)
+        };
+        s.generation += 1;
+        let processed_total = s.processed_cum + applied_now;
+        let lost_inc = enqueued_so_far
+            .saturating_sub(shed_now)
+            .saturating_sub(processed_total)
+            .saturating_sub(s.lost_so_far);
+        s.lost_so_far += lost_inc;
+        Self::set_state(s, ShardState::Quarantined);
+        sv.recoveries.push(RecoveryRecord {
+            shard,
+            generation: fenced_gen,
+            cause,
+            base: None,
+            replayed: 0,
+            recovered_seq: applied_now,
+            lost: lost_inc,
+            prior_applied: applied_now,
+            quarantined: true,
+            restart_latency: Duration::ZERO,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(shards: usize, policy: BackpressurePolicy) -> PipelineConfig {
+        let criteria = match Criteria::new(5.0, 0.9, 100.0) {
+            Ok(c) => c,
+            Err(e) => panic!("criteria: {e:?}"),
+        };
+        PipelineConfig {
+            shards,
+            criteria,
+            memory_bytes_per_shard: 16 * 1024,
+            queue_capacity: 32,
+            policy,
+            seed: 0xD00D,
+        }
+    }
+
+    /// A key routed to `shard` under this shard count.
+    fn key_on(shard: usize, shards: usize) -> u64 {
+        (0u64..)
+            .find(|k| shard_of(*k, shards) == shard)
+            .expect("some key routes to every shard")
+    }
+
+    /// The Disconnected-ingest contract without supervision: a dead shard
+    /// fails only its *own* items, as a typed `ShardDown`, instead of
+    /// poisoning the whole ingest call; shutdown still reports the death.
+    #[test]
+    fn dead_shard_rejects_only_its_own_items() {
+        let mut pipe = match Pipeline::launch(cfg(2, BackpressurePolicy::Block)) {
+            Ok(p) => p,
+            Err(e) => panic!("launch: {e}"),
+        };
+        // Kill worker 0 out-of-band; its AliveGuard marks the ring dead.
+        assert!(pipe.shards[0].queue.push_blocking(Msg::Shutdown).is_ok());
+        let (k0, k1) = (key_on(0, 2), key_on(1, 2));
+        let mut down = false;
+        for _ in 0..10_000 {
+            match pipe.ingest(k0, 5.0) {
+                Ok(IngestOutcome::ShardDown) => {
+                    down = true;
+                    break;
+                }
+                // Raced the worker's exit; the item is in the ring and
+                // will never be processed, which is fine here — this
+                // test pins the *ingest* contract, not accounting.
+                Ok(IngestOutcome::Enqueued) => std::thread::sleep(Duration::from_millis(1)),
+                Ok(IngestOutcome::Dropped) => panic!("Block policy dropped"),
+                Err(e) => panic!("dead shard must not poison ingest: {e}"),
+            }
+        }
+        assert!(down, "dead shard never reported ShardDown");
+        // The sibling shard is unaffected.
+        for _ in 0..64 {
+            match pipe.ingest(k1, 5.0) {
+                Ok(IngestOutcome::Enqueued) => {}
+                other => panic!("healthy shard refused an item: {other:?}"),
+            }
+        }
+        // Repeat offenders stay typed, never an Err.
+        match pipe.ingest(k0, 5.0) {
+            Ok(IngestOutcome::ShardDown) => {}
+            other => panic!("expected ShardDown again, got {other:?}"),
+        }
+        match pipe.shutdown() {
+            Err(PipelineError::WorkerDied { shard: 0 }) => {}
+            other => panic!("shutdown must still surface the death: {other:?}"),
+        }
+    }
+
+    /// ShedFair's frequency sketch: a key hammered well past its fair
+    /// share reads as heavy; background keys in other buckets do not.
+    #[test]
+    fn fairness_flags_heavy_hitters_only() {
+        let mut f = Fairness::new();
+        let heavy = 7u64;
+        let mut light = heavy + 1;
+        while Fairness::bucket(light) == Fairness::bucket(heavy) {
+            light += 1;
+        }
+        for i in 0..2_048u64 {
+            f.note(heavy);
+            f.note(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+        assert!(f.is_heavy(heavy));
+        assert!(!f.is_heavy(light));
+    }
+
+    /// The decay window halves counts instead of forgetting them: a key
+    /// that stops being heavy is eventually forgiven.
+    #[test]
+    fn fairness_decays_stale_heavy_hitters() {
+        let mut f = Fairness::new();
+        let heavy = 7u64;
+        for _ in 0..1_024 {
+            f.note(heavy);
+        }
+        assert!(f.is_heavy(heavy));
+        let mut spread = 0u64;
+        for _ in 0..6 {
+            for _ in 0..Fairness::WINDOW {
+                // Spread uniformly over other buckets.
+                spread = spread.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                f.note(spread);
+            }
+        }
+        assert!(!f.is_heavy(heavy), "stale heavy hitter never decayed");
     }
 }

@@ -29,11 +29,25 @@
 //! Every slot-freeing pop is observed by the producer via `head`; every
 //! blocking wait re-checks [`consumer_alive`](SpscRing) so a worker that
 //! exits (including by panic — the worker holds a drop guard) turns a
-//! would-be deadlock into a [`PushError::Disconnected`].
+//! would-be deadlock into a [`PushError::Disconnected`]. The symmetric
+//! signal exists on the other side: dropping (or [`close`](Producer::close)-ing)
+//! the producer makes [`Consumer::pop_wait`] return `None` once the queue
+//! drains, so a worker whose router fenced it off unblocks instead of
+//! parking forever.
+//!
+//! ## Shed credits
+//!
+//! Only the consumer owns `head`, so "drop the *oldest* queued item"
+//! cannot be done by the producer directly. Instead the producer posts a
+//! **shed credit** ([`Producer::request_shed`]); the consumer redeems
+//! credits ([`Consumer::take_shed`]) by popping and discarding that many
+//! items before its next apply. The handoff is a single relaxed counter —
+//! the producer's full-queue retry observes freed slots through `head`
+//! exactly as it does for ordinary pops.
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::Thread;
 
@@ -64,6 +78,12 @@ pub struct SpscRing<T> {
     head: AtomicUsize,
     /// Cleared by the consumer's drop guard when the worker exits.
     consumer_alive: AtomicBool,
+    /// Raised when the producer endpoint is closed or dropped: the
+    /// consumer drains what is queued, then `pop_wait` returns `None`.
+    producer_closed: AtomicBool,
+    /// Oldest-item drop credits posted by the producer under shedding
+    /// backpressure, redeemed by the consumer via `take_shed`.
+    shed_requests: AtomicU32,
     /// Raised by the consumer just before parking (SeqCst handshake).
     consumer_parked: AtomicBool,
     /// The consumer thread to unpark; registered before the first pop.
@@ -91,6 +111,8 @@ impl<T> SpscRing<T> {
             tail: AtomicUsize::new(0),
             head: AtomicUsize::new(0),
             consumer_alive: AtomicBool::new(true),
+            producer_closed: AtomicBool::new(false),
+            shed_requests: AtomicU32::new(0),
             consumer_parked: AtomicBool::new(false),
             consumer_thread: Mutex::new(None),
         }
@@ -203,6 +225,47 @@ impl<T> Producer<T> {
         }
     }
 
+    /// Push with a bounded wait: spin/yield at most `budget` times, then
+    /// hand the value back as [`PushError::Full`]. The shedding policies
+    /// use this so a hung consumer can never wedge the router the way an
+    /// unbounded [`Self::push_blocking`] would.
+    pub fn try_push_for(&mut self, mut value: T, budget: usize) -> Result<(), (PushError, T)> {
+        let mut spins = 0usize;
+        loop {
+            match self.try_push(value) {
+                Ok(()) => return Ok(()),
+                Err((PushError::Disconnected, v)) => return Err((PushError::Disconnected, v)),
+                Err((PushError::Full, v)) => {
+                    if spins >= budget {
+                        return Err((PushError::Full, v));
+                    }
+                    value = v;
+                    if spins < SPINS_BEFORE_YIELD {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                    spins += 1;
+                }
+            }
+        }
+    }
+
+    /// Post `n` oldest-item drop credits for the consumer to redeem (the
+    /// `DropOldest` family of backpressure policies) and wake it if
+    /// parked.
+    pub fn request_shed(&mut self, n: u32) {
+        self.ring.shed_requests.fetch_add(n, Ordering::Relaxed);
+        self.wake_consumer();
+    }
+
+    /// Close the producing endpoint: the consumer drains what is queued,
+    /// then its `pop_wait` returns `None`. Idempotent; also runs on drop.
+    pub fn close(&mut self) {
+        self.ring.producer_closed.store(true, Ordering::Release);
+        self.wake_consumer();
+    }
+
     /// Items currently queued.
     pub fn len(&self) -> usize {
         self.ring.len()
@@ -229,6 +292,14 @@ impl<T> Producer<T> {
                 }
             }
         }
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        // A producer that goes away (shutdown, or a router fencing off a
+        // suspect worker) must not leave the consumer parked forever.
+        self.close();
     }
 }
 
@@ -259,13 +330,21 @@ impl<T> Consumer<T> {
     /// Pop, escalating empty-queue waits from spin to yield to park.
     /// The producer's post-push fence pairs with the fence below, so
     /// either this thread sees the new item on its re-check or the
-    /// producer sees the parked flag and unparks it.
-    pub fn pop_wait(&mut self) -> T {
+    /// producer sees the parked flag and unparks it. Returns `None` once
+    /// the producer endpoint is closed (or dropped) *and* the queue is
+    /// drained — the close/park race is covered by the same fence
+    /// handshake as pushes.
+    pub fn pop_wait(&mut self) -> Option<T> {
         loop {
             let mut spins = 0usize;
             while spins < SPINS_BEFORE_YIELD + YIELDS_BEFORE_PARK {
                 if let Some(v) = self.try_pop() {
-                    return v;
+                    return Some(v);
+                }
+                if self.ring.producer_closed.load(Ordering::Acquire) {
+                    // Re-check after observing the close: the producer's
+                    // final pushes happen-before the Release store.
+                    return self.try_pop();
                 }
                 if spins < SPINS_BEFORE_YIELD {
                     std::hint::spin_loop();
@@ -281,11 +360,36 @@ impl<T> Consumer<T> {
             fence(Ordering::SeqCst);
             if let Some(v) = self.try_pop() {
                 self.ring.consumer_parked.store(false, Ordering::Relaxed);
-                return v;
+                return Some(v);
+            }
+            if self.ring.producer_closed.load(Ordering::Acquire) {
+                self.ring.consumer_parked.store(false, Ordering::Relaxed);
+                return self.try_pop();
             }
             std::thread::park();
             self.ring.consumer_parked.store(false, Ordering::Relaxed);
         }
+    }
+
+    /// Redeem up to `max` shed credits posted by
+    /// [`Producer::request_shed`]; returns how many were taken. The
+    /// consumer discards that many oldest queued items before applying
+    /// its next batch.
+    pub fn take_shed(&mut self, max: u32) -> u32 {
+        // Fast path for the overwhelmingly common no-credits case: one
+        // relaxed load, no RMW on the per-burst hot path.
+        if self.ring.shed_requests.load(Ordering::Relaxed) == 0 {
+            return 0;
+        }
+        let mut taken = 0u32;
+        let _ = self
+            .ring
+            .shed_requests
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                taken = v.min(max);
+                Some(v - taken)
+            });
+        taken
     }
 
     /// Mark the consumer as gone so blocked producers fail fast instead of

@@ -1,0 +1,723 @@
+//! Supervision & recovery: the state and arithmetic that turn a worker
+//! crash into a bounded-loss restart instead of a pipeline-fatal error.
+//!
+//! ## The shard lifecycle state machine
+//!
+//! ```text
+//!            progress resumes
+//!          ┌───────────────────┐
+//!          ▼                   │
+//!       Running ──stall──▶ Suspect ──deadline──▶ Restarting ─┐
+//!          ▲                                        │        │
+//!          └──────────── respawned ◀────────────────┘        │
+//!                                       strikes > max ──▶ Quarantined
+//! ```
+//!
+//! The router (single-threaded, in `pipeline.rs`) drives the machine: it
+//! detects death via `PushError::Disconnected` (the worker's `AliveGuard`
+//! flips the ring flag on any exit, including panic unwind) and hangs via
+//! the per-shard [`ShardRecovery::progress`] counter checked against a
+//! deadline whenever pushes stall. A crashed shard restarts with capped
+//! exponential backoff; after `max_strikes` rapid crashes it is
+//! quarantined and the pipeline degrades (that shard's items fail with a
+//! typed per-item outcome) rather than dies.
+//!
+//! ## Checkpoint + journal: what recovery rebuilds from
+//!
+//! Every worker appends each applied item to a bounded in-memory
+//! **replay journal** and seals a wire-v2 snapshot **checkpoint** every
+//! `checkpoint_interval` applied items. Checkpoints are double-buffered:
+//! a new seal lands in the standby slot and only then becomes "latest",
+//! so a torn or corrupted checkpoint never replaces a good one. The
+//! journal is pruned only up to the *older* checkpoint's sequence, which
+//! means `older checkpoint + journal` still reconstructs the full state
+//! when the newest checkpoint fails its own checksum — corruption costs
+//! replay time, not data.
+//!
+//! Recovery therefore rebuilds `restore(newest valid checkpoint) +
+//! replay(journal suffix)`, yielding a filter equal to the crashed one at
+//! its last journaled item. Everything past that point — the burst being
+//! applied at crash time plus whatever sat in the SPSC ring — is the
+//! **loss window**, accounted exactly in [`RecoveryRecord::lost`] and the
+//! pipeline summary, never silently absorbed.
+//!
+//! All of this state lives behind one uncontended mutex per shard
+//! ([`ShardRecovery`]), written by the worker in per-burst batches (the
+//! per-item path takes the lock once per burst of up to
+//! [`BURST`](crate::worker::BURST) items) and read by the router only
+//! during recovery — so the fault-free hot path pays one uncontended
+//! lock plus a handful of word writes per burst. Generation fencing
+//! makes abandoned workers harmless: the router bumps
+//! `RecoveryInner::generation` under the lock before rebuilding, and a
+//! stale worker (e.g. one that was hung and later wakes) observes the
+//! mismatch on its next batch commit and exits without journaling,
+//! reporting, or sealing anything.
+
+use crate::chaos::ArmedChaos;
+use crate::telemetry;
+use crate::worker::BURST;
+use core::time::Duration;
+use quantile_filter::QuantileFilter;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Lifecycle state of a supervised shard. See the module docs for the
+/// transition diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardState {
+    /// The worker is alive and making progress.
+    #[default]
+    Running,
+    /// Pushes are stalling and the progress counter has stopped moving;
+    /// the watchdog deadline is ticking.
+    Suspect,
+    /// A crash or hang was confirmed; the shard is being rebuilt from
+    /// checkpoint + journal.
+    Restarting,
+    /// The shard exceeded its strike budget and will not be restarted;
+    /// its items are rejected with a typed per-item outcome.
+    Quarantined,
+}
+
+impl ShardState {
+    /// Numeric encoding used by the `qf_pipeline_shard_state` gauge
+    /// (which exports the *sum* of codes across shards, so `0` means
+    /// every shard is `Running`).
+    pub fn code(self) -> i64 {
+        match self {
+            Self::Running => 0,
+            Self::Suspect => 1,
+            Self::Restarting => 2,
+            Self::Quarantined => 3,
+        }
+    }
+}
+
+/// Supervision policy knobs. Passed to
+/// [`Pipeline::launch_supervised`](crate::Pipeline::launch_supervised);
+/// [`Default`] is tuned for production-ish streams (checkpoint every 8Ki
+/// items, 200 ms watchdog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Seal a checkpoint every this many applied items (per shard). The
+    /// replay journal is sized to `2 × (interval + burst)` entries so
+    /// that even a corrupted newest checkpoint recovers losslessly from
+    /// the older one.
+    pub checkpoint_interval: u64,
+    /// How long a shard's progress counter may stay frozen while its
+    /// queue is refusing items before the worker is declared hung.
+    pub watchdog_deadline: Duration,
+    /// Crashes tolerated in quick succession before the shard is
+    /// quarantined instead of restarted.
+    pub max_strikes: u32,
+    /// Backoff before the first restart; doubles per strike.
+    pub backoff_base: Duration,
+    /// Ceiling on the exponential backoff.
+    pub backoff_cap: Duration,
+    /// Applied items after a restart that reset the strike counter — a
+    /// shard that runs this far is considered healthy again.
+    pub strike_forgiveness: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            checkpoint_interval: 8192,
+            watchdog_deadline: Duration::from_millis(200),
+            max_strikes: 3,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(200),
+            strike_forgiveness: 4 * 8192,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Reject configurations the supervisor cannot honor.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.checkpoint_interval == 0 {
+            return Err("checkpoint interval must be at least 1 item");
+        }
+        if self.watchdog_deadline.is_zero() {
+            return Err("watchdog deadline must be non-zero");
+        }
+        Ok(())
+    }
+
+    /// Backoff before restart number `strikes` (1-based): capped
+    /// exponential.
+    pub fn backoff_for(&self, strikes: u32) -> Duration {
+        let factor = 1u32 << strikes.saturating_sub(1).min(16);
+        self.backoff_base
+            .saturating_mul(factor)
+            .min(self.backoff_cap)
+    }
+}
+
+/// Why a shard was recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashCause {
+    /// The worker thread exited without being told to (panic unwind,
+    /// observed as `PushError::Disconnected`).
+    Panic,
+    /// The worker stopped making progress past the watchdog deadline.
+    Hang,
+    /// The worker failed to drain and exit within the shutdown deadline.
+    ShutdownStall,
+}
+
+/// What recovery rebuilt the shard's filter from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveredBase {
+    /// `restore(checkpoint at seq)` + journal replay.
+    Checkpoint {
+        /// Applied-item sequence the checkpoint captured.
+        seq: u64,
+    },
+    /// No checkpoint existed yet; a fresh filter replayed the full
+    /// journal (which still covered the shard's whole history).
+    Fresh,
+    /// Neither checkpoint decoded *and* the journal no longer reached
+    /// back to item 1: the shard restarted empty and its prior state is
+    /// gone. `RecoveryRecord::prior_applied` says how much.
+    StateLoss,
+}
+
+/// One recovery event, as recorded in
+/// [`PipelineSummary::recoveries`](crate::PipelineSummary::recoveries).
+/// The loss bound: a crash loses exactly `lost` items — the burst being
+/// applied plus the in-ring slab at crash time — and nothing else.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryRecord {
+    /// Shard that crashed.
+    pub shard: usize,
+    /// Generation that was fenced (the replacement runs `generation+1`).
+    pub generation: u64,
+    /// What the supervisor observed.
+    pub cause: CrashCause,
+    /// What the replacement filter was rebuilt from; `None` when no
+    /// rebuild was attempted (quarantine on strike exhaustion, terminal
+    /// fence at shutdown).
+    pub base: Option<RecoveredBase>,
+    /// Journal items re-applied on top of the base (reports suppressed —
+    /// they were already emitted by the crashed generation).
+    pub replayed: u64,
+    /// Applied-item sequence the replacement resumed from.
+    pub recovered_seq: u64,
+    /// Items whose effect did not survive: enqueued but never journaled.
+    pub lost: u64,
+    /// Items the fenced generation had applied before the crash (only
+    /// differs from `recovered_seq` under [`RecoveredBase::StateLoss`]).
+    pub prior_applied: u64,
+    /// `true` when this crash exhausted the strike budget and the shard
+    /// was quarantined instead of restarted.
+    pub quarantined: bool,
+    /// Detection-to-respawn wall time (zero when quarantined).
+    pub restart_latency: Duration,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct JournalEntry {
+    seq: u64,
+    key: u64,
+    value: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Checkpoint {
+    seq: u64,
+    bytes: Vec<u8>,
+}
+
+/// The mutex-guarded half of a shard's recovery state. Workers append to
+/// it once per burst; the router reads it only while recovering or
+/// summarizing.
+#[derive(Debug)]
+pub(crate) struct RecoveryInner {
+    /// Fencing token: bumped by the router before every rebuild. A
+    /// worker whose own generation no longer matches must exit without
+    /// side effects.
+    pub(crate) generation: u64,
+    /// Applied-and-journaled items of the surviving lineage.
+    pub(crate) applied: u64,
+    /// Reports emitted for journaled items (crash-safe report count).
+    pub(crate) reports: u64,
+    /// Items shed by the worker under `DropOldest` (popped, discarded,
+    /// never applied).
+    pub(crate) shed: u64,
+    journal: VecDeque<JournalEntry>,
+    journal_cap: usize,
+    slots: [Option<Checkpoint>; 2],
+    latest: usize,
+    seals: u64,
+}
+
+/// Per-shard recovery state shared between the router, the live worker,
+/// and any abandoned predecessors (which the generation fence renders
+/// inert).
+#[derive(Debug)]
+pub(crate) struct ShardRecovery {
+    inner: Mutex<RecoveryInner>,
+    /// Liveness counter: bumped per popped item, read by the watchdog.
+    /// Monotone across generations; only "has it moved" matters.
+    progress: AtomicU64,
+}
+
+impl ShardRecovery {
+    pub(crate) fn new(checkpoint_interval: u64) -> Self {
+        let journal_cap = 2 * (checkpoint_interval as usize + BURST);
+        Self {
+            inner: Mutex::new(RecoveryInner {
+                generation: 0,
+                applied: 0,
+                reports: 0,
+                shed: 0,
+                journal: VecDeque::with_capacity(journal_cap + 1),
+                journal_cap,
+                slots: [None, None],
+                latest: 0,
+                seals: 0,
+            }),
+            progress: AtomicU64::new(0),
+        }
+    }
+
+    /// Bump the liveness counter by `n` popped items; returns the value
+    /// *before* the bump (the pop ordinal base for the burst).
+    pub(crate) fn note_progress(&self, n: u64) -> u64 {
+        self.progress.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// Current liveness counter (watchdog side).
+    pub(crate) fn progress(&self) -> u64 {
+        self.progress.load(Ordering::Relaxed)
+    }
+
+    /// Lock the inner state. Poisoning is tolerated: a worker can only
+    /// panic inside `filter.insert` (outside the lock) or via injected
+    /// chaos, but if a panic ever does land mid-commit the recovery data
+    /// is still the best information available.
+    pub(crate) fn lock(&self) -> MutexGuard<'_, RecoveryInner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// What [`RecoveryInner::recover`] rebuilt.
+#[derive(Debug)]
+pub(crate) struct Recovered {
+    pub(crate) filter: QuantileFilter,
+    pub(crate) base: RecoveredBase,
+    pub(crate) replayed: u64,
+    /// `applied` of the fenced lineage at recovery time.
+    pub(crate) prior_applied: u64,
+    /// `applied` the replacement resumes from (== `prior_applied` except
+    /// under `StateLoss`, where it is 0).
+    pub(crate) recovered_seq: u64,
+}
+
+impl RecoveryInner {
+    /// Journal one applied item. Called by the worker inside its batch
+    /// commit, after the generation check.
+    pub(crate) fn append(&mut self, key: u64, value: f64) {
+        self.applied += 1;
+        self.journal.push_back(JournalEntry {
+            seq: self.applied,
+            key,
+            value,
+        });
+        // Unreachable by construction (seals prune faster than the cap),
+        // but a bounded journal must stay bounded regardless.
+        if self.journal.len() > self.journal_cap {
+            self.journal.pop_front();
+        }
+    }
+
+    /// Checkpoints sealed so far (the chaos seal ordinal).
+    #[cfg(test)]
+    pub(crate) fn seals(&self) -> u64 {
+        self.seals
+    }
+
+    fn latest_seq(&self) -> u64 {
+        self.slots[self.latest].as_ref().map_or(0, |c| c.seq)
+    }
+
+    /// Is the shard due for a checkpoint at the current batch boundary?
+    pub(crate) fn due_seal(&self, interval: u64) -> bool {
+        self.applied - self.latest_seq() >= interval
+    }
+
+    /// Seal a checkpoint of `filter` (whose state must equal the journal
+    /// head, i.e. call this only at a batch boundary). Cold by contract:
+    /// runs once per `checkpoint_interval` items, never per item.
+    pub(crate) fn seal_checkpoint(
+        &mut self,
+        shard: usize,
+        filter: &QuantileFilter,
+        chaos: Option<&ArmedChaos>,
+    ) {
+        let mut bytes = filter.snapshot();
+        self.seals += 1;
+        if let Some(ch) = chaos {
+            ch.corrupt_checkpoint(shard, self.seals, &mut bytes);
+        }
+        let standby = 1 - self.latest;
+        self.slots[standby] = Some(Checkpoint {
+            seq: self.applied,
+            bytes,
+        });
+        self.latest = standby;
+        // Keep the journal reaching back to the *older* checkpoint so a
+        // corrupt newest one still recovers losslessly.
+        let bound = self.slots[1 - standby].as_ref().map_or(0, |c| c.seq);
+        while self.journal.front().is_some_and(|e| e.seq <= bound) {
+            self.journal.pop_front();
+        }
+        telemetry::checkpoint_sealed();
+    }
+
+    /// Rebuild a filter from the best available base without mutating
+    /// anything: newest valid checkpoint + journal suffix, else older
+    /// checkpoint, else a fresh filter when the journal still covers the
+    /// whole history. `None` means the state is unrecoverable (both
+    /// checkpoints bad and the journal is pruned) or `build_fresh`
+    /// failed.
+    pub(crate) fn reconstruct(
+        &self,
+        build_fresh: &mut dyn FnMut() -> Option<QuantileFilter>,
+    ) -> Option<(QuantileFilter, RecoveredBase, u64)> {
+        for idx in [self.latest, 1 - self.latest] {
+            let Some(c) = &self.slots[idx] else { continue };
+            let Ok(mut filter) = QuantileFilter::restore(&c.bytes) else {
+                continue;
+            };
+            if let Some(replayed) = self.replay_onto(&mut filter, c.seq) {
+                return Some((filter, RecoveredBase::Checkpoint { seq: c.seq }, replayed));
+            }
+        }
+        // No checkpoint decoded. A fresh filter works iff the journal
+        // still reaches back to item 1 (or nothing was ever applied).
+        let covers_all = self.applied == 0 || self.journal.front().is_some_and(|e| e.seq == 1);
+        if covers_all {
+            let mut filter = build_fresh()?;
+            let replayed = self.replay_onto(&mut filter, 0)?;
+            return Some((filter, RecoveredBase::Fresh, replayed));
+        }
+        None
+    }
+
+    /// Replay journal entries `(base_seq, applied]` onto `filter`,
+    /// suppressing reports (the crashed generation already emitted
+    /// them). `None` if the journal does not contiguously cover that
+    /// range.
+    fn replay_onto(&self, filter: &mut QuantileFilter, base_seq: u64) -> Option<u64> {
+        let mut expected = base_seq + 1;
+        for e in &self.journal {
+            if e.seq <= base_seq {
+                continue;
+            }
+            if e.seq != expected {
+                return None;
+            }
+            let _ = filter.insert(&e.key, e.value);
+            expected += 1;
+        }
+        if expected != self.applied + 1 {
+            return None;
+        }
+        Some(self.applied - base_seq)
+    }
+
+    /// Fence the current generation and rebuild the shard's filter.
+    /// `None` only when `build_fresh` itself fails — every other path
+    /// degrades to [`RecoveredBase::StateLoss`] (restart empty, account
+    /// the rollback) rather than giving up.
+    pub(crate) fn recover(
+        &mut self,
+        build_fresh: &mut dyn FnMut() -> Option<QuantileFilter>,
+    ) -> Option<Recovered> {
+        self.generation += 1;
+        let prior_applied = self.applied;
+        if let Some((filter, base, replayed)) = self.reconstruct(build_fresh) {
+            telemetry::replayed(replayed);
+            return Some(Recovered {
+                filter,
+                base,
+                replayed,
+                prior_applied,
+                recovered_seq: prior_applied,
+            });
+        }
+        // Unrecoverable state: restart the lineage from empty.
+        let filter = build_fresh()?;
+        self.applied = 0;
+        self.journal.clear();
+        self.slots = [None, None];
+        self.latest = 0;
+        Some(Recovered {
+            filter,
+            base: RecoveredBase::StateLoss,
+            replayed: 0,
+            prior_applied,
+            recovered_seq: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quantile_filter::{Criteria, QuantileFilterBuilder};
+
+    fn build() -> QuantileFilter {
+        let criteria = match Criteria::new(5.0, 0.9, 100.0) {
+            Ok(c) => c,
+            Err(e) => panic!("criteria: {e:?}"),
+        };
+        match QuantileFilterBuilder::new(criteria)
+            .memory_budget_bytes(16 * 1024)
+            .seed(7)
+            .try_build()
+        {
+            Ok(f) => f,
+            Err(e) => panic!("build: {e:?}"),
+        }
+    }
+
+    fn drive(
+        rec: &ShardRecovery,
+        filter: &mut QuantileFilter,
+        items: &[(u64, f64)],
+        interval: u64,
+    ) {
+        for &(k, v) in items {
+            let _ = filter.insert(&k, v);
+            let mut inner = rec.lock();
+            inner.append(k, v);
+            if inner.due_seal(interval) {
+                inner.seal_checkpoint(0, filter, None);
+            }
+        }
+    }
+
+    fn workload(n: usize) -> Vec<(u64, f64)> {
+        (0..n)
+            .map(|i| {
+                let key = (i as u64 * 2654435761) % 37;
+                let value = if i % 9 == 0 { 450.0 } else { (i % 20) as f64 };
+                (key, value)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recover_equals_uncrashed_filter() {
+        let rec = ShardRecovery::new(16);
+        let mut filter = build();
+        let items = workload(300);
+        drive(&rec, &mut filter, &items, 16);
+        let mut inner = rec.lock();
+        let recovered = match inner.recover(&mut || Some(build())) {
+            Some(r) => r,
+            None => panic!("recover failed"),
+        };
+        assert_eq!(recovered.recovered_seq, 300);
+        assert_eq!(recovered.prior_applied, 300);
+        assert!(matches!(
+            recovered.base,
+            RecoveredBase::Checkpoint { .. } | RecoveredBase::Fresh
+        ));
+        // The rebuilt filter is byte-identical to the live one.
+        assert_eq!(recovered.filter.snapshot(), filter.snapshot());
+        assert_eq!(inner.generation, 1);
+    }
+
+    #[test]
+    fn recover_before_first_checkpoint_replays_full_journal() {
+        let rec = ShardRecovery::new(1000);
+        let mut filter = build();
+        let items = workload(50);
+        drive(&rec, &mut filter, &items, 1000);
+        let mut inner = rec.lock();
+        assert_eq!(inner.seals(), 0);
+        let recovered = match inner.recover(&mut || Some(build())) {
+            Some(r) => r,
+            None => panic!("recover failed"),
+        };
+        assert_eq!(recovered.base, RecoveredBase::Fresh);
+        assert_eq!(recovered.replayed, 50);
+        assert_eq!(recovered.filter.snapshot(), filter.snapshot());
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_to_older() {
+        let rec = ShardRecovery::new(16);
+        let mut filter = build();
+        drive(&rec, &mut filter, &workload(200), 16);
+        let mut inner = rec.lock();
+        // Corrupt the newest slot in place.
+        let latest = inner.latest;
+        if let Some(c) = inner.slots[latest].as_mut() {
+            let mid = c.bytes.len() / 2;
+            c.bytes[mid] ^= 0x40;
+        } else {
+            panic!("no newest checkpoint after 200 items at interval 16");
+        }
+        let newest_seq = inner.latest_seq();
+        let recovered = match inner.recover(&mut || Some(build())) {
+            Some(r) => r,
+            None => panic!("recover failed"),
+        };
+        match recovered.base {
+            RecoveredBase::Checkpoint { seq } => {
+                assert!(seq < newest_seq, "fell back past the corrupt newest")
+            }
+            other => panic!("expected older-checkpoint base, got {other:?}"),
+        }
+        assert_eq!(recovered.recovered_seq, 200, "fallback is lossless");
+        assert_eq!(recovered.filter.snapshot(), filter.snapshot());
+    }
+
+    #[test]
+    fn both_checkpoints_corrupt_degrades_to_state_loss() {
+        let rec = ShardRecovery::new(16);
+        let mut filter = build();
+        drive(&rec, &mut filter, &workload(200), 16);
+        let mut inner = rec.lock();
+        for slot in inner.slots.iter_mut().flatten() {
+            slot.bytes[0] ^= 0xFF;
+        }
+        let recovered = match inner.recover(&mut || Some(build())) {
+            Some(r) => r,
+            None => panic!("recover failed"),
+        };
+        assert_eq!(recovered.base, RecoveredBase::StateLoss);
+        assert_eq!(recovered.prior_applied, 200);
+        assert_eq!(recovered.recovered_seq, 0);
+        assert_eq!(inner.applied, 0);
+        // The lineage restarts cleanly: new appends journal from seq 1.
+        inner.append(1, 1.0);
+        assert_eq!(inner.applied, 1);
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let cfg = SupervisorConfig {
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(12),
+            ..SupervisorConfig::default()
+        };
+        assert_eq!(cfg.backoff_for(1), Duration::from_millis(2));
+        assert_eq!(cfg.backoff_for(2), Duration::from_millis(4));
+        assert_eq!(cfg.backoff_for(3), Duration::from_millis(8));
+        assert_eq!(cfg.backoff_for(4), Duration::from_millis(12));
+        assert_eq!(cfg.backoff_for(30), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SupervisorConfig::default().validate().is_ok());
+        let bad = SupervisorConfig {
+            checkpoint_interval: 0,
+            ..SupervisorConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = SupervisorConfig {
+            watchdog_deadline: Duration::ZERO,
+            ..SupervisorConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn shard_state_codes_are_ordered() {
+        assert_eq!(ShardState::Running.code(), 0);
+        assert!(ShardState::Suspect.code() < ShardState::Restarting.code());
+        assert_eq!(ShardState::Quarantined.code(), 3);
+        assert_eq!(ShardState::default(), ShardState::Running);
+    }
+
+    /// Replay an arbitrary prefix `items[..upto]` into a fresh filter —
+    /// the uncrashed serial reference for the equivalence property.
+    fn reference_over(items: &[(u64, f64)], upto: usize) -> QuantileFilter {
+        let mut f = build();
+        for &(k, v) in &items[..upto] {
+            let _ = f.insert(&k, v);
+        }
+        f
+    }
+
+    const PROPTEST_CASES: u32 = if cfg!(miri) { 6 } else { 48 };
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(PROPTEST_CASES))]
+
+        /// The recovery-equivalence property: for ANY crash point, ANY
+        /// checkpoint interval, ANY workload, and ANY corruption mode,
+        /// `restore(checkpoint) + replay(journal)` rebuilds a filter
+        /// byte-identical to an uncrashed run over the same prefix — or,
+        /// when corruption forces `StateLoss`, says so honestly with
+        /// `recovered_seq == 0` instead of resurrecting silent garbage.
+        #[test]
+        fn prop_recovery_matches_uncrashed_run(
+            raw in proptest::collection::vec((0u64..64, 0.0f64..500.0), 1..300),
+            interval in 1u64..40,
+            corrupt_mode in 0u8..3,
+        ) {
+            let crash_at = raw.len();
+            let rec = ShardRecovery::new(interval);
+            let mut live = build();
+            drive(&rec, &mut live, &raw, interval);
+            let mut inner = rec.lock();
+            match corrupt_mode {
+                0 => {}
+                1 => {
+                    let latest = inner.latest;
+                    if let Some(c) = inner.slots[latest].as_mut() {
+                        let mid = c.bytes.len() / 2;
+                        c.bytes[mid] ^= 0x40;
+                    }
+                }
+                _ => {
+                    for slot in inner.slots.iter_mut().flatten() {
+                        slot.bytes[0] ^= 0xFF;
+                    }
+                }
+            }
+            let had_checkpoint = inner.slots.iter().any(Option::is_some);
+            let recovered = match inner.recover(&mut || Some(build())) {
+                Some(r) => r,
+                None => panic!("recover with a working builder must not fail"),
+            };
+            proptest::prop_assert_eq!(recovered.prior_applied, crash_at as u64);
+            match recovered.base {
+                RecoveredBase::Checkpoint { .. } | RecoveredBase::Fresh => {
+                    proptest::prop_assert_eq!(recovered.recovered_seq, crash_at as u64);
+                    proptest::prop_assert_eq!(
+                        recovered.filter.snapshot(),
+                        reference_over(&raw, crash_at).snapshot(),
+                        "recovered filter diverged: crash_at={} interval={} mode={}",
+                        crash_at, interval, corrupt_mode
+                    );
+                }
+                RecoveredBase::StateLoss => {
+                    // Only reachable when corruption removed every usable
+                    // base AND the journal no longer reaches item 1.
+                    proptest::prop_assert!(corrupt_mode == 2 && had_checkpoint);
+                    proptest::prop_assert_eq!(recovered.recovered_seq, 0);
+                    proptest::prop_assert_eq!(inner.applied, 0);
+                }
+            }
+            // Single-slot corruption is ALWAYS lossless: the journal is
+            // pruned only to the older checkpoint's seq, so the older
+            // slot (or the journal alone) still covers the gap.
+            if corrupt_mode < 2 {
+                proptest::prop_assert_eq!(recovered.recovered_seq, crash_at as u64);
+            }
+        }
+    }
+}

@@ -40,6 +40,44 @@ mod hooks {
     pub fn report() {
         GlobalRecorder.count(CounterId::PipelineReports, 1);
     }
+
+    /// A worker discarded an oldest queued item against a shed credit
+    /// (`DropOldest` / `ShedFair` backpressure).
+    #[inline(always)]
+    pub fn shed() {
+        GlobalRecorder.count(CounterId::PipelineShedOldest, 1);
+    }
+
+    /// An item was rejected because its shard was down or quarantined.
+    #[inline(always)]
+    pub fn shard_down_rejected() {
+        GlobalRecorder.count(CounterId::PipelineShardDownRejected, 1);
+    }
+
+    /// The supervisor restarted a shard worker.
+    #[inline(always)]
+    pub fn restart() {
+        GlobalRecorder.count(CounterId::PipelineRestarts, 1);
+    }
+
+    /// A shard sealed a recovery checkpoint.
+    #[inline(always)]
+    pub fn checkpoint_sealed() {
+        GlobalRecorder.count(CounterId::PipelineCheckpointSeals, 1);
+    }
+
+    /// Recovery replayed `n` journal items onto a rebuilt filter.
+    #[inline(always)]
+    pub fn replayed(n: u64) {
+        GlobalRecorder.count(CounterId::PipelineReplayed, n);
+    }
+
+    /// A shard changed lifecycle state; `delta` is the difference of the
+    /// state codes, so the gauge holds the sum of codes across shards.
+    #[inline(always)]
+    pub fn shard_state_delta(delta: i64) {
+        GlobalRecorder.gauge_add(GaugeId::PipelineShardState, delta);
+    }
 }
 
 #[cfg(not(feature = "telemetry"))]
@@ -59,7 +97,19 @@ mod hooks {
         dequeued,
         dropped,
         report,
+        shed,
+        shard_down_rejected,
+        restart,
+        checkpoint_sealed,
     }
+
+    /// No-op: telemetry is compiled out.
+    #[inline(always)]
+    pub fn replayed(_n: u64) {}
+
+    /// No-op: telemetry is compiled out.
+    #[inline(always)]
+    pub fn shard_state_delta(_delta: i64) {}
 }
 
 pub(crate) use hooks::*;

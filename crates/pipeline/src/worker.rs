@@ -8,11 +8,39 @@
 //! (snapshot encoding, which does allocate, only runs on an explicit
 //! quiesce message — see the `snapshot` method, which is on the
 //! cold-function allowlist).
+//!
+//! Two loop bodies live here. [`run_worker`] is the original unsupervised
+//! loop: one pop, one insert, one report. [`run_supervised`] adds the
+//! crash-recovery contract from [`crate::supervisor`]: items are popped
+//! in bursts of up to [`BURST`], applied, then *committed* — journaled
+//! under the shard's recovery lock, with a checkpoint sealed when due —
+//! before any report is sent. The order is the whole correctness story:
+//!
+//! * reports only ever describe journaled items, so a recovered filter
+//!   (checkpoint + journal replay) is never *behind* the reports the
+//!   caller saw;
+//! * a crash between apply and commit loses exactly the uncommitted
+//!   burst plus the in-ring slab — the accounted loss window;
+//! * the commit starts with a generation check, so a worker the router
+//!   has fenced off (e.g. one that hung and later woke) exits without
+//!   journaling, reporting, or sealing anything.
+//!
+//! One lock acquisition per burst keeps the checkpoint machinery off the
+//! per-item path (the QF-L002 requirement); `BURST` bounds both the
+//! amortization window and the loss window.
 
+use crate::chaos::ArmedChaos;
 use crate::ring::Consumer;
+use crate::supervisor::ShardRecovery;
 use crate::telemetry;
 use quantile_filter::{QuantileFilter, Report};
 use std::sync::mpsc::Sender;
+use std::sync::Arc;
+
+/// Items a supervised worker pops and applies per commit. Bounds the
+/// per-burst stack buffers, the lock amortization window, and (together
+/// with the queue capacity) the crash loss window.
+pub(crate) const BURST: usize = 64;
 
 /// One message on a shard queue. `Copy` so queue slots never own heap
 /// memory.
@@ -50,6 +78,11 @@ pub enum Event {
     Snapshot {
         /// Shard the snapshot belongs to.
         shard: usize,
+        /// Worker generation that produced the frame (always 0 when
+        /// unsupervised). The router discards frames from fenced
+        /// generations — a worker that hung through a barrier and woke
+        /// after its replacement must not answer the new barrier.
+        generation: u64,
         /// `QuantileFilter::snapshot()` bytes.
         bytes: Vec<u8>,
     },
@@ -60,10 +93,23 @@ pub enum Event {
 pub struct WorkerExit {
     /// Items popped and applied to the filter.
     pub processed: u64,
+    /// Items popped and discarded against shed credits (the oldest-item
+    /// drops of the shedding backpressure policies).
+    pub shed: u64,
     /// Reports emitted.
     pub reports: u64,
     /// The filter itself, so callers can inspect or re-launch.
     pub filter: QuantileFilter,
+}
+
+/// Everything a supervised worker generation needs beyond the legacy
+/// loop's arguments: its shared recovery state, its fencing token, and
+/// the armed chaos plan (tests only; `None` in production).
+pub(crate) struct Supervision {
+    pub(crate) recovery: Arc<ShardRecovery>,
+    pub(crate) generation: u64,
+    pub(crate) checkpoint_interval: u64,
+    pub(crate) chaos: Option<ArmedChaos>,
 }
 
 /// Owns the queue's consumer side and marks it dead when the worker
@@ -79,7 +125,8 @@ impl Drop for AliveGuard {
     }
 }
 
-/// The worker body. Runs on a dedicated thread until [`Msg::Shutdown`].
+/// The worker body. Runs on a dedicated thread until [`Msg::Shutdown`]
+/// (or until the router closes the queue's producer side).
 pub fn run_worker(
     shard: usize,
     queue: Consumer<Msg>,
@@ -89,11 +136,19 @@ pub fn run_worker(
     queue.register_current_thread();
     let mut guard = AliveGuard { queue };
     let mut processed = 0u64;
+    let mut shed = 0u64;
     let mut reports = 0u64;
     loop {
         match guard.queue.pop_wait() {
-            Msg::Item { key, value } => {
+            Some(Msg::Item { key, value }) => {
                 telemetry::dequeued();
+                // Redeem an outstanding shed credit against this item —
+                // it is the oldest in the queue by FIFO.
+                if guard.queue.take_shed(1) != 0 {
+                    telemetry::shed();
+                    shed += 1;
+                    continue;
+                }
                 processed += 1;
                 if let Some(report) = filter.insert(&key, value) {
                     telemetry::report();
@@ -103,20 +158,145 @@ pub fn run_worker(
                     let _ = sink.send(Event::Report { shard, key, report });
                 }
             }
-            Msg::Quiesce => snapshot(shard, &filter, &sink),
-            Msg::Shutdown => break,
+            Some(Msg::Quiesce) => snapshot(shard, 0, &filter, &sink),
+            Some(Msg::Shutdown) | None => break,
         }
     }
     WorkerExit {
         processed,
+        shed,
         reports,
+        filter,
+    }
+}
+
+/// The supervised worker body: burst pop → apply → commit → report.
+/// See the module docs for why that order is load-bearing.
+pub(crate) fn run_supervised(
+    shard: usize,
+    queue: Consumer<Msg>,
+    mut filter: QuantileFilter,
+    sink: Sender<Event>,
+    sup: Supervision,
+) -> WorkerExit {
+    queue.register_current_thread();
+    let mut guard = AliveGuard { queue };
+    let mut processed = 0u64;
+    let mut shed_total = 0u64;
+    let mut reports_total = 0u64;
+    let mut keys = [0u64; BURST];
+    let mut vals = [0f64; BURST];
+    let mut reps: [Option<Report>; BURST] = [None; BURST];
+    // A control message that interrupted burst collection; handled on the
+    // next iteration so it observes the committed filter state.
+    let mut pending: Option<Msg> = None;
+    loop {
+        let msg = match pending.take() {
+            Some(m) => m,
+            None => match guard.queue.pop_wait() {
+                Some(m) => m,
+                // Producer closed: this generation was fenced off (or the
+                // pipeline is tearing down without a drain).
+                None => break,
+            },
+        };
+        match msg {
+            Msg::Shutdown => break,
+            Msg::Quiesce => snapshot(shard, sup.generation, &filter, &sink),
+            Msg::Item { key, value } => {
+                keys[0] = key;
+                vals[0] = value;
+                let mut n = 1usize;
+                while n < BURST {
+                    match guard.queue.try_pop() {
+                        Some(Msg::Item { key, value }) => {
+                            keys[n] = key;
+                            vals[n] = value;
+                            n += 1;
+                        }
+                        Some(ctrl) => {
+                            pending = Some(ctrl);
+                            break;
+                        }
+                        None => break,
+                    }
+                }
+                // Pops are progress, whether applied or shed — this is
+                // the liveness signal the watchdog reads, and the pop
+                // ordinal clock the chaos plan addresses items by.
+                let base = sup.recovery.note_progress(n as u64);
+                // Redeem shed credits against the oldest items of the
+                // burst (they are the oldest in the queue by FIFO).
+                let shed = guard.queue.take_shed(n as u32) as usize;
+                for _ in 0..n {
+                    telemetry::dequeued();
+                }
+                for _ in 0..shed {
+                    telemetry::shed();
+                }
+                let mut burst_reports = 0u64;
+                for i in shed..n {
+                    if let Some(chaos) = &sup.chaos {
+                        chaos.before_apply(shard, base + i as u64, keys[i]);
+                    }
+                    reps[i] = filter.insert(&keys[i], vals[i]);
+                    if reps[i].is_some() {
+                        burst_reports += 1;
+                    }
+                }
+                {
+                    let mut inner = sup.recovery.lock();
+                    if inner.generation != sup.generation {
+                        // Fenced: a replacement owns this lineage now.
+                        // Exit with zero further side effects — nothing
+                        // journaled, no reports sent for this burst.
+                        return WorkerExit {
+                            processed,
+                            shed: shed_total,
+                            reports: reports_total,
+                            filter,
+                        };
+                    }
+                    for i in shed..n {
+                        inner.append(keys[i], vals[i]);
+                    }
+                    inner.shed += shed as u64;
+                    inner.reports += burst_reports;
+                    if inner.due_seal(sup.checkpoint_interval) {
+                        inner.seal_checkpoint(shard, &filter, sup.chaos.as_ref());
+                    }
+                }
+                processed += (n - shed) as u64;
+                shed_total += shed as u64;
+                reports_total += burst_reports;
+                for i in shed..n {
+                    if let Some(report) = reps[i].take() {
+                        telemetry::report();
+                        let _ = sink.send(Event::Report {
+                            shard,
+                            key: keys[i],
+                            report,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    WorkerExit {
+        processed,
+        shed: shed_total,
+        reports: reports_total,
         filter,
     }
 }
 
 /// Encode the filter at the quiesce point and ship it to the sink.
 /// Cold by contract: runs once per snapshot request, never per item.
-fn snapshot(shard: usize, filter: &QuantileFilter, sink: &Sender<Event>) {
+fn snapshot(shard: usize, generation: u64, filter: &QuantileFilter, sink: &Sender<Event>) {
     let bytes = filter.snapshot();
-    let _ = sink.send(Event::Snapshot { shard, bytes });
+    let _ = sink.send(Event::Snapshot {
+        shard,
+        generation,
+        bytes,
+    });
 }

@@ -1,0 +1,593 @@
+//! qf-chaos: fault-injection acceptance suite for the supervised
+//! pipeline.
+//!
+//! Every test here drives a real multi-threaded pipeline through injected
+//! faults (worker panics, hangs, poison keys, checkpoint corruption) and
+//! pins the recovery contract:
+//!
+//! * **Termination** — no fault combination deadlocks the router or
+//!   propagates a panic out of a worker thread.
+//! * **Conservation** — `offered == enqueued + dropped + rejected` and
+//!   `enqueued == processed + shed + lost`, per shard and in total, no
+//!   matter what crashed when.
+//! * **Equivalence modulo loss** — with a crash whose loss window is
+//!   made deterministic (a poison item hitting an idle shard), the
+//!   recovered pipeline's per-shard report *sequences* equal the serial
+//!   reference over the stream minus exactly the lost item.
+//!
+//! Timing knobs shrink-or-relax under Miri: workloads get smaller, and
+//! the watchdog deadline is made effectively infinite so interpreter
+//! slowness is never mistaken for a hung worker (hang *detection* is
+//! covered natively; under Miri the same plans still pin termination and
+//! conservation).
+
+use qf_pipeline::{
+    shard_of, BackpressurePolicy, ChaosPlan, CrashCause, Fault, IngestOutcome, Pipeline,
+    PipelineConfig, PipelineSummary, RecoveredBase, ReportEvent, ShardState, SupervisorConfig,
+};
+use quantile_filter::{Criteria, QuantileFilter, QuantileFilterBuilder};
+use rand::{Rng, SeedableRng, SmallRng};
+use std::time::Duration;
+
+#[cfg(miri)]
+const N_ITEMS: usize = 600;
+#[cfg(not(miri))]
+const N_ITEMS: usize = 12_000;
+
+fn criteria() -> Criteria {
+    match Criteria::new(5.0, 0.9, 100.0) {
+        Ok(c) => c,
+        Err(e) => panic!("criteria: {e:?}"),
+    }
+}
+
+fn config(shards: usize, queue_capacity: usize, policy: BackpressurePolicy) -> PipelineConfig {
+    PipelineConfig {
+        shards,
+        criteria: criteria(),
+        memory_bytes_per_shard: 16 * 1024,
+        queue_capacity,
+        policy,
+        seed: 0xC0FFEE,
+    }
+}
+
+/// Watchdog deadline: short natively so hang recovery actually runs;
+/// effectively infinite under Miri so interpreter slowness never reads
+/// as a hang.
+fn watchdog() -> Duration {
+    if cfg!(miri) {
+        Duration::from_secs(300)
+    } else {
+        Duration::from_millis(30)
+    }
+}
+
+fn sup_config(checkpoint_interval: u64) -> SupervisorConfig {
+    SupervisorConfig {
+        checkpoint_interval,
+        watchdog_deadline: watchdog(),
+        max_strikes: 5,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(4),
+        strike_forgiveness: 1_000_000,
+    }
+}
+
+fn shard_counts() -> Vec<usize> {
+    if let Ok(s) = std::env::var("QF_PIPELINE_STRESS_SHARDS") {
+        match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return vec![n],
+            _ => panic!("bad QF_PIPELINE_STRESS_SHARDS value: {s:?}"),
+        }
+    }
+    if cfg!(miri) {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 4, 8]
+    }
+}
+
+/// Same workload shape as the stress suite: zipf-ish background plus hot
+/// keys far over the threshold, so faults land on a stream that reports.
+fn workload(seed: u64, n: usize) -> Vec<(u64, f64)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut items = Vec::with_capacity(n);
+    for _ in 0..n {
+        if rng.gen_bool(0.12) {
+            let hot = 1_000 + rng.gen_range(0u64..4);
+            items.push((hot, 400.0 + rng.gen_range(0.0..200.0)));
+        } else {
+            let key = rng.gen_range(0u64..128);
+            items.push((key, rng.gen_range(0.0..20.0)));
+        }
+    }
+    items
+}
+
+fn serial_reference(cfg: &PipelineConfig, items: &[(u64, f64)]) -> Vec<Vec<u64>> {
+    let mut filters: Vec<QuantileFilter> = (0..cfg.shards)
+        .map(|s| {
+            match QuantileFilterBuilder::new(cfg.criteria)
+                .memory_budget_bytes(cfg.memory_bytes_per_shard)
+                .seed(cfg.shard_seed(s))
+                .try_build()
+            {
+                Ok(f) => f,
+                Err(e) => panic!("build: {e:?}"),
+            }
+        })
+        .collect();
+    let mut reports = vec![Vec::new(); cfg.shards];
+    for &(key, value) in items {
+        let shard = shard_of(key, cfg.shards);
+        if filters[shard].insert(&key, value).is_some() {
+            reports[shard].push(key);
+        }
+    }
+    reports
+}
+
+fn per_shard_sequences(shards: usize, reports: &[ReportEvent]) -> Vec<Vec<u64>> {
+    let mut seqs = vec![Vec::new(); shards];
+    for r in reports {
+        seqs[r.shard].push(r.key);
+    }
+    seqs
+}
+
+/// The conservation laws every chaos run must satisfy, per shard and in
+/// total, plus internal consistency of the recovery ledger.
+fn assert_conserved(summary: &PipelineSummary, context: &str) {
+    assert_eq!(
+        summary.offered,
+        summary.enqueued + summary.dropped + summary.rejected,
+        "router-side conservation violated ({context}): {summary:?}"
+    );
+    assert_eq!(
+        summary.enqueued,
+        summary.processed + summary.shed + summary.lost_to_crash,
+        "worker-side conservation violated ({context}): {summary:?}"
+    );
+    let mut lost_from_records = 0u64;
+    for r in &summary.recoveries {
+        lost_from_records += r.lost;
+        if !r.quarantined {
+            assert!(
+                r.base.is_some(),
+                "restarted shard without a recovery base ({context}): {r:?}"
+            );
+        }
+    }
+    assert_eq!(
+        summary.lost_to_crash, lost_from_records,
+        "loss not fully attributed to recovery records ({context}): {summary:?}"
+    );
+    for (shard, s) in summary.per_shard.iter().enumerate() {
+        assert_eq!(
+            s.enqueued,
+            s.processed + s.shed + s.lost,
+            "shard {shard} conservation violated ({context}): {s:?}"
+        );
+        if s.state == ShardState::Running {
+            assert_eq!(
+                s.rejected, 0,
+                "healthy shard {shard} rejected items ({context})"
+            );
+        }
+    }
+    let restarts_from_records = summary.recoveries.iter().filter(|r| !r.quarantined).count() as u64;
+    assert_eq!(summary.restarts, restarts_from_records, "({context})");
+}
+
+fn drive(pipe: &mut Pipeline, items: &[(u64, f64)], got: &mut Vec<ReportEvent>) -> (u64, u64, u64) {
+    let (mut enq, mut dropped, mut rejected) = (0u64, 0u64, 0u64);
+    for (i, &(key, value)) in items.iter().enumerate() {
+        match pipe.ingest(key, value) {
+            Ok(IngestOutcome::Enqueued) => enq += 1,
+            Ok(IngestOutcome::Dropped) => dropped += 1,
+            Ok(IngestOutcome::ShardDown) => rejected += 1,
+            Err(e) => panic!("ingest must not fail per-item: {e}"),
+        }
+        if i % 2_048 == 0 {
+            got.extend(pipe.poll_reports());
+        }
+    }
+    (enq, dropped, rejected)
+}
+
+/// The full fault × policy × shard-count matrix: every combination must
+/// terminate, keep panics contained, and conserve accounting exactly.
+#[test]
+fn chaos_matrix_terminates_and_conserves() {
+    // Under Miri, one lossless and one shedding policy keep the matrix
+    // tractable; the full four-policy sweep runs natively.
+    let policies: &[BackpressurePolicy] = if cfg!(miri) {
+        &[BackpressurePolicy::Block, BackpressurePolicy::DropOldest]
+    } else {
+        &[
+            BackpressurePolicy::Block,
+            BackpressurePolicy::DropNewest,
+            BackpressurePolicy::DropOldest,
+            BackpressurePolicy::ShedFair,
+        ]
+    };
+    let n = N_ITEMS;
+    let plans: Vec<(&str, ChaosPlan)> = vec![
+        (
+            "panic",
+            ChaosPlan::new().with(Fault::Panic {
+                shard: 0,
+                at_pop: (n / 64) as u64,
+            }),
+        ),
+        (
+            "hang",
+            ChaosPlan::new().with(Fault::Hang {
+                shard: 0,
+                at_pop: (n / 32) as u64,
+                millis: 80,
+            }),
+        ),
+        (
+            "poison",
+            ChaosPlan::new().with(Fault::Poison {
+                key: 1_001,
+                times: 1,
+            }),
+        ),
+        (
+            "corrupt-checkpoint",
+            ChaosPlan::new()
+                .with(Fault::CorruptCheckpoint { shard: 0, seal: 1 })
+                .with(Fault::Panic {
+                    shard: 0,
+                    at_pop: (n / 16) as u64,
+                }),
+        ),
+        (
+            "corrupt-every-checkpoint",
+            ChaosPlan::new()
+                .with(Fault::CorruptEveryCheckpoint { shard: 0 })
+                .with(Fault::Panic {
+                    shard: 0,
+                    at_pop: (n / 8) as u64,
+                }),
+        ),
+    ];
+    for shards in shard_counts() {
+        for (plan_name, plan) in &plans {
+            for &policy in policies {
+                let cfg = config(shards, 64, policy);
+                let context = format!("plan={plan_name} policy={policy:?} shards={shards}");
+                let mut pipe = match Pipeline::launch_chaos(cfg, sup_config(32), plan) {
+                    Ok(p) => p,
+                    Err(e) => panic!("launch ({context}): {e}"),
+                };
+                let items = workload(11, n);
+                let mut got = Vec::new();
+                let (enq, dropped, rejected) = drive(&mut pipe, &items, &mut got);
+                let summary = match pipe.shutdown() {
+                    Ok(s) => s,
+                    Err(e) => panic!("shutdown must always summarize ({context}): {e}"),
+                };
+                assert_eq!(summary.offered, items.len() as u64, "({context})");
+                assert_eq!(summary.enqueued, enq, "({context})");
+                assert_eq!(summary.dropped, dropped, "({context})");
+                assert_eq!(summary.rejected, rejected, "({context})");
+                assert_conserved(&summary, &context);
+                if policy == BackpressurePolicy::Block {
+                    assert_eq!(summary.dropped, 0, "Block never drops ({context})");
+                }
+            }
+        }
+    }
+}
+
+/// Supervision with no faults is invisible: report sequences equal the
+/// serial reference exactly, nothing is lost, nothing restarts.
+#[test]
+fn supervised_without_faults_equals_serial_reference() {
+    for shards in shard_counts() {
+        let cfg = config(shards, 256, BackpressurePolicy::Block);
+        let items = workload(3, N_ITEMS);
+        let expected = serial_reference(&cfg, &items);
+        let mut pipe = match Pipeline::launch_supervised(cfg, sup_config(64)) {
+            Ok(p) => p,
+            Err(e) => panic!("launch: {e}"),
+        };
+        let mut got = Vec::new();
+        drive(&mut pipe, &items, &mut got);
+        got.extend(pipe.poll_reports());
+        let summary = match pipe.shutdown() {
+            Ok(s) => s,
+            Err(e) => panic!("shutdown: {e}"),
+        };
+        got.extend(summary.reports.iter().copied());
+        assert_eq!(summary.lost_to_crash, 0);
+        assert_eq!(summary.restarts, 0);
+        assert_eq!(summary.rejected, 0);
+        assert_eq!(summary.processed, items.len() as u64);
+        assert!(summary.recoveries.is_empty());
+        assert_eq!(
+            per_shard_sequences(shards, &got),
+            expected,
+            "shards={shards}"
+        );
+    }
+}
+
+/// The loss-bound statement, made deterministic: a poison item that hits
+/// an *idle* shard is the entire loss window (nothing else is in-flight),
+/// so the recovered run must equal the serial reference over the stream
+/// minus exactly that one item.
+#[test]
+fn recovery_equals_serial_reference_minus_the_lost_item() {
+    let shards = 2;
+    let cfg = config(shards, 256, BackpressurePolicy::Block);
+    let poison_key = 999_999u64;
+    let items = workload(5, N_ITEMS);
+    let half = items.len() / 2;
+    let expected = serial_reference(&cfg, &items);
+
+    let plan = ChaosPlan::new().with(Fault::Poison {
+        key: poison_key,
+        times: 1,
+    });
+    let mut pipe = match Pipeline::launch_chaos(cfg, sup_config(64), &plan) {
+        Ok(p) => p,
+        Err(e) => panic!("launch: {e}"),
+    };
+    let mut got = Vec::new();
+    drive(&mut pipe, &items[..half], &mut got);
+    // Let every shard drain and commit, so nothing shares the poison
+    // item's loss window.
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while (0..shards).any(|s| pipe.queue_len(s) > 0) {
+        assert!(std::time::Instant::now() < deadline, "queues never drained");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    std::thread::sleep(Duration::from_millis(if cfg!(miri) { 50 } else { 20 }));
+    match pipe.ingest(poison_key, 777.0) {
+        Ok(IngestOutcome::Enqueued) => {}
+        other => panic!("poison item should enqueue, got {other:?}"),
+    }
+    // Give the worker time to pop it, panic, and unwind; the next push
+    // to that shard detects the death and recovers synchronously.
+    std::thread::sleep(Duration::from_millis(if cfg!(miri) { 100 } else { 30 }));
+    drive(&mut pipe, &items[half..], &mut got);
+    got.extend(pipe.poll_reports());
+    let summary = match pipe.shutdown() {
+        Ok(s) => s,
+        Err(e) => panic!("shutdown: {e}"),
+    };
+    got.extend(summary.reports.iter().copied());
+
+    assert_eq!(summary.offered, items.len() as u64 + 1);
+    assert_eq!(
+        summary.lost_to_crash, 1,
+        "loss window is exactly the poison item"
+    );
+    assert_eq!(summary.processed, items.len() as u64);
+    assert_eq!(summary.restarts, 1);
+    assert_conserved(&summary, "deterministic poison");
+    let rec = &summary.recoveries[0];
+    assert_eq!(rec.cause, CrashCause::Panic);
+    assert_eq!(rec.lost, 1);
+    assert!(!rec.quarantined);
+    assert!(
+        matches!(
+            rec.base,
+            Some(RecoveredBase::Checkpoint { .. }) | Some(RecoveredBase::Fresh)
+        ),
+        "checkpoint+journal recovery should be lossless here: {rec:?}"
+    );
+    assert_eq!(
+        per_shard_sequences(shards, &got),
+        expected,
+        "recovered output must equal serial reference minus the lost item"
+    );
+}
+
+/// Repeated poison redeliveries exhaust the strike budget: the shard is
+/// quarantined, *its* items come back `ShardDown`, and every other shard
+/// keeps accepting — the pipeline degrades instead of dying.
+#[test]
+fn strike_exhaustion_quarantines_only_the_poisoned_shard() {
+    let shards = 2;
+    let cfg = config(shards, 64, BackpressurePolicy::Block);
+    let sup = SupervisorConfig {
+        max_strikes: 3,
+        ..sup_config(32)
+    };
+    let poison_key = 424_242u64;
+    let poisoned_shard = shard_of(poison_key, shards);
+    // Enough budget that the key keeps killing replacements until the
+    // strike budget, not the fault budget, decides the outcome.
+    let plan = ChaosPlan::new().with(Fault::Poison {
+        key: poison_key,
+        times: u32::MAX - 1,
+    });
+    let mut pipe = match Pipeline::launch_chaos(cfg, sup, &plan) {
+        Ok(p) => p,
+        Err(e) => panic!("launch: {e}"),
+    };
+    let mut down_seen = false;
+    for _ in 0..10_000 {
+        match pipe.ingest(poison_key, 5.0) {
+            Ok(IngestOutcome::Enqueued) => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Ok(IngestOutcome::ShardDown) => {
+                down_seen = true;
+                break;
+            }
+            Ok(IngestOutcome::Dropped) => panic!("Block policy dropped"),
+            Err(e) => panic!("ingest: {e}"),
+        }
+    }
+    assert!(down_seen, "shard never quarantined");
+    assert_eq!(pipe.shard_state(poisoned_shard), ShardState::Quarantined);
+
+    // The other shard still accepts; the quarantined one fails fast.
+    let mut other_key = 0u64;
+    while shard_of(other_key, shards) == poisoned_shard {
+        other_key += 1;
+    }
+    match pipe.ingest(other_key, 5.0) {
+        Ok(IngestOutcome::Enqueued) => {}
+        other => panic!("healthy shard refused an item: {other:?}"),
+    }
+    match pipe.ingest(poison_key, 5.0) {
+        Ok(IngestOutcome::ShardDown) => {}
+        other => panic!("quarantined shard accepted an item: {other:?}"),
+    }
+    // Snapshot still works: the quarantined shard contributes the frame
+    // reconstructed from its checkpoint + journal.
+    let bytes = match pipe.snapshot() {
+        Ok(b) => b,
+        Err(e) => panic!("snapshot with quarantined shard: {e}"),
+    };
+    assert!(Pipeline::restore(&bytes, cfg).is_ok());
+
+    let summary = match pipe.shutdown() {
+        Ok(s) => s,
+        Err(e) => panic!("shutdown: {e}"),
+    };
+    assert_conserved(&summary, "quarantine");
+    assert!(summary.rejected >= 2);
+    assert_eq!(
+        summary.per_shard[poisoned_shard].state,
+        ShardState::Quarantined
+    );
+    let quarantine_records = summary.recoveries.iter().filter(|r| r.quarantined).count();
+    assert_eq!(quarantine_records, 1, "{:?}", summary.recoveries);
+    assert_eq!(
+        summary.restarts, 2,
+        "max_strikes-1 restarts before quarantine"
+    );
+}
+
+/// A worker wedged past the watchdog deadline is detected, fenced, and
+/// replaced; the pipeline keeps flowing and the hang is recorded with its
+/// cause. (Hang *detection* needs real time; skipped under Miri, where
+/// the deadline is pinned effectively-infinite.)
+#[test]
+#[cfg_attr(miri, ignore = "hang detection needs a real-time watchdog deadline")]
+fn hung_worker_is_detected_and_replaced() {
+    let shards = 2;
+    let cfg = config(shards, 16, BackpressurePolicy::Block);
+    let plan = ChaosPlan::new().with(Fault::Hang {
+        shard: 0,
+        at_pop: 64,
+        millis: 400,
+    });
+    let mut pipe = match Pipeline::launch_chaos(cfg, sup_config(32), &plan) {
+        Ok(p) => p,
+        Err(e) => panic!("launch: {e}"),
+    };
+    let items = workload(9, N_ITEMS);
+    let mut got = Vec::new();
+    drive(&mut pipe, &items, &mut got);
+    let summary = match pipe.shutdown() {
+        Ok(s) => s,
+        Err(e) => panic!("shutdown: {e}"),
+    };
+    assert_conserved(&summary, "hang");
+    assert!(
+        summary
+            .recoveries
+            .iter()
+            .any(|r| r.cause == CrashCause::Hang),
+        "hang never detected: {:?}",
+        summary.recoveries
+    );
+    assert!(summary.restarts >= 1);
+    // The replacement started from checkpoint + journal and kept going:
+    // far more items processed than could fit in one queue + burst.
+    assert!(summary.processed > summary.lost_to_crash);
+}
+
+/// Snapshot-under-chaos: a barrier issued while a worker is dying is
+/// re-issued to the replacement, and the resulting envelope restores.
+#[test]
+fn snapshot_survives_a_mid_barrier_crash() {
+    let shards = 2;
+    let cfg = config(shards, 64, BackpressurePolicy::Block);
+    let n = N_ITEMS / 2;
+    let plan = ChaosPlan::new().with(Fault::Panic {
+        shard: 0,
+        at_pop: (n / 4) as u64,
+    });
+    let mut pipe = match Pipeline::launch_chaos(cfg, sup_config(32), &plan) {
+        Ok(p) => p,
+        Err(e) => panic!("launch: {e}"),
+    };
+    let items = workload(13, n);
+    let mut got = Vec::new();
+    drive(&mut pipe, &items, &mut got);
+    let bytes = match pipe.snapshot() {
+        Ok(b) => b,
+        Err(e) => panic!("snapshot under chaos: {e}"),
+    };
+    let restored = match Pipeline::restore(&bytes, cfg) {
+        Ok(p) => p,
+        Err(e) => panic!("restore: {e}"),
+    };
+    match restored.shutdown() {
+        Ok(_) => {}
+        Err(e) => panic!("restored pipeline shutdown: {e}"),
+    }
+    // The original keeps working after the barrier.
+    drive(&mut pipe, &items, &mut got);
+    let summary = match pipe.shutdown() {
+        Ok(s) => s,
+        Err(e) => panic!("shutdown: {e}"),
+    };
+    assert_conserved(&summary, "snapshot under chaos");
+}
+
+/// Corrupting every checkpoint forces recovery onto the journal-only
+/// paths; when the journal no longer reaches item 1, the shard restarts
+/// empty with the rollback accounted as `StateLoss`, never silently.
+#[test]
+fn corrupt_checkpoints_degrade_to_accounted_state_loss() {
+    let shards = 1;
+    let cfg = config(shards, 64, BackpressurePolicy::Block);
+    let n = N_ITEMS;
+    let plan = ChaosPlan::new()
+        .with(Fault::CorruptEveryCheckpoint { shard: 0 })
+        .with(Fault::Panic {
+            shard: 0,
+            at_pop: (n / 2) as u64,
+        });
+    // Small interval: by the crash point the journal has been pruned far
+    // past item 1, so journal-only recovery is impossible.
+    let mut pipe = match Pipeline::launch_chaos(cfg, sup_config(16), &plan) {
+        Ok(p) => p,
+        Err(e) => panic!("launch: {e}"),
+    };
+    let items = workload(17, n);
+    let mut got = Vec::new();
+    drive(&mut pipe, &items, &mut got);
+    let summary = match pipe.shutdown() {
+        Ok(s) => s,
+        Err(e) => panic!("shutdown: {e}"),
+    };
+    assert_conserved(&summary, "corrupt-every-checkpoint");
+    let state_loss = summary
+        .recoveries
+        .iter()
+        .find(|r| r.base == Some(RecoveredBase::StateLoss));
+    let Some(rec) = state_loss else {
+        panic!("expected a StateLoss recovery: {:?}", summary.recoveries);
+    };
+    assert!(
+        rec.prior_applied > 0,
+        "rollback size must be recorded: {rec:?}"
+    );
+    assert_eq!(rec.recovered_seq, 0, "StateLoss restarts the lineage");
+    // The items applied before the rollback still count as processed —
+    // their reports were emitted and journaled before the state was lost.
+    assert!(summary.processed >= rec.prior_applied);
+}

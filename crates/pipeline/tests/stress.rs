@@ -129,7 +129,7 @@ fn concurrent_reports_equal_serial_routing() {
             for (i, &(key, value)) in items.iter().enumerate() {
                 match pipe.ingest(key, value) {
                     Ok(IngestOutcome::Enqueued) => {}
-                    Ok(IngestOutcome::Dropped) => panic!("Block policy dropped an item"),
+                    Ok(other) => panic!("Block policy refused an item: {other:?}"),
                     Err(e) => panic!("ingest: {e}"),
                 }
                 // Interleave sink draining with ingest so the pending
@@ -180,6 +180,7 @@ fn drop_accounting_conserves() {
             match pipe.ingest(key, value) {
                 Ok(IngestOutcome::Enqueued) => seen_enqueued += 1,
                 Ok(IngestOutcome::Dropped) => seen_dropped += 1,
+                Ok(IngestOutcome::ShardDown) => panic!("healthy shard reported down"),
                 Err(e) => panic!("ingest: {e}"),
             }
         }
@@ -308,7 +309,10 @@ fn spsc_ring_transfers_everything_in_order() {
         let mut next = 0u64;
         let mut sum = 0u64;
         loop {
-            let v = consumer.pop_wait();
+            let v = match consumer.pop_wait() {
+                Some(v) => v,
+                None => panic!("producer closed before the sentinel"),
+            };
             if v == u64::MAX {
                 break;
             }

@@ -39,6 +39,11 @@ pub enum CounterId {
     PipelineDequeued,
     PipelineDropped,
     PipelineReports,
+    PipelineShedOldest,
+    PipelineShardDownRejected,
+    PipelineRestarts,
+    PipelineCheckpointSeals,
+    PipelineReplayed,
 }
 
 /// Identifies a gauge in the [`QfMetrics`] registry.
@@ -47,6 +52,7 @@ pub enum CounterId {
 pub enum GaugeId {
     RoundingDriftMicros,
     PipelineQueueDepth,
+    PipelineShardState,
 }
 
 /// Identifies a latency histogram in the [`QfMetrics`] registry.
@@ -83,6 +89,11 @@ impl QfMetrics {
             CounterId::PipelineDequeued => &self.pipeline_dequeued,
             CounterId::PipelineDropped => &self.pipeline_dropped,
             CounterId::PipelineReports => &self.pipeline_reports,
+            CounterId::PipelineShedOldest => &self.pipeline_shed_oldest,
+            CounterId::PipelineShardDownRejected => &self.pipeline_shard_down_rejected,
+            CounterId::PipelineRestarts => &self.pipeline_restarts,
+            CounterId::PipelineCheckpointSeals => &self.pipeline_checkpoint_seals,
+            CounterId::PipelineReplayed => &self.pipeline_replayed,
         }
     }
 
@@ -92,6 +103,7 @@ impl QfMetrics {
         match id {
             GaugeId::RoundingDriftMicros => &self.rounding_drift_micros,
             GaugeId::PipelineQueueDepth => &self.pipeline_queue_depth,
+            GaugeId::PipelineShardState => &self.pipeline_shard_state,
         }
     }
 
@@ -205,6 +217,11 @@ mod tests {
             PipelineDequeued,
             PipelineDropped,
             PipelineReports,
+            PipelineShedOldest,
+            PipelineShardDownRejected,
+            PipelineRestarts,
+            PipelineCheckpointSeals,
+            PipelineReplayed,
         ] {
             m.counter_of(id).incr();
         }

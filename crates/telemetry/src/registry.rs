@@ -95,6 +95,12 @@ registry! {
         pipeline_dequeued => "qf_pipeline_dequeued_total",
         pipeline_dropped => "qf_pipeline_dropped_total",
         pipeline_reports => "qf_pipeline_reports_total",
+        // qf-pipeline supervision & recovery
+        pipeline_shed_oldest => "qf_pipeline_shed_oldest_total",
+        pipeline_shard_down_rejected => "qf_pipeline_shard_down_rejected_total",
+        pipeline_restarts => "qf_pipeline_restarts_total",
+        pipeline_checkpoint_seals => "qf_pipeline_checkpoint_seal_total",
+        pipeline_replayed => "qf_pipeline_replayed_items_total",
     }
     gauges {
         // Cumulative stochastic-rounding drift, in millionths of a unit of
@@ -104,6 +110,10 @@ registry! {
         // Items sitting in shard queues right now, summed across shards:
         // +1 on enqueue, −1 on dequeue.
         pipeline_queue_depth => "qf_pipeline_queue_depth",
+        // Sum of shard lifecycle-state codes across supervised shards
+        // (Running=0, Suspect=1, Restarting=2, Quarantined=3): 0 means
+        // every shard is healthy; a stuck 3 means one is quarantined.
+        pipeline_shard_state => "qf_pipeline_shard_state",
     }
     histograms {
         insert_latency_ns => "qf_insert_latency_ns",
