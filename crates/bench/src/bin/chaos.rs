@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run -p qf-bench --release --bin chaos -- \
-//!     [--tiny] [--out PATH] [--repeats N] [--items N] [--queue N] [--crashes N]
+//!     [--tiny] [--out PATH] [--repeats N] [--items N] [--queue N] [--crashes N] \
+//!     [--metrics-out PREFIX] [--no-metrics]
 //! ```
 //!
 //! For each shard count in {1, 2, 4, 8}, streams a Zipf trace through an
@@ -16,6 +17,12 @@
 //!
 //! Writes `BENCH_chaos.json` (schema documented on
 //! `qf_bench::chaos::render_json`). `--tiny` is the CI smoke mode.
+//!
+//! Like the `detect` bin, an end-of-run telemetry snapshot lands at
+//! `<prefix>.metrics.{json,prom}` (default prefix `results/bench-chaos`,
+//! override with `--metrics-out`, suppress with `--no-metrics`); the
+//! supervision counters (restarts, replays, checkpoint seals) are only
+//! live under `--features telemetry`.
 
 use qf_bench::chaos::{measure_overhead, measure_recovery, render_json, ChaosBenchReport};
 use qf_datasets::{zipf_dataset, ZipfConfig};
@@ -29,7 +36,8 @@ const RECOVERY_SHARDS: usize = 4;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: chaos [--tiny] [--out PATH] [--repeats N] [--items N] [--queue N] [--crashes N]"
+        "usage: chaos [--tiny] [--out PATH] [--repeats N] [--items N] [--queue N] [--crashes N] \
+         [--metrics-out PREFIX] [--no-metrics]"
     );
     std::process::exit(2)
 }
@@ -42,6 +50,8 @@ fn main() {
     let mut items: Option<usize> = None;
     let mut queue_capacity = 1024usize;
     let mut crashes: Option<u32> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut no_metrics = false;
 
     let mut i = 0;
     while i < argv.len() {
@@ -68,6 +78,11 @@ fn main() {
                 crashes = Some(val(i).parse().unwrap_or_else(|_| usage()));
                 i += 1;
             }
+            "--metrics-out" => {
+                metrics_out = Some(val(i));
+                i += 1;
+            }
+            "--no-metrics" => no_metrics = true,
             _ => usage(),
         }
         i += 1;
@@ -170,4 +185,16 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {out}");
+
+    if !no_metrics {
+        match qf_bench::metrics::flush_global_sidecars(metrics_out, "results/bench-chaos") {
+            Ok((json_path, prom_path)) => {
+                println!("wrote {} and {}", json_path.display(), prom_path.display());
+            }
+            Err(e) => {
+                eprintln!("failed to write telemetry sidecars: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run -p qf-bench --release --bin pipeline -- \
-//!     [--tiny] [--out PATH] [--repeats N] [--items N] [--queue N]
+//!     [--tiny] [--out PATH] [--repeats N] [--items N] [--queue N] \
+//!     [--metrics-out PREFIX] [--no-metrics]
 //! ```
 //!
 //! For each shard count in {1, 2, 4, 8} and each backpressure policy
@@ -21,6 +22,12 @@
 //! Writes the results as `BENCH_pipeline.json` (schema documented on
 //! `qf_bench::pipeline::render_json`). `--tiny` is the CI smoke mode:
 //! the 50K-item trace, one repeat, same schema.
+//!
+//! Like the `detect` bin, an end-of-run telemetry snapshot lands at
+//! `<prefix>.metrics.{json,prom}` (default prefix
+//! `results/bench-pipeline`, override with `--metrics-out`, suppress
+//! with `--no-metrics`). The counters are only live under
+//! `--features telemetry`; without it the sidecars record zeros.
 
 use qf_bench::pipeline::{measure_pipeline, render_json, PipelineBenchReport, WorkloadMeta};
 use qf_datasets::{zipf_dataset, ZipfConfig};
@@ -37,7 +44,10 @@ const POLICIES: [BackpressurePolicy; 4] = [
 const SHARD_MEMORY: usize = 32 * 1024;
 
 fn usage() -> ! {
-    eprintln!("usage: pipeline [--tiny] [--out PATH] [--repeats N] [--items N] [--queue N]");
+    eprintln!(
+        "usage: pipeline [--tiny] [--out PATH] [--repeats N] [--items N] [--queue N] \
+         [--metrics-out PREFIX] [--no-metrics]"
+    );
     std::process::exit(2)
 }
 
@@ -48,6 +58,8 @@ fn main() {
     let mut repeats: Option<usize> = None;
     let mut items: Option<usize> = None;
     let mut queue_capacity = 1024usize;
+    let mut metrics_out: Option<String> = None;
+    let mut no_metrics = false;
 
     let mut i = 0;
     while i < argv.len() {
@@ -70,6 +82,11 @@ fn main() {
                 queue_capacity = val(i).parse().unwrap_or_else(|_| usage());
                 i += 1;
             }
+            "--metrics-out" => {
+                metrics_out = Some(val(i));
+                i += 1;
+            }
+            "--no-metrics" => no_metrics = true,
             _ => usage(),
         }
         i += 1;
@@ -154,4 +171,16 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {out}");
+
+    if !no_metrics {
+        match qf_bench::metrics::flush_global_sidecars(metrics_out, "results/bench-pipeline") {
+            Ok((json_path, prom_path)) => {
+                println!("wrote {} and {}", json_path.display(), prom_path.display());
+            }
+            Err(e) => {
+                eprintln!("failed to write telemetry sidecars: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

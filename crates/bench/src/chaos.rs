@@ -20,6 +20,7 @@ use qf_datasets::Item;
 use qf_pipeline::{
     ChaosPlan, Fault, Pipeline, PipelineConfig, PipelineError, RecoveryRecord, SupervisorConfig,
 };
+use qf_telemetry::LogHistogram;
 use std::time::Instant;
 
 /// One shard point of the no-fault overhead comparison.
@@ -62,14 +63,24 @@ pub struct RecoveryStats {
     pub processed: u64,
 }
 
-/// `ceil(p/100 · n)`-th order statistic of `sorted` (1-indexed), the
-/// standard nearest-rank percentile.
-fn percentile(sorted: &[u64], p: u64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
+/// Distill restart latencies through the same [`LogHistogram`] the rest
+/// of the stack uses for latency distributions (one estimator, one error
+/// model: quantiles are bucket upper bounds, ≤25% relative error; `max`
+/// is exact, and quantile estimates are clamped to it so the reported
+/// distribution is internally consistent).
+fn latency_stats(latencies_us: impl IntoIterator<Item = u64>) -> (usize, u64, u64, u64) {
+    let hist = LogHistogram::new();
+    for us in latencies_us {
+        hist.record(us);
     }
-    let rank = (p * sorted.len() as u64).div_ceil(100).max(1) as usize;
-    sorted[rank.min(sorted.len()) - 1]
+    let snap = hist.snapshot();
+    let max = snap.max;
+    (
+        snap.count() as usize,
+        snap.quantile(0.50).min(max),
+        snap.quantile(0.99).min(max),
+        max,
+    )
 }
 
 /// Stream `items` through a *supervised* pipeline with no faults and
@@ -166,16 +177,16 @@ pub fn measure_recovery(
         .iter()
         .filter(|r| !r.quarantined)
         .collect();
-    let mut lat_us: Vec<u64> = restarts
-        .iter()
-        .map(|r| r.restart_latency.as_micros() as u64)
-        .collect();
-    lat_us.sort_unstable();
+    let (samples, p50_us, p99_us, max_us) = latency_stats(
+        restarts
+            .iter()
+            .map(|r| r.restart_latency.as_micros() as u64),
+    );
     Ok(RecoveryStats {
-        samples: lat_us.len(),
-        p50_us: percentile(&lat_us, 50),
-        p99_us: percentile(&lat_us, 99),
-        max_us: lat_us.last().copied().unwrap_or(0),
+        samples,
+        p50_us,
+        p99_us,
+        max_us,
         replayed_total: restarts.iter().map(|r| r.replayed).sum(),
         lost_total: summary.lost_to_crash,
         processed: summary.processed,
@@ -351,13 +362,19 @@ mod tests {
     }
 
     #[test]
-    fn percentile_is_nearest_rank() {
-        assert_eq!(percentile(&[], 99), 0);
-        assert_eq!(percentile(&[7], 50), 7);
-        let v: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&v, 50), 50);
-        assert_eq!(percentile(&v, 99), 99);
-        assert_eq!(percentile(&v, 100), 100);
+    fn latency_stats_are_ordered_and_clamped() {
+        assert_eq!(latency_stats([]), (0, 0, 0, 0));
+        // A single sample: every statistic collapses to it exactly (the
+        // quantile's bucket upper bound is clamped to the true max).
+        assert_eq!(latency_stats([700]), (1, 700, 700, 700));
+        let (n, p50, p99, max) = latency_stats(1..=1000u64);
+        assert_eq!(n, 1000);
+        assert_eq!(max, 1000, "max is exact");
+        assert!(p50 <= p99 && p99 <= max, "p50={p50} p99={p99} max={max}");
+        // LogHistogram's contract: quantiles land within 25% above the
+        // true order statistic (bucket upper bounds).
+        assert!((500..=625).contains(&p50), "p50={p50}");
+        assert!((990..=1000).contains(&p99), "p99={p99}");
     }
 
     #[test]

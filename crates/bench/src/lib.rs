@@ -9,4 +9,5 @@
 
 pub mod chaos;
 pub mod hotpath;
+pub mod metrics;
 pub mod pipeline;

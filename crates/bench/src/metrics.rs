@@ -1,0 +1,62 @@
+//! End-of-run telemetry sidecars for the bench binaries.
+//!
+//! The `detect` bin routes its sidecars through `qf-eval`'s
+//! `TelemetryConfig`; the `pipeline` and `chaos` bins drive the pipeline
+//! directly, so they flush the global registry themselves at exit. This
+//! module is that one shared flush, so both bins spell their
+//! `--metrics-out PREFIX` / `--no-metrics` flags identically.
+//!
+//! The counters are only live when the stack is built with
+//! `--features telemetry`; an uninstrumented build still writes the
+//! sidecars, they just hold zeros — which is itself useful as a schema
+//! smoke test in CI.
+
+use std::path::PathBuf;
+
+/// Write `<prefix>.metrics.{json,prom}` from the global registry and
+/// return the two sidecar paths. `prefix` falls back to
+/// `default_prefix` (e.g. `results/bench-pipeline`) when the user gave
+/// no `--metrics-out`.
+pub fn flush_global_sidecars(
+    prefix: Option<String>,
+    default_prefix: &str,
+) -> std::io::Result<(PathBuf, PathBuf)> {
+    let prefix = prefix.unwrap_or_else(|| default_prefix.to_string());
+    let mut rep = qf_telemetry::PeriodicReporter::new(&prefix, std::time::Duration::ZERO);
+    rep.flush(&qf_telemetry::global().snapshot())?;
+    Ok((rep.json_path(), rep.prom_path()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flush_writes_under_default_prefix_and_returns_paths() {
+        let dir = std::env::temp_dir().join(format!("qf_bench_metrics_{}", std::process::id()));
+        let default = dir.join("bench-pipeline");
+        let (json, prom) =
+            flush_global_sidecars(None, default.to_str().unwrap()).expect("flush failed");
+        assert_eq!(json, default.with_extension("metrics.json"));
+        assert!(json.exists() && prom.exists());
+        let body = std::fs::read_to_string(&json).unwrap();
+        assert!(
+            body.contains("qf_filter_inserts_total"),
+            "schema missing: {body}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explicit_prefix_overrides_default() {
+        let dir = std::env::temp_dir().join(format!("qf_bench_metrics_ovr_{}", std::process::id()));
+        let explicit = dir.join("custom");
+        let (json, _) = flush_global_sidecars(
+            Some(explicit.to_str().unwrap().to_string()),
+            "results/should-not-be-used",
+        )
+        .expect("flush failed");
+        assert_eq!(json, explicit.with_extension("metrics.json"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -317,6 +317,7 @@ impl CandidatePart {
             .find(|s| s.occupied && s.fp == old_fp)
             .map(|s| {
                 crate::telemetry::eviction();
+                crate::trace::eviction(s.fp, i64::from(s.qw));
                 let old = i64::from(s.qw);
                 s.fp = new_fp;
                 s.qw = new_qw.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32;

@@ -220,6 +220,7 @@ impl<C: SketchCounter, P: ResizePolicy> EpochFilter<C, P> {
         }
         self.items_this_epoch = 0;
         self.epochs_completed += 1;
+        crate::trace::epoch_rollover(stats.items, self.epochs_completed);
         // The rollover either resets or rebuilds the whole structure —
         // audit the fresh filter before the next epoch streams into it.
         #[cfg(feature = "strict-invariants")]

@@ -265,6 +265,7 @@ impl<S: WeightSketch> QuantileFilter<S> {
                     self.candidate.reset_entry(bucket, fp);
                     self.stats.reports += 1;
                     crate::telemetry::report_candidate();
+                    crate::trace::report_candidate(qweight);
                     return Some(Report {
                         source: ReportSource::Candidate,
                         estimated_qweight: qweight,
@@ -281,6 +282,7 @@ impl<S: WeightSketch> QuantileFilter<S> {
                     self.candidate.reset_entry(bucket, fp);
                     self.stats.reports += 1;
                     crate::telemetry::report_candidate();
+                    crate::trace::report_candidate(delta);
                     return Some(Report {
                         source: ReportSource::Candidate,
                         estimated_qweight: delta,
@@ -301,6 +303,7 @@ impl<S: WeightSketch> QuantileFilter<S> {
                     self.vague.fetch_remove(vk, &lanes, est);
                     self.stats.reports += 1;
                     crate::telemetry::report_vague();
+                    crate::trace::report_vague(est);
                     return Some(Report {
                         source: ReportSource::Vague,
                         estimated_qweight: est,
@@ -310,6 +313,7 @@ impl<S: WeightSketch> QuantileFilter<S> {
                 // ⟨min_fp, min_qw⟩ entry the offer walk already found.
                 if self.strategy.should_replace(est, min_qw, &mut self.rng) {
                     crate::telemetry::election();
+                    crate::trace::election_win(est, min_qw);
                     // Evicted entry's Qweight moves into the vague part
                     // under its own composite key... The challenger's
                     // mass pulled out of the sketch is `est` itself —
@@ -325,6 +329,8 @@ impl<S: WeightSketch> QuantileFilter<S> {
                     // entry in place — the natural audit point.
                     #[cfg(feature = "strict-invariants")]
                     self.assert_candidate_invariants();
+                } else {
+                    crate::trace::election_loss(est, min_qw);
                 }
                 None
             }

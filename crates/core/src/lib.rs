@@ -70,6 +70,7 @@ pub mod snapshot;
 pub mod strategy;
 pub mod stream;
 pub(crate) mod telemetry;
+pub(crate) mod trace;
 pub mod vague;
 
 pub use algorithm1::QweightSketch;

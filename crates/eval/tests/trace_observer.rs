@@ -1,0 +1,64 @@
+//! Observer-effect guard for the flight recorder: tracing must never
+//! change what the filter reports.
+//!
+//! Mirror of `telemetry_observer.rs` for the `trace` feature. The trace
+//! hooks are required to be pure observers — with the feature off they
+//! compile to nothing, and with it on they only stamp events into a
+//! thread-local ring (and drop them entirely on threads with no
+//! recorder installed), never touching filter state or RNG streams. A
+//! single binary cannot compile both feature configurations at once, so
+//! the check is the same *golden* test: the full report sequence of a
+//! fixed seeded Zipf trace is hashed and compared against the constant
+//! computed from the uninstrumented build. CI runs this test with the
+//! feature off and on; both builds must reproduce the identical hash.
+
+use qf_baselines::{OutstandingDetector, QfDetector};
+use qf_datasets::{zipf_dataset, ZipfConfig};
+use quantile_filter::Criteria;
+
+/// FNV-1a over the (item index, key) pairs of every report event.
+fn report_sequence_hash(
+    detector: &mut dyn OutstandingDetector,
+    items: &[qf_datasets::Item],
+) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fnv = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for (i, it) in items.iter().enumerate() {
+        if detector.insert(it.key, it.value) {
+            fnv(i as u64);
+            fnv(it.key);
+        }
+    }
+    h
+}
+
+#[test]
+fn report_sequence_identical_with_and_without_trace() {
+    let cfg = ZipfConfig {
+        items: 120_000,
+        keys: 4_000,
+        alpha: 1.2,
+        seed: 77,
+        ..ZipfConfig::default()
+    };
+    let ds = zipf_dataset(&cfg);
+    let criteria = Criteria::new(30.0, 0.95, ds.threshold).expect("paper-default criteria");
+    let mut det = QfDetector::paper_default(criteria, 128 * 1024, 9);
+    let got = report_sequence_hash(&mut det, &ds.items);
+
+    // Same golden value as telemetry_observer.rs — both instrumentation
+    // layers are held to the same bar: bit-identical detection output.
+    // The trace-enabled build runs with NO recorder installed on this
+    // thread (the common case for library users), so this additionally
+    // pins that the uninstalled fast path is free of side effects.
+    const GOLDEN: u64 = 0x47b7_dc03_60ce_e143;
+    assert_eq!(
+        got, GOLDEN,
+        "report sequence diverged (got {got:#018x}); trace hooks must be pure observers"
+    );
+}

@@ -19,6 +19,9 @@
 //! * **`QF-L005` wire-format versioning** — a committed fingerprint of the
 //!   snapshot encoder sources must match, and must be re-blessed together
 //!   with a `SNAPSHOT_VERSION` bump whenever the encoding changes.
+//! * **`QF-L006` trace pairing** — every item-level
+//!   `#[cfg(feature = "trace")]` has a compiled-out twin, so the
+//!   flight-recorder build and the default build expose the same surface.
 //!
 //! The analyzer is deliberately *syn-less*: a [`model`] lexer blanks
 //! comments and string contents, tracks `#[cfg(test)]` regions, and
@@ -72,6 +75,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
         rules::rule_panic_free(&file, &mut diagnostics);
         rules::rule_hot_path(&file, &mut diagnostics);
         rules::rule_telemetry_pairing(&file, &mut diagnostics);
+        rules::rule_trace_pairing(&file, &mut diagnostics);
         rules::rule_counter_arithmetic(&file, &mut diagnostics);
     }
     check_wire_format(root, &mut diagnostics)?;
@@ -260,6 +264,20 @@ pub fn self_test() -> Result<(), Vec<String>> {
         rules::rule_telemetry_pairing,
         "fake/src/lib.rs",
         "#[cfg(feature = \"telemetry\")]\nmod hooks {\n}\n#[cfg(not(feature = \"telemetry\"))]\nmod hooks {\n}\n",
+        false,
+    );
+    case(
+        "L006 seeded unpaired trace gate",
+        rules::rule_trace_pairing,
+        "pipeline/src/flight.rs",
+        "#[cfg(feature = \"trace\")]\nmod imp {\n    fn go() {}\n}\n",
+        true,
+    );
+    case(
+        "L006 paired trace gate stays legal",
+        rules::rule_trace_pairing,
+        "pipeline/src/flight.rs",
+        "#[cfg(feature = \"trace\")]\nmod imp {\n}\n#[cfg(not(feature = \"trace\"))]\nmod imp {\n}\n",
         false,
     );
     case(

@@ -1,4 +1,4 @@
-//! The five workspace rules.
+//! The six workspace rules.
 //!
 //! | id | rule |
 //! |---|---|
@@ -7,6 +7,7 @@
 //! | `QF-L003` | every item-level `#[cfg(feature = "telemetry")]` has a `#[cfg(not(feature = "telemetry"))]` fallback in the same file |
 //! | `QF-L004` | sketch/candidate counter fields are only mutated through saturating/clamping arithmetic |
 //! | `QF-L005` | the snapshot wire-format fingerprint matches the committed record, and `SNAPSHOT_VERSION` was bumped when it changed |
+//! | `QF-L006` | every item-level `#[cfg(feature = "trace")]` has a `#[cfg(not(feature = "trace"))]` twin in the same file, so the trace-off build compiles to the identical surface |
 //!
 //! Rules work over the [`SourceFile`] model: comments and string contents
 //! are already blanked, test regions and enclosing functions are already
@@ -26,7 +27,11 @@ use crate::Diagnostic;
 /// and are held to the same no-alloc/no-clock standard. Checkpoint
 /// *sealing* allocates by necessity, which is why it lives in `snapshot`
 /// -family cold functions and runs once per interval, never per item.
-pub const HOT_PATH_FILES: [&str; 11] = [
+/// The flight recorder's emit path (`trace/src/ring.rs`, `tls.rs`) is
+/// called from inside those same hot loops when the `trace` feature is
+/// on, so it is policed identically; dump *rendering* (`dump.rs`)
+/// allocates freely because it only runs at recovery time.
+pub const HOT_PATH_FILES: [&str; 13] = [
     "core/src/filter.rs",
     "core/src/candidate.rs",
     "core/src/vague.rs",
@@ -38,6 +43,8 @@ pub const HOT_PATH_FILES: [&str; 11] = [
     "pipeline/src/worker.rs",
     "pipeline/src/supervisor.rs",
     "pipeline/src/chaos.rs",
+    "trace/src/ring.rs",
+    "trace/src/tls.rs",
 ];
 
 /// Path suffixes holding saturating counter storage (rule `QF-L004`).
@@ -241,12 +248,39 @@ pub fn rule_hot_path(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 /// Statement-level gates inside function bodies are self-contained and
 /// skipped.
 pub fn rule_telemetry_pairing(file: &SourceFile, out: &mut Vec<Diagnostic>) {
-    const R: &str = "QF-L003";
-    let gated = collect_feature_gated_items(file, "#[cfg(feature = \"telemetry\")]");
+    rule_feature_pairing(file, out, "QF-L003", "telemetry");
+}
+
+/// `QF-L006`: trace hooks always have a compiled-out twin.
+///
+/// Same contract as `QF-L003`, for the flight-recorder feature: the
+/// trace-off build must compile to the identical API surface, with every
+/// emit point vanishing rather than dangling. An item-level
+/// `#[cfg(feature = "trace")]` therefore needs its
+/// `#[cfg(not(feature = "trace"))]` stub twin in the same file.
+/// Statement-level gates (including `#[cfg(any(feature = "telemetry",
+/// feature = "trace"))]` unions, whose attribute text differs) are
+/// self-contained and out of scope.
+pub fn rule_trace_pairing(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    rule_feature_pairing(file, out, "QF-L006", "trace");
+}
+
+/// Shared engine for the cfg-pairing rules: every item-level
+/// `#[cfg(feature = "<feature>")]` must have a matching
+/// `#[cfg(not(feature = "<feature>"))]` item in the same file.
+fn rule_feature_pairing(
+    file: &SourceFile,
+    out: &mut Vec<Diagnostic>,
+    rule: &'static str,
+    feature: &str,
+) {
+    let gate = format!("#[cfg(feature = \"{feature}\")]");
+    let gated = collect_feature_gated_items(file, &gate);
     if gated.is_empty() {
         return;
     }
-    let fallbacks = collect_feature_gated_items(file, "#[cfg(not(feature = \"telemetry\"))]");
+    let fallback_attr = format!("#[cfg(not(feature = \"{feature}\"))]");
+    let fallbacks = collect_feature_gated_items(file, &fallback_attr);
     for (line_no, item) in gated {
         let paired = match &item {
             GatedItem::Named { kind, name } => fallbacks.iter().any(|(_, f)| match f {
@@ -264,11 +298,11 @@ pub fn rule_telemetry_pairing(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                 GatedItem::Anonymous(kind) => kind.clone(),
             };
             out.push(Diagnostic {
-                rule: R,
+                rule,
                 path: file.path.clone(),
                 line: line_no,
                 message: format!(
-                    "telemetry-gated {what} has no `#[cfg(not(feature = \"telemetry\"))]` fallback in this file"
+                    "{feature}-gated {what} has no `{fallback_attr}` fallback in this file"
                 ),
             });
         }
@@ -534,6 +568,40 @@ mod tests {
     fn statement_level_telemetry_gate_is_skipped() {
         let src = "fn add(&mut self) {\n    #[cfg(feature = \"telemetry\")]\n    let before = cell.to_i64();\n    work();\n}\n";
         assert!(run(rule_telemetry_pairing, "fake/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trace_gate_requires_twin() {
+        let bad = "#[cfg(feature = \"trace\")]\nmod imp {\n    pub fn emit() {}\n}\n";
+        let d = run(rule_trace_pairing, "pipeline/src/flight.rs", bad);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "QF-L006");
+        let ok = "#[cfg(feature = \"trace\")]\nmod imp {\n    pub fn emit() {}\n}\n#[cfg(not(feature = \"trace\"))]\nmod imp {\n    pub fn emit() {}\n}\n";
+        assert!(run(rule_trace_pairing, "pipeline/src/flight.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn trace_and_telemetry_pairing_do_not_cross_match() {
+        // A telemetry fallback must not satisfy a trace gate (and the
+        // union attribute is statement-level territory, not this rule's).
+        let src = "#[cfg(feature = \"trace\")]\nfn hook() {}\n#[cfg(not(feature = \"telemetry\"))]\nfn hook() {}\n";
+        assert_eq!(run(rule_trace_pairing, "fake/src/lib.rs", src).len(), 1);
+        assert!(run(rule_telemetry_pairing, "fake/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trace_emit_modules_are_hot_path() {
+        // The per-event emit path must stay allocation- and clock-free…
+        let alloc = "fn emit(&self) {\n    let s = format!(\"x\");\n}\n";
+        assert_eq!(run(rule_hot_path, "trace/src/ring.rs", alloc).len(), 1);
+        assert_eq!(run(rule_hot_path, "trace/src/tls.rs", alloc).len(), 1);
+        let clock = "fn emit(&self) {\n    let t = std::time::Instant::now();\n}\n";
+        assert!(!run(rule_hot_path, "trace/src/ring.rs", clock).is_empty());
+        // …while ring construction and snapshotting allocate in cold fns,
+        // and dump rendering is not a hot-path file at all.
+        let ctor = "fn with_capacity(n: usize) -> Self {\n    let v = Vec::with_capacity(n);\n}\n";
+        assert!(run(rule_hot_path, "trace/src/ring.rs", ctor).is_empty());
+        assert!(run(rule_hot_path, "trace/src/dump.rs", alloc).is_empty());
     }
 
     #[test]

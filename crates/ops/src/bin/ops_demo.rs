@@ -1,0 +1,128 @@
+//! ops_demo: drive a supervised pipeline and hold the ops endpoint open.
+//!
+//! The CI ops-smoke job (and anyone following the README quick-start)
+//! runs this binary, then curls `/health`, `/metrics`, and
+//! `/flight?shard=N` against it while it serves. With `--chaos` a panic
+//! fault is injected into shard 0 partway through the stream, so the
+//! serve window shows a real restart: `/health` reports the bumped
+//! generation and cause, and (with the `trace` feature) a
+//! `flight-0-0.json` dump lands in `--flight-dir`.
+//!
+//! ```text
+//! ops_demo [--items N] [--shards N] [--addr HOST:PORT]
+//!          [--serve-secs S] [--chaos] [--flight-dir DIR]
+//! ```
+
+use qf_ops::OpsServer;
+use qf_pipeline::{
+    BackpressurePolicy, ChaosPlan, Fault, Pipeline, PipelineConfig, SupervisorConfig,
+};
+use quantile_filter::Criteria;
+use std::time::Duration;
+
+struct Args {
+    items: u64,
+    shards: usize,
+    addr: String,
+    serve_secs: u64,
+    chaos: bool,
+    flight_dir: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        items: 200_000,
+        shards: 4,
+        addr: "127.0.0.1:9898".to_string(),
+        serve_secs: 0,
+        chaos: false,
+        flight_dir: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--items" => args.items = value("--items")?.parse().map_err(|e| format!("{e}"))?,
+            "--shards" => args.shards = value("--shards")?.parse().map_err(|e| format!("{e}"))?,
+            "--addr" => args.addr = value("--addr")?,
+            "--serve-secs" => {
+                args.serve_secs = value("--serve-secs")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--chaos" => args.chaos = true,
+            "--flight-dir" => args.flight_dir = Some(value("--flight-dir")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    Ok(args)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().map_err(|e| {
+        format!("{e}\nusage: ops_demo [--items N] [--shards N] [--addr HOST:PORT] [--serve-secs S] [--chaos] [--flight-dir DIR]")
+    })?;
+    let config = PipelineConfig {
+        shards: args.shards,
+        criteria: Criteria::new(30.0, 0.95, 150.0)?,
+        memory_bytes_per_shard: 64 * 1024,
+        queue_capacity: 1024,
+        policy: BackpressurePolicy::DropOldest,
+        seed: 1,
+    };
+    let sup = SupervisorConfig {
+        checkpoint_interval: 2048,
+        ..SupervisorConfig::default()
+    };
+    let mut pipe = if args.chaos {
+        // One mid-stream panic on shard 0: enough to exercise fence,
+        // checkpoint+journal recovery, restart, and a flight dump.
+        let plan = ChaosPlan::new().with(Fault::Panic {
+            shard: 0,
+            at_pop: (args.items / (4 * args.shards as u64)).max(1),
+        });
+        Pipeline::launch_chaos(config, sup, &plan)?
+    } else {
+        Pipeline::launch_supervised(config, sup)?
+    };
+    if let Some(dir) = &args.flight_dir {
+        pipe.set_flight_dir(dir.clone());
+    }
+    let server = OpsServer::start(args.addr.as_str(), pipe.ops_view())?;
+    println!("qf-ops listening on http://{}", server.addr());
+
+    // Zipf-ish synthetic stream: a rotating background population plus a
+    // sparse heavy tail that trips reports.
+    let mut reports = 0usize;
+    for i in 0..args.items {
+        let key = (i.wrapping_mul(2_654_435_761)) % 1024;
+        let value = if i % 97 == 0 { 400.0 } else { (i % 23) as f64 };
+        let _ = pipe.ingest(key, value)?;
+        if i % 8192 == 0 {
+            reports += pipe.poll_reports().len();
+        }
+    }
+    reports += pipe.poll_reports().len();
+    println!(
+        "ingested {} items across {} shards, {} reports so far, {} restarts",
+        args.items,
+        args.shards,
+        reports,
+        pipe.restarts()
+    );
+
+    // Hold the endpoint open for scrapers before draining.
+    std::thread::sleep(Duration::from_secs(args.serve_secs));
+    let summary = pipe.shutdown()?;
+    println!(
+        "shutdown: processed={} shed={} lost_to_crash={} restarts={} recoveries={}",
+        summary.processed,
+        summary.shed,
+        summary.lost_to_crash,
+        summary.restarts,
+        summary.recoveries.len()
+    );
+    server.shutdown();
+    Ok(())
+}

@@ -1,0 +1,313 @@
+//! qf-ops: a live operations endpoint for the supervised pipeline.
+//!
+//! One background thread, one `std::net::TcpListener`, zero
+//! dependencies — the same hand-rolled discipline as the rest of the
+//! workspace. [`OpsServer::start`] takes an [`OpsView`] detached from a
+//! running [`qf_pipeline::Pipeline`] and serves:
+//!
+//! | route            | body                                             |
+//! |------------------|--------------------------------------------------|
+//! | `/metrics`       | Prometheus text exposition of the global registry |
+//! | `/metrics.json`  | the same snapshot as JSON                         |
+//! | `/health`        | per-shard supervision state (JSON)                |
+//! | `/flight?shard=N`| shard `N`'s flight recorder as `qf-flight/v1`     |
+//!
+//! `/health` works in every build (the supervision scoreboard is not
+//! feature-gated); `/metrics` is only *interesting* with the `telemetry`
+//! feature on (the registry exists regardless, so the route always
+//! answers); `/flight` answers 404 unless the `trace` feature compiled
+//! the flight recorders in.
+//!
+//! The HTTP dialect is deliberately minimal: `GET` only, `HTTP/1.1`,
+//! `Connection: close` on every response, no keep-alive, no TLS. This is
+//! an operational side-door for `curl` and scrapers on a trusted
+//! network, not a web framework.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(missing_docs)]
+
+use qf_pipeline::OpsView;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Cap on request bytes read before answering; anything longer than a
+/// header block this size is not a request this server understands.
+const MAX_REQUEST_BYTES: usize = 16 * 1024;
+
+/// Accept-loop poll interval while idle (the listener is non-blocking so
+/// the stop flag is observed promptly).
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// A running ops endpoint. Dropping it (or calling
+/// [`shutdown`](Self::shutdown)) stops the accept loop and joins the
+/// server thread.
+pub struct OpsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl OpsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9898"`, or port `0` for an
+    /// ephemeral port) and start serving `view` on a background thread.
+    pub fn start(addr: impl ToSocketAddrs, view: OpsView) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("qf-ops".into())
+            .spawn(move || accept_loop(listener, view, stop_flag))?;
+        Ok(Self {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The address the server actually bound (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for OpsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, view: OpsView, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => serve_connection(stream, &view),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            // Transient accept errors (aborted handshake etc.): keep
+            // serving; the endpoint outliving one bad connection is the
+            // whole point.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Handle one request on `stream`; all errors are answered or dropped,
+/// never propagated (a scraper must not be able to kill the server).
+fn serve_connection(mut stream: TcpStream, view: &OpsView) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut req = Vec::new();
+    let mut buf = [0u8; 1024];
+    // Read until the end of the header block; the routes take no bodies.
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                req.extend_from_slice(&buf[..n]);
+                if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > MAX_REQUEST_BYTES {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let request_line = match std::str::from_utf8(&req)
+        .ok()
+        .and_then(|s| s.lines().next())
+    {
+        Some(l) => l,
+        None => return,
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m, t),
+        _ => return,
+    };
+    let (status, content_type, body) = if method != "GET" {
+        (405, "text/plain", "method not allowed\n".to_string())
+    } else {
+        route(target, view)
+    };
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Method Not Allowed",
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.flush();
+}
+
+/// Dispatch a request target to its response. Public-in-crate shape so
+/// the tests can exercise routing without sockets.
+fn route(target: &str, view: &OpsView) -> (u16, &'static str, String) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/metrics" => (
+            200,
+            "text/plain; version=0.0.4",
+            qf_telemetry::to_prometheus(&qf_telemetry::global().snapshot()),
+        ),
+        "/metrics.json" => (
+            200,
+            "application/json",
+            qf_telemetry::to_json(&qf_telemetry::global().snapshot()),
+        ),
+        "/health" => (200, "application/json", view.health_json()),
+        "/flight" => match shard_param(query) {
+            None => (
+                400,
+                "text/plain",
+                "expected /flight?shard=<index>\n".to_string(),
+            ),
+            Some(shard) => match view.flight_json(shard) {
+                Some(body) => (200, "application/json", body),
+                None => (
+                    404,
+                    "text/plain",
+                    if shard < view.shard_count() {
+                        "flight recording requires the `trace` feature\n".to_string()
+                    } else {
+                        format!("no such shard {shard}\n")
+                    },
+                ),
+            },
+        },
+        _ => (
+            404,
+            "text/plain",
+            "routes: /metrics /metrics.json /health /flight?shard=N\n".to_string(),
+        ),
+    }
+}
+
+/// Extract `shard=N` from a query string.
+fn shard_param(query: &str) -> Option<usize> {
+    query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix("shard="))
+        .and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qf_pipeline::{BackpressurePolicy, Pipeline, PipelineConfig};
+    use quantile_filter::Criteria;
+
+    fn pipeline() -> Pipeline {
+        let criteria = match Criteria::new(5.0, 0.9, 100.0) {
+            Ok(c) => c,
+            Err(e) => panic!("criteria: {e:?}"),
+        };
+        match Pipeline::launch(PipelineConfig {
+            shards: 2,
+            criteria,
+            memory_bytes_per_shard: 16 * 1024,
+            queue_capacity: 32,
+            policy: BackpressurePolicy::Block,
+            seed: 0,
+        }) {
+            Ok(p) => p,
+            Err(e) => panic!("launch: {e}"),
+        }
+    }
+
+    fn get(addr: SocketAddr, target: &str) -> String {
+        let mut stream = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(e) => panic!("connect: {e}"),
+        };
+        let _ = write!(stream, "GET {target} HTTP/1.1\r\nHost: x\r\n\r\n");
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        out
+    }
+
+    #[test]
+    fn serves_all_routes_over_tcp() {
+        let pipe = pipeline();
+        let server = match OpsServer::start("127.0.0.1:0", pipe.ops_view()) {
+            Ok(s) => s,
+            Err(e) => panic!("start: {e}"),
+        };
+        let addr = server.addr();
+
+        let health = get(addr, "/health");
+        assert!(health.starts_with("HTTP/1.1 200"), "health: {health}");
+        assert!(health.contains("\"shards\":["));
+        assert!(health.contains("\"state\":\"running\""));
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200"), "metrics: {metrics}");
+        assert!(metrics.contains("text/plain"));
+
+        let json = get(addr, "/metrics.json");
+        assert!(json.starts_with("HTTP/1.1 200"), "metrics.json: {json}");
+        assert!(json.contains("application/json"));
+
+        let flight = get(addr, "/flight?shard=0");
+        if cfg!(feature = "trace") {
+            assert!(flight.starts_with("HTTP/1.1 200"), "flight: {flight}");
+            assert!(flight.contains("qf-flight/v1"));
+        } else {
+            assert!(flight.starts_with("HTTP/1.1 404"), "flight: {flight}");
+        }
+
+        assert!(get(addr, "/flight").starts_with("HTTP/1.1 400"));
+        assert!(get(addr, "/flight?shard=99").starts_with("HTTP/1.1 404"));
+        assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+
+        server.shutdown();
+        let _ = pipe.shutdown();
+    }
+
+    #[test]
+    fn route_table_without_sockets() {
+        let pipe = pipeline();
+        let view = pipe.ops_view();
+        assert_eq!(route("/health", &view).0, 200);
+        assert_eq!(route("/metrics", &view).0, 200);
+        assert_eq!(route("/metrics.json", &view).0, 200);
+        assert_eq!(route("/flight", &view).0, 400);
+        assert_eq!(route("/flight?shard=bogus", &view).0, 400);
+        assert_eq!(route("/flight?shard=7", &view).0, 404);
+        assert_eq!(route("/whatever", &view).0, 404);
+        let expected = if cfg!(feature = "trace") { 200 } else { 404 };
+        assert_eq!(route("/flight?shard=1", &view).0, expected);
+        let _ = pipe.shutdown();
+    }
+
+    #[test]
+    fn shard_param_parsing() {
+        assert_eq!(shard_param("shard=3"), Some(3));
+        assert_eq!(shard_param("a=1&shard=0"), Some(0));
+        assert_eq!(shard_param(""), None);
+        assert_eq!(shard_param("shard=x"), None);
+    }
+}

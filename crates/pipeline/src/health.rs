@@ -1,0 +1,256 @@
+//! Live supervision state for the ops endpoint.
+//!
+//! The router already knows each shard's lifecycle state, strike count,
+//! and recovery history — but it owns that state exclusively, and the
+//! ops HTTP server runs on its own thread. [`ShardBoard`] is the bridge:
+//! a tiny all-atomic scoreboard per shard, written by the router on
+//! every transition (cold: state changes, restarts) and read lock-free
+//! by anyone holding an [`OpsView`].
+//!
+//! [`OpsView`] is the detachable read handle handed to `qf-ops`: clone
+//! it out of a live [`Pipeline`](crate::Pipeline) before starting the
+//! server and the `/health` and `/flight` endpoints keep working for the
+//! pipeline's whole life without touching router state. Unlike the
+//! flight recorder this module is **not** feature-gated — the scoreboard
+//! costs a handful of relaxed stores on cold transitions, so `/health`
+//! works in every build; only `/flight` additionally needs the `trace`
+//! feature.
+
+use crate::flight::ShardFlight;
+use crate::supervisor::{CrashCause, ShardState};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Lock-free per-shard supervision scoreboard. Router-written,
+/// ops-read; all loads/stores are `Relaxed` because each field is
+/// independently meaningful (a reader may see a restart's generation
+/// bump before its cause — both values are individually valid).
+#[derive(Debug, Default)]
+pub(crate) struct ShardBoard {
+    /// [`ShardState::code`] of the current state.
+    state: AtomicI64,
+    /// Consecutive-crash strikes currently on record.
+    strikes: AtomicU64,
+    /// Completed restarts (quarantine does not count).
+    restarts: AtomicU64,
+    /// Generation of the live (or last fenced) worker lineage.
+    generation: AtomicU64,
+    /// [`CrashCause::code`] of the most recent recovery; `0` = never.
+    last_cause: AtomicU64,
+    /// Items lost in the most recent recovery.
+    last_lost: AtomicU64,
+    /// Detection-to-respawn latency of the most recent restart, µs.
+    last_latency_micros: AtomicU64,
+}
+
+impl ShardBoard {
+    /// Router-side: the shard changed lifecycle state.
+    pub(crate) fn set_state(&self, state: ShardState, strikes: u32) {
+        self.state.store(state.code(), Ordering::Relaxed);
+        self.strikes.store(u64::from(strikes), Ordering::Relaxed);
+    }
+
+    /// Router-side: a recovery (restart or quarantine) completed.
+    pub(crate) fn record_recovery(
+        &self,
+        generation: u64,
+        cause: CrashCause,
+        lost: u64,
+        latency_micros: u64,
+        restarted: bool,
+    ) {
+        self.generation.store(generation, Ordering::Relaxed);
+        self.last_cause.store(cause.code(), Ordering::Relaxed);
+        self.last_lost.store(lost, Ordering::Relaxed);
+        self.last_latency_micros
+            .store(latency_micros, Ordering::Relaxed);
+        if restarted {
+            self.restarts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn read(&self, shard: usize) -> ShardHealth {
+        ShardHealth {
+            shard,
+            state: ShardState::from_code(self.state.load(Ordering::Relaxed))
+                .unwrap_or(ShardState::Running),
+            strikes: self.strikes.load(Ordering::Relaxed) as u32,
+            restarts: self.restarts.load(Ordering::Relaxed),
+            generation: self.generation.load(Ordering::Relaxed),
+            last_cause: CrashCause::from_code(self.last_cause.load(Ordering::Relaxed)),
+            last_lost: self.last_lost.load(Ordering::Relaxed),
+            last_restart_latency_micros: self.last_latency_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time supervision state of one shard, as served by `/health`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// Shard index.
+    pub shard: usize,
+    /// Current lifecycle state.
+    pub state: ShardState,
+    /// Consecutive-crash strikes currently on record.
+    pub strikes: u32,
+    /// Completed restarts over the pipeline's life.
+    pub restarts: u64,
+    /// Generation of the live worker lineage.
+    pub generation: u64,
+    /// Cause of the most recent recovery, `None` if the shard has never
+    /// crashed.
+    pub last_cause: Option<CrashCause>,
+    /// Items lost in the most recent recovery.
+    pub last_lost: u64,
+    /// Detection-to-respawn latency of the most recent restart, in
+    /// microseconds (zero when quarantined or never crashed).
+    pub last_restart_latency_micros: u64,
+}
+
+/// Detachable, thread-safe read handle over a pipeline's supervision
+/// scoreboards and flight recorders. Obtained from
+/// [`Pipeline::ops_view`](crate::Pipeline::ops_view); stays valid after
+/// the pipeline shuts down (it reports the final state).
+#[derive(Clone)]
+pub struct OpsView {
+    boards: Vec<Arc<ShardBoard>>,
+    flights: Vec<ShardFlight>,
+}
+
+impl OpsView {
+    pub(crate) fn new(boards: Vec<Arc<ShardBoard>>, flights: Vec<ShardFlight>) -> Self {
+        Self { boards, flights }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.boards.len()
+    }
+
+    /// Point-in-time health of every shard.
+    pub fn health(&self) -> Vec<ShardHealth> {
+        self.boards
+            .iter()
+            .enumerate()
+            .map(|(i, b)| b.read(i))
+            .collect()
+    }
+
+    /// `true` iff every shard is currently `Running`.
+    pub fn healthy(&self) -> bool {
+        self.boards
+            .iter()
+            .all(|b| b.state.load(Ordering::Relaxed) == ShardState::Running.code())
+    }
+
+    /// The `/health` endpoint body: per-shard supervision state as a
+    /// self-contained JSON document (hand-rendered — this workspace is
+    /// dependency-free by design).
+    pub fn health_json(&self) -> String {
+        let shards = self.health();
+        let mut out = String::with_capacity(128 + 160 * shards.len());
+        out.push_str("{\"healthy\":");
+        out.push_str(if self.healthy() { "true" } else { "false" });
+        out.push_str(",\"shards\":[");
+        for (i, h) in shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"shard\":{},\"state\":\"{}\",\"strikes\":{},\"restarts\":{},\
+                 \"generation\":{},\"last_cause\":{},\"last_lost\":{},\
+                 \"last_restart_latency_micros\":{}}}",
+                h.shard,
+                h.state.name(),
+                h.strikes,
+                h.restarts,
+                h.generation,
+                h.last_cause
+                    .map_or_else(|| "null".to_string(), |c| format!("\"{}\"", c.name())),
+                h.last_lost,
+                h.last_restart_latency_micros,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The `/flight?shard=N` endpoint body: the shard's live flight
+    /// recorder rendered as a `qf-flight/v1` document. `None` when the
+    /// shard index is out of range or the `trace` feature is compiled
+    /// out.
+    pub fn flight_json(&self, shard: usize) -> Option<String> {
+        let flight = self.flights.get(shard)?;
+        let generation = self
+            .boards
+            .get(shard)
+            .map_or(0, |b| b.generation.load(Ordering::Relaxed));
+        flight.events_json(generation, "live")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(n: usize) -> OpsView {
+        OpsView::new(
+            (0..n).map(|_| Arc::new(ShardBoard::default())).collect(),
+            (0..n).map(ShardFlight::new).collect(),
+        )
+    }
+
+    #[test]
+    fn fresh_view_is_healthy_and_running() {
+        let v = view(3);
+        assert_eq!(v.shard_count(), 3);
+        assert!(v.healthy());
+        for h in v.health() {
+            assert_eq!(h.state, ShardState::Running);
+            assert_eq!(h.last_cause, None);
+            assert_eq!(h.restarts, 0);
+        }
+        let json = v.health_json();
+        assert!(json.starts_with("{\"healthy\":true"));
+        assert!(json.contains("\"state\":\"running\""));
+        assert!(json.contains("\"last_cause\":null"));
+    }
+
+    #[test]
+    fn recovery_updates_flow_through() {
+        let v = view(2);
+        v.boards[1].set_state(ShardState::Quarantined, 3);
+        v.boards[1].record_recovery(4, CrashCause::Panic, 17, 0, false);
+        assert!(!v.healthy());
+        let h = v.health()[1];
+        assert_eq!(h.state, ShardState::Quarantined);
+        assert_eq!(h.strikes, 3);
+        assert_eq!(h.restarts, 0, "quarantine is not a restart");
+        assert_eq!(h.generation, 4);
+        assert_eq!(h.last_cause, Some(CrashCause::Panic));
+        assert_eq!(h.last_lost, 17);
+        let json = v.health_json();
+        assert!(json.starts_with("{\"healthy\":false"));
+        assert!(json.contains("\"state\":\"quarantined\""));
+        assert!(json.contains("\"last_cause\":\"panic\""));
+    }
+
+    #[test]
+    fn restart_increments_restarts() {
+        let v = view(1);
+        v.boards[0].record_recovery(1, CrashCause::Hang, 5, 1234, true);
+        v.boards[0].record_recovery(2, CrashCause::Hang, 2, 900, true);
+        let h = v.health()[0];
+        assert_eq!(h.restarts, 2);
+        assert_eq!(h.generation, 2);
+        assert_eq!(h.last_restart_latency_micros, 900);
+    }
+
+    #[test]
+    fn flight_json_bounds_checked() {
+        let v = view(1);
+        assert!(v.flight_json(9).is_none(), "out-of-range shard");
+        // In-range: Some iff the trace feature is compiled in.
+        assert_eq!(v.flight_json(0).is_some(), cfg!(feature = "trace"));
+    }
+}

@@ -59,6 +59,8 @@
 #![deny(missing_docs)]
 
 pub mod chaos;
+pub mod flight;
+pub mod health;
 pub mod pipeline;
 pub mod ring;
 pub mod snapshot;
@@ -67,6 +69,8 @@ mod telemetry;
 pub mod worker;
 
 pub use chaos::{ChaosPlan, Fault};
+pub use flight::ShardFlight;
+pub use health::{OpsView, ShardHealth};
 pub use pipeline::{
     BackpressurePolicy, IngestOutcome, Pipeline, PipelineConfig, PipelineSummary, ReportEvent,
     ShardSummary,

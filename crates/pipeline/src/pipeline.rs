@@ -57,6 +57,8 @@
 //! serial reference's sequence with the lost items' reports excised.
 
 use crate::chaos::{ArmedChaos, ChaosPlan};
+use crate::flight::ShardFlight;
+use crate::health::{OpsView, ShardBoard};
 use crate::ring::{Producer, PushError, SpscRing};
 use crate::snapshot::{open_shards, seal_shards};
 use crate::supervisor::{
@@ -67,6 +69,7 @@ use crate::worker::{run_supervised, run_worker, Event, Msg, Supervision, WorkerE
 use crate::{shard_of, PipelineError};
 use quantile_filter::{Criteria, QuantileFilter, QuantileFilterBuilder, Report};
 use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -241,6 +244,15 @@ struct ShardHandle {
     enqueued: u64,
     dropped: u64,
     rejected: u64,
+    /// The shard's flight recorder (zero-sized stub without `trace`).
+    /// One ring per shard for the pipeline's whole life — it spans
+    /// worker restarts so dumps keep the pre-crash history.
+    flight: ShardFlight,
+    /// Supervision scoreboard shared with [`OpsView`] readers.
+    board: Arc<ShardBoard>,
+    /// Router-side backpressure edge detector: `true` while the last
+    /// push attempt on this shard found the queue full.
+    stalled: bool,
 }
 
 /// Router-side admission sampling for [`BackpressurePolicy::ShedFair`]:
@@ -311,6 +323,9 @@ struct ShardSup {
     /// Watchdog: last observed progress counter and when it last moved.
     last_progress: u64,
     last_progress_at: Instant,
+    /// Lock-free mirror of this shard's supervision state, read by
+    /// [`OpsView`] holders (same `Arc` as the handle's).
+    board: Arc<ShardBoard>,
 }
 
 /// Everything a supervised pipeline carries beyond the legacy fields.
@@ -343,6 +358,9 @@ pub struct Pipeline {
     /// Present iff launched via [`Self::launch_supervised`] /
     /// [`Self::launch_chaos`].
     supervision: Option<Supervised>,
+    /// Where restart/quarantine flight dumps land (no-op without the
+    /// `trace` feature).
+    flight_dir: PathBuf,
 }
 
 impl Pipeline {
@@ -374,9 +392,11 @@ impl Pipeline {
         for (shard, filter) in filters.into_iter().enumerate() {
             let (producer, consumer) = SpscRing::with_capacity(config.queue_capacity).split();
             let sink = sink.clone();
+            let flight = ShardFlight::new(shard);
+            let worker_flight = flight.clone();
             let worker = std::thread::Builder::new()
                 .name(format!("qf-pipeline-{shard}"))
-                .spawn(move || run_worker(shard, consumer, filter, sink))
+                .spawn(move || run_worker(shard, consumer, filter, sink, worker_flight))
                 .map_err(|e| PipelineError::InvalidConfig {
                     reason: format!("failed to spawn worker thread: {e}"),
                 })?;
@@ -386,6 +406,9 @@ impl Pipeline {
                 enqueued: 0,
                 dropped: 0,
                 rejected: 0,
+                flight,
+                board: Arc::new(ShardBoard::default()),
+                stalled: false,
             });
         }
         // The workers hold the only senders now: a `recv` error later
@@ -401,6 +424,7 @@ impl Pipeline {
             memory_bytes,
             fairness,
             supervision: None,
+            flight_dir: PathBuf::from("results"),
         })
     }
 
@@ -445,6 +469,8 @@ impl Pipeline {
             let filter = config.build_filter(shard)?;
             memory_bytes += filter.memory_bytes();
             let recovery = Arc::new(ShardRecovery::new(sup.checkpoint_interval));
+            let flight = ShardFlight::new(shard);
+            let board = Arc::new(ShardBoard::default());
             let (producer, worker) = Self::spawn_supervised_worker(
                 &config,
                 shard,
@@ -455,6 +481,7 @@ impl Pipeline {
                     generation: 0,
                     checkpoint_interval: sup.checkpoint_interval,
                     chaos: chaos.clone(),
+                    flight: flight.clone(),
                 },
             )?;
             shards.push(ShardHandle {
@@ -463,6 +490,9 @@ impl Pipeline {
                 enqueued: 0,
                 dropped: 0,
                 rejected: 0,
+                flight,
+                board: Arc::clone(&board),
+                stalled: false,
             });
             sup_shards.push(ShardSup {
                 recovery,
@@ -475,6 +505,7 @@ impl Pipeline {
                 lost_so_far: 0,
                 last_progress: 0,
                 last_progress_at: Instant::now(),
+                board,
             });
         }
         let fairness = Self::fairness_for(&config);
@@ -494,6 +525,7 @@ impl Pipeline {
                 graveyard: Vec::new(),
                 recoveries: Vec::new(),
             }),
+            flight_dir: PathBuf::from("results"),
         })
     }
 
@@ -575,6 +607,27 @@ impl Pipeline {
             .as_ref()
             .and_then(|sv| sv.shards.get(shard))
             .map_or(ShardState::Running, |s| s.state)
+    }
+
+    /// Detach a thread-safe read handle over the per-shard supervision
+    /// scoreboards and flight recorders — what the `qf-ops` HTTP server
+    /// serves from. Cheap to clone; stays valid after shutdown.
+    pub fn ops_view(&self) -> OpsView {
+        OpsView::new(
+            self.shards.iter().map(|h| Arc::clone(&h.board)).collect(),
+            self.shards.iter().map(|h| h.flight.clone()).collect(),
+        )
+    }
+
+    /// Redirect restart/quarantine flight dumps (default: `results/`).
+    /// No-op without the `trace` feature.
+    pub fn set_flight_dir(&mut self, dir: impl Into<PathBuf>) {
+        self.flight_dir = dir.into();
+    }
+
+    /// Where restart/quarantine flight dumps land.
+    pub fn flight_dir(&self) -> &Path {
+        &self.flight_dir
     }
 
     /// Worker restarts so far across all shards (0 unsupervised).
@@ -675,13 +728,21 @@ impl Pipeline {
                     .try_push_for(msg, PUSH_ROUND_BUDGET),
             };
             match attempt {
-                Ok(()) => return IngestOutcome::Enqueued,
+                Ok(()) => {
+                    if self.shards[shard].stalled {
+                        self.note_backpressure(shard, false);
+                    }
+                    return IngestOutcome::Enqueued;
+                }
                 Err((PushError::Disconnected, m)) => {
                     msg = m;
                     self.recover_shard(shard, CrashCause::Panic);
                 }
                 Err((PushError::Full, m)) => {
                     msg = m;
+                    if !self.shards[shard].stalled {
+                        self.note_backpressure(shard, true);
+                    }
                     match policy {
                         BackpressurePolicy::DropNewest => return IngestOutcome::Dropped,
                         BackpressurePolicy::Block => {}
@@ -731,11 +792,25 @@ impl Pipeline {
         false
     }
 
+    /// Record a backpressure edge on `shard`'s flight recorder: its
+    /// queue just became full (`entering`) or just accepted again.
+    /// Edges only — a sustained stall is two events, not a flood.
+    fn note_backpressure(&mut self, shard: usize, entering: bool) {
+        let generation = self
+            .supervision
+            .as_ref()
+            .map_or(0, |sv| sv.shards[shard].generation);
+        let h = &mut self.shards[shard];
+        h.stalled = entering;
+        h.flight.backpressure(generation, entering, h.enqueued);
+    }
+
     fn set_state(s: &mut ShardSup, state: ShardState) {
         if s.state != state {
             telemetry::shard_state_delta(state.code() - s.state.code());
             s.state = state;
         }
+        s.board.set_state(state, s.strikes);
     }
 
     /// Fence the shard's current worker generation and either restart it
@@ -827,6 +902,7 @@ impl Pipeline {
                         generation: s.generation,
                         checkpoint_interval: sv.cfg.checkpoint_interval,
                         chaos: sv.chaos.clone(),
+                        flight: self.shards[shard].flight.clone(),
                     },
                 )
                 .ok()
@@ -836,6 +912,7 @@ impl Pipeline {
             Some((producer, worker)) => {
                 self.shards[shard].queue = producer;
                 self.shards[shard].worker = Some(worker);
+                self.shards[shard].stalled = false;
                 s.restarts += 1;
                 s.applied_at_restart = record.recovered_seq;
                 s.last_progress = s.recovery.progress();
@@ -852,9 +929,27 @@ impl Pipeline {
                 consumer.mark_dead();
                 drop(consumer);
                 self.shards[shard].queue = producer;
+                self.shards[shard].stalled = false;
                 Self::set_state(s, ShardState::Quarantined);
             }
         }
+        // Stamp the supervision verdict into the shard's flight ring and
+        // dump it: every restart/quarantine leaves a
+        // flight-<shard>-<fenced_gen>.json trail ending in its cause.
+        let flight = &self.shards[shard].flight;
+        if record.quarantined {
+            flight.quarantine(fenced_gen, cause.code(), record.lost);
+        } else {
+            flight.restart(fenced_gen, cause.code(), record.lost);
+        }
+        flight.dump(&self.flight_dir, fenced_gen, cause.name());
+        s.board.record_recovery(
+            s.generation,
+            cause,
+            record.lost,
+            record.restart_latency.as_micros() as u64,
+            !record.quarantined,
+        );
         sv.recoveries.push(record);
     }
 
@@ -1327,6 +1422,11 @@ impl Pipeline {
             .saturating_sub(s.lost_so_far);
         s.lost_so_far += lost_inc;
         Self::set_state(s, ShardState::Quarantined);
+        let flight = &self.shards[shard].flight;
+        flight.quarantine(fenced_gen, cause.code(), lost_inc);
+        flight.dump(&self.flight_dir, fenced_gen, cause.name());
+        s.board
+            .record_recovery(s.generation, cause, lost_inc, 0, false);
         sv.recoveries.push(RecoveryRecord {
             shard,
             generation: fenced_gen,

@@ -92,6 +92,27 @@ impl ShardState {
             Self::Quarantined => 3,
         }
     }
+
+    /// Inverse of [`code`](Self::code); `None` for unknown encodings.
+    pub fn from_code(code: i64) -> Option<Self> {
+        match code {
+            0 => Some(Self::Running),
+            1 => Some(Self::Suspect),
+            2 => Some(Self::Restarting),
+            3 => Some(Self::Quarantined),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name used by the `/health` ops endpoint.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Running => "running",
+            Self::Suspect => "suspect",
+            Self::Restarting => "restarting",
+            Self::Quarantined => "quarantined",
+        }
+    }
 }
 
 /// Supervision policy knobs. Passed to
@@ -165,6 +186,37 @@ pub enum CrashCause {
     Hang,
     /// The worker failed to drain and exit within the shutdown deadline.
     ShutdownStall,
+}
+
+impl CrashCause {
+    /// Numeric encoding carried in the `a` payload of flight-recorder
+    /// restart/quarantine events (`0` is reserved for "unknown").
+    pub fn code(self) -> u64 {
+        match self {
+            Self::Panic => 1,
+            Self::Hang => 2,
+            Self::ShutdownStall => 3,
+        }
+    }
+
+    /// Stable lowercase name used in flight dumps and `/health` output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Panic => "panic",
+            Self::Hang => "hang",
+            Self::ShutdownStall => "shutdown_stall",
+        }
+    }
+
+    /// Inverse of [`code`](Self::code); `None` for `0` and unknown codes.
+    pub fn from_code(code: u64) -> Option<Self> {
+        match code {
+            1 => Some(Self::Panic),
+            2 => Some(Self::Hang),
+            3 => Some(Self::ShutdownStall),
+            _ => None,
+        }
+    }
 }
 
 /// What recovery rebuilt the shard's filter from.
@@ -378,6 +430,9 @@ impl RecoveryInner {
             self.journal.pop_front();
         }
         telemetry::checkpoint_sealed();
+        // Runs on the worker thread (under the commit lock), so the
+        // thread-local flight context routes this to the shard's ring.
+        crate::flight::checkpoint_seal(self.seals, self.applied);
     }
 
     /// Rebuild a filter from the best available base without mutating

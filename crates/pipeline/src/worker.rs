@@ -30,6 +30,7 @@
 //! amortization window and the loss window.
 
 use crate::chaos::ArmedChaos;
+use crate::flight::{self, ShardFlight};
 use crate::ring::Consumer;
 use crate::supervisor::ShardRecovery;
 use crate::telemetry;
@@ -110,6 +111,11 @@ pub(crate) struct Supervision {
     pub(crate) generation: u64,
     pub(crate) checkpoint_interval: u64,
     pub(crate) chaos: Option<ArmedChaos>,
+    /// The shard's flight recorder; installed as this worker thread's
+    /// trace emit context so core/sketch trace hooks land in the right
+    /// ring. Survives the worker across restarts (the ring keeps the
+    /// pre-crash history the supervisor dumps).
+    pub(crate) flight: ShardFlight,
 }
 
 /// Owns the queue's consumer side and marks it dead when the worker
@@ -132,8 +138,10 @@ pub fn run_worker(
     queue: Consumer<Msg>,
     mut filter: QuantileFilter,
     sink: Sender<Event>,
+    flight: ShardFlight,
 ) -> WorkerExit {
     queue.register_current_thread();
+    flight.install(0);
     let mut guard = AliveGuard { queue };
     let mut processed = 0u64;
     let mut shed = 0u64;
@@ -158,7 +166,7 @@ pub fn run_worker(
                     let _ = sink.send(Event::Report { shard, key, report });
                 }
             }
-            Some(Msg::Quiesce) => snapshot(shard, 0, &filter, &sink),
+            Some(Msg::Quiesce) => snapshot(shard, 0, &filter, &sink, processed),
             Some(Msg::Shutdown) | None => break,
         }
     }
@@ -180,6 +188,7 @@ pub(crate) fn run_supervised(
     sup: Supervision,
 ) -> WorkerExit {
     queue.register_current_thread();
+    sup.flight.install(sup.generation);
     let mut guard = AliveGuard { queue };
     let mut processed = 0u64;
     let mut shed_total = 0u64;
@@ -202,7 +211,7 @@ pub(crate) fn run_supervised(
         };
         match msg {
             Msg::Shutdown => break,
-            Msg::Quiesce => snapshot(shard, sup.generation, &filter, &sink),
+            Msg::Quiesce => snapshot(shard, sup.generation, &filter, &sink, processed),
             Msg::Item { key, value } => {
                 keys[0] = key;
                 vals[0] = value;
@@ -292,8 +301,15 @@ pub(crate) fn run_supervised(
 
 /// Encode the filter at the quiesce point and ship it to the sink.
 /// Cold by contract: runs once per snapshot request, never per item.
-fn snapshot(shard: usize, generation: u64, filter: &QuantileFilter, sink: &Sender<Event>) {
+fn snapshot(
+    shard: usize,
+    generation: u64,
+    filter: &QuantileFilter,
+    sink: &Sender<Event>,
+    applied: u64,
+) {
     let bytes = filter.snapshot();
+    flight::snapshot_cut(bytes.len() as u64, applied);
     let _ = sink.send(Event::Snapshot {
         shard,
         generation,

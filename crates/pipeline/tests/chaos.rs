@@ -591,3 +591,197 @@ fn corrupt_checkpoints_degrade_to_accounted_state_loss() {
     // their reports were emitted and journaled before the state was lost.
     assert!(summary.processed >= rec.prior_applied);
 }
+
+/// Flight-dump acceptance (trace builds only): every restart *and*
+/// quarantine leaves `flight-<shard>-<generation>.json` in the pipeline's
+/// flight directory, the dump parses, its event sequence is strictly
+/// monotone, and the cause event agrees with the supervisor's own
+/// `RecoveryRecord` (cause code, lost count, fenced generation). This is
+/// the on-disk half of the recovery ledger: the record says *what* the
+/// supervisor decided, the dump says *what the shard was doing* when it
+/// died.
+#[cfg(feature = "trace")]
+mod flight_dumps {
+    use super::*;
+    use qf_pipeline::{Fault, RecoveryRecord};
+    use std::path::{Path, PathBuf};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("qf_chaos_flight_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Pull `"key": N` out of one hand-rolled JSON event object. Panics
+    /// (failing the test) when the field is missing or non-numeric — that
+    /// *is* the parseability assertion.
+    fn u64_field(obj: &str, key: &str) -> u64 {
+        let tag = format!("\"{key}\": ");
+        let at = match obj.find(&tag) {
+            Some(i) => i + tag.len(),
+            None => panic!("event missing field {key:?}: {obj}"),
+        };
+        let digits: String = obj[at..].chars().take_while(char::is_ascii_digit).collect();
+        match digits.parse() {
+            Ok(v) => v,
+            Err(e) => panic!("field {key:?} not numeric ({e}): {obj}"),
+        }
+    }
+
+    fn event_lines(body: &str) -> Vec<&str> {
+        body.lines()
+            .map(str::trim_start)
+            .filter(|l| l.starts_with("{\"seq\":"))
+            .collect()
+    }
+
+    /// The dump a recovery record promises: present, schema-tagged,
+    /// monotone, and carrying exactly one cause event for this fenced
+    /// generation whose payload matches the record.
+    fn assert_dump_matches(dir: &Path, rec: &RecoveryRecord) {
+        let path = dir.join(format!("flight-{}-{}.json", rec.shard, rec.generation));
+        let body = match std::fs::read_to_string(&path) {
+            Ok(b) => b,
+            Err(e) => panic!("recovery {rec:?} left no dump at {}: {e}", path.display()),
+        };
+        assert!(
+            body.contains("\"schema\": \"qf-flight/v1\""),
+            "schema tag missing in {}",
+            path.display()
+        );
+        assert!(
+            body.contains(&format!("\"cause\": \"{}\"", rec.cause.name())),
+            "dump cause disagrees with record {rec:?}: {body}"
+        );
+        let events = event_lines(&body);
+        assert!(!events.is_empty(), "empty dump for {rec:?}");
+        let mut prev_seq = None;
+        for e in &events {
+            let seq = u64_field(e, "seq");
+            if let Some(p) = prev_seq {
+                assert!(seq > p, "seqs not strictly monotone at {e}");
+            }
+            prev_seq = Some(seq);
+        }
+        let expected_name = if rec.quarantined {
+            "worker_quarantine"
+        } else {
+            "worker_restart"
+        };
+        // Older generations' cause events legitimately linger in the ring
+        // (it spans restarts); match on this record's fenced generation.
+        let cause_events: Vec<&&str> = events
+            .iter()
+            .filter(|e| {
+                e.contains(&format!("\"name\": \"{expected_name}\""))
+                    && u64_field(e, "generation") == rec.generation
+            })
+            .collect();
+        assert_eq!(
+            cause_events.len(),
+            1,
+            "want exactly one {expected_name} for generation {} in {}: {body}",
+            rec.generation,
+            path.display()
+        );
+        let cause = cause_events[0];
+        assert_eq!(
+            u64_field(cause, "a"),
+            rec.cause.code(),
+            "cause code mismatch for {rec:?}: {cause}"
+        );
+        assert_eq!(
+            u64_field(cause, "b"),
+            rec.lost,
+            "lost count mismatch for {rec:?}: {cause}"
+        );
+        assert_eq!(u64_field(cause, "shard"), rec.shard as u64, "{cause}");
+    }
+
+    /// Strike exhaustion produces both record kinds in one run — two
+    /// restarts, then a quarantine — and each must have its dump.
+    #[test]
+    fn every_restart_and_quarantine_writes_a_consistent_dump() {
+        let dir = scratch_dir("quarantine");
+        let shards = 2;
+        let cfg = config(shards, 64, BackpressurePolicy::Block);
+        let sup = SupervisorConfig {
+            max_strikes: 3,
+            ..sup_config(32)
+        };
+        let poison_key = 424_242u64;
+        let plan = ChaosPlan::new().with(Fault::Poison {
+            key: poison_key,
+            times: u32::MAX - 1,
+        });
+        let mut pipe = match Pipeline::launch_chaos(cfg, sup, &plan) {
+            Ok(p) => p,
+            Err(e) => panic!("launch: {e}"),
+        };
+        pipe.set_flight_dir(&dir);
+        for _ in 0..10_000 {
+            match pipe.ingest(poison_key, 5.0) {
+                Ok(IngestOutcome::Enqueued) => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Ok(IngestOutcome::ShardDown) => break,
+                other => panic!("unexpected ingest outcome: {other:?}"),
+            }
+        }
+        let summary = match pipe.shutdown() {
+            Ok(s) => s,
+            Err(e) => panic!("shutdown: {e}"),
+        };
+        assert!(
+            summary.recoveries.iter().any(|r| r.quarantined)
+                && summary.recoveries.iter().any(|r| !r.quarantined),
+            "run must exercise both restart and quarantine: {:?}",
+            summary.recoveries
+        );
+        for rec in &summary.recoveries {
+            assert_dump_matches(&dir, rec);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A plain panic-driven restart dumps too, and the pre-crash trail
+    /// (checkpoint seals from the fenced generation) is in it.
+    #[test]
+    fn restart_dump_carries_the_pre_crash_trail() {
+        let dir = scratch_dir("restart");
+        let cfg = config(1, 64, BackpressurePolicy::Block);
+        let n = N_ITEMS;
+        let plan = ChaosPlan::new().with(Fault::Panic {
+            shard: 0,
+            at_pop: (n / 4) as u64,
+        });
+        let mut pipe = match Pipeline::launch_chaos(cfg, sup_config(32), &plan) {
+            Ok(p) => p,
+            Err(e) => panic!("launch: {e}"),
+        };
+        pipe.set_flight_dir(&dir);
+        let items = workload(21, n);
+        let mut got = Vec::new();
+        drive(&mut pipe, &items, &mut got);
+        let summary = match pipe.shutdown() {
+            Ok(s) => s,
+            Err(e) => panic!("shutdown: {e}"),
+        };
+        let restart = summary.recoveries.iter().find(|r| !r.quarantined);
+        let Some(rec) = restart else {
+            panic!("panic plan produced no restart: {:?}", summary.recoveries);
+        };
+        assert_dump_matches(&dir, rec);
+        let path = dir.join(format!("flight-{}-{}.json", rec.shard, rec.generation));
+        let body = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{e}"));
+        // checkpoint_interval=32 and ~n/4 pops before the crash: the
+        // fenced generation sealed checkpoints, and those seals must be
+        // on the tape ahead of the restart event.
+        assert!(
+            body.contains("\"name\": \"checkpoint_seal\""),
+            "pre-crash checkpoint seals missing from dump: {body}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

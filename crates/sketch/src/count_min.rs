@@ -75,6 +75,7 @@ impl<C: SketchCounter> CountMinSketch<C> {
         #[cfg(feature = "telemetry")]
         if before.checked_add(w) != Some(cell.to_i64()) {
             crate::telemetry::saturation_event();
+            crate::trace::saturation(row, col);
         }
         cell.to_i64()
     }
@@ -176,6 +177,7 @@ impl<C: SketchCounter> WeightSketch for CountMinSketch<C> {
             #[cfg(feature = "telemetry")]
             if before.checked_add(delta) != Some(cell.to_i64()) {
                 crate::telemetry::saturation_event();
+                crate::trace::saturation(row, col);
             }
         }
     }

@@ -85,9 +85,13 @@ impl<C: SketchCounter> CountSketch<C> {
         *cell = cell.saturating_add_i64(w);
         // A cell that clamped instead of absorbing the full delta is a
         // saturation event (§III-B's overflow-reversal guard engaging).
+        // Detection is telemetry's per-insert cost (PR 2's ≤2% bar); the
+        // trace emit rides inside the branch telemetry already takes, so
+        // the `trace` feature alone adds nothing to this loop.
         #[cfg(feature = "telemetry")]
         if before.checked_add(w) != Some(cell.to_i64()) {
             crate::telemetry::saturation_event();
+            crate::trace::saturation(row, col);
         }
         cell.to_i64()
     }
@@ -243,6 +247,7 @@ impl<C: SketchCounter> WeightSketch for CountSketch<C> {
             #[cfg(feature = "telemetry")]
             if before.checked_add(w) != Some(cell.to_i64()) {
                 crate::telemetry::saturation_event();
+                crate::trace::saturation(row, col);
             }
         }
     }

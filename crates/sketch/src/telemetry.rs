@@ -47,8 +47,8 @@ mod hooks {
 
 #[cfg(not(feature = "telemetry"))]
 mod hooks {
-    // The saturation call sites are themselves cfg-gated (the before/after
-    // comparison has no other purpose), so this no-op is never referenced.
+    // The saturation call sites are gated on any(telemetry, trace) — this
+    // no-op is only referenced from trace-only builds.
     /// No-op: telemetry is compiled out.
     #[allow(dead_code)]
     #[inline(always)]

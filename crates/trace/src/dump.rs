@@ -1,0 +1,169 @@
+//! Flight-recorder dump encoding (`qf-flight/v1`).
+//!
+//! A dump is the JSON serialization of one shard's ring contents at a
+//! moment of interest — the supervisor writes one on every restart and
+//! quarantine, so each `RecoveryRecord` has a matching pre-crash event
+//! trail on disk. The format is hand-rolled (qf-trace is
+//! dependency-free) but strict JSON: CI and the chaos tests parse it
+//! back.
+//!
+//! ```json
+//! {
+//!   "schema": "qf-flight/v1",
+//!   "shard": 0,
+//!   "generation": 2,
+//!   "cause": "panic",
+//!   "events": [
+//!     {"seq": 41, "kind": 5, "name": "report", "shard": 0,
+//!      "generation": 1, "a": 1001, "b": 0},
+//!     ...
+//!   ]
+//! }
+//! ```
+//!
+//! Events are oldest-first and strictly monotone in `seq`. The `cause`
+//! string is free-form (the pipeline passes its `CrashCause` debug
+//! form) and is JSON-escaped here.
+
+use crate::event::TraceEvent;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Format tag carried in every dump.
+pub const DUMP_SCHEMA: &str = "qf-flight/v1";
+
+/// Escape a free-form string for embedding in a JSON string literal.
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render a dump document. `events` should come straight from
+/// [`FlightRecorder::snapshot`](crate::FlightRecorder::snapshot) (oldest
+/// first); the order is preserved verbatim.
+pub fn render_dump(shard: u16, generation: u32, cause: &str, events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(128 + events.len() * 96);
+    let _ = write!(
+        out,
+        "{{\n  \"schema\": \"{DUMP_SCHEMA}\",\n  \"shard\": {shard},\n  \"generation\": {generation},\n  \"cause\": \""
+    );
+    escape_json(cause, &mut out);
+    out.push_str("\",\n  \"events\": [");
+    for (i, e) in events.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let _ = write!(
+            out,
+            "{sep}    {{\"seq\": {}, \"kind\": {}, \"name\": \"{}\", \"shard\": {}, \"generation\": {}, \"a\": {}, \"b\": {}}}",
+            e.seq,
+            e.kind as u8,
+            e.kind.name(),
+            e.shard,
+            e.generation,
+            e.a,
+            e.b
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Canonical dump file name for a shard/sequence pair:
+/// `flight-<shard>-<seq>.json`.
+pub fn dump_file_name(shard: u16, seq: u64) -> String {
+    format!("flight-{shard}-{seq}.json")
+}
+
+/// Render and write a dump to `dir/flight-<shard>-<seq>.json`, creating
+/// `dir` if needed. Writes to a temp sibling then renames, so a reader
+/// never observes a half-written dump. Returns the final path.
+///
+/// `seq` is the caller's uniqueness axis for this shard — the pipeline
+/// passes the fenced worker generation, which bumps on every recovery,
+/// so successive dumps for one shard never collide.
+pub fn write_dump(
+    dir: &Path,
+    shard: u16,
+    seq: u64,
+    generation: u32,
+    cause: &str,
+    events: &[TraceEvent],
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let body = render_dump(shard, generation, cause, events);
+    let final_path = dir.join(dump_file_name(shard, seq));
+    let tmp_path = dir.join(format!(".{}.tmp", dump_file_name(shard, seq)));
+    fs::write(&tmp_path, body.as_bytes())?;
+    fs::rename(&tmp_path, &final_path)?;
+    Ok(final_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::ring::FlightRecorder;
+
+    #[test]
+    fn dump_carries_schema_cause_and_events_in_order() {
+        let rec = FlightRecorder::with_capacity(8);
+        rec.emit(EventKind::Report, 2, 1, 1001, 0);
+        rec.emit(EventKind::WorkerRestart, 2, 2, 1, 5);
+        let body = render_dump(2, 2, "panic: \"boom\"\n", &rec.snapshot());
+        assert!(body.contains("\"schema\": \"qf-flight/v1\""));
+        assert!(body.contains("\"cause\": \"panic: \\\"boom\\\"\\n\""));
+        assert!(body.contains("\"name\": \"report\""));
+        assert!(body.contains("\"name\": \"worker_restart\""));
+        let report_at = match body.find("\"name\": \"report\"") {
+            Some(i) => i,
+            None => panic!("missing report"),
+        };
+        let restart_at = match body.find("\"name\": \"worker_restart\"") {
+            Some(i) => i,
+            None => panic!("missing restart"),
+        };
+        assert!(report_at < restart_at, "events must stay oldest-first");
+    }
+
+    #[test]
+    fn empty_event_list_is_still_valid_json_shape() {
+        let body = render_dump(0, 0, "", &[]);
+        assert!(body.contains("\"events\": [\n  ]"));
+    }
+
+    #[test]
+    fn write_dump_creates_dir_and_named_file() {
+        let dir = std::env::temp_dir().join(format!(
+            "qf-trace-dump-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let rec = FlightRecorder::with_capacity(8);
+        rec.emit(EventKind::WorkerQuarantine, 1, 3, 0, 9);
+        let path = match write_dump(&dir, 1, 3, 3, "poison", &rec.snapshot()) {
+            Ok(p) => p,
+            Err(e) => panic!("write_dump: {e}"),
+        };
+        assert!(path.ends_with("flight-1-3.json"));
+        let body = match fs::read_to_string(&path) {
+            Ok(b) => b,
+            Err(e) => panic!("read back: {e}"),
+        };
+        assert!(body.contains("\"cause\": \"poison\""));
+        assert!(body.contains("\"name\": \"worker_quarantine\""));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

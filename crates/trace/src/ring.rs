@@ -1,0 +1,244 @@
+//! Lock-free flight-recorder ring buffer.
+//!
+//! One [`FlightRecorder`] per shard: a bounded, overwrite-oldest ring of
+//! fixed-size event slots. The write side is wait-free (one `fetch_add`
+//! to claim a slot, four relaxed stores to fill it) and is safe to call
+//! from any thread — the worker that owns the shard, the router emitting
+//! backpressure edges, and the supervisor emitting restart events can
+//! all write concurrently. The read side ([`FlightRecorder::snapshot`])
+//! is a cold-path scan that tolerates racing writers by detecting torn
+//! slots and skipping them.
+//!
+//! Every slot is a per-slot seqlock made of four `AtomicU64` words:
+//! `[stamp, meta, a, b]`. A writer parks the stamp at 0, fills the
+//! payload, then publishes the stamp with a release store. A reader
+//! takes the stamp with an acquire load, copies the payload, fences, and
+//! re-reads the stamp: any mismatch (including 0) means a writer raced
+//! the read and the slot is discarded. Because stamps are globally
+//! unique sequence numbers drawn from one process-wide counter, a slot
+//! can never be republished under the stamp a reader first saw, so the
+//! check has no ABA window.
+//!
+//! Nothing here reads a clock: events are ordered by the global sequence
+//! counter, not timestamps, which keeps the emit path compliant with
+//! QF-L002 (no clock reads or allocation on hot paths).
+
+use crate::event::{pack_meta, unpack_meta, EventKind, TraceEvent};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// Process-wide event sequence. Starts at 0; the first event gets seq 1,
+/// so a stamp of 0 always means "slot never written / being written".
+static GLOBAL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Claim the next global sequence number (>= 1).
+#[inline(always)]
+pub fn next_seq() -> u64 {
+    GLOBAL_SEQ.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+/// Last sequence number handed out so far (0 if none). Cold; used by
+/// dumps and tests to bound expectations.
+pub fn current_seq() -> u64 {
+    GLOBAL_SEQ.load(Ordering::Relaxed)
+}
+
+/// One event slot: `[stamp, meta, a, b]`. `stamp` is the event's global
+/// sequence number + still doubles as the seqlock word (0 = in flux).
+struct Slot {
+    stamp: AtomicU64,
+    meta: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+impl Slot {
+    const fn empty() -> Self {
+        Slot {
+            stamp: AtomicU64::new(0),
+            meta: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A bounded, overwrite-oldest ring of trace events for one shard.
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    /// Monotone claim counter; slot index = head & mask.
+    head: AtomicU64,
+    mask: u64,
+}
+
+impl FlightRecorder {
+    /// Build a recorder holding at least `capacity` events (rounded up
+    /// to a power of two, minimum 8). Capacity is fixed for the life of
+    /// the recorder; older events are silently overwritten.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(8).next_power_of_two();
+        let mut slots = Vec::with_capacity(cap);
+        for _ in 0..cap {
+            slots.push(Slot::empty());
+        }
+        FlightRecorder {
+            slots: slots.into_boxed_slice(),
+            head: AtomicU64::new(0),
+            mask: (cap - 1) as u64,
+        }
+    }
+
+    /// Number of event slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Record one event. Wait-free: one `fetch_add` and four atomic
+    /// stores; never allocates, never blocks, never reads a clock.
+    /// Returns the event's global sequence number.
+    #[inline]
+    pub fn emit(&self, kind: EventKind, shard: u16, generation: u32, a: u64, b: u64) -> u64 {
+        let seq = next_seq();
+        let idx = (self.head.fetch_add(1, Ordering::Relaxed) & self.mask) as usize;
+        let slot = &self.slots[idx];
+        // Park the stamp so a concurrent reader discards the slot while
+        // the payload is in flux, then publish with a release store.
+        slot.stamp.store(0, Ordering::Release);
+        slot.meta
+            .store(pack_meta(kind, shard, generation), Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.stamp.store(seq, Ordering::Release);
+        seq
+    }
+
+    /// Copy out every intact event, oldest first (global sequence
+    /// order). Cold path: allocates the result vector and may observe —
+    /// and skip — slots a concurrent writer is mid-way through.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let s1 = slot.stamp.load(Ordering::Acquire);
+            if s1 == 0 {
+                continue;
+            }
+            let meta = slot.meta.load(Ordering::Relaxed);
+            let a = slot.a.load(Ordering::Relaxed);
+            let b = slot.b.load(Ordering::Relaxed);
+            // Order the payload loads before the confirming stamp load.
+            fence(Ordering::Acquire);
+            let s2 = slot.stamp.load(Ordering::Relaxed);
+            if s1 != s2 {
+                continue; // torn: a writer reclaimed the slot mid-read
+            }
+            if let Some((kind, shard, generation)) = unpack_meta(meta) {
+                out.push(TraceEvent {
+                    seq: s1,
+                    kind,
+                    shard,
+                    generation,
+                    a,
+                    b,
+                });
+            }
+        }
+        out.sort_unstable_by_key(|e| e.seq);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(FlightRecorder::with_capacity(0).capacity(), 8);
+        assert_eq!(FlightRecorder::with_capacity(9).capacity(), 16);
+        assert_eq!(FlightRecorder::with_capacity(64).capacity(), 64);
+    }
+
+    #[test]
+    fn events_come_back_in_emit_order() {
+        let rec = FlightRecorder::with_capacity(16);
+        let mut seqs = Vec::new();
+        for i in 0..10u64 {
+            seqs.push(rec.emit(EventKind::Report, 3, 7, i, i * 2));
+        }
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 10);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, seqs[i]);
+            assert_eq!(e.kind, EventKind::Report);
+            assert_eq!(e.shard, 3);
+            assert_eq!(e.generation, 7);
+            assert_eq!(e.a, i as u64);
+            assert_eq!(e.b, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_when_full() {
+        let rec = FlightRecorder::with_capacity(8);
+        for i in 0..20u64 {
+            rec.emit(EventKind::Eviction, 0, 0, i, 0);
+        }
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 8);
+        // The survivors are the 8 newest, still in order.
+        let payloads: Vec<u64> = events.iter().map(|e| e.a).collect();
+        assert_eq!(payloads, (12..20).collect::<Vec<u64>>());
+        for w in events.windows(2) {
+            assert!(w[0].seq < w[1].seq, "sequence must be strictly monotone");
+        }
+    }
+
+    #[test]
+    fn sequence_is_global_across_recorders() {
+        let r1 = FlightRecorder::with_capacity(8);
+        let r2 = FlightRecorder::with_capacity(8);
+        let s1 = r1.emit(EventKind::EpochRollover, 0, 0, 0, 0);
+        let s2 = r2.emit(EventKind::EpochRollover, 1, 0, 0, 0);
+        let s3 = r1.emit(EventKind::EpochRollover, 0, 0, 0, 0);
+        assert!(
+            s1 < s2 && s2 < s3,
+            "cross-recorder causality: {s1} {s2} {s3}"
+        );
+        assert!(current_seq() >= s3);
+    }
+
+    #[test]
+    fn concurrent_writers_and_reader_stay_consistent() {
+        let rec = Arc::new(FlightRecorder::with_capacity(64));
+        let writers: Vec<_> = (0..3u16)
+            .map(|w| {
+                let rec = Arc::clone(&rec);
+                std::thread::spawn(move || {
+                    let n = if cfg!(miri) { 50 } else { 5_000 };
+                    for i in 0..n {
+                        rec.emit(EventKind::Report, w, 1, i, u64::from(w));
+                    }
+                })
+            })
+            .collect();
+        // Read while writes are in flight: every snapshot must be
+        // internally consistent even if it misses in-flux slots.
+        let iters = if cfg!(miri) { 5 } else { 200 };
+        for _ in 0..iters {
+            let events = rec.snapshot();
+            for w in events.windows(2) {
+                assert!(w[0].seq < w[1].seq);
+            }
+            for e in &events {
+                assert_eq!(e.b, u64::from(e.shard), "payload must match writer");
+            }
+        }
+        for h in writers {
+            if h.join().is_err() {
+                panic!("writer panicked");
+            }
+        }
+        let final_events = rec.snapshot();
+        assert_eq!(final_events.len(), 64, "ring should be full");
+    }
+}
