@@ -22,6 +22,11 @@
 //! * **`QF-L006` trace pairing** — every item-level
 //!   `#[cfg(feature = "trace")]` has a compiled-out twin, so the
 //!   flight-recorder build and the default build expose the same surface.
+//! * **`QF-L007` atomics discipline** — every atomic field/static
+//!   declares its protocol with a `// sync:` annotation (`counter`,
+//!   `release-acquire`, `guarded-by <word>`, `seqcst-handshake`), and
+//!   every load/store/RMW ordering is cross-checked against it; the
+//!   reviewed escape hatch is a trailing `// sync: relaxed-ok — reason`.
 //!
 //! The analyzer is deliberately *syn-less*: a [`model`] lexer blanks
 //! comments and string contents, tracks `#[cfg(test)]` regions, and
@@ -70,14 +75,20 @@ impl fmt::Display for Diagnostic {
 /// stand-ins, and build output.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
     let mut diagnostics = Vec::new();
+    // Parse everything up front: QF-L007 resolves atomics declared in
+    // one file but used in another, so it needs the whole workspace.
+    let mut files = Vec::new();
     for path in lib_sources(root)? {
-        let file = SourceFile::read(&path)?;
-        rules::rule_panic_free(&file, &mut diagnostics);
-        rules::rule_hot_path(&file, &mut diagnostics);
-        rules::rule_telemetry_pairing(&file, &mut diagnostics);
-        rules::rule_trace_pairing(&file, &mut diagnostics);
-        rules::rule_counter_arithmetic(&file, &mut diagnostics);
+        files.push(SourceFile::read(&path)?);
     }
+    for file in &files {
+        rules::rule_panic_free(file, &mut diagnostics);
+        rules::rule_hot_path(file, &mut diagnostics);
+        rules::rule_telemetry_pairing(file, &mut diagnostics);
+        rules::rule_trace_pairing(file, &mut diagnostics);
+        rules::rule_counter_arithmetic(file, &mut diagnostics);
+    }
+    rules::rule_atomics_discipline(&files, &mut diagnostics);
     check_wire_format(root, &mut diagnostics)?;
     diagnostics.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     Ok(diagnostics)
@@ -301,6 +312,66 @@ pub fn self_test() -> Result<(), Vec<String>> {
     }
     if rules::check_fingerprint(9, Some(2), 2, 1).is_none() {
         failures.push("L005 missed an unbumped wire-format change".into());
+    }
+
+    // L007 takes the whole workspace (cross-file declaration lookup), so
+    // it gets its own slice-shaped harness.
+    let mut case7 = |name: &str, src: &str, expect_hits: bool| {
+        let file = SourceFile::parse("crates/fake/src/lib.rs", src);
+        let mut out = Vec::new();
+        rules::rule_atomics_discipline(std::slice::from_ref(&file), &mut out);
+        if out.is_empty() == expect_hits {
+            failures.push(format!(
+                "{name}: expected {} diagnostics, got {} ({:?})",
+                if expect_hits { "some" } else { "no" },
+                out.len(),
+                out.iter().map(|d| &d.message).collect::<Vec<_>>(),
+            ));
+        }
+    };
+    case7(
+        "L007 seeded unannotated atomic field",
+        "struct S {\n    head: AtomicU64,\n}\n",
+        true,
+    );
+    case7(
+        "L007 annotated counter stays legal",
+        "struct S {\n    // sync: counter — test word\n    head: AtomicU64,\n}\nfn f(s: &S) {\n    s.head.fetch_add(1, Ordering::Relaxed);\n}\n",
+        false,
+    );
+    case7(
+        "L007 seeded acquire on a counter word",
+        "struct S {\n    // sync: counter — test word\n    head: AtomicU64,\n}\nfn f(s: &S) {\n    let _ = s.head.load(Ordering::Acquire);\n}\n",
+        true,
+    );
+    case7(
+        "L007 seeded relaxed publish on a release-acquire word",
+        "struct S {\n    // sync: release-acquire — publishes the payload\n    tail: AtomicUsize,\n}\nfn f(s: &S) {\n    s.tail.store(1, Ordering::Relaxed);\n}\n",
+        true,
+    );
+    case7(
+        "L007 justified relaxed load stays legal",
+        "struct S {\n    // sync: release-acquire — publishes the payload\n    tail: AtomicUsize,\n}\nfn f(s: &S) {\n    let _ = s.tail.load(Ordering::Relaxed); // sync: relaxed-ok — producer-owned word\n}\n",
+        false,
+    );
+    case7(
+        "L007 seeded unknown protocol name",
+        "struct S {\n    // sync: vibes — hope for the best\n    head: AtomicU64,\n}\n",
+        true,
+    );
+
+    // Lexer regression gate: raw strings and char literals must blank
+    // cleanly, or every pattern rule above silently goes blind.
+    let raw_str = "fn f() {\n    let s = r#\"x.unwrap() and \"quoted\"\"#;\n    let b = br#\"panic!(\"no\")\"#;\n    let nl = '\\n';\n    work();\n}\nfn g() {\n    tail();\n}\n";
+    let parsed = model::SourceFile::parse("crates/fake/src/lib.rs", raw_str);
+    if parsed.lines[1].code.contains("unwrap") || parsed.lines[2].code.contains("panic") {
+        failures.push("lexer: raw-string contents leaked into code text".into());
+    }
+    if parsed.lines.len() != raw_str.lines().count() {
+        failures.push("lexer: line structure lost while blanking literals".into());
+    }
+    if !matches!(parsed.lines.get(7), Some(l) if l.fn_name.as_deref() == Some("g")) {
+        failures.push("lexer: char-literal/raw-string blanking skewed fn attribution".into());
     }
 
     if failures.is_empty() {

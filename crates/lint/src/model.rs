@@ -447,10 +447,22 @@ fn is_char_literal(cs: &[char], i: usize) -> bool {
 }
 
 /// Consume a `'x'` / `'\n'` literal starting at `cs[start] == '\''`.
+///
+/// Newlines are always preserved verbatim: a misclassified tick (or a
+/// malformed literal) must never blank a `\n`, or every line number
+/// after it would silently shift and every rule span would lie.
 fn consume_char_literal(cs: &[char], start: usize, keep: bool, out: &mut String) -> usize {
     let len = cs.len();
     let mut i = start;
-    let mut push = |c: char| out.push(if keep { c } else { ' ' });
+    let mut push = |c: char| {
+        out.push(if keep {
+            c
+        } else if c == '\n' {
+            '\n'
+        } else {
+            ' '
+        })
+    };
     push(cs[i]);
     i += 1;
     while i < len {
@@ -520,6 +532,32 @@ mod tests {
         let src = "let x = r#\"panic!(\"no\")\"#;\n";
         let f = SourceFile::parse("x.rs", src);
         assert!(!f.lines[0].code.contains("panic!"));
+    }
+
+    #[test]
+    fn raw_string_with_inner_quotes_does_not_leak() {
+        let src = "let x = r##\"say \"hi\"# and .unwrap()\"##;\nlet tail = 1;\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.lines[0].code.contains(".unwrap()"));
+        assert_eq!(f.lines.len(), 2);
+        assert!(f.lines[1].code.contains("tail"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_blanked() {
+        let src = "let a = b\"x.unwrap()\";\nlet b = br#\"panic!(\"no\")\"#;\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.lines[0].code.contains(".unwrap()"));
+        assert!(!f.lines[1].code.contains("panic!"));
+    }
+
+    #[test]
+    fn malformed_char_literal_never_eats_newlines() {
+        // An unterminated/misparsed literal may blank characters, but it
+        // must preserve every `\n` so later line numbers stay honest.
+        let src = "let bad = '\\\nfn g() {\n    tail();\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.lines.len(), src.lines().count());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The six workspace rules.
+//! The seven workspace rules.
 //!
 //! | id | rule |
 //! |---|---|
@@ -8,6 +8,7 @@
 //! | `QF-L004` | sketch/candidate counter fields are only mutated through saturating/clamping arithmetic |
 //! | `QF-L005` | the snapshot wire-format fingerprint matches the committed record, and `SNAPSHOT_VERSION` was bumped when it changed |
 //! | `QF-L006` | every item-level `#[cfg(feature = "trace")]` has a `#[cfg(not(feature = "trace"))]` twin in the same file, so the trace-off build compiles to the identical surface |
+//! | `QF-L007` | every atomic field/static declares its protocol with a `// sync:` annotation, and every load/store/RMW ordering is consistent with the declared protocol |
 //!
 //! Rules work over the [`SourceFile`] model: comments and string contents
 //! are already blanked, test regions and enclosing functions are already
@@ -15,6 +16,7 @@
 
 use crate::model::{Line, SourceFile};
 use crate::Diagnostic;
+use std::fmt;
 
 /// Path suffixes of the paper's per-item hot path (rule `QF-L002`).
 /// Crate-qualified so that e.g. qf-telemetry's unrelated `counter.rs` is
@@ -63,10 +65,11 @@ fn path_matches(file: &SourceFile, suffixes: &[&str]) -> bool {
 /// Functions in hot-path modules that are allowed to allocate: one-time
 /// construction, wire encode/decode, diagnostics, and invariant audits —
 /// none of them run per stream item.
-const COLD_FNS: [&str; 15] = [
+const COLD_FNS: [&str; 16] = [
     "new",
     "try_new",
     "with_capacity",
+    "with_exact_capacity",
     "with_memory_budget",
     "try_build",
     "build",
@@ -461,6 +464,459 @@ pub fn check_fingerprint(
         ));
     }
     None
+}
+
+/// `QF-L007`: atomics discipline.
+///
+/// Every atomic field or static must carry a `// sync:` annotation on a
+/// comment/attribute line directly above the declaration, naming the
+/// synchronization protocol the word participates in:
+///
+/// * `counter` — an independent relaxed word (metric, ticket, latch)
+///   with no happens-before obligations: **all** orderings `Relaxed`.
+/// * `release-acquire` — a publication word: stores `Release`/`SeqCst`,
+///   loads `Acquire`/`SeqCst`, RMWs at least one non-relaxed ordering.
+/// * `guarded-by <word>` — a payload word whose every access is ordered
+///   by another field's protocol (seqlock stamp, mutex): all orderings
+///   `Relaxed`, the guard provides the fences.
+/// * `seqcst-handshake` — a Dekker-style flag sealed by `SeqCst` fences:
+///   orderings `Relaxed` or `SeqCst`, never half-measures.
+///
+/// Use sites are cross-checked against the declared protocol. A
+/// deliberate deviation is justified inline with a trailing
+/// `// sync: relaxed-ok — reason` (any `<word>-ok` marker), which is the
+/// reviewed escape hatch. Receivers the lexer cannot resolve to a
+/// declaration (locals, iterator bindings) are skipped; declarations in
+/// other files resolve through a workspace-wide map unless two files
+/// declare the same name under different protocols.
+///
+/// `crates/model` is exempt: the qf-sync shim is mode-polymorphic by
+/// design — it forwards caller-chosen orderings, so no single protocol
+/// applies to its words.
+pub fn rule_atomics_discipline(files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+    const R: &str = "QF-L007";
+    // Pass 1: collect annotated declarations per file (and flag the
+    // unannotated / unparseable ones).
+    let mut per_file: Vec<std::collections::BTreeMap<String, SyncMode>> = Vec::new();
+    for file in files {
+        let mut decls = std::collections::BTreeMap::new();
+        if !exempt_from_atomics_rule(file) {
+            for (idx, line) in file.lines.iter().enumerate() {
+                let Some(name) = atomic_declaration_name(line) else {
+                    continue;
+                };
+                match find_sync_annotation(file, idx) {
+                    Some(SyncAnnotation::Mode(mode)) => {
+                        match decls.entry(name) {
+                            std::collections::btree_map::Entry::Vacant(e) => {
+                                e.insert(mode);
+                            }
+                            std::collections::btree_map::Entry::Occupied(mut e) => {
+                                // Two same-named words in one file under
+                                // different protocols: ambiguous receiver,
+                                // refuse to guess at use sites.
+                                if *e.get() != mode {
+                                    e.insert(SyncMode::Ambiguous);
+                                }
+                            }
+                        }
+                    }
+                    Some(SyncAnnotation::Unknown(word)) => out.push(diag(
+                        R,
+                        file,
+                        line,
+                        format!(
+                            "atomic `{name}` declares unknown sync protocol `{word}`; \
+                             use counter, release-acquire, guarded-by <word>, or seqcst-handshake"
+                        ),
+                    )),
+                    None => out.push(diag(
+                        R,
+                        file,
+                        line,
+                        format!(
+                            "atomic `{name}` has no `// sync:` protocol annotation above its declaration"
+                        ),
+                    )),
+                }
+            }
+        }
+        per_file.push(decls);
+    }
+    // Workspace fallback: a name declared in exactly one protocol
+    // anywhere resolves across files; conflicting names do not.
+    let mut global: std::collections::BTreeMap<String, SyncMode> =
+        std::collections::BTreeMap::new();
+    for decls in &per_file {
+        for (name, mode) in decls {
+            match global.entry(name.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(*mode);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    if *e.get() != *mode {
+                        e.insert(SyncMode::Ambiguous);
+                    }
+                }
+            }
+        }
+    }
+    // Pass 2: check every resolvable use site against its protocol.
+    for (file, decls) in files.iter().zip(&per_file) {
+        if exempt_from_atomics_rule(file) {
+            continue;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            for site in atomic_op_sites(&line.code) {
+                let receiver = match site.receiver {
+                    Some(ref r) => r.clone(),
+                    // Chained call starting a line: the receiver sits at
+                    // the end of the previous code line.
+                    None => match idx.checked_sub(1).and_then(|p| {
+                        receiver_before(
+                            file.lines[p].code.trim_end(),
+                            file.lines[p].code.trim_end().len(),
+                        )
+                    }) {
+                        Some(r) => r,
+                        None => continue,
+                    },
+                };
+                let mode = match decls.get(&receiver).or_else(|| global.get(&receiver)) {
+                    Some(SyncMode::Ambiguous) | None => continue,
+                    Some(m) => *m,
+                };
+                if has_site_justification(&line.raw) {
+                    continue;
+                }
+                let orderings = collect_orderings(file, idx, site.args_start);
+                if orderings.is_empty() {
+                    continue;
+                }
+                if let Some(problem) = mode.check(site.kind, &orderings) {
+                    out.push(diag(
+                        R,
+                        file,
+                        line,
+                        format!(
+                            "`{receiver}.{}` uses {problem}, but `{receiver}` is declared `// sync: {}`; \
+                             fix the ordering or justify with a trailing `// sync: relaxed-ok — reason`",
+                            site.op, mode
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// The declared synchronization protocol of an atomic word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SyncMode {
+    /// Independent relaxed word: all orderings `Relaxed`.
+    Counter,
+    /// Publication word: `Release`-class stores, `Acquire`-class loads.
+    ReleaseAcquire,
+    /// Payload word ordered entirely by another field's protocol.
+    Guarded,
+    /// Flag sealed by `SeqCst` fences: `Relaxed` or `SeqCst` only.
+    SeqcstHandshake,
+    /// Same name declared under two protocols: skip use-site checks.
+    Ambiguous,
+}
+
+impl fmt::Display for SyncMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SyncMode::Counter => "counter",
+            SyncMode::ReleaseAcquire => "release-acquire",
+            SyncMode::Guarded => "guarded-by",
+            SyncMode::SeqcstHandshake => "seqcst-handshake",
+            SyncMode::Ambiguous => "<ambiguous>",
+        })
+    }
+}
+
+/// What kind of access an op site is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Load,
+    Store,
+    Rmw,
+}
+
+impl SyncMode {
+    /// `None` when `orderings` conform to the protocol for an access of
+    /// `kind`; otherwise a short description of the violation.
+    fn check(self, kind: OpKind, orderings: &[String]) -> Option<String> {
+        let strong = |o: &String| o != "Relaxed";
+        match self {
+            SyncMode::Counter | SyncMode::Guarded => orderings
+                .iter()
+                .find(|o| strong(o))
+                .map(|o| format!("`Ordering::{o}`")),
+            SyncMode::SeqcstHandshake => orderings
+                .iter()
+                .find(|o| *o != "Relaxed" && *o != "SeqCst")
+                .map(|o| format!("`Ordering::{o}`")),
+            SyncMode::ReleaseAcquire => match kind {
+                OpKind::Load => {
+                    let o = orderings.first()?;
+                    (o != "Acquire" && o != "SeqCst")
+                        .then(|| format!("a `Ordering::{o}` load (needs Acquire or SeqCst)"))
+                }
+                OpKind::Store => {
+                    let o = orderings.first()?;
+                    (o != "Release" && o != "SeqCst")
+                        .then(|| format!("a `Ordering::{o}` store (needs Release or SeqCst)"))
+                }
+                OpKind::Rmw => (!orderings.iter().any(strong))
+                    .then(|| "an all-Relaxed RMW (needs an acquiring/releasing ordering)".into()),
+            },
+            SyncMode::Ambiguous => None,
+        }
+    }
+}
+
+/// The qf-sync shim (crates/model) forwards caller-chosen orderings and
+/// is checked by the explorer itself, not by annotation.
+fn exempt_from_atomics_rule(file: &SourceFile) -> bool {
+    let p = file.path.to_string_lossy().replace('\\', "/");
+    p.contains("crates/model/src") || p.contains("model/src/rt")
+}
+
+/// If `line` declares an atomic field or static, its lookup name:
+/// the field/static identifier, or `"0"` for a tuple-struct payload.
+fn atomic_declaration_name(line: &Line) -> Option<String> {
+    let code = line.code.trim();
+    let at = code.find("Atomic")?;
+    let tail = &code[at..];
+    const TYPES: [&str; 7] = [
+        "AtomicBool",
+        "AtomicU32",
+        "AtomicU64",
+        "AtomicUsize",
+        "AtomicI64",
+        "AtomicI32",
+        "AtomicU16",
+    ];
+    let ty = TYPES.iter().find(|t| tail.starts_with(**t))?;
+    // Constructors, imports, generics machinery, and borrows are not
+    // declarations that own a protocol. (`Atomic…::` is a constructor
+    // path; an initializer *after* the type annotation is fine.)
+    if tail[ty.len()..].starts_with("::")
+        || code.starts_with("use ")
+        || code.starts_with("pub use ")
+        || code.contains("impl ")
+        || code.contains(" fn ")
+        || code.starts_with("fn ")
+        || code.contains("let ")
+        || code.contains("const ")
+        || code.contains('&')
+    {
+        return None;
+    }
+    if let Some(rest) = code
+        .strip_prefix("pub ")
+        .unwrap_or(code)
+        .strip_prefix("static ")
+        .or_else(|| {
+            code.strip_prefix("pub(crate) ")
+                .and_then(|c| c.strip_prefix("static "))
+        })
+    {
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        return (!name.is_empty()).then_some(name);
+    }
+    // Tuple struct: `pub struct Name(AtomicU64);` — register the
+    // `self.0` receiver.
+    if code.contains("struct ") && code.contains('(') {
+        return Some("0".to_string());
+    }
+    // Named field: `name: [pub] <type with Atomic>,`.
+    let colon = code.find(':')?;
+    let before = code[..colon].trim();
+    let name = before
+        .rsplit(|c: char| c.is_whitespace() || c == ')')
+        .next()?
+        .trim();
+    (!name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'))
+        .then(|| name.to_string())
+}
+
+/// A parsed `// sync:` declaration annotation.
+enum SyncAnnotation {
+    Mode(SyncMode),
+    Unknown(String),
+}
+
+/// Walk upward from the declaration at `lines[idx]` over contiguous
+/// comment/attribute lines looking for a `// sync:` annotation.
+fn find_sync_annotation(file: &SourceFile, idx: usize) -> Option<SyncAnnotation> {
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = file.lines[i].raw.trim_start();
+        if !(t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!")) {
+            return None;
+        }
+        if let Some(rest) = t.strip_prefix("// sync: ") {
+            let mode = rest.split([' ', '\u{2014}']).next().unwrap_or("");
+            return Some(match mode {
+                "counter" => SyncAnnotation::Mode(SyncMode::Counter),
+                "release-acquire" => SyncAnnotation::Mode(SyncMode::ReleaseAcquire),
+                "guarded-by" => SyncAnnotation::Mode(SyncMode::Guarded),
+                "seqcst-handshake" => SyncAnnotation::Mode(SyncMode::SeqcstHandshake),
+                other => SyncAnnotation::Unknown(other.to_string()),
+            });
+        }
+    }
+    None
+}
+
+/// One atomic method call found on a line.
+struct OpSite {
+    /// Method name (`load`, `store`, `fetch_add`, …).
+    op: String,
+    kind: OpKind,
+    /// Receiver identifier, if it sits on the same line.
+    receiver: Option<String>,
+    /// Byte offset just past the op's opening `(` in the line's code.
+    args_start: usize,
+}
+
+/// Scan a code line for atomic-looking method calls.
+fn atomic_op_sites(code: &str) -> Vec<OpSite> {
+    const OPS: [(&str, OpKind); 6] = [
+        (".load(", OpKind::Load),
+        (".store(", OpKind::Store),
+        (".swap(", OpKind::Rmw),
+        (".compare_exchange", OpKind::Rmw),
+        (".fetch_", OpKind::Rmw),
+        (".fetch_update(", OpKind::Rmw),
+    ];
+    let mut sites = Vec::new();
+    for (pat, kind) in OPS {
+        if pat == ".fetch_update(" {
+            continue; // covered by the `.fetch_` prefix
+        }
+        let mut search = 0;
+        while let Some(rel) = code.get(search..).and_then(|s| s.find(pat)) {
+            let at = search + rel;
+            search = at + pat.len();
+            // Resolve the method name and its `(` for prefix patterns.
+            let after_dot = at + 1;
+            let name_end = code[after_dot..]
+                .find('(')
+                .map(|p| after_dot + p)
+                .unwrap_or(code.len());
+            let op: String = code[after_dot..name_end].to_string();
+            if kind == OpKind::Rmw && pat == ".fetch_" && !op.starts_with("fetch_") {
+                continue;
+            }
+            let args_start = (name_end + 1).min(code.len());
+            sites.push(OpSite {
+                op,
+                kind,
+                receiver: receiver_before(code, at),
+                args_start,
+            });
+        }
+    }
+    sites
+}
+
+/// The identifier ending at byte offset `at` in `code`, skipping one
+/// balanced `[…]` index if present (`buckets[i]` → `buckets`).
+fn receiver_before(code: &str, at: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut i = at;
+    while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    if i > 0 && bytes[i - 1] == b']' {
+        let mut depth = 1;
+        i -= 1;
+        while i > 0 && depth > 0 {
+            i -= 1;
+            match bytes[i] {
+                b']' => depth += 1,
+                b'[' => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    let end = i;
+    while i > 0 && is_ident_char(bytes[i - 1]) {
+        i -= 1;
+    }
+    (i < end).then(|| code[i..end].to_string())
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// `Ordering::X` tokens inside the call whose arguments start at
+/// `args_start` on `lines[idx]`, following the call across up to three
+/// continuation lines until its parens close.
+fn collect_orderings(file: &SourceFile, idx: usize, args_start: usize) -> Vec<String> {
+    let mut orderings = Vec::new();
+    let mut depth = 1i32;
+    for (n, line) in file.lines[idx..].iter().take(4).enumerate() {
+        let code = &line.code;
+        let start = if n == 0 {
+            args_start.min(code.len())
+        } else {
+            0
+        };
+        // Only look at argument text: stop at the call's closing paren
+        // so a second call on the same line cannot leak its orderings in.
+        let mut end = code.len();
+        for (off, c) in code[start..].char_indices() {
+            match c {
+                '(' => depth += 1,
+                ')' => depth -= 1,
+                _ => {}
+            }
+            if depth == 0 {
+                end = start + off;
+                break;
+            }
+        }
+        let window = &code[start..end];
+        let mut search = 0;
+        while let Some(rel) = window.get(search..).and_then(|s| s.find("Ordering::")) {
+            let at = search + rel + "Ordering::".len();
+            search = at;
+            let name: String = window[at..]
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .collect();
+            if !name.is_empty() {
+                orderings.push(name);
+            }
+        }
+        if depth <= 0 {
+            break;
+        }
+    }
+    orderings
+}
+
+/// A trailing `// sync: <word>-ok — reason` on the raw line is the
+/// reviewed justification for deviating from the declared protocol.
+fn has_site_justification(raw: &str) -> bool {
+    raw.find("// sync: ")
+        .map(|at| &raw[at + "// sync: ".len()..])
+        .and_then(|rest| rest.split_whitespace().next())
+        .is_some_and(|word| word.ends_with("-ok"))
 }
 
 #[cfg(test)]

@@ -1,0 +1,266 @@
+//! Instrumented atomics (model builds only).
+//!
+//! Each type wraps a *real* `std` atomic: outside a model execution
+//! (or on non-model threads) every operation falls through to it with
+//! full `std` semantics, so ordinary unit tests keep working under
+//! `--cfg qf_model`. Inside an execution the real value is read once
+//! as the location's initial value and all traffic goes through the
+//! explorer — which also means statics like the trace crate's
+//! `GLOBAL_SEQ` reset to their pre-execution value at the start of
+//! every explored interleaving.
+
+use crate::rt::{with_ctx, ExecInner};
+use std::sync::atomic::Ordering;
+
+/// `std::sync::atomic::fence`, instrumented.
+pub fn fence(order: Ordering) {
+    let modeled = with_ctx(|ex, tid| {
+        ex.op(tid, |g| g.fence(tid, order));
+    });
+    if modeled.is_none() {
+        std::sync::atomic::fence(order);
+    }
+}
+
+macro_rules! model_atomic {
+    ($name:ident, $real:ty, $prim:ty) => {
+        /// Model-instrumented drop-in for the `std` atomic of the same
+        /// name. See the module docs for in/out-of-execution routing.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            real: std::sync::atomic::$name,
+        }
+
+        impl $name {
+            /// Wrap an initial value.
+            pub const fn new(v: $prim) -> Self {
+                Self {
+                    real: std::sync::atomic::$name::new(v),
+                }
+            }
+
+            fn addr(&self) -> usize {
+                self as *const Self as usize
+            }
+
+            fn init(&self) -> u64 {
+                self.real.load(Ordering::Relaxed) as u64
+            }
+
+            /// Atomic load.
+            pub fn load(&self, order: Ordering) -> $prim {
+                with_ctx(|ex, tid| {
+                    ex.op(tid, |g| g.atomic_load(tid, self.addr(), self.init(), order)) as $prim
+                })
+                .unwrap_or_else(|| self.real.load(order))
+            }
+
+            /// Atomic store.
+            pub fn store(&self, val: $prim, order: Ordering) {
+                let modeled = with_ctx(|ex, tid| {
+                    ex.op(tid, |g| {
+                        g.atomic_store(tid, self.addr(), self.init(), val as u64, order)
+                    });
+                });
+                if modeled.is_none() {
+                    self.real.store(val, order);
+                }
+            }
+
+            /// Atomic swap.
+            pub fn swap(&self, val: $prim, order: Ordering) -> $prim {
+                with_ctx(|ex, tid| {
+                    ex.op(tid, |g| {
+                        self.rmw(g, tid, order, order, &mut |_| Some(val as u64)).0
+                    }) as $prim
+                })
+                .unwrap_or_else(|| self.real.swap(val, order))
+            }
+
+            /// Atomic compare-and-exchange.
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                with_ctx(|ex, tid| {
+                    ex.op(tid, |g| {
+                        let (prev, wrote) = self.rmw(g, tid, success, failure, &mut |v| {
+                            (v == current as u64).then_some(new as u64)
+                        });
+                        if wrote {
+                            Ok(prev as $prim)
+                        } else {
+                            Err(prev as $prim)
+                        }
+                    })
+                })
+                .unwrap_or_else(|| self.real.compare_exchange(current, new, success, failure))
+            }
+
+            /// Atomic compare-and-exchange (spurious failure allowed in
+            /// `std`; the model uses the strong form, a sound subset).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            /// Atomic fetch-then-update loop, as `std::fetch_update`.
+            pub fn fetch_update<F>(
+                &self,
+                set_order: Ordering,
+                fetch_order: Ordering,
+                mut f: F,
+            ) -> Result<$prim, $prim>
+            where
+                F: FnMut($prim) -> Option<$prim>,
+            {
+                with_ctx(|ex, tid| {
+                    ex.op(tid, |g| {
+                        let (prev, wrote) = self.rmw(g, tid, set_order, fetch_order, &mut |v| {
+                            f(v as $prim).map(|n| n as u64)
+                        });
+                        if wrote {
+                            Ok(prev as $prim)
+                        } else {
+                            Err(prev as $prim)
+                        }
+                    })
+                })
+                .unwrap_or_else(|| self.real.fetch_update(set_order, fetch_order, f))
+            }
+
+            fn rmw(
+                &self,
+                g: &mut ExecInner,
+                tid: usize,
+                ord: Ordering,
+                ord_fail: Ordering,
+                f: &mut dyn FnMut(u64) -> Option<u64>,
+            ) -> (u64, bool) {
+                g.atomic_rmw(tid, self.addr(), self.init(), ord, ord_fail, f)
+            }
+        }
+
+        impl Drop for $name {
+            fn drop(&mut self) {
+                // Unregister so a later allocation reusing this address
+                // within the same execution is not aliased to our
+                // history.
+                let addr = self.addr();
+                let _ = with_ctx(|ex, _tid| {
+                    ex.raw_inner(|g| g.forget_loc(addr));
+                });
+            }
+        }
+    };
+}
+
+macro_rules! model_atomic_arith {
+    ($name:ident, $prim:ty) => {
+        impl $name {
+            /// Atomic wrapping add; returns the previous value.
+            pub fn fetch_add(&self, val: $prim, order: Ordering) -> $prim {
+                with_ctx(|ex, tid| {
+                    ex.op(tid, |g| {
+                        self.rmw(g, tid, order, order, &mut |v| {
+                            Some((v as $prim).wrapping_add(val) as u64)
+                        })
+                        .0
+                    }) as $prim
+                })
+                .unwrap_or_else(|| self.real.fetch_add(val, order))
+            }
+
+            /// Atomic wrapping subtract; returns the previous value.
+            pub fn fetch_sub(&self, val: $prim, order: Ordering) -> $prim {
+                with_ctx(|ex, tid| {
+                    ex.op(tid, |g| {
+                        self.rmw(g, tid, order, order, &mut |v| {
+                            Some((v as $prim).wrapping_sub(val) as u64)
+                        })
+                        .0
+                    }) as $prim
+                })
+                .unwrap_or_else(|| self.real.fetch_sub(val, order))
+            }
+        }
+    };
+}
+
+model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+model_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+model_atomic_arith!(AtomicU64, u64);
+model_atomic_arith!(AtomicU32, u32);
+model_atomic_arith!(AtomicUsize, usize);
+
+/// Model-instrumented `AtomicBool` (stored as 0/1 in the explorer).
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    real: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Wrap an initial value.
+    pub const fn new(v: bool) -> Self {
+        Self {
+            real: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    fn init(&self) -> u64 {
+        self.real.load(Ordering::Relaxed) as u64
+    }
+
+    /// Atomic load.
+    pub fn load(&self, order: Ordering) -> bool {
+        with_ctx(|ex, tid| ex.op(tid, |g| g.atomic_load(tid, self.addr(), self.init(), order)) != 0)
+            .unwrap_or_else(|| self.real.load(order))
+    }
+
+    /// Atomic store.
+    pub fn store(&self, val: bool, order: Ordering) {
+        let modeled = with_ctx(|ex, tid| {
+            ex.op(tid, |g| {
+                g.atomic_store(tid, self.addr(), self.init(), val as u64, order)
+            });
+        });
+        if modeled.is_none() {
+            self.real.store(val, order);
+        }
+    }
+
+    /// Atomic swap.
+    pub fn swap(&self, val: bool, order: Ordering) -> bool {
+        with_ctx(|ex, tid| {
+            ex.op(tid, |g| {
+                g.atomic_rmw(tid, self.addr(), self.init(), order, order, &mut |_| {
+                    Some(val as u64)
+                })
+                .0
+            }) != 0
+        })
+        .unwrap_or_else(|| self.real.swap(val, order))
+    }
+}
+
+impl Drop for AtomicBool {
+    fn drop(&mut self) {
+        let addr = self.addr();
+        let _ = with_ctx(|ex, _tid| {
+            ex.raw_inner(|g| g.forget_loc(addr));
+        });
+    }
+}

@@ -1,0 +1,65 @@
+//! Race-checked payload cell (model builds only).
+
+use crate::rt::with_ctx;
+use std::cell::UnsafeCell;
+
+/// Model-instrumented `UnsafeCell`: every access is a schedule point
+/// and is checked, via vector clocks, for a happens-before edge
+/// against all prior conflicting accesses. A protocol that publishes
+/// the cell with too weak an ordering shows up as a reported data race
+/// — the model's stand-in for real-world tearing.
+#[derive(Debug)]
+pub struct RaceCell<T>(UnsafeCell<T>);
+
+// Safety: RaceCell is a raw shared-mutability cell. Callers promise,
+// via the `unsafe` contract on `with`/`with_mut`, that their protocol
+// synchronizes conflicting accesses — and in model builds every access
+// is additionally race-checked by the explorer.
+unsafe impl<T: Send> Send for RaceCell<T> {}
+// SAFETY: as for Send above — shared access is sound only under the
+// caller-promised protocol, and the explorer race-checks every access.
+unsafe impl<T: Send> Sync for RaceCell<T> {}
+
+impl<T> RaceCell<T> {
+    /// Wrap a value.
+    pub const fn new(value: T) -> Self {
+        RaceCell(UnsafeCell::new(value))
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    /// Immutable (read) access.
+    ///
+    /// # Safety
+    /// As for `UnsafeCell::get`: the caller's protocol must exclude
+    /// concurrent mutable access. The model *checks* that claim.
+    pub unsafe fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        let _ = with_ctx(|ex, tid| {
+            ex.op(tid, |g| g.cell_access(tid, self.addr(), false));
+        });
+        f(self.0.get())
+    }
+
+    /// Mutable (write) access.
+    ///
+    /// # Safety
+    /// As for `UnsafeCell::get`: the caller's protocol must guarantee
+    /// exclusivity. The model *checks* that claim.
+    pub unsafe fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        let _ = with_ctx(|ex, tid| {
+            ex.op(tid, |g| g.cell_access(tid, self.addr(), true));
+        });
+        f(self.0.get())
+    }
+}
+
+impl<T> Drop for RaceCell<T> {
+    fn drop(&mut self) {
+        let addr = self.addr();
+        let _ = with_ctx(|ex, _tid| {
+            ex.raw_inner(|g| g.forget_cell(addr));
+        });
+    }
+}

@@ -1,0 +1,1317 @@
+//! The exhaustive interleaving explorer (compiled only under
+//! `--cfg qf_model`).
+//!
+//! ## Execution model
+//!
+//! [`Checker::check`] re-runs the harness closure once per explored
+//! interleaving. Model threads are real OS threads serialized by a
+//! turnstile: exactly one is active at a time, and every instrumented
+//! operation (atomic op, fence, cell access, mutex op, park/unpark,
+//! spawn/join, yield) is a *schedule point*. The choice tree has two
+//! kinds of branches: which runnable thread performs the next
+//! operation, and — for atomic loads — which store in the location's
+//! history the load reads. DFS over that tree is driven by replaying a
+//! recorded choice prefix and taking the next untried alternative at
+//! the deepest branch point.
+//!
+//! ## Memory model
+//!
+//! A view-based operational semantics of the C11 fragment the
+//! workspace uses (the same fragment loom models):
+//!
+//! * every atomic location keeps its full, timestamped store history;
+//! * every thread keeps a *view* (location → minimum timestamp it may
+//!   read); a load may read any store at or above the view, which is
+//!   exactly how stale reads and store buffering are explored;
+//! * `Release` stores attach the writer's view (and vector clock) to
+//!   the message; `Acquire` loads join them — the synchronizes-with
+//!   edge. RMWs read the newest store and extend release sequences.
+//! * release fences arm subsequent relaxed stores with the fence-point
+//!   view; acquire fences promote the views of previously relaxed
+//!   loads; `SeqCst` fences additionally join a global SC view both
+//!   ways, which totally orders them — the store-buffering guarantee
+//!   the ring's park/wake handshake relies on. (Modelling SeqCst via a
+//!   global view join is an approximation — the same one loom makes —
+//!   that is exact for fence-based handshakes like ours.)
+//!
+//! Data races on [`cell::RaceCell`] payloads are detected with vector
+//! clocks (spawn/join, mutexes, park/unpark, and acquire loads all
+//! propagate clocks). A schedule point with no runnable thread and an
+//! unfinished blocked thread is reported as a deadlock — this is the
+//! lost-wakeup check.
+//!
+//! ## Pruning
+//!
+//! At every schedule point the checker hashes the canonical global
+//! state: per-thread operation-history hashes (which capture each
+//! thread's local continuation, since harness closures are
+//! deterministic), canonical views (timestamps replaced by per-location
+//! store indices so independent reorderings converge), store histories,
+//! mutex/park/yield state, and the SC view. A state whose hash matches
+//! a fully-explored node is pruned (duplicate), and a state repeating
+//! along the current path is pruned as a cycle — safety bugs reachable
+//! through a cycle are reachable without it. Pruning is sound up to
+//! 64-bit hash collisions, the usual stateful-model-checking trade.
+//! An optional preemption bound (loom-style) caps how many times the
+//! scheduler may switch away from a runnable thread per execution;
+//! voluntary switches (block, finish, yield, spin) are free.
+
+pub mod atomic;
+pub mod cell;
+pub mod mutex;
+pub mod thread;
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+
+/// Serializes explorations process-wide: two `#[test]`s exploring at
+/// once would interleave real threads against two model schedulers.
+static EXPLORATION_LOCK: StdMutex<()> = StdMutex::new(());
+
+thread_local! {
+    /// (execution, tid) of the current model thread; `None` on
+    /// ordinary threads, which makes every shim op fall back to the
+    /// real `std` primitive.
+    pub(crate) static CTX: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Run `f` with the current model context, or return `None` when the
+/// calling thread is not a model thread — or when it is *unwinding*.
+/// The latter is the teardown path: once an execution aborts, every
+/// model thread unwinds through its Drop impls (ring drains, mutex
+/// guards), and re-entering the scheduler from a destructor would
+/// panic inside a panic. Falling back to the real primitives is safe:
+/// the real atomics still hold their pre-execution values, so e.g. a
+/// ring drain sees head == tail and touches no slot (payloads written
+/// during the aborted execution leak, which is acceptable for a
+/// checker).
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Arc<Execution>, usize) -> R) -> Option<R> {
+    if std::thread::panicking() {
+        return None;
+    }
+    CTX.with(|c| c.borrow().as_ref().map(|(ex, tid)| f(ex, *tid)))
+}
+
+/// Sentinel panic payload used to unwind model threads when the
+/// execution is aborted (violation found or branch pruned).
+pub(crate) struct ExecAbort;
+
+/// A property violation found by exploration.
+#[derive(Debug)]
+pub struct Violation {
+    /// What went wrong: a harness assertion, a data race, a deadlock,
+    /// or the step cap (livelock).
+    pub message: String,
+    /// Executions completed before the violating one.
+    pub executions: u64,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model violation after {} executions: {}",
+            self.executions, self.message
+        )
+    }
+}
+
+/// Exploration statistics for a fully verified harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stats {
+    /// Interleavings executed to completion.
+    pub executions: u64,
+    /// Branches pruned because the state hash matched a fully-explored
+    /// node.
+    pub pruned_duplicate: u64,
+    /// Branches pruned because the state repeated along the current
+    /// path (spin cycle).
+    pub pruned_cycle: u64,
+    /// Deepest choice stack observed.
+    pub max_depth: usize,
+}
+
+/// Explorer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Checker {
+    max_preemptions: Option<u32>,
+    max_steps: usize,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Checker {
+            max_preemptions: None,
+            max_steps: 50_000,
+        }
+    }
+}
+
+impl Checker {
+    /// Unbounded exhaustive exploration with the default step cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bound involuntary context switches per execution (loom-style).
+    /// Exploration is then exhaustive over all schedules with at most
+    /// `k` preemptions — the bound every published ordering bug of
+    /// this protocol class falls within — which tames harnesses whose
+    /// unbounded tree is astronomically large.
+    pub fn preemption_bound(mut self, k: u32) -> Self {
+        self.max_preemptions = Some(k);
+        self
+    }
+
+    /// Abort an execution after this many schedule points (livelock
+    /// backstop; harness loops must otherwise be bounded).
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Explore every interleaving of `f`, returning stats on success
+    /// or the first violation found.
+    pub fn check<F>(&self, f: F) -> Result<Stats, Violation>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let _guard = match EXPLORATION_LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let f = Arc::new(f);
+        let explored: Arc<StdMutex<HashSet<u64>>> = Arc::default();
+        let mut stats = Stats::default();
+        let mut replay: Vec<usize> = Vec::new();
+        loop {
+            let exec = Arc::new(Execution::new(replay.clone(), Arc::clone(&explored), *self));
+            let root = {
+                let exec = Arc::clone(&exec);
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || {
+                    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), 0)));
+                    let result = catch_unwind(AssertUnwindSafe(|| f()));
+                    exec.finish_thread(0, panic_message(result));
+                })
+            };
+            exec.wait_done();
+            let _ = root.join();
+            let (choices, abort) = exec.take_outcome();
+            stats.max_depth = stats.max_depth.max(choices.len());
+            match abort {
+                Some(Abort::Failure(message)) => {
+                    return Err(Violation {
+                        message,
+                        executions: stats.executions,
+                    })
+                }
+                Some(Abort::PruneCycle) => stats.pruned_cycle += 1,
+                Some(Abort::PruneDuplicate) => stats.pruned_duplicate += 1,
+                None => stats.executions += 1,
+            }
+            // DFS backtrack: deepest choice with an untried alternative.
+            let mut next = None;
+            for (i, c) in choices.iter().enumerate().rev() {
+                if c.taken + 1 < c.total {
+                    next = Some(i);
+                    break;
+                }
+            }
+            let Some(i) = next else { return Ok(stats) };
+            // Every node past the backtrack point just finished its
+            // last child: its subtree is fully explored. Remember the
+            // state hashes so re-converging interleavings are pruned.
+            {
+                let mut ex = match explored.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                for c in &choices[i + 1..] {
+                    ex.insert(c.state_hash);
+                }
+            }
+            replay.clear();
+            replay.extend(choices[..i].iter().map(|c| c.taken));
+            replay.push(choices[i].taken + 1);
+        }
+    }
+}
+
+/// Explore every interleaving of `f`; panic (failing the test) on the
+/// first violation.
+///
+/// # Panics
+///
+/// Panics with the violation report (message plus execution count) when
+/// any interleaving fails — that *is* the test-harness contract. Use
+/// [`try_model`] to inspect the violation instead.
+pub fn model<F: Fn() + Send + Sync + 'static>(f: F) {
+    match Checker::new().check(f) {
+        Ok(_) => {}
+        Err(v) => panic!("{v}"),
+    }
+}
+
+/// Explore every interleaving of `f`, returning the violation instead
+/// of panicking — the entry point for seeded-bug self-tests.
+pub fn try_model<F: Fn() + Send + Sync + 'static>(f: F) -> Result<Stats, Violation> {
+    Checker::new().check(f)
+}
+
+fn panic_message(r: std::thread::Result<()>) -> Option<String> {
+    let payload = match r {
+        Ok(()) => return None,
+        Err(p) => p,
+    };
+    if payload.downcast_ref::<ExecAbort>().is_some() {
+        return None; // abort already recorded by whoever triggered it
+    }
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| {
+            payload
+                .downcast_ref::<&'static str>()
+                .map(|s| (*s).to_string())
+        })
+        .unwrap_or_else(|| "<non-string panic payload>".to_string());
+    Some(msg)
+}
+
+// ---------------------------------------------------------------------
+// Views, vector clocks, store histories
+// ---------------------------------------------------------------------
+
+/// Location view: location id → minimum store timestamp readable.
+pub(crate) type View = BTreeMap<usize, u64>;
+
+fn join_view(into: &mut View, other: &View) {
+    for (&loc, &ts) in other {
+        let e = into.entry(loc).or_insert(0);
+        *e = (*e).max(ts);
+    }
+}
+
+/// Per-thread vector clock (index = tid).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+    fn set(&mut self, tid: usize, v: u64) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] = v;
+    }
+    fn tick(&mut self, tid: usize) {
+        let v = self.get(tid) + 1;
+        self.set(tid, v);
+    }
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            self.0[i] = self.0[i].max(v);
+        }
+    }
+    /// `self ⊑ other` (every component ≤).
+    fn dominated_by(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(i, &v)| v <= other.get(i))
+    }
+}
+
+/// One store message in a location's history.
+#[derive(Debug, Clone)]
+pub(crate) struct Msg {
+    ts: u64,
+    writer: usize,
+    val: u64,
+    /// Release view: joined into an acquiring reader's view. `None`
+    /// for plain relaxed stores with no armed release fence.
+    view: Option<View>,
+    /// Happens-before clock carried alongside `view`.
+    clock: Option<VClock>,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Loc {
+    stores: Vec<Msg>,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct CellState {
+    /// Per-thread epoch of the last write / read.
+    write_vc: VClock,
+    read_vc: VClock,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct MutexState {
+    locked_by: Option<usize>,
+    view: View,
+    clock: VClock,
+}
+
+/// Why a thread is not runnable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Block {
+    Park,
+    Mutex(usize),
+    Join(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThState {
+    Ready,
+    Blocked(Block),
+    Finished,
+}
+
+#[derive(Debug)]
+struct Th {
+    state: ThState,
+    view: View,
+    clock: VClock,
+    /// Armed by a release fence: subsequent relaxed stores publish it.
+    rel_fence: Option<(View, VClock)>,
+    /// Accumulated by relaxed loads; promoted by an acquire fence.
+    acq_pending_view: View,
+    acq_pending_clock: VClock,
+    park_token: bool,
+    park_view: View,
+    park_clock: VClock,
+    yielded: bool,
+    /// Rolling hash of this thread's operation history — a digest of
+    /// its local continuation (deterministic closures). Invariant:
+    /// every *completed* operation mixes a distinct tag in, so two
+    /// schedule points of the same thread never hash alike unless the
+    /// continuation really is the same. (An op that left no trace —
+    /// e.g. a join absorb with empty views — would otherwise make the
+    /// next schedule point look like a state revisit and falsely
+    /// cycle-prune the path.) Failed blocking attempts are exempt:
+    /// their retry only happens after another thread makes a
+    /// hash-visible mutation.
+    hist: u64,
+}
+
+impl Th {
+    fn new(view: View, clock: VClock) -> Self {
+        Th {
+            state: ThState::Ready,
+            view,
+            clock,
+            rel_fence: None,
+            acq_pending_view: View::new(),
+            acq_pending_clock: VClock::default(),
+            park_token: false,
+            park_view: View::new(),
+            park_clock: VClock::default(),
+            yielded: false,
+            hist: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Abort {
+    Failure(String),
+    PruneCycle,
+    PruneDuplicate,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Choice {
+    taken: usize,
+    total: usize,
+    state_hash: u64,
+}
+
+pub(crate) struct ExecInner {
+    threads: Vec<Th>,
+    active: usize,
+    replay: Vec<usize>,
+    choices: Vec<Choice>,
+    addr_to_loc: HashMap<usize, usize>,
+    locs: Vec<Loc>,
+    addr_to_cell: HashMap<usize, usize>,
+    cells: Vec<CellState>,
+    addr_to_mutex: HashMap<usize, usize>,
+    mutexes: Vec<MutexState>,
+    next_ts: u64,
+    sc_view: View,
+    sc_clock: VClock,
+    preemptions: u32,
+    steps: usize,
+    abort: Option<Abort>,
+    /// State hash at each schedule point along the current path.
+    path_hashes: Vec<u64>,
+    /// Hash at the point the *current* op entered (choices made during
+    /// the op are attributed to it).
+    pending_hash: u64,
+    cfg: Checker,
+}
+
+pub(crate) struct Execution {
+    inner: StdMutex<ExecInner>,
+    cv: Condvar,
+    explored: Arc<StdMutex<HashSet<u64>>>,
+}
+
+impl fmt::Debug for Execution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Execution").finish_non_exhaustive()
+    }
+}
+
+impl Execution {
+    fn new(replay: Vec<usize>, explored: Arc<StdMutex<HashSet<u64>>>, cfg: Checker) -> Self {
+        Execution {
+            inner: StdMutex::new(ExecInner {
+                threads: vec![Th::new(View::new(), {
+                    let mut c = VClock::default();
+                    c.tick(0);
+                    c
+                })],
+                active: 0,
+                replay,
+                choices: Vec::new(),
+                addr_to_loc: HashMap::new(),
+                locs: Vec::new(),
+                addr_to_cell: HashMap::new(),
+                cells: Vec::new(),
+                addr_to_mutex: HashMap::new(),
+                mutexes: Vec::new(),
+                next_ts: 1,
+                sc_view: View::new(),
+                sc_clock: VClock::default(),
+                preemptions: 0,
+                steps: 0,
+                abort: None,
+                path_hashes: Vec::new(),
+                pending_hash: 0,
+                cfg,
+            }),
+            cv: Condvar::new(),
+            explored,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ExecInner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Block the driver until every model thread has finished. Waiting
+    /// for *all* threads (even after an abort, which makes each of them
+    /// unwind promptly) keeps executions hermetic: no thread from an
+    /// aborted execution is still mutating its `ExecInner` — or holding
+    /// allocations — once the checker moves on to the next execution.
+    fn wait_done(&self) {
+        let mut g = self.lock();
+        loop {
+            if g.threads.iter().all(|t| t.state == ThState::Finished) {
+                return;
+            }
+            g = match self.cv.wait(g) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// Registry access that is *not* a schedule point (used by Drop
+    /// impls to unregister addresses).
+    pub(crate) fn raw_inner<R>(&self, f: impl FnOnce(&mut ExecInner) -> R) -> R {
+        let mut g = self.lock();
+        f(&mut g)
+    }
+
+    fn take_outcome(&self) -> (Vec<Choice>, Option<Abort>) {
+        let mut g = self.lock();
+        (std::mem::take(&mut g.choices), g.abort.take())
+    }
+
+    /// Perform one non-blocking instrumented operation for `tid`:
+    /// wait for the turnstile, run `f` under the lock (it may consume
+    /// value choices), then choose the next runner.
+    pub(crate) fn op<R>(&self, tid: usize, f: impl FnOnce(&mut ExecInner) -> R) -> R {
+        let mut g = self.wait_active(tid);
+        g.enter_point(tid, &self.explored);
+        self.bail_if_aborted(&g);
+        let r = f(&mut g);
+        self.bail_if_aborted(&g);
+        g.schedule_next(tid);
+        self.cv.notify_all();
+        self.bail_if_aborted(&g);
+        r
+    }
+
+    /// Perform a possibly-blocking operation: `try_fn` either completes
+    /// or names what it blocks on; the thread then sleeps until another
+    /// thread unblocks it and the scheduler picks it again.
+    pub(crate) fn blocking_op<R>(
+        &self,
+        tid: usize,
+        mut try_fn: impl FnMut(&mut ExecInner) -> Result<R, Block>,
+    ) -> R {
+        let mut g = self.wait_active(tid);
+        loop {
+            g.enter_point(tid, &self.explored);
+            self.bail_if_aborted(&g);
+            match try_fn(&mut g) {
+                Ok(r) => {
+                    self.bail_if_aborted(&g);
+                    g.schedule_next(tid);
+                    self.cv.notify_all();
+                    self.bail_if_aborted(&g);
+                    return r;
+                }
+                Err(block) => {
+                    self.bail_if_aborted(&g);
+                    g.threads[tid].state = ThState::Blocked(block);
+                    g.schedule_next(tid);
+                    self.cv.notify_all();
+                    self.bail_if_aborted(&g);
+                    g = self.wait_active_locked(g, tid);
+                }
+            }
+        }
+    }
+
+    /// Thread completion. A clean finish is a *scheduled* event: the
+    /// thread waits for the turnstile before transitioning to
+    /// `Finished`, exactly like any other operation. This matters for
+    /// determinism — after a thread's last op the scheduler still sees
+    /// it as `Ready` (the model cannot know an op was the last), and if
+    /// the finish transition instead landed whenever the OS thread
+    /// happened to exit its closure, it would race other threads' ops
+    /// for the lock and change runnable-set sizes between a recording
+    /// run and its replay (observed as "replay divergence").
+    ///
+    /// Panicking finishes (a recorded violation) and finishes that
+    /// abort while waiting for their slot skip the scheduling and just
+    /// record completion: the execution is already being torn down.
+    pub(crate) fn finish_thread(&self, tid: usize, panic_msg: Option<String>) {
+        if panic_msg.is_none() {
+            let scheduled = catch_unwind(AssertUnwindSafe(|| {
+                let mut g = self.wait_active(tid);
+                g.enter_point(tid, &self.explored);
+                self.bail_if_aborted(&g);
+                g.mark_finished(tid);
+                g.schedule_next(tid);
+                self.cv.notify_all();
+            }));
+            if scheduled.is_ok() {
+                return;
+            }
+            // Fell out with ExecAbort: record completion below so
+            // `wait_done` can drain the execution.
+        }
+        let mut g = self.lock();
+        if let Some(msg) = panic_msg {
+            if g.abort.is_none() {
+                g.abort = Some(Abort::Failure(format!("thread {tid} panicked: {msg}")));
+            }
+        }
+        g.mark_finished(tid);
+        if g.abort.is_none() {
+            g.schedule_next(tid);
+        }
+        self.cv.notify_all();
+    }
+
+    fn wait_active(&self, tid: usize) -> std::sync::MutexGuard<'_, ExecInner> {
+        let g = self.lock();
+        self.wait_active_locked(g, tid)
+    }
+
+    fn wait_active_locked<'a>(
+        &'a self,
+        mut g: std::sync::MutexGuard<'a, ExecInner>,
+        tid: usize,
+    ) -> std::sync::MutexGuard<'a, ExecInner> {
+        loop {
+            if g.abort.is_some() {
+                drop(g);
+                std::panic::panic_any(ExecAbort);
+            }
+            if g.active == tid && g.threads[tid].state == ThState::Ready {
+                g.threads[tid].yielded = false;
+                return g;
+            }
+            g = match self.cv.wait(g) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    fn bail_if_aborted(&self, g: &std::sync::MutexGuard<'_, ExecInner>) {
+        if g.abort.is_some() {
+            self.cv.notify_all();
+            std::panic::panic_any(ExecAbort);
+        }
+    }
+}
+
+impl ExecInner {
+    /// Record a violation and abort the execution.
+    pub(crate) fn fail(&mut self, message: String) {
+        if self.abort.is_none() {
+            self.abort = Some(Abort::Failure(message));
+        }
+    }
+
+    /// Mark `tid` finished and ready its joiners (they re-check their
+    /// condition once scheduled).
+    fn mark_finished(&mut self, tid: usize) {
+        self.threads[tid].state = ThState::Finished;
+        for t in self.threads.iter_mut() {
+            if t.state == ThState::Blocked(Block::Join(tid)) {
+                t.state = ThState::Ready;
+            }
+        }
+    }
+
+    /// Consume one branch choice with `total` alternatives.
+    pub(crate) fn choose(&mut self, total: usize) -> usize {
+        if total <= 1 {
+            return 0;
+        }
+        let depth = self.choices.len();
+        let taken = if depth < self.replay.len() {
+            self.replay[depth]
+        } else {
+            0
+        };
+        if taken >= total {
+            // Replay is only sound if an execution is a pure function
+            // of its choice sequence; a recorded alternative that no
+            // longer exists means the explorer itself leaked
+            // nondeterminism. Fail loudly rather than mis-explore.
+            self.fail(format!(
+                "internal error: replay diverged at choice {depth} \
+                 (recorded alternative {taken}, only {total} available)"
+            ));
+            return 0;
+        }
+        self.choices.push(Choice {
+            taken,
+            total,
+            state_hash: self.pending_hash,
+        });
+        taken
+    }
+
+    /// Schedule-point entry: step accounting, clock tick, state hash,
+    /// cycle/duplicate pruning.
+    fn enter_point(&mut self, tid: usize, explored: &Arc<StdMutex<HashSet<u64>>>) {
+        self.steps += 1;
+        if self.steps > self.cfg.max_steps {
+            self.fail(format!(
+                "step cap ({}) exceeded — unbounded spin loop in the harness?",
+                self.cfg.max_steps
+            ));
+            return;
+        }
+        let own = self.threads[tid].clock.get(tid) + 1;
+        self.threads[tid].clock.set(tid, own);
+        let h = self.state_hash(tid);
+        self.pending_hash = h;
+        if std::env::var_os("QF_MODEL_DEBUG").is_some() && self.replay.is_empty() {
+            let states: Vec<String> = self
+                .threads
+                .iter()
+                .map(|t| format!("{:?}/y{}/h{:x}", t.state, t.yielded as u8, t.hist & 0xffff))
+                .collect();
+            eprintln!(
+                "[qf-model] step {} tid {} h {:#018x} threads=[{}]",
+                self.steps,
+                tid,
+                h,
+                states.join(" ")
+            );
+        }
+        // Only prune at the frontier: the replayed prefix must be
+        // traversed verbatim to reach the branch under exploration.
+        if self.choices.len() >= self.replay.len() {
+            if self.path_hashes.contains(&h) {
+                if std::env::var_os("QF_MODEL_DEBUG").is_some() {
+                    let at = self.path_hashes.iter().position(|&p| p == h);
+                    eprintln!(
+                        "[qf-model] cycle prune: step {} tid {} h {:#018x} first seen at path idx {:?}",
+                        self.steps, tid, h, at
+                    );
+                }
+                self.abort = Some(Abort::PruneCycle);
+                return;
+            }
+            let seen = {
+                let ex = match explored.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                ex.contains(&h)
+            };
+            if seen {
+                self.abort = Some(Abort::PruneDuplicate);
+                return;
+            }
+        }
+        self.path_hashes.push(h);
+    }
+
+    /// Pick the next active thread (the scheduling branch).
+    fn schedule_next(&mut self, cur: usize) {
+        // One op by `cur` just completed: every *other* thread that
+        // yielded has now seen another thread make progress.
+        for (i, t) in self.threads.iter_mut().enumerate() {
+            if i != cur {
+                t.yielded = false;
+            }
+        }
+        let runnable: Vec<usize> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == ThState::Ready)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            let blocked: Vec<String> = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| match t.state {
+                    ThState::Blocked(b) => Some(format!("thread {i} blocked on {b:?}")),
+                    _ => None,
+                })
+                .collect();
+            if !blocked.is_empty() {
+                self.fail(format!("deadlock: {}", blocked.join(", ")));
+            }
+            return; // all finished: execution complete
+        }
+        // Yield fairness: a freshly-yielded thread is not eligible
+        // while any other thread can run.
+        let mut cands: Vec<usize> = runnable
+            .iter()
+            .copied()
+            .filter(|&i| !self.threads[i].yielded)
+            .collect();
+        if cands.is_empty() {
+            cands = runnable;
+        }
+        // Preemption bound: once the budget is spent, a still-runnable
+        // current thread must keep running.
+        let cur_ready = self.threads[cur].state == ThState::Ready && !self.threads[cur].yielded;
+        if let Some(maxp) = self.cfg.max_preemptions {
+            if self.preemptions >= maxp && cur_ready && cands.contains(&cur) {
+                cands = vec![cur];
+            }
+        }
+        let pick = cands[self.choose(cands.len())];
+        if pick != cur && cur_ready {
+            self.preemptions += 1;
+        }
+        self.active = pick;
+    }
+
+    /// Register a model thread spawned by `parent`; returns its tid.
+    pub(crate) fn register_thread(&mut self, parent: usize) -> usize {
+        let tid = self.threads.len();
+        let view = self.threads[parent].view.clone();
+        let mut clock = self.threads[parent].clock.clone();
+        clock.tick(tid);
+        self.threads.push(Th::new(view, clock));
+        self.mix_hist(parent, &[10, tid as u64]);
+        tid
+    }
+
+    /// Join edge: fold the finished thread's view/clock into `tid`.
+    pub(crate) fn absorb_finished(&mut self, tid: usize, target: usize) {
+        let (tview, tclock) = {
+            let t = &self.threads[target];
+            (t.view.clone(), t.clock.clone())
+        };
+        join_view(&mut self.threads[tid].view, &tview);
+        self.threads[tid].clock.join(&tclock);
+        self.mix_hist(tid, &[11, target as u64]);
+    }
+
+    pub(crate) fn is_finished(&self, tid: usize) -> bool {
+        self.threads[tid].state == ThState::Finished
+    }
+
+    /// Mark the current thread as having voluntarily yielded.
+    ///
+    /// Deliberately does NOT advance `hist`: a yield/spin hint declares
+    /// "no local progress", so a spin iteration that changes nothing
+    /// hashes identically to the previous one and the path is cycle-
+    /// pruned — this is what bounds `while !flag { spin_loop() }`
+    /// exploration. (The cost: a *counted* yield loop with an otherwise
+    /// empty body is indistinguishable from an unbounded spin.)
+    pub(crate) fn note_yield(&mut self, tid: usize) {
+        self.threads[tid].yielded = true;
+    }
+
+    // -- location / cell / mutex registries ---------------------------
+
+    fn loc_id(&mut self, addr: usize, init: u64) -> usize {
+        if let Some(&id) = self.addr_to_loc.get(&addr) {
+            return id;
+        }
+        let id = self.locs.len();
+        self.locs.push(Loc {
+            stores: vec![Msg {
+                ts: 0,
+                writer: usize::MAX,
+                val: init,
+                view: None,
+                clock: None,
+            }],
+        });
+        self.addr_to_loc.insert(addr, id);
+        id
+    }
+
+    pub(crate) fn forget_loc(&mut self, addr: usize) {
+        self.addr_to_loc.remove(&addr);
+    }
+
+    fn cell_id(&mut self, addr: usize) -> usize {
+        if let Some(&id) = self.addr_to_cell.get(&addr) {
+            return id;
+        }
+        let id = self.cells.len();
+        self.cells.push(CellState::default());
+        self.addr_to_cell.insert(addr, id);
+        id
+    }
+
+    pub(crate) fn forget_cell(&mut self, addr: usize) {
+        self.addr_to_cell.remove(&addr);
+    }
+
+    fn mutex_id(&mut self, addr: usize) -> usize {
+        if let Some(&id) = self.addr_to_mutex.get(&addr) {
+            return id;
+        }
+        let id = self.mutexes.len();
+        self.mutexes.push(MutexState::default());
+        self.addr_to_mutex.insert(addr, id);
+        id
+    }
+
+    pub(crate) fn forget_mutex(&mut self, addr: usize) {
+        self.addr_to_mutex.remove(&addr);
+    }
+
+    fn mix_hist(&mut self, tid: usize, parts: &[u64]) {
+        let mut h = self.threads[tid].hist;
+        for &p in parts {
+            h = mix64(h ^ p);
+        }
+        self.threads[tid].hist = h;
+    }
+
+    // -- the memory model ---------------------------------------------
+
+    fn is_release(ord: Ordering) -> bool {
+        matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    fn is_acquire(ord: Ordering) -> bool {
+        matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    /// The release payload a store by `tid` publishes: its own view and
+    /// clock for Release-or-stronger, the armed fence view for relaxed
+    /// stores after a release fence, nothing otherwise.
+    fn release_payload(
+        &self,
+        tid: usize,
+        ord: Ordering,
+        lid: usize,
+        ts: u64,
+    ) -> (Option<View>, Option<VClock>) {
+        let t = &self.threads[tid];
+        if Self::is_release(ord) {
+            let mut v = t.view.clone();
+            v.insert(lid, ts);
+            (Some(v), Some(t.clock.clone()))
+        } else if let Some((fv, fc)) = &t.rel_fence {
+            let mut v = fv.clone();
+            v.insert(lid, ts);
+            (Some(v), Some(fc.clone()))
+        } else {
+            (None, None)
+        }
+    }
+
+    /// Fold an acquired (or pending-acquire) message into the reader.
+    fn absorb_msg(
+        &mut self,
+        tid: usize,
+        msg_view: Option<View>,
+        msg_clock: Option<VClock>,
+        acquire: bool,
+    ) {
+        let t = &mut self.threads[tid];
+        if acquire {
+            if let Some(v) = &msg_view {
+                join_view(&mut t.view, v);
+            }
+            if let Some(c) = &msg_clock {
+                t.clock.join(c);
+            }
+        } else {
+            if let Some(v) = &msg_view {
+                join_view(&mut t.acq_pending_view, v);
+            }
+            if let Some(c) = &msg_clock {
+                t.acq_pending_clock.join(c);
+            }
+        }
+    }
+
+    pub(crate) fn atomic_store(
+        &mut self,
+        tid: usize,
+        addr: usize,
+        init: u64,
+        val: u64,
+        ord: Ordering,
+    ) {
+        let lid = self.loc_id(addr, init);
+        let ts = self.next_ts;
+        self.next_ts += 1;
+        let (view, clock) = self.release_payload(tid, ord, lid, ts);
+        self.locs[lid].stores.push(Msg {
+            ts,
+            writer: tid,
+            val,
+            view,
+            clock,
+        });
+        self.threads[tid].view.insert(lid, ts);
+        if ord == Ordering::SeqCst {
+            self.sc_view.insert(lid, ts);
+        }
+        let idx = self.locs[lid].stores.len() as u64 - 1;
+        self.mix_hist(tid, &[1, lid as u64, idx, val]);
+    }
+
+    pub(crate) fn atomic_load(&mut self, tid: usize, addr: usize, init: u64, ord: Ordering) -> u64 {
+        let lid = self.loc_id(addr, init);
+        let mut min = self.threads[tid].view.get(&lid).copied().unwrap_or(0);
+        if ord == Ordering::SeqCst {
+            min = min.max(self.sc_view.get(&lid).copied().unwrap_or(0));
+        }
+        // Every store at or above the thread's view is readable; stores
+        // indistinguishable in value and sync payload are one choice.
+        let loc = &self.locs[lid];
+        let mut eligible: Vec<usize> = Vec::new();
+        for (i, m) in loc.stores.iter().enumerate() {
+            if m.ts < min {
+                continue;
+            }
+            let dup = eligible.iter().any(|&j| {
+                let o = &loc.stores[j];
+                o.val == m.val && o.view == m.view && o.clock == m.clock
+            });
+            if !dup {
+                eligible.push(i);
+            }
+        }
+        debug_assert!(!eligible.is_empty(), "no eligible store for load");
+        let pick = eligible[self.choose(eligible.len())];
+        let msg = &self.locs[lid].stores[pick];
+        let (ts, val, mview, mclock) = (msg.ts, msg.val, msg.view.clone(), msg.clock.clone());
+        let e = self.threads[tid].view.entry(lid).or_insert(0);
+        *e = (*e).max(ts);
+        self.absorb_msg(tid, mview, mclock, Self::is_acquire(ord));
+        self.mix_hist(tid, &[2, lid as u64, pick as u64, val]);
+        val
+    }
+
+    /// One atomic read-modify-write step: reads the *newest* store
+    /// (RMW atomicity), writes `f(prev)` if `Some`, extending the
+    /// release sequence. `ord` governs the successful exchange,
+    /// `ord_fail` the failed (load-only) case, exactly as for
+    /// `compare_exchange`. Returns the previous value and whether a
+    /// write happened.
+    pub(crate) fn atomic_rmw(
+        &mut self,
+        tid: usize,
+        addr: usize,
+        init: u64,
+        ord: Ordering,
+        ord_fail: Ordering,
+        f: &mut dyn FnMut(u64) -> Option<u64>,
+    ) -> (u64, bool) {
+        let lid = self.loc_id(addr, init);
+        let last = match self.locs[lid].stores.last() {
+            Some(m) => m.clone(),
+            None => return (init, false), // unreachable: init store exists
+        };
+        let prev = last.val;
+        let new = f(prev);
+        let eff = if new.is_some() { ord } else { ord_fail };
+        self.absorb_msg(
+            tid,
+            last.view.clone(),
+            last.clock.clone(),
+            Self::is_acquire(eff),
+        );
+        let wrote = if let Some(new) = new {
+            let ts = self.next_ts;
+            self.next_ts += 1;
+            let (rel_view, rel_clock) = self.release_payload(tid, ord, lid, ts);
+            // RMWs continue the release sequence of the store they
+            // replace: carry the old payload forward, joined with any
+            // release contribution of this RMW itself.
+            let mut view = last.view.clone();
+            if let Some(rv) = rel_view {
+                match &mut view {
+                    Some(v) => join_view(v, &rv),
+                    None => view = Some(rv),
+                }
+            }
+            let mut clock = last.clock.clone();
+            if let Some(rc) = rel_clock {
+                match &mut clock {
+                    Some(c) => c.join(&rc),
+                    None => clock = Some(rc),
+                }
+            }
+            self.locs[lid].stores.push(Msg {
+                ts,
+                writer: tid,
+                val: new,
+                view,
+                clock,
+            });
+            self.threads[tid].view.insert(lid, ts);
+            if ord == Ordering::SeqCst {
+                self.sc_view.insert(lid, ts);
+            }
+            true
+        } else {
+            let e = self.threads[tid].view.entry(lid).or_insert(0);
+            *e = (*e).max(last.ts);
+            false
+        };
+        let idx = self.locs[lid].stores.len() as u64 - 1;
+        self.mix_hist(tid, &[3, lid as u64, idx, prev, wrote as u64]);
+        (prev, wrote)
+    }
+
+    pub(crate) fn fence(&mut self, tid: usize, ord: Ordering) {
+        if Self::is_acquire(ord) {
+            let (pv, pc) = {
+                let t = &mut self.threads[tid];
+                (
+                    std::mem::take(&mut t.acq_pending_view),
+                    std::mem::take(&mut t.acq_pending_clock),
+                )
+            };
+            join_view(&mut self.threads[tid].view, &pv);
+            self.threads[tid].clock.join(&pc);
+        }
+        if ord == Ordering::SeqCst {
+            // Total SC order = the model's serialized execution order:
+            // whichever fence runs later sees the earlier one's world.
+            let tview = self.threads[tid].view.clone();
+            let tclock = self.threads[tid].clock.clone();
+            join_view(&mut self.sc_view, &tview);
+            join_view(&mut self.threads[tid].view, &self.sc_view.clone());
+            self.sc_clock.join(&tclock);
+            let sc = self.sc_clock.clone();
+            self.threads[tid].clock.join(&sc);
+        }
+        if Self::is_release(ord) {
+            let t = &mut self.threads[tid];
+            t.rel_fence = Some((t.view.clone(), t.clock.clone()));
+        }
+        self.mix_hist(tid, &[4, ord as u64]);
+    }
+
+    /// Race-checked non-atomic access to a [`cell::RaceCell`].
+    pub(crate) fn cell_access(&mut self, tid: usize, addr: usize, is_write: bool) {
+        let cid = self.cell_id(addr);
+        let clock = self.threads[tid].clock.clone();
+        let cell = &mut self.cells[cid];
+        if !cell.write_vc.dominated_by(&clock) {
+            self.fail(format!(
+                "data race: thread {tid} {} a cell concurrently with a prior write",
+                if is_write { "writes" } else { "reads" }
+            ));
+            return;
+        }
+        if is_write {
+            if !cell.read_vc.dominated_by(&clock) {
+                self.fail(format!(
+                    "data race: thread {tid} writes a cell concurrently with a prior read"
+                ));
+                return;
+            }
+            let own = clock.get(tid);
+            cell.write_vc.set(tid, own);
+        } else {
+            let own = clock.get(tid);
+            cell.read_vc.set(tid, own);
+        }
+        self.mix_hist(tid, &[5, cid as u64, is_write as u64]);
+    }
+
+    /// Try to take a mutex; `Err` names the block.
+    pub(crate) fn mutex_try_lock(&mut self, tid: usize, addr: usize) -> Result<(), Block> {
+        let mid = self.mutex_id(addr);
+        if let Some(owner) = self.mutexes[mid].locked_by {
+            debug_assert_ne!(owner, tid, "model mutex is not reentrant");
+            return Err(Block::Mutex(mid));
+        }
+        self.mutexes[mid].locked_by = Some(tid);
+        let (mv, mc) = (
+            self.mutexes[mid].view.clone(),
+            self.mutexes[mid].clock.clone(),
+        );
+        join_view(&mut self.threads[tid].view, &mv);
+        self.threads[tid].clock.join(&mc);
+        self.mix_hist(tid, &[6, mid as u64]);
+        Ok(())
+    }
+
+    pub(crate) fn mutex_unlock(&mut self, tid: usize, addr: usize) {
+        let mid = self.mutex_id(addr);
+        debug_assert_eq!(self.mutexes[mid].locked_by, Some(tid));
+        let (tv, tc) = (
+            self.threads[tid].view.clone(),
+            self.threads[tid].clock.clone(),
+        );
+        let m = &mut self.mutexes[mid];
+        m.locked_by = None;
+        join_view(&mut m.view, &tv);
+        m.clock.join(&tc);
+        for t in self.threads.iter_mut() {
+            if t.state == ThState::Blocked(Block::Mutex(mid)) {
+                t.state = ThState::Ready;
+            }
+        }
+        self.mix_hist(tid, &[7, mid as u64]);
+    }
+
+    /// Park: consume the token (with the unparker's release payload) or
+    /// block.
+    pub(crate) fn try_park(&mut self, tid: usize) -> Result<(), Block> {
+        if self.threads[tid].park_token {
+            let t = &mut self.threads[tid];
+            t.park_token = false;
+            let pv = std::mem::take(&mut t.park_view);
+            let pc = std::mem::take(&mut t.park_clock);
+            join_view(&mut self.threads[tid].view, &pv);
+            self.threads[tid].clock.join(&pc);
+            self.mix_hist(tid, &[8]);
+            Ok(())
+        } else {
+            Err(Block::Park)
+        }
+    }
+
+    pub(crate) fn unpark(&mut self, tid: usize, target: usize) {
+        let (tv, tc) = (
+            self.threads[tid].view.clone(),
+            self.threads[tid].clock.clone(),
+        );
+        let t = &mut self.threads[target];
+        t.park_token = true;
+        join_view(&mut t.park_view, &tv);
+        t.park_clock.join(&tc);
+        if t.state == ThState::Blocked(Block::Park) {
+            t.state = ThState::Ready;
+        }
+        self.mix_hist(tid, &[9, target as u64]);
+    }
+
+    // -- canonical state hashing --------------------------------------
+
+    /// Canonicalize a view for hashing: timestamps become per-location
+    /// store indices, so interleavings of independent operations that
+    /// reach the same semantic state collide (and prune).
+    fn hash_view(&self, h: &mut u64, v: &View) {
+        for (&lid, &ts) in v {
+            let idx = self.locs[lid]
+                .stores
+                .binary_search_by_key(&ts, |m| m.ts)
+                .map(|i| i as u64)
+                .unwrap_or(u64::MAX);
+            *h = mix64(*h ^ lid as u64);
+            *h = mix64(*h ^ idx);
+        }
+    }
+
+    fn state_hash(&self, entering: usize) -> u64 {
+        let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+        h = mix64(h ^ entering as u64);
+        h = mix64(h ^ self.preemptions as u64);
+        for (i, t) in self.threads.iter().enumerate() {
+            h = mix64(h ^ i as u64);
+            let st = match t.state {
+                ThState::Ready => 0u64,
+                ThState::Blocked(Block::Park) => 1,
+                ThState::Blocked(Block::Mutex(m)) => 2 + ((m as u64) << 8),
+                ThState::Blocked(Block::Join(j)) => 3 + ((j as u64) << 8),
+                ThState::Finished => 4,
+            };
+            h = mix64(h ^ st);
+            h = mix64(h ^ ((t.yielded as u64) | ((t.park_token as u64) << 1)));
+            h = mix64(h ^ t.hist);
+            self.hash_view(&mut h, &t.view);
+            self.hash_view(&mut h, &t.acq_pending_view);
+            if let Some((fv, _)) = &t.rel_fence {
+                h = mix64(h ^ 0xfe);
+                self.hash_view(&mut h, fv);
+            }
+            self.hash_view(&mut h, &t.park_view);
+        }
+        for (lid, loc) in self.locs.iter().enumerate() {
+            h = mix64(h ^ (0x1_0000 + lid as u64));
+            for (idx, m) in loc.stores.iter().enumerate() {
+                h = mix64(h ^ idx as u64);
+                h = mix64(h ^ m.writer as u64);
+                h = mix64(h ^ m.val);
+                if let Some(v) = &m.view {
+                    self.hash_view(&mut h, v);
+                }
+            }
+        }
+        for (mid, m) in self.mutexes.iter().enumerate() {
+            h = mix64(h ^ (0x2_0000 + mid as u64));
+            h = mix64(h ^ m.locked_by.map_or(u64::MAX, |o| o as u64));
+            self.hash_view(&mut h, &m.view);
+        }
+        self.hash_view(&mut h, &self.sc_view);
+        h
+    }
+}
+
+/// SplitMix64 finalizer: deterministic across runs (unlike
+/// `DefaultHasher`, whose keys are randomized per process).
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}

@@ -1,0 +1,92 @@
+//! Scheduler-aware mutex (model builds only).
+//!
+//! Lock acquisition is a blocking schedule point; contention is a
+//! branch the explorer takes both ways. Lock/unlock propagate views
+//! and vector clocks, so data handed off under the mutex is properly
+//! ordered — the generation-fencing protocol is checked against
+//! exactly these edges.
+
+use crate::rt::with_ctx;
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+
+/// Model-instrumented mutex with the same poison-tolerant `lock`
+/// surface as the real-build `qf_model::sync::Mutex`.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    data: UnsafeCell<T>,
+}
+
+// Safety: access to `data` is serialized by the model scheduler — a
+// guard only exists while the explorer has granted the lock, and the
+// explorer runs one thread at a time besides.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: as for Send above — the model lock grants exclusivity before
+// any guard can dereference `data`.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    /// Lock, blocking (in model time) until available.
+    ///
+    /// Outside a model execution (or while the thread is unwinding
+    /// through teardown) the guard is handed out without scheduling:
+    /// the explorer serializes threads, so there is no real
+    /// contention to arbitrate.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let _ = with_ctx(|ex, tid| {
+            ex.blocking_op(tid, |g| g.mutex_try_lock(tid, self.addr()));
+        });
+        MutexGuard { mutex: self }
+    }
+}
+
+/// RAII guard; releases the model lock on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: the explorer granted this thread the lock in
+        // `Mutex::lock` and revokes it only in our `drop`.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: as for `deref` — exclusive by the model lock.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let addr = self.mutex.addr();
+        let _ = with_ctx(|ex, tid| {
+            ex.op(tid, |g| g.mutex_unlock(tid, addr));
+        });
+    }
+}
+
+impl<T> Drop for Mutex<T> {
+    fn drop(&mut self) {
+        let addr = self.addr();
+        let _ = with_ctx(|ex, _tid| {
+            ex.raw_inner(|g| g.forget_mutex(addr));
+        });
+    }
+}

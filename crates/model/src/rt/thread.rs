@@ -1,0 +1,209 @@
+//! Model threads: spawn/join, park/unpark, yield (model builds only).
+//!
+//! Model threads are real OS threads serialized by the explorer's
+//! turnstile. Spawn registers the child with the scheduler (inheriting
+//! the parent's view and clock — the spawn edge); join is a blocking
+//! schedule point that absorbs the child's final view/clock (the join
+//! edge). Park/unpark use a token exactly like `std::thread::park`,
+//! with an unpark→park-return happens-before edge, and a thread parked
+//! with no outstanding token is *blocked* — which is how lost-wakeup
+//! bugs surface as reported deadlocks.
+
+use crate::rt::{with_ctx, Block, ExecAbort, Execution, CTX};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// Unpark handle for a thread (model or OS).
+#[derive(Debug, Clone)]
+pub struct Thread {
+    inner: ThreadInner,
+}
+
+#[derive(Debug, Clone)]
+enum ThreadInner {
+    Model { exec: Arc<Execution>, tid: usize },
+    Os(std::thread::Thread),
+}
+
+impl Thread {
+    /// Wake (or pre-token) the thread, as `std::thread::Thread::unpark`.
+    pub fn unpark(&self) {
+        match &self.inner {
+            ThreadInner::Model { exec, tid } => {
+                let target = *tid;
+                let modeled = with_ctx(|ex, me| {
+                    debug_assert!(Arc::ptr_eq(ex, exec), "unpark across executions");
+                    ex.op(me, |g| g.unpark(me, target));
+                });
+                // During teardown unwind there is nothing to wake.
+                let _ = modeled;
+            }
+            ThreadInner::Os(t) => t.unpark(),
+        }
+    }
+}
+
+/// Handle for the calling thread, as `std::thread::current`.
+pub fn current() -> Thread {
+    let model = CTX.with(|c| c.borrow().as_ref().map(|(ex, tid)| (Arc::clone(ex), *tid)));
+    match model {
+        Some((exec, tid)) => Thread {
+            inner: ThreadInner::Model { exec, tid },
+        },
+        None => Thread {
+            inner: ThreadInner::Os(std::thread::current()),
+        },
+    }
+}
+
+/// Block until unparked, as `std::thread::park` (no spurious wakeups
+/// in the model — code must not rely on them, only tolerate them).
+pub fn park() {
+    let modeled = with_ctx(|ex, tid| {
+        ex.blocking_op(tid, |g| g.try_park(tid));
+    });
+    if modeled.is_none() {
+        std::thread::park();
+    }
+}
+
+/// Yield: a schedule point at which the explorer must run another
+/// thread (if any is runnable) before this one continues.
+pub fn yield_now() {
+    let modeled = with_ctx(|ex, tid| {
+        ex.op(tid, |g| g.note_yield(tid));
+    });
+    if modeled.is_none() {
+        std::thread::yield_now();
+    }
+}
+
+/// Spin hint: same scheduling treatment as [`yield_now`] — a spin
+/// iteration must let the other thread make progress, or the DFS
+/// would explore unbounded self-spins.
+pub fn spin_loop() {
+    let modeled = with_ctx(|ex, tid| {
+        ex.op(tid, |g| g.note_yield(tid));
+    });
+    if modeled.is_none() {
+        std::hint::spin_loop();
+    }
+}
+
+/// Join handle, as `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    inner: JoinInner<T>,
+}
+
+enum JoinInner<T> {
+    Model {
+        exec: Arc<Execution>,
+        tid: usize,
+        result: Arc<StdMutex<Option<std::thread::Result<T>>>>,
+        os: Option<std::thread::JoinHandle<()>>,
+    },
+    Os(std::thread::JoinHandle<T>),
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait (in model time) for the thread and take its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            JoinInner::Model {
+                exec,
+                tid,
+                result,
+                os,
+            } => {
+                let target = tid;
+                let modeled = with_ctx(|ex, me| {
+                    debug_assert!(Arc::ptr_eq(ex, &exec), "join across executions");
+                    ex.blocking_op(me, |g| {
+                        if g.is_finished(target) {
+                            g.absorb_finished(me, target);
+                            Ok(())
+                        } else {
+                            Err(Block::Join(target))
+                        }
+                    });
+                });
+                if modeled.is_some() {
+                    // The model thread has finished; its OS thread is
+                    // exiting — reap it so threads don't accumulate
+                    // across the many executions of an exploration.
+                    if let Some(h) = os {
+                        let _ = h.join();
+                    }
+                }
+                let taken = {
+                    let mut slot = match result.lock() {
+                        Ok(g) => g,
+                        Err(p) => p.into_inner(),
+                    };
+                    slot.take()
+                };
+                match taken {
+                    Some(r) => r,
+                    // Aborted execution: the child unwound without
+                    // storing a result. Propagate the abort.
+                    None => std::panic::panic_any(ExecAbort),
+                }
+            }
+            JoinInner::Os(h) => h.join(),
+        }
+    }
+}
+
+/// Spawn a thread, as `std::thread::spawn`. On a model thread this
+/// registers a model thread with the explorer; elsewhere it is the
+/// real `std` spawn.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let model = CTX.with(|c| c.borrow().as_ref().map(|(ex, tid)| (Arc::clone(ex), *tid)));
+    let Some((exec, parent)) = model else {
+        return JoinHandle {
+            inner: JoinInner::Os(std::thread::spawn(f)),
+        };
+    };
+    // Registering the child is itself an operation of the parent (a
+    // schedule point): the child becomes runnable once registered.
+    let tid = exec.op(parent, |g| g.register_thread(parent));
+    let result: Arc<StdMutex<Option<std::thread::Result<T>>>> = Arc::default();
+    let os = {
+        let exec = Arc::clone(&exec);
+        let result = Arc::clone(&result);
+        std::thread::spawn(move || {
+            CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+            let r = catch_unwind(AssertUnwindSafe(f));
+            let panic_msg = match &r {
+                Ok(_) => None,
+                Err(p) if p.downcast_ref::<ExecAbort>().is_some() => None,
+                Err(p) => Some(
+                    p.downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| p.downcast_ref::<&'static str>().map(|s| (*s).to_string()))
+                        .unwrap_or_else(|| "<non-string panic payload>".to_string()),
+                ),
+            };
+            {
+                let mut slot = match result.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                *slot = r.ok().map(Ok);
+            }
+            exec.finish_thread(tid, panic_msg);
+        })
+    };
+    JoinHandle {
+        inner: JoinInner::Model {
+            exec,
+            tid,
+            result,
+            os: Some(os),
+        },
+    }
+}

@@ -1,0 +1,150 @@
+//! The qf-sync shim: the one `use` surface the lock-free protocols
+//! compile against.
+//!
+//! Real builds (`cfg(not(qf_model))`): every item is a zero-cost
+//! re-export of, or `#[inline(always)]` transparent wrapper over, the
+//! `std` primitive — no behavior or codegen change (see the
+//! `shim_equiv` proptest suite). Model builds (`--cfg qf_model`): the
+//! same names resolve to the instrumented primitives in [`crate::rt`],
+//! so the *unchanged* protocol source is explored exhaustively.
+
+/// Atomic integers, `Ordering`, and `fence`.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    #[cfg(not(qf_model))]
+    pub use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
+
+    #[cfg(qf_model)]
+    pub use crate::rt::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
+}
+
+/// Spin-wait hint.
+pub mod hint {
+    /// `std::hint::spin_loop`, or a model yield point under `qf_model`
+    /// (a spin that the scheduler can deprioritize, so busy-wait loops
+    /// don't explode the interleaving tree).
+    #[cfg(not(qf_model))]
+    #[inline(always)]
+    pub fn spin_loop() {
+        std::hint::spin_loop();
+    }
+
+    #[cfg(qf_model)]
+    pub use crate::rt::thread::spin_loop;
+}
+
+/// Non-atomic payload cells whose cross-thread handoff is protected by
+/// the surrounding atomic protocol.
+pub mod cell {
+    #[cfg(not(qf_model))]
+    use std::cell::UnsafeCell;
+
+    /// An `UnsafeCell` whose accesses the model checker race-checks
+    /// with vector clocks (the analog of `loom::cell::UnsafeCell`).
+    ///
+    /// In real builds this is `#[repr(transparent)]` over
+    /// `UnsafeCell<T>` and both accessors compile to a bare pointer
+    /// pass-through. In model builds every access is checked for a
+    /// happens-before edge against all prior conflicting accesses, so
+    /// a protocol that publishes the cell with too-weak an ordering
+    /// fails with a reported data race instead of silent tearing.
+    #[cfg(not(qf_model))]
+    #[repr(transparent)]
+    pub struct RaceCell<T>(UnsafeCell<T>);
+
+    // Safety: RaceCell is a raw shared-mutability cell. Callers
+    // promise, via the `unsafe` contract on `with`/`with_mut`, that
+    // their protocol synchronizes conflicting accesses — the same
+    // argument an `unsafe impl Sync` on a hand-rolled `UnsafeCell`
+    // wrapper would make, centralized here once.
+    #[cfg(not(qf_model))]
+    unsafe impl<T: Send> Send for RaceCell<T> {}
+    // SAFETY: as for Send above — shared access is sound only under the
+    // caller-promised protocol, which is the `with`/`with_mut` contract.
+    #[cfg(not(qf_model))]
+    unsafe impl<T: Send> Sync for RaceCell<T> {}
+
+    #[cfg(not(qf_model))]
+    impl<T> RaceCell<T> {
+        /// Wrap a value.
+        #[inline(always)]
+        pub const fn new(value: T) -> Self {
+            RaceCell(UnsafeCell::new(value))
+        }
+
+        /// Immutable (read) access.
+        ///
+        /// # Safety
+        /// Caller must guarantee no concurrent mutable access, exactly
+        /// as for dereferencing `UnsafeCell::get` — the surrounding
+        /// protocol's happens-before edges are the argument.
+        #[inline(always)]
+        pub unsafe fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            f(self.0.get())
+        }
+
+        /// Mutable (write) access.
+        ///
+        /// # Safety
+        /// Caller must guarantee exclusive access for the duration of
+        /// `f`, exactly as for dereferencing `UnsafeCell::get`.
+        #[inline(always)]
+        pub unsafe fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.0.get())
+        }
+    }
+
+    #[cfg(qf_model)]
+    pub use crate::rt::cell::RaceCell;
+}
+
+/// Thread parking, yielding, spawn, and the `Thread` unpark handle.
+pub mod thread {
+    #[cfg(not(qf_model))]
+    pub use std::thread::{current, park, spawn, yield_now, JoinHandle, Thread};
+
+    #[cfg(qf_model)]
+    pub use crate::rt::thread::{current, park, spawn, yield_now, JoinHandle, Thread};
+}
+
+#[cfg(not(qf_model))]
+mod mutex_real {
+    use std::sync::Mutex as StdMutex;
+
+    pub use std::sync::MutexGuard;
+
+    /// A `std::sync::Mutex` whose `lock` tolerates poisoning by
+    /// continuing with the inner data (`PoisonError::into_inner`).
+    ///
+    /// Every mutex in the supervised pipeline wants exactly this
+    /// policy: a worker panic that lands mid-commit must not wedge the
+    /// router — the recovery data under the lock is still the best
+    /// information available (see `ShardRecovery::lock`). Centralizing
+    /// it here also gives the model build one lock type to instrument.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(StdMutex<T>);
+
+    impl<T> Mutex<T> {
+        /// Wrap a value.
+        #[inline(always)]
+        pub const fn new(value: T) -> Self {
+            Mutex(StdMutex::new(value))
+        }
+
+        /// Lock, continuing through poisoning.
+        #[inline(always)]
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            match self.0.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            }
+        }
+    }
+}
+
+#[cfg(not(qf_model))]
+pub use mutex_real::{Mutex, MutexGuard};
+
+#[cfg(qf_model)]
+pub use crate::rt::mutex::{Mutex, MutexGuard};

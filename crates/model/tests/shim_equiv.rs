@@ -1,0 +1,122 @@
+//! Observational equivalence of the qf-sync shim in real builds.
+//!
+//! The ISSUE-8 satellite: in `cfg(not(qf_model))` builds the shim must
+//! be indistinguishable from `std::sync::atomic` — same results, same
+//! final state, for arbitrary single-threaded op sequences (the
+//! multi-threaded case is exactly what the model build explores; here
+//! we pin the pass-through). Also covers `RaceCell` and the
+//! poison-tolerant `Mutex` wrapper.
+#![cfg(not(qf_model))]
+
+use proptest::collection;
+use proptest::prop_assert_eq;
+use qf_model::sync::atomic::{AtomicU64, Ordering};
+use qf_model::sync::cell::RaceCell;
+use qf_model::sync::Mutex;
+
+/// Decode one generated `(kind, a, b)` triple into an atomic op, apply
+/// it, and return the observable result.
+fn apply_shim(at: &AtomicU64, kind: u64, a: u64, b: u64) -> Result<u64, u64> {
+    match kind % 7 {
+        0 => Ok(at.load(Ordering::SeqCst)),
+        1 => {
+            at.store(a, Ordering::SeqCst);
+            Ok(0)
+        }
+        2 => Ok(at.swap(a, Ordering::SeqCst)),
+        3 => Ok(at.fetch_add(a, Ordering::SeqCst)),
+        4 => Ok(at.fetch_sub(a, Ordering::SeqCst)),
+        5 => at.compare_exchange(a, b, Ordering::SeqCst, Ordering::SeqCst),
+        _ => at.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |x| x.checked_add(a)),
+    }
+}
+
+fn apply_std(at: &std::sync::atomic::AtomicU64, kind: u64, a: u64, b: u64) -> Result<u64, u64> {
+    use std::sync::atomic::Ordering::SeqCst;
+    match kind % 7 {
+        0 => Ok(at.load(SeqCst)),
+        1 => {
+            at.store(a, SeqCst);
+            Ok(0)
+        }
+        2 => Ok(at.swap(a, SeqCst)),
+        3 => Ok(at.fetch_add(a, SeqCst)),
+        4 => Ok(at.fetch_sub(a, SeqCst)),
+        5 => at.compare_exchange(a, b, SeqCst, SeqCst),
+        _ => at.fetch_update(SeqCst, SeqCst, |x| x.checked_add(a)),
+    }
+}
+
+proptest::proptest! {
+    /// Every op sequence yields identical results and final state on
+    /// the shim atomic and the std atomic it claims to be.
+    #[test]
+    fn atomic_u64_matches_std(
+        init in 0u64..=u64::MAX,
+        ops in collection::vec((0u64..7, 0u64..=u64::MAX, 0u64..=u64::MAX), 0..64),
+    ) {
+        let shim = AtomicU64::new(init);
+        let real = std::sync::atomic::AtomicU64::new(init);
+        for (kind, a, b) in &ops {
+            prop_assert_eq!(
+                apply_shim(&shim, *kind, *a, *b),
+                apply_std(&real, *kind, *a, *b)
+            );
+        }
+        prop_assert_eq!(
+            shim.load(Ordering::SeqCst),
+            real.load(std::sync::atomic::Ordering::SeqCst)
+        );
+    }
+
+    /// RaceCell round-trips arbitrary values through `with_mut`/`with`
+    /// exactly like a plain value (single-threaded pass-through).
+    #[test]
+    fn race_cell_round_trips(a in 0u64..=u64::MAX, b in 0u64..=u64::MAX) {
+        let cell = RaceCell::new(a);
+        // Safety: single-threaded test — exclusive by construction.
+        let read = unsafe { cell.with(|p| *p) };
+        prop_assert_eq!(read, a);
+        // Safety: as above.
+        unsafe { cell.with_mut(|p| *p = b) };
+        // Safety: as above.
+        let read = unsafe { cell.with(|p| *p) };
+        prop_assert_eq!(read, b);
+    }
+
+    /// The shim mutex agrees with `std::sync::Mutex` over a sequence
+    /// of guarded mutations.
+    #[test]
+    fn mutex_matches_std(
+        init in 0u64..=u64::MAX,
+        deltas in collection::vec(0u64..=u64::MAX, 0..32),
+    ) {
+        let shim = Mutex::new(init);
+        let real = std::sync::Mutex::new(init);
+        for d in &deltas {
+            let mut g = shim.lock();
+            *g = g.wrapping_add(*d);
+            drop(g);
+            let mut g = real.lock().unwrap();
+            *g = g.wrapping_add(*d);
+            drop(g);
+            prop_assert_eq!(*shim.lock(), *real.lock().unwrap());
+        }
+    }
+}
+
+/// The shim mutex recovers the inner value after a poisoning panic
+/// instead of propagating the poison — the policy `ShardRecovery`
+/// depends on.
+#[test]
+fn mutex_lock_survives_poison() {
+    let m = std::sync::Arc::new(Mutex::new(41u64));
+    let m2 = std::sync::Arc::clone(&m);
+    let _ = std::thread::spawn(move || {
+        let _guard = m2.lock();
+        panic!("poison the lock");
+    })
+    .join();
+    *m.lock() += 1;
+    assert_eq!(*m.lock(), 42);
+}

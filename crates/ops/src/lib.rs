@@ -47,6 +47,8 @@ const ACCEPT_POLL: Duration = Duration::from_millis(5);
 /// server thread.
 pub struct OpsServer {
     addr: SocketAddr,
+    // sync: counter — relaxed stop latch, polled by the accept loop;
+    // the `join` in `stop_and_join` is the shutdown ordering edge.
     stop: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
 }

@@ -130,6 +130,9 @@ struct ChaosShared {
     faults: Vec<Fault>,
     /// Uses left per fault, index-aligned with `faults`. `u32::MAX`
     /// means unlimited (never decremented to keep it truly unlimited).
+    // sync: release-acquire — the consume CAS (`AcqRel` fetch_update)
+    // hands the budget across worker generations so a respawned worker
+    // observes every use its predecessors burned.
     remaining: Vec<AtomicU32>,
 }
 

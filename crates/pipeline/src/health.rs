@@ -28,18 +28,25 @@ use std::sync::Arc;
 #[derive(Debug, Default)]
 pub(crate) struct ShardBoard {
     /// [`ShardState::code`] of the current state.
+    // sync: counter — relaxed scoreboard word (struct docs).
     state: AtomicI64,
     /// Consecutive-crash strikes currently on record.
+    // sync: counter — relaxed scoreboard word (struct docs).
     strikes: AtomicU64,
     /// Completed restarts (quarantine does not count).
+    // sync: counter — relaxed scoreboard word (struct docs).
     restarts: AtomicU64,
     /// Generation of the live (or last fenced) worker lineage.
+    // sync: counter — relaxed scoreboard word (struct docs).
     generation: AtomicU64,
     /// [`CrashCause::code`] of the most recent recovery; `0` = never.
+    // sync: counter — relaxed scoreboard word (struct docs).
     last_cause: AtomicU64,
     /// Items lost in the most recent recovery.
+    // sync: counter — relaxed scoreboard word (struct docs).
     last_lost: AtomicU64,
     /// Detection-to-respawn latency of the most recent restart, µs.
+    // sync: counter — relaxed scoreboard word (struct docs).
     last_latency_micros: AtomicU64,
 }
 

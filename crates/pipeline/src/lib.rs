@@ -55,6 +55,9 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+// Unsafe discipline (QF-L007's compiler-side sibling): every op in
+// an `unsafe fn` sits in its own SAFETY-commented block.
+#![deny(unsafe_op_in_unsafe_fn)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![deny(missing_docs)]
 

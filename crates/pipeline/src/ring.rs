@@ -13,13 +13,19 @@
 //! shard queue its producer side to the (single-threaded) router and its
 //! consumer side to the shard's worker thread.
 //!
+//! All synchronization goes through the `qf_model::sync` shim: a
+//! zero-cost re-export of `std` in real builds, and the instrumented
+//! model-checker primitives under `--cfg qf_model` — the exhaustive
+//! interleaving harness in `tests/model_ring.rs` explores exactly this
+//! source. DESIGN.md §15 specifies the protocol below edge by edge.
+//!
 //! ## Idle strategy
 //!
-//! An empty-queue consumer first spins (with [`std::hint::spin_loop`]),
-//! then yields, then parks its thread; the producer unparks it after a
-//! push when (and only when) the parked flag is up, using the SeqCst-fence
-//! handshake so a wakeup can never be lost between the consumer's "is it
-//! still empty?" re-check and the producer's flag read. A full-queue
+//! An empty-queue consumer first spins (with a spin hint), then yields,
+//! then parks its thread; the producer unparks it after a push when (and
+//! only when) the parked flag is up, using the SeqCst-fence handshake so
+//! a wakeup can never be lost between the consumer's "is it still
+//! empty?" re-check and the producer's flag read. A full-queue
 //! *producer* under the blocking backpressure policy only spins/yields —
 //! producer stalls end as soon as the consumer frees a slot, so parking
 //! machinery on that side would buy nothing.
@@ -45,16 +51,30 @@
 //! the producer's full-queue retry observes freed slots through `head`
 //! exactly as it does for ordinary pops.
 
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread::Thread;
+use std::sync::Arc;
+
+use qf_model::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use qf_model::sync::cell::RaceCell;
+use qf_model::sync::hint;
+use qf_model::sync::thread::{self, Thread};
+use qf_model::sync::Mutex;
 
 /// Spins before the consumer escalates from `spin_loop` to `yield_now`.
+#[cfg(not(qf_model))]
 const SPINS_BEFORE_YIELD: usize = 64;
 /// Yields before the consumer escalates from `yield_now` to parking.
+#[cfg(not(qf_model))]
 const YIELDS_BEFORE_PARK: usize = 32;
+
+/// Model builds shrink the escalation ladder to one rung each, so the
+/// explorer reaches the park/wake handshake — the part worth checking —
+/// within a tractable number of schedule points. Every rung (spin,
+/// yield, park) is still exercised.
+#[cfg(qf_model)]
+const SPINS_BEFORE_YIELD: usize = 1;
+#[cfg(qf_model)]
+const YIELDS_BEFORE_PARK: usize = 1;
 
 /// Why a push did not take effect.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,7 +85,7 @@ pub enum PushError {
     Disconnected,
 }
 
-struct Slot<T>(UnsafeCell<MaybeUninit<T>>);
+struct Slot<T>(RaceCell<MaybeUninit<T>>);
 
 /// The shared ring state. Construct with [`SpscRing::with_capacity`] and
 /// [`split`](SpscRing::split) into the two endpoint handles.
@@ -73,28 +93,35 @@ pub struct SpscRing<T> {
     slots: Box<[Slot<T>]>,
     mask: usize,
     /// Next slot the producer writes (monotonic, wraps via `mask`).
+    // sync: release-acquire — push_slot's Release store publishes the
+    // slot write; try_pop's Acquire load pairs with it.
     tail: AtomicUsize,
     /// Next slot the consumer reads (monotonic, wraps via `mask`).
+    // sync: release-acquire — pop_slot's Release store publishes the
+    // freed slot; try_push's Acquire load pairs with it.
     head: AtomicUsize,
     /// Cleared by the consumer's drop guard when the worker exits.
+    // sync: release-acquire — mark_dead's Release store pairs with the
+    // producer-side Acquire loads in try_push/consumer_alive.
     consumer_alive: AtomicBool,
     /// Raised when the producer endpoint is closed or dropped: the
     /// consumer drains what is queued, then `pop_wait` returns `None`.
+    // sync: release-acquire — close's Release store orders the final
+    // pushes before pop_wait's Acquire load observes the close.
     producer_closed: AtomicBool,
     /// Oldest-item drop credits posted by the producer under shedding
     /// backpressure, redeemed by the consumer via `take_shed`.
+    // sync: counter — relaxed credit counter; freed slots are observed
+    // through `head`, never through this value.
     shed_requests: AtomicU32,
-    /// Raised by the consumer just before parking (SeqCst handshake).
+    /// Raised by the consumer just before parking.
+    // sync: seqcst-handshake — relaxed flag sealed by SeqCst fences on
+    // both sides (pop_wait / wake_consumer), the Dekker-style store-
+    // buffering guard that makes lost wakeups impossible.
     consumer_parked: AtomicBool,
     /// The consumer thread to unpark; registered before the first pop.
     consumer_thread: Mutex<Option<Thread>>,
 }
-
-// The `UnsafeCell` slots are handed between exactly one producer and one
-// consumer with release/acquire ordering on `tail`/`head`; no slot is ever
-// aliased mutably (safety argument on `push_slot`/`pop_slot`).
-unsafe impl<T: Send> Send for SpscRing<T> {}
-unsafe impl<T: Send> Sync for SpscRing<T> {}
 
 impl<T> SpscRing<T> {
     /// Allocate a ring with at least `capacity` slots (rounded up to a
@@ -103,7 +130,7 @@ impl<T> SpscRing<T> {
         let cap = capacity.max(2).next_power_of_two();
         let mut slots = Vec::with_capacity(cap);
         for _ in 0..cap {
-            slots.push(Slot(UnsafeCell::new(MaybeUninit::uninit())));
+            slots.push(Slot(RaceCell::new(MaybeUninit::uninit())));
         }
         Self {
             slots: slots.into_boxed_slice(),
@@ -147,9 +174,16 @@ impl<T> SpscRing<T> {
     /// free (`tail - head < capacity`); the consumer only reads slots
     /// strictly below `tail`, so this write is unaliased.
     fn push_slot(&self, value: T) {
-        let tail = self.tail.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed); // sync: relaxed-ok — producer-owned word
         let slot = &self.slots[tail & self.mask];
-        unsafe { (*slot.0.get()).write(value) };
+        // SAFETY: per the caller contract above, this slot is free and
+        // no other thread touches it until the Release store below
+        // publishes it.
+        unsafe {
+            slot.0.with_mut(|p| {
+                (*p).write(value);
+            });
+        }
         self.tail.store(tail.wrapping_add(1), Ordering::Release);
     }
 
@@ -159,9 +193,12 @@ impl<T> SpscRing<T> {
     /// filled (`head < tail`); the producer only writes slots at or above
     /// `tail`, so this read is unaliased and initialized.
     fn pop_slot(&self) -> T {
-        let head = self.head.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Relaxed); // sync: relaxed-ok — consumer-owned word
         let slot = &self.slots[head & self.mask];
-        let value = unsafe { (*slot.0.get()).assume_init_read() };
+        // SAFETY: per the caller contract above, the slot was initialized
+        // by the producer and published through `tail`'s Release store,
+        // which the caller's Acquire load observed.
+        let value = unsafe { slot.0.with(|p| (*p).assume_init_read()) };
         self.head.store(head.wrapping_add(1), Ordering::Release);
         value
     }
@@ -170,12 +207,19 @@ impl<T> SpscRing<T> {
 impl<T> Drop for SpscRing<T> {
     fn drop(&mut self) {
         // Both handles are gone; drain whatever is still queued.
-        let head = self.head.load(Ordering::Relaxed);
-        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Relaxed); // sync: relaxed-ok — exclusive &mut self
+        let tail = self.tail.load(Ordering::Relaxed); // sync: relaxed-ok — exclusive &mut self
         let mut at = head;
         while at != tail {
             let slot = &self.slots[at & self.mask];
-            unsafe { (*slot.0.get()).assume_init_drop() };
+            // SAFETY: slots in [head, tail) were initialized by the
+            // producer and never popped; `&mut self` proves no endpoint
+            // can race this drain.
+            unsafe {
+                slot.0.with_mut(|p| {
+                    (*p).assume_init_drop();
+                });
+            }
             at = at.wrapping_add(1);
         }
     }
@@ -194,7 +238,7 @@ impl<T> Producer<T> {
         if !self.ring.consumer_alive.load(Ordering::Acquire) {
             return Err((PushError::Disconnected, value));
         }
-        let tail = self.ring.tail.load(Ordering::Relaxed);
+        let tail = self.ring.tail.load(Ordering::Relaxed); // sync: relaxed-ok — producer-owned word
         let head = self.ring.head.load(Ordering::Acquire);
         if tail.wrapping_sub(head) > self.ring.mask {
             return Err((PushError::Full, value));
@@ -215,9 +259,9 @@ impl<T> Producer<T> {
                 Err((PushError::Full, v)) => {
                     value = v;
                     if spins < SPINS_BEFORE_YIELD {
-                        std::hint::spin_loop();
+                        hint::spin_loop();
                     } else {
-                        std::thread::yield_now();
+                        thread::yield_now();
                     }
                     spins += 1;
                 }
@@ -241,9 +285,9 @@ impl<T> Producer<T> {
                     }
                     value = v;
                     if spins < SPINS_BEFORE_YIELD {
-                        std::hint::spin_loop();
+                        hint::spin_loop();
                     } else {
-                        std::thread::yield_now();
+                        thread::yield_now();
                     }
                     spins += 1;
                 }
@@ -286,10 +330,8 @@ impl<T> Producer<T> {
     fn wake_consumer(&self) {
         fence(Ordering::SeqCst);
         if self.ring.consumer_parked.load(Ordering::Relaxed) {
-            if let Ok(guard) = self.ring.consumer_thread.lock() {
-                if let Some(t) = guard.as_ref() {
-                    t.unpark();
-                }
+            if let Some(t) = self.ring.consumer_thread.lock().as_ref() {
+                t.unpark();
             }
         }
     }
@@ -312,14 +354,12 @@ impl<T> Consumer<T> {
     /// Register the calling thread as the one to unpark. Workers call this
     /// once before their first [`Self::pop_wait`].
     pub fn register_current_thread(&self) {
-        if let Ok(mut guard) = self.ring.consumer_thread.lock() {
-            *guard = Some(std::thread::current());
-        }
+        *self.ring.consumer_thread.lock() = Some(thread::current());
     }
 
     /// Pop without waiting.
     pub fn try_pop(&mut self) -> Option<T> {
-        let head = self.ring.head.load(Ordering::Relaxed);
+        let head = self.ring.head.load(Ordering::Relaxed); // sync: relaxed-ok — consumer-owned word
         let tail = self.ring.tail.load(Ordering::Acquire);
         if head == tail {
             return None;
@@ -347,9 +387,9 @@ impl<T> Consumer<T> {
                     return self.try_pop();
                 }
                 if spins < SPINS_BEFORE_YIELD {
-                    std::hint::spin_loop();
+                    hint::spin_loop();
                 } else {
-                    std::thread::yield_now();
+                    thread::yield_now();
                 }
                 spins += 1;
             }
@@ -366,7 +406,7 @@ impl<T> Consumer<T> {
                 self.ring.consumer_parked.store(false, Ordering::Relaxed);
                 return self.try_pop();
             }
-            std::thread::park();
+            thread::park();
             self.ring.consumer_parked.store(false, Ordering::Relaxed);
         }
     }

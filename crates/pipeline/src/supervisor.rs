@@ -57,10 +57,10 @@ use crate::chaos::ArmedChaos;
 use crate::telemetry;
 use crate::worker::BURST;
 use core::time::Duration;
+use qf_model::sync::atomic::{AtomicU64, Ordering};
+use qf_model::sync::{Mutex, MutexGuard};
 use quantile_filter::QuantileFilter;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
 
 /// Lifecycle state of a supervised shard. See the module docs for the
 /// transition diagram.
@@ -313,6 +313,9 @@ pub(crate) struct ShardRecovery {
     inner: Mutex<RecoveryInner>,
     /// Liveness counter: bumped per popped item, read by the watchdog.
     /// Monotone across generations; only "has it moved" matters.
+    // sync: counter — relaxed watchdog heartbeat; a stale read only
+    // delays a hang verdict by one scan, and every state handoff goes
+    // through `inner`'s lock edges.
     progress: AtomicU64,
 }
 
@@ -346,15 +349,13 @@ impl ShardRecovery {
         self.progress.load(Ordering::Relaxed)
     }
 
-    /// Lock the inner state. Poisoning is tolerated: a worker can only
-    /// panic inside `filter.insert` (outside the lock) or via injected
-    /// chaos, but if a panic ever does land mid-commit the recovery data
-    /// is still the best information available.
+    /// Lock the inner state. Poisoning is tolerated (the shim's `lock`
+    /// continues with the inner data): a worker can only panic inside
+    /// `filter.insert` (outside the lock) or via injected chaos, but if
+    /// a panic ever does land mid-commit the recovery data is still the
+    /// best information available.
     pub(crate) fn lock(&self) -> MutexGuard<'_, RecoveryInner> {
-        match self.inner.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        }
+        self.inner.lock()
     }
 }
 
@@ -773,6 +774,99 @@ mod tests {
             if corrupt_mode < 2 {
                 proptest::prop_assert_eq!(recovered.recovered_seq, crash_at as u64);
             }
+        }
+    }
+
+    /// Exhaustive model check of the generation fence (runs only under
+    /// `RUSTFLAGS='--cfg qf_model'`, via `cargo xtask model`).
+    ///
+    /// The protocol under verification is the worker's batch commit
+    /// (`worker.rs`): take the recovery lock, compare
+    /// `RecoveryInner::generation` against the worker's own generation
+    /// *under that lock*, and only then journal the batch. The fence
+    /// invariant: once the router has bumped the generation, a stale
+    /// worker's commit is side-effect-free — `applied` never moves
+    /// after the router snapshots it at recovery time.
+    #[cfg(qf_model)]
+    mod fencing {
+        use super::super::ShardRecovery;
+        use qf_model::sync::thread;
+        use qf_model::{try_model, Checker};
+        use std::sync::Arc;
+
+        /// Worker committing concurrently with the router fencing: in
+        /// every interleaving the commit either lands before the fence
+        /// (and is counted in the router's snapshot) or is refused by
+        /// the generation check — the snapshot is final either way.
+        #[test]
+        fn stale_commit_after_fence_is_side_effect_free() {
+            let stats = Checker::new()
+                .check(|| {
+                    let rec = Arc::new(ShardRecovery::new(8));
+                    let worker = {
+                        let rec = Arc::clone(&rec);
+                        // Worker of generation 0: the real commit shape —
+                        // generation checked under the same lock hold as
+                        // the append.
+                        thread::spawn(move || {
+                            let mut inner = rec.lock();
+                            if inner.generation == 0 {
+                                inner.append(1, 1.0);
+                            }
+                        })
+                    };
+                    let snap = {
+                        let mut inner = rec.lock();
+                        // `build_fresh` refusing means recover() bumps the
+                        // fence and leaves every other field untouched —
+                        // the minimal router rebuild.
+                        let _ = inner.recover(&mut || None);
+                        inner.applied
+                    };
+                    worker.join().unwrap();
+                    let final_applied = rec.lock().applied;
+                    assert_eq!(
+                        final_applied, snap,
+                        "stale commit landed after the generation fence"
+                    );
+                })
+                .expect("generation fence must make stale commits side-effect-free");
+            assert!(stats.executions > 1, "stats: {stats:?}");
+        }
+
+        /// Seeded-bug self-test: the same commit with the generation
+        /// check hoisted *outside* the lock hold that appends. The
+        /// fence can then land between check and append, and the stale
+        /// commit goes through — the checker must catch it.
+        #[test]
+        fn seeded_check_outside_lock_caught() {
+            let v = try_model(|| {
+                let rec = Arc::new(ShardRecovery::new(8));
+                let worker = {
+                    let rec = Arc::clone(&rec);
+                    thread::spawn(move || {
+                        // BUG under test: generation read under one lock
+                        // hold, append under another.
+                        let gen_then = rec.lock().generation;
+                        if gen_then == 0 {
+                            rec.lock().append(1, 1.0);
+                        }
+                    })
+                };
+                let snap = {
+                    let mut inner = rec.lock();
+                    let _ = inner.recover(&mut || None);
+                    inner.applied
+                };
+                worker.join().unwrap();
+                let final_applied = rec.lock().applied;
+                assert_eq!(
+                    final_applied, snap,
+                    "stale commit landed after the generation fence"
+                );
+            });
+            let v = v.expect_err("unfenced check-then-append must admit a stale commit");
+            assert!(v.message.contains("stale commit"), "{}", v.message);
         }
     }
 }

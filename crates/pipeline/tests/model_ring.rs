@@ -1,0 +1,222 @@
+//! Exhaustive model check of the SPSC ring (`qf_pipeline::SpscRing`).
+//!
+//! Runs only under `RUSTFLAGS='--cfg qf_model'` (via `cargo xtask
+//! model`). The ring's contract under concurrency:
+//!
+//! - every successfully pushed value is popped exactly once, in FIFO
+//!   order — no lost slots, no duplicated slots;
+//! - payloads are never torn (the model's `RaceCell` race detector
+//!   proves every slot access is ordered by the tail/head handshake);
+//! - the park/wake handshake never deadlocks: a consumer that parks is
+//!   always woken by a later push or close.
+//!
+//! Two seeded-bug miniatures pin down *why* the orderings are what
+//! they are: weakening the tail publish to `Relaxed` is a data race,
+//! and dropping the `SeqCst` park/wake fences is a lost wakeup.
+#![cfg(qf_model)]
+
+use qf_model::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use qf_model::sync::cell::RaceCell;
+use qf_model::sync::thread;
+use qf_model::{try_model, Checker};
+use qf_pipeline::SpscRing;
+use std::sync::Arc;
+
+/// Producer pushes 1, 2 into a capacity-2 ring and closes; the
+/// consumer drains with `pop_wait`. Exactly `[1, 2]` must come out, in
+/// order, in every interleaving — and every consumer park must be
+/// matched by a wakeup (a miss would surface as a reported deadlock).
+#[test]
+fn fifo_no_loss_no_dup_no_deadlock() {
+    let stats = Checker::new()
+        .preemption_bound(2)
+        .check(|| {
+            let (mut tx, mut rx) = SpscRing::with_capacity(2).split();
+            let producer = thread::spawn(move || {
+                // Capacity 2 and two pushes: `Full` is impossible, and
+                // the consumer being alive is guaranteed by construction.
+                tx.try_push(1u64).expect("push 1");
+                tx.try_push(2u64).expect("push 2");
+                tx.close();
+            });
+            let mut got = Vec::new();
+            while let Some(v) = rx.pop_wait() {
+                got.push(v);
+            }
+            producer.join().unwrap();
+            assert_eq!(got, vec![1, 2], "lost, duplicated, or reordered slot");
+        })
+        .expect("SPSC ring must deliver every push exactly once, in order");
+    assert!(stats.executions > 1, "stats: {stats:?}");
+}
+
+/// Backpressure path: two `push_blocking` calls through a capacity-1
+/// ring force the producer through its spin/yield loop (the second
+/// push must wait for the pop) and wrap the ring. FIFO and
+/// exactly-once must survive the wraparound.
+#[test]
+fn blocking_push_wraparound_preserves_fifo() {
+    Checker::new()
+        .preemption_bound(2)
+        .check(|| {
+            let (mut tx, mut rx) = SpscRing::with_capacity(1).split();
+            let producer = thread::spawn(move || {
+                for v in 1..=2u64 {
+                    tx.push_blocking(v).expect("consumer alive");
+                }
+                tx.close();
+            });
+            let mut got = Vec::new();
+            while let Some(v) = rx.pop_wait() {
+                got.push(v);
+            }
+            producer.join().unwrap();
+            assert_eq!(got, vec![1, 2], "wraparound broke FIFO");
+        })
+        .expect("blocking pushes must deliver every value exactly once, in order");
+}
+
+/// A consumer that races ahead parks; the producer's push + close must
+/// always reach it. Deadlock here is the lost-wakeup bug the SeqCst
+/// fence handshake exists to prevent.
+#[test]
+fn parked_consumer_always_woken() {
+    Checker::new()
+        .preemption_bound(3)
+        .check(|| {
+            let (mut tx, mut rx) = SpscRing::with_capacity(1).split();
+            let consumer = thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = rx.pop_wait() {
+                    got.push(v);
+                }
+                got
+            });
+            tx.try_push(7u64).expect("push");
+            tx.close();
+            let got = consumer.join().unwrap();
+            assert_eq!(got, vec![7]);
+        })
+        .expect("a parked consumer must always be woken by push or close");
+}
+
+/// Seeded-bug self-test: the ring's slot handshake with the tail
+/// publish weakened to `Relaxed`. The consumer's acquire load of
+/// `tail` then no longer synchronizes with the payload write, so the
+/// payload read is a data race — the checker must say so.
+///
+/// This miniature is the justification for the `Release` store in
+/// `push_slot`: weaken it and the harnesses above fail exactly like
+/// this.
+#[test]
+fn seeded_relaxed_tail_publish_caught() {
+    let v = try_model(|| {
+        let slot = Arc::new(RaceCell::new(0u64));
+        let tail = Arc::new(AtomicUsize::new(0));
+        let (s2, t2) = (Arc::clone(&slot), Arc::clone(&tail));
+        let producer = thread::spawn(move || {
+            // SAFETY: (model) intentionally unsynchronized — the model
+            // race checker is the subject under test here.
+            unsafe { s2.with_mut(|p| *p = 41) };
+            t2.store(1, Ordering::Relaxed); // BUG under test: not Release
+        });
+        if tail.load(Ordering::Acquire) == 1 {
+            // SAFETY: (model) claimed ordered by the acquire load above,
+            // which the seeded relaxed publish fails to provide.
+            let got = unsafe { slot.with(|p| *p) };
+            assert_eq!(got, 41);
+        }
+        producer.join().unwrap();
+    });
+    let v = v.expect_err("relaxed tail publish must be reported as a race");
+    assert!(v.message.contains("data race"), "{}", v.message);
+}
+
+/// The fixed twin: `Release` publish, `Acquire` observe — race-free
+/// and value-correct, proving the seeded test fails for the right
+/// reason.
+#[test]
+fn seeded_twin_release_tail_publish_verified() {
+    Checker::new()
+        .check(|| {
+            let slot = Arc::new(RaceCell::new(0u64));
+            let tail = Arc::new(AtomicUsize::new(0));
+            let (s2, t2) = (Arc::clone(&slot), Arc::clone(&tail));
+            let producer = thread::spawn(move || {
+                // SAFETY: the Release store below publishes this write;
+                // the reader only looks after its Acquire load observes it.
+                unsafe { s2.with_mut(|p| *p = 41) };
+                t2.store(1, Ordering::Release);
+            });
+            if tail.load(Ordering::Acquire) == 1 {
+                // SAFETY: Acquire synchronized with the Release publish.
+                let got = unsafe { slot.with(|p| *p) };
+                assert_eq!(got, 41);
+            }
+            producer.join().unwrap();
+        })
+        .expect("release/acquire tail handshake must verify clean");
+}
+
+/// Seeded-bug self-test: the park/wake handshake with both `SeqCst`
+/// fences dropped. The producer can then check `parked` before the
+/// consumer's flag store becomes visible *and* the consumer can check
+/// the item flag before the push becomes visible — both sides miss,
+/// the consumer parks forever: a lost wakeup, reported as a deadlock.
+#[test]
+fn seeded_unfenced_park_handshake_deadlocks() {
+    let v = try_model(|| {
+        let item = Arc::new(AtomicBool::new(false));
+        let parked = Arc::new(AtomicBool::new(false));
+        let (i2, p2) = (Arc::clone(&item), Arc::clone(&parked));
+        let consumer = thread::current();
+        let producer = thread::spawn(move || {
+            i2.store(true, Ordering::Relaxed);
+            // BUG under test: no fence(SeqCst) here.
+            if p2.load(Ordering::Relaxed) {
+                consumer.unpark();
+            }
+        });
+        if !item.load(Ordering::Relaxed) {
+            parked.store(true, Ordering::Relaxed);
+            // BUG under test: no fence(SeqCst) here.
+            if !item.load(Ordering::Relaxed) {
+                thread::park();
+            }
+            parked.store(false, Ordering::Relaxed);
+        }
+        producer.join().unwrap();
+    });
+    let v = v.expect_err("unfenced park handshake must deadlock somewhere");
+    assert!(v.message.contains("deadlock"), "{}", v.message);
+}
+
+/// The fixed twin: both fences restored (the shape `wake_consumer` and
+/// `pop_wait` actually use) — no interleaving loses the wakeup.
+#[test]
+fn seeded_twin_fenced_park_handshake_verified() {
+    Checker::new()
+        .check(|| {
+            let item = Arc::new(AtomicBool::new(false));
+            let parked = Arc::new(AtomicBool::new(false));
+            let (i2, p2) = (Arc::clone(&item), Arc::clone(&parked));
+            let consumer = thread::current();
+            let producer = thread::spawn(move || {
+                i2.store(true, Ordering::Relaxed);
+                fence(Ordering::SeqCst);
+                if p2.load(Ordering::Relaxed) {
+                    consumer.unpark();
+                }
+            });
+            if !item.load(Ordering::Relaxed) {
+                parked.store(true, Ordering::Relaxed);
+                fence(Ordering::SeqCst);
+                if !item.load(Ordering::Relaxed) {
+                    thread::park();
+                }
+                parked.store(false, Ordering::Relaxed);
+            }
+            producer.join().unwrap();
+        })
+        .expect("fenced park handshake must verify clean");
+}

@@ -21,6 +21,9 @@
 //! * [`snapshot`] — the [`SketchState`](snapshot::SketchState) trait used by
 //!   the crash-safety layer to persist and restore sketch state.
 
+// Unsafe discipline (QF-L007's compiler-side sibling): every op in
+// an `unsafe fn` sits in its own SAFETY-commented block.
+#![deny(unsafe_op_in_unsafe_fn)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod count_min;

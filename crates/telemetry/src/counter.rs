@@ -15,6 +15,8 @@
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// A monotonically increasing event counter.
+// sync: counter — relaxed metric word; metrics carry no happens-before
+// obligations to the data they describe (module docs).
 #[derive(Debug, Default)]
 pub struct Counter(AtomicU64);
 
@@ -49,6 +51,7 @@ impl Counter {
 }
 
 /// A signed instantaneous value (e.g. cumulative rounding drift).
+// sync: counter — relaxed metric word, same contract as [`Counter`].
 #[derive(Debug, Default)]
 pub struct Gauge(AtomicI64);
 

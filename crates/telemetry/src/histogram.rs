@@ -59,8 +59,12 @@ pub fn bucket_upper(i: usize) -> u64 {
 /// any time for quantiles, export, merging, or per-run deltas.
 #[derive(Debug)]
 pub struct LogHistogram {
+    // sync: counter — relaxed per-bucket tallies; snapshots are
+    // point-in-time-ish by contract (module docs).
     buckets: [AtomicU64; NUM_BUCKETS],
+    // sync: counter — relaxed running sum, same contract as `buckets`.
     sum: AtomicU64,
+    // sync: counter — relaxed running max (`fetch_max`).
     max: AtomicU64,
 }
 

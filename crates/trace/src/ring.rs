@@ -10,25 +10,43 @@
 //! slots and skipping them.
 //!
 //! Every slot is a per-slot seqlock made of four `AtomicU64` words:
-//! `[stamp, meta, a, b]`. A writer parks the stamp at 0, fills the
-//! payload, then publishes the stamp with a release store. A reader
-//! takes the stamp with an acquire load, copies the payload, fences, and
-//! re-reads the stamp: any mismatch (including 0) means a writer raced
-//! the read and the slot is discarded. Because stamps are globally
-//! unique sequence numbers drawn from one process-wide counter, a slot
-//! can never be republished under the stamp a reader first saw, so the
-//! check has no ABA window.
+//! `[stamp, meta, a, b]`. The stamp is tri-state: 0 means "never
+//! written", [`IN_FLUX`] means "payload being written", anything else
+//! is the published event's global sequence number. A writer *claims*
+//! the slot by CAS-ing a settled stamp to `IN_FLUX` (a racing writer
+//! that lands on the same slot backs off and drops its event), fills
+//! the payload behind a release fence, then publishes the stamp with a
+//! release store. A reader takes the stamp with an acquire load, copies
+//! the payload, fences, and re-reads the stamp: any mismatch (or a
+//! non-published first read) means a writer raced the read and the slot
+//! is discarded. Because stamps are globally unique sequence numbers
+//! drawn from one process-wide counter, a slot can never be republished
+//! under the stamp a reader first saw, so the check has no ABA window.
+//!
+//! Both ordering obligations here were pinned down by the qf-model
+//! exhaustive harness (`tests/model_seqlock.rs`): the claim CAS
+//! (two writers interleaving payload stores under a plain parking
+//! store) and the post-claim release fence (payload stores drifting
+//! ahead of the parking store past a reader's stamp-match check).
 //!
 //! Nothing here reads a clock: events are ordered by the global sequence
 //! counter, not timestamps, which keeps the emit path compliant with
 //! QF-L002 (no clock reads or allocation on hot paths).
 
 use crate::event::{pack_meta, unpack_meta, EventKind, TraceEvent};
-use std::sync::atomic::{fence, AtomicU64, Ordering};
+use qf_model::sync::atomic::{fence, AtomicU64, Ordering};
 
 /// Process-wide event sequence. Starts at 0; the first event gets seq 1,
 /// so a stamp of 0 always means "slot never written / being written".
+// sync: counter — relaxed uniqueness counter; ordering comes from the
+// per-slot `stamp` seqlock, never from this word.
 static GLOBAL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Stamp value marking a slot whose payload is being written. Distinct
+/// from 0 ("never written") so the claim CAS can tell a free virgin
+/// slot from one that is mid-write; unreachable as a real sequence
+/// number within any feasible process lifetime.
+const IN_FLUX: u64 = u64::MAX;
 
 /// Claim the next global sequence number (>= 1).
 #[inline(always)]
@@ -43,11 +61,21 @@ pub fn current_seq() -> u64 {
 }
 
 /// One event slot: `[stamp, meta, a, b]`. `stamp` is the event's global
-/// sequence number + still doubles as the seqlock word (0 = in flux).
+/// sequence number and doubles as the seqlock/claim word (0 = never
+/// written, [`IN_FLUX`] = being written).
 struct Slot {
+    // sync: release-acquire — emit's claim CAS parks the slot at
+    // `IN_FLUX`, a Release fence orders the payload stores, and the
+    // Release publish of the real seq pairs with snapshot's Acquire
+    // first load; the confirming re-read is ordered by an Acquire
+    // fence instead.
     stamp: AtomicU64,
+    // sync: guarded-by stamp — payload word; the stamp seqlock orders
+    // every access, so all traffic is Relaxed.
     meta: AtomicU64,
+    // sync: guarded-by stamp — payload word (see `meta`).
     a: AtomicU64,
+    // sync: guarded-by stamp — payload word (see `meta`).
     b: AtomicU64,
 }
 
@@ -66,6 +94,8 @@ impl Slot {
 pub struct FlightRecorder {
     slots: Box<[Slot]>,
     /// Monotone claim counter; slot index = head & mask.
+    // sync: counter — relaxed slot-claim ticket; publication of the
+    // claimed slot's contents goes through its `stamp`.
     head: AtomicU64,
     mask: u64,
 }
@@ -87,22 +117,75 @@ impl FlightRecorder {
         }
     }
 
+    /// Model-build hook: a recorder with exactly `capacity` slots
+    /// (must be a power of two, minimum 1). The interleaving harness
+    /// uses a single-slot ring to force concurrent writers onto the
+    /// same seqlock, the contention worth checking exhaustively.
+    #[cfg(qf_model)]
+    pub fn with_exact_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        assert!(
+            cap.is_power_of_two(),
+            "exact capacity must be a power of two"
+        );
+        let mut slots = Vec::with_capacity(cap);
+        for _ in 0..cap {
+            slots.push(Slot::empty());
+        }
+        FlightRecorder {
+            slots: slots.into_boxed_slice(),
+            head: AtomicU64::new(0),
+            mask: (cap - 1) as u64,
+        }
+    }
+
     /// Number of event slots.
     pub fn capacity(&self) -> usize {
         self.slots.len()
     }
 
-    /// Record one event. Wait-free: one `fetch_add` and four atomic
-    /// stores; never allocates, never blocks, never reads a clock.
-    /// Returns the event's global sequence number.
+    /// Record one event. Wait-free: one `fetch_add`, one claim CAS,
+    /// and four atomic stores; never allocates, never blocks, never
+    /// reads a clock. Returns the event's global sequence number.
+    ///
+    /// If the claimed slot is mid-write by another emitter — possible
+    /// only when the ring wraps a full capacity while that write is in
+    /// flight — the event is dropped rather than racing the payload.
+    /// The recorder is overwrite-oldest lossy by design, and a
+    /// collision means this event would have been overwritten
+    /// within one wrap anyway.
     #[inline]
     pub fn emit(&self, kind: EventKind, shard: u16, generation: u32, a: u64, b: u64) -> u64 {
         let seq = next_seq();
         let idx = (self.head.fetch_add(1, Ordering::Relaxed) & self.mask) as usize;
         let slot = &self.slots[idx];
-        // Park the stamp so a concurrent reader discards the slot while
-        // the payload is in flux, then publish with a release store.
-        slot.stamp.store(0, Ordering::Release);
+        // Claim the slot by parking its stamp at IN_FLUX, so (a) a
+        // concurrent reader discards the slot while the payload is in
+        // flux, and (b) a concurrent writer that lands on the same slot
+        // backs off instead of interleaving its payload stores with
+        // ours. A plain parking store here excludes nobody: the
+        // qf-model harness (`snapshot_never_torn_two_writers`) found
+        // two writers publishing a mixed payload under a valid stamp.
+        // The Acquire on success orders the previous publisher's
+        // payload stores before ours.
+        let cur = slot.stamp.load(Ordering::Relaxed); // sync: relaxed-ok — claim CAS below re-checks
+        if cur == IN_FLUX
+            || slot
+                .stamp
+                .compare_exchange(cur, IN_FLUX, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            return seq;
+        }
+        // The release fence is load-bearing: it keeps the payload
+        // stores from becoming visible *before* the stamp is parked.
+        // Without it, a reader that takes the stamp, reads a half-new
+        // payload, and re-reads the stamp can pass the match check on
+        // the old stamp — the classic seqlock tear, found by the
+        // qf-model harness (`snapshot_never_torn_single_slot`) and
+        // reproduced by its seeded twin
+        // (`seeded_missing_release_fence_caught`).
+        fence(Ordering::Release);
         slot.meta
             .store(pack_meta(kind, shard, generation), Ordering::Relaxed);
         slot.a.store(a, Ordering::Relaxed);
@@ -118,7 +201,7 @@ impl FlightRecorder {
         let mut out = Vec::with_capacity(self.slots.len());
         for slot in self.slots.iter() {
             let s1 = slot.stamp.load(Ordering::Acquire);
-            if s1 == 0 {
+            if s1 == 0 || s1 == IN_FLUX {
                 continue;
             }
             let meta = slot.meta.load(Ordering::Relaxed);
@@ -126,7 +209,7 @@ impl FlightRecorder {
             let b = slot.b.load(Ordering::Relaxed);
             // Order the payload loads before the confirming stamp load.
             fence(Ordering::Acquire);
-            let s2 = slot.stamp.load(Ordering::Relaxed);
+            let s2 = slot.stamp.load(Ordering::Relaxed); // sync: relaxed-ok — ordered by the fence above
             if s1 != s2 {
                 continue; // torn: a writer reclaimed the slot mid-read
             }

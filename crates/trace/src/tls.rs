@@ -10,8 +10,8 @@
 
 use crate::event::EventKind;
 use crate::ring::FlightRecorder;
+use qf_model::sync::atomic::{AtomicUsize, Ordering};
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 struct TlsCtx {
@@ -35,6 +35,8 @@ thread_local! {
 /// inserts), while a relaxed load of a read-mostly static is an
 /// ordinary L1 hit. Processes that never install a recorder — every
 /// eval/bench/detect run — pay only that load per would-be event.
+// sync: counter — relaxed install gate; an emit that misses a racing
+// install only drops that event, which TLS handoff tolerates anyway.
 static INSTALLED_THREADS: AtomicUsize = AtomicUsize::new(0);
 
 /// Bind this thread's emits to `rec`, stamped `shard`/`generation`.

@@ -1,0 +1,157 @@
+//! Exhaustive model check of the flight-recorder seqlock.
+//!
+//! Runs only under `RUSTFLAGS='--cfg qf_model'` (via `cargo xtask
+//! model`). A single-slot recorder forces a concurrent writer onto the
+//! slot a reader is scanning — the contention the per-slot seqlock
+//! exists to survive. The invariant: a snapshot never returns a *torn*
+//! event (payload words from two different emits), in any interleaving
+//! and any allowed weak-memory visibility.
+//!
+//! The payload discipline makes tearing detectable as a value error:
+//! every emit writes `b = a * 7`, so a snapshot that mixes `a` from one
+//! emit with `b` from another fails the multiplier check.
+#![cfg(qf_model)]
+
+use qf_model::sync::atomic::{fence, AtomicU64, Ordering};
+use qf_model::sync::thread;
+use qf_model::{try_model, Checker};
+use qf_trace::{EventKind, FlightRecorder};
+use std::sync::Arc;
+
+fn check_event(e: &qf_trace::TraceEvent) {
+    assert_eq!(e.b, e.a * 7, "torn snapshot: a={} b={}", e.a, e.b);
+    assert_eq!(e.kind, EventKind::Report, "torn meta");
+}
+
+/// One writer re-stamping a single-slot ring while a reader snapshots:
+/// the reader must see either the old event, the new event, or nothing
+/// — never a mix.
+#[test]
+fn snapshot_never_torn_single_slot() {
+    let stats = Checker::new()
+        .preemption_bound(3)
+        .check(|| {
+            let rec = Arc::new(FlightRecorder::with_exact_capacity(1));
+            // Seed the slot before the race so the reader's first stamp
+            // load can see a published event.
+            rec.emit(EventKind::Report, 0, 1, 3, 21);
+            let w = {
+                let rec = Arc::clone(&rec);
+                thread::spawn(move || {
+                    rec.emit(EventKind::Report, 0, 1, 5, 35);
+                })
+            };
+            for e in rec.snapshot() {
+                check_event(&e);
+            }
+            w.join().unwrap();
+            // Quiescent snapshot sees exactly the newest event.
+            let after = rec.snapshot();
+            assert_eq!(after.len(), 1);
+            assert_eq!(after[0].a, 5);
+            check_event(&after[0]);
+        })
+        .expect("seqlock must never surface a torn event");
+    assert!(stats.executions > 1, "stats: {stats:?}");
+}
+
+/// Two concurrent writers racing one slot, reader snapshotting: the
+/// seqlock must discard in-flux slots, and the stamp uniqueness from
+/// the global sequence counter must keep the ABA window closed.
+#[test]
+fn snapshot_never_torn_two_writers() {
+    Checker::new()
+        .preemption_bound(2)
+        .check(|| {
+            let rec = Arc::new(FlightRecorder::with_exact_capacity(1));
+            let w1 = {
+                let rec = Arc::clone(&rec);
+                thread::spawn(move || {
+                    rec.emit(EventKind::Report, 0, 1, 2, 14);
+                })
+            };
+            let w2 = {
+                let rec = Arc::clone(&rec);
+                thread::spawn(move || {
+                    rec.emit(EventKind::Report, 0, 1, 9, 63);
+                })
+            };
+            for e in rec.snapshot() {
+                check_event(&e);
+            }
+            w1.join().unwrap();
+            w2.join().unwrap();
+        })
+        .expect("two-writer seqlock race must never surface a torn event");
+}
+
+/// Seeded-bug self-test: the same seqlock shape with the writer's
+/// release fence removed — payload stores can then become visible
+/// before the stamp is parked at 0, so a reader can pass the
+/// stamp-match check around a torn payload. The checker must catch it.
+///
+/// This miniature is the justification for the `fence(Release)` in
+/// `FlightRecorder::emit`: delete that fence and the real harnesses
+/// above fail exactly like this.
+#[test]
+fn seeded_missing_release_fence_caught() {
+    let v = try_model(|| {
+        let stamp = Arc::new(AtomicU64::new(1));
+        let a = Arc::new(AtomicU64::new(3));
+        let b = Arc::new(AtomicU64::new(21));
+        let (s2, a2, b2) = (Arc::clone(&stamp), Arc::clone(&a), Arc::clone(&b));
+        let w = thread::spawn(move || {
+            s2.store(0, Ordering::Release);
+            // BUG under test: no fence(Release) here.
+            a2.store(5, Ordering::Relaxed);
+            b2.store(35, Ordering::Relaxed);
+            s2.store(2, Ordering::Release);
+        });
+        let s1 = stamp.load(Ordering::Acquire);
+        if s1 != 0 {
+            let ra = a.load(Ordering::Relaxed);
+            let rb = b.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            let sc = stamp.load(Ordering::Relaxed);
+            if s1 == sc {
+                assert_eq!(rb, ra * 7, "torn read accepted");
+            }
+        }
+        w.join().unwrap();
+    });
+    let v = v.expect_err("missing release fence must admit a torn read");
+    assert!(v.message.contains("torn read accepted"), "{}", v.message);
+}
+
+/// The fixed miniature (release fence restored) verifies clean — the
+/// positive twin that proves the seeded test fails for the right
+/// reason.
+#[test]
+fn seeded_twin_with_release_fence_verified() {
+    Checker::new()
+        .check(|| {
+            let stamp = Arc::new(AtomicU64::new(1));
+            let a = Arc::new(AtomicU64::new(3));
+            let b = Arc::new(AtomicU64::new(21));
+            let (s2, a2, b2) = (Arc::clone(&stamp), Arc::clone(&a), Arc::clone(&b));
+            let w = thread::spawn(move || {
+                s2.store(0, Ordering::Relaxed);
+                fence(Ordering::Release);
+                a2.store(5, Ordering::Relaxed);
+                b2.store(35, Ordering::Relaxed);
+                s2.store(2, Ordering::Release);
+            });
+            let s1 = stamp.load(Ordering::Acquire);
+            if s1 != 0 {
+                let ra = a.load(Ordering::Relaxed);
+                let rb = b.load(Ordering::Relaxed);
+                fence(Ordering::Acquire);
+                let sc = stamp.load(Ordering::Relaxed);
+                if s1 == sc {
+                    assert_eq!(rb, ra * 7, "torn read accepted");
+                }
+            }
+            w.join().unwrap();
+        })
+        .expect("release-fenced seqlock must verify clean");
+}

@@ -9,6 +9,12 @@
 //! * `lint --bless` — re-record the snapshot wire-format fingerprint
 //!   after a legitimate change (bump `SNAPSHOT_VERSION` first if the
 //!   encoding itself changed).
+//! * `model` — run the exhaustive concurrency model checks: rebuilds
+//!   qf-model/qf-trace/qf-pipeline with `--cfg qf_model` (switching the
+//!   qf-sync shim to its instrumented face) and runs their test suites,
+//!   which include the litmus battery, the three protocol harnesses,
+//!   and the seeded-bug self-tests. Extra arguments pass through to
+//!   `cargo test` (e.g. `cargo xtask model fifo` to filter).
 //!
 //! The alias lives in `.cargo/config.toml`; the binary itself has no
 //! dependencies beyond `qf-lint`, so it builds in seconds on a bare
@@ -21,6 +27,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("model") => model_check(&args[1..]),
         Some(other) => {
             eprintln!("unknown xtask command `{other}`");
             usage();
@@ -35,6 +42,7 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!("usage: cargo xtask lint [--bless] [--self-test]");
+    eprintln!("       cargo xtask model [cargo-test args...]");
 }
 
 /// The workspace root: two levels above this crate's manifest.
@@ -45,6 +53,42 @@ fn workspace_root() -> PathBuf {
         .and_then(|p| p.parent())
         .map(PathBuf::from)
         .unwrap_or(manifest)
+}
+
+/// `cargo xtask model` — the model-check entry point.
+///
+/// Injects `--cfg qf_model` into `RUSTFLAGS` (keeping whatever else is
+/// already there) and runs the three model-mode test suites. The cfg
+/// swaps the qf-sync shim from std re-exports to the instrumented
+/// explorer types, so the exact protocol code that ships is what gets
+/// exhaustively interleaved — there is no separate "model copy".
+fn model_check(extra: &[String]) -> ExitCode {
+    let mut rustflags = std::env::var("RUSTFLAGS").unwrap_or_default();
+    if !rustflags.contains("--cfg qf_model") {
+        if !rustflags.is_empty() {
+            rustflags.push(' ');
+        }
+        rustflags.push_str("--cfg qf_model");
+    }
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let status = std::process::Command::new(cargo)
+        .arg("test")
+        .args(["-p", "qf-model", "-p", "qf-trace", "-p", "qf-pipeline"])
+        .args(extra)
+        .env("RUSTFLAGS", rustflags)
+        .current_dir(workspace_root())
+        .status();
+    match status {
+        Ok(s) if s.success() => {
+            println!("qf-model: every explored interleaving upholds the protocol contracts");
+            ExitCode::SUCCESS
+        }
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("xtask model: failed to run cargo: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn lint(flags: &[String]) -> ExitCode {
