@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! cargo run -p qf-bench --release --bin chaos -- \
-//!     [--tiny] [--out PATH] [--repeats N] [--items N] [--queue N] [--crashes N] \
-//!     [--metrics-out PREFIX] [--no-metrics]
+//!     [--tiny] [--out PATH] [--repeats N] [--items N] [--queue N] [--slab N] \
+//!     [--crashes N] [--metrics-out PREFIX] [--no-metrics]
 //! ```
 //!
 //! For each shard count in {1, 2, 4, 8}, streams a Zipf trace through an
@@ -18,6 +18,13 @@
 //! Writes `BENCH_chaos.json` (schema documented on
 //! `qf_bench::chaos::render_json`). `--tiny` is the CI smoke mode.
 //!
+//! Shard points where the host has fewer cores than `shards + 1` threads
+//! are tagged `"oversubscribed": true` in the JSON (and `OVERSUBSCRIBED`
+//! on the console): the overhead fraction stays meaningful — baseline and
+//! supervised runs time-slice identically — but the absolute Mops are
+//! scheduler throughput, not parallel scaling. This bin never pins
+//! threads; placement is the OS scheduler's.
+//!
 //! Like the `detect` bin, an end-of-run telemetry snapshot lands at
 //! `<prefix>.metrics.{json,prom}` (default prefix `results/bench-chaos`,
 //! override with `--metrics-out`, suppress with `--no-metrics`); the
@@ -25,6 +32,7 @@
 //! live under `--features telemetry`.
 
 use qf_bench::chaos::{measure_overhead, measure_recovery, render_json, ChaosBenchReport};
+use qf_bench::pipeline::detect_nproc;
 use qf_datasets::{zipf_dataset, ZipfConfig};
 use qf_pipeline::{BackpressurePolicy, PipelineConfig, SupervisorConfig};
 use quantile_filter::Criteria;
@@ -36,8 +44,8 @@ const RECOVERY_SHARDS: usize = 4;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: chaos [--tiny] [--out PATH] [--repeats N] [--items N] [--queue N] [--crashes N] \
-         [--metrics-out PREFIX] [--no-metrics]"
+        "usage: chaos [--tiny] [--out PATH] [--repeats N] [--items N] [--queue N] [--slab N] \
+         [--crashes N] [--metrics-out PREFIX] [--no-metrics]"
     );
     std::process::exit(2)
 }
@@ -49,6 +57,7 @@ fn main() {
     let mut repeats: Option<usize> = None;
     let mut items: Option<usize> = None;
     let mut queue_capacity = 1024usize;
+    let mut slab_capacity = 256usize;
     let mut crashes: Option<u32> = None;
     let mut metrics_out: Option<String> = None;
     let mut no_metrics = false;
@@ -74,6 +83,10 @@ fn main() {
                 queue_capacity = val(i).parse().unwrap_or_else(|_| usage());
                 i += 1;
             }
+            "--slab" => {
+                slab_capacity = val(i).parse().unwrap_or_else(|_| usage());
+                i += 1;
+            }
             "--crashes" => {
                 crashes = Some(val(i).parse().unwrap_or_else(|_| usage()));
                 i += 1;
@@ -90,7 +103,7 @@ fn main() {
 
     let repeats = repeats.unwrap_or(if tiny { 1 } else { 3 });
     let crashes = crashes.unwrap_or(if tiny { 4 } else { 16 });
-    let nproc = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let nproc = detect_nproc();
 
     let mut cfg = if tiny {
         ZipfConfig::tiny()
@@ -116,7 +129,7 @@ fn main() {
 
     println!(
         "chaos: mode={} repeats={repeats} nproc={nproc} queue={queue_capacity} \
-         crashes={crashes} trace zipf {} items / {} keys",
+         slab={slab_capacity} crashes={crashes} trace zipf {} items / {} keys",
         if tiny { "tiny" } else { "full" },
         data.items.len(),
         data.key_count
@@ -127,6 +140,7 @@ fn main() {
         criteria,
         memory_bytes_per_shard: SHARD_MEMORY,
         queue_capacity,
+        slab_capacity,
         policy: BackpressurePolicy::Block,
         seed: 0,
     };
@@ -142,10 +156,15 @@ fn main() {
         };
         println!(
             "overhead x{shards}: baseline {:.2} Mops | supervised {:.2} Mops | \
-             overhead {:.1}%",
+             overhead {:.1}%{}",
             p.baseline_mops,
             p.supervised_mops,
-            p.overhead_frac() * 100.0
+            p.overhead_frac() * 100.0,
+            if p.oversubscribed {
+                " | OVERSUBSCRIBED"
+            } else {
+                ""
+            }
         );
         overhead.push(p);
     }
@@ -174,6 +193,7 @@ fn main() {
         nproc,
         repeats,
         queue_capacity,
+        slab_capacity,
         checkpoint_interval: sup.checkpoint_interval,
         items: data.items.len(),
         overhead,

@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run -p qf-bench --release --bin pipeline -- \
 //!     [--tiny] [--out PATH] [--repeats N] [--items N] [--queue N] \
-//!     [--metrics-out PREFIX] [--no-metrics]
+//!     [--slab N] [--metrics-out PREFIX] [--no-metrics]
 //! ```
 //!
 //! For each shard count in {1, 2, 4, 8} and each backpressure policy
@@ -19,9 +19,17 @@
 //!   `offered == enqueued + dropped` or `enqueued == processed + shed`
 //!   ever fails).
 //!
-//! Writes the results as `BENCH_pipeline.json` (schema documented on
+//! Writes the results as `BENCH_pipeline.json` (schema v2, documented on
 //! `qf_bench::pipeline::render_json`). `--tiny` is the CI smoke mode:
 //! the 50K-item trace, one repeat, same schema.
+//!
+//! The harness detects `nproc` up front; every point measured with
+//! `nproc < shards + 1` (router plus one worker per shard can't each own
+//! a core) is tagged `"oversubscribed": true` in the JSON so 1-core
+//! numbers are never mistaken for scaling data. When cores allow, worker
+//! placement is left to the OS scheduler — each worker is its own OS
+//! thread, and with `nproc >= shards + 1` they spread onto distinct
+//! cores; the toolchain has no affinity syscall to pin harder.
 //!
 //! Like the `detect` bin, an end-of-run telemetry snapshot lands at
 //! `<prefix>.metrics.{json,prom}` (default prefix
@@ -29,7 +37,9 @@
 //! with `--no-metrics`). The counters are only live under
 //! `--features telemetry`; without it the sidecars record zeros.
 
-use qf_bench::pipeline::{measure_pipeline, render_json, PipelineBenchReport, WorkloadMeta};
+use qf_bench::pipeline::{
+    detect_nproc, measure_pipeline, render_json, PipelineBenchReport, WorkloadMeta,
+};
 use qf_datasets::{zipf_dataset, ZipfConfig};
 use qf_pipeline::{BackpressurePolicy, PipelineConfig};
 use quantile_filter::Criteria;
@@ -46,7 +56,7 @@ const SHARD_MEMORY: usize = 32 * 1024;
 fn usage() -> ! {
     eprintln!(
         "usage: pipeline [--tiny] [--out PATH] [--repeats N] [--items N] [--queue N] \
-         [--metrics-out PREFIX] [--no-metrics]"
+         [--slab N] [--metrics-out PREFIX] [--no-metrics]"
     );
     std::process::exit(2)
 }
@@ -58,6 +68,7 @@ fn main() {
     let mut repeats: Option<usize> = None;
     let mut items: Option<usize> = None;
     let mut queue_capacity = 1024usize;
+    let mut slab_capacity = 256usize;
     let mut metrics_out: Option<String> = None;
     let mut no_metrics = false;
 
@@ -82,6 +93,10 @@ fn main() {
                 queue_capacity = val(i).parse().unwrap_or_else(|_| usage());
                 i += 1;
             }
+            "--slab" => {
+                slab_capacity = val(i).parse().unwrap_or_else(|_| usage());
+                i += 1;
+            }
             "--metrics-out" => {
                 metrics_out = Some(val(i));
                 i += 1;
@@ -93,7 +108,7 @@ fn main() {
     }
 
     let repeats = repeats.unwrap_or(if tiny { 1 } else { 3 });
-    let nproc = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let nproc = detect_nproc();
 
     let mut cfg = if tiny {
         ZipfConfig::tiny()
@@ -114,7 +129,7 @@ fn main() {
 
     println!(
         "pipeline: mode={} repeats={repeats} nproc={nproc} queue={queue_capacity} \
-         trace zipf {} items / {} keys",
+         slab={slab_capacity} trace zipf {} items / {} keys",
         if tiny { "tiny" } else { "full" },
         data.items.len(),
         data.key_count
@@ -128,6 +143,7 @@ fn main() {
                 criteria,
                 memory_bytes_per_shard: SHARD_MEMORY,
                 queue_capacity,
+                slab_capacity,
                 policy,
                 seed: 0,
             };
@@ -140,12 +156,17 @@ fn main() {
             };
             println!(
                 "{:<12} x{shards}: offered {:.2} Mops | sustained {:.2} Mops | \
-                 drop rate {:.4} | {} reported keys",
+                 drop rate {:.4} | {} reported keys{}",
                 m.policy,
                 m.offered_mops(),
                 m.sustained_mops(),
                 m.drop_rate(),
-                m.reported_keys
+                m.reported_keys,
+                if m.oversubscribed {
+                    " | OVERSUBSCRIBED"
+                } else {
+                    ""
+                }
             );
             points.push(m);
         }
@@ -156,6 +177,7 @@ fn main() {
         nproc,
         repeats,
         queue_capacity,
+        slab_capacity,
         memory_bytes_per_shard: SHARD_MEMORY,
         workload: WorkloadMeta {
             name: "zipf".into(),

@@ -32,6 +32,12 @@ pub struct OverheadPoint {
     pub baseline_mops: f64,
     /// End-to-end Mops with checkpointing + journaling on, zero faults.
     pub supervised_mops: f64,
+    /// True when the host had fewer cores than `shards + 1` threads, so
+    /// both sides of the comparison time-slice instead of running in
+    /// parallel. The overhead fraction stays meaningful (both sides are
+    /// equally oversubscribed) but the absolute Mops are not a scaling
+    /// claim.
+    pub oversubscribed: bool,
 }
 
 impl OverheadPoint {
@@ -112,6 +118,8 @@ pub fn measure_supervised(
         }
         let m = PipelineMeasurement {
             shards: config.shards,
+            slab_capacity: config.slab_capacity,
+            oversubscribed: crate::pipeline::detect_nproc() < config.shards + 1,
             policy: crate::pipeline::policy_name(config.policy),
             offered: summary.offered,
             enqueued: summary.enqueued,
@@ -139,12 +147,25 @@ pub fn measure_supervised(
 /// supervisor's recovery records. `strike_forgiveness: 1` keeps the
 /// strike counter at bay (each crash is separated by real progress), so
 /// every fault ends in a restart, never a quarantine.
+///
+/// The recovery run clamps the queue depth so that at most ~256 items
+/// are in flight per shard regardless of `config.slab_capacity`. Slab
+/// batching multiplies the ring's in-flight window by the slab size;
+/// with a deep queue a short trace fits in the rings entirely and every
+/// injected crash defers to the shutdown drain, where it fences
+/// terminally instead of restarting — there would be no restart latency
+/// to measure. The clamp keeps the router at the workers' pace, so each
+/// poison kills a *live* worker mid-trace.
 pub fn measure_recovery(
     config: PipelineConfig,
     sup: SupervisorConfig,
     items: &[Item],
     crashes: u32,
 ) -> Result<RecoveryStats, PipelineError> {
+    let config = PipelineConfig {
+        queue_capacity: (256 / config.slab_capacity.max(1)).clamp(2, config.queue_capacity.max(2)),
+        ..config
+    };
     // A key outside every dataset generator's range, so it perturbs
     // nothing but the worker it kills.
     let poison_key = u64::MAX - 1;
@@ -204,6 +225,8 @@ pub struct ChaosBenchReport {
     pub repeats: usize,
     /// Slots per shard queue.
     pub queue_capacity: usize,
+    /// Items per handoff slab (one ring slot carries one slab).
+    pub slab_capacity: usize,
     /// Checkpoint cadence used by the supervised runs.
     pub checkpoint_interval: u64,
     /// Trace length.
@@ -226,18 +249,20 @@ fn num(x: f64) -> String {
 ///
 /// ```json
 /// {
-///   "schema": "qf-bench-chaos/v1",
+///   "schema": "qf-bench-chaos/v2",
 ///   "mode": "full",                   // or "tiny" (CI smoke)
 ///   "nproc": 8,
 ///   "repeats": 3,
 ///   "queue_capacity": 1024,
+///   "slab_capacity": 256,             // items per handoff slab
 ///   "checkpoint_interval": 8192,
 ///   "items": 2000000,
 ///   "overhead": [{
 ///     "shards": 1,
 ///     "baseline_mops": 8.5,           // unsupervised end-to-end rate
 ///     "supervised_mops": 8.1,         // checkpointing on, zero faults
-///     "overhead_frac": 0.047          // budget: <= 0.10
+///     "overhead_frac": 0.047,         // budget: <= 0.10
+///     "oversubscribed": false         // nproc < shards + 1 on this host
 ///   }, ...],
 ///   "recovery": {
 ///     "samples": 16,                  // restarts observed
@@ -253,7 +278,7 @@ fn num(x: f64) -> String {
 pub fn render_json(report: &ChaosBenchReport) -> String {
     let mut out = String::with_capacity(2048);
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"qf-bench-chaos/v1\",\n");
+    out.push_str("  \"schema\": \"qf-bench-chaos/v2\",\n");
     out.push_str(&format!("  \"mode\": \"{}\",\n", report.mode));
     out.push_str(&format!("  \"nproc\": {},\n", report.nproc));
     out.push_str(&format!("  \"repeats\": {},\n", report.repeats));
@@ -261,6 +286,7 @@ pub fn render_json(report: &ChaosBenchReport) -> String {
         "  \"queue_capacity\": {},\n",
         report.queue_capacity
     ));
+    out.push_str(&format!("  \"slab_capacity\": {},\n", report.slab_capacity));
     out.push_str(&format!(
         "  \"checkpoint_interval\": {},\n",
         report.checkpoint_interval
@@ -270,11 +296,12 @@ pub fn render_json(report: &ChaosBenchReport) -> String {
     for (i, p) in report.overhead.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"shards\": {}, \"baseline_mops\": {}, \"supervised_mops\": {}, \
-             \"overhead_frac\": {}}}{}\n",
+             \"overhead_frac\": {}, \"oversubscribed\": {}}}{}\n",
             p.shards,
             num(p.baseline_mops),
             num(p.supervised_mops),
             num(p.overhead_frac()),
+            p.oversubscribed,
             if i + 1 < report.overhead.len() {
                 ","
             } else {
@@ -309,6 +336,7 @@ pub fn measure_overhead(
         shards: config.shards,
         baseline_mops: baseline.sustained_mops(),
         supervised_mops: supervised.sustained_mops(),
+        oversubscribed: baseline.oversubscribed,
     })
 }
 
@@ -347,6 +375,7 @@ mod tests {
             criteria: criteria(),
             memory_bytes_per_shard: 16 * 1024,
             queue_capacity: 256,
+            slab_capacity: 64,
             policy: BackpressurePolicy::Block,
             seed: 0,
         }
@@ -414,6 +443,7 @@ mod tests {
             nproc: 8,
             repeats: 1,
             queue_capacity: 256,
+            slab_capacity: 64,
             checkpoint_interval: 512,
             items: 1000,
             overhead: vec![
@@ -421,11 +451,13 @@ mod tests {
                     shards: 1,
                     baseline_mops: 8.0,
                     supervised_mops: 7.6,
+                    oversubscribed: false,
                 },
                 OverheadPoint {
                     shards: 2,
                     baseline_mops: 12.0,
                     supervised_mops: 11.5,
+                    oversubscribed: true,
                 },
             ],
             recovery: RecoveryStats {
@@ -447,9 +479,12 @@ mod tests {
             );
         }
         for key in [
-            "\"qf-bench-chaos/v1\"",
+            "\"qf-bench-chaos/v2\"",
+            "\"slab_capacity\": 64",
             "\"checkpoint_interval\": 512",
             "\"overhead_frac\": 0.0500",
+            "\"oversubscribed\": false",
+            "\"oversubscribed\": true",
             "\"restart_latency_p50_us\": 900",
             "\"restart_latency_p99_us\": 2400",
             "\"lost_total\": 5",

@@ -34,6 +34,13 @@ pub fn policy_name(policy: BackpressurePolicy) -> &'static str {
     }
 }
 
+/// Cores available to this process (`available_parallelism`), the
+/// denominator of every oversubscription verdict. Falls back to 1 when
+/// the platform cannot say — the conservative reading.
+pub fn detect_nproc() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// One timed pipeline run (the best-of-repeats winner), with the
 /// pipeline's own conservation accounting carried along.
 #[derive(Debug, Clone, Copy)]
@@ -42,6 +49,12 @@ pub struct PipelineMeasurement {
     pub shards: usize,
     /// `"block"`, `"drop_newest"`, `"drop_oldest"`, or `"shed_fair"`.
     pub policy: &'static str,
+    /// Router slab capacity the point was measured with.
+    pub slab_capacity: usize,
+    /// `true` when the measuring host had fewer cores than
+    /// `shards + 1` (router + one worker per shard): the point measures
+    /// time-sharing, not scaling, and must not be read as scaling data.
+    pub oversubscribed: bool,
     /// Items offered at the router.
     pub offered: u64,
     /// Items accepted onto shard queues.
@@ -91,6 +104,11 @@ impl PipelineMeasurement {
 /// and keep the fastest end-to-end run. Each repeat launches a fresh
 /// pipeline (thread spawn and filter construction stay outside the
 /// ingest timing but inside no timing at all).
+///
+/// Each point records whether the host had enough cores for the
+/// topology (`nproc >= shards + 1`, router plus one worker per shard);
+/// when it did not, the point is tagged `oversubscribed` so 1-core
+/// numbers stop masquerading as scaling data.
 pub fn measure_pipeline(
     config: PipelineConfig,
     items: &[Item],
@@ -116,6 +134,8 @@ pub fn measure_pipeline(
         let m = PipelineMeasurement {
             shards: config.shards,
             policy: policy_name(config.policy),
+            slab_capacity: config.slab_capacity,
+            oversubscribed: detect_nproc() < config.shards + 1,
             offered: summary.offered,
             enqueued: summary.enqueued,
             dropped: summary.dropped,
@@ -182,6 +202,9 @@ pub struct PipelineBenchReport {
     pub repeats: usize,
     /// Slots per shard queue.
     pub queue_capacity: usize,
+    /// Router slab capacity (items buffered per shard before one slab
+    /// travels as a single ring slot).
+    pub slab_capacity: usize,
     /// Memory budget per shard filter.
     pub memory_bytes_per_shard: usize,
     /// The measured trace.
@@ -198,20 +221,24 @@ fn num(x: f64) -> String {
     }
 }
 
-/// Render the report as the `BENCH_pipeline.json` document:
+/// Render the report as the `BENCH_pipeline.json` document (schema v2:
+/// slab-handoff pipeline, with per-point oversubscription tagging):
 ///
 /// ```json
 /// {
-///   "schema": "qf-bench-pipeline/v1",
+///   "schema": "qf-bench-pipeline/v2",
 ///   "mode": "full",                  // or "tiny" (CI smoke)
 ///   "nproc": 8,                      // cores on the measuring host
 ///   "repeats": 3,                    // best-of repeats per point
-///   "queue_capacity": 1024,          // slots per shard queue
+///   "queue_capacity": 1024,          // slab slots per shard queue
+///   "slab_capacity": 256,            // items per router slab
 ///   "memory_bytes_per_shard": 32768,
 ///   "workload": {"name": "zipf", "items": 2000000, "keys": 120000,
 ///                "threshold": 300.0},
 ///   "points": [{
 ///     "shards": 1, "policy": "block",
+///     "slab_capacity": 256,          // this point's slab size
+///     "oversubscribed": false,       // nproc < shards + 1: not scaling data
 ///     "offered_mops": 9.0,           // router-side ingest rate
 ///     "sustained_mops": 8.5,         // filter-applied rate, incl. drain
 ///     "drop_rate": 0.0,              // dropped / offered
@@ -223,7 +250,7 @@ fn num(x: f64) -> String {
 pub fn render_json(report: &PipelineBenchReport) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"qf-bench-pipeline/v1\",\n");
+    out.push_str("  \"schema\": \"qf-bench-pipeline/v2\",\n");
     out.push_str(&format!("  \"mode\": \"{}\",\n", report.mode));
     out.push_str(&format!("  \"nproc\": {},\n", report.nproc));
     out.push_str(&format!("  \"repeats\": {},\n", report.repeats));
@@ -231,6 +258,7 @@ pub fn render_json(report: &PipelineBenchReport) -> String {
         "  \"queue_capacity\": {},\n",
         report.queue_capacity
     ));
+    out.push_str(&format!("  \"slab_capacity\": {},\n", report.slab_capacity));
     out.push_str(&format!(
         "  \"memory_bytes_per_shard\": {},\n",
         report.memory_bytes_per_shard
@@ -247,6 +275,11 @@ pub fn render_json(report: &PipelineBenchReport) -> String {
         out.push_str("    {\n");
         out.push_str(&format!("      \"shards\": {},\n", p.shards));
         out.push_str(&format!("      \"policy\": \"{}\",\n", p.policy));
+        out.push_str(&format!("      \"slab_capacity\": {},\n", p.slab_capacity));
+        out.push_str(&format!(
+            "      \"oversubscribed\": {},\n",
+            p.oversubscribed
+        ));
         out.push_str(&format!(
             "      \"offered_mops\": {},\n",
             num(p.offered_mops())
@@ -304,6 +337,7 @@ mod tests {
             criteria: criteria(),
             memory_bytes_per_shard: 16 * 1024,
             queue_capacity,
+            slab_capacity: 64,
             policy,
             seed: 0,
         }
@@ -361,6 +395,8 @@ mod tests {
         let point = PipelineMeasurement {
             shards: 4,
             policy: "block",
+            slab_capacity: 256,
+            oversubscribed: true,
             offered: 1000,
             enqueued: 1000,
             dropped: 0,
@@ -375,6 +411,7 @@ mod tests {
             nproc: 8,
             repeats: 1,
             queue_capacity: 1024,
+            slab_capacity: 256,
             memory_bytes_per_shard: 32 * 1024,
             workload: WorkloadMeta {
                 name: "zipf".into(),
@@ -402,8 +439,10 @@ mod tests {
             );
         }
         for key in [
-            "\"qf-bench-pipeline/v1\"",
+            "\"qf-bench-pipeline/v2\"",
             "\"queue_capacity\": 1024",
+            "\"slab_capacity\": 256",
+            "\"oversubscribed\": true",
             "\"nproc\": 8",
             "\"policy\": \"block\"",
             "\"policy\": \"drop_newest\"",
@@ -423,6 +462,8 @@ mod tests {
         let m = PipelineMeasurement {
             shards: 1,
             policy: "block",
+            slab_capacity: 1,
+            oversubscribed: false,
             offered: 2_000_000,
             enqueued: 1_500_000,
             dropped: 500_000,

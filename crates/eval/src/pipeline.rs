@@ -44,6 +44,7 @@ impl PipelineDetector {
                 criteria,
                 memory_bytes_per_shard,
                 queue_capacity: 1024,
+                slab_capacity: 256,
                 policy: BackpressurePolicy::Block,
                 seed: 0,
             },

@@ -68,6 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         criteria: Criteria::new(30.0, 0.95, 150.0)?,
         memory_bytes_per_shard: 64 * 1024,
         queue_capacity: 1024,
+        slab_capacity: 256,
         policy: BackpressurePolicy::DropOldest,
         seed: 1,
     };

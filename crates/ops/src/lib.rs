@@ -232,6 +232,7 @@ mod tests {
             criteria,
             memory_bytes_per_shard: 16 * 1024,
             queue_capacity: 32,
+            slab_capacity: 1,
             policy: BackpressurePolicy::Block,
             seed: 0,
         }) {

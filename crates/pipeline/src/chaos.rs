@@ -12,9 +12,13 @@
 //! ## Ordinal clocks
 //!
 //! Item faults trigger on the shard's **pop ordinal** — the value of the
-//! per-shard progress counter when the item is popped, starting at 0 and
-//! monotone across restarts (items lost to a crash are never popped
-//! again, so the clock never repeats a value). Checkpoint faults trigger
+//! per-shard progress counter when the item's slab is popped, plus the
+//! item's offset inside the slab, starting at 0 and monotone across
+//! restarts (items lost to a crash are never popped again, so the clock
+//! never repeats a value). Slab batching leaves the clock per-item: a
+//! slab pop advances the counter by the slab's length and each item
+//! keeps its own ordinal, so plans written against v1 address the same
+//! items. Checkpoint faults trigger
 //! on the shard's **seal ordinal** — 1 for the first checkpoint the
 //! lineage seals, counting every seal attempt including corrupted ones.
 //!

@@ -5,7 +5,10 @@
 //! cores, by promoting the eval harness's hash sharding into a production
 //! subsystem: a single-threaded router partitions keys over per-shard
 //! worker threads (each owning a private [`quantile_filter::QuantileFilter`])
-//! connected by bounded, hand-rolled SPSC ring queues. Per-key state
+//! connected by bounded, hand-rolled SPSC ring queues that carry
+//! fixed-capacity item *slabs* — one ring slot per slab, so the Lamport
+//! and wake handshakes amortize over `slab_capacity` items and each slab
+//! drains through the fused `insert_batch` hot path. Per-key state
 //! never crosses a shard boundary, so the reported key set is identical
 //! to single-threaded execution over the same per-shard item order — the
 //! equivalence the stress suite pins against `ShardedDetector`.
@@ -41,6 +44,7 @@
 //!     criteria: Criteria::new(5.0, 0.9, 100.0)?,
 //!     memory_bytes_per_shard: 32 * 1024,
 //!     queue_capacity: 1024,
+//!     slab_capacity: 256,
 //!     policy: BackpressurePolicy::Block,
 //!     seed: 0,
 //! })?;

@@ -10,10 +10,16 @@
 //! ```
 //!
 //! The router ([`Pipeline::ingest`], single-threaded by `&mut self`)
-//! hashes each key to its shard with [`crate::shard_of`] and pushes onto
-//! that shard's bounded queue. Each worker owns its filter outright — the
-//! paper's single-writer deployment model, preserved per shard — and
-//! sends [`Event`]s into one shared mpsc sink the caller drains with
+//! hashes each key to its shard with [`crate::shard_of`] and appends it
+//! to that shard's **slab** — a fixed-capacity chunk buffered in the
+//! router. A slab is flushed into the shard's bounded queue as one ring
+//! slot when it fills (and on quiesce, snapshot, [`Pipeline::flush`],
+//! and shutdown), so the Lamport handshake, the park/wake handshake,
+//! and the drop accounting are paid once per slab instead of once per
+//! item. Each worker owns its filter outright — the paper's
+//! single-writer deployment model, preserved per shard — drains each
+//! slab through the fused `insert_batch` hot path, and sends [`Event`]s
+//! into one shared mpsc sink the caller drains with
 //! [`Pipeline::poll_reports`].
 //!
 //! ## Supervision (opt-in)
@@ -38,10 +44,16 @@
 //! ```
 //!
 //! `rejected` counts items refused because their shard was down or
-//! quarantined; `shed` counts oldest-item drops under the shedding
-//! policies; `lost_to_crash` is exactly the accounted loss window of
-//! each crash (uncommitted burst + in-ring slab), zero when nothing
-//! crashed.
+//! quarantined; `shed` counts oldest-**slab** drops under the shedding
+//! policies (a shed credit discards the whole slab at the queue head,
+//! every contained item counted, and its keys un-noted from the
+//! `ShedFair` sketch); `lost_to_crash` is exactly the accounted loss
+//! window of each crash (the uncommitted slab + in-ring slabs — items
+//! still buffered in the router survive a restart and flush to the
+//! replacement worker), zero when nothing crashed. Both laws hold at
+//! slab granularity: `enqueued` counts admission into the router slab,
+//! which is an extension of the queue — shutdown and snapshot flush it
+//! before cutting.
 //!
 //! ## Ordering guarantee (and its limits)
 //!
@@ -65,11 +77,12 @@ use crate::supervisor::{
     CrashCause, RecoveredBase, RecoveryRecord, ShardRecovery, ShardState, SupervisorConfig,
 };
 use crate::telemetry;
-use crate::worker::{run_supervised, run_worker, Event, Msg, Supervision, WorkerExit};
+use crate::worker::{run_supervised, run_worker, Event, Msg, Slab, Supervision, WorkerExit};
 use crate::{shard_of, PipelineError};
 use quantile_filter::{Criteria, QuantileFilter, QuantileFilterBuilder, Report};
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -91,10 +104,12 @@ pub enum BackpressurePolicy {
     /// `qf_pipeline_dropped_total` telemetry counter). Bounded ingest
     /// latency; the drop rate is the overload signal.
     DropNewest,
-    /// Admit the incoming item by shedding the *oldest* queued one: the
+    /// Admit the incoming item by shedding the *oldest* queued slab: the
     /// router posts a shed credit that the worker redeems by discarding
-    /// the queue head (counted per shard as `shed`). Keeps the freshest
-    /// data under overload — the right bias for an online detector.
+    /// the slab at the queue head (every contained item counted per
+    /// shard as `shed`). Keeps the freshest data under overload — the
+    /// right bias for an online detector. At `slab_capacity: 1` this is
+    /// exactly the v1 oldest-item drop.
     DropOldest,
     /// `DropOldest` with per-key fairness: admission history is sampled
     /// into 256 key buckets, and when the queue is full an item from a
@@ -115,7 +130,14 @@ pub struct PipelineConfig {
     /// Memory budget per shard filter, in bytes.
     pub memory_bytes_per_shard: usize,
     /// Slots per shard queue (rounded up to a power of two, minimum 2).
+    /// Each slot carries one slab, so the queue buffers up to
+    /// `queue_capacity * slab_capacity` items.
     pub queue_capacity: usize,
+    /// Items per slab — the router-side batch handed over per ring slot
+    /// (minimum 1; `1` reproduces the v1 per-item handoff semantics
+    /// bit for bit). Larger slabs amortize the handoff and wake
+    /// handshakes and widen both the shed and the crash-loss granule.
+    pub slab_capacity: usize,
     /// Full-queue behavior.
     pub policy: BackpressurePolicy,
     /// Base RNG seed; shard `i` uses `seed.wrapping_add(i)`, matching the
@@ -140,6 +162,11 @@ impl PipelineConfig {
                 reason: "queue capacity must be at least 2".into(),
             });
         }
+        if self.slab_capacity == 0 {
+            return Err(PipelineError::InvalidConfig {
+                reason: "slab capacity must be at least 1".into(),
+            });
+        }
         Ok(())
     }
 
@@ -157,7 +184,9 @@ impl PipelineConfig {
 /// Per-item verdict from [`Pipeline::ingest`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IngestOutcome {
-    /// The item is on its shard's queue.
+    /// The item was admitted: it sits in its shard's router slab or on
+    /// the shard queue (the slab is an extension of the queue — flushed
+    /// on fill, quiesce, snapshot, [`Pipeline::flush`], and shutdown).
     Enqueued,
     /// The queue was full and the policy shed the *incoming* item
     /// ([`BackpressurePolicy::DropNewest`], or the fairness drop under
@@ -241,6 +270,12 @@ pub struct PipelineSummary {
 struct ShardHandle {
     queue: Producer<Msg>,
     worker: Option<JoinHandle<WorkerExit>>,
+    /// The shard's accumulating slab: admitted items wait here until the
+    /// slab fills (or a flush point), then travel as one ring slot.
+    buf: Slab,
+    /// Unsupervised only: the worker was observed dead at a flush; all
+    /// further items for this shard are rejected without re-probing.
+    down: bool,
     enqueued: u64,
     dropped: u64,
     rejected: u64,
@@ -255,12 +290,34 @@ struct ShardHandle {
     stalled: bool,
 }
 
-/// Router-side admission sampling for [`BackpressurePolicy::ShedFair`]:
-/// 256 hash buckets of recent admissions, halved once the window fills
-/// so the estimate tracks the live mix.
-struct Fairness {
-    buckets: Box<[u32; 256]>,
-    total: u32,
+impl ShardHandle {
+    /// Take the accumulated slab for flushing, leaving an empty slab of
+    /// the same capacity in its place.
+    fn take_buf(&mut self) -> Slab {
+        let capacity = self.buf.capacity();
+        std::mem::replace(&mut self.buf, Slab::with_capacity(capacity))
+    }
+}
+
+/// Admission sampling for [`BackpressurePolicy::ShedFair`]: 256 hash
+/// buckets of recent admissions, halved once the window fills so the
+/// estimate tracks the live mix.
+///
+/// Shared between the router (which notes admissions and asks
+/// [`is_heavy`](Self::is_heavy)) and the shard workers (which *un-note*
+/// every key of a slab they discard against a shed credit, so shed
+/// traffic stops counting as admission history — the exact per-key
+/// accounting the slab-granular `ShedFair` contract requires). All ops
+/// are relaxed: the sketch is a heuristic, and every counter update is
+/// a single atomic RMW, so the counts themselves never tear.
+pub(crate) struct Fairness {
+    // sync: counter — heuristic admission sketch, relaxed RMWs only;
+    // router and workers race on single updates and no other memory is
+    // published through these counts, so no ordering edge is required.
+    buckets: Box<[AtomicU32; 256]>,
+    // sync: counter — same protocol as `buckets`; decay tolerates
+    // lost-update skew by CAS-halving.
+    total: AtomicU32,
 }
 
 impl Fairness {
@@ -269,8 +326,8 @@ impl Fairness {
 
     fn new() -> Self {
         Self {
-            buckets: Box::new([0u32; 256]),
-            total: 0,
+            buckets: Box::new(std::array::from_fn(|_| AtomicU32::new(0))),
+            total: AtomicU32::new(0),
         }
     }
 
@@ -280,23 +337,56 @@ impl Fairness {
         (qf_hash::mix64(key ^ 0xFA1B) & 0xFF) as usize
     }
 
-    fn note(&mut self, key: u64) {
-        let b = Self::bucket(key);
-        self.buckets[b] = self.buckets[b].saturating_add(1);
-        self.total = self.total.saturating_add(1);
-        if self.total >= Self::WINDOW {
-            let mut total = 0u32;
-            for c in self.buckets.iter_mut() {
-                *c >>= 1;
-                total += *c;
-            }
-            self.total = total;
+    fn note(&self, key: u64) {
+        let b = &self.buckets[Self::bucket(key)];
+        // sync: counter — relaxed admission sample; readers tolerate
+        // arbitrary interleaving with decay and unnote.
+        b.fetch_add(1, Ordering::Relaxed);
+        // sync: counter — relaxed window clock for the decay trigger.
+        let total = self.total.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
+        if total >= Self::WINDOW {
+            self.decay();
+        }
+    }
+
+    /// Halve every bucket and rebuild the total. Concurrent `unnote`s
+    /// racing a halving can be folded in or lost by one count — the
+    /// sketch already forgets half its history here by design.
+    fn decay(&self) {
+        let mut total = 0u32;
+        for b in self.buckets.iter() {
+            // sync: counter — relaxed CAS halving; exact w.r.t.
+            // concurrent increments/decrements on the same bucket.
+            let _ = b.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v >> 1));
+            // sync: counter — relaxed re-read for the rebuilt total.
+            total += b.load(Ordering::Relaxed);
+        }
+        // sync: counter — relaxed total rebuild; racy by at most the
+        // in-flight notes/unnotes of the same window.
+        self.total.store(total, Ordering::Relaxed);
+    }
+
+    /// Remove one admission of `key` from the sample — called by a
+    /// worker for every item of a slab it shed, saturating at zero.
+    pub(crate) fn unnote(&self, key: u64) {
+        let b = &self.buckets[Self::bucket(key)];
+        // sync: counter — relaxed saturating decrement; CAS keeps the
+        // bucket from underflowing past concurrent decay.
+        if b.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+            .is_ok()
+        {
+            // sync: counter — relaxed saturating decrement of the window total.
+            let _ = self
+                .total
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
         }
     }
 
     fn is_heavy(&self, key: u64) -> bool {
-        let share = self.buckets[Self::bucket(key)];
-        let fair = self.total / 256 + 1;
+        // sync: counter — relaxed heuristic reads; staleness only skews
+        // which item absorbs an overload drop.
+        let share = self.buckets[Self::bucket(key)].load(Ordering::Relaxed);
+        let fair = self.total.load(Ordering::Relaxed) / 256 + 1; // sync: counter — relaxed heuristic read
         share > Self::HEAVY_FACTOR * fair
     }
 }
@@ -354,7 +444,8 @@ pub struct Pipeline {
     offered: u64,
     memory_bytes: usize,
     /// Per-shard admission sampling; populated only under `ShedFair`.
-    fairness: Vec<Fairness>,
+    /// `Arc`-shared with the shard workers, which un-note shed slabs.
+    fairness: Vec<Arc<Fairness>>,
     /// Present iff launched via [`Self::launch_supervised`] /
     /// [`Self::launch_chaos`].
     supervision: Option<Supervised>,
@@ -388,21 +479,34 @@ impl Pipeline {
         }
         let memory_bytes = filters.iter().map(QuantileFilter::memory_bytes).sum();
         let (sink, events) = channel();
+        let fairness = Self::fairness_for(&config);
         let mut shards = Vec::with_capacity(config.shards);
         for (shard, filter) in filters.into_iter().enumerate() {
             let (producer, consumer) = SpscRing::with_capacity(config.queue_capacity).split();
             let sink = sink.clone();
             let flight = ShardFlight::new(shard);
             let worker_flight = flight.clone();
+            let worker_fairness = fairness.get(shard).cloned();
             let worker = std::thread::Builder::new()
                 .name(format!("qf-pipeline-{shard}"))
-                .spawn(move || run_worker(shard, consumer, filter, sink, worker_flight))
+                .spawn(move || {
+                    run_worker(
+                        shard,
+                        consumer,
+                        filter,
+                        sink,
+                        worker_fairness,
+                        worker_flight,
+                    )
+                })
                 .map_err(|e| PipelineError::InvalidConfig {
                     reason: format!("failed to spawn worker thread: {e}"),
                 })?;
             shards.push(ShardHandle {
                 queue: producer,
                 worker: Some(worker),
+                buf: Slab::with_capacity(config.slab_capacity),
+                down: false,
                 enqueued: 0,
                 dropped: 0,
                 rejected: 0,
@@ -414,7 +518,6 @@ impl Pipeline {
         // The workers hold the only senders now: a `recv` error later
         // means every worker is gone, not that we forgot a clone here.
         drop(sink);
-        let fairness = Self::fairness_for(&config);
         Ok(Self {
             config,
             shards,
@@ -462,13 +565,17 @@ impl Pipeline {
                 reason: format!("supervisor config: {reason}"),
             })?;
         let (sink, events) = channel();
+        let fairness = Self::fairness_for(&config);
         let mut shards = Vec::with_capacity(config.shards);
         let mut sup_shards = Vec::with_capacity(config.shards);
         let mut memory_bytes = 0usize;
         for shard in 0..config.shards {
             let filter = config.build_filter(shard)?;
             memory_bytes += filter.memory_bytes();
-            let recovery = Arc::new(ShardRecovery::new(sup.checkpoint_interval));
+            let recovery = Arc::new(ShardRecovery::new(
+                sup.checkpoint_interval,
+                config.slab_capacity,
+            ));
             let flight = ShardFlight::new(shard);
             let board = Arc::new(ShardBoard::default());
             let (producer, worker) = Self::spawn_supervised_worker(
@@ -480,13 +587,17 @@ impl Pipeline {
                     recovery: Arc::clone(&recovery),
                     generation: 0,
                     checkpoint_interval: sup.checkpoint_interval,
+                    slab_capacity: config.slab_capacity,
                     chaos: chaos.clone(),
+                    fairness: fairness.get(shard).cloned(),
                     flight: flight.clone(),
                 },
             )?;
             shards.push(ShardHandle {
                 queue: producer,
                 worker: Some(worker),
+                buf: Slab::with_capacity(config.slab_capacity),
+                down: false,
                 enqueued: 0,
                 dropped: 0,
                 rejected: 0,
@@ -508,7 +619,6 @@ impl Pipeline {
                 board,
             });
         }
-        let fairness = Self::fairness_for(&config);
         Ok(Self {
             config,
             shards,
@@ -529,9 +639,11 @@ impl Pipeline {
         })
     }
 
-    fn fairness_for(config: &PipelineConfig) -> Vec<Fairness> {
+    fn fairness_for(config: &PipelineConfig) -> Vec<Arc<Fairness>> {
         if config.policy == BackpressurePolicy::ShedFair {
-            (0..config.shards).map(|_| Fairness::new()).collect()
+            (0..config.shards)
+                .map(|_| Arc::new(Fairness::new()))
+                .collect()
         } else {
             Vec::new()
         }
@@ -637,14 +749,38 @@ impl Pipeline {
             .map_or(0, |sv| sv.shards.iter().map(|s| s.restarts).sum())
     }
 
+    /// Items currently buffered in `shard`'s router slab, waiting for
+    /// the slab to fill or a flush point. These items are counted as
+    /// enqueued (the slab is an extension of the queue); snapshots and
+    /// shutdown always flush them first.
+    pub fn buffered_len(&self, shard: usize) -> usize {
+        self.shards.get(shard).map_or(0, |s| s.buf.len())
+    }
+
+    /// Flush every shard's partial router slab into its queue, so all
+    /// admitted items become visible to the workers without waiting for
+    /// slabs to fill. Items already counted as enqueued are never
+    /// dropped here: the flush blocks (recovering through crashes when
+    /// supervised) until each slab lands or its shard is down.
+    pub fn flush(&mut self) {
+        for shard in 0..self.shards.len() {
+            self.flush_buffered(shard);
+        }
+    }
+
     /// Route one item to its shard. Never fails the whole call for a
     /// single bad shard: a full queue resolves per the backpressure
     /// policy, and a dead or quarantined shard yields
     /// [`IngestOutcome::ShardDown`] for *its* items while other shards
     /// keep accepting. Under supervision a dead/hung worker is first
-    /// recovered (restarted from checkpoint + journal) and the push
+    /// recovered (restarted from checkpoint + journal) and the flush
     /// retried; `ShardDown` then only appears once the shard is
     /// quarantined.
+    ///
+    /// The admitted item lands in the shard's router slab; the slab
+    /// travels to the worker when it fills (the backpressure policy
+    /// resolves *at that flush*, against the incoming item) or at the
+    /// next quiesce/flush/shutdown point.
     pub fn ingest(&mut self, key: u64, value: f64) -> Result<IngestOutcome, PipelineError> {
         self.offered += 1;
         let shard = shard_of(key, self.shards.len());
@@ -675,37 +811,72 @@ impl Pipeline {
     }
 
     fn ingest_unsupervised(&mut self, shard: usize, key: u64, value: f64) -> IngestOutcome {
-        let msg = Msg::Item { key, value };
-        let queue = &mut self.shards[shard].queue;
-        match self.config.policy {
-            BackpressurePolicy::Block => match queue.push_blocking(msg) {
+        let handle = &mut self.shards[shard];
+        if handle.down {
+            return IngestOutcome::ShardDown;
+        }
+        handle.buf.push(key, value);
+        if handle.buf.is_full() {
+            return self.flush_full_unsupervised(shard, key);
+        }
+        IngestOutcome::Enqueued
+    }
+
+    /// Flush a just-filled slab; the backpressure policy resolves here,
+    /// against the incoming item (the last one admitted to the slab).
+    /// Returns that item's outcome — earlier slab items were already
+    /// counted as enqueued by their own ingest calls.
+    fn flush_full_unsupervised(&mut self, shard: usize, key: u64) -> IngestOutcome {
+        let policy = self.config.policy;
+        let handle = &mut self.shards[shard];
+        let slab = handle.take_buf();
+        match policy {
+            BackpressurePolicy::Block => match handle.queue.push_blocking(Msg::Slab(slab)) {
                 Ok(()) => IngestOutcome::Enqueued,
-                Err(_) => IngestOutcome::ShardDown,
+                Err(_) => {
+                    handle.down = true;
+                    IngestOutcome::ShardDown
+                }
             },
-            BackpressurePolicy::DropNewest => match queue.try_push(msg) {
+            BackpressurePolicy::DropNewest => match handle.queue.try_push(Msg::Slab(slab)) {
                 Ok(()) => IngestOutcome::Enqueued,
-                Err((PushError::Full, _)) => IngestOutcome::Dropped,
-                Err((PushError::Disconnected, _)) => IngestOutcome::ShardDown,
+                Err((PushError::Full, msg)) => Self::undo_admit(handle, msg),
+                Err((PushError::Disconnected, _)) => {
+                    handle.down = true;
+                    IngestOutcome::ShardDown
+                }
             },
             BackpressurePolicy::DropOldest | BackpressurePolicy::ShedFair => {
-                match queue.try_push(msg) {
+                match handle.queue.try_push(Msg::Slab(slab)) {
                     Ok(()) => IngestOutcome::Enqueued,
-                    Err((PushError::Disconnected, _)) => IngestOutcome::ShardDown,
-                    Err((PushError::Full, m)) => {
-                        if self.config.policy == BackpressurePolicy::ShedFair
+                    Err((PushError::Disconnected, _)) => {
+                        handle.down = true;
+                        IngestOutcome::ShardDown
+                    }
+                    Err((PushError::Full, msg)) => {
+                        if policy == BackpressurePolicy::ShedFair
                             && self.fairness[shard].is_heavy(key)
                         {
-                            return IngestOutcome::Dropped;
+                            // The heavy key absorbs the overload it
+                            // causes: its own item is dropped, the rest
+                            // of the slab stays buffered for retry.
+                            return Self::undo_admit(&mut self.shards[shard], msg);
                         }
-                        queue.request_shed(1);
-                        match queue.try_push_for(m, PUSH_ROUND_BUDGET) {
+                        let handle = &mut self.shards[shard];
+                        // One credit == the worker discards the whole
+                        // slab at the queue head.
+                        handle.queue.request_shed(1);
+                        match handle.queue.try_push_for(msg, PUSH_ROUND_BUDGET) {
                             Ok(()) => IngestOutcome::Enqueued,
                             // Consumer could not make room in the bounded
                             // window (wedged or outpaced): degrade to
                             // dropping the incoming item — unsupervised
                             // pipelines have no watchdog to do better.
-                            Err((PushError::Full, _)) => IngestOutcome::Dropped,
-                            Err((PushError::Disconnected, _)) => IngestOutcome::ShardDown,
+                            Err((PushError::Full, msg)) => Self::undo_admit(handle, msg),
+                            Err((PushError::Disconnected, _)) => {
+                                handle.down = true;
+                                IngestOutcome::ShardDown
+                            }
                         }
                     }
                 }
@@ -713,14 +884,45 @@ impl Pipeline {
         }
     }
 
+    /// A failed flush hands the slab back: remove the just-admitted
+    /// incoming item (it is dropped, not enqueued) and re-buffer the
+    /// remainder — those items stay admitted and retry at the next
+    /// flush point.
+    fn undo_admit(handle: &mut ShardHandle, msg: Msg) -> IngestOutcome {
+        if let Msg::Slab(mut slab) = msg {
+            let _ = slab.pop();
+            handle.buf = slab;
+        }
+        IngestOutcome::Dropped
+    }
+
     fn ingest_supervised(&mut self, shard: usize, key: u64, value: f64) -> IngestOutcome {
-        let mut msg = Msg::Item { key, value };
+        if self.shard_state(shard) == ShardState::Quarantined {
+            return IngestOutcome::ShardDown;
+        }
+        let handle = &mut self.shards[shard];
+        handle.buf.push(key, value);
+        if handle.buf.is_full() {
+            return self.flush_full_supervised(shard, key);
+        }
+        IngestOutcome::Enqueued
+    }
+
+    /// Supervised flush of a just-filled slab: the push loop recovers
+    /// through dead and hung workers; the backpressure policy resolves
+    /// against the incoming item exactly as in the unsupervised path.
+    fn flush_full_supervised(&mut self, shard: usize, key: u64) -> IngestOutcome {
+        let policy = self.config.policy;
+        let mut msg = Msg::Slab(self.shards[shard].take_buf());
         let mut shed_requested = false;
         loop {
             if self.shard_state(shard) == ShardState::Quarantined {
+                // Quarantined mid-flush: the slab is discarded. Items
+                // admitted by earlier calls stay counted as enqueued
+                // and fall into the recomputed crash loss; the incoming
+                // item itself is rejected.
                 return IngestOutcome::ShardDown;
             }
-            let policy = self.config.policy;
             let attempt = match policy {
                 BackpressurePolicy::DropNewest => self.shards[shard].queue.try_push(msg),
                 _ => self.shards[shard]
@@ -735,8 +937,13 @@ impl Pipeline {
                     return IngestOutcome::Enqueued;
                 }
                 Err((PushError::Disconnected, m)) => {
+                    // Survivor count excludes the incoming item: it is
+                    // not yet counted as enqueued (this flush decides
+                    // its outcome), so it must not offset the loss
+                    // window either.
+                    let in_hand = Self::msg_len(&m).saturating_sub(1);
                     msg = m;
-                    self.recover_shard(shard, CrashCause::Panic);
+                    self.recover_shard(shard, CrashCause::Panic, in_hand);
                 }
                 Err((PushError::Full, m)) => {
                     msg = m;
@@ -744,13 +951,15 @@ impl Pipeline {
                         self.note_backpressure(shard, true);
                     }
                     match policy {
-                        BackpressurePolicy::DropNewest => return IngestOutcome::Dropped,
+                        BackpressurePolicy::DropNewest => {
+                            return Self::undo_admit(&mut self.shards[shard], msg);
+                        }
                         BackpressurePolicy::Block => {}
                         BackpressurePolicy::DropOldest | BackpressurePolicy::ShedFair => {
                             if policy == BackpressurePolicy::ShedFair
                                 && self.fairness[shard].is_heavy(key)
                             {
-                                return IngestOutcome::Dropped;
+                                return Self::undo_admit(&mut self.shards[shard], msg);
                             }
                             if !shed_requested {
                                 self.shards[shard].queue.request_shed(1);
@@ -759,7 +968,75 @@ impl Pipeline {
                         }
                     }
                     if self.hang_confirmed(shard) {
-                        self.recover_shard(shard, CrashCause::Hang);
+                        let in_hand = Self::msg_len(&msg).saturating_sub(1);
+                        self.recover_shard(shard, CrashCause::Hang, in_hand);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Items carried by a message the router still holds (0 for control
+    /// messages) — subtracted from a fence's loss window, since they
+    /// will be re-flushed to the replacement worker.
+    fn msg_len(msg: &Msg) -> u64 {
+        match msg {
+            Msg::Slab(slab) => slab.len() as u64,
+            _ => 0,
+        }
+    }
+
+    /// Blocking flush of `shard`'s partial slab (no incoming item to
+    /// resolve a policy against: every buffered item is already counted
+    /// as enqueued, so it must reach the worker or die with the shard).
+    /// Used by [`Self::flush`], snapshots, and shutdown.
+    fn flush_buffered(&mut self, shard: usize) {
+        if self.shards[shard].buf.is_empty() {
+            return;
+        }
+        if self.supervision.is_none() {
+            let handle = &mut self.shards[shard];
+            if handle.down {
+                return;
+            }
+            let slab = handle.take_buf();
+            if handle.queue.push_blocking(Msg::Slab(slab)).is_err() {
+                // The buffered items are unrecoverable; shutdown will
+                // surface the death as `WorkerDied`.
+                handle.down = true;
+            }
+            return;
+        }
+        let mut msg = Msg::Slab(self.shards[shard].take_buf());
+        loop {
+            if self.shard_state(shard) == ShardState::Quarantined {
+                // Discarded: the items stay counted as enqueued and land
+                // in the shard's recomputed crash loss.
+                return;
+            }
+            match self.shards[shard]
+                .queue
+                .try_push_for(msg, PUSH_ROUND_BUDGET)
+            {
+                Ok(()) => {
+                    if self.shards[shard].stalled {
+                        self.note_backpressure(shard, false);
+                    }
+                    return;
+                }
+                Err((PushError::Disconnected, m)) => {
+                    let in_hand = Self::msg_len(&m);
+                    msg = m;
+                    self.recover_shard(shard, CrashCause::Panic, in_hand);
+                }
+                Err((PushError::Full, m)) => {
+                    msg = m;
+                    if !self.shards[shard].stalled {
+                        self.note_backpressure(shard, true);
+                    }
+                    if self.hang_confirmed(shard) {
+                        let in_hand = Self::msg_len(&msg);
+                        self.recover_shard(shard, CrashCause::Hang, in_hand);
                     }
                 }
             }
@@ -816,8 +1093,12 @@ impl Pipeline {
     /// Fence the shard's current worker generation and either restart it
     /// from checkpoint + journal (with backoff) or quarantine it once
     /// the strike budget is exhausted. Loss is accounted here, at the
-    /// fence point.
-    fn recover_shard(&mut self, shard: usize, cause: CrashCause) {
+    /// fence point. `in_hand` is the number of items in a slab the
+    /// caller still holds (a flush that bounced off the dead worker):
+    /// those items — like the shard's router-buffered slab — survive
+    /// the crash and will be re-flushed to the replacement, so they are
+    /// excluded from this fence's loss window.
+    fn recover_shard(&mut self, shard: usize, cause: CrashCause, in_hand: u64) {
         let t0 = Instant::now();
         let config = self.config;
         let mut build_fresh = move || -> Option<QuantileFilter> { config.build_filter(shard).ok() };
@@ -848,16 +1129,21 @@ impl Pipeline {
             (recovered, inner.applied, inner.shed, fenced_gen)
         };
         // Loss attributable to this fence: everything enqueued that is
-        // neither journaled-processed nor shed nor already-accounted.
-        // (Covers the uncommitted burst and whatever sat in the ring.)
+        // neither journaled-processed nor shed nor already-accounted —
+        // minus what the router still holds (its buffered slab plus any
+        // slab in the caller's hand), which survives the crash and will
+        // be re-flushed to the replacement worker. Covers the
+        // uncommitted slab and whatever sat in the ring.
         if let Some(rec) = &recovered {
             if rec.base == RecoveredBase::StateLoss {
                 s.processed_cum += rec.prior_applied;
             }
         }
         let enqueued_so_far = self.shards[shard].enqueued;
+        let buffered = self.shards[shard].buf.len() as u64 + in_hand;
         let processed_total = s.processed_cum + applied_now;
         let lost_inc = enqueued_so_far
+            .saturating_sub(buffered)
             .saturating_sub(shed_now)
             .saturating_sub(processed_total)
             .saturating_sub(s.lost_so_far);
@@ -901,7 +1187,9 @@ impl Pipeline {
                         recovery: Arc::clone(&s.recovery),
                         generation: s.generation,
                         checkpoint_interval: sv.cfg.checkpoint_interval,
+                        slab_capacity: config.slab_capacity,
                         chaos: sv.chaos.clone(),
+                        fairness: self.fairness.get(shard).cloned(),
                         flight: self.shards[shard].flight.clone(),
                     },
                 )
@@ -923,6 +1211,11 @@ impl Pipeline {
                 telemetry::restart();
             }
             None => {
+                // Quarantine is terminal: the router-held slabs excluded
+                // above will never be re-flushed — they are discarded,
+                // so fold them back into this fence's loss.
+                s.lost_so_far += buffered;
+                record.lost += buffered;
                 // Quarantine: park a closed queue in the handle so any
                 // residual push fails fast, and stop routing to it.
                 let (producer, consumer) = SpscRing::with_capacity(2).split();
@@ -995,6 +1288,9 @@ impl Pipeline {
         if self.supervision.is_some() {
             return self.snapshot_supervised();
         }
+        // Flush partial router slabs first: the barrier must cut *after*
+        // every admitted item, including ones still buffered router-side.
+        self.flush();
         for (shard, handle) in self.shards.iter_mut().enumerate() {
             if handle.queue.push_blocking(Msg::Quiesce).is_err() {
                 return Err(PipelineError::WorkerDied { shard });
@@ -1023,6 +1319,9 @@ impl Pipeline {
     }
 
     fn snapshot_supervised(&mut self) -> Result<Vec<u8>, PipelineError> {
+        // Flush partial router slabs first so the barrier cut includes
+        // every admitted item (recovering through crashes as needed).
+        self.flush();
         let n = self.shards.len();
         let mut frames: Vec<Option<Vec<u8>>> = vec![None; n];
         let mut missing = 0usize;
@@ -1067,9 +1366,9 @@ impl Pipeline {
                         }
                         let dead = !self.shards[shard].queue.consumer_alive();
                         if dead {
-                            self.recover_shard(shard, CrashCause::Panic);
+                            self.recover_shard(shard, CrashCause::Panic, 0);
                         } else if self.hang_confirmed(shard) {
-                            self.recover_shard(shard, CrashCause::Hang);
+                            self.recover_shard(shard, CrashCause::Hang, 0);
                         } else {
                             continue;
                         }
@@ -1115,11 +1414,11 @@ impl Pipeline {
             {
                 Ok(()) => return Ok(()),
                 Err((PushError::Disconnected, _)) => {
-                    self.recover_shard(shard, CrashCause::Panic);
+                    self.recover_shard(shard, CrashCause::Panic, 0);
                 }
                 Err((PushError::Full, _)) => {
                     if self.hang_confirmed(shard) {
-                        self.recover_shard(shard, CrashCause::Hang);
+                        self.recover_shard(shard, CrashCause::Hang, 0);
                     }
                 }
             }
@@ -1157,6 +1456,9 @@ impl Pipeline {
     }
 
     fn shutdown_unsupervised(mut self) -> Result<PipelineSummary, PipelineError> {
+        // Flush partial router slabs so every admitted item reaches its
+        // worker before the drain sentinel.
+        self.flush();
         let mut first_dead: Option<usize> = None;
         for (shard, handle) in self.shards.iter_mut().enumerate() {
             // A dead worker can't drain; remember it, join below anyway.
@@ -1225,6 +1527,9 @@ impl Pipeline {
 
     fn shutdown_supervised(mut self) -> PipelineSummary {
         let n = self.shards.len();
+        // Flush partial router slabs so every admitted item reaches its
+        // worker (or is accounted at a fence) before the drain sentinel.
+        self.flush();
         // Phase 1: deliver the drain sentinel to every live shard,
         // recovering through crashes and hangs so it always lands (or
         // the shard ends up quarantined with its loss accounted).
@@ -1239,11 +1544,11 @@ impl Pipeline {
                 {
                     Ok(()) => break,
                     Err((PushError::Disconnected, _)) => {
-                        self.recover_shard(shard, CrashCause::Panic);
+                        self.recover_shard(shard, CrashCause::Panic, 0);
                     }
                     Err((PushError::Full, _)) => {
                         if self.hang_confirmed(shard) {
-                            self.recover_shard(shard, CrashCause::Hang);
+                            self.recover_shard(shard, CrashCause::Hang, 0);
                         }
                     }
                 }
@@ -1456,6 +1761,8 @@ mod tests {
             criteria,
             memory_bytes_per_shard: 16 * 1024,
             queue_capacity: 32,
+            // slab=1 keeps these unit tests on per-item flush semantics.
+            slab_capacity: 1,
             policy,
             seed: 0xD00D,
         }
@@ -1518,7 +1825,7 @@ mod tests {
     /// share reads as heavy; background keys in other buckets do not.
     #[test]
     fn fairness_flags_heavy_hitters_only() {
-        let mut f = Fairness::new();
+        let f = Fairness::new();
         let heavy = 7u64;
         let mut light = heavy + 1;
         while Fairness::bucket(light) == Fairness::bucket(heavy) {
@@ -1536,7 +1843,7 @@ mod tests {
     /// that stops being heavy is eventually forgiven.
     #[test]
     fn fairness_decays_stale_heavy_hitters() {
-        let mut f = Fairness::new();
+        let f = Fairness::new();
         let heavy = 7u64;
         for _ in 0..1_024 {
             f.note(heavy);
@@ -1551,5 +1858,25 @@ mod tests {
             }
         }
         assert!(!f.is_heavy(heavy), "stale heavy hitter never decayed");
+    }
+
+    /// Shed un-noting is exact per key: discarding everything a slab
+    /// contained returns the sketch to its pre-admission state, so shed
+    /// traffic stops counting as admission history.
+    #[test]
+    fn fairness_unnote_reverses_admissions_exactly() {
+        let f = Fairness::new();
+        let heavy = 7u64;
+        for _ in 0..1_024 {
+            f.note(heavy);
+        }
+        assert!(f.is_heavy(heavy));
+        for _ in 0..1_024 {
+            f.unnote(heavy);
+        }
+        assert!(!f.is_heavy(heavy), "unnote did not reverse note");
+        // Saturating: un-noting past zero never wraps.
+        f.unnote(heavy);
+        assert!(!f.is_heavy(heavy));
     }
 }

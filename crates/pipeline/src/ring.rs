@@ -1,11 +1,22 @@
 //! Bounded single-producer / single-consumer ring queue.
 //!
 //! Hand-rolled (no external deps) because the pipeline's hot path is one
-//! `push` per routed item and one `pop` per worker iteration: a fixed
+//! `push` per message and one `pop` per worker iteration: a fixed
 //! power-of-two slot array, a producer-owned `tail`, a consumer-owned
 //! `head`, and acquire/release pairs on exactly those two words. No locks,
-//! no per-item allocation — the slot array is the only heap memory and it
-//! is allocated once in [`SpscRing::with_capacity`].
+//! no per-message allocation — the slot array is the only heap memory and
+//! it is allocated once in [`SpscRing::with_capacity`].
+//!
+//! The ring is payload-agnostic; the pipeline's slab handoff lives one
+//! layer up. Each slot carries a whole `Msg` — usually a router-filled
+//! item slab — so one acquire/release handshake and at most one wake
+//! amortize over `slab_capacity` items, and a capacity-`N` ring holds up
+//! to `N × slab_capacity` items in flight. Nothing in the protocol below
+//! changed for slabs: an owned payload is moved in by `push` and out by
+//! `pop`, and the drop path releases slots still occupied at teardown
+//! whatever they hold. Shed credits redeem against whole slots (one
+//! credit = the oldest queued *slab*); per-item shed accounting is the
+//! worker's job, not the ring's.
 //!
 //! The single-producer / single-consumer discipline is enforced in the
 //! type system: [`split`](SpscRing::split) yields one [`Producer`] and one
@@ -43,13 +54,13 @@
 //!
 //! ## Shed credits
 //!
-//! Only the consumer owns `head`, so "drop the *oldest* queued item"
+//! Only the consumer owns `head`, so "drop the *oldest* queued message"
 //! cannot be done by the producer directly. Instead the producer posts a
 //! **shed credit** ([`Producer::request_shed`]); the consumer redeems
 //! credits ([`Consumer::take_shed`]) by popping and discarding that many
-//! items before its next apply. The handoff is a single relaxed counter —
-//! the producer's full-queue retry observes freed slots through `head`
-//! exactly as it does for ordinary pops.
+//! messages before its next apply. The handoff is a single relaxed
+//! counter — the producer's full-queue retry observes freed slots through
+//! `head` exactly as it does for ordinary pops.
 
 use std::mem::MaybeUninit;
 use std::sync::Arc;

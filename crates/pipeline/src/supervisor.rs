@@ -36,17 +36,19 @@
 //!
 //! Recovery therefore rebuilds `restore(newest valid checkpoint) +
 //! replay(journal suffix)`, yielding a filter equal to the crashed one at
-//! its last journaled item. Everything past that point — the burst being
-//! applied at crash time plus whatever sat in the SPSC ring — is the
-//! **loss window**, accounted exactly in [`RecoveryRecord::lost`] and the
-//! pipeline summary, never silently absorbed.
+//! its last journaled item. Everything past that point — the slab being
+//! applied at crash time plus whatever slabs sat in the SPSC ring — is
+//! the **loss window**, accounted exactly in [`RecoveryRecord::lost`] and
+//! the pipeline summary, never silently absorbed. (Items still buffered
+//! router-side survive a crash — they re-flush to the replacement worker
+//! — so they are excluded from the window.)
 //!
 //! All of this state lives behind one uncontended mutex per shard
-//! ([`ShardRecovery`]), written by the worker in per-burst batches (the
-//! per-item path takes the lock once per burst of up to
-//! [`BURST`](crate::worker::BURST) items) and read by the router only
+//! ([`ShardRecovery`]), written by the worker in per-slab batches (the
+//! worker takes the lock once per slab of up to
+//! `PipelineConfig::slab_capacity` items) and read by the router only
 //! during recovery — so the fault-free hot path pays one uncontended
-//! lock plus a handful of word writes per burst. Generation fencing
+//! lock plus a handful of word writes per slab. Generation fencing
 //! makes abandoned workers harmless: the router bumps
 //! `RecoveryInner::generation` under the lock before rebuilding, and a
 //! stale worker (e.g. one that was hung and later wakes) observes the
@@ -55,7 +57,6 @@
 
 use crate::chaos::ArmedChaos;
 use crate::telemetry;
-use crate::worker::BURST;
 use core::time::Duration;
 use qf_model::sync::atomic::{AtomicU64, Ordering};
 use qf_model::sync::{Mutex, MutexGuard};
@@ -320,8 +321,12 @@ pub(crate) struct ShardRecovery {
 }
 
 impl ShardRecovery {
-    pub(crate) fn new(checkpoint_interval: u64) -> Self {
-        let journal_cap = 2 * (checkpoint_interval as usize + BURST);
+    /// `max_burst` is the largest batch a worker commits under one lock
+    /// acquisition — the pipeline's slab capacity — so the journal can
+    /// always absorb a full checkpoint interval plus one in-flight slab
+    /// on both sides of the double-buffered prune horizon.
+    pub(crate) fn new(checkpoint_interval: u64, max_burst: usize) -> Self {
+        let journal_cap = 2 * (checkpoint_interval as usize + max_burst);
         Self {
             inner: Mutex::new(RecoveryInner {
                 generation: 0,
@@ -572,7 +577,7 @@ mod tests {
 
     #[test]
     fn recover_equals_uncrashed_filter() {
-        let rec = ShardRecovery::new(16);
+        let rec = ShardRecovery::new(16, 16);
         let mut filter = build();
         let items = workload(300);
         drive(&rec, &mut filter, &items, 16);
@@ -594,7 +599,7 @@ mod tests {
 
     #[test]
     fn recover_before_first_checkpoint_replays_full_journal() {
-        let rec = ShardRecovery::new(1000);
+        let rec = ShardRecovery::new(1000, 16);
         let mut filter = build();
         let items = workload(50);
         drive(&rec, &mut filter, &items, 1000);
@@ -611,7 +616,7 @@ mod tests {
 
     #[test]
     fn corrupt_newest_checkpoint_falls_back_to_older() {
-        let rec = ShardRecovery::new(16);
+        let rec = ShardRecovery::new(16, 16);
         let mut filter = build();
         drive(&rec, &mut filter, &workload(200), 16);
         let mut inner = rec.lock();
@@ -640,7 +645,7 @@ mod tests {
 
     #[test]
     fn both_checkpoints_corrupt_degrades_to_state_loss() {
-        let rec = ShardRecovery::new(16);
+        let rec = ShardRecovery::new(16, 16);
         let mut filter = build();
         drive(&rec, &mut filter, &workload(200), 16);
         let mut inner = rec.lock();
@@ -725,7 +730,7 @@ mod tests {
             corrupt_mode in 0u8..3,
         ) {
             let crash_at = raw.len();
-            let rec = ShardRecovery::new(interval);
+            let rec = ShardRecovery::new(interval, 16);
             let mut live = build();
             drive(&rec, &mut live, &raw, interval);
             let mut inner = rec.lock();
@@ -802,7 +807,7 @@ mod tests {
         fn stale_commit_after_fence_is_side_effect_free() {
             let stats = Checker::new()
                 .check(|| {
-                    let rec = Arc::new(ShardRecovery::new(8));
+                    let rec = Arc::new(ShardRecovery::new(8, 4));
                     let worker = {
                         let rec = Arc::clone(&rec);
                         // Worker of generation 0: the real commit shape —
@@ -841,7 +846,7 @@ mod tests {
         #[test]
         fn seeded_check_outside_lock_caught() {
             let v = try_model(|| {
-                let rec = Arc::new(ShardRecovery::new(8));
+                let rec = Arc::new(ShardRecovery::new(8, 4));
                 let worker = {
                     let rec = Arc::clone(&rec);
                     thread::spawn(move || {

@@ -22,11 +22,12 @@ mod hooks {
         GlobalRecorder.gauge_add(GaugeId::PipelineQueueDepth, 1);
     }
 
-    /// A worker popped an item off its queue.
+    /// A worker popped a slab of `n` items off its queue — one counter
+    /// update per slab, not per item (the slab-granularity contract).
     #[inline(always)]
-    pub fn dequeued() {
-        GlobalRecorder.count(CounterId::PipelineDequeued, 1);
-        GlobalRecorder.gauge_add(GaugeId::PipelineQueueDepth, -1);
+    pub fn dequeued_n(n: u64) {
+        GlobalRecorder.count(CounterId::PipelineDequeued, n);
+        GlobalRecorder.gauge_add(GaugeId::PipelineQueueDepth, -(n as i64));
     }
 
     /// An item was dropped at the router under `DropNewest` backpressure.
@@ -41,11 +42,11 @@ mod hooks {
         GlobalRecorder.count(CounterId::PipelineReports, 1);
     }
 
-    /// A worker discarded an oldest queued item against a shed credit
-    /// (`DropOldest` / `ShedFair` backpressure).
+    /// A worker discarded a whole slab of `n` items against one shed
+    /// credit (slab-granular `DropOldest` / `ShedFair`).
     #[inline(always)]
-    pub fn shed() {
-        GlobalRecorder.count(CounterId::PipelineShedOldest, 1);
+    pub fn shed_n(n: u64) {
+        GlobalRecorder.count(CounterId::PipelineShedOldest, n);
     }
 
     /// An item was rejected because its shard was down or quarantined.
@@ -94,14 +95,20 @@ mod hooks {
 
     noop_hooks! {
         enqueued,
-        dequeued,
         dropped,
         report,
-        shed,
         shard_down_rejected,
         restart,
         checkpoint_sealed,
     }
+
+    /// No-op: telemetry is compiled out.
+    #[inline(always)]
+    pub fn dequeued_n(_n: u64) {}
+
+    /// No-op: telemetry is compiled out.
+    #[inline(always)]
+    pub fn shed_n(_n: u64) {}
 
     /// No-op: telemetry is compiled out.
     #[inline(always)]

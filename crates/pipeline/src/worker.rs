@@ -1,36 +1,51 @@
-//! The per-shard worker: pops messages off its SPSC queue, drives its
-//! privately-owned `QuantileFilter`, and forwards reports to the sink.
+//! The per-shard worker: pops slabs off its SPSC queue, drains each one
+//! through its privately-owned `QuantileFilter`'s fused batch path, and
+//! forwards reports to the sink.
 //!
 //! Single-writer is preserved by construction — the filter lives on the
 //! worker's stack and is moved back out through the join handle at
 //! shutdown; no lock, no sharing. This file is in the QF-L002 hot-path
 //! set: the message loop performs no allocation and reads no clocks
 //! (snapshot encoding, which does allocate, only runs on an explicit
-//! quiesce message — see the `snapshot` method, which is on the
-//! cold-function allowlist).
+//! quiesce message — see the `snapshot` method; the slab and report
+//! buffers are allocated once in cold constructors).
 //!
-//! Two loop bodies live here. [`run_worker`] is the original unsupervised
-//! loop: one pop, one insert, one report. [`run_supervised`] adds the
-//! crash-recovery contract from [`crate::supervisor`]: items are popped
-//! in bursts of up to [`BURST`], applied, then *committed* — journaled
-//! under the shard's recovery lock, with a checkpoint sealed when due —
-//! before any report is sent. The order is the whole correctness story:
+//! ## Slab handoff
+//!
+//! A queue slot carries a [`Slab`] — a router-filled chunk of up to
+//! `slab_capacity` items — not a single item. The Lamport handshake, the
+//! park/wake handshake, shed-credit redemption, and (supervised) the
+//! journal lock are each paid **once per slab**; the items inside drain
+//! through [`QuantileFilter::insert_batch`], which is bit-identical to
+//! inserting them one by one. A shed credit redeems a whole slab: the
+//! oldest queued slab is discarded intact, its length counted into
+//! `shed`, and (under `ShedFair`) its keys un-noted from the shared
+//! fairness sketch so partial-slab shed stays exactly accounted per key.
+//!
+//! Two loop bodies live here. [`run_worker`] is the unsupervised loop:
+//! one pop, one batch insert, reports inline. [`run_supervised`] adds
+//! the crash-recovery contract from [`crate::supervisor`]: a slab is
+//! popped, applied, then *committed* — journaled under the shard's
+//! recovery lock, with a checkpoint sealed when due — before any report
+//! is sent. The order is the whole correctness story:
 //!
 //! * reports only ever describe journaled items, so a recovered filter
 //!   (checkpoint + journal replay) is never *behind* the reports the
 //!   caller saw;
 //! * a crash between apply and commit loses exactly the uncommitted
-//!   burst plus the in-ring slab — the accounted loss window;
+//!   slab plus whatever slabs sit in the ring — the accounted loss
+//!   window;
 //! * the commit starts with a generation check, so a worker the router
 //!   has fenced off (e.g. one that hung and later woke) exits without
 //!   journaling, reporting, or sealing anything.
 //!
-//! One lock acquisition per burst keeps the checkpoint machinery off the
-//! per-item path (the QF-L002 requirement); `BURST` bounds both the
-//! amortization window and the loss window.
+//! One lock acquisition per slab keeps the checkpoint machinery off the
+//! per-item path (the QF-L002 requirement); the slab capacity bounds
+//! both the amortization window and the per-commit loss window.
 
 use crate::chaos::ArmedChaos;
 use crate::flight::{self, ShardFlight};
+use crate::pipeline::Fairness;
 use crate::ring::Consumer;
 use crate::supervisor::ShardRecovery;
 use crate::telemetry;
@@ -38,24 +53,78 @@ use quantile_filter::{QuantileFilter, Report};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
 
-/// Items a supervised worker pops and applies per commit. Bounds the
-/// per-burst stack buffers, the lock amortization window, and (together
-/// with the queue capacity) the crash loss window.
-pub(crate) const BURST: usize = 64;
+/// A router-filled chunk of routed items, handed to the worker as one
+/// ring slot. Owns its heap buffer; the ring's drop path releases slabs
+/// still queued at teardown.
+#[derive(Debug)]
+pub struct Slab {
+    items: Vec<(u64, f64)>,
+    capacity: usize,
+}
 
-/// One message on a shard queue. `Copy` so queue slots never own heap
-/// memory.
-#[derive(Debug, Clone, Copy)]
+impl Slab {
+    /// Allocate an empty slab that fills at `capacity` items. Cold by
+    /// contract: the router allocates one per flush, never per item.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            items: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Append one routed item. Callers check [`Self::is_full`] first;
+    /// the fill level is the router's flush trigger.
+    #[inline]
+    pub fn push(&mut self, key: u64, value: f64) {
+        self.items.push((key, value));
+    }
+
+    /// Remove and return the most recently pushed item (the router's
+    /// "un-admit the incoming item" path for drop policies).
+    #[inline]
+    pub fn pop(&mut self) -> Option<(u64, f64)> {
+        self.items.pop()
+    }
+
+    /// Items currently held.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is the slab empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Has the slab reached its flush threshold?
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// The items, in admission order.
+    #[inline]
+    pub fn items(&self) -> &[(u64, f64)] {
+        &self.items
+    }
+
+    /// The flush threshold this slab was built with.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// One message on a shard queue.
+#[derive(Debug)]
 pub enum Msg {
-    /// A routed stream item.
-    Item {
-        /// The stream key (already hashed to this shard by the router).
-        key: u64,
-        /// The item's value/weight.
-        value: f64,
-    },
-    /// Quiesce barrier: snapshot the filter *now* (every earlier item is
-    /// applied, no later item is) and send the bytes to the sink.
+    /// A slab of routed items, drained through the fused batch path.
+    Slab(Slab),
+    /// Quiesce barrier: snapshot the filter *now* (every earlier slab is
+    /// applied, no later one is) and send the bytes to the sink.
     Quiesce,
     /// Drain sentinel: the router will push nothing further; exit after
     /// this message.
@@ -94,8 +163,8 @@ pub enum Event {
 pub struct WorkerExit {
     /// Items popped and applied to the filter.
     pub processed: u64,
-    /// Items popped and discarded against shed credits (the oldest-item
-    /// drops of the shedding backpressure policies).
+    /// Items popped and discarded against shed credits (whole-slab
+    /// oldest drops of the shedding backpressure policies).
     pub shed: u64,
     /// Reports emitted.
     pub reports: u64,
@@ -110,12 +179,34 @@ pub(crate) struct Supervision {
     pub(crate) recovery: Arc<ShardRecovery>,
     pub(crate) generation: u64,
     pub(crate) checkpoint_interval: u64,
+    /// Router slab size; bounds the per-commit report buffer.
+    pub(crate) slab_capacity: usize,
     pub(crate) chaos: Option<ArmedChaos>,
+    /// Shared `ShedFair` admission sketch (`None` under other
+    /// policies); shed slabs un-note their keys here.
+    pub(crate) fairness: Option<Arc<Fairness>>,
     /// The shard's flight recorder; installed as this worker thread's
     /// trace emit context so core/sketch trace hooks land in the right
     /// ring. Survives the worker across restarts (the ring keeps the
     /// pre-crash history the supervisor dumps).
     pub(crate) flight: ShardFlight,
+}
+
+/// Per-commit report staging for the supervised loop: reports are
+/// buffered through apply + commit and only sent once the slab is
+/// journaled (see the module docs for why the order is load-bearing).
+struct ReportBuf {
+    buf: Vec<(usize, Report)>,
+}
+
+impl ReportBuf {
+    /// Allocate once, sized to the slab capacity — the worker-lifetime
+    /// buffer that keeps allocation out of the slab loop.
+    fn new(capacity: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
 }
 
 /// Owns the queue's consumer side and marks it dead when the worker
@@ -131,13 +222,25 @@ impl Drop for AliveGuard {
     }
 }
 
+/// Un-note every key of a shed slab from the shared fairness sketch, so
+/// the admission history the router samples stops counting items that
+/// were discarded before they ever reached a filter.
+fn unnote_shed(fairness: Option<&Arc<Fairness>>, slab: &Slab) {
+    if let Some(f) = fairness {
+        for &(key, _) in slab.items() {
+            f.unnote(key);
+        }
+    }
+}
+
 /// The worker body. Runs on a dedicated thread until [`Msg::Shutdown`]
 /// (or until the router closes the queue's producer side).
-pub fn run_worker(
+pub(crate) fn run_worker(
     shard: usize,
     queue: Consumer<Msg>,
     mut filter: QuantileFilter,
     sink: Sender<Event>,
+    fairness: Option<Arc<Fairness>>,
     flight: ShardFlight,
 ) -> WorkerExit {
     queue.register_current_thread();
@@ -148,23 +251,30 @@ pub fn run_worker(
     let mut reports = 0u64;
     loop {
         match guard.queue.pop_wait() {
-            Some(Msg::Item { key, value }) => {
-                telemetry::dequeued();
-                // Redeem an outstanding shed credit against this item —
-                // it is the oldest in the queue by FIFO.
+            Some(Msg::Slab(slab)) => {
+                let n = slab.len() as u64;
+                telemetry::dequeued_n(n);
+                // Redeem an outstanding shed credit against this whole
+                // slab — it is the oldest in the queue by FIFO.
                 if guard.queue.take_shed(1) != 0 {
-                    telemetry::shed();
-                    shed += 1;
+                    telemetry::shed_n(n);
+                    shed += n;
+                    unnote_shed(fairness.as_ref(), &slab);
                     continue;
                 }
-                processed += 1;
-                if let Some(report) = filter.insert(&key, value) {
+                processed += n;
+                let items = slab.items();
+                filter.insert_batch(items, &mut |i, report| {
                     telemetry::report();
                     reports += 1;
                     // A closed sink is not the worker's problem: keep
                     // draining so shutdown still conserves accounting.
-                    let _ = sink.send(Event::Report { shard, key, report });
-                }
+                    let _ = sink.send(Event::Report {
+                        shard,
+                        key: items[i].0,
+                        report,
+                    });
+                });
             }
             Some(Msg::Quiesce) => snapshot(shard, 0, &filter, &sink, processed),
             Some(Msg::Shutdown) | None => break,
@@ -178,7 +288,7 @@ pub fn run_worker(
     }
 }
 
-/// The supervised worker body: burst pop → apply → commit → report.
+/// The supervised worker body: pop slab → apply → commit → report.
 /// See the module docs for why that order is load-bearing.
 pub(crate) fn run_supervised(
     shard: usize,
@@ -193,72 +303,66 @@ pub(crate) fn run_supervised(
     let mut processed = 0u64;
     let mut shed_total = 0u64;
     let mut reports_total = 0u64;
-    let mut keys = [0u64; BURST];
-    let mut vals = [0f64; BURST];
-    let mut reps: [Option<Report>; BURST] = [None; BURST];
-    // A control message that interrupted burst collection; handled on the
-    // next iteration so it observes the committed filter state.
-    let mut pending: Option<Msg> = None;
-    loop {
-        let msg = match pending.take() {
-            Some(m) => m,
-            None => match guard.queue.pop_wait() {
-                Some(m) => m,
-                // Producer closed: this generation was fenced off (or the
-                // pipeline is tearing down without a drain).
-                None => break,
-            },
-        };
+    let mut staged = ReportBuf::new(sup.slab_capacity);
+    // A `None` pop ends the loop: the producer closed, i.e. this
+    // generation was fenced off (or the pipeline is tearing down
+    // without a drain).
+    while let Some(msg) = guard.queue.pop_wait() {
         match msg {
             Msg::Shutdown => break,
             Msg::Quiesce => snapshot(shard, sup.generation, &filter, &sink, processed),
-            Msg::Item { key, value } => {
-                keys[0] = key;
-                vals[0] = value;
-                let mut n = 1usize;
-                while n < BURST {
-                    match guard.queue.try_pop() {
-                        Some(Msg::Item { key, value }) => {
-                            keys[n] = key;
-                            vals[n] = value;
-                            n += 1;
-                        }
-                        Some(ctrl) => {
-                            pending = Some(ctrl);
-                            break;
-                        }
-                        None => break,
-                    }
-                }
+            Msg::Slab(slab) => {
+                let n = slab.len();
                 // Pops are progress, whether applied or shed — this is
                 // the liveness signal the watchdog reads, and the pop
-                // ordinal clock the chaos plan addresses items by.
+                // ordinal clock the chaos plan addresses items by
+                // (ordinals stay per-item: `base + i`).
                 let base = sup.recovery.note_progress(n as u64);
-                // Redeem shed credits against the oldest items of the
-                // burst (they are the oldest in the queue by FIFO).
-                let shed = guard.queue.take_shed(n as u32) as usize;
-                for _ in 0..n {
-                    telemetry::dequeued();
-                }
-                for _ in 0..shed {
-                    telemetry::shed();
-                }
-                let mut burst_reports = 0u64;
-                for i in shed..n {
-                    if let Some(chaos) = &sup.chaos {
-                        chaos.before_apply(shard, base + i as u64, keys[i]);
+                telemetry::dequeued_n(n as u64);
+                // Redeem a shed credit against this whole slab (the
+                // oldest in the queue by FIFO). The length still counts
+                // as committed shed so conservation holds exactly.
+                if guard.queue.take_shed(1) != 0 {
+                    telemetry::shed_n(n as u64);
+                    unnote_shed(sup.fairness.as_ref(), &slab);
+                    {
+                        let mut inner = sup.recovery.lock();
+                        if inner.generation != sup.generation {
+                            return WorkerExit {
+                                processed,
+                                shed: shed_total,
+                                reports: reports_total,
+                                filter,
+                            };
+                        }
+                        inner.shed += n as u64;
                     }
-                    reps[i] = filter.insert(&keys[i], vals[i]);
-                    if reps[i].is_some() {
-                        burst_reports += 1;
-                    }
+                    shed_total += n as u64;
+                    continue;
                 }
+                staged.buf.clear();
+                let items = slab.items();
+                if let Some(chaos) = &sup.chaos {
+                    // Chaos-armed runs need the per-item probe between
+                    // inserts; `insert_batch` is bit-identical to this
+                    // loop, so the applied state cannot diverge.
+                    for (i, &(key, value)) in items.iter().enumerate() {
+                        chaos.before_apply(shard, base + i as u64, key);
+                        if let Some(report) = filter.insert(&key, value) {
+                            staged.buf.push((i, report));
+                        }
+                    }
+                } else {
+                    let buf = &mut staged.buf;
+                    filter.insert_batch(items, &mut |i, report| buf.push((i, report)));
+                }
+                let slab_reports = staged.buf.len() as u64;
                 {
                     let mut inner = sup.recovery.lock();
                     if inner.generation != sup.generation {
                         // Fenced: a replacement owns this lineage now.
                         // Exit with zero further side effects — nothing
-                        // journaled, no reports sent for this burst.
+                        // journaled, no reports sent for this slab.
                         return WorkerExit {
                             processed,
                             shed: shed_total,
@@ -266,27 +370,23 @@ pub(crate) fn run_supervised(
                             filter,
                         };
                     }
-                    for i in shed..n {
-                        inner.append(keys[i], vals[i]);
+                    for &(key, value) in items {
+                        inner.append(key, value);
                     }
-                    inner.shed += shed as u64;
-                    inner.reports += burst_reports;
+                    inner.reports += slab_reports;
                     if inner.due_seal(sup.checkpoint_interval) {
                         inner.seal_checkpoint(shard, &filter, sup.chaos.as_ref());
                     }
                 }
-                processed += (n - shed) as u64;
-                shed_total += shed as u64;
-                reports_total += burst_reports;
-                for i in shed..n {
-                    if let Some(report) = reps[i].take() {
-                        telemetry::report();
-                        let _ = sink.send(Event::Report {
-                            shard,
-                            key: keys[i],
-                            report,
-                        });
-                    }
+                processed += n as u64;
+                reports_total += slab_reports;
+                for (i, report) in staged.buf.drain(..) {
+                    telemetry::report();
+                    let _ = sink.send(Event::Report {
+                        shard,
+                        key: items[i].0,
+                        report,
+                    });
                 }
             }
         }

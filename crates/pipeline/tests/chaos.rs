@@ -41,12 +41,25 @@ fn criteria() -> Criteria {
     }
 }
 
+/// Router slab capacity for the whole suite: the CI matrix pins one via
+/// `QF_PIPELINE_SLAB` (1 / 64 / 4096); default exercises mid-size slabs.
+fn slab_capacity() -> usize {
+    match std::env::var("QF_PIPELINE_SLAB") {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("bad QF_PIPELINE_SLAB value: {s:?}"),
+        },
+        Err(_) => 64,
+    }
+}
+
 fn config(shards: usize, queue_capacity: usize, policy: BackpressurePolicy) -> PipelineConfig {
     PipelineConfig {
         shards,
         criteria: criteria(),
         memory_bytes_per_shard: 16 * 1024,
         queue_capacity,
+        slab_capacity: slab_capacity(),
         policy,
         seed: 0xC0FFEE,
     }
@@ -340,8 +353,9 @@ fn recovery_equals_serial_reference_minus_the_lost_item() {
     };
     let mut got = Vec::new();
     drive(&mut pipe, &items[..half], &mut got);
-    // Let every shard drain and commit, so nothing shares the poison
-    // item's loss window.
+    // Push partial router slabs out, then let every shard drain and
+    // commit, so nothing shares the poison item's loss window.
+    pipe.flush();
     let deadline = std::time::Instant::now() + Duration::from_secs(60);
     while (0..shards).any(|s| pipe.queue_len(s) > 0) {
         assert!(std::time::Instant::now() < deadline, "queues never drained");
@@ -352,6 +366,9 @@ fn recovery_equals_serial_reference_minus_the_lost_item() {
         Ok(IngestOutcome::Enqueued) => {}
         other => panic!("poison item should enqueue, got {other:?}"),
     }
+    // The poison item travels alone: its slab holds exactly one item, so
+    // the uncommitted-slab loss window is exactly one item wide.
+    pipe.flush();
     // Give the worker time to pop it, panic, and unwind; the next push
     // to that shard detects the death and recovers synchronously.
     std::thread::sleep(Duration::from_millis(if cfg!(miri) { 100 } else { 30 }));
@@ -389,6 +406,74 @@ fn recovery_equals_serial_reference_minus_the_lost_item() {
     );
 }
 
+/// Satellite regression: a worker killed *between slab claim and commit*
+/// (the panic lands mid-slab, after `note_progress` claimed the pop
+/// ordinals but before the journal commit) loses the whole in-flight
+/// slab — and every one of its items must be counted in `lost_to_crash`,
+/// not silently dropped from both sides of the conservation law.
+#[test]
+fn mid_slab_death_counts_the_whole_slab_as_lost() {
+    let slab = 8usize;
+    let mut cfg = config(1, 64, BackpressurePolicy::Block);
+    // Fixed slab size so the in-flight slab (and thus the expected loss
+    // window) is exact regardless of the matrix's QF_PIPELINE_SLAB.
+    cfg.slab_capacity = slab;
+    // Panic at pop ordinal 12: item 4 of the *second* slab, strictly
+    // between that slab's claim (ordinal base 8) and its commit.
+    let plan = ChaosPlan::new().with(Fault::Panic {
+        shard: 0,
+        at_pop: (slab + slab / 2) as u64,
+    });
+    let mut pipe = match Pipeline::launch_chaos(cfg, sup_config(64), &plan) {
+        Ok(p) => p,
+        Err(e) => panic!("launch: {e}"),
+    };
+    // Two full slabs, auto-flushed at fill. Slab 1 commits; slab 2 is
+    // claimed and then dies uncommitted.
+    for i in 0..(2 * slab) as u64 {
+        match pipe.ingest(i, 5.0) {
+            Ok(IngestOutcome::Enqueued) => {}
+            other => panic!("ingest {i}: {other:?}"),
+        }
+    }
+    // Wait until the doomed slab has been popped (queue empty) and the
+    // unwind has finished, so the death is observable at the next flush.
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while pipe.queue_len(0) > 0 {
+        assert!(std::time::Instant::now() < deadline, "queue never drained");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    std::thread::sleep(Duration::from_millis(if cfg!(miri) { 100 } else { 30 }));
+    // One more item: its flush bounces off the dead ring
+    // (`PushError::Disconnected`), triggering recovery. The item itself
+    // is still in the router's hands, so it survives to the replacement.
+    match pipe.ingest(9_999, 5.0) {
+        Ok(IngestOutcome::Enqueued) => {}
+        other => panic!("post-crash ingest: {other:?}"),
+    }
+    pipe.flush();
+    let summary = match pipe.shutdown() {
+        Ok(s) => s,
+        Err(e) => panic!("shutdown: {e}"),
+    };
+    assert_conserved(&summary, "mid-slab death");
+    assert_eq!(
+        summary.lost_to_crash, slab as u64,
+        "the whole in-flight slab is the loss window: {summary:?}"
+    );
+    assert_eq!(summary.enqueued, 2 * slab as u64 + 1);
+    assert_eq!(
+        summary.processed,
+        slab as u64 + 1,
+        "slab 1 plus the re-flushed post-crash item"
+    );
+    assert_eq!(summary.restarts, 1);
+    let rec = &summary.recoveries[0];
+    assert_eq!(rec.cause, CrashCause::Panic);
+    assert_eq!(rec.lost, slab as u64, "{rec:?}");
+    assert!(!rec.quarantined);
+}
+
 /// Repeated poison redeliveries exhaust the strike budget: the shard is
 /// quarantined, *its* items come back `ShardDown`, and every other shard
 /// keeps accepting — the pipeline degrades instead of dying.
@@ -416,6 +501,9 @@ fn strike_exhaustion_quarantines_only_the_poisoned_shard() {
     for _ in 0..10_000 {
         match pipe.ingest(poison_key, 5.0) {
             Ok(IngestOutcome::Enqueued) => {
+                // Deliver the buffered poison immediately (with slab > 1
+                // it would otherwise sit in the router).
+                pipe.flush();
                 std::thread::sleep(Duration::from_millis(2));
             }
             Ok(IngestOutcome::ShardDown) => {
@@ -476,7 +564,12 @@ fn strike_exhaustion_quarantines_only_the_poisoned_shard() {
 #[cfg_attr(miri, ignore = "hang detection needs a real-time watchdog deadline")]
 fn hung_worker_is_detected_and_replaced() {
     let shards = 2;
-    let cfg = config(shards, 16, BackpressurePolicy::Block);
+    let mut cfg = config(shards, 16, BackpressurePolicy::Block);
+    // Hang *detection* needs the router to keep flushing (and stalling)
+    // while the worker sleeps; with giant slabs the whole workload fits
+    // in the router buffer and no push pressure ever builds. Cap the
+    // slab so the scenario stays reachable at every matrix point.
+    cfg.slab_capacity = cfg.slab_capacity.min(16);
     let plan = ChaosPlan::new().with(Fault::Hang {
         shard: 0,
         at_pop: 64,
@@ -553,7 +646,13 @@ fn snapshot_survives_a_mid_barrier_crash() {
 #[test]
 fn corrupt_checkpoints_degrade_to_accounted_state_loss() {
     let shards = 1;
-    let cfg = config(shards, 64, BackpressurePolicy::Block);
+    let mut cfg = config(shards, 64, BackpressurePolicy::Block);
+    // The StateLoss restart must happen *mid-run*: with giant slabs the
+    // whole workload fits in the ring, the crash surfaces only at the
+    // shutdown drain, and the shard fences terminally instead of
+    // restarting. Cap the slab so the router is still flushing (and
+    // detecting the death) when the panic fires.
+    cfg.slab_capacity = cfg.slab_capacity.min(16);
     let n = N_ITEMS;
     let plan = ChaosPlan::new()
         .with(Fault::CorruptEveryCheckpoint { shard: 0 })
@@ -723,6 +822,7 @@ mod flight_dumps {
         for _ in 0..10_000 {
             match pipe.ingest(poison_key, 5.0) {
                 Ok(IngestOutcome::Enqueued) => {
+                    pipe.flush();
                     std::thread::sleep(Duration::from_millis(2));
                 }
                 Ok(IngestOutcome::ShardDown) => break,

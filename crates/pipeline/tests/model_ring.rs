@@ -100,6 +100,68 @@ fn parked_consumer_always_woken() {
         .expect("a parked consumer must always be woken by push or close");
 }
 
+/// The slab-slot protocol: ring slots carry *owned heap slabs* (the
+/// pipeline's `Msg::Slab` payload), not words. Every slab must come out
+/// exactly once with its contents intact — the tail publish must order
+/// the slab's heap writes, not just the slot word, and no interleaving
+/// may drop or duplicate a slab (which would double-free or leak its
+/// allocation).
+#[test]
+fn slab_slot_protocol_delivers_each_slab_exactly_once() {
+    Checker::new()
+        .preemption_bound(2)
+        .check(|| {
+            let (mut tx, mut rx) = SpscRing::with_capacity(2).split();
+            let producer = thread::spawn(move || {
+                tx.try_push(vec![(1u64, 1.0f64), (2, 2.0)]).expect("slab 1");
+                tx.try_push(vec![(3u64, 3.0f64)]).expect("slab 2");
+                tx.close();
+            });
+            let mut got = Vec::new();
+            while let Some(slab) = rx.pop_wait() {
+                got.extend(slab);
+            }
+            producer.join().unwrap();
+            assert_eq!(
+                got,
+                vec![(1, 1.0), (2, 2.0), (3, 3.0)],
+                "slab lost, duplicated, or torn"
+            );
+        })
+        .expect("every slab must be delivered exactly once, contents intact");
+}
+
+/// `PushError::Disconnected` mid-slab: a dead consumer hands the
+/// in-flight slab *back to the producer intact* — this returned-value
+/// contract is what lets the router count (or re-flush) every item of a
+/// bounced slab instead of losing it from both sides of the
+/// conservation law.
+#[test]
+fn disconnected_push_hands_the_slab_back_intact() {
+    Checker::new()
+        .preemption_bound(2)
+        .check(|| {
+            let (mut tx, rx) = SpscRing::with_capacity(2).split();
+            let consumer = thread::spawn(move || {
+                rx.mark_dead();
+            });
+            let slab = vec![(7u64, 7.0f64), (8, 8.0)];
+            match tx.try_push(slab) {
+                Ok(()) => {}
+                Err((e, returned)) => {
+                    assert!(matches!(e, qf_pipeline::PushError::Disconnected));
+                    assert_eq!(
+                        returned,
+                        vec![(7, 7.0), (8, 8.0)],
+                        "bounced slab must come back intact"
+                    );
+                }
+            }
+            consumer.join().unwrap();
+        })
+        .expect("a bounced slab is returned intact, never dropped silently");
+}
+
 /// Seeded-bug self-test: the ring's slot handshake with the tail
 /// publish weakened to `Relaxed`. The consumer's acquire load of
 /// `tail` then no longer synchronizes with the payload write, so the
@@ -156,6 +218,66 @@ fn seeded_twin_release_tail_publish_verified() {
             producer.join().unwrap();
         })
         .expect("release/acquire tail handshake must verify clean");
+}
+
+/// Seeded-bug self-test for the slab handoff: a slab buffer handed to
+/// the consumer through a bare `Relaxed` ready-flag instead of the
+/// ring. The flag's load doesn't synchronize with the slab's heap
+/// writes, so reading the slab races — exactly the bug the real
+/// protocol avoids by moving slabs *through* the ring's slots.
+#[test]
+fn seeded_relaxed_slab_handoff_caught() {
+    let v = try_model(|| {
+        let slab = Arc::new(RaceCell::new(0u64)); // stands in for slab contents
+        let ready = Arc::new(AtomicBool::new(false));
+        let (s2, r2) = (Arc::clone(&slab), Arc::clone(&ready));
+        let router = thread::spawn(move || {
+            // SAFETY: (model) intentionally unsynchronized — the model
+            // race checker is the subject under test here.
+            unsafe { s2.with_mut(|p| *p = 99) };
+            r2.store(true, Ordering::Relaxed); // BUG under test: not a ring push
+        });
+        if ready.load(Ordering::Relaxed) {
+            // SAFETY: (model) claimed ordered by the ready flag, which
+            // the seeded relaxed handoff fails to provide.
+            let got = unsafe { slab.with(|p| *p) };
+            assert_eq!(got, 99);
+        }
+        router.join().unwrap();
+    });
+    let v = v.expect_err("relaxed slab handoff must be reported as a race");
+    assert!(v.message.contains("data race"), "{}", v.message);
+}
+
+/// The fixed twin: the same slab contents handed through the actual
+/// ring. The slot handshake (Release tail publish / Acquire observe)
+/// orders the slab's heap writes before any consumer read — the
+/// race-checker-visible proof that slab handoff needs no per-item
+/// synchronization beyond the one slot exchange.
+#[test]
+fn seeded_twin_slab_through_ring_verified() {
+    Checker::new()
+        .preemption_bound(2)
+        .check(|| {
+            let slab = Arc::new(RaceCell::new(0u64));
+            let (mut tx, mut rx) = SpscRing::with_capacity(1).split();
+            let s2 = Arc::clone(&slab);
+            let router = thread::spawn(move || {
+                // SAFETY: written before the ring push; the push's
+                // Release publish orders it before the consumer's read.
+                unsafe { s2.with_mut(|p| *p = 99) };
+                tx.try_push(Arc::clone(&s2)).expect("push slab");
+                tx.close();
+            });
+            while let Some(handed) = rx.pop_wait() {
+                // SAFETY: the pop's Acquire load synchronized with the
+                // push that published this slab.
+                let got = unsafe { handed.with(|p| *p) };
+                assert_eq!(got, 99);
+            }
+            router.join().unwrap();
+        })
+        .expect("slab handoff through the ring must verify race-free");
 }
 
 /// Seeded-bug self-test: the park/wake handshake with both `SeqCst`

@@ -13,7 +13,9 @@
 //!   post-barrier reports.
 //!
 //! Sizes shrink under Miri (like the telemetry stress tests); the CI
-//! matrix pins one shard count per job via `QF_PIPELINE_STRESS_SHARDS`.
+//! matrix pins one shard count per job via `QF_PIPELINE_STRESS_SHARDS`
+//! and one router slab capacity via `QF_PIPELINE_SLAB` (slab = 1 is the
+//! v1 per-item handoff, reproduced bit-for-bit).
 
 use qf_pipeline::{
     shard_of, BackpressurePolicy, IngestOutcome, Pipeline, PipelineConfig, ReportEvent,
@@ -33,12 +35,25 @@ fn criteria() -> Criteria {
     }
 }
 
+/// Router slab capacity for the whole suite: the CI matrix pins one via
+/// `QF_PIPELINE_SLAB` (1 / 64 / 4096); default exercises mid-size slabs.
+fn slab_capacity() -> usize {
+    match std::env::var("QF_PIPELINE_SLAB") {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("bad QF_PIPELINE_SLAB value: {s:?}"),
+        },
+        Err(_) => 64,
+    }
+}
+
 fn config(shards: usize, queue_capacity: usize, policy: BackpressurePolicy) -> PipelineConfig {
     PipelineConfig {
         shards,
         criteria: criteria(),
         memory_bytes_per_shard: 16 * 1024,
         queue_capacity,
+        slab_capacity: slab_capacity(),
         policy,
         seed: 0xA5A5,
     }
@@ -206,6 +221,71 @@ fn drop_accounting_conserves() {
     }
 }
 
+/// Satellite regression: slab-granular shedding must keep the router
+/// conservation law exact. One shed credit discards a *whole* slab at
+/// the queue head, and a slab bounced back to the router under
+/// DropNewest/ShedFair loses exactly the incoming item — in every case
+/// `offered == enqueued + dropped + rejected` and, after a full drain,
+/// `enqueued == processed + shed`, per shard and in total.
+#[test]
+fn shed_accounting_conserves_at_slab_granularity() {
+    for policy in [
+        BackpressurePolicy::DropOldest,
+        BackpressurePolicy::ShedFair,
+        BackpressurePolicy::DropNewest,
+    ] {
+        for shards in shard_counts() {
+            // Tiny queues force shedding at nearly every slab flush.
+            let cfg = config(shards, 2, policy);
+            let items = workload(13, N_ITEMS);
+            let mut pipe = match Pipeline::launch(cfg) {
+                Ok(p) => p,
+                Err(e) => panic!("launch: {e}"),
+            };
+            let mut seen_enqueued = 0u64;
+            let mut seen_dropped = 0u64;
+            for &(key, value) in &items {
+                match pipe.ingest(key, value) {
+                    Ok(IngestOutcome::Enqueued) => seen_enqueued += 1,
+                    Ok(IngestOutcome::Dropped) => seen_dropped += 1,
+                    Ok(IngestOutcome::ShardDown) => panic!("healthy shard reported down"),
+                    Err(e) => panic!("ingest: {e}"),
+                }
+            }
+            let summary = match pipe.shutdown() {
+                Ok(s) => s,
+                Err(e) => panic!("shutdown: {e}"),
+            };
+            assert_eq!(summary.offered, items.len() as u64, "{policy:?}");
+            assert_eq!(summary.enqueued, seen_enqueued, "{policy:?}");
+            assert_eq!(summary.dropped, seen_dropped, "{policy:?}");
+            assert_eq!(summary.rejected, 0, "{policy:?}");
+            assert_eq!(
+                summary.offered,
+                summary.enqueued + summary.dropped + summary.rejected,
+                "router conservation broke ({policy:?}, shards={shards})"
+            );
+            assert_eq!(
+                summary.enqueued,
+                summary.processed + summary.shed,
+                "worker conservation broke ({policy:?}, shards={shards})"
+            );
+            for (shard, s) in summary.per_shard.iter().enumerate() {
+                assert_eq!(
+                    s.enqueued,
+                    s.processed + s.shed,
+                    "shard {shard} conservation broke ({policy:?}, shards={shards})"
+                );
+            }
+            if policy == BackpressurePolicy::DropNewest && cfg.slab_capacity == 1 {
+                // slab=1 reproduces v1 exactly: every drop is a single
+                // incoming item bounced off a full one-slot flush.
+                assert_eq!(summary.shed, 0, "DropNewest must never shed");
+            }
+        }
+    }
+}
+
 #[test]
 fn snapshot_under_load_restores_byte_identically() {
     for shards in shard_counts() {
@@ -223,14 +303,39 @@ fn snapshot_under_load_restores_byte_identically() {
             }
         }
         // Queues are typically non-empty here: the barrier has to wait
-        // for in-flight items, which is the "under load" part.
+        // for in-flight items, which is the "under load" part. With
+        // slab > 1, partial slabs also sit in the router — the barrier
+        // must flush them so the cut includes router-buffered keys.
+        let buffered_before: usize = (0..shards).map(|s| original.buffered_len(s)).sum();
+        if cfg.slab_capacity > 1 {
+            assert!(
+                buffered_before > 0,
+                "expected partial router slabs before the barrier \
+                 (shards={shards}, slab={})",
+                cfg.slab_capacity
+            );
+        }
         let envelope = match original.snapshot() {
             Ok(b) => b,
             Err(e) => panic!("snapshot: {e}"),
         };
+        for shard in 0..shards {
+            assert_eq!(
+                original.buffered_len(shard),
+                0,
+                "barrier left items buffered in the router (shard {shard})"
+            );
+        }
         // Reports visible after the barrier ack are exactly the
-        // pre-barrier ones: nothing post-barrier has been ingested yet.
+        // pre-barrier ones: nothing post-barrier has been ingested yet —
+        // and they must cover the *whole* prefix, including the items
+        // that were still router-buffered when `snapshot` was called.
         let pre_barrier = original.poll_reports();
+        assert_eq!(
+            per_shard_sequences(shards, &pre_barrier),
+            serial_reference(&cfg, prefix),
+            "barrier cut lost router-buffered keys (shards={shards})"
+        );
 
         // (a) restore → snapshot is byte-identical (determinism of the
         // per-shard wire-v2 encodings and of the envelope framing).
