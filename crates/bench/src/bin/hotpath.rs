@@ -21,6 +21,7 @@ use qf_bench::hotpath::{
     measure_batch, measure_legacy, measure_scalar, measure_sharded, HotpathDims, HotpathReport,
     SingleThread, ThreadPoint, WorkloadResult,
 };
+use qf_bench::pipeline::detect_nproc;
 use qf_datasets::{internet_like, zipf_dataset, Dataset, InternetConfig, ZipfConfig};
 use quantile_filter::Criteria;
 
@@ -82,15 +83,21 @@ fn measure_workload(
             &dataset.items,
             repeats,
         );
+        // Same verdict the pipeline bench attaches: fewer host cores than
+        // effective workers means the point times time-sharing, not
+        // scaling, and the JSON must say so rather than let the curve lie.
+        let oversubscribed = detect_nproc() < m.effective_threads;
         println!(
-            "{short_name}: sharded x{threads} requested ({} effective) {:.2} Mops, {} reported keys",
+            "{short_name}: sharded x{threads} requested ({} effective) {:.2} Mops, {} reported keys{}",
             m.effective_threads,
             m.measurement.mops(),
-            m.measurement.reports
+            m.measurement.reports,
+            if oversubscribed { " | OVERSUBSCRIBED" } else { "" }
         );
         sharded.push(ThreadPoint {
             threads,
             effective_threads: m.effective_threads,
+            oversubscribed,
             measurement: m.measurement,
         });
     }
@@ -144,7 +151,7 @@ fn main() {
     }
 
     let repeats = repeats.unwrap_or(if tiny { 1 } else { 3 });
-    let nproc = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let nproc = detect_nproc();
 
     // The third trace is the paper's many-keys Zipf variant (§V-A): far
     // more keys than candidate slots, so nearly every insert exercises the

@@ -335,6 +335,11 @@ pub struct ThreadPoint {
     pub threads: usize,
     /// Worker count the bank actually used (requested clamped to shards).
     pub effective_threads: usize,
+    /// `true` when the measuring host had fewer cores than
+    /// `effective_threads`: the point measures time-sharing, not scaling,
+    /// and must not be read as scaling data (same verdict the pipeline
+    /// bench attaches to its points).
+    pub oversubscribed: bool,
     /// The timed run (`reports` counts distinct reported keys).
     pub measurement: Measurement,
 }
@@ -383,7 +388,7 @@ fn num(x: f64) -> String {
 ///
 /// ```json
 /// {
-///   "schema": "qf-bench-hotpath/v2",
+///   "schema": "qf-bench-hotpath/v3",
 ///   "mode": "full",            // or "tiny" (CI smoke)
 ///   "nproc": 1,                // cores on the measuring host
 ///   "repeats": 3,              // best-of repeats per number
@@ -396,10 +401,12 @@ fn num(x: f64) -> String {
 ///       "batch_mops": 16.0,    // current insert_batch()
 ///       "scalar_speedup_vs_legacy": 1.4,
 ///       "batch_speedup_vs_legacy": 1.6,
+///       "batch_speedup_vs_scalar": 1.14,
 ///       "reports": 1234        // identical across all three by construction
 ///     },
 ///     "sharded": [
-///       {"threads": 1, "effective_threads": 1, "mops": 9.0, "reported_keys": 77},
+///       {"threads": 1, "effective_threads": 1, "oversubscribed": false,
+///        "mops": 9.0, "reported_keys": 77},
 ///       ...
 ///     ]
 ///   }]
@@ -410,10 +417,19 @@ fn num(x: f64) -> String {
 /// requested worker count to its shard count, and with the clamp visible
 /// a flat tail in the scaling curve is distinguishable from a host that
 /// simply has fewer cores than shards (`nproc`).
+///
+/// v3 adds two honesty fields. `oversubscribed` per sharded point marks
+/// measurements where the host had fewer cores than the effective worker
+/// count — those points measure time-sharing, not scaling, and consumers
+/// must not fit scaling curves through them (the pipeline bench attaches
+/// the same verdict to its points). `batch_speedup_vs_scalar` in the
+/// single-thread block states the batched path's gain over the *current*
+/// scalar insert directly, so the batch win is no longer only readable as
+/// a ratio of two legacy-relative speedups.
 pub fn render_json(report: &HotpathReport) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"qf-bench-hotpath/v2\",\n");
+    out.push_str("  \"schema\": \"qf-bench-hotpath/v3\",\n");
     out.push_str(&format!("  \"mode\": \"{}\",\n", report.mode));
     out.push_str(&format!("  \"nproc\": {},\n", report.nproc));
     out.push_str(&format!("  \"repeats\": {},\n", report.repeats));
@@ -439,14 +455,19 @@ pub fn render_json(report: &HotpathReport) -> String {
             "        \"batch_speedup_vs_legacy\": {},\n",
             num(if legacy > 0.0 { batch / legacy } else { 0.0 })
         ));
+        out.push_str(&format!(
+            "        \"batch_speedup_vs_scalar\": {},\n",
+            num(if scalar > 0.0 { batch / scalar } else { 0.0 })
+        ));
         out.push_str(&format!("        \"reports\": {}\n", s.batch.reports));
         out.push_str("      },\n");
         out.push_str("      \"sharded\": [\n");
         for (j, p) in w.sharded.iter().enumerate() {
             out.push_str(&format!(
-                "        {{\"threads\": {}, \"effective_threads\": {}, \"mops\": {}, \"reported_keys\": {}}}{}\n",
+                "        {{\"threads\": {}, \"effective_threads\": {}, \"oversubscribed\": {}, \"mops\": {}, \"reported_keys\": {}}}{}\n",
                 p.threads,
                 p.effective_threads,
+                p.oversubscribed,
                 num(p.measurement.mops()),
                 p.measurement.reports,
                 if j + 1 < w.sharded.len() { "," } else { "" }
@@ -568,11 +589,13 @@ mod tests {
                     ThreadPoint {
                         threads: 1,
                         effective_threads: 1,
+                        oversubscribed: false,
                         measurement: m,
                     },
                     ThreadPoint {
                         threads: 16,
                         effective_threads: 2,
+                        oversubscribed: true,
                         measurement: m,
                     },
                 ],
@@ -586,13 +609,15 @@ mod tests {
         }
         for key in [
             "\"schema\"",
-            "\"qf-bench-hotpath/v2\"",
+            "\"qf-bench-hotpath/v3\"",
             "\"legacy_mops\"",
             "\"scalar_mops\"",
             "\"batch_mops\"",
             "\"batch_speedup_vs_legacy\"",
+            "\"batch_speedup_vs_scalar\"",
             "\"sharded\"",
-            "\"threads\": 16, \"effective_threads\": 2",
+            "\"threads\": 16, \"effective_threads\": 2, \"oversubscribed\": true",
+            "\"threads\": 1, \"effective_threads\": 1, \"oversubscribed\": false",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }

@@ -6,8 +6,13 @@ use crate::criteria::Criteria;
 use crate::error::QfError;
 use crate::strategy::ElectionStrategy;
 use crate::vague::{VagueKey, VaguePart};
-use qf_hash::{HashedKey, SplitMix64, StreamKey};
+use qf_hash::{HashedKey, RowLanes, SplitMix64, StreamKey};
 use qf_sketch::{CountSketch, StochasticRounder, WeightSketch};
+
+/// Items per chunk of the columnized [`QuantileFilter::insert_batch`]
+/// pipeline. Sized so the chunk's coordinate/delta arrays live in a few
+/// hundred stack bytes and its prefetched bucket lines all fit in L1.
+pub const INGEST_CHUNK: usize = 64;
 
 /// Which part of the structure produced a report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -255,7 +260,26 @@ impl<S: WeightSketch> QuantileFilter<S> {
     /// the candidate bucket is walked exactly once: `offer_or_min` carries
     /// the bucket's minimum entry out of the same scan that established
     /// bucket-full, so the election never rescans the slots.
+    #[inline]
     fn offer_hashed(&mut self, hk: HashedKey, delta: i64, report_at: f64) -> Option<Report> {
+        self.offer_hashed_with(hk, delta, report_at, None)
+    }
+
+    /// [`Self::offer_hashed`] with an optional precomputed set of vague-part
+    /// row lanes for this item's composite key. The batch pipeline passes
+    /// `Some` on vague-heavy streams, where it has already captured (and
+    /// prefetched) the chunk's lanes in pass 1; lane capture is pure — no
+    /// counter reads, no RNG — so precomputing it ahead of item order is
+    /// bit-identical to computing it here. `None` (and the empty-lanes
+    /// fallback) derives the lanes on the spot, exactly as the scalar path
+    /// always has.
+    fn offer_hashed_with(
+        &mut self,
+        hk: HashedKey,
+        delta: i64,
+        report_at: f64,
+        vague_lanes: Option<&RowLanes>,
+    ) -> Option<Report> {
         let HashedKey { bucket, fp } = hk;
         match self.candidate.offer_or_min(bucket, fp, delta) {
             OfferOutcome::Updated { qweight } => {
@@ -294,7 +318,10 @@ impl<S: WeightSketch> QuantileFilter<S> {
                 self.stats.vague_visits += 1;
                 crate::telemetry::bucket_full();
                 let vk = VagueKey::new(bucket, fp);
-                let lanes = self.vague.prepare_lanes(vk);
+                let lanes = match vague_lanes {
+                    Some(l) if !l.is_empty() => *l,
+                    _ => self.vague.prepare_lanes(vk),
+                };
                 let est = self.vague.add_and_estimate(vk, &lanes, delta);
                 if Self::meets(report_at, est) {
                     // Report and reset the key's Qweight in the vague part —
@@ -342,10 +369,26 @@ impl<S: WeightSketch> QuantileFilter<S> {
     ///
     /// Behaviorally identical to calling [`Self::insert`] on each item in
     /// order — same reports, same statistics, same RNG consumption, bit for
-    /// bit — but the per-item fixed costs are amortized across the batch:
-    /// the report threshold and above-`T` weight are derived once, and the
-    /// next item's candidate coordinates are hashed one step ahead so its
-    /// bucket line is prefetched while the current item is applied.
+    /// bit — but restructured into a chunked, column-wise pipeline: the
+    /// batch is cut into [`INGEST_CHUNK`]-item chunks, and each chunk
+    /// runs two dense passes. Pass 1 streams the chunk once, hashing every
+    /// key's candidate coordinates (through the shared-prehash fast path),
+    /// classifying each value against `T`, drawing the stochastic rounding
+    /// for every item, and issuing a prefetch for every touched bucket line.
+    /// Pass 2 applies the precomputed `⟨coords, Δ⟩` pairs through the same
+    /// one-pass core the scalar path uses, hitting buckets that are already
+    /// in cache.
+    ///
+    /// Why this is bit-identical: the rounder RNG and the election RNG are
+    /// *separate* streams (`seed ^ 0x5EED_0001` vs `seed ^ 0x5EED_0002`).
+    /// Pass 1 draws the roundings in item order — exactly the sequence the
+    /// scalar path draws — and pass 2 makes the election draws in item
+    /// order, so each stream individually sees the scalar sequence even
+    /// though the two are no longer interleaved in time. The sketch/
+    /// candidate mutations themselves cannot be batched across items (item
+    /// `i`'s report-triggered removal must land before item `i+1`'s bump),
+    /// which is why only the pure stages — hash, classify, round, prefetch —
+    /// are columnized.
     ///
     /// Non-finite values are dropped exactly as [`Self::insert`] drops them.
     /// The sink is a callback (not a collection) so this path allocates
@@ -358,35 +401,70 @@ impl<S: WeightSketch> QuantileFilter<S> {
         let report_at = self.report_at;
         let weight_above = self.weight_above;
         let value_threshold = self.criteria.threshold();
-        let Some((first, _)) = items.first() else {
-            return;
-        };
-        let mut hk = self.candidate.coords_of(first);
-        self.candidate.prefetch(hk.bucket);
-        for i in 0..items.len() {
-            // Hash item i+1 while item i's bucket line is (being) fetched.
-            let next = items.get(i + 1).map(|(k, _)| self.candidate.coords_of(k));
-            if let Some(n) = next {
-                self.candidate.prefetch(n.bucket);
-            }
-            let value = items[i].1;
-            if value.is_finite() {
-                crate::telemetry::insert();
-                let raw = if value > value_threshold {
-                    weight_above
+        let mut coords = [HashedKey { bucket: 0, fp: 0 }; INGEST_CHUNK];
+        let mut deltas = [0i64; INGEST_CHUNK];
+        let mut live = [false; INGEST_CHUNK];
+        let mut vlanes = [RowLanes::empty(); INGEST_CHUNK];
+        let mut base = 0;
+        for chunk in items.chunks(INGEST_CHUNK) {
+            // Pass 1: hash + classify + round + prefetch, one memory stream
+            // over the chunk. Rounder draws happen here, in item order.
+            for (j, (key, value)) in chunk.iter().enumerate() {
+                if value.is_finite() {
+                    crate::telemetry::insert();
+                    let hk = self.candidate.coords_of(key);
+                    self.candidate.prefetch(hk.bucket);
+                    let raw = if *value > value_threshold {
+                        weight_above
+                    } else {
+                        -1.0
+                    };
+                    coords[j] = hk;
+                    deltas[j] = self.rounder.round(raw);
+                    live[j] = true;
                 } else {
-                    -1.0
-                };
-                let delta = self.rounder.round(raw);
-                if let Some(report) = self.offer_hashed(hk, delta, report_at) {
-                    sink(i, report);
+                    crate::telemetry::dropped_non_finite();
+                    live[j] = false;
                 }
-            } else {
-                crate::telemetry::dropped_non_finite();
             }
-            if let Some(n) = next {
-                hk = n;
+            // Pass 1½, taken only on vague-heavy streams (observed path
+            // stats say most items will miss the candidate part): capture
+            // the whole chunk's vague-part row lanes column-wise and
+            // prefetch the sketch cells they address, so pass 2's
+            // add-and-estimate lands on warm counter lines with zero
+            // hashing left to do. Lane capture is pure — no counters read,
+            // no RNG — so hoisting it ahead of item order changes nothing;
+            // the gate itself only chooses between two bit-identical
+            // routes, so adapting it on running stats is safe. Dead
+            // (non-finite) items reuse stale coords here; their lanes are
+            // computed and never consumed.
+            let seen =
+                self.stats.candidate_hits + self.stats.candidate_inserts + self.stats.vague_visits;
+            let vague_heavy = seen > 4096 && self.stats.vague_visits * 3 > seen;
+            if vague_heavy {
+                let mut vks = [VagueKey(0); INGEST_CHUNK];
+                for j in 0..chunk.len() {
+                    vks[j] = VagueKey::new(coords[j].bucket, coords[j].fp);
+                }
+                self.vague
+                    .fill_lanes(&vks[..chunk.len()], &mut vlanes[..chunk.len()]);
+                for lanes in &vlanes[..chunk.len()] {
+                    self.vague.prefetch_lanes(lanes);
+                }
             }
+            // Pass 2: apply in item order against warm bucket lines.
+            // Election draws happen here, in item order.
+            for j in 0..chunk.len() {
+                if live[j] {
+                    let lanes = if vague_heavy { Some(&vlanes[j]) } else { None };
+                    if let Some(report) =
+                        self.offer_hashed_with(coords[j], deltas[j], report_at, lanes)
+                    {
+                        sink(base + j, report);
+                    }
+                }
+            }
+            base += chunk.len();
         }
     }
 

@@ -12,7 +12,7 @@
 //! insertion claim.
 
 use crate::key::StreamKey;
-use crate::splitmix::SplitMix64;
+use crate::splitmix::{mix64, SplitMix64};
 
 /// Bit 63 of the raw hash carries the sign `S_i(x)`; the column computation
 /// masks it out so sign and column are statistically independent.
@@ -89,6 +89,24 @@ impl HashFamily {
         (col, sign)
     }
 
+    /// Raw row hash from a key's [`StreamKey::prehash`] digest. Bit-identical
+    /// to [`HashFamily::raw`] by the prehash contract, one mix round instead
+    /// of two.
+    #[inline(always)]
+    pub fn raw_prehashed(&self, row: usize, prehash: u64) -> u64 {
+        mix64(self.seeds[row] ^ prehash)
+    }
+
+    /// Column and sign from a prehash digest — bit-identical to
+    /// [`HashFamily::column_and_sign`] for the key that produced it.
+    #[inline(always)]
+    pub fn column_and_sign_prehashed(&self, row: usize, prehash: u64) -> (usize, i64) {
+        let h = self.raw_prehashed(row, prehash);
+        let col = ((u128::from(h & SIGN_MASK) * (self.width as u128)) >> 63) as usize;
+        let sign = if h >> 63 == 0 { 1 } else { -1 };
+        (col, sign)
+    }
+
     /// Heap size of this family in bytes (seed table only).
     pub fn memory_bytes(&self) -> usize {
         self.seeds.len() * core::mem::size_of::<u64>()
@@ -152,6 +170,14 @@ impl RowHasher {
     #[inline(always)]
     pub fn index<K: StreamKey + ?Sized>(&self, key: &K) -> usize {
         let h = key.hash_with_seed(self.seed);
+        ((u128::from(h) * (self.range as u128)) >> 64) as usize
+    }
+
+    /// Map a key's [`StreamKey::prehash`] digest to `[0, range)` —
+    /// bit-identical to [`RowHasher::index`] for the key that produced it.
+    #[inline(always)]
+    pub fn index_prehashed(&self, prehash: u64) -> usize {
+        let h = mix64(self.seed ^ prehash);
         ((u128::from(h) * (self.range as u128)) >> 64) as usize
     }
 }
@@ -295,5 +321,22 @@ mod tests {
     #[should_panic(expected = "positive width")]
     fn zero_width_panics() {
         let _ = HashFamily::new(1, 0, 0);
+    }
+
+    #[test]
+    fn prehashed_paths_match_direct_hashing() {
+        let fam = HashFamily::new(5, 333, 77);
+        let rh = RowHasher::new(97, 0xFACE);
+        for k in 0u64..500 {
+            let p = k.prehash().expect("u64 keys expose a prehash");
+            for row in 0..5 {
+                assert_eq!(fam.raw_prehashed(row, p), fam.raw(row, &k));
+                assert_eq!(
+                    fam.column_and_sign_prehashed(row, p),
+                    fam.column_and_sign(row, &k)
+                );
+            }
+            assert_eq!(rh.index_prehashed(p), rh.index(&k));
+        }
     }
 }

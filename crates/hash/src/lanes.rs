@@ -53,7 +53,7 @@ pub struct HashedKey {
 /// family deeper than [`MAX_LANES`] yields an *empty* lanes value, which
 /// consumers treat as "no precomputation available" and serve from the key
 /// instead — so correctness never depends on the depth ceiling.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RowLanes {
     cols: [u32; MAX_LANES],
     /// Bit `i` set ⇔ row `i`'s sign is −1.
@@ -123,6 +123,12 @@ impl HashFamily {
         if rows > MAX_LANES || self.width() > u32::MAX as usize {
             return RowLanes::empty();
         }
+        // Fixed-width keys factor through a seed-independent prehash digest
+        // (see `StreamKey::prehash`): the d row hashes then each cost one
+        // mix round instead of two, bit-identically.
+        if let Some(p) = key.prehash() {
+            return self.lanes_prehashed_unchecked(p, rows);
+        }
         let mut lanes = RowLanes {
             cols: [0; MAX_LANES],
             neg: 0,
@@ -134,6 +140,68 @@ impl HashFamily {
             lanes.neg |= u32::from(sign < 0) << row;
         }
         lanes
+    }
+
+    /// [`HashFamily::lanes`] from a key's [`StreamKey::prehash`] digest —
+    /// bit-identical lanes at one mix round per row. Same depth/width
+    /// fallback as `lanes`.
+    #[inline]
+    pub fn lanes_prehashed(&self, prehash: u64) -> RowLanes {
+        let rows = self.rows();
+        if rows > MAX_LANES || self.width() > u32::MAX as usize {
+            return RowLanes::empty();
+        }
+        self.lanes_prehashed_unchecked(prehash, rows)
+    }
+
+    #[inline(always)]
+    fn lanes_prehashed_unchecked(&self, prehash: u64, rows: usize) -> RowLanes {
+        let mut lanes = RowLanes {
+            cols: [0; MAX_LANES],
+            neg: 0,
+            len: rows as u8,
+        };
+        for row in 0..rows {
+            let (col, sign) = self.column_and_sign_prehashed(row, prehash);
+            lanes.cols[row] = col as u32;
+            lanes.neg |= u32::from(sign < 0) << row;
+        }
+        lanes
+    }
+
+    /// Column-wise batch lane fill: capture lanes for a whole chunk of
+    /// prehash digests, walking row-major so each row's seed stays hot and
+    /// the digest slice streams once per row. Bit-identical to calling
+    /// [`HashFamily::lanes_prehashed`] per digest; on depth/width fallback
+    /// every output is [`RowLanes::empty`].
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `prehashes`.
+    #[inline]
+    pub fn fill_lanes_prehashed(&self, prehashes: &[u64], out: &mut [RowLanes]) {
+        let n = prehashes.len();
+        assert!(out.len() >= n, "lane output buffer too short");
+        let rows = self.rows();
+        if rows > MAX_LANES || self.width() > u32::MAX as usize {
+            for lanes in &mut out[..n] {
+                *lanes = RowLanes::empty();
+            }
+            return;
+        }
+        for lanes in &mut out[..n] {
+            *lanes = RowLanes {
+                cols: [0; MAX_LANES],
+                neg: 0,
+                len: rows as u8,
+            };
+        }
+        for row in 0..rows {
+            for (lanes, &p) in out[..n].iter_mut().zip(prehashes) {
+                let (col, sign) = self.column_and_sign_prehashed(row, p);
+                lanes.cols[row] = col as u32;
+                lanes.neg |= u32::from(sign < 0) << row;
+            }
+        }
     }
 }
 
@@ -182,6 +250,50 @@ mod tests {
         assert_eq!(lanes.len(), MAX_LANES);
         // Row 31's sign must round-trip through the top bit of the mask.
         assert_eq!(lanes.sign(MAX_LANES - 1), fam.sign(MAX_LANES - 1, &7u64));
+    }
+
+    #[test]
+    fn prehashed_lanes_match_keyed_lanes() {
+        let fam = HashFamily::new(3, 2184, 0x7A63);
+        for k in 0u64..800 {
+            let p = k.prehash().expect("u64 keys expose a prehash");
+            let direct = fam.lanes(&k);
+            let pre = fam.lanes_prehashed(p);
+            assert_eq!(pre.len(), direct.len());
+            for row in 0..3 {
+                assert_eq!(pre.col(row), direct.col(row), "key {k} row {row}");
+                assert_eq!(pre.sign(row), direct.sign(row), "key {k} row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_fill_matches_per_key_lanes() {
+        let fam = HashFamily::new(4, 509, 0xBEEF);
+        let prehashes: Vec<u64> = (0u64..100)
+            .map(|k| k.prehash().expect("u64 keys expose a prehash"))
+            .collect();
+        let mut out = [RowLanes::empty(); 128];
+        fam.fill_lanes_prehashed(&prehashes, &mut out);
+        for (i, k) in (0u64..100).enumerate() {
+            let want = fam.lanes(&k);
+            assert_eq!(out[i].len(), want.len());
+            for row in 0..4 {
+                assert_eq!(out[i].col(row), want.col(row), "key {k} row {row}");
+                assert_eq!(out[i].sign(row), want.sign(row), "key {k} row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_fill_deep_family_yields_empty_lanes() {
+        let fam = HashFamily::new(MAX_LANES + 1, 64, 5);
+        let prehashes = [1u64, 2, 3];
+        let mut out = [RowLanes::empty(); 3];
+        fam.fill_lanes_prehashed(&prehashes, &mut out);
+        for lanes in &out {
+            assert!(lanes.is_empty());
+        }
     }
 
     #[test]

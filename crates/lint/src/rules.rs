@@ -32,14 +32,19 @@ use std::fmt;
 /// The flight recorder's emit path (`trace/src/ring.rs`, `tls.rs`) is
 /// called from inside those same hot loops when the `trace` feature is
 /// on, so it is policed identically; dump *rendering* (`dump.rs`)
-/// allocates freely because it only runs at recovery time.
-pub const HOT_PATH_FILES: [&str; 13] = [
+/// allocates freely because it only runs at recovery time. The SIMD
+/// hot path added the SWAR primitive module (`sketch/src/simd.rs`) and
+/// promoted the Count-Min twin (`sketch/src/count_min.rs`) into the
+/// batch lane-fill path, so both are policed too.
+pub const HOT_PATH_FILES: [&str; 15] = [
     "core/src/filter.rs",
     "core/src/candidate.rs",
     "core/src/vague.rs",
     "core/src/multi.rs",
     "sketch/src/count_sketch.rs",
+    "sketch/src/count_min.rs",
     "sketch/src/counter.rs",
+    "sketch/src/simd.rs",
     "hash/src/lanes.rs",
     "pipeline/src/ring.rs",
     "pipeline/src/worker.rs",
@@ -389,7 +394,11 @@ fn collect_feature_gated_items(file: &SourceFile, attr: &str) -> Vec<(usize, Gat
 /// Within [`COUNTER_FILES`], a raw `+=`/`-=`/`wrapping_*` on a counter
 /// accessor (`cells[…]`, `cell_mut`, `*cell`, `.qw`) reintroduces exactly
 /// the overflow reversal §III-B forbids. Lines that go through
-/// `saturating_*` or an explicit `clamp` are the sanctioned forms.
+/// `saturating_*` or an explicit `clamp` are the sanctioned forms. A
+/// shared `.as_ptr()` derivation is also exempt: it yields a `*const`
+/// no write can go through, and the batch path's prefetch hints compute
+/// their target address with `wrapping_add` on exactly such a pointer —
+/// `as_mut_ptr()` stays policed because it *can* feed a store.
 pub fn rule_counter_arithmetic(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     const R: &str = "QF-L004";
     if !path_matches(file, &COUNTER_FILES) {
@@ -405,6 +414,9 @@ pub fn rule_counter_arithmetic(file: &SourceFile, out: &mut Vec<Diagnostic>) {
             continue;
         }
         if code.contains("saturating_") || code.contains(".clamp(") {
+            continue;
+        }
+        if code.contains(".as_ptr()") && !code.contains("as_mut_ptr") {
             continue;
         }
         let raw_op = code.contains("+=")
@@ -1069,6 +1081,19 @@ mod tests {
         assert!(run(rule_counter_arithmetic, "sketch/src/count_sketch.rs", ok).is_empty());
         // The same raw op outside counter files is not this rule's business.
         assert!(run(rule_counter_arithmetic, "core/src/strategy.rs", bad).is_empty());
+        // Read-only pointer derivation for prefetch hints is legal: the
+        // `*const` from `.as_ptr()` cannot carry a store, even though the
+        // address math uses `wrapping_add`.
+        let prefetch =
+            "fn prefetch(&self) {\n    prefetch_read(self.qws.as_ptr().wrapping_add(start));\n}\n";
+        assert!(run(rule_counter_arithmetic, "core/src/candidate.rs", prefetch).is_empty());
+        // …but a mutable pointer into counter storage stays flagged.
+        let mutptr =
+            "fn bump(&mut self) {\n    let p = self.qws.as_mut_ptr().wrapping_add(i);\n}\n";
+        assert_eq!(
+            run(rule_counter_arithmetic, "core/src/candidate.rs", mutptr).len(),
+            1
+        );
     }
 
     #[test]

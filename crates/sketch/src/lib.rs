@@ -31,6 +31,7 @@ pub mod count_sketch;
 pub mod counter;
 pub mod invariants;
 pub mod rounding;
+pub mod simd;
 pub mod snapshot;
 pub mod space_saving;
 pub(crate) mod telemetry;

@@ -9,7 +9,7 @@
 //! reuse, RNG draw order, or control flow between the batch and scalar
 //! paths fails here with the first diverging item index.
 //!
-//! Three regimes:
+//! Regimes:
 //! 1. **Integer weights** (δ = 0.75): the rounder never draws randomness,
 //!    so this isolates control-flow and hashing equivalence.
 //! 2. **Fractional weights** (δ = 0.6): every above-`T` item draws from
@@ -18,7 +18,21 @@
 //! 3. **Chunked feeding with poisoned values**: the same trace split into
 //!    uneven chunks (including singleton and whole-trace chunks) with NaN
 //!    and ±∞ sprinkled in must drop them exactly like scalar `insert`.
+//! 4. **Boundary geometry**: batch lengths straddling the internal
+//!    `INGEST_CHUNK` (and non-multiples of the 4-lane SWAR width), plus a
+//!    batch whose final item lands in the candidate array's *last* bucket
+//!    — the corner where the one-ahead prefetch has no successor and the
+//!    SWAR probe window reads the tail padding.
+//! 5. **Vague-depth sweep**: every supported sketch depth for both
+//!    CountSketch and Count-Min, including `d > MAX_LANES` where lane
+//!    precomputation falls back to per-call hashing.
+//! 6. **Interleaved deletes**: turnstile traffic between batches must
+//!    leave the twins in identical state.
 
+use proptest::prelude::*;
+use proptest::{prop_assert_eq, proptest};
+use qf_repro::qf_hash::MAX_LANES;
+use qf_repro::qf_sketch::{CountMinSketch, CountSketch};
 use qf_repro::quantile_filter::{Criteria, QuantileFilter, QuantileFilterBuilder, Report};
 
 /// Minimal deterministic RNG (SplitMix64), as in the differential oracle.
@@ -68,7 +82,10 @@ fn trace(seed: u64, len: usize, keys: u64, hot_pct: u64) -> Vec<(u64, f64)> {
 }
 
 /// Feed `items` through the scalar path and return the report log.
-fn scalar_reports(qf: &mut QuantileFilter, items: &[(u64, f64)]) -> Vec<(usize, Report)> {
+fn scalar_reports<S: qf_repro::qf_sketch::WeightSketch>(
+    qf: &mut QuantileFilter<S>,
+    items: &[(u64, f64)],
+) -> Vec<(usize, Report)> {
     let mut log = Vec::new();
     for (i, &(k, v)) in items.iter().enumerate() {
         if let Some(r) = qf.insert(&k, v) {
@@ -80,8 +97,8 @@ fn scalar_reports(qf: &mut QuantileFilter, items: &[(u64, f64)]) -> Vec<(usize, 
 
 /// Feed `items` through `insert_batch` in chunks of `chunk` and return the
 /// report log with *global* item indices.
-fn batch_reports(
-    qf: &mut QuantileFilter,
+fn batch_reports<S: qf_repro::qf_sketch::WeightSketch>(
+    qf: &mut QuantileFilter<S>,
     items: &[(u64, f64)],
     chunk: usize,
 ) -> Vec<(usize, Report)> {
@@ -93,7 +110,12 @@ fn batch_reports(
     log
 }
 
-fn assert_twins_agree(scalar: &QuantileFilter, batched: &QuantileFilter, keys: u64, regime: &str) {
+fn assert_twins_agree<S: qf_repro::qf_sketch::WeightSketch>(
+    scalar: &QuantileFilter<S>,
+    batched: &QuantileFilter<S>,
+    keys: u64,
+    regime: &str,
+) {
     let (s, b) = (scalar.stats(), batched.stats());
     assert_eq!(
         s.candidate_hits, b.candidate_hits,
@@ -163,6 +185,153 @@ fn every_chunking_matches_scalar() {
         let got = batch_reports(&mut batched, &items, chunk);
         assert_eq!(got, want, "chunk size {chunk} diverges from scalar");
         assert_twins_agree(&scalar, &batched, 150, "chunked");
+    }
+}
+
+#[test]
+fn chunk_boundary_lengths_replay_identically() {
+    // The internal ingest chunk is 64 items: batch lengths straddling it,
+    // and lengths that are not multiples of the 4-lane SWAR width, must be
+    // invisible in the replay.
+    let c = criteria(5.0, 0.6, 100.0);
+    for len in [1usize, 3, 63, 64, 65, 67, 127, 128, 129] {
+        let items = trace(0xA11 + len as u64, len, 40, 60);
+        let mut scalar = build(c, 0x66);
+        let mut batched = build(c, 0x66);
+        let want = scalar_reports(&mut scalar, &items);
+        let got = batch_reports(&mut batched, &items, items.len());
+        assert_eq!(got, want, "batch length {len} diverges from scalar");
+        assert_twins_agree(&scalar, &batched, 40, "boundary length");
+    }
+}
+
+#[test]
+fn batch_tail_in_last_bucket_matches_scalar() {
+    // The chunked ingest prefetches one item ahead; the final item of a
+    // batch has no successor, and when its key hashes to the candidate
+    // array's last bucket the SWAR probe window reads the tail padding.
+    // Pin that corner: batches around the chunk size whose final key lands
+    // in the last bucket, with that bucket crowded by earlier plants.
+    let c = criteria(5.0, 0.75, 100.0);
+    let probe = build(c, 0x55);
+    let buckets = probe.candidate_part().buckets();
+    let last_bucket_keys: Vec<u64> = (0..1_000_000u64)
+        .filter(|k| probe.candidate_part().bucket_of(k) == buckets - 1)
+        .take(8)
+        .collect();
+    assert_eq!(last_bucket_keys.len(), 8, "key search exhausted");
+    for len in [1usize, 63, 64, 65] {
+        let mut items = trace(0x600D + len as u64, len - 1, 64, 55);
+        // Crowd the 2-slot last bucket so the tail item walks a full
+        // window (match-miss over padding, then election).
+        for (i, &k) in last_bucket_keys.iter().take(4).enumerate() {
+            if i < items.len() {
+                items[i] = (k, 500.0);
+            }
+        }
+        items.push((last_bucket_keys[7], 500.0));
+        let mut scalar = build(c, 0x55);
+        let mut batched = build(c, 0x55);
+        let want = scalar_reports(&mut scalar, &items);
+        let got = batch_reports(&mut batched, &items, items.len());
+        assert_eq!(got, want, "len {len}: tail-in-last-bucket diverges");
+        assert_twins_agree(&scalar, &batched, 64, "last-bucket tail");
+        for &k in &last_bucket_keys {
+            assert_eq!(scalar.query(&k), batched.query(&k), "planted key {k}");
+        }
+    }
+}
+
+#[test]
+fn depth_sweep_cs_and_cms_batch_matches_scalar() {
+    // Every vague depth regime for both sketch families, including
+    // d > MAX_LANES where RowLanes precomputation yields the empty marker
+    // and the filter serves keys per call — batch must stay bit-identical
+    // through the fallback too.
+    let c = criteria(5.0, 0.75, 100.0);
+    let items = trace(0xD00D, 6_000, 120, 55);
+    for d in [1usize, 2, 3, 5, MAX_LANES, MAX_LANES + 1] {
+        let build_cs = || {
+            QuantileFilterBuilder::new(c)
+                .candidate_buckets(8)
+                .bucket_len(2)
+                .seed(0x77)
+                .build_with_sketch(CountSketch::<i64>::new(d, 256, 0x77AA))
+        };
+        let (mut scalar, mut batched) = (build_cs(), build_cs());
+        let want = scalar_reports(&mut scalar, &items);
+        let got = batch_reports(&mut batched, &items, 96);
+        assert!(!want.is_empty(), "CS d={d}: trace produced no reports");
+        assert_eq!(got, want, "CS d={d}: report sequences diverge");
+        assert_twins_agree(&scalar, &batched, 120, "CS depth sweep");
+
+        let build_cms = || {
+            QuantileFilterBuilder::new(c)
+                .candidate_buckets(8)
+                .bucket_len(2)
+                .seed(0x77)
+                .build_with_sketch(CountMinSketch::<i64>::new(d, 256, 0x77AA))
+        };
+        let (mut scalar, mut batched) = (build_cms(), build_cms());
+        let want = scalar_reports(&mut scalar, &items);
+        let got = batch_reports(&mut batched, &items, 96);
+        assert_eq!(got, want, "CMS d={d}: report sequences diverge");
+        assert_twins_agree(&scalar, &batched, 120, "CMS depth sweep");
+    }
+}
+
+#[test]
+fn interleaved_deletes_replay_identically() {
+    // Turnstile traffic: deletes between batches must drain the same mass
+    // from both twins and leave later report indices untouched.
+    let c = criteria(5.0, 0.75, 100.0);
+    let items = trace(0xDE1, 9_000, 90, 55);
+    let mut scalar = build(c, 0x88);
+    let mut batched = build(c, 0x88);
+    let mut want = Vec::new();
+    let mut got = Vec::new();
+    for (seg_idx, seg) in items.chunks(300).enumerate() {
+        let base = seg_idx * 300;
+        for (i, &(k, v)) in seg.iter().enumerate() {
+            if let Some(r) = scalar.insert(&k, v) {
+                want.push((base + i, r));
+            }
+        }
+        batched.insert_batch(seg, &mut |i, r| got.push((base + i, r)));
+        let victim = (seg_idx as u64 * 7) % 90;
+        assert_eq!(
+            scalar.delete(&victim),
+            batched.delete(&victim),
+            "segment {seg_idx}: delete estimate diverges"
+        );
+    }
+    assert_eq!(got, want, "deletes disturbed the replay");
+    assert_twins_agree(&scalar, &batched, 90, "interleaved deletes");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_unaligned_lengths_and_chunks_replay_identically(
+        len in 1usize..180,
+        chunk in 1usize..80,
+        seed in 0u64..1_000,
+    ) {
+        // Random (batch length, chunk size) pairs — most are unaligned to
+        // both the 64-item ingest chunk and the 4-lane SWAR width. The
+        // fractional δ keeps the rounder RNG in play.
+        let c = criteria(5.0, 0.6, 100.0);
+        let items = trace(seed ^ 0xC0FF_EE00, len, 48, 60);
+        let mut scalar = build(c, seed);
+        let mut batched = build(c, seed);
+        let want = scalar_reports(&mut scalar, &items);
+        let got = batch_reports(&mut batched, &items, chunk);
+        prop_assert_eq!(got, want);
+        let (s, b) = (scalar.stats(), batched.stats());
+        prop_assert_eq!(s.reports, b.reports);
+        prop_assert_eq!(s.vague_visits, b.vague_visits);
+        prop_assert_eq!(s.candidate_hits, b.candidate_hits);
     }
 }
 
